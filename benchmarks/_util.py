@@ -1,0 +1,12 @@
+"""Helpers shared by the table/figure benchmarks."""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one regenerated table and echo it to the terminal."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n[saved to {path}]")

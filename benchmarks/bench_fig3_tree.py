@@ -1,0 +1,26 @@
+"""Figure 3 — the learned decision tree.
+
+The paper's tree splits on features 6 (# remote-DRAM samples) and 7
+(average remote-DRAM latency).  In our cleaner simulated latency
+distributions, feature 7 alone nearly separates the classes, so the tree
+roots on it; the remote-sample *count* enters the pipeline as the
+minimum-support rule (see ``repro.core.classifier.MIN_CHANNEL_SUPPORT``)
+— the same two signals, differently factored.  EXPERIMENTS.md discusses
+the deviation.
+"""
+
+from __future__ import annotations
+
+from _util import save_and_print
+from repro.eval.experiments import run_fig3_tree
+from repro.eval.tables import format_fig3
+
+
+def test_fig3_tree(benchmark, results_dir):
+    tree = benchmark.pedantic(run_fig3_tree, rounds=1, iterations=1)
+    save_and_print(results_dir, "fig3_tree", format_fig3(tree))
+    # The latency feature must dominate, the tree must stay tiny (paper
+    # depth <= 3), and nothing outside Table I may appear.
+    assert "avg_remote_dram_latency" in tree.used_features
+    assert tree.depth <= 3
+    assert tree.importances.get("avg_remote_dram_latency", 0.0) >= 0.9

@@ -1,0 +1,38 @@
+"""Figure 4 — Contribution Fraction distribution across data objects.
+
+Paper panels: (a) AMG2006's four arrays led by RAP_diag_j; (b)
+Streamcluster's block + point.p above 90%; (c) LULESH's heap-array block
+summing past 50% CF with a non-negligible unattributed (static) share;
+(d) NW's reference + input_itemsets.
+"""
+
+from __future__ import annotations
+
+from _util import save_and_print
+from repro.eval.experiments import run_fig4_cf
+from repro.eval.tables import format_fig4
+
+
+def test_fig4_cf(benchmark, results_dir):
+    reports = benchmark.pedantic(run_fig4_cf, rounds=1, iterations=1)
+    save_and_print(results_dir, "fig4_cf", format_fig4(reports))
+
+    amg = reports["AMG2006"]
+    assert amg.top(1)[0].name == "RAP_diag_j", "RAP_diag_j leads in every config"
+    assert amg.cf_of("RAP_diag_j") >= 0.3
+
+    sc = reports["Streamcluster"]
+    assert sc.cf_of("block") + sc.cf_of("point_p") >= 0.9
+    assert sc.top(1)[0].name == "block"
+
+    lulesh = reports["LULESH"]
+    heap_cf = sum(c.cf for c in lulesh.contributions if not c.is_unattributed)
+    unattributed = sum(c.cf for c in lulesh.contributions if c.is_unattributed)
+    assert heap_cf >= 0.5, "the lulesh.cc:2158-2238 block sums past 50%"
+    assert unattributed > 0.05, "static objects show up unattributed"
+
+    nw = reports["NW"]
+    assert nw.cf_of("reference") + nw.cf_of("input_itemsets") >= 0.95
+
+    for report in reports.values():
+        assert abs(report.total_cf - 1.0) < 1e-9

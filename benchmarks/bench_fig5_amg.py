@@ -1,0 +1,39 @@
+"""Figure 5 — AMG2006 per-phase speedups, co-locate vs interleave.
+
+Paper: interleave wins ~1.5x in the solver phase but *hurts* init and
+setup; the targeted co-locate matches the solver gain without the init
+penalty, so it wins end to end.
+"""
+
+from __future__ import annotations
+
+from _util import save_and_print
+from repro.eval.experiments import run_fig5_amg
+from repro.eval.tables import format_speedup_rows
+
+
+def test_fig5_amg(benchmark, results_dir):
+    rows = benchmark.pedantic(run_fig5_amg, rounds=1, iterations=1)
+    save_and_print(
+        results_dir, "fig5_amg", format_speedup_rows(rows, "AMG2006 (Figure 5)")
+    )
+    for row in rows:
+        s = row.speedups
+        # Interleave damages the serial init; co-locate leaves it alone.
+        assert s["interleave:init"] < 1.0
+        assert s["co-locate:init"] >= 0.98
+        # Both lift the solver substantially.
+        assert s["interleave:solve"] > 1.2
+        assert s["co-locate:solve"] > 1.2
+        assert s["co-locate:total"] > 1.1
+        # End to end the targeted fix tracks the blunt one closely (the
+        # untargeted A_initial stays on node 0, so interleave can edge
+        # ahead where that residual matters).
+        assert s["co-locate:total"] >= s["interleave:total"] - 0.05
+
+    # ...and wins outright in at least half the configurations.
+    wins = sum(
+        r.speedups["co-locate:total"] >= r.speedups["interleave:total"]
+        for r in rows
+    )
+    assert wins * 2 >= len(rows)

@@ -1,0 +1,37 @@
+"""Figure 7 — Streamcluster speedups: replicate vs interleave.
+
+Paper shape: at three or four nodes the two remedies are comparable; with
+fewer nodes/threads replicate wins clearly (interleaving adds remote
+accesses that the replica-local reads avoid).
+"""
+
+from __future__ import annotations
+
+from _util import save_and_print
+from repro.eval.experiments import run_fig7_streamcluster
+from repro.eval.tables import format_speedup_rows
+
+
+def test_fig7_streamcluster(benchmark, results_dir):
+    rows = benchmark.pedantic(run_fig7_streamcluster, rounds=1, iterations=1)
+    save_and_print(
+        results_dir,
+        "fig7_streamcluster",
+        format_speedup_rows(rows, "Streamcluster (Figure 7)"),
+    )
+    for row in rows:
+        s = row.speedups
+        # Both remedies help a contended clustering run.
+        assert s["replicate"] > 1.2
+        assert s["interleave"] > 1.2
+        # On three- and four-node configurations replicate never loses.
+        if row.config.n_nodes >= 3:
+            assert s["replicate"] >= s["interleave"] - 0.02
+
+    # "When fewer nodes and threads are used, replicate performs much
+    # better" (Section VIII.C): the T16-N2 cases.
+    light_two_node = [
+        r for r in rows if r.config.n_nodes == 2 and r.config.n_threads == 16
+    ]
+    for r in light_two_node:
+        assert r.speedups["replicate"] >= r.speedups["interleave"]

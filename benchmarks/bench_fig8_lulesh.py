@@ -1,0 +1,30 @@
+"""Figure 8 — LULESH speedups: co-locate (heap arrays) vs interleave.
+
+Paper shape: co-locate beats interleave; T16-N4 shows no significant
+speedup because four threads per node cannot saturate the remote
+channels (the classifier calls that configuration good).
+"""
+
+from __future__ import annotations
+
+from _util import save_and_print
+from repro.eval.experiments import run_fig8_lulesh
+from repro.eval.tables import format_speedup_rows
+
+
+def test_fig8_lulesh(benchmark, results_dir):
+    rows = benchmark.pedantic(run_fig8_lulesh, rounds=1, iterations=1)
+    save_and_print(
+        results_dir, "fig8_lulesh", format_speedup_rows(rows, "LULESH (Figure 8)")
+    )
+    by_config = {r.config.name: r.speedups for r in rows}
+
+    # T16-N4: not enough threads per node to saturate — no significant gain.
+    assert max(by_config["T16-N4"].values()) < 1.3
+
+    # Denser configurations benefit clearly, co-locate >= interleave overall.
+    assert by_config["T64-N4"]["co-locate"] > 1.5
+    wins = sum(
+        s["co-locate"] >= s["interleave"] - 0.05 for s in by_config.values()
+    )
+    assert wins >= len(by_config) - 1

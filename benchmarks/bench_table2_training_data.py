@@ -1,0 +1,20 @@
+"""Table II — the training-data summary (192 mini-program runs)."""
+
+from __future__ import annotations
+
+from _util import save_and_print
+from repro.eval.experiments import run_table2_training_data
+from repro.eval.tables import format_table2
+
+
+def test_table2_training_data(benchmark, results_dir):
+    summary = benchmark.pedantic(
+        run_table2_training_data, rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "table2_training_data", format_table2(summary))
+    # Paper: 24+24 per vector kernel, 48 good bandit runs, 192 total.
+    assert summary.counts["sumv"] == (24, 24)
+    assert summary.counts["dotv"] == (24, 24)
+    assert summary.counts["countv"] == (24, 24)
+    assert summary.counts["bandit"] == (48, 0)
+    assert summary.total == 192

@@ -1,0 +1,25 @@
+"""Table VII — profiling runtime overhead on the six case studies.
+
+Paper: +3.3% average, +10.0% worst (LULESH), and a -9.2% *speedup* on
+Streamcluster from profiling interference.  Our deterministic equilibrium
+model produces small positive overheads (saturated runs absorb the
+sampling stall almost entirely); the Streamcluster anomaly is a
+desynchronization effect outside a stationary model — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from _util import save_and_print
+from repro.eval.experiments import run_table7_overhead
+from repro.eval.tables import format_table7
+
+
+def test_table7_overhead(benchmark, results_dir):
+    rows = benchmark.pedantic(run_table7_overhead, rounds=1, iterations=1)
+    save_and_print(results_dir, "table7_overhead", format_table7(rows))
+    overheads = {r.benchmark: r.overhead for r in rows}
+    assert len(rows) == 6
+    # Paper bound: every benchmark stays at or under ~10% overhead.
+    assert all(o <= 0.10 for o in overheads.values())
+    # Average within the paper's ballpark.
+    assert sum(overheads.values()) / len(overheads) <= 0.05

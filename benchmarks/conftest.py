@@ -1,0 +1,29 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Every benchmark writes its rendered table to ``benchmarks/results/`` so the
+regenerated artifacts survive the run, and times the regeneration itself
+via pytest-benchmark (single round — these are end-to-end experiment
+drivers, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def trained_classifier():
+    """The shared DR-BW classifier (trained once per session)."""
+    from repro.eval.experiments import shared_classifier
+
+    return shared_classifier(seed=0)

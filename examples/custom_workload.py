@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diagnose your own program with the workload DSL.
+
+The suite analogs are built from the same public DSL you can use for any
+program whose memory behaviour you can sketch: declare the data objects
+(sizes, allocation sites, NUMA policies) and the phases of access
+streams, then hand it to the profiler.
+
+This example models a producer/consumer pipeline with a classic NUMA
+bug: the producer (master thread) materializes a large lookup table, so
+first-touch pins it to node 0 while consumer threads on all sockets
+hammer it with random reads.  DR-BW finds the table, and replication
+fixes it.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import Diagnoser, DrBwProfiler, Machine
+from repro.core.classifier import classify_case
+from repro.core.report import format_channel_labels, format_diagnosis
+from repro.core.training import train_default_classifier
+from repro.numasim.cachemodel import PatternKind
+from repro.optim import measure_speedup, replicate_objects
+from repro.types import Mode
+from repro.workloads.base import ObjectSpec, PhaseSpec, Share, StreamSpec, Workload
+
+MB = 1024 * 1024
+
+
+def build_pipeline() -> Workload:
+    """A two-phase pipeline: build the table, then query it."""
+    return Workload(
+        name="pipeline",
+        objects=(
+            # The bug: the master builds this, so it lands on node 0.
+            ObjectSpec(name="lookup_table", size_bytes=192 * MB,
+                       site="pipeline.c:88"),
+            # Each consumer's scratch space, initialized in parallel.
+            ObjectSpec(name="scratch", size_bytes=16 * MB,
+                       site="pipeline.c:131", colocate=True),
+        ),
+        phases=(
+            PhaseSpec(
+                name="build",
+                accesses_per_thread=0.0,
+                compute_cycles_per_access=1.0,
+                streams=(
+                    StreamSpec(object_name="lookup_table",
+                               pattern=PatternKind.SEQUENTIAL,
+                               share=Share.ALL, write_fraction=1.0),
+                ),
+                single_thread=True,
+            ),
+            PhaseSpec(
+                name="query",
+                accesses_per_thread=0.0,
+                compute_cycles_per_access=0.8,
+                streams=(
+                    StreamSpec(object_name="lookup_table",
+                               pattern=PatternKind.RANDOM,
+                               share=Share.ALL, weight=0.7, passes=2.0),
+                    StreamSpec(object_name="scratch",
+                               pattern=PatternKind.SEQUENTIAL,
+                               share=Share.CHUNK, weight=0.3, passes=16.0),
+                ),
+            ),
+        ),
+    ).with_accesses("build", 24e6).with_accesses("query", 96e6, 4e6)
+
+
+def main() -> None:
+    machine = Machine()
+    classifier, _ = train_default_classifier(machine)
+    profiler = DrBwProfiler(machine)
+
+    workload = build_pipeline()
+    profile = profiler.profile(workload, n_threads=32, n_nodes=4, seed=5)
+    labels = classifier.classify_profile(profile)
+    print(format_channel_labels(labels))
+
+    if classify_case(labels) is not Mode.RMC:
+        print("pipeline is contention-free")
+        return
+
+    report = Diagnoser().diagnose(profile, labels)
+    print()
+    print(format_diagnosis(report))
+
+    # The table is read-only after the build phase -> replicate per node.
+    # (The build phase writes it, so we model the fixed program as
+    # replicas materialized after initialization.)
+    fixed = Workload(
+        name=workload.name,
+        objects=workload.objects,
+        phases=workload.phases[1:],  # steady state: queries only
+    )
+    optimized = replicate_objects(fixed, {"lookup_table"})
+    result = measure_speedup(fixed, optimized, machine, 32, 4)
+    print(f"\nreplicating lookup_table: {result.speedup:.2f}x in steady state "
+          f"(remote traffic -{result.remote_traffic_reduction:.0%})")
+
+
+if __name__ == "__main__":
+    main()

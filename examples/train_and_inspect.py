@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Train, validate, inspect, and persist the DR-BW classifier.
+
+Reproduces the training side of the paper (Sections V and VII.B):
+
+* collect the 192-run training set (Table II);
+* run the feature-selection screen over the candidate list (Table I);
+* stratified 10-fold cross-validation (Table III);
+* render the learned decision tree (Figure 3);
+* save the trained model to JSON and reload it.
+
+Usage::
+
+    python examples/train_and_inspect.py [model.json]
+"""
+
+import json
+import sys
+
+import numpy as np
+
+from repro import DrBwClassifier, Machine
+from repro.core.features import candidate_features
+from repro.core.profiler import DrBwProfiler
+from repro.core.selection import screen_features
+from repro.core.training import (
+    hottest_channel_features,
+    micro_training_configs,
+    train_default_classifier,
+    training_matrix,
+    _build_workload,
+)
+from repro.core.validation import cross_validate
+from repro.types import Channel, Mode
+
+
+def run_selection_screen(machine: Machine) -> None:
+    """The Section V.B screen over the full candidate feature list."""
+    profiler = DrBwProfiler(machine)
+    per_program = {}
+    names = None
+    for program in ("sumv", "dotv", "countv"):
+        good, rmc = [], []
+        for i, cfg in enumerate(micro_training_configs(program)):
+            profile = profiler.profile(
+                _build_workload(cfg), cfg.n_threads, cfg.n_nodes, seed=500 + i
+            )
+            _, channel = hottest_channel_features(profile)
+            fv = candidate_features(
+                profile.sample_set, channel or Channel(0, 1),
+                machine.topology.n_sockets,
+            )
+            names = fv.names
+            (good if cfg.label is Mode.GOOD else rmc).append(fv.values)
+        per_program[program] = (np.stack(good), np.stack(rmc))
+    result = screen_features(tuple(names), per_program)
+    print(f"selected {len(result.selected)} of {len(names)} candidates:")
+    for n in result.selected:
+        print(f"  + {n}")
+
+
+def main(model_path: str = "drbw_model.json") -> None:
+    machine = Machine()
+
+    print("== feature selection (Section V.B) ==")
+    run_selection_screen(machine)
+
+    print("\n== training (Table II) ==")
+    classifier, instances = train_default_classifier(machine)
+    X, y = training_matrix(list(instances))
+    print(f"{len(instances)} instances "
+          f"({int(np.sum(y == 'good'))} good, {int(np.sum(y == 'rmc'))} rmc)")
+
+    print("\n== 10-fold cross-validation (Table III) ==")
+    cv = cross_validate(classifier, X, y, k=10)
+    print(cv.confusion)
+    print(f"accuracy: {cv.accuracy:.1%} (paper: 97.4%)")
+
+    print("\n== the decision tree (Figure 3) ==")
+    print(classifier.render_tree())
+
+    print(f"\n== persisting to {model_path} ==")
+    with open(model_path, "w") as fh:
+        json.dump(classifier.to_dict(), fh, indent=2)
+    with open(model_path) as fh:
+        restored = DrBwClassifier.from_dict(json.load(fh))
+    assert np.array_equal(restored.predict(X), classifier.predict(X))
+    print("saved and reload-verified")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "drbw_model.json")

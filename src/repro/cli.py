@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+The workflow a release user runs without writing Python:
+
+* ``train``    — collect the Table II training set, fit, cross-validate,
+  and save the model to JSON;
+* ``detect``   — profile one benchmark analog under a ``Tt-Nn``
+  configuration and print the per-channel verdicts;
+* ``diagnose`` — detect, then print the Contribution-Fraction ranking and
+  suggested remedies;
+* ``list``     — the available benchmarks and their inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.classifier import DrBwClassifier, classify_case
+from repro.core.diagnoser import Diagnoser
+from repro.core.profiler import DrBwProfiler
+from repro.core.report import format_channel_labels, format_diagnosis, suggest_remedy
+from repro.core.training import train_default_classifier, training_matrix
+from repro.core.validation import cross_validate
+from repro.eval.configs import config_by_name
+from repro.numasim.machine import Machine
+from repro.types import Mode
+from repro.workloads.suites.registry import BENCHMARKS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="drbw",
+        description="DR-BW: identify NUMA bandwidth contention (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train and save the classifier")
+    p_train.add_argument("--model", default="drbw_model.json",
+                         help="output JSON path (default: drbw_model.json)")
+    p_train.add_argument("--seed", type=int, default=0)
+
+    for name, hlp in (("detect", "classify a benchmark run"),
+                      ("diagnose", "detect + rank the contended data objects")):
+        p = sub.add_parser(name, help=hlp)
+        p.add_argument("benchmark", help="benchmark name (see `list`)")
+        p.add_argument("--input", default=None,
+                       help="input name (default: the benchmark's largest)")
+        p.add_argument("--config", default="T32-N4",
+                       help="Tt-Nn configuration (default: T32-N4)")
+        p.add_argument("--model", default=None,
+                       help="trained model JSON (default: train in-process)")
+        p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list benchmarks and inputs")
+    return parser
+
+
+def _load_or_train(model_path: str | None, seed: int, machine: Machine) -> DrBwClassifier:
+    if model_path:
+        with open(model_path) as fh:
+            return DrBwClassifier.from_dict(json.load(fh))
+    print("no --model given; training on the mini-programs ...", file=sys.stderr)
+    clf, _ = train_default_classifier(machine, seed=seed)
+    return clf
+
+
+def _resolve_benchmark(args) -> tuple:
+    try:
+        spec = BENCHMARKS[args.benchmark]
+    except KeyError:
+        sys.exit(f"unknown benchmark {args.benchmark!r}; try `list`")
+    inp = args.input or spec.inputs[-1]
+    if inp not in spec.inputs:
+        sys.exit(f"{spec.name} has inputs {spec.inputs}, not {inp!r}")
+    return spec, inp
+
+
+def cmd_train(args) -> int:
+    machine = Machine()
+    clf, instances = train_default_classifier(machine, seed=args.seed)
+    X, y = training_matrix(list(instances))
+    cv = cross_validate(clf, X, y, k=10, seed=args.seed)
+    print(f"trained on {len(instances)} runs; 10-fold CV accuracy {cv.accuracy:.1%}")
+    print(clf.render_tree())
+    with open(args.model, "w") as fh:
+        json.dump(clf.to_dict(), fh, indent=2)
+    print(f"model saved to {args.model}")
+    return 0
+
+
+def cmd_detect(args, want_diagnosis: bool = False) -> int:
+    machine = Machine()
+    clf = _load_or_train(args.model, args.seed, machine)
+    spec, inp = _resolve_benchmark(args)
+    cfg = config_by_name(args.config)
+
+    workload = spec.build(inp)
+    profile = DrBwProfiler(machine).profile(
+        workload, cfg.n_threads, cfg.n_nodes, seed=args.seed
+    )
+    labels = clf.classify_profile(profile)
+    print(f"{spec.name} ({inp}) under {cfg.name}:")
+    print(format_channel_labels(labels))
+    verdict = classify_case(labels)
+    print(f"case verdict: {verdict}")
+
+    if want_diagnosis:
+        if verdict is not Mode.RMC:
+            print("nothing to diagnose: no contended channel")
+        else:
+            report = Diagnoser().diagnose(profile, labels)
+            print()
+            print(format_diagnosis(report))
+            top = report.top(1)[0]
+            print(f"\nsuggested remedy for {top.name!r}: {suggest_remedy(top)}")
+    return 0 if verdict is Mode.GOOD else 2
+
+
+def cmd_list(_args) -> int:
+    print(f"{'benchmark':<15}{'suite':<10}{'class':<6} inputs")
+    for name, spec in sorted(BENCHMARKS.items()):
+        print(f"{name:<15}{spec.suite:<10}{spec.paper_class:<6} "
+              f"{', '.join(spec.inputs)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return cmd_train(args)
+    if args.command == "detect":
+        return cmd_detect(args, want_diagnosis=False)
+    if args.command == "diagnose":
+        return cmd_detect(args, want_diagnosis=True)
+    if args.command == "list":
+        return cmd_list(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Heuristic baseline detectors (the paper's Related Work, Section II.B).
+
+DR-BW's pitch is that single predefined heuristics are brittle; these are
+the two heuristics the paper names, implemented as drop-in channel
+classifiers so the ablation benchmarks can race them against the learned
+tree:
+
+* :class:`LatencyThresholdHeuristic` — accesses above a fixed latency
+  threshold are contentious ("[7]"; HPCToolkit-NUMA-style, with the
+  threshold usually hand-tuned per machine);
+* :class:`RemoteAccessHeuristic` — data allocated on one node but accessed
+  from threads on all sockets implies contention ("[20]"), approximated
+  observably as "many remote samples from several source nodes".
+
+Both expose the same ``classify_channel`` / ``classify_profile`` surface
+as :class:`~repro.core.classifier.DrBwClassifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.features import FeatureVector
+from repro.core.profiler import ProfileResult
+from repro.errors import ModelError
+from repro.types import Channel, Mode
+
+__all__ = ["LatencyThresholdHeuristic", "RemoteAccessHeuristic"]
+
+
+@dataclass(frozen=True)
+class LatencyThresholdHeuristic:
+    """'Accesses that exceed a certain latency threshold are classified as
+    contentious' — flag a channel when the fraction of its source node's
+    samples above ``threshold_cycles`` exceeds ``flag_fraction``.
+
+    The paper notes the threshold is hard to pick; the ablation sweeps it.
+    """
+
+    threshold_cycles: float = 500.0
+    flag_fraction: float = 0.05
+
+    def classify_channel(self, features: FeatureVector) -> Mode:
+        ratio = self._ratio(features)
+        return Mode.RMC if ratio > self.flag_fraction else Mode.GOOD
+
+    def _ratio(self, features: FeatureVector) -> float:
+        # Pick the closest Table-I ratio feature at or above the threshold.
+        candidates = [
+            (1000, "ratio_latency_above_1000"),
+            (500, "ratio_latency_above_500"),
+            (200, "ratio_latency_above_200"),
+            (100, "ratio_latency_above_100"),
+            (50, "ratio_latency_above_50"),
+        ]
+        eligible = [(t, n) for t, n in candidates if t >= self.threshold_cycles]
+        if not eligible:
+            raise ModelError(
+                f"threshold {self.threshold_cycles} above the largest "
+                "Table I latency bucket (1000 cycles)"
+            )
+        _, name = min(eligible)
+        return features[name]
+
+    def classify_profile(self, profile: ProfileResult) -> dict[Channel, Mode]:
+        return {
+            ch: self.classify_channel(fv)
+            for ch, fv in profile.features_per_channel().items()
+        }
+
+
+@dataclass(frozen=True)
+class RemoteAccessHeuristic:
+    """'Data allocated in one NUMA socket is accessed from threads in all
+    sockets' — flag a channel carrying at least ``min_remote_samples``
+    remote-DRAM samples, regardless of latency.
+
+    This is exactly the heuristic the bandit training runs defeat: heavy
+    remote traffic at healthy latency is *not* contention.
+    """
+
+    min_remote_samples: int = 100
+
+    def classify_channel(self, features: FeatureVector) -> Mode:
+        return (
+            Mode.RMC
+            if features["num_remote_dram_samples"] >= self.min_remote_samples
+            else Mode.GOOD
+        )
+
+    def classify_profile(self, profile: ProfileResult) -> dict[Channel, Mode]:
+        return {
+            ch: self.classify_channel(fv)
+            for ch, fv in profile.features_per_channel().items()
+        }

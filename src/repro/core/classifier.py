@@ -1,0 +1,195 @@
+"""The DR-BW contention classifier (Sections V.D and VII.A).
+
+A thin pipeline around the CART tree:
+
+* features are z-score normalized with statistics stored at fit time (the
+  paper's tree branches on "the normalized value of the corresponding
+  feature");
+* :meth:`DrBwClassifier.classify_channel` labels one channel's feature
+  vector ``good`` or ``rmc``;
+* :meth:`DrBwClassifier.classify_profile` applies the paper's
+  case-aggregation rule — *"if there is at least one remote access channel
+  which is detected to have contention, we treat this case as rmc"*;
+* :func:`classify_benchmark` applies the benchmark-level rule — a program
+  is ``rmc`` when any of its cases is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dtree import DecisionTreeClassifier
+from repro.core.features import FeatureVector
+from repro.core.profiler import ProfileResult
+from repro.errors import ModelError
+from repro.types import Channel, Mode
+
+__all__ = [
+    "MIN_CHANNEL_SUPPORT",
+    "DrBwClassifier",
+    "classify_case",
+    "classify_benchmark",
+]
+
+#: Minimum remote-DRAM samples a channel needs before it can be classified.
+#: Below this, latency averages are sampling noise — the role the paper's
+#: remote-sample-count feature (Table I #6) plays in its decision tree.
+MIN_CHANNEL_SUPPORT = 25
+
+
+@dataclass
+class DrBwClassifier:
+    """Normalizing wrapper over the decision tree."""
+
+    feature_names: tuple[str, ...]
+    tree: DecisionTreeClassifier = field(
+        default_factory=lambda: DecisionTreeClassifier(max_depth=3, min_samples_leaf=3)
+    )
+    _mean: np.ndarray | None = field(default=None, init=False, repr=False)
+    _std: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DrBwClassifier":
+        """Fit normalization statistics and the tree on labeled features."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_names):
+            raise ModelError(
+                f"X must have shape (n, {len(self.feature_names)}), got {X.shape}"
+            )
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std > 1e-12, std, 1.0)
+        self.tree.fit(self.normalize(X), np.asarray(y))
+        return self
+
+    def normalize(self, X: np.ndarray) -> np.ndarray:
+        """Apply the stored z-score normalization."""
+        if self._mean is None or self._std is None:
+            raise ModelError("classifier is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self._mean) / self._std
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._mean is not None and self.tree.root is not None
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Vector prediction over raw (unnormalized) feature rows."""
+        return self.tree.predict(self.normalize(X))
+
+    def classify_channel(self, features: FeatureVector) -> Mode:
+        """Label one channel's Table I features."""
+        if features.names != self.feature_names:
+            raise ModelError("feature vector does not match the trained feature set")
+        label = self.predict(features.values[None, :])[0]
+        return Mode(label)
+
+    def classify_profile(
+        self, profile: ProfileResult, min_support: int = MIN_CHANNEL_SUPPORT
+    ) -> dict[Channel, Mode]:
+        """Per-channel labels for one profiled run.
+
+        Channels with fewer than ``min_support`` remote-DRAM samples are
+        labeled ``good`` without consulting the tree: a handful of samples
+        cannot evidence *bandwidth* contention, and their latency averages
+        are dominated by interference outliers.
+        """
+        out: dict[Channel, Mode] = {}
+        for ch, fv in profile.features_per_channel().items():
+            if fv["num_remote_dram_samples"] < min_support:
+                out[ch] = Mode.GOOD
+            else:
+                out[ch] = self.classify_channel(fv)
+        return out
+
+    # -- introspection ------------------------------------------------------------
+
+    def render_tree(self) -> str:
+        """Figure 3-style rendering with feature names."""
+        return self.tree.render(list(self.feature_names))
+
+    def used_feature_names(self) -> set[str]:
+        """Names of the features the fitted tree splits on."""
+        return {self.feature_names[i] for i in self.tree.used_features()}
+
+    # -- (de)serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Portable representation (for saving a trained model)."""
+        if not self.is_fitted:
+            raise ModelError("cannot serialize an unfitted classifier")
+
+        def node_dict(node):
+            if node.is_leaf:
+                return {
+                    "leaf": True,
+                    "prediction": int(node.prediction),
+                    "counts": node.class_counts.tolist(),
+                    "n": node.n_samples,
+                }
+            return {
+                "leaf": False,
+                "feature": int(node.feature),
+                "threshold": float(node.threshold),
+                "counts": node.class_counts.tolist(),
+                "n": node.n_samples,
+                "prediction": int(node.prediction),
+                "left": node_dict(node.left),
+                "right": node_dict(node.right),
+            }
+
+        assert self._mean is not None and self._std is not None
+        assert self.tree.classes_ is not None
+        return {
+            "feature_names": list(self.feature_names),
+            "mean": self._mean.tolist(),
+            "std": self._std.tolist(),
+            "classes": [str(c) for c in self.tree.classes_],
+            "root": node_dict(self.tree.root),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DrBwClassifier":
+        """Rebuild a trained classifier from :meth:`to_dict` output."""
+        from repro.core.dtree import TreeNode
+
+        def build(d) -> TreeNode:
+            node = TreeNode(
+                n_samples=d["n"],
+                class_counts=np.array(d["counts"], dtype=np.int64),
+                prediction=d["prediction"],
+            )
+            if not d["leaf"]:
+                node.feature = d["feature"]
+                node.threshold = d["threshold"]
+                node.left = build(d["left"])
+                node.right = build(d["right"])
+            return node
+
+        clf = cls(feature_names=tuple(data["feature_names"]))
+        clf._mean = np.array(data["mean"], dtype=np.float64)
+        clf._std = np.array(data["std"], dtype=np.float64)
+        clf.tree.classes_ = np.array(data["classes"])
+        clf.tree.n_features_ = len(data["feature_names"])
+        clf.tree.root = build(data["root"])
+        return clf
+
+
+def classify_case(channel_labels: dict[Channel, Mode]) -> Mode:
+    """Case rule: ``rmc`` when at least one channel is contended."""
+    return (
+        Mode.RMC
+        if any(m is Mode.RMC for m in channel_labels.values())
+        else Mode.GOOD
+    )
+
+
+def classify_benchmark(case_labels: list[Mode]) -> Mode:
+    """Benchmark rule: ``rmc`` when at least one case is contended."""
+    if not case_labels:
+        raise ModelError("no cases to aggregate")
+    return Mode.RMC if any(m is Mode.RMC for m in case_labels) else Mode.GOOD

@@ -1,0 +1,153 @@
+"""DR-BW's root-cause diagnoser (Section VI).
+
+Once the classifier flags contended channels, the diagnoser quantifies how
+much each data object contributes to the contention:
+
+* per channel ``c``: ``CF_c(A) = Samples(c, A) / Samples(c, ALL)``;
+* across channels: the same ratio with both sums taken over all
+  *contended* channels only (Section VI.A.b) — samples on calm channels
+  are not analyzed.
+
+``Samples(c, A)`` counts remote-DRAM samples on channel ``c`` that
+attribute to object ``A``.  Samples whose address falls outside any
+tracked heap object (static or stack data) are grouped under the
+``UNATTRIBUTED`` pseudo-object — they still appear in the denominator,
+mirroring the paper's LULESH and SP case studies where untracked static
+objects limit what the diagnoser can blame.
+
+The CF values over all (pseudo-)objects sum to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import SampleSet
+from repro.core.profiler import ProfileResult
+from repro.errors import ModelError
+from repro.types import Channel, MemLevel, Mode
+
+__all__ = ["UNATTRIBUTED", "ObjectContribution", "DiagnosisReport", "Diagnoser"]
+
+#: Pseudo-object id for samples outside any tracked heap allocation.
+UNATTRIBUTED = -1
+
+
+@dataclass(frozen=True)
+class ObjectContribution:
+    """One ranked entry of a diagnosis."""
+
+    object_id: int
+    name: str
+    site: str
+    cf: float
+    n_samples: int
+
+    @property
+    def is_unattributed(self) -> bool:
+        return self.object_id == UNATTRIBUTED
+
+
+@dataclass(frozen=True)
+class DiagnosisReport:
+    """Ranked contribution fractions over contended channels."""
+
+    workload_name: str
+    contended_channels: tuple[Channel, ...]
+    contributions: tuple[ObjectContribution, ...]
+
+    def top(self, k: int = 5) -> tuple[ObjectContribution, ...]:
+        """The ``k`` largest contributors."""
+        return self.contributions[:k]
+
+    def cf_of(self, name: str) -> float:
+        """CF of the named object (0 when absent)."""
+        for c in self.contributions:
+            if c.name == name:
+                return c.cf
+        return 0.0
+
+    @property
+    def total_cf(self) -> float:
+        """Sum of all CF values (1.0 when any samples exist)."""
+        return sum(c.cf for c in self.contributions)
+
+
+class Diagnoser:
+    """Compute Contribution Fractions and rank root causes."""
+
+    def cf_per_channel(
+        self, samples: SampleSet, channel: Channel
+    ) -> dict[int, float]:
+        """``CF_c(A)`` for every object with samples on ``channel``."""
+        if not channel.is_remote:
+            raise ModelError(f"diagnosis is per remote channel, got {channel}")
+        mask = samples.on_channel(channel) & samples.at_level(MemLevel.REMOTE_DRAM)
+        return self._cf_from_mask(samples, mask)
+
+    def cf_cross_channels(
+        self, samples: SampleSet, channels: list[Channel]
+    ) -> dict[int, float]:
+        """``CF(A)`` pooled over the given contended channels."""
+        if not channels:
+            raise ModelError("no contended channels to diagnose")
+        mask = np.zeros(len(samples), dtype=bool)
+        for ch in channels:
+            if not ch.is_remote:
+                raise ModelError(f"diagnosis is per remote channel, got {ch}")
+            mask |= samples.on_channel(ch)
+        mask &= samples.at_level(MemLevel.REMOTE_DRAM)
+        return self._cf_from_mask(samples, mask)
+
+    @staticmethod
+    def _cf_from_mask(samples: SampleSet, mask: np.ndarray) -> dict[int, float]:
+        total = int(mask.sum())
+        if total == 0:
+            return {}
+        ids, counts = np.unique(samples.object_id[mask], return_counts=True)
+        return {int(i): float(c) / total for i, c in zip(ids, counts)}
+
+    def diagnose(
+        self,
+        profile: ProfileResult,
+        channel_labels: dict[Channel, Mode],
+    ) -> DiagnosisReport:
+        """Full Section VI analysis of a profiled run.
+
+        ``channel_labels`` comes from the classifier; only ``rmc`` channels
+        enter the cross-channel CF.  Raises when nothing is contended —
+        there is no contention to explain.
+        """
+        contended = sorted(ch for ch, m in channel_labels.items() if m is Mode.RMC)
+        if not contended:
+            raise ModelError("no contended channels; nothing to diagnose")
+        cf = self.cf_cross_channels(profile.sample_set, contended)
+        counts_mask = np.zeros(len(profile.sample_set), dtype=bool)
+        for ch in contended:
+            counts_mask |= profile.sample_set.on_channel(ch)
+        counts_mask &= profile.sample_set.at_level(MemLevel.REMOTE_DRAM)
+
+        allocator = profile.compiled.allocator
+        contributions: list[ObjectContribution] = []
+        for oid, fraction in cf.items():
+            n = int(
+                (
+                    counts_mask & (profile.sample_set.object_id == oid)
+                ).sum()
+            )
+            if oid == UNATTRIBUTED:
+                name, site = "<unattributed static/stack>", "-"
+            else:
+                obj = allocator.get(oid)
+                name, site = obj.name, obj.site
+            contributions.append(
+                ObjectContribution(object_id=oid, name=name, site=site, cf=fraction, n_samples=n)
+            )
+        contributions.sort(key=lambda c: (-c.cf, c.object_id))
+        return DiagnosisReport(
+            workload_name=profile.workload.name,
+            contended_channels=tuple(contended),
+            contributions=tuple(contributions),
+        )

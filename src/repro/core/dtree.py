@@ -1,0 +1,292 @@
+"""CART decision-tree classifier, from scratch.
+
+The paper trains its contention classifier with the decision-tree tools in
+Matlab's Statistics and Machine Learning toolbox.  Neither Matlab nor
+scikit-learn is available offline, so this is a compact, well-tested CART
+implementation: binary splits on continuous features chosen by Gini
+impurity decrease, with the usual ``max_depth`` / ``min_samples_leaf`` /
+``min_impurity_decrease`` regularizers.
+
+The fitted tree is introspectable (:meth:`DecisionTreeClassifier.render`
+prints the Figure 3-style diagram; :attr:`feature_importances_` shows which
+features carry the signal — the paper's tree uses features 6 and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["TreeNode", "DecisionTreeClassifier", "gini_impurity"]
+
+
+def gini_impurity(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+@dataclass
+class TreeNode:
+    """One node of the fitted tree (leaf when ``feature`` is None)."""
+
+    n_samples: int
+    class_counts: np.ndarray
+    prediction: int
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    @property
+    def impurity(self) -> float:
+        return gini_impurity(self.class_counts)
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """Binary-split CART classifier on continuous features."""
+
+    max_depth: int = 4
+    min_samples_leaf: int = 2
+    min_samples_split: int = 4
+    min_impurity_decrease: float = 1e-3
+
+    root: TreeNode | None = field(default=None, init=False, repr=False)
+    classes_: np.ndarray | None = field(default=None, init=False, repr=False)
+    n_features_: int = field(default=0, init=False, repr=False)
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit on feature matrix ``X`` (n, f) and labels ``y`` (n,)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ModelError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ModelError(f"y shape {y.shape} does not match X rows {X.shape[0]}")
+        if X.shape[0] == 0:
+            raise ModelError("cannot fit on an empty dataset")
+        if not np.all(np.isfinite(X)):
+            raise ModelError("X contains non-finite values")
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self.root = self._grow(X, y_enc, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        counts = np.bincount(y, minlength=len(self.classes_))
+        node = TreeNode(
+            n_samples=len(y),
+            class_counts=counts,
+            prediction=int(np.argmax(counts)),
+        )
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or node.impurity == 0.0
+        ):
+            return node
+        split = self._best_split(X, y, counts)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        if gain < self.min_impurity_decrease:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, parent_counts: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, weighted impurity decrease), or None."""
+        n, n_feat = X.shape
+        n_classes = len(self.classes_)
+        parent_imp = gini_impurity(parent_counts)
+        best: tuple[int, float, float] | None = None
+        best_gain = 0.0
+        best_margin = -1.0
+        for f in range(n_feat):
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y[order]
+            # One-hot cumulative class counts along the sorted axis.
+            onehot = np.zeros((n, n_classes))
+            onehot[np.arange(n), ys] = 1.0
+            left_counts = np.cumsum(onehot, axis=0)
+            total = left_counts[-1]
+            # Candidate split after position i (1-based prefix i+1).
+            distinct = xs[:-1] < xs[1:]
+            sizes_ok = (
+                (np.arange(1, n) >= self.min_samples_leaf)
+                & (n - np.arange(1, n) >= self.min_samples_leaf)
+            )
+            candidates = np.nonzero(distinct & sizes_ok)[0]
+            if candidates.size == 0:
+                continue
+            lc = left_counts[candidates]
+            rc = total - lc
+            ln = lc.sum(axis=1)
+            rn = rc.sum(axis=1)
+            gini_l = 1.0 - np.sum((lc / ln[:, None]) ** 2, axis=1)
+            gini_r = 1.0 - np.sum((rc / rn[:, None]) ** 2, axis=1)
+            weighted = (ln * gini_l + rn * gini_r) / n
+            gains = parent_imp - weighted
+            i = int(np.argmax(gains))
+            gain = float(gains[i])
+            pos = candidates[i]
+            # Tie-break equal-gain splits by the widest margin in units of
+            # the feature's spread (std, not range — range is dominated by
+            # outliers): the split most likely to generalize, and
+            # deterministic, unlike feature-index order.
+            spread = float(xs.std())
+            margin = float(xs[pos + 1] - xs[pos]) / spread if spread > 0 else 0.0
+            better = gain > best_gain + 1e-12 or (
+                gain > best_gain - 1e-12 and margin > best_margin + 1e-12
+            )
+            if better:
+                best_gain = gain
+                best_margin = margin
+                threshold = float((xs[pos] + xs[pos + 1]) / 2.0)
+                best = (f, threshold, best_gain)
+        return best
+
+    # -- prediction ---------------------------------------------------------------
+
+    def _require_fitted(self) -> TreeNode:
+        if self.root is None or self.classes_ is None:
+            raise ModelError("classifier is not fitted")
+        return self.root
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels for each row of ``X``."""
+        root = self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ModelError(
+                f"X must have shape (n, {self.n_features_}), got {X.shape}"
+            )
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            node = root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.prediction
+        return self.classes_[out]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Leaf class-frequency estimates, one row per sample."""
+        root = self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ModelError(
+                f"X must have shape (n, {self.n_features_}), got {X.shape}"
+            )
+        probs = np.empty((X.shape[0], len(self.classes_)))
+        for i, row in enumerate(X):
+            node = root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            probs[i] = node.class_counts / node.class_counts.sum()
+        return probs
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a stump leaf)."""
+        def d(node: TreeNode | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+
+        return d(self._require_fitted())
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        def count(node: TreeNode | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        return count(self._require_fitted())
+
+    def used_features(self) -> set[int]:
+        """Indices of features the fitted tree actually splits on."""
+        used: set[int] = set()
+
+        def walk(node: TreeNode | None) -> None:
+            if node is None or node.is_leaf:
+                return
+            used.add(int(node.feature))  # type: ignore[arg-type]
+            walk(node.left)
+            walk(node.right)
+
+        walk(self._require_fitted())
+        return used
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Impurity-decrease feature importances, normalized to sum to 1."""
+        root = self._require_fitted()
+        imp = np.zeros(self.n_features_)
+
+        def walk(node: TreeNode) -> None:
+            if node.is_leaf:
+                return
+            assert node.left is not None and node.right is not None
+            decrease = node.n_samples * node.impurity - (
+                node.left.n_samples * node.left.impurity
+                + node.right.n_samples * node.right.impurity
+            )
+            imp[node.feature] += max(decrease, 0.0)
+            walk(node.left)
+            walk(node.right)
+
+        walk(root)
+        total = imp.sum()
+        return imp / total if total > 0 else imp
+
+    def render(self, feature_names: list[str] | None = None) -> str:
+        """Figure 3-style text rendering of the tree."""
+        root = self._require_fitted()
+        assert self.classes_ is not None
+        lines: list[str] = []
+
+        def name(f: int) -> str:
+            return feature_names[f] if feature_names else f"feature_{f}"
+
+        def walk(node: TreeNode, prefix: str, tag: str) -> None:
+            if node.is_leaf:
+                label = self.classes_[node.prediction]
+                lines.append(f"{prefix}{tag}[{label}]  (n={node.n_samples})")
+                return
+            lines.append(
+                f"{prefix}{tag}{name(node.feature)} <= {node.threshold:.4g}?"
+            )
+            assert node.left is not None and node.right is not None
+            walk(node.left, prefix + "    ", "yes: ")
+            walk(node.right, prefix + "    ", "no:  ")
+
+        walk(root, "", "")
+        return "\n".join(lines)

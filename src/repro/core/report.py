@@ -1,0 +1,59 @@
+"""Human-readable diagnosis reports.
+
+DR-BW's value to a developer is the final report: which channels are
+contended, which data objects (by name and allocation site) to blame, and
+what to do about them.  This module renders
+:class:`~repro.core.diagnoser.DiagnosisReport` objects the way the paper's
+case studies present them (Figure 4's CF rankings plus the suggested
+remedy per access pattern).
+"""
+
+from __future__ import annotations
+
+from repro.core.diagnoser import DiagnosisReport, ObjectContribution
+from repro.types import Channel, Mode
+
+__all__ = ["format_channel_labels", "format_diagnosis", "suggest_remedy"]
+
+
+def format_channel_labels(labels: dict[Channel, Mode]) -> str:
+    """One line per channel: ``0->1  rmc``."""
+    if not labels:
+        return "(no remote traffic observed)"
+    lines = [f"  {str(ch):>6}  {labels[ch].value}" for ch in sorted(labels)]
+    return "\n".join(lines)
+
+
+def suggest_remedy(contribution: ObjectContribution, shared_read_only: bool = False) -> str:
+    """The paper's menu of fixes, keyed to what the profiler knows.
+
+    * chunk-partitioned objects → *co-locate* data with computation at the
+      allocation point (AMG2006, IRSmk, LULESH);
+    * read-only data randomly accessed by every thread → *replicate* per
+      node (Streamcluster);
+    * untracked static data → *interleave* the whole program (SP).
+    """
+    if contribution.is_unattributed:
+        return "interleave (static data cannot be re-placed per object)"
+    if shared_read_only:
+        return "replicate a per-node copy (read-only shared data)"
+    return "co-locate chunks with their computing threads (libnuma)"
+
+
+def format_diagnosis(report: DiagnosisReport, top_k: int = 10) -> str:
+    """Multi-line report: contended channels, then ranked CF table."""
+    lines = [
+        f"DR-BW diagnosis for {report.workload_name!r}",
+        "contended channels: "
+        + ", ".join(str(c) for c in report.contended_channels),
+        "",
+        f"{'rank':>4}  {'CF':>7}  {'samples':>8}  object (allocation site)",
+    ]
+    for rank, c in enumerate(report.top(top_k), start=1):
+        lines.append(
+            f"{rank:>4}  {c.cf:>6.1%}  {c.n_samples:>8}  {c.name} ({c.site})"
+        )
+    covered = sum(c.cf for c in report.top(top_k))
+    if covered < 0.999:
+        lines.append(f"      ({1 - covered:.1%} spread over smaller objects)")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Feature selection (Section V.B).
+
+The paper screens a candidate feature list by running each mini-program in
+both modes and keeping the features that show a *significant difference in
+statistics between "good" and "rmc" for a majority of mini-programs*.  We
+reproduce the screen with a standardized mean-difference test:
+
+for each candidate feature and each mini-program, compute Cohen's d
+between the good-mode and rmc-mode values; a feature is *relevant for that
+program* when ``|d| >= d_threshold``; a feature is *selected* when it is
+relevant for a majority of the multi-threaded mini-programs.
+
+Run on the Table II training data this rediscovers the latency-ratio,
+remote/local-DRAM and LFB features of Table I, and rejects identification
+features (thread/CPU counts) and the ``LLC_MISS ... REMOTE_DRAM``-style
+whole-execution count the paper calls out as unhelpful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.types import Mode
+
+__all__ = ["FeatureScreenResult", "cohens_d", "screen_features"]
+
+
+def cohens_d(a: np.ndarray, b: np.ndarray) -> float:
+    """Standardized mean difference between two samples (0 when degenerate)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size < 2 or b.size < 2:
+        return 0.0
+    var_a = a.var(ddof=1)
+    var_b = b.var(ddof=1)
+    pooled = ((a.size - 1) * var_a + (b.size - 1) * var_b) / (a.size + b.size - 2)
+    if pooled <= 1e-24:
+        # Degenerate spread: significant iff the means actually differ.
+        return float(np.inf) if abs(a.mean() - b.mean()) > 1e-12 else 0.0
+    return float((a.mean() - b.mean()) / np.sqrt(pooled))
+
+
+@dataclass(frozen=True)
+class FeatureScreenResult:
+    """Outcome of the good-vs-rmc screen."""
+
+    feature_names: tuple[str, ...]
+    #: |Cohen's d| per (program, feature).
+    effect_sizes: dict[str, np.ndarray]
+    #: features relevant for a majority of programs.
+    selected: tuple[str, ...]
+    rejected: tuple[str, ...]
+
+    def is_selected(self, name: str) -> bool:
+        return name in self.selected
+
+
+def screen_features(
+    feature_names: tuple[str, ...],
+    per_program: dict[str, tuple[np.ndarray, np.ndarray]],
+    d_threshold: float = 0.8,
+    majority: float = 0.5,
+) -> FeatureScreenResult:
+    """Run the selection screen.
+
+    ``per_program[name] = (X_good, X_rmc)`` — feature matrices of the runs
+    of one mini-program in each mode.  Programs with an empty mode (the
+    bandit has no rmc runs) are excluded from the vote, as in the paper,
+    which screens with the *multi-threaded* mini-programs.
+    """
+    if not per_program:
+        raise ModelError("need at least one program to screen features")
+    votes: dict[str, np.ndarray] = {}
+    voters = 0
+    n_feat = len(feature_names)
+    for program, (x_good, x_rmc) in per_program.items():
+        x_good = np.asarray(x_good, dtype=np.float64)
+        x_rmc = np.asarray(x_rmc, dtype=np.float64)
+        if x_good.size == 0 or x_rmc.size == 0:
+            continue
+        if x_good.shape[1] != n_feat or x_rmc.shape[1] != n_feat:
+            raise ModelError(f"program {program!r} matrices do not match feature list")
+        d = np.array(
+            [abs(cohens_d(x_good[:, j], x_rmc[:, j])) for j in range(n_feat)]
+        )
+        votes[program] = d
+        voters += 1
+    if voters == 0:
+        raise ModelError("no program has both good and rmc runs")
+    tally = np.zeros(n_feat)
+    for d in votes.values():
+        tally += (d >= d_threshold).astype(float)
+    selected_mask = tally > voters * majority - 1e-12
+    selected = tuple(n for n, s in zip(feature_names, selected_mask) if s)
+    rejected = tuple(n for n, s in zip(feature_names, selected_mask) if not s)
+    return FeatureScreenResult(
+        feature_names=feature_names,
+        effect_sizes=votes,
+        selected=selected,
+        rejected=rejected,
+    )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the DR-BW reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """Invalid NUMA topology description or node/core lookup failure."""
+
+
+class AllocationError(ReproError):
+    """Heap or page allocation failed (bad size, exhausted memory, ...)."""
+
+
+class InvalidAddressError(ReproError):
+    """An address does not fall inside any mapped page or allocation."""
+
+
+class BindingError(ReproError):
+    """Thread-to-core binding request cannot be satisfied."""
+
+
+class WorkloadError(ReproError):
+    """Malformed workload description (unknown object, bad phase, ...)."""
+
+
+class SimulationError(ReproError):
+    """The execution engine reached an inconsistent state."""
+
+
+class ModelError(ReproError):
+    """Classifier misuse: predicting before fitting, bad feature matrix."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment configuration (thread/node combination, ...)."""

@@ -1,0 +1,16 @@
+"""Evaluation harness: configurations, ground truth, and the paper's
+tables and figures.
+
+* :mod:`repro.eval.configs` — the eight ``Tt-Nn`` thread/node
+  configurations of Section VII;
+* :mod:`repro.eval.groundtruth` — the interleave oracle (a case is
+  *actually* RMC when whole-program interleaving speeds it up >10%);
+* :mod:`repro.eval.experiments` — drivers regenerating Tables II-VII and
+  Figures 3-8;
+* :mod:`repro.eval.tables` — paper-style text rendering of results.
+"""
+
+from repro.eval.configs import EVAL_CONFIGS, RunConfig
+from repro.eval.groundtruth import interleave_oracle, OracleVerdict
+
+__all__ = ["EVAL_CONFIGS", "RunConfig", "interleave_oracle", "OracleVerdict"]

@@ -1,0 +1,278 @@
+"""Ablation studies over DR-BW's design choices (DESIGN.md Section 6).
+
+Each function isolates one knob:
+
+* :func:`ablate_sampling_period` — classifier accuracy vs PEBS period
+  (the paper attributes its few misclassifications to sampling sparsity);
+* :func:`ablate_feature_set` — the Table I features vs the two
+  tree-selected features vs single-feature baselines;
+* :func:`ablate_channel_granularity` — per-channel classification
+  (Section IV.B) vs whole-program aggregation;
+* :func:`ablate_heuristics` — the learned tree vs the Related-Work
+  heuristics on a benchmark detection slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import LatencyThresholdHeuristic, RemoteAccessHeuristic
+from repro.core.classifier import DrBwClassifier, classify_case
+from repro.core.features import TABLE1_FEATURE_NAMES, extract_channel_features
+from repro.core.profiler import DrBwProfiler, ProfilerConfig
+from repro.core.training import collect_training_set, training_matrix
+from repro.core.validation import cross_validate
+from repro.eval.configs import EVAL_CONFIGS, RunConfig
+from repro.eval.groundtruth import interleave_oracle
+from repro.numasim.machine import Machine
+from repro.pmu.sampler import SamplerConfig
+from repro.types import Mode
+from repro.workloads.suites.registry import BENCHMARKS
+
+__all__ = [
+    "AblationRow",
+    "ablate_sampling_period",
+    "ablate_feature_set",
+    "ablate_channel_granularity",
+    "ablate_heuristics",
+    "ablate_machine_parameters",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One ablation setting and its score."""
+
+    setting: str
+    accuracy: float
+    detail: str = ""
+
+
+def ablate_sampling_period(
+    periods: tuple[int, ...] = (500, 1000, 2000, 4000, 8000),
+    seed: int = 0,
+) -> list[AblationRow]:
+    """Retrain + cross-validate at each sampling period.
+
+    Sparser sampling gives fewer remote samples per run and noisier
+    latency averages; accuracy should degrade gently as the period grows.
+    """
+    rows = []
+    for period in periods:
+        machine = Machine()
+        profiler = DrBwProfiler(
+            machine, ProfilerConfig(sampler=SamplerConfig(period=period))
+        )
+        instances = collect_training_set(machine, profiler, seed=seed)
+        X, y = training_matrix(instances)
+        clf = DrBwClassifier(feature_names=TABLE1_FEATURE_NAMES)
+        cv = cross_validate(clf, X, y, k=10, seed=seed)
+        median_remote = float(np.median(X[y == Mode.RMC.value, 5]))
+        rows.append(
+            AblationRow(
+                setting=f"1/{period}",
+                accuracy=cv.accuracy,
+                detail=f"median rmc remote samples: {median_remote:.0f}",
+            )
+        )
+    return rows
+
+
+def ablate_feature_set(seed: int = 0) -> list[AblationRow]:
+    """Cross-validate on restricted feature views of the training set."""
+    machine = Machine()
+    instances = collect_training_set(machine, seed=seed)
+    X, y = training_matrix(instances)
+
+    views: dict[str, list[str]] = {
+        "all 13 (Table I)": list(TABLE1_FEATURE_NAMES),
+        "paper tree pair (#6, #7)": [
+            "num_remote_dram_samples", "avg_remote_dram_latency"
+        ],
+        "remote latency only (#7)": ["avg_remote_dram_latency"],
+        "remote count only (#6)": ["num_remote_dram_samples"],
+        "latency ratios only (#1-5)": [
+            n for n in TABLE1_FEATURE_NAMES if n.startswith("ratio_")
+        ],
+    }
+    rows = []
+    for name, cols in views.items():
+        idx = [TABLE1_FEATURE_NAMES.index(c) for c in cols]
+        clf = DrBwClassifier(feature_names=tuple(cols))
+        cv = cross_validate(clf, X[:, idx], y, k=10, seed=seed)
+        rows.append(AblationRow(setting=name, accuracy=cv.accuracy))
+    return rows
+
+
+def ablate_channel_granularity(
+    benchmarks: tuple[str, ...] = ("AMG2006", "UA", "EP"),
+    configs: tuple[RunConfig, ...] = (RunConfig(32, 4), RunConfig(64, 4)),
+    seed: int = 0,
+) -> list[AblationRow]:
+    """Per-channel vs whole-program classification on a detection slice.
+
+    Whole-program aggregation merges every channel's samples into one
+    pooled feature vector; a single hot channel gets diluted by calm ones
+    (especially the calm *directions*), which is exactly why the paper
+    classifies per channel.
+    """
+    from repro.eval.experiments import shared_classifier
+
+    machine = Machine()
+    clf, _ = shared_classifier(seed)
+    profiler = DrBwProfiler(machine)
+
+    outcomes = {"per-channel": [], "whole-program": []}
+    for name in benchmarks:
+        spec = BENCHMARKS[name]
+        for inp in spec.inputs:
+            for cfg in configs:
+                wl = spec.build(inp)
+                verdict = interleave_oracle(wl, machine, cfg.n_threads, cfg.n_nodes)
+                profile = profiler.profile(
+                    wl, cfg.n_threads, cfg.n_nodes, seed=seed + 31
+                )
+                actual = verdict.mode
+
+                per = classify_case(clf.classify_profile(profile))
+                outcomes["per-channel"].append(per is actual)
+
+                pooled = _whole_program_label(clf, profile)
+                outcomes["whole-program"].append(pooled is actual)
+
+    return [
+        AblationRow(
+            setting=mode,
+            accuracy=float(np.mean(hits)),
+            detail=f"{sum(hits)}/{len(hits)} cases",
+        )
+        for mode, hits in outcomes.items()
+    ]
+
+
+def ablate_machine_parameters(seed: int = 0) -> list[AblationRow]:
+    """Sensitivity of end-to-end detection to the machine model's knobs.
+
+    Varies interconnect bandwidth and the queueing-inflation cap around the
+    defaults and re-runs a small train-and-detect slice (AMG2006 must stay
+    detected everywhere, EP must stay clean).  The pipeline retrains per
+    machine, so the claim under test is *robustness of the method*, not of
+    one fitted threshold.
+    """
+    import dataclasses
+
+    from repro.core.training import train_default_classifier
+    from repro.numasim.latency import LatencyModel
+    from repro.numasim.topology import NumaTopology
+
+    settings: dict[str, Machine] = {
+        "defaults": Machine(),
+        "links x0.7": Machine(
+            topology=dataclasses.replace(
+                NumaTopology(), link_bw_bytes_per_cycle=4.7 * 0.7
+            )
+        ),
+        "links x1.5": Machine(
+            topology=dataclasses.replace(
+                NumaTopology(), link_bw_bytes_per_cycle=4.7 * 1.5
+            )
+        ),
+        "inflation cap 4": Machine(
+            latency_model=dataclasses.replace(LatencyModel(), max_inflation=4.0)
+        ),
+        "inflation cap 16": Machine(
+            latency_model=dataclasses.replace(LatencyModel(), max_inflation=16.0)
+        ),
+    }
+
+    slice_specs = [("AMG2006", "30x30x30", Mode.RMC), ("EP", "C", Mode.GOOD)]
+    configs = (RunConfig(32, 4), RunConfig(64, 4))
+    rows = []
+    for name, machine in settings.items():
+        clf, _ = train_default_classifier(machine, seed=seed)
+        profiler = DrBwProfiler(machine)
+        hits = []
+        for bench, inp, expected in slice_specs:
+            for cfg in configs:
+                wl = BENCHMARKS[bench].build(inp)
+                profile = profiler.profile(
+                    wl, cfg.n_threads, cfg.n_nodes, seed=seed + 3
+                )
+                verdict = classify_case(clf.classify_profile(profile))
+                hits.append(verdict is expected)
+        rows.append(
+            AblationRow(
+                setting=name,
+                accuracy=float(np.mean(hits)),
+                detail=f"{sum(hits)}/{len(hits)} slice cases",
+            )
+        )
+    return rows
+
+
+def _whole_program_label(clf: DrBwClassifier, profile) -> Mode:
+    """Classify pooled features: every remote channel's samples merged."""
+    channels = profile.channels_with_remote_samples()
+    if not channels:
+        return Mode.GOOD
+    vectors = [
+        extract_channel_features(profile.sample_set, ch).values for ch in channels
+    ]
+    pooled = np.mean(np.stack(vectors), axis=0)
+    # Counts pool additively rather than averaging.
+    for i, name in enumerate(TABLE1_FEATURE_NAMES):
+        if name.startswith("num_"):
+            pooled[i] = sum(v[i] for v in vectors)
+    from repro.core.classifier import MIN_CHANNEL_SUPPORT
+    from repro.core.features import FeatureVector
+
+    fv = FeatureVector(names=TABLE1_FEATURE_NAMES, values=pooled)
+    if fv["num_remote_dram_samples"] < MIN_CHANNEL_SUPPORT:
+        return Mode.GOOD
+    return clf.classify_channel(fv)
+
+
+def ablate_heuristics(seed: int = 0) -> list[AblationRow]:
+    """The learned tree vs the Related-Work heuristics, on the training set.
+
+    The 192 mini-program runs are exactly the population that exposes the
+    heuristics: the 48 bandit runs carry heavy remote traffic *without*
+    contention (defeating the remote-access-count heuristic), and sparse
+    runs with interference outliers defeat fixed latency thresholds.  The
+    tree's score is out-of-fold (10-fold CV); the fixed heuristics have
+    nothing to fit, so they score on the full set.
+    """
+    from repro.eval.experiments import shared_classifier
+
+    clf, instances = shared_classifier(seed)
+    X, y = training_matrix(list(instances))
+    cv = cross_validate(clf, X, y, k=10, seed=seed)
+
+    from repro.core.features import FeatureVector
+
+    detectors = {
+        "latency threshold": LatencyThresholdHeuristic(),
+        "remote-access count": RemoteAccessHeuristic(),
+    }
+    rows = [
+        AblationRow(
+            setting="DR-BW tree (out-of-fold)",
+            accuracy=cv.accuracy,
+            detail=f"{round(cv.accuracy * len(y))}/{len(y)} runs",
+        )
+    ]
+    for name, det in detectors.items():
+        hits = []
+        for row, label in zip(X, y):
+            fv = FeatureVector(names=TABLE1_FEATURE_NAMES, values=row)
+            hits.append(det.classify_channel(fv).value == label)
+        rows.append(
+            AblationRow(
+                setting=name,
+                accuracy=float(np.mean(hits)),
+                detail=f"{sum(hits)}/{len(hits)} runs",
+            )
+        )
+    return rows

@@ -1,0 +1,64 @@
+"""The eight evaluation configurations of Section VII.
+
+*"We tuned t to be 16, 24, 32 and 64 and n to be 2, 3, 4 ... In total, we
+have eight configurations (T16-N4, T24-N4, T32-N4, T64-N4, T24-N3,
+T16-N2, T24-N2, T32-N2)."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["RunConfig", "EVAL_CONFIGS", "config_by_name"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RunConfig:
+    """One ``Tt-Nn`` configuration."""
+
+    n_threads: int
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1 or self.n_nodes < 1:
+            raise ConfigError(f"bad configuration {self}")
+        if self.n_threads % self.n_nodes != 0:
+            raise ConfigError(f"{self.name}: threads must divide among nodes")
+
+    @property
+    def name(self) -> str:
+        return f"T{self.n_threads}-N{self.n_nodes}"
+
+    @property
+    def threads_per_node(self) -> int:
+        return self.n_threads // self.n_nodes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The paper's eight configurations, in its order of presentation.
+EVAL_CONFIGS: tuple[RunConfig, ...] = (
+    RunConfig(16, 4),
+    RunConfig(24, 4),
+    RunConfig(32, 4),
+    RunConfig(64, 4),
+    RunConfig(24, 3),
+    RunConfig(16, 2),
+    RunConfig(24, 2),
+    RunConfig(32, 2),
+)
+
+
+def config_by_name(name: str) -> RunConfig:
+    """Parse ``T16-N4``-style names."""
+    for cfg in EVAL_CONFIGS:
+        if cfg.name == name:
+            return cfg
+    try:
+        t, n = name.upper().lstrip("T").split("-N")
+        return RunConfig(int(t), int(n))
+    except (ValueError, ConfigError) as exc:
+        raise ConfigError(f"cannot parse configuration {name!r}") from exc

@@ -1,0 +1,153 @@
+"""Paper-style text rendering of experiment results."""
+
+from __future__ import annotations
+
+from repro.core.diagnoser import DiagnosisReport
+from repro.core.validation import ConfusionMatrix, CrossValidationResult
+from repro.eval.experiments import (
+    DetectionResults,
+    OverheadRow,
+    SpeedupRow,
+    TrainingSummary,
+    TreeSummary,
+)
+from repro.types import Mode
+
+__all__ = [
+    "format_table2",
+    "format_table3",
+    "format_fig3",
+    "format_table4",
+    "format_table5",
+    "format_table6",
+    "format_table7",
+    "format_fig4",
+    "format_speedup_rows",
+]
+
+#: Paper reference values for side-by-side printing.
+PAPER_TABLE5 = {
+    "Swaptions": (32, 0, 0), "Blackscholes": (32, 0, 0), "Bodytrack": (16, 0, 0),
+    "Freqmine": (32, 0, 0), "Ferret": (32, 0, 0), "Fluidanimate": (32, 0, 4),
+    "X264": (32, 0, 0), "Streamcluster": (16, 13, 16), "IRSmk": (24, 15, 15),
+    "AMG2006": (8, 8, 8), "NW": (24, 16, 17), "BT": (24, 0, 0), "CG": (24, 0, 0),
+    "DC": (16, 0, 0), "EP": (24, 0, 0), "FT": (24, 0, 2), "IS": (24, 0, 0),
+    "LU": (24, 0, 0), "MG": (24, 0, 0), "UA": (24, 0, 9), "SP": (24, 11, 11),
+}
+
+
+def format_table2(summary: TrainingSummary) -> str:
+    """Table II layout: mini-program / good / rmc / total."""
+    lines = [f"{'mini-programs':<16}{'good':>6}{'rmc':>6}{'Total':>7}"]
+    for program in ("sumv", "dotv", "countv", "bandit"):
+        good, rmc = summary.counts.get(program, (0, 0))
+        lines.append(f"{program:<16}{good:>6}{rmc if rmc else '-':>6}{good + rmc:>7}")
+    total_good = sum(g for g, _ in summary.counts.values())
+    total_rmc = sum(r for _, r in summary.counts.values())
+    lines.append(
+        f"{'Full training set':<16}{total_good:>6}{total_rmc:>6}{summary.total:>7}"
+    )
+    return "\n".join(lines)
+
+
+def format_table3(cv: CrossValidationResult) -> str:
+    """Table III: confusion matrix plus the CV success rate."""
+    return f"{cv.confusion}\n{k_fold_line(cv)}  (paper: 187/192 = 97.4%)"
+
+
+def k_fold_line(cv: CrossValidationResult) -> str:
+    total = cv.confusion.total
+    correct = round(cv.accuracy * total)
+    return f"10-fold CV success rate: {correct}/{total} = {cv.accuracy:.1%}"
+
+
+def format_fig3(tree: TreeSummary) -> str:
+    """Figure 3: the learned tree."""
+    imp = ", ".join(f"{k}={v:.3f}" for k, v in sorted(tree.importances.items()))
+    return (
+        f"{tree.rendering}\n"
+        f"depth={tree.depth} leaves={tree.n_leaves}\n"
+        f"importances: {imp}"
+    )
+
+
+def format_table4(classes: dict[str, Mode]) -> str:
+    """Table IV: benchmark classification."""
+    good = sorted(b for b, m in classes.items() if m is Mode.GOOD)
+    rmc = sorted(b for b, m in classes.items() if m is Mode.RMC)
+    return f"good ({len(good)}): {', '.join(good)}\nrmc  ({len(rmc)}): {', '.join(rmc)}"
+
+
+def format_table5(detection: DetectionResults) -> str:
+    """Table V layout with the paper's numbers alongside."""
+    rows = detection.per_benchmark()
+    lines = [
+        f"{'Benchmark':<15}{'cases':>6}{'actual':>8}{'detected':>9}"
+        f"{'paper act.':>11}{'paper det.':>11}"
+    ]
+    order = list(PAPER_TABLE5)
+    for name in order:
+        if name not in rows:
+            continue
+        cases, actual, detected = rows[name]
+        p_cases, p_act, p_det = PAPER_TABLE5[name]
+        lines.append(
+            f"{name:<15}{cases:>6}{actual:>8}{detected:>9}{p_act:>11}{p_det:>11}"
+        )
+    total_cases = sum(v[0] for v in rows.values())
+    total_act = sum(v[1] for v in rows.values())
+    total_det = sum(v[2] for v in rows.values())
+    lines.append(
+        f"{'Total':<15}{total_cases:>6}{total_act:>8}{total_det:>9}"
+        f"{63:>11}{82:>11}"
+    )
+    return "\n".join(lines)
+
+
+def format_table6(confusion: ConfusionMatrix) -> str:
+    """Table VI: correctness / false-positive / false-negative rates."""
+    rmc, good = Mode.RMC.value, Mode.GOOD.value
+    return (
+        f"{confusion}\n"
+        f"Correctness:         {confusion.accuracy:.1%}  (paper: 96.3%)\n"
+        f"False positive rate: {confusion.rate(good, rmc):.1%}  (paper: 4.2%)\n"
+        f"False negative rate: {confusion.rate(rmc, good):.1%}  (paper: 0%)"
+    )
+
+
+def format_table7(rows: list[OverheadRow]) -> str:
+    """Table VII: per-benchmark profiling overhead."""
+    lines = [f"{'Code':<15}{'without':>14}{'with':>14}{'overhead':>10}"]
+    for r in rows:
+        lines.append(
+            f"{r.benchmark:<15}{r.plain_cycles:>14,.0f}{r.profiled_cycles:>14,.0f}"
+            f"{r.overhead * 100:>+9.1f}%"
+        )
+    avg = sum(r.overhead for r in rows) / len(rows) if rows else 0.0
+    lines.append(f"{'Average':<15}{'':>14}{'':>14}{avg * 100:>+9.1f}%")
+    lines.append("(paper: average +3.3%, max +10.0%, Streamcluster -9.2%)")
+    return "\n".join(lines)
+
+
+def format_fig4(reports: dict[str, DiagnosisReport], top_k: int = 5) -> str:
+    """Figure 4: CF rankings per case study."""
+    blocks = []
+    for name, report in reports.items():
+        entries = ", ".join(f"{c.name}={c.cf:.1%}" for c in report.top(top_k))
+        blocks.append(f"{name}: {entries}")
+    return "\n".join(blocks)
+
+
+def format_speedup_rows(rows: list[SpeedupRow], title: str) -> str:
+    """Figures 5-8: one line per configuration with per-strategy speedups."""
+    if not rows:
+        return f"{title}: (no rows)"
+    keys = sorted({k for r in rows for k in r.speedups})
+    header = f"{'config':<22}" + "".join(f"{k:>18}" for k in keys)
+    lines = [title, header]
+    for r in rows:
+        lines.append(
+            f"{r.label:<22}"
+            + "".join(f"{r.speedups.get(k, float('nan')):>17.2f}x" for k in keys)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""NUMA machine simulator substrate.
+
+This package stands in for the paper's physical testbed (a 4-socket Intel
+Xeon E5-4650).  It provides:
+
+* :mod:`repro.numasim.topology` — sockets, cores, SMT, channel enumeration;
+* :mod:`repro.numasim.cache` — exact set-associative LRU caches (used by the
+  bandit micro-benchmark and by tests);
+* :mod:`repro.numasim.cachemodel` — analytical hit-fraction model used by the
+  fast epoch engine;
+* :mod:`repro.numasim.latency` — base latencies plus queueing-delay inflation;
+* :mod:`repro.numasim.fairness` — max-min fair bandwidth allocation;
+* :mod:`repro.numasim.interconnect` / :mod:`repro.numasim.memctrl` —
+  bandwidth-limited resources;
+* :mod:`repro.numasim.engine` — piecewise-stationary execution engine;
+* :mod:`repro.numasim.machine` — the :class:`~repro.numasim.machine.Machine`
+  facade tying everything together.
+"""
+
+from repro.numasim.topology import CacheSpec, NumaTopology
+from repro.numasim.latency import LatencyModel
+from repro.numasim.machine import Machine
+
+__all__ = ["CacheSpec", "NumaTopology", "LatencyModel", "Machine"]

@@ -1,0 +1,243 @@
+"""Exact set-associative LRU cache simulation.
+
+The fast path of the simulator uses the *analytical* model in
+:mod:`repro.numasim.cachemodel`; this module provides a precise,
+line-granular simulator used where exactness matters:
+
+* validating the bandit micro-benchmark's construction — its pointer-chase
+  stream maps every access to the same cache set, so a correct
+  set-associative LRU cache must show a ~100% conflict-miss rate;
+* calibrating/regression-testing the analytical model on small traces.
+
+The implementation favours clarity over raw speed but keeps the hot loop
+allocation-free: each set is a fixed-size array of tags with an LRU stack
+encoded as recency counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numasim.topology import CacheSpec
+from repro.types import MemLevel
+
+__all__ = ["SetAssociativeCache", "CacheHierarchy", "AccessOutcome"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessOutcome:
+    """Result of pushing one address through a :class:`CacheHierarchy`."""
+
+    level: MemLevel
+    evicted_line: int | None = None
+
+
+class SetAssociativeCache:
+    """One set-associative cache level with true-LRU replacement.
+
+    Addresses are byte addresses; the cache operates on line-aligned tags.
+    ``access`` returns ``True`` on hit.  ``fill`` inserts a line (evicting
+    the LRU way if needed) and returns the evicted line address or ``None``.
+    """
+
+    def __init__(self, spec: CacheSpec) -> None:
+        self.spec = spec
+        self._n_sets = spec.n_sets
+        self._ways = spec.associativity
+        self._line_shift = int(np.log2(spec.line_bytes))
+        if (1 << self._line_shift) != spec.line_bytes:
+            raise ValueError("line size must be a power of two")
+        # tag == full line address (line-aligned address >> line_shift);
+        # -1 marks an empty way.
+        self._tags = np.full((self._n_sets, self._ways), -1, dtype=np.int64)
+        # Larger recency value == more recently used.
+        self._recency = np.zeros((self._n_sets, self._ways), dtype=np.int64)
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- geometry helpers ----------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        """Line number (global tag) containing byte address ``addr``."""
+        return addr >> self._line_shift
+
+    def set_of(self, addr: int) -> int:
+        """Cache set index selected by byte address ``addr``."""
+        return self.line_of(addr) % self._n_sets
+
+    # -- operations ------------------------------------------------------------
+
+    def access(self, addr: int) -> bool:
+        """Look up ``addr``; update LRU state; return ``True`` on hit."""
+        line = self.line_of(addr)
+        s = line % self._n_sets
+        self._tick += 1
+        tags = self._tags[s]
+        for w in range(self._ways):
+            if tags[w] == line:
+                self._recency[s, w] = self._tick
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> int | None:
+        """Insert the line containing ``addr``; return evicted line or None.
+
+        Idempotent when the line is already resident (refreshes recency).
+        """
+        line = self.line_of(addr)
+        s = line % self._n_sets
+        self._tick += 1
+        tags = self._tags[s]
+        for w in range(self._ways):
+            if tags[w] == line:
+                self._recency[s, w] = self._tick
+                return None
+        # Prefer an empty way; otherwise evict true-LRU.
+        for w in range(self._ways):
+            if tags[w] == -1:
+                tags[w] = line
+                self._recency[s, w] = self._tick
+                return None
+        victim = int(np.argmin(self._recency[s]))
+        evicted = int(tags[victim])
+        tags[victim] = line
+        self._recency[s, victim] = self._tick
+        return evicted
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line containing ``addr`` if resident; return whether it was."""
+        line = self.line_of(addr)
+        s = line % self._n_sets
+        tags = self._tags[s]
+        for w in range(self._ways):
+            if tags[w] == line:
+                tags[w] = -1
+                self._recency[s, w] = 0
+                return True
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating residency check."""
+        line = self.line_of(addr)
+        return bool(np.any(self._tags[line % self._n_sets] == line))
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses so far that missed (0 if no accesses)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters without disturbing cache contents."""
+        self.hits = 0
+        self.misses = 0
+
+
+class CacheHierarchy:
+    """L1 → L2 → L3 lookup chain with per-level fill on miss.
+
+    A miss at every level is classified as DRAM; whether it is local or
+    remote DRAM depends on page placement, which the hierarchy does not
+    know — callers pass ``dram_level`` per access.  A small line-fill-buffer
+    model reports :attr:`MemLevel.LFB` when an access hits a line whose miss
+    is still outstanding (within ``lfb_window`` accesses of the miss).
+    """
+
+    def __init__(
+        self,
+        l1: CacheSpec,
+        l2: CacheSpec,
+        l3: CacheSpec,
+        lfb_entries: int = 10,
+        lfb_window: int = 4,
+    ) -> None:
+        self.l1 = SetAssociativeCache(l1)
+        self.l2 = SetAssociativeCache(l2)
+        self.l3 = SetAssociativeCache(l3)
+        self._lfb_window = lfb_window
+        self._lfb_entries = lfb_entries
+        self._pending: dict[int, int] = {}  # line -> access index of the miss
+        self._n_accesses = 0
+        self.level_counts: dict[MemLevel, int] = {lvl: 0 for lvl in MemLevel}
+
+    def _line_shift_l1(self) -> int:
+        return self.l1._line_shift
+
+    def access(self, addr: int, dram_level: MemLevel = MemLevel.LOCAL_DRAM) -> AccessOutcome:
+        """Simulate one load; returns the satisfying level and any L3 eviction."""
+        if dram_level not in (MemLevel.LOCAL_DRAM, MemLevel.REMOTE_DRAM):
+            raise ValueError(f"dram_level must be a DRAM level, got {dram_level}")
+        self._n_accesses += 1
+        line = self.l1.line_of(addr)
+
+        # A fill in flight for this line?  Within the window the access is
+        # satisfied by the line fill buffer; after the window the fill has
+        # completed, so install the line and treat the access as an L1 hit.
+        pending_at = self._pending.get(line)
+        if pending_at is not None:
+            if self._n_accesses - pending_at <= self._lfb_window:
+                self.level_counts[MemLevel.LFB] += 1
+                return AccessOutcome(MemLevel.LFB)
+            del self._pending[line]
+            self.l1.fill(addr)
+            self.l2.fill(addr)
+            self.l3.fill(addr)
+
+        if self.l1.access(addr):
+            self.level_counts[MemLevel.L1] += 1
+            return AccessOutcome(MemLevel.L1)
+
+        if self.l2.access(addr):
+            self.l1.fill(addr)
+            self.level_counts[MemLevel.L2] += 1
+            return AccessOutcome(MemLevel.L2)
+
+        if self.l3.access(addr):
+            self.l1.fill(addr)
+            self.l2.fill(addr)
+            self.level_counts[MemLevel.L3] += 1
+            return AccessOutcome(MemLevel.L3)
+
+        # Full miss: the fill is now in flight (completes after the LFB
+        # window); only then do the caches hold the line.
+        if len(self._pending) >= self._lfb_entries:
+            # The stalest fill has long completed — install it.
+            oldest = min(self._pending, key=self._pending.__getitem__)
+            del self._pending[oldest]
+            oldest_addr = oldest << self._line_shift_l1()
+            self.l1.fill(oldest_addr)
+            self.l2.fill(oldest_addr)
+            self.l3.fill(oldest_addr)
+        self._pending[line] = self._n_accesses
+        self.level_counts[dram_level] += 1
+        return AccessOutcome(dram_level, evicted_line=None)
+
+    def run_trace(
+        self,
+        addrs: np.ndarray,
+        dram_levels: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Push a whole address trace through; return per-access MemLevel codes."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        out = np.empty(addrs.shape[0], dtype=np.int64)
+        for i, a in enumerate(addrs):
+            lvl = (
+                MemLevel.LOCAL_DRAM
+                if dram_levels is None
+                else MemLevel(int(dram_levels[i]))
+            )
+            out[i] = self.access(int(a), lvl).level
+        return out
+
+    @property
+    def dram_miss_rate(self) -> float:
+        """Fraction of accesses that reached DRAM."""
+        if self._n_accesses == 0:
+            return 0.0
+        dram = self.level_counts[MemLevel.LOCAL_DRAM] + self.level_counts[MemLevel.REMOTE_DRAM]
+        return dram / self._n_accesses

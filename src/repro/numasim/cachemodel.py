@@ -1,0 +1,292 @@
+"""Analytical cache-behaviour model.
+
+The epoch engine cannot afford to push every access of a multi-billion-access
+workload through the exact simulator in :mod:`repro.numasim.cache`.  Instead,
+each access *stream* (a stationary pattern over a region of one data object)
+is summarized by a :class:`StreamProfile`, and this module converts a profile
+plus the effective cache capacities seen by the issuing thread into:
+
+* the fraction of accesses satisfied at each memory level
+  (:class:`LevelFractions`),
+* the DRAM traffic generated per access (bytes), and
+* the achievable memory-level parallelism (MLP).
+
+The formulas are the standard first-order models:
+
+``sequential``
+    One cold miss per 64-byte line, i.e. a line-miss fraction of
+    ``element_bytes / 64``; repeated passes over a region that fits in some
+    level hit that level.  The hardware prefetcher hides a fraction of the
+    DRAM-level latency (misses are reported as LFB hits) without reducing
+    DRAM traffic.
+
+``strided``
+    Like sequential but each access may touch a new line when the stride
+    reaches the line size: line-miss fraction ``min(1, stride/64)``.
+
+``random``
+    Independent references over a working set ``W``: the probability that a
+    line is resident in a cache of effective size ``S`` is ``min(1, S/W)``,
+    applied hierarchically.  Prefetchers cannot track it.
+
+``pointer_chase``
+    The bandit pattern: every access is a dependent conflict miss that goes
+    to DRAM, MLP = 1, prefetch-immune.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import WorkloadError
+from repro.types import CACHE_LINE_BYTES, MemLevel
+
+__all__ = ["PatternKind", "StreamProfile", "LevelFractions", "CacheModel", "EffectiveCaches"]
+
+
+class PatternKind(enum.Enum):
+    """Spatial/temporal shape of an access stream."""
+
+    SEQUENTIAL = "sequential"
+    STRIDED = "strided"
+    RANDOM = "random"
+    POINTER_CHASE = "pointer_chase"
+
+
+@dataclass(frozen=True, slots=True)
+class StreamProfile:
+    """Stationary statistics of one access stream.
+
+    ``working_set_bytes`` is the region the stream touches (per thread);
+    ``passes`` is how many times the region is traversed during the phase
+    (>=1; fractional passes are fine); ``element_bytes`` the access
+    granularity; ``stride_bytes`` the address increment for STRIDED;
+    ``write_fraction`` is carried for traffic accounting (a dirty writeback
+    roughly doubles DRAM traffic for streaming writes).
+    """
+
+    kind: PatternKind
+    working_set_bytes: int
+    element_bytes: int = 8
+    stride_bytes: int | None = None
+    passes: float = 1.0
+    write_fraction: float = 0.0
+    #: Independent pointer-chase chains (the bandit's tunable stream count);
+    #: each chain is one outstanding dependent miss, so MLP == chains.
+    chains: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chains < 1:
+            raise WorkloadError("chains must be >= 1")
+        if self.working_set_bytes <= 0:
+            raise WorkloadError("working_set_bytes must be positive")
+        if self.element_bytes <= 0 or self.element_bytes > CACHE_LINE_BYTES:
+            raise WorkloadError(
+                f"element_bytes must be in (0, {CACHE_LINE_BYTES}]: {self.element_bytes}"
+            )
+        if self.passes <= 0:
+            raise WorkloadError("passes must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise WorkloadError("write_fraction must be in [0, 1]")
+        if self.kind is PatternKind.STRIDED and (self.stride_bytes or 0) <= 0:
+            raise WorkloadError("STRIDED profile needs a positive stride_bytes")
+
+
+@dataclass(frozen=True, slots=True)
+class EffectiveCaches:
+    """Cache capacity actually available to one thread, in bytes.
+
+    Private levels shrink when SMT siblings are active; the shared L3
+    shrinks with the number of threads actively streaming on the socket.
+    """
+
+    l1_bytes: float
+    l2_bytes: float
+    l3_bytes: float
+
+    def __post_init__(self) -> None:
+        if min(self.l1_bytes, self.l2_bytes, self.l3_bytes) <= 0:
+            raise WorkloadError("effective cache sizes must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class LevelFractions:
+    """Fraction of a stream's accesses satisfied at each level (sums to 1)."""
+
+    fractions: dict[MemLevel, float] = field(default_factory=dict)
+    #: DRAM bytes moved per access (includes writeback traffic).
+    dram_bytes_per_access: float = 0.0
+    #: Average number of overlappable outstanding misses.
+    mlp: float = 1.0
+
+    def __post_init__(self) -> None:
+        total = sum(self.fractions.values())
+        if abs(total - 1.0) > 1e-6:
+            raise WorkloadError(f"level fractions must sum to 1, got {total}")
+        if self.dram_bytes_per_access < 0:
+            raise WorkloadError("dram_bytes_per_access must be >= 0")
+        if self.mlp < 1.0:
+            raise WorkloadError("mlp must be >= 1")
+
+    @property
+    def dram_fraction(self) -> float:
+        """Fraction of accesses served by (local or remote) DRAM."""
+        return sum(v for k, v in self.fractions.items() if k.is_dram)
+
+
+def _complete(fractions: dict[MemLevel, float]) -> dict[MemLevel, float]:
+    """Fill missing levels with 0 and renormalize tiny float drift."""
+    out = {lvl: max(0.0, fractions.get(lvl, 0.0)) for lvl in MemLevel}
+    total = sum(out.values())
+    if total <= 0:
+        raise WorkloadError("no positive level fraction")
+    return {k: v / total for k, v in out.items()}
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Machine-level knobs for the analytical model."""
+
+    #: Fraction of streaming DRAM-level accesses whose latency the hardware
+    #: prefetcher hides (reported as LFB); traffic is unchanged.
+    prefetch_efficiency: float = 0.6
+    #: MLP for independent (streaming / random) access streams.
+    streaming_mlp: float = 8.0
+    random_mlp: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prefetch_efficiency < 1.0:
+            raise WorkloadError("prefetch_efficiency must be in [0, 1)")
+        if self.streaming_mlp < 1 or self.random_mlp < 1:
+            raise WorkloadError("MLP values must be >= 1")
+
+    # -- public API -----------------------------------------------------------
+
+    def level_fractions(self, profile: StreamProfile, caches: EffectiveCaches) -> LevelFractions:
+        """Resolve a stream profile into per-level hit fractions."""
+        kind = profile.kind
+        if kind is PatternKind.POINTER_CHASE:
+            return self._pointer_chase(profile)
+        if kind is PatternKind.RANDOM:
+            return self._random(profile, caches)
+        if kind in (PatternKind.SEQUENTIAL, PatternKind.STRIDED):
+            return self._streaming(profile, caches)
+        raise WorkloadError(f"unknown pattern kind {kind}")  # pragma: no cover
+
+    # -- per-pattern models ----------------------------------------------------
+
+    def _pointer_chase(self, profile: StreamProfile) -> LevelFractions:
+        # Conflict-engineered: every access is a dependent DRAM miss.
+        line = CACHE_LINE_BYTES
+        return LevelFractions(
+            fractions=_complete({MemLevel.LOCAL_DRAM: 1.0}),
+            dram_bytes_per_access=line * (1.0 + profile.write_fraction),
+            mlp=float(profile.chains),
+        )
+
+    def _random(self, profile: StreamProfile, caches: EffectiveCaches) -> LevelFractions:
+        ws = float(profile.working_set_bytes)
+        # Independent-reference residency probabilities, hierarchically.
+        p_l1 = min(1.0, caches.l1_bytes / ws)
+        p_l2 = min(1.0, caches.l2_bytes / ws)
+        p_l3 = min(1.0, caches.l3_bytes / ws)
+        f_l1 = p_l1
+        f_l2 = max(0.0, p_l2 - p_l1)
+        f_l3 = max(0.0, p_l3 - p_l2)
+        f_dram = max(0.0, 1.0 - p_l3)
+        line = CACHE_LINE_BYTES
+        traffic = f_dram * line * (1.0 + profile.write_fraction)
+        return LevelFractions(
+            fractions=_complete(
+                {
+                    MemLevel.L1: f_l1,
+                    MemLevel.L2: f_l2,
+                    MemLevel.L3: f_l3,
+                    MemLevel.LOCAL_DRAM: f_dram,
+                }
+            ),
+            dram_bytes_per_access=traffic,
+            # chains > 1 overrides the default random-access MLP (dependent
+            # chained lookups, as in clustering or graph traversals).
+            mlp=(float(profile.chains) if profile.chains > 1 else self.random_mlp)
+            if f_dram > 0
+            else 1.0,
+        )
+
+    def _streaming(self, profile: StreamProfile, caches: EffectiveCaches) -> LevelFractions:
+        line = CACHE_LINE_BYTES
+        ws = float(profile.working_set_bytes)
+        if profile.kind is PatternKind.STRIDED:
+            stride = float(profile.stride_bytes or profile.element_bytes)
+            line_miss = min(1.0, stride / line)
+        else:
+            line_miss = profile.element_bytes / line
+        # Which level retains the region between passes?
+        if ws <= caches.l1_bytes:
+            retained = MemLevel.L1
+        elif ws <= caches.l2_bytes:
+            retained = MemLevel.L2
+        elif ws <= caches.l3_bytes:
+            retained = MemLevel.L3
+        else:
+            retained = MemLevel.LOCAL_DRAM
+
+        # Cold (first) pass always streams from DRAM; warm passes hit
+        # `retained`.  Weight passes accordingly.
+        passes = profile.passes
+        cold_weight = min(1.0, 1.0 / passes)
+        warm_weight = 1.0 - cold_weight
+        if retained is MemLevel.LOCAL_DRAM:
+            cold_weight, warm_weight = 1.0, 0.0
+
+        # Within a streaming pass: `line_miss` of accesses touch a new line
+        # (DRAM level); the rest hit L1 spatially.
+        f_dram_raw = cold_weight * line_miss
+        f_spatial_l1 = cold_weight * (1.0 - line_miss)
+
+        # Prefetcher converts part of the DRAM-latency misses into LFB hits.
+        f_lfb = f_dram_raw * self.prefetch_efficiency
+        f_dram = f_dram_raw - f_lfb
+
+        fractions: dict[MemLevel, float] = {
+            MemLevel.L1: f_spatial_l1,
+            MemLevel.LFB: f_lfb,
+            MemLevel.LOCAL_DRAM: f_dram,
+        }
+        if warm_weight > 0:
+            if retained is MemLevel.L1:
+                fractions[MemLevel.L1] = fractions.get(MemLevel.L1, 0.0) + warm_weight
+            else:
+                # Warm passes still miss L1 on each new line.
+                fractions[MemLevel.L1] = (
+                    fractions.get(MemLevel.L1, 0.0) + warm_weight * (1.0 - line_miss)
+                )
+                fractions[retained] = fractions.get(retained, 0.0) + warm_weight * line_miss
+
+        # DRAM traffic: every line-miss at DRAM level moves a line; streaming
+        # writes additionally write the line back.
+        traffic = cold_weight * line_miss * line * (1.0 + profile.write_fraction)
+        return LevelFractions(
+            fractions=_complete(fractions),
+            dram_bytes_per_access=traffic,
+            mlp=self.streaming_mlp if f_dram_raw > 0 else 1.0,
+        )
+
+
+def split_dram_locality(
+    fractions: LevelFractions, local_fraction: float
+) -> LevelFractions:
+    """Split the DRAM fraction into local vs remote by page placement.
+
+    ``local_fraction`` is the share of the stream's DRAM traffic whose pages
+    live on the accessing thread's own node.  Cache-level fractions are
+    untouched.
+    """
+    if not 0.0 <= local_fraction <= 1.0:
+        raise WorkloadError("local_fraction must be in [0, 1]")
+    f = dict(fractions.fractions)
+    dram_total = f.get(MemLevel.LOCAL_DRAM, 0.0) + f.get(MemLevel.REMOTE_DRAM, 0.0)
+    f[MemLevel.LOCAL_DRAM] = dram_total * local_fraction
+    f[MemLevel.REMOTE_DRAM] = dram_total * (1.0 - local_fraction)
+    return replace(fractions, fractions=_complete(f)) if dram_total > 0 else fractions

@@ -1,0 +1,695 @@
+"""Piecewise-stationary NUMA execution engine.
+
+The engine executes *thread programs* — sequences of phases, each phase a
+stationary mix of access streams — against the machine's bandwidth and
+latency models.  Between two scheduling events (a thread finishing its
+phase) the system is stationary, so the engine:
+
+1. computes each runnable thread's uncontended issue rate from the
+   analytical cache model and base latencies;
+2. derives the DRAM traffic flows each thread pushes onto memory
+   controllers and interconnect channels;
+3. solves the demand-bounded max-min fair allocation
+   (:func:`repro.numasim.fairness.solve_max_min`) to obtain per-resource
+   utilizations;
+4. inflates access latencies with the queueing model and re-derives issue
+   rates, iterating the rate/utilization fixed point with damping;
+5. advances simulated time exactly to the next phase completion, recording
+   per-channel traffic and per-(thread, stream, level, node) access
+   buckets for the PMU sampler.
+
+Contention is emergent: nothing in the engine knows about "good" or "rmc"
+labels — a saturated channel simply inflates remote latencies and throttles
+the threads crossing it, which is precisely what DR-BW's features observe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError, WorkloadError
+from repro.numasim.cachemodel import (
+    CacheModel,
+    EffectiveCaches,
+    PatternKind,
+    StreamProfile,
+)
+from repro.numasim.fairness import FairnessProblem, solve_max_min
+from repro.numasim.interconnect import InterconnectFabric
+from repro.numasim.latency import LatencyModel
+from repro.numasim.memctrl import MemoryControllerSet
+from repro.numasim.topology import NumaTopology
+from repro.types import Channel, MemLevel
+
+__all__ = [
+    "EngineStream",
+    "EnginePhase",
+    "ThreadProgram",
+    "SampleBucket",
+    "PhaseTiming",
+    "RunResult",
+    "ExecutionEngine",
+]
+
+_EPS = 1e-9
+_RATE_ITERATIONS = 8
+_RATE_DAMPING = 0.5
+
+
+@dataclass(frozen=True)
+class EngineStream:
+    """One stationary access stream of a phase.
+
+    ``weight`` is the fraction of the phase's accesses issued to this
+    stream; ``node_fractions[n]`` is the share of this stream's DRAM
+    traffic that targets NUMA node ``n`` (derived from page placement).
+    ``region_base``/``region_bytes`` delimit the (virtual) address range the
+    stream touches, used by the PMU sampler to fabricate sample addresses.
+    """
+
+    object_id: int
+    region_base: int
+    region_bytes: int
+    profile: StreamProfile
+    weight: float
+    node_fractions: np.ndarray
+    #: True when every thread on a socket reads the *same* region (a shared
+    #: object): one copy serves them all, so the stream sees the full L3
+    #: rather than a per-thread share.
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise WorkloadError(f"stream weight must be in (0, 1]: {self.weight}")
+        nf = np.asarray(self.node_fractions, dtype=np.float64)
+        if nf.ndim != 1 or nf.size == 0:
+            raise WorkloadError("node_fractions must be a non-empty 1-D array")
+        if np.any(nf < -1e-12) or abs(float(nf.sum()) - 1.0) > 1e-6:
+            raise WorkloadError(f"node_fractions must be a distribution, got {nf}")
+        if self.region_bytes <= 0:
+            raise WorkloadError("region_bytes must be positive")
+        object.__setattr__(self, "node_fractions", np.clip(nf, 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class EnginePhase:
+    """A stationary phase: ``n_accesses`` spread over ``streams``."""
+
+    name: str
+    n_accesses: float
+    compute_cycles_per_access: float
+    streams: tuple[EngineStream, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_accesses < 0:
+            raise WorkloadError("n_accesses must be >= 0")
+        if self.compute_cycles_per_access < 0:
+            raise WorkloadError("compute_cycles_per_access must be >= 0")
+        if self.n_accesses > 0:
+            if not self.streams:
+                raise WorkloadError(f"phase {self.name!r} has accesses but no streams")
+            total = sum(s.weight for s in self.streams)
+            if abs(total - 1.0) > 1e-6:
+                raise WorkloadError(
+                    f"phase {self.name!r}: stream weights sum to {total}, expected 1"
+                )
+
+
+@dataclass(frozen=True)
+class ThreadProgram:
+    """The phases one software thread executes, bound to logical CPU ``cpu``."""
+
+    thread_id: int
+    cpu: int
+    phases: tuple[EnginePhase, ...]
+
+
+@dataclass
+class SampleBucket:
+    """Aggregate of homogeneous accesses, ready for Poisson thinning.
+
+    ``dst_node`` is meaningful for DRAM levels (the node whose controller
+    served the access); for cache levels it equals the source node.
+    """
+
+    thread_id: int
+    cpu: int
+    src_node: int
+    object_id: int
+    region_base: int
+    region_bytes: int
+    level: MemLevel
+    dst_node: int
+    n_accesses: float
+    mean_latency: float
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Wall-clock (cycle) extent of one named phase across all threads."""
+
+    name: str
+    start_cycle: float
+    end_cycle: float
+
+    @property
+    def duration_cycles(self) -> float:
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class RunResult:
+    """Everything the profiler and evaluation harness need from one run."""
+
+    topology: NumaTopology
+    total_cycles: float
+    thread_finish_cycles: dict[int, float]
+    phase_timings: list[PhaseTiming]
+    buckets: list[SampleBucket]
+    memctrl: MemoryControllerSet
+    interconnect: InterconnectFabric
+    #: Extra stall injected per access (profiling overhead model), cycles.
+    extra_stall_cycles: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.topology.cycles_to_seconds(self.total_cycles)
+
+    def channel_bytes(self) -> dict[Channel, float]:
+        """Cumulative traffic per remote channel."""
+        return {c: self.interconnect.total_bytes(c) for c in self.interconnect.channels}
+
+    def phase_cycles(self, name: str) -> float:
+        """Total cycles spent in phases named ``name`` (summed over repeats)."""
+        return sum(t.duration_cycles for t in self.phase_timings if t.name == name)
+
+
+@dataclass
+class _ThreadState:
+    program: ThreadProgram
+    phase_idx: int = 0
+    remaining: float = 0.0
+    finish_cycle: float = 0.0
+
+    def current_phase(self) -> EnginePhase | None:
+        if self.phase_idx >= len(self.program.phases):
+            return None
+        return self.program.phases[self.phase_idx]
+
+
+@dataclass
+class _StreamCtx:
+    """Per-interval resolved state of one (thread, stream) pair."""
+
+    state: _ThreadState
+    stream: EngineStream
+    src_node: int
+    fractions: dict[MemLevel, float]
+    dram_bytes_per_access: float
+    mlp: float
+    traffic_coeff: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    flow_ids: dict[int, int] = field(default_factory=dict)  # dst node -> flow idx
+
+
+class ExecutionEngine:
+    """Runs thread programs to completion on a simulated NUMA machine."""
+
+    def __init__(
+        self,
+        topology: NumaTopology,
+        latency_model: LatencyModel | None = None,
+        cache_model: CacheModel | None = None,
+        barriers: bool = True,
+        link_capacity_overrides: dict[Channel, float] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.latency_model = latency_model or LatencyModel()
+        self.cache_model = cache_model or CacheModel()
+        self.barriers = barriers
+        self._link_overrides = link_capacity_overrides
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        programs: list[ThreadProgram],
+        extra_stall_cycles_per_access: float = 0.0,
+    ) -> RunResult:
+        """Execute ``programs`` and return the full run record.
+
+        ``extra_stall_cycles_per_access`` injects a uniform per-access slowdown
+        used by the profiling-overhead model (Table VII): sampling interrupts
+        and allocation interception steal cycles from every thread.
+        """
+        if not programs:
+            raise SimulationError("no thread programs to run")
+        seen = set()
+        for p in programs:
+            if p.thread_id in seen:
+                raise SimulationError(f"duplicate thread id {p.thread_id}")
+            seen.add(p.thread_id)
+            if not 0 <= p.cpu < self.topology.n_cpus:
+                raise SimulationError(f"thread {p.thread_id} bound to bad cpu {p.cpu}")
+
+        memctrl = MemoryControllerSet(self.topology)
+        fabric = InterconnectFabric(self.topology, self._link_overrides)
+
+        states = [_ThreadState(program=p) for p in programs]
+        for st in states:
+            self._enter_phase(st)
+
+        now = 0.0
+        bucket_acc: dict[tuple, list[float]] = {}
+        phase_spans: dict[tuple[int, str], list[float]] = {}  # (group, name) -> [start, end]
+        guard = 0
+        max_events = sum(len(p.phases) for p in programs) * 4 + 64
+
+        while True:
+            runnable = self._runnable(states)
+            if not runnable:
+                if all(st.current_phase() is None for st in states):
+                    break
+                raise SimulationError("deadlock: unfinished threads but none runnable")
+
+            ctxs, rates = self._solve_interval(runnable, extra_stall_cycles_per_access)
+
+            # Time to the next phase completion among runnable threads.
+            dts = [
+                st.remaining / max(rate, _EPS)
+                for st, rate in zip(runnable, rates)
+            ]
+            dt = min(dts)
+            if not math.isfinite(dt) or dt < 0:
+                raise SimulationError(f"bad interval length {dt}")
+            dt = max(dt, _EPS)
+
+            self._record_interval(
+                now, dt, runnable, rates, ctxs, memctrl, fabric, bucket_acc, phase_spans
+            )
+
+            now += dt
+            for st, rate in zip(runnable, rates):
+                st.remaining -= rate * dt
+                if st.remaining <= _EPS * max(1.0, rate * dt):
+                    st.remaining = 0.0
+                    st.finish_cycle = now
+                    st.phase_idx += 1
+                    self._enter_phase(st)
+
+            guard += 1
+            if guard > max_events:
+                raise SimulationError("engine exceeded its event budget")
+
+        return RunResult(
+            topology=self.topology,
+            total_cycles=now,
+            thread_finish_cycles={st.program.thread_id: st.finish_cycle for st in states},
+            phase_timings=self._phase_timings(phase_spans),
+            buckets=self._finalize_buckets(bucket_acc),
+            memctrl=memctrl,
+            interconnect=fabric,
+            extra_stall_cycles=extra_stall_cycles_per_access,
+        )
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _enter_phase(self, st: _ThreadState) -> None:
+        """Load the next non-empty phase's work counter (skipping empty ones)."""
+        while True:
+            phase = st.current_phase()
+            if phase is None:
+                return
+            if phase.n_accesses > 0:
+                st.remaining = phase.n_accesses
+                return
+            st.phase_idx += 1
+
+    def _runnable(self, states: list[_ThreadState]) -> list[_ThreadState]:
+        alive = [st for st in states if st.current_phase() is not None]
+        if not alive:
+            return []
+        if not self.barriers:
+            return alive
+        group = min(st.phase_idx for st in alive)
+        return [st for st in alive if st.phase_idx == group]
+
+    # -- the stationary-interval solver ---------------------------------------
+
+    def _solve_interval(
+        self,
+        runnable: list[_ThreadState],
+        extra_stall: float,
+    ) -> tuple[list[list[_StreamCtx]], list[float]]:
+        topo = self.topology
+        n_nodes = topo.n_sockets
+
+        # Cache sharing: private L1/L2 split between active SMT siblings,
+        # L3 split between active threads on the socket.
+        core_load: dict[int, int] = {}
+        socket_load: dict[int, int] = {}
+        for st in runnable:
+            core = topo.core_of_cpu(st.program.cpu)
+            node = topo.node_of_cpu(st.program.cpu)
+            core_load[core] = core_load.get(core, 0) + 1
+            socket_load[node] = socket_load.get(node, 0) + 1
+
+        ctxs: list[list[_StreamCtx]] = []
+        for st in runnable:
+            phase = st.current_phase()
+            assert phase is not None
+            core = topo.core_of_cpu(st.program.cpu)
+            node = topo.node_of_cpu(st.program.cpu)
+            caches = EffectiveCaches(
+                l1_bytes=topo.l1.size_bytes / core_load[core],
+                l2_bytes=topo.l2.size_bytes / core_load[core],
+                l3_bytes=topo.l3.size_bytes / max(1, socket_load[node]),
+            )
+            # A thread's private streams compete for its cache share in
+            # proportion to their footprints (29 equal arrays each get 1/29
+            # of the share, not the whole of it).  Shared streams see the
+            # full socket L3 — one resident copy serves every thread.
+            private_ws = sum(
+                s.profile.working_set_bytes for s in phase.streams if not s.shared
+            )
+            per_thread: list[_StreamCtx] = []
+            for stream in phase.streams:
+                if stream.shared:
+                    stream_caches = EffectiveCaches(
+                        l1_bytes=caches.l1_bytes,
+                        l2_bytes=caches.l2_bytes,
+                        l3_bytes=float(topo.l3.size_bytes),
+                    )
+                else:
+                    frac = (
+                        stream.profile.working_set_bytes / private_ws
+                        if private_ws > 0
+                        else 1.0
+                    )
+                    stream_caches = EffectiveCaches(
+                        l1_bytes=max(caches.l1_bytes * frac, 1.0),
+                        l2_bytes=max(caches.l2_bytes * frac, 1.0),
+                        l3_bytes=max(caches.l3_bytes * frac, 1.0),
+                    )
+                lf = self.cache_model.level_fractions(stream.profile, stream_caches)
+                fr = self._localize(lf.fractions, stream.node_fractions, node)
+                per_thread.append(
+                    _StreamCtx(
+                        state=st,
+                        stream=stream,
+                        src_node=node,
+                        fractions=fr,
+                        dram_bytes_per_access=lf.dram_bytes_per_access,
+                        mlp=lf.mlp,
+                    )
+                )
+            ctxs.append(per_thread)
+
+        # Flow table: one flow per (thread, stream, dst node) with traffic.
+        fabric_channels = topo.remote_channels()
+        ch_index = {c: i for i, c in enumerate(fabric_channels)}
+        n_links = len(fabric_channels)
+        capacities = np.concatenate(
+            [
+                np.full(n_nodes, topo.dram_bw_bytes_per_cycle),
+                np.full(n_links, topo.link_bw_bytes_per_cycle),
+            ]
+        )
+        if self._link_overrides:
+            for ch, cap in self._link_overrides.items():
+                capacities[n_nodes + ch_index[ch]] = cap
+
+        usage: list[tuple[int, ...]] = []
+        coeff_rows: list[tuple[int, float]] = []  # (thread idx, bytes/access-of-thread)
+        for t_idx, per_thread in enumerate(ctxs):
+            for ctx in per_thread:
+                nf = ctx.stream.node_fractions
+                coeffs = np.zeros(n_nodes)
+                for dst in range(n_nodes):
+                    traffic = ctx.stream.weight * ctx.dram_bytes_per_access * nf[dst]
+                    if traffic <= _EPS:
+                        continue
+                    res = [dst]
+                    if dst != ctx.src_node:
+                        res.append(n_nodes + ch_index[Channel(ctx.src_node, dst)])
+                    ctx.flow_ids[dst] = len(usage)
+                    usage.append(tuple(res))
+                    coeff_rows.append((t_idx, traffic))
+                    coeffs[dst] = traffic
+                ctx.traffic_coeff = coeffs
+
+        n_flows = len(usage)
+        flow_thread = np.array([t for t, _ in coeff_rows], dtype=np.int64)
+        flow_coeff = np.array([c for _, c in coeff_rows], dtype=np.float64)
+
+        # Uncontended starting point.
+        rates = np.array(
+            [self._thread_rate(per, np.zeros(n_nodes), np.zeros(n_links), ch_index, extra_stall)
+             for per in ctxs]
+        )
+        mc_rho = np.zeros(n_nodes)
+        link_rho = np.zeros(n_links)
+
+        for _ in range(_RATE_ITERATIONS):
+            if n_flows:
+                demands = rates[flow_thread] * flow_coeff
+                sol = solve_max_min(
+                    FairnessProblem(demands=demands, usage=usage, capacities=capacities)
+                )
+                mc_rho = sol.utilization[:n_nodes]
+                link_rho = sol.utilization[n_nodes:]
+                throttle = sol.throttle(demands)
+                # A thread advances no faster than its most-throttled flow.
+                cap = np.full(len(ctxs), np.inf)
+                np.minimum.at(cap, flow_thread, np.where(throttle > 0, throttle, _EPS))
+                rate_cap = rates * np.where(np.isfinite(cap), cap, 1.0)
+            else:
+                rate_cap = rates.copy()
+
+            new_rates = np.array(
+                [
+                    min(
+                        self._thread_rate(per, mc_rho, link_rho, ch_index, extra_stall),
+                        rate_cap[i] if rate_cap[i] > 0 else _EPS,
+                    )
+                    for i, per in enumerate(ctxs)
+                ]
+            )
+            rates = _RATE_DAMPING * rates + (1.0 - _RATE_DAMPING) * new_rates
+
+        # Attach final latencies per (stream, level, dst) for bucket recording.
+        for per_thread in ctxs:
+            for ctx in per_thread:
+                ctx_lat = self._stream_latencies(ctx, mc_rho, link_rho, ch_index)
+                ctx.latencies = ctx_lat  # type: ignore[attr-defined]
+
+        return ctxs, [float(r) for r in rates]
+
+    def _localize(
+        self,
+        fractions: dict[MemLevel, float],
+        node_fractions: np.ndarray,
+        src_node: int,
+    ) -> dict[MemLevel, float]:
+        """Split the DRAM fraction into local/remote by page placement."""
+        out = dict(fractions)
+        dram = out.pop(MemLevel.LOCAL_DRAM, 0.0) + out.pop(MemLevel.REMOTE_DRAM, 0.0)
+        local = float(node_fractions[src_node]) if src_node < node_fractions.size else 0.0
+        out[MemLevel.LOCAL_DRAM] = dram * local
+        out[MemLevel.REMOTE_DRAM] = dram * (1.0 - local)
+        return out
+
+    def _stream_latencies(
+        self,
+        ctx: _StreamCtx,
+        mc_rho: np.ndarray,
+        link_rho: np.ndarray,
+        ch_index: dict[Channel, int],
+    ) -> dict[tuple[MemLevel, int], float]:
+        """Median latency per (level, dst node) under current utilizations."""
+        lm = self.latency_model
+        src = ctx.src_node
+        is_random = ctx.stream.profile.kind is PatternKind.RANDOM
+        out: dict[tuple[MemLevel, int], float] = {}
+        for lvl, frac in ctx.fractions.items():
+            if frac <= 0:
+                continue
+            if lvl is MemLevel.LOCAL_DRAM:
+                out[(lvl, src)] = lm.effective_latency(
+                    lvl, mc_rho=float(mc_rho[src]), random_access=is_random
+                )
+            elif lvl is MemLevel.REMOTE_DRAM:
+                nf = ctx.stream.node_fractions
+                for dst in range(nf.size):
+                    if dst == src or nf[dst] <= 0:
+                        continue
+                    li = ch_index[Channel(src, dst)]
+                    out[(lvl, dst)] = lm.effective_latency(
+                        lvl,
+                        mc_rho=float(mc_rho[dst]),
+                        link_rho=float(link_rho[li]),
+                        random_access=is_random,
+                    )
+            else:
+                out[(lvl, src)] = lm.base_latency(lvl)
+        return out
+
+    def _thread_rate(
+        self,
+        per_thread: list[_StreamCtx],
+        mc_rho: np.ndarray,
+        link_rho: np.ndarray,
+        ch_index: dict[Channel, int],
+        extra_stall: float,
+    ) -> float:
+        """Issue rate (accesses/cycle) of one thread at given utilizations."""
+        phase = per_thread[0].state.current_phase()
+        assert phase is not None
+        stall = 0.0
+        for ctx in per_thread:
+            lats = self._stream_latencies(ctx, mc_rho, link_rho, ch_index)
+            src = ctx.src_node
+            nf = ctx.stream.node_fractions
+            remote_total = 1.0 - float(nf[src])
+            s = 0.0
+            for lvl, frac in ctx.fractions.items():
+                if frac <= 0:
+                    continue
+                if lvl is MemLevel.REMOTE_DRAM:
+                    # Average remote latency over target nodes.
+                    lat = 0.0
+                    for dst in range(nf.size):
+                        if dst == src or nf[dst] <= 0:
+                            continue
+                        lat += (nf[dst] / max(remote_total, _EPS)) * lats[(lvl, dst)]
+                else:
+                    lat = lats[(lvl, src if lvl is not MemLevel.LOCAL_DRAM else src)]
+                s += frac * lat
+            stall += ctx.stream.weight * s / ctx.mlp
+        denom = phase.compute_cycles_per_access + stall + extra_stall
+        if denom <= 0:
+            raise SimulationError("thread with zero cost per access")
+        return 1.0 / denom
+
+    # -- recording ----------------------------------------------------------------
+
+    def _record_interval(
+        self,
+        now: float,
+        dt: float,
+        runnable: list[_ThreadState],
+        rates: list[float],
+        ctxs: list[list[_StreamCtx]],
+        memctrl: MemoryControllerSet,
+        fabric: InterconnectFabric,
+        bucket_acc: dict[tuple, list[float]],
+        phase_spans: dict[tuple[int, str], list[float]],
+    ) -> None:
+        topo = self.topology
+        n_nodes = topo.n_sockets
+        node_bytes = np.zeros(n_nodes)
+        chan_bytes = np.zeros(len(fabric))
+
+        for st, rate, per_thread in zip(runnable, rates, ctxs):
+            phase = st.current_phase()
+            assert phase is not None
+            key = (st.phase_idx, phase.name)
+            span = phase_spans.setdefault(key, [now, now + dt])
+            span[0] = min(span[0], now)
+            span[1] = max(span[1], now + dt)
+
+            accesses = rate * dt
+            for ctx in per_thread:
+                lats = getattr(ctx, "latencies")
+                stream_accesses = accesses * ctx.stream.weight
+                nf = ctx.stream.node_fractions
+                src = ctx.src_node
+                remote_total = 1.0 - float(nf[src])
+                # Traffic accounting.
+                for dst in range(n_nodes):
+                    traffic = ctx.traffic_coeff[dst] * rate * dt
+                    if traffic <= 0:
+                        continue
+                    node_bytes[dst] += traffic
+                    if dst != src:
+                        chan_bytes[fabric.index_of(Channel(src, dst))] += traffic
+                # Sample buckets.
+                for lvl, frac in ctx.fractions.items():
+                    if frac <= 0:
+                        continue
+                    if lvl is MemLevel.REMOTE_DRAM:
+                        for dst in range(n_nodes):
+                            if dst == src or nf[dst] <= 0:
+                                continue
+                            cnt = stream_accesses * frac * nf[dst] / max(remote_total, _EPS)
+                            self._accumulate(
+                                bucket_acc, st, ctx, lvl, dst, cnt, lats[(lvl, dst)]
+                            )
+                    else:
+                        cnt = stream_accesses * frac
+                        self._accumulate(
+                            bucket_acc, st, ctx, lvl, src, cnt, lats[(lvl, src)]
+                        )
+
+        memctrl.record_interval(now, dt, node_bytes)
+        fabric.record_interval(now, dt, chan_bytes)
+
+    @staticmethod
+    def _accumulate(
+        bucket_acc: dict[tuple, list[float]],
+        st: _ThreadState,
+        ctx: _StreamCtx,
+        level: MemLevel,
+        dst: int,
+        count: float,
+        latency: float,
+    ) -> None:
+        if count <= 0:
+            return
+        # Quarter-octave latency bins keep contended vs calm intervals
+        # distinguishable without unbounded bucket growth.
+        lat_bin = int(round(4.0 * math.log2(max(latency, 1.0))))
+        key = (
+            st.program.thread_id,
+            st.program.cpu,
+            ctx.src_node,
+            ctx.stream.object_id,
+            ctx.stream.region_base,
+            ctx.stream.region_bytes,
+            int(level),
+            dst,
+            lat_bin,
+        )
+        acc = bucket_acc.setdefault(key, [0.0, 0.0])
+        acc[0] += count
+        acc[1] += count * latency
+
+    @staticmethod
+    def _finalize_buckets(bucket_acc: dict[tuple, list[float]]) -> list[SampleBucket]:
+        buckets = []
+        for key, (count, lat_sum) in sorted(bucket_acc.items()):
+            tid, cpu, src, obj, base, size, lvl, dst, _ = key
+            buckets.append(
+                SampleBucket(
+                    thread_id=tid,
+                    cpu=cpu,
+                    src_node=src,
+                    object_id=obj,
+                    region_base=base,
+                    region_bytes=size,
+                    level=MemLevel(lvl),
+                    dst_node=dst,
+                    n_accesses=count,
+                    mean_latency=lat_sum / count,
+                )
+            )
+        return buckets
+
+    @staticmethod
+    def _phase_timings(phase_spans: dict[tuple[int, str], list[float]]) -> list[PhaseTiming]:
+        return [
+            PhaseTiming(name=name, start_cycle=span[0], end_cycle=span[1])
+            for (_, name), span in sorted(phase_spans.items())
+        ]

@@ -1,0 +1,107 @@
+"""Directed inter-socket interconnect fabric.
+
+The paper stresses (Section III.a) that interconnect bandwidth differs per
+channel *and per direction*, so every ordered socket pair gets its own
+bandwidth resource.  The fabric mirrors
+:class:`repro.numasim.memctrl.MemoryControllerSet` but is keyed by
+:class:`repro.types.Channel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError, TopologyError
+from repro.numasim.memctrl import UtilizationRecord
+from repro.numasim.topology import NumaTopology
+from repro.types import Channel
+
+__all__ = ["InterconnectFabric"]
+
+
+class InterconnectFabric:
+    """Bandwidth accounting for every directed inter-socket channel."""
+
+    def __init__(
+        self,
+        topology: NumaTopology,
+        capacity_overrides: dict[Channel, float] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.channels: list[Channel] = topology.remote_channels()
+        self._index: dict[Channel, int] = {c: i for i, c in enumerate(self.channels)}
+        caps = np.full(len(self.channels), topology.link_bw_bytes_per_cycle)
+        for ch, cap in (capacity_overrides or {}).items():
+            topology.validate_channel(ch)
+            if not ch.is_remote:
+                raise TopologyError(f"cannot override capacity of local channel {ch}")
+            if cap <= 0:
+                raise TopologyError(f"capacity for {ch} must be positive")
+            caps[self._index[ch]] = cap
+        self.capacities = caps
+        self._bytes = np.zeros(len(self.channels), dtype=np.float64)
+        self._busy_cycles = np.zeros(len(self.channels), dtype=np.float64)
+        self._total_cycles = 0.0
+        self._history: list[list[UtilizationRecord]] = [[] for _ in self.channels]
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def index_of(self, channel: Channel) -> int:
+        """Dense index of ``channel`` (raises for local/unknown channels)."""
+        try:
+            return self._index[channel]
+        except KeyError:
+            raise TopologyError(f"no interconnect channel {channel}") from None
+
+    def capacity_of(self, channel: Channel) -> float:
+        """Bytes/cycle capacity of ``channel``."""
+        return float(self.capacities[self.index_of(channel)])
+
+    def record_interval(
+        self,
+        start_cycle: float,
+        duration_cycles: float,
+        bytes_per_channel: np.ndarray,
+    ) -> None:
+        """Account per-channel traffic over one simulated interval."""
+        b = np.asarray(bytes_per_channel, dtype=np.float64)
+        if b.shape != (len(self.channels),):
+            raise TopologyError(
+                f"expected {len(self.channels)} channel byte counts, got {b.shape}"
+            )
+        if duration_cycles < 0 or np.any(b < 0):
+            raise SimulationError("negative duration or traffic")
+        self._bytes += b
+        self._total_cycles += duration_cycles
+        if duration_cycles > 0:
+            rho = np.minimum(b / (self.capacities * duration_cycles), 1.0)
+            self._busy_cycles += rho * duration_cycles
+            for i in range(len(self.channels)):
+                self._history[i].append(
+                    UtilizationRecord(
+                        start_cycle=start_cycle,
+                        duration_cycles=duration_cycles,
+                        utilization=float(rho[i]),
+                        bytes_moved=float(b[i]),
+                    )
+                )
+
+    def total_bytes(self, channel: Channel) -> float:
+        """Cumulative bytes moved over ``channel``."""
+        return float(self._bytes[self.index_of(channel)])
+
+    def mean_utilization(self, channel: Channel) -> float:
+        """Time-weighted average utilization of ``channel``."""
+        if self._total_cycles == 0:
+            return 0.0
+        return float(self._busy_cycles[self.index_of(channel)] / self._total_cycles)
+
+    def peak_utilization(self, channel: Channel) -> float:
+        """Highest interval utilization seen on ``channel``."""
+        hist = self._history[self.index_of(channel)]
+        return max((r.utilization for r in hist), default=0.0)
+
+    def history(self, channel: Channel) -> list[UtilizationRecord]:
+        """Interval-by-interval utilization records for ``channel``."""
+        return list(self._history[self.index_of(channel)])

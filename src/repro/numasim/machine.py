@@ -1,0 +1,50 @@
+"""The :class:`Machine` facade.
+
+Bundles a topology, a latency model, and an analytical cache model into the
+single object the rest of the library passes around, and exposes ``run`` for
+executing compiled thread programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.numasim.cachemodel import CacheModel
+from repro.numasim.engine import ExecutionEngine, RunResult, ThreadProgram
+from repro.numasim.latency import LatencyModel
+from repro.numasim.topology import NumaTopology
+from repro.types import Channel
+
+__all__ = ["Machine"]
+
+
+@dataclass
+class Machine:
+    """A simulated NUMA machine (defaults mirror the paper's E5-4650 box)."""
+
+    topology: NumaTopology = field(default_factory=NumaTopology)
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+    cache_model: CacheModel = field(default_factory=CacheModel)
+    #: Optional per-channel capacity overrides (asymmetric interconnects).
+    link_capacity_overrides: dict[Channel, float] | None = None
+
+    def engine(self, barriers: bool = True) -> ExecutionEngine:
+        """Build an execution engine for this machine."""
+        return ExecutionEngine(
+            topology=self.topology,
+            latency_model=self.latency_model,
+            cache_model=self.cache_model,
+            barriers=barriers,
+            link_capacity_overrides=self.link_capacity_overrides,
+        )
+
+    def run(
+        self,
+        programs: list[ThreadProgram],
+        barriers: bool = True,
+        extra_stall_cycles_per_access: float = 0.0,
+    ) -> RunResult:
+        """Execute ``programs`` on this machine and return the run record."""
+        return self.engine(barriers=barriers).run(
+            programs, extra_stall_cycles_per_access=extra_stall_cycles_per_access
+        )

@@ -1,0 +1,164 @@
+"""NUMA topology description.
+
+The default topology mirrors the paper's evaluation platform: a 32-core
+(8 cores × 4 sockets) Intel Xeon E5-4650 at 2.70 GHz with Hyper-Threading,
+32 KB L1 and 256 KB L2 per core, 20 MB L3 per socket, and 64 GB DRAM per
+socket.  Sockets are fully interconnected (Figure 1 of the paper), and each
+ordered socket pair has its own directed channel — interconnect bandwidth is
+asymmetric on real machines, so the two directions are distinct resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.types import Channel
+
+__all__ = ["CacheSpec", "NumaTopology"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheSpec:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise TopologyError(f"cache dimensions must be positive: {self}")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise TopologyError(
+                f"cache size {self.size_bytes} is not divisible by "
+                f"line*associativity ({self.line_bytes}*{self.associativity})"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """A multi-socket, fully interconnected NUMA machine description.
+
+    Core numbering is contiguous per socket: cores ``[s*cores_per_socket,
+    (s+1)*cores_per_socket)`` live on socket ``s``.  With SMT, hardware
+    thread (CPU) ids extend the same scheme: CPU ``c`` and CPU
+    ``c + n_cores`` share physical core ``c`` — the layout Linux exposes on
+    the paper's machine.
+    """
+
+    n_sockets: int = 4
+    cores_per_socket: int = 8
+    smt: int = 2
+    clock_ghz: float = 2.70
+    l1: CacheSpec = field(default_factory=lambda: CacheSpec(32 * 1024, 64, 8))
+    l2: CacheSpec = field(default_factory=lambda: CacheSpec(256 * 1024, 64, 8))
+    l3: CacheSpec = field(default_factory=lambda: CacheSpec(20 * 1024 * 1024, 64, 20))
+    dram_bytes_per_node: int = 64 * 1024**3
+    #: Peak local DRAM bandwidth per memory controller, bytes/cycle.
+    #: ~38 GB/s at 2.7 GHz ≈ 14 B/cycle (quad-channel DDR3-1600 derated).
+    dram_bw_bytes_per_cycle: float = 14.0
+    #: Peak bandwidth of one *directed* inter-socket channel, bytes/cycle.
+    #: One QPI link at 8 GT/s moves ~12.8 GB/s per direction ≈ 4.7 B/cycle.
+    link_bw_bytes_per_cycle: float = 4.7
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise TopologyError("need at least one socket")
+        if self.cores_per_socket < 1:
+            raise TopologyError("need at least one core per socket")
+        if self.smt < 1:
+            raise TopologyError("SMT factor must be >= 1")
+        if self.clock_ghz <= 0:
+            raise TopologyError("clock must be positive")
+        if self.dram_bw_bytes_per_cycle <= 0 or self.link_bw_bytes_per_cycle <= 0:
+            raise TopologyError("bandwidth capacities must be positive")
+
+    # -- counting -----------------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        """Number of physical cores."""
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def n_cpus(self) -> int:
+        """Number of hardware threads (logical CPUs)."""
+        return self.n_cores * self.smt
+
+    @property
+    def total_dram_bytes(self) -> int:
+        """DRAM across all nodes."""
+        return self.dram_bytes_per_node * self.n_sockets
+
+    # -- lookups ------------------------------------------------------------
+
+    def node_of_cpu(self, cpu: int) -> int:
+        """NUMA node hosting logical CPU ``cpu``."""
+        if not 0 <= cpu < self.n_cpus:
+            raise TopologyError(f"cpu {cpu} out of range [0, {self.n_cpus})")
+        core = cpu % self.n_cores
+        return core // self.cores_per_socket
+
+    def core_of_cpu(self, cpu: int) -> int:
+        """Physical core hosting logical CPU ``cpu``."""
+        if not 0 <= cpu < self.n_cpus:
+            raise TopologyError(f"cpu {cpu} out of range [0, {self.n_cpus})")
+        return cpu % self.n_cores
+
+    def cpus_of_node(self, node: int) -> list[int]:
+        """All logical CPUs on NUMA node ``node``, SMT siblings last."""
+        if not 0 <= node < self.n_sockets:
+            raise TopologyError(f"node {node} out of range [0, {self.n_sockets})")
+        first = node * self.cores_per_socket
+        cores = range(first, first + self.cores_per_socket)
+        return [c + t * self.n_cores for t in range(self.smt) for c in cores]
+
+    def cores_of_node(self, node: int) -> list[int]:
+        """Physical cores on node ``node``."""
+        if not 0 <= node < self.n_sockets:
+            raise TopologyError(f"node {node} out of range [0, {self.n_sockets})")
+        first = node * self.cores_per_socket
+        return list(range(first, first + self.cores_per_socket))
+
+    # -- channels ------------------------------------------------------------
+
+    def remote_channels(self) -> list[Channel]:
+        """Every directed inter-socket channel, sorted."""
+        return [
+            Channel(s, d)
+            for s in range(self.n_sockets)
+            for d in range(self.n_sockets)
+            if s != d
+        ]
+
+    def all_channels(self) -> list[Channel]:
+        """Remote channels plus the per-node 'local' pseudo-channels."""
+        return [
+            Channel(s, d)
+            for s in range(self.n_sockets)
+            for d in range(self.n_sockets)
+        ]
+
+    def validate_channel(self, channel: Channel) -> None:
+        """Raise :class:`TopologyError` unless ``channel`` exists here."""
+        if not (0 <= channel.src < self.n_sockets and 0 <= channel.dst < self.n_sockets):
+            raise TopologyError(f"channel {channel} not in a {self.n_sockets}-socket machine")
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert wall-clock seconds to core cycles."""
+        return seconds * self.clock_ghz * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert core cycles to wall-clock seconds."""
+        return cycles / (self.clock_ghz * 1e9)

@@ -1,0 +1,156 @@
+"""Cross-validation of the analytical cache model against exact traces.
+
+The fast engine path trusts :mod:`repro.numasim.cachemodel`'s closed-form
+hit fractions.  This module generates *actual address traces* for each
+access pattern and pushes them through the exact set-associative
+hierarchy of :mod:`repro.numasim.cache`, so the two models can be
+compared on the statistic that matters to DR-BW: the per-level access
+mix.
+
+Used by the test suite as a regression harness on the analytical
+formulas (``tests/numasim/test_validate.py``) and available to users who
+tweak :class:`~repro.numasim.cachemodel.CacheModel` parameters and want
+to re-anchor them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.numasim.cache import CacheHierarchy
+from repro.numasim.cachemodel import CacheModel, EffectiveCaches, PatternKind, StreamProfile
+from repro.numasim.topology import CacheSpec
+from repro.types import CACHE_LINE_BYTES, MemLevel
+
+__all__ = ["TraceMixComparison", "generate_trace", "compare_against_exact"]
+
+
+def generate_trace(
+    profile: StreamProfile,
+    base: int = 0,
+    n_accesses: int | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Byte-address trace realizing ``profile`` over ``[base, base+W)``.
+
+    ``n_accesses`` defaults to ``passes`` full traversals for streaming
+    patterns and ``passes * W / element`` references for random ones.
+    """
+    rng = np.random.default_rng(seed)
+    ws = profile.working_set_bytes
+    if profile.kind is PatternKind.SEQUENTIAL:
+        step = profile.element_bytes
+        one_pass = np.arange(0, ws - step + 1, step, dtype=np.int64)
+        passes = max(int(round(profile.passes)), 1)
+        trace = np.tile(one_pass, passes)
+    elif profile.kind is PatternKind.STRIDED:
+        step = int(profile.stride_bytes or profile.element_bytes)
+        one_pass = np.arange(0, ws - 1, step, dtype=np.int64)
+        passes = max(int(round(profile.passes)), 1)
+        trace = np.tile(one_pass, passes)
+    elif profile.kind is PatternKind.RANDOM:
+        n = n_accesses or max(int(profile.passes * ws / profile.element_bytes), 1)
+        slots = ws // profile.element_bytes
+        trace = rng.integers(0, slots, size=n, dtype=np.int64) * profile.element_bytes
+    elif profile.kind is PatternKind.POINTER_CHASE:
+        # Same-set conflict chain, as the bandit builds it.
+        raise WorkloadError(
+            "pointer-chase traces come from repro.workloads.bandit."
+            "build_chase_addresses (they need the cache geometry)"
+        )
+    else:  # pragma: no cover - exhaustive over PatternKind
+        raise WorkloadError(f"unknown pattern {profile.kind}")
+    if n_accesses is not None:
+        trace = trace[:n_accesses]
+    return base + trace
+
+
+@dataclass(frozen=True)
+class TraceMixComparison:
+    """Analytical vs exact per-level access mixes for one profile."""
+
+    profile: StreamProfile
+    analytical: dict[MemLevel, float]
+    exact: dict[MemLevel, float]
+
+    def dram_gap(self) -> float:
+        """Absolute gap in the *line-fetch* (DRAM traffic) fraction.
+
+        The two LFB semantics differ: the analytical model books
+        prefetch-hidden line fetches as LFB, so its fetch fraction is
+        ``LFB + DRAM``; the exact simulator books same-line hits on an
+        in-flight fill as LFB (those are spatial hits, not fetches), so
+        its fetch fraction is the DRAM levels alone.
+        """
+        a = sum(
+            self.analytical.get(k, 0.0)
+            for k in (MemLevel.LFB, MemLevel.LOCAL_DRAM, MemLevel.REMOTE_DRAM)
+        )
+        e = sum(
+            self.exact.get(k, 0.0)
+            for k in (MemLevel.LOCAL_DRAM, MemLevel.REMOTE_DRAM)
+        )
+        return abs(a - e)
+
+    def cache_gap(self) -> float:
+        """Absolute gap in the cache-served (non-fetch) fraction.
+
+        Symmetric to :meth:`dram_gap`: the exact simulator's LFB hits
+        count as cache-served here (they are same-line spatial hits).
+        """
+        a = sum(
+            self.analytical.get(k, 0.0)
+            for k in (MemLevel.L1, MemLevel.L2, MemLevel.L3)
+        )
+        e = sum(
+            self.exact.get(k, 0.0)
+            for k in (MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.LFB)
+        )
+        return abs(a - e)
+
+
+def compare_against_exact(
+    profile: StreamProfile,
+    l1: CacheSpec | None = None,
+    l2: CacheSpec | None = None,
+    l3: CacheSpec | None = None,
+    model: CacheModel | None = None,
+    max_trace: int = 200_000,
+    seed: int = 0,
+) -> TraceMixComparison:
+    """Run ``profile`` both ways and return the two level mixes.
+
+    Cache specs default to a scaled-down hierarchy (4 KiB / 32 KiB /
+    256 KiB) so traces stay short; the analytical model receives the same
+    effective capacities, making the comparison apples-to-apples.
+    """
+    l1 = l1 or CacheSpec(4 * 1024, CACHE_LINE_BYTES, 8)
+    l2 = l2 or CacheSpec(32 * 1024, CACHE_LINE_BYTES, 8)
+    l3 = l3 or CacheSpec(256 * 1024, CACHE_LINE_BYTES, 16)
+    model = model or CacheModel()
+
+    caches = EffectiveCaches(
+        l1_bytes=float(l1.size_bytes),
+        l2_bytes=float(l2.size_bytes),
+        l3_bytes=float(l3.size_bytes),
+    )
+    analytical = model.level_fractions(profile, caches).fractions
+
+    trace = generate_trace(profile, seed=seed)
+    if trace.size > max_trace:
+        raise WorkloadError(
+            f"trace of {trace.size} accesses exceeds max_trace={max_trace}; "
+            "shrink the working set or pass a larger budget"
+        )
+    hier = CacheHierarchy(l1, l2, l3)
+    levels = hier.run_trace(trace)
+    counts = np.bincount(levels, minlength=max(MemLevel) + 1)
+    exact = {
+        lvl: float(counts[int(lvl)]) / trace.size
+        for lvl in MemLevel
+        if counts[int(lvl)]
+    }
+    return TraceMixComparison(profile=profile, analytical=dict(analytical), exact=exact)

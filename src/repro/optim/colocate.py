@@ -1,0 +1,29 @@
+"""The *co-locate* optimization.
+
+Section VIII.A: *"we break the data into multiple segments and co-locate
+each with its computation at the array allocation point"* — each thread's
+chunk of the array is placed on that thread's NUMA node (via libnuma in
+the real tool; via the compiler's chunk-aware placement here).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+__all__ = ["colocate_objects"]
+
+
+def colocate_objects(workload: Workload, names: set[str] | None = None) -> Workload:
+    """Co-locate the named objects' chunks with their computing threads.
+
+    ``names`` defaults to every *heap* object — static data cannot be
+    re-placed at an allocation point (it has none), matching the tool's
+    limitation in the SP and LULESH case studies.
+    """
+    if names is None:
+        names = {o.name for o in workload.objects if o.is_heap}
+    for n in names:
+        if not workload.object_spec(n).is_heap:
+            raise WorkloadError(f"cannot co-locate static object {n!r}")
+    return workload.with_colocation(names)

@@ -1,0 +1,25 @@
+"""The *interleave* optimization (the paper's coarse-grained baseline).
+
+Pages are distributed round-robin across NUMA nodes, balancing memory
+requests at the cost of extra remote accesses — which is why it helps a
+saturated solver phase yet hurts serial or well-placed phases (Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.osl.pages import Interleave
+from repro.workloads.base import Workload
+
+__all__ = ["interleave_objects"]
+
+
+def interleave_objects(
+    workload: Workload,
+    names: set[str] | None = None,
+    nodes: tuple[int, ...] = (),
+) -> Workload:
+    """Interleave the named objects' pages (all objects when ``names`` is
+    None — the whole-program ``numactl --interleave`` baseline)."""
+    if names is None:
+        names = {o.name for o in workload.objects}
+    return workload.with_policies({n: Interleave(nodes) for n in names})

@@ -1,0 +1,33 @@
+"""The *replicate* optimization.
+
+Section VIII.C: Streamcluster's ``block`` array is *"randomly accessed by
+all the threads and the data is never overwritten after the
+initialization. Thus, we create shadow replications of block for the
+threads in each NUMA node, so all the accesses to block can go to local
+memory."*  Replication trades memory footprint for locality and is only
+sound for read-only data — the transform refuses objects any stream
+writes to.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.osl.pages import Replicated
+from repro.workloads.base import Workload
+
+__all__ = ["replicate_objects"]
+
+
+def replicate_objects(workload: Workload, names: set[str]) -> Workload:
+    """Give every node a read-only replica of the named objects."""
+    for phase in workload.phases:
+        for stream in phase.streams:
+            if stream.object_name in names and stream.write_fraction > 0:
+                raise WorkloadError(
+                    f"object {stream.object_name!r} is written in phase "
+                    f"{phase.name!r}; replication requires read-only data"
+                )
+    for n in names:
+        if not workload.object_spec(n).is_heap:
+            raise WorkloadError(f"cannot replicate static object {n!r}")
+    return workload.with_policies({n: Replicated() for n in names})

@@ -1,0 +1,55 @@
+"""End-to-end speedup measurement for optimization transforms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.numasim.machine import Machine
+from repro.workloads.base import Workload
+from repro.workloads.runner import WorkloadRun, run_workload
+
+__all__ = ["SpeedupResult", "measure_speedup"]
+
+
+@dataclass(frozen=True)
+class SpeedupResult:
+    """Original vs optimized execution, whole-run and per-phase."""
+
+    original: WorkloadRun
+    optimized: WorkloadRun
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end speedup (>1 means the transform helped)."""
+        return self.original.total_cycles / self.optimized.total_cycles
+
+    def phase_speedup(self, phase_name: str) -> float:
+        """Speedup of one named phase (Figure 5's per-phase bars)."""
+        orig = self.original.result.phase_cycles(phase_name)
+        opt = self.optimized.result.phase_cycles(phase_name)
+        if orig <= 0 or opt <= 0:
+            raise ValueError(f"phase {phase_name!r} missing from one of the runs")
+        return orig / opt
+
+    @property
+    def remote_traffic_reduction(self) -> float:
+        """Fractional drop in remote-channel bytes (paper reports 50-88%)."""
+        before = sum(self.original.result.channel_bytes().values())
+        after = sum(self.optimized.result.channel_bytes().values())
+        if before <= 0:
+            return 0.0
+        return 1.0 - after / before
+
+
+def measure_speedup(
+    original: Workload,
+    optimized: Workload,
+    machine: Machine,
+    n_threads: int,
+    n_nodes: int,
+) -> SpeedupResult:
+    """Run both variants under the same configuration and compare."""
+    return SpeedupResult(
+        original=run_workload(original, machine, n_threads, n_nodes),
+        optimized=run_workload(optimized, machine, n_threads, n_nodes),
+    )

@@ -1,0 +1,77 @@
+"""A libnuma-flavoured facade.
+
+DR-BW uses the libnuma library [14] for two things: resolving the locating
+node of a sampled address (profiler, Section IV.B) and controlling memory
+allocation during optimization (case studies, Section VIII).  This module
+exposes the corresponding entry points with their familiar names, bound to
+one :class:`~repro.osl.pages.PageTable` + :class:`~repro.osl.alloc.HeapAllocator`
+pair, so workload and optimizer code reads like the C it stands in for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidAddressError
+from repro.osl.alloc import DataObject, HeapAllocator
+from repro.osl.pages import BindToNode, Interleave, PageTable, Replicated
+
+__all__ = ["LibNuma"]
+
+
+@dataclass(frozen=True)
+class LibNuma:
+    """libnuma-style API over the simulated OS state."""
+
+    page_table: PageTable
+    allocator: HeapAllocator
+
+    # -- queries ------------------------------------------------------------
+
+    def numa_num_configured_nodes(self) -> int:
+        """Number of NUMA nodes in the system."""
+        return self.page_table.n_nodes
+
+    def numa_node_of_address(self, addr: int, accessor_node: int | None = None) -> int:
+        """Locating node of ``addr`` — the profiler's per-sample lookup."""
+        return self.page_table.node_of_address(addr, accessor_node=accessor_node)
+
+    def numa_node_distribution(self, obj: DataObject) -> np.ndarray:
+        """Fraction of ``obj``'s pages on each node."""
+        return self.page_table.node_fractions(obj.base, obj.size_bytes)
+
+    # -- allocation ----------------------------------------------------------
+
+    def numa_alloc_onnode(self, size_bytes: int, node: int, site: str, **kwargs) -> DataObject:
+        """Allocate with every page bound to ``node``."""
+        return self.allocator.malloc(size_bytes, site, policy=BindToNode(node), **kwargs)
+
+    def numa_alloc_interleaved(self, size_bytes: int, site: str, nodes: tuple[int, ...] = (), **kwargs) -> DataObject:
+        """Allocate with pages interleaved over ``nodes`` (all when empty)."""
+        return self.allocator.malloc(size_bytes, site, policy=Interleave(nodes), **kwargs)
+
+    def numa_free(self, obj: DataObject) -> None:
+        """Release an allocation."""
+        self.allocator.free(obj)
+
+    # -- migration -----------------------------------------------------------
+
+    def numa_move_pages_interleaved(self, obj: DataObject, nodes: tuple[int, ...] = ()) -> DataObject:
+        """Migrate an object's pages to an interleaved layout."""
+        return self.allocator.apply_policy(obj, Interleave(nodes))
+
+    def numa_move_pages_onnode(self, obj: DataObject, node: int) -> DataObject:
+        """Migrate an object's pages onto one node."""
+        return self.allocator.apply_policy(obj, BindToNode(node))
+
+    def numa_replicate(self, obj: DataObject) -> DataObject:
+        """Give every node its own read-only replica of ``obj``.
+
+        Only meaningful for data that is never written after initialization
+        (the caller asserts this, as in the Streamcluster case study).
+        """
+        if not obj.is_heap:
+            raise InvalidAddressError("cannot replicate untracked static data")
+        return self.allocator.apply_policy(obj, Replicated())

@@ -1,0 +1,65 @@
+"""Thread-to-core binding in the paper's ``Tt-Nn`` scheme.
+
+Section VII: *"We use Tt-Nn to represent a specific configuration with
+total t threads and n nodes used.  The total t threads are evenly
+distributed among the n nodes.  Threads are also bound to the cores, e.g.
+for T16-N4, threads 0-3 are bound to node 0, threads 4-7 are in node 1,
+..."* — contiguous blocks of ``t/n`` threads per node, each thread pinned
+to its own logical CPU, spilling onto SMT siblings once the node's physical
+cores are exhausted (T64-N4 uses both hyperthreads of every core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BindingError
+from repro.numasim.topology import NumaTopology
+
+__all__ = ["ThreadBinding", "bind_threads_tt_nn"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadBinding:
+    """One software thread pinned to one logical CPU."""
+
+    thread_id: int
+    cpu: int
+    node: int
+
+
+def bind_threads_tt_nn(
+    topology: NumaTopology,
+    n_threads: int,
+    n_nodes: int,
+) -> list[ThreadBinding]:
+    """Produce the paper's ``Tt-Nn`` binding.
+
+    Raises :class:`BindingError` when ``t`` is not divisible by ``n``, when
+    ``n`` exceeds the socket count, or when a node would need more threads
+    than it has logical CPUs.
+    """
+    if n_threads < 1:
+        raise BindingError(f"need at least one thread, got {n_threads}")
+    if not 1 <= n_nodes <= topology.n_sockets:
+        raise BindingError(
+            f"n_nodes={n_nodes} out of range [1, {topology.n_sockets}]"
+        )
+    if n_threads % n_nodes != 0:
+        raise BindingError(
+            f"T{n_threads}-N{n_nodes}: threads must divide evenly among nodes"
+        )
+    per_node = n_threads // n_nodes
+    cpus_per_node = topology.cores_per_socket * topology.smt
+    if per_node > cpus_per_node:
+        raise BindingError(
+            f"T{n_threads}-N{n_nodes}: {per_node} threads per node exceeds "
+            f"{cpus_per_node} logical CPUs"
+        )
+    bindings: list[ThreadBinding] = []
+    for node in range(n_nodes):
+        node_cpus = topology.cpus_of_node(node)  # physical cores first, SMT after
+        for i in range(per_node):
+            tid = node * per_node + i
+            bindings.append(ThreadBinding(thread_id=tid, cpu=node_cpus[i], node=node))
+    return bindings

@@ -1,0 +1,129 @@
+"""The memory-sample record.
+
+One :class:`MemorySample` is what a PEBS interrupt hands to DR-BW: the
+effective address, the logical CPU, the software thread, the memory level
+that satisfied the access, and the latency in core cycles.  The *derived*
+fields — source node, locating (target) node, channel, data object — are
+filled in later by the profiler, exactly as the paper separates raw
+collection (Section IV.A) from channel association (IV.B) and data-object
+attribution (IV.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.types import Channel, MemLevel
+
+__all__ = ["MemorySample", "RawSampleBatch"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySample:
+    """One address sample, raw fields first, attributed fields after."""
+
+    address: int
+    cpu: int
+    thread_id: int
+    level: MemLevel
+    latency_cycles: float
+    # -- filled by the profiler --
+    src_node: int = -1
+    dst_node: int = -1
+    object_id: int = -1  # -1 == unattributed (static/stack or freed)
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("sample address must be >= 0")
+        if self.latency_cycles <= 0:
+            raise ValueError("sample latency must be positive")
+
+    @property
+    def is_attributed(self) -> bool:
+        """True once channel association has run."""
+        return self.src_node >= 0 and self.dst_node >= 0
+
+    @property
+    def channel(self) -> Channel:
+        """The directed channel this sample is evidence about."""
+        if not self.is_attributed:
+            raise ValueError("sample not yet associated with a channel")
+        return Channel(self.src_node, self.dst_node)
+
+    @property
+    def is_remote(self) -> bool:
+        """True for accesses that crossed sockets."""
+        return self.is_attributed and self.src_node != self.dst_node
+
+    def with_attribution(self, src_node: int, dst_node: int, object_id: int) -> "MemorySample":
+        """Return a copy with the profiler-derived fields filled in."""
+        return replace(self, src_node=src_node, dst_node=dst_node, object_id=object_id)
+
+
+@dataclass
+class RawSampleBatch:
+    """Columnar batch of raw (unattributed) samples.
+
+    The profiler works on batches — one numpy array per field — so
+    attribution and feature extraction stay vectorized even for runs with
+    hundreds of thousands of samples.  :meth:`to_samples` materializes the
+    per-record view when object-level APIs want it.
+    """
+
+    address: np.ndarray
+    cpu: np.ndarray
+    thread_id: np.ndarray
+    level: np.ndarray  # MemLevel integer codes
+    latency: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.address.shape[0]
+        for name in ("cpu", "thread_id", "level", "latency"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"batch field {name} has mismatched length")
+
+    def __len__(self) -> int:
+        return int(self.address.shape[0])
+
+    @classmethod
+    def empty(cls) -> "RawSampleBatch":
+        z = np.empty(0, dtype=np.int64)
+        return cls(z, z.copy(), z.copy(), z.copy(), np.empty(0, dtype=np.float64))
+
+    @classmethod
+    def concatenate(cls, batches: list["RawSampleBatch"]) -> "RawSampleBatch":
+        if not batches:
+            return cls.empty()
+        return cls(
+            address=np.concatenate([b.address for b in batches]),
+            cpu=np.concatenate([b.cpu for b in batches]),
+            thread_id=np.concatenate([b.thread_id for b in batches]),
+            level=np.concatenate([b.level for b in batches]),
+            latency=np.concatenate([b.latency for b in batches]),
+        )
+
+    def permuted(self, rng: np.random.Generator) -> "RawSampleBatch":
+        """A randomly reordered copy (PEBS interleaves threads' samples)."""
+        order = rng.permutation(len(self))
+        return RawSampleBatch(
+            address=self.address[order],
+            cpu=self.cpu[order],
+            thread_id=self.thread_id[order],
+            level=self.level[order],
+            latency=self.latency[order],
+        )
+
+    def to_samples(self) -> list[MemorySample]:
+        """Materialize per-record :class:`MemorySample` objects."""
+        return [
+            MemorySample(
+                address=int(self.address[i]),
+                cpu=int(self.cpu[i]),
+                thread_id=int(self.thread_id[i]),
+                level=MemLevel(int(self.level[i])),
+                latency_cycles=float(self.latency[i]),
+            )
+            for i in range(len(self))
+        ]

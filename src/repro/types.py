@@ -1,0 +1,91 @@
+"""Common value types shared across the DR-BW reproduction.
+
+These are deliberately tiny, immutable, and dependency-free so that every
+subsystem (machine simulator, OS layer, PMU, classifier) can exchange them
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "MemLevel",
+    "Mode",
+    "Channel",
+    "CACHE_LINE_BYTES",
+    "DRAM_LEVELS",
+]
+
+#: Cache line size used throughout the simulated machine, in bytes.
+CACHE_LINE_BYTES = 64
+
+
+class MemLevel(enum.IntEnum):
+    """Memory-hierarchy level a sampled access was satisfied from.
+
+    Mirrors the data-source encoding reported by PEBS-style address
+    sampling: core caches, the line fill buffer (an in-flight miss that a
+    second access hits), and local/remote DRAM.
+    """
+
+    L1 = 1
+    L2 = 2
+    L3 = 3
+    LFB = 4
+    LOCAL_DRAM = 5
+    REMOTE_DRAM = 6
+
+    @property
+    def is_dram(self) -> bool:
+        """True when the access was served by a memory controller."""
+        return self in DRAM_LEVELS
+
+
+#: Levels that hit main memory (and therefore consume DRAM bandwidth).
+DRAM_LEVELS = frozenset({MemLevel.LOCAL_DRAM, MemLevel.REMOTE_DRAM})
+
+
+class Mode(enum.Enum):
+    """Ground-truth / predicted label for one run or one channel.
+
+    The paper defines exactly two classes: ``good`` (no remote-memory
+    bandwidth contention) and ``rmc`` (remote-memory contention).
+    """
+
+    GOOD = "good"
+    RMC = "rmc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Channel:
+    """A directed inter-node link ``src -> dst``.
+
+    DR-BW diagnoses contention *per channel*: a sample between nodes 0 and 1
+    is only evidence about the 0→1 link, never about 0→2.  Local accesses
+    (``src == dst``) are represented with the same type for uniform
+    bookkeeping but are never classified as remote channels.
+    """
+
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"channel endpoints must be >= 0: {self}")
+
+    @property
+    def is_remote(self) -> bool:
+        """True for a genuine inter-socket link."""
+        return self.src != self.dst
+
+    def reversed(self) -> "Channel":
+        """The opposing-direction link (bandwidth may differ per direction)."""
+        return Channel(self.dst, self.src)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.src}->{self.dst}"

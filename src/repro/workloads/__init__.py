@@ -1,0 +1,36 @@
+"""Workload descriptions and compilation to engine programs.
+
+A workload is a declarative description of a multithreaded program's memory
+behaviour: named data objects (with allocation sites and NUMA policies) and
+phases of stationary access streams.  Compilation binds it to a machine
+topology and a ``Tt-Nn`` thread binding, allocates the objects through the
+OS layer, and emits :class:`~repro.numasim.engine.ThreadProgram` IR.
+
+* :mod:`repro.workloads.base` — the DSL and compiler;
+* :mod:`repro.workloads.micro` — the paper's training mini-programs
+  (sumv, dotv, countv);
+* :mod:`repro.workloads.bandit` — the single-threaded bandwidth bandit;
+* :mod:`repro.workloads.suites` — analogs of the 23 evaluation benchmarks.
+"""
+
+from repro.workloads.base import (
+    ObjectSpec,
+    StreamSpec,
+    PhaseSpec,
+    Workload,
+    CompiledWorkload,
+    compile_workload,
+    Share,
+)
+from repro.workloads.runner import run_workload
+
+__all__ = [
+    "ObjectSpec",
+    "StreamSpec",
+    "PhaseSpec",
+    "Workload",
+    "CompiledWorkload",
+    "compile_workload",
+    "Share",
+    "run_workload",
+]

@@ -1,0 +1,117 @@
+"""The single-threaded bandwidth bandit (Section V.A.2).
+
+The bandit issues memory accesses that always conflict in the caches so
+every request reaches main memory.  The construction follows Eklov et
+al.'s Bandwidth Bandit, as the paper does:
+
+1. allocate *huge pages*, so the page-offset → cache-set mapping is
+   deterministic (a 2 MiB page spans every set of the L3);
+2. build pointer-chase chains whose elements all map to the **same cache
+   set**, so each access conflict-misses;
+3. place the huge pages on a *remote* node to exercise remote-memory
+   bandwidth specifically;
+4. tune the number of chains ("streams") per instance, and co-run several
+   single-threaded instances, to dial in different bandwidth demands.
+
+:func:`build_chase_addresses` constructs the actual address chain and is
+validated against the exact set-associative cache simulator in the test
+suite — the chain must produce a ~100% L1/L2/L3 miss rate.
+
+Training note (Table II): all 48 bandit runs are labeled ``good``.  The
+bandit produces *many remote-DRAM samples at normal latency* — teaching
+the classifier that a high remote-access count alone does not imply
+contention; latency elevation must accompany it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.numasim.cachemodel import PatternKind
+from repro.numasim.topology import CacheSpec
+from repro.osl.pages import HUGE_PAGE_BYTES, BindToNode
+from repro.workloads.base import ObjectSpec, PhaseSpec, Share, StreamSpec, Workload
+
+__all__ = ["make_bandit", "build_chase_addresses"]
+
+
+def build_chase_addresses(
+    cache: CacheSpec,
+    base: int,
+    region_bytes: int,
+    target_set: int = 0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Addresses (one per huge-page 'row') that all map to one cache set.
+
+    With huge pages the low ``log2(page)`` address bits are untranslated,
+    so choosing offsets congruent to ``target_set * line`` modulo
+    ``n_sets * line`` pins every access to ``target_set``.  The returned
+    order is a random permutation — the pointer-chase order — so hardware
+    prefetchers cannot follow it.
+    """
+    if base % HUGE_PAGE_BYTES != 0:
+        raise WorkloadError("bandit region must be huge-page aligned")
+    if region_bytes < cache.n_sets * cache.line_bytes:
+        raise WorkloadError("bandit region smaller than one cache way span")
+    if not 0 <= target_set < cache.n_sets:
+        raise WorkloadError(f"target set {target_set} out of range")
+    span = cache.n_sets * cache.line_bytes  # bytes between same-set lines
+    n = region_bytes // span
+    addrs = base + np.arange(n, dtype=np.int64) * span + target_set * cache.line_bytes
+    rng = np.random.default_rng(seed)
+    return rng.permutation(addrs)
+
+
+def make_bandit(
+    n_instances: int = 1,
+    streams_per_instance: int = 1,
+    target_node: int = 1,
+    region_bytes: int = 64 * 1024 * 1024,
+    accesses_per_instance: float = 2_000_000.0,
+) -> Workload:
+    """Co-running bandit instances, each a single thread pointer-chasing
+    conflict misses against ``target_node``'s memory.
+
+    Each instance gets its own huge-page region bound to the target node;
+    the threads run on node 0, so all traffic crosses the ``0 → target``
+    channel.  ``streams_per_instance`` chains overlap their dependent
+    misses (MLP = streams).
+    """
+    if n_instances < 1:
+        raise WorkloadError("need at least one bandit instance")
+    if streams_per_instance < 1:
+        raise WorkloadError("need at least one stream per instance")
+    if target_node == 0:
+        raise WorkloadError("bandit targets a remote node; node 0 hosts the threads")
+    # One contiguous huge-page region bound to the target node; instance i
+    # (thread i) pointer-chases its own chunk, which is exactly the
+    # behaviour of i independent instances with private regions.
+    big = ObjectSpec(
+        name="chase",
+        size_bytes=region_bytes * n_instances,
+        site="bandit.c:42",
+        policy=BindToNode(target_node),
+        huge_pages=True,
+    )
+    return Workload(
+        name="bandit",
+        objects=(big,),
+        phases=(
+            PhaseSpec(
+                name="chase",
+                accesses_per_thread=accesses_per_instance,
+                compute_cycles_per_access=0.0,
+                streams=(
+                    StreamSpec(
+                        object_name="chase",
+                        pattern=PatternKind.POINTER_CHASE,
+                        share=Share.CHUNK,
+                        element_bytes=8,
+                        chains=streams_per_instance,
+                    ),
+                ),
+            ),
+        ),
+    )

@@ -1,0 +1,164 @@
+"""The paper's multithreaded training mini-programs (Section V.A.1).
+
+Three OpenMP-style vector kernels, each thread working on its own
+contiguous share of the data:
+
+* ``sumv``   — vector summation (one read stream);
+* ``dotv``   — dot product (two read streams);
+* ``countv`` — count occurrences of a value (one read stream, more compute
+  per element).
+
+All three allocate their vectors the way naive OpenMP code does: the
+master thread initializes them, so first-touch puts every page on node 0.
+Small vectors stay cache-resident ("good"); large vectors streamed by
+threads on several sockets pile remote traffic onto node 0's channels
+("rmc").  The ``colocate``/``policy`` knobs below let the training-set
+builder also produce large-but-friendly runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.numasim.cachemodel import PatternKind
+from repro.osl.pages import PagePlacementPolicy
+from repro.workloads.base import ObjectSpec, PhaseSpec, Share, StreamSpec, Workload
+
+__all__ = ["make_sumv", "make_dotv", "make_countv", "MICRO_BUILDERS"]
+
+#: Traversals of the vector per run — enough work for stable sampling.
+_DEFAULT_PASSES = 8.0
+
+#: Per-thread ceiling on simulated accesses.  The engine is
+#: piecewise-stationary, so a windowed access budget observes the same
+#: steady-state mix as the full traversal; a *per-thread* cap preserves the
+#: real scale relationship between runs — a 32-thread contended run emits
+#: ~32x the samples of a single-threaded bandit of equal duration, exactly
+#: as per-thread PEBS sampling does.
+_DEFAULT_THREAD_CAP = 4_000_000.0
+
+
+def _vector_objects(
+    names: list[str],
+    size_bytes: int,
+    site_prefix: str,
+    policy: PagePlacementPolicy | None,
+    colocate: bool,
+) -> tuple[ObjectSpec, ...]:
+    if size_bytes <= 0:
+        raise WorkloadError("vector size must be positive")
+    return tuple(
+        ObjectSpec(
+            name=n,
+            size_bytes=size_bytes,
+            site=f"{site_prefix}:{10 + i}",
+            policy=policy,
+            colocate=colocate,
+        )
+        for i, n in enumerate(names)
+    )
+
+
+def make_sumv(
+    vector_bytes: int,
+    policy: PagePlacementPolicy | None = None,
+    colocate: bool = False,
+    passes: float = _DEFAULT_PASSES,
+    thread_cap: float | None = _DEFAULT_THREAD_CAP,
+) -> Workload:
+    """``sumv``: each thread sums its own share of one vector."""
+    n_elems_per_pass = vector_bytes // 8
+    return Workload(
+        name="sumv",
+        objects=_vector_objects(["v"], vector_bytes, "sumv.c", policy, colocate),
+        phases=(
+            PhaseSpec(
+                name="sum",
+                accesses_per_thread=0.0,  # filled by scale below
+                compute_cycles_per_access=0.5,
+                streams=(
+                    StreamSpec(
+                        object_name="v",
+                        pattern=PatternKind.SEQUENTIAL,
+                        share=Share.CHUNK,
+                        passes=passes,
+                    ),
+                ),
+            ),
+        ),
+    ).with_accesses("sum", n_elems_per_pass * passes, thread_cap)
+
+
+def make_dotv(
+    vector_bytes: int,
+    policy: PagePlacementPolicy | None = None,
+    colocate: bool = False,
+    passes: float = _DEFAULT_PASSES,
+    thread_cap: float | None = _DEFAULT_THREAD_CAP,
+) -> Workload:
+    """``dotv``: each thread dots its shares of two vectors."""
+    n_elems_per_pass = 2 * (vector_bytes // 8)
+    return Workload(
+        name="dotv",
+        objects=_vector_objects(["a", "b"], vector_bytes, "dotv.c", policy, colocate),
+        phases=(
+            PhaseSpec(
+                name="dot",
+                accesses_per_thread=0.0,
+                compute_cycles_per_access=0.6,
+                streams=(
+                    StreamSpec(
+                        object_name="a",
+                        pattern=PatternKind.SEQUENTIAL,
+                        share=Share.CHUNK,
+                        weight=0.5,
+                        passes=passes,
+                    ),
+                    StreamSpec(
+                        object_name="b",
+                        pattern=PatternKind.SEQUENTIAL,
+                        share=Share.CHUNK,
+                        weight=0.5,
+                        passes=passes,
+                    ),
+                ),
+            ),
+        ),
+    ).with_accesses("dot", n_elems_per_pass * passes, thread_cap)
+
+
+def make_countv(
+    vector_bytes: int,
+    policy: PagePlacementPolicy | None = None,
+    colocate: bool = False,
+    passes: float = _DEFAULT_PASSES,
+    thread_cap: float | None = _DEFAULT_THREAD_CAP,
+) -> Workload:
+    """``countv``: each thread counts matches in its share (more compute)."""
+    n_elems_per_pass = vector_bytes // 8
+    return Workload(
+        name="countv",
+        objects=_vector_objects(["v"], vector_bytes, "countv.c", policy, colocate),
+        phases=(
+            PhaseSpec(
+                name="count",
+                accesses_per_thread=0.0,
+                compute_cycles_per_access=1.2,
+                streams=(
+                    StreamSpec(
+                        object_name="v",
+                        pattern=PatternKind.SEQUENTIAL,
+                        share=Share.CHUNK,
+                        passes=passes,
+                    ),
+                ),
+            ),
+        ),
+    ).with_accesses("count", n_elems_per_pass * passes, thread_cap)
+
+
+#: name -> builder, used by the training-set collector.
+MICRO_BUILDERS = {
+    "sumv": make_sumv,
+    "dotv": make_dotv,
+    "countv": make_countv,
+}

@@ -1,0 +1,42 @@
+"""Convenience runner: bind, compile, execute a workload in one call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.numasim.engine import RunResult
+from repro.numasim.machine import Machine
+from repro.osl.threads import bind_threads_tt_nn
+from repro.workloads.base import CompiledWorkload, Workload, compile_workload
+
+__all__ = ["WorkloadRun", "run_workload"]
+
+
+@dataclass
+class WorkloadRun:
+    """A finished run plus the compiled state behind it."""
+
+    compiled: CompiledWorkload
+    result: RunResult
+
+    @property
+    def total_cycles(self) -> float:
+        return self.result.total_cycles
+
+
+def run_workload(
+    workload: Workload,
+    machine: Machine,
+    n_threads: int,
+    n_nodes: int,
+    extra_stall_cycles_per_access: float = 0.0,
+) -> WorkloadRun:
+    """Run ``workload`` under the ``Tt-Nn`` binding on ``machine``."""
+    bindings = bind_threads_tt_nn(machine.topology, n_threads, n_nodes)
+    compiled = compile_workload(workload, machine.topology, bindings)
+    result = machine.run(
+        compiled.programs,
+        barriers=workload.barriers,
+        extra_stall_cycles_per_access=extra_stall_cycles_per_access,
+    )
+    return WorkloadRun(compiled=compiled, result=result)

@@ -1,0 +1,148 @@
+"""Shared helpers for benchmark analogs."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.numasim.cachemodel import PatternKind
+from repro.workloads.base import ObjectSpec, PhaseSpec, Share, StreamSpec, Workload
+
+__all__ = [
+    "MB",
+    "scale_bytes",
+    "compute_bound",
+    "chunked_streaming",
+]
+
+MB = 1024 * 1024
+
+#: Per-thread simulated-access ceiling for suite workloads (see
+#: :mod:`repro.workloads.micro` for the rationale).
+THREAD_CAP = 4_000_000.0
+
+
+def balanced_accesses(
+    parts: list[tuple[str, int, float]], element_bytes: int = 8
+) -> tuple[float, dict[str, float]]:
+    """Total accesses and per-stream weights from (name, bytes, passes).
+
+    Every element of every array is touched ``passes`` times, so the
+    phase's total access count and the stream weights follow from the
+    sizes — keeping the simulated mix consistent with the declared reuse
+    at any input scale.
+    """
+    if not parts:
+        raise WorkloadError("need at least one stream part")
+    counts = {name: (size // element_bytes) * passes for name, size, passes in parts}
+    total = sum(counts.values())
+    if total <= 0:
+        raise WorkloadError("streams perform no accesses")
+    weights = {name: c / total for name, c in counts.items()}
+    # Absorb float drift into the largest weight so they sum to exactly 1.
+    biggest = max(weights, key=weights.__getitem__)
+    weights[biggest] += 1.0 - sum(weights.values())
+    return total, weights
+
+
+def scale_bytes(base_bytes: int, scale: float) -> int:
+    """Scale a working-set size, staying page-positive."""
+    out = int(base_bytes * scale)
+    if out <= 0:
+        raise WorkloadError(f"scaled size {out} from base {base_bytes} x {scale}")
+    return out
+
+
+def compute_bound(
+    name: str,
+    working_set_bytes: int,
+    cpi: float,
+    site: str,
+    colocate: bool = True,
+    passes: float = 16.0,
+    element_bytes: int = 8,
+) -> Workload:
+    """A compute-bound kernel over thread-private chunks.
+
+    The shape shared by EP, Swaptions, Blackscholes-like codes: each thread
+    repeatedly walks its own (usually cache-resident) slice with plenty of
+    arithmetic per element.  ``colocate`` models parallel initialization
+    (OpenMP first-touch distributing pages), the common case for
+    well-written NPB kernels.  The total access count follows from the
+    element count and pass count, so the simulated mix stays consistent
+    with the declared reuse at every input scale.
+    """
+    total_accesses = (working_set_bytes // element_bytes) * passes
+    return Workload(
+        name=name,
+        objects=(
+            ObjectSpec(
+                name="data",
+                size_bytes=working_set_bytes,
+                site=site,
+                colocate=colocate,
+            ),
+        ),
+        phases=(
+            PhaseSpec(
+                name="compute",
+                accesses_per_thread=0.0,
+                compute_cycles_per_access=cpi,
+                streams=(
+                    StreamSpec(
+                        object_name="data",
+                        pattern=PatternKind.SEQUENTIAL,
+                        share=Share.CHUNK,
+                        passes=passes,
+                    ),
+                ),
+            ),
+        ),
+    ).with_accesses("compute", total_accesses, THREAD_CAP)
+
+
+def chunked_streaming(
+    name: str,
+    arrays: list[tuple[str, int, str]],
+    cpi: float,
+    colocate: bool = False,
+    passes: float = 4.0,
+    write_fraction: float = 0.2,
+    element_bytes: int = 8,
+) -> Workload:
+    """Master-allocated arrays streamed chunk-wise by every thread.
+
+    The IRSmk/NW shape: the master thread allocates and initializes
+    (first-touch → node 0) and the parallel loops then stream chunks —
+    the canonical NUMA pathology.  ``arrays`` is (name, bytes, site).
+    """
+    if not arrays:
+        raise WorkloadError("need at least one array")
+    total_accesses = sum(size // element_bytes for _, size, _ in arrays) * passes
+    weight = 1.0 / len(arrays)
+    weights = [weight] * len(arrays)
+    # Make the weights sum to exactly 1 despite float division.
+    weights[-1] = 1.0 - weight * (len(arrays) - 1)
+    return Workload(
+        name=name,
+        objects=tuple(
+            ObjectSpec(name=n, size_bytes=size, site=site, colocate=colocate)
+            for n, size, site in arrays
+        ),
+        phases=(
+            PhaseSpec(
+                name="solve",
+                accesses_per_thread=0.0,
+                compute_cycles_per_access=cpi,
+                streams=tuple(
+                    StreamSpec(
+                        object_name=n,
+                        pattern=PatternKind.SEQUENTIAL,
+                        share=Share.CHUNK,
+                        weight=w,
+                        passes=passes,
+                        write_fraction=write_fraction,
+                    )
+                    for (n, _, _), w in zip(arrays, weights)
+                ),
+            ),
+        ),
+    ).with_accesses("solve", total_accesses, THREAD_CAP)

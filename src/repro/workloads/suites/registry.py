@@ -1,0 +1,113 @@
+"""Registry of the paper's 23 evaluation benchmarks.
+
+Each :class:`BenchmarkSpec` records the suite, the input list used in
+Table V (the paper runs PARSEC with four inputs, NPB with three classes,
+etc.), and a builder mapping an input name to a workload.  The product of
+inputs × the eight ``Tt-Nn`` configurations gives exactly the paper's
+case counts (512 total across the 21 Table V rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.suites import lulesh, npb, parsec, rodinia, sequoia
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "benchmark", "benchmark_names"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One evaluation benchmark: its inputs and workload builder."""
+
+    name: str
+    suite: str
+    inputs: tuple[str, ...]
+    builder: Callable[[str], Workload]
+    #: Benchmark-level class in the paper's Table IV.
+    paper_class: str  # "good" | "rmc"
+    #: Whether the benchmark appears in Table V (LULESH does not).
+    in_table5: bool = True
+
+    def build(self, input_name: str) -> Workload:
+        """Workload for one input."""
+        if input_name not in self.inputs:
+            raise WorkloadError(
+                f"{self.name} has inputs {self.inputs}, not {input_name!r}"
+            )
+        return self.builder(input_name)
+
+    @property
+    def n_cases(self) -> int:
+        """Inputs × the eight thread/node configurations."""
+        return len(self.inputs) * 8
+
+
+_NPB3 = ("A", "B", "C")
+_PARSEC4 = ("simsmall", "simmedium", "simlarge", "native")
+
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in (
+        # -- PARSEC ---------------------------------------------------------
+        BenchmarkSpec("Swaptions", "parsec", _PARSEC4,
+                      lambda i: parsec.make_parsec("Swaptions", i), "good"),
+        BenchmarkSpec("Blackscholes", "parsec", _PARSEC4,
+                      lambda i: parsec.make_parsec("Blackscholes", i), "good"),
+        BenchmarkSpec("Bodytrack", "parsec", ("simlarge", "native"),
+                      lambda i: parsec.make_parsec("Bodytrack", i), "good"),
+        BenchmarkSpec("Freqmine", "parsec", _PARSEC4,
+                      lambda i: parsec.make_parsec("Freqmine", i), "good"),
+        BenchmarkSpec("Ferret", "parsec", _PARSEC4,
+                      lambda i: parsec.make_parsec("Ferret", i), "good"),
+        BenchmarkSpec("Fluidanimate", "parsec", _PARSEC4,
+                      lambda i: parsec.make_parsec("Fluidanimate", i), "good"),
+        BenchmarkSpec("X264", "parsec", _PARSEC4,
+                      lambda i: parsec.make_parsec("X264", i), "good"),
+        BenchmarkSpec("Raytrace", "parsec", _PARSEC4,
+                      lambda i: parsec.make_parsec("Raytrace", i), "good",
+                      in_table5=False),
+        BenchmarkSpec("Streamcluster", "parsec", ("simlarge", "native"),
+                      lambda i: parsec.make_parsec("Streamcluster", i), "rmc"),
+        # -- NPB --------------------------------------------------------------
+        BenchmarkSpec("BT", "npb", _NPB3, lambda i: npb.make_npb("BT", i), "good"),
+        BenchmarkSpec("CG", "npb", _NPB3, lambda i: npb.make_npb("CG", i), "good"),
+        BenchmarkSpec("DC", "npb", ("A", "B"), lambda i: npb.make_npb("DC", i), "good"),
+        BenchmarkSpec("EP", "npb", _NPB3, lambda i: npb.make_npb("EP", i), "good"),
+        BenchmarkSpec("FT", "npb", _NPB3, lambda i: npb.make_npb("FT", i), "good"),
+        BenchmarkSpec("IS", "npb", _NPB3, lambda i: npb.make_npb("IS", i), "good"),
+        BenchmarkSpec("LU", "npb", _NPB3, lambda i: npb.make_npb("LU", i), "good"),
+        BenchmarkSpec("MG", "npb", _NPB3, lambda i: npb.make_npb("MG", i), "good"),
+        BenchmarkSpec("UA", "npb", _NPB3, lambda i: npb.make_npb("UA", i), "good"),
+        BenchmarkSpec("SP", "npb", _NPB3, lambda i: npb.make_npb("SP", i), "rmc"),
+        # -- Rodinia ------------------------------------------------------------
+        BenchmarkSpec("NW", "rodinia", ("small", "default", "large"),
+                      lambda i: rodinia.make_nw(i), "rmc"),
+        # -- Sequoia ------------------------------------------------------------
+        BenchmarkSpec("AMG2006", "sequoia", ("30x30x30",),
+                      lambda i: sequoia.make_amg2006(i), "rmc"),
+        BenchmarkSpec("IRSmk", "sequoia", ("small", "medium", "large"),
+                      lambda i: sequoia.make_irsmk(i), "rmc"),
+        # -- LULESH (case study only; not a Table V row) -------------------------
+        BenchmarkSpec("LULESH", "llnl", ("large",),
+                      lambda i: lulesh.make_lulesh(i), "rmc", in_table5=False),
+    )
+}
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Spec by name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise WorkloadError(f"unknown benchmark {name!r}") from None
+
+
+def benchmark_names(table5_only: bool = False) -> list[str]:
+    """All benchmark names (optionally only the Table V rows)."""
+    return [
+        n for n, s in BENCHMARKS.items() if s.in_table5 or not table5_only
+    ]

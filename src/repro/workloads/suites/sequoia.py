@@ -1,0 +1,180 @@
+"""LLNL Sequoia benchmark analogs: AMG2006 and IRSmk.
+
+**AMG2006** (Section VIII.A) — algebraic multigrid with three phases:
+
+* ``init`` — the master thread allocates and fills the matrices
+  (serial; pins every page to node 0);
+* ``setup`` — moderately parallel coarsening;
+* ``solve`` — the bandwidth-hungry Galerkin-product sweeps.
+
+Four heap arrays dominate the Contribution Fraction: ``RAP_diag_j`` (the
+coarse-grid operator, top contributor in every configuration), ``diag_j``
+and ``diag_data`` (whose contribution grows with the node count) plus
+``A_diag_data``.  Interleaving the whole program speeds the solver ~1.5×
+but *hurts* init and setup (the master's accesses turn 3/4 remote), which
+is exactly why the paper's targeted co-locate wins end-to-end (Figure 5).
+
+**IRSmk** (Section VIII.B) — implicit radiation solver kernel: 29 arrays
+of identical size and access pattern (``b``, ``k``, and 27 coefficient
+arrays), all master-allocated and streamed chunk-wise.  Inputs small /
+medium / large are 32³ / 64³ / 96³ meshes.  Every array contributes a
+similar CF; co-locating all 29 is the fix, with speedups up to ~6×
+(Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.numasim.cachemodel import PatternKind
+from repro.osl.pages import FirstTouch
+from repro.workloads.base import ObjectSpec, PhaseSpec, Share, StreamSpec, Workload
+from repro.workloads.suites.common import MB, THREAD_CAP
+
+__all__ = ["AMG_ARRAYS", "IRSMK_INPUTS", "make_amg2006", "make_irsmk"]
+
+#: The four high-CF AMG2006 arrays and their relative access weights in the
+#: solve phase (RAP_diag_j dominates, per Figure 4(a)).
+AMG_ARRAYS = (
+    ("RAP_diag_j", 96 * MB, "par_csr_matop.c:1327", 0.40),
+    ("diag_j", 64 * MB, "csr_matrix.c:204", 0.22),
+    ("diag_data", 64 * MB, "csr_matrix.c:210", 0.22),
+    ("A_diag_data", 48 * MB, "par_amg_setup.c:380", 0.16),
+)
+
+
+def make_amg2006(grid: str = "30x30x30") -> Workload:
+    """AMG2006 with its init / setup / solve phase structure."""
+    if grid != "30x30x30":
+        raise WorkloadError(f"unsupported AMG grid {grid!r} (paper uses 30x30x30)")
+    objects = tuple(
+        ObjectSpec(name=name, size_bytes=size, site=site, policy=FirstTouch(0))
+        for name, size, site, _ in AMG_ARRAYS
+    ) + (
+        # The initial fine-grid matrix: written by the master during the
+        # serial init phase, read in setup, and untouched by the targeted
+        # co-locate fix (only whole-program interleaving moves it — which
+        # is what makes interleave hurt init, Figure 5).
+        ObjectSpec(name="A_initial", size_bytes=64 * MB,
+                   site="par_laplace.c:210", policy=FirstTouch(0)),
+    )
+    solve_streams = tuple(
+        StreamSpec(
+            object_name=name,
+            pattern=PatternKind.SEQUENTIAL,
+            share=Share.CHUNK,
+            weight=weight,
+            passes=6.0,
+            write_fraction=0.25,
+        )
+        for name, _, _, weight in AMG_ARRAYS
+    )
+    init_streams = (
+        StreamSpec(
+            object_name="A_initial",
+            pattern=PatternKind.SEQUENTIAL,
+            share=Share.ALL,  # the master builds the fine grid serially
+            weight=1.0,
+            passes=2.0,
+            write_fraction=1.0,
+        ),
+    )
+    setup_streams = tuple(
+        StreamSpec(
+            object_name=name,
+            pattern=PatternKind.SEQUENTIAL,
+            share=Share.CHUNK,
+            weight=weight * 0.7,
+            passes=2.0,
+            write_fraction=0.5,
+        )
+        for name, _, _, weight in AMG_ARRAYS
+    ) + (
+        StreamSpec(
+            object_name="A_initial",
+            pattern=PatternKind.SEQUENTIAL,
+            share=Share.CHUNK,
+            weight=0.3,
+            passes=2.0,
+        ),
+    )
+    total_elems = sum(size for _, size, _, _ in AMG_ARRAYS) // 8
+    return (
+        Workload(
+            name="AMG2006",
+            objects=objects,
+            phases=(
+                PhaseSpec(
+                    name="init",
+                    accesses_per_thread=0.0,
+                    compute_cycles_per_access=1.0,
+                    streams=init_streams,
+                    single_thread=True,
+                ),
+                PhaseSpec(
+                    name="setup",
+                    accesses_per_thread=0.0,
+                    compute_cycles_per_access=1.4,
+                    streams=setup_streams,
+                ),
+                PhaseSpec(
+                    name="solve",
+                    accesses_per_thread=0.0,
+                    compute_cycles_per_access=0.6,
+                    streams=solve_streams,
+                ),
+            ),
+        )
+        .with_accesses("init", (64 * MB // 8) * 2.0)
+        .with_accesses("setup", total_elems * 2.0, THREAD_CAP)
+        .with_accesses("solve", total_elems * 6.0, THREAD_CAP)
+    )
+
+
+IRSMK_INPUTS = {"small": 32, "medium": 64, "large": 96}
+
+#: 29 equal arrays: b, k (named in the paper) plus 27 coefficient arrays.
+_IRSMK_ARRAY_NAMES = ["b", "k"] + [f"coef_{i:02d}" for i in range(27)]
+
+
+def make_irsmk(input_name: str) -> Workload:
+    """IRSmk: 29 identical master-allocated arrays streamed per sweep."""
+    try:
+        mesh = IRSMK_INPUTS[input_name]
+    except KeyError:
+        raise WorkloadError(f"unknown IRSmk input {input_name!r}") from None
+    array_bytes = mesh**3 * 8  # one double per zone
+    weight = 1.0 / len(_IRSMK_ARRAY_NAMES)
+    weights = [weight] * len(_IRSMK_ARRAY_NAMES)
+    weights[-1] = 1.0 - weight * (len(_IRSMK_ARRAY_NAMES) - 1)
+    return Workload(
+        name="IRSmk",
+        objects=tuple(
+            ObjectSpec(
+                name=name,
+                size_bytes=array_bytes,
+                site=f"irsmk.c:{120 + i}",
+                policy=FirstTouch(0),
+            )
+            for i, name in enumerate(_IRSMK_ARRAY_NAMES)
+        ),
+        phases=(
+            PhaseSpec(
+                name="sweep",
+                accesses_per_thread=0.0,
+                compute_cycles_per_access=5.0,
+                streams=tuple(
+                    StreamSpec(
+                        object_name=name,
+                        pattern=PatternKind.SEQUENTIAL,
+                        share=Share.CHUNK,
+                        weight=w,
+                        passes=96.0,
+                        write_fraction=0.1,
+                    )
+                    for name, w in zip(_IRSMK_ARRAY_NAMES, weights)
+                ),
+            ),
+        ),
+    ).with_accesses(
+        "sweep", (array_bytes // 8) * len(_IRSMK_ARRAY_NAMES) * 96.0, THREAD_CAP
+    )

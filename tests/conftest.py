@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+The machine fixture is function-scoped but cheap (pure construction); the
+trained classifier is expensive (~5 s) and session-scoped.  Small workload
+builders keep individual tests fast — full-size workloads belong in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.numasim.cachemodel import PatternKind
+from repro.numasim.machine import Machine
+from repro.numasim.topology import NumaTopology
+from repro.osl.pages import PagePlacementPolicy
+from repro.workloads.base import ObjectSpec, PhaseSpec, Share, StreamSpec, Workload
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """Default paper-like 4-socket machine."""
+    return Machine()
+
+
+@pytest.fixture
+def small_topology() -> NumaTopology:
+    """A 2-socket, 2-core machine for cheap engine tests."""
+    return NumaTopology(n_sockets=2, cores_per_socket=2, smt=1)
+
+
+@pytest.fixture(scope="session")
+def trained():
+    """(classifier, training instances), shared across the session."""
+    from repro.eval.experiments import shared_classifier
+
+    return shared_classifier(seed=0)
+
+
+def make_stream_workload(
+    name: str = "wl",
+    size_bytes: int = 64 * MB,
+    pattern: PatternKind = PatternKind.SEQUENTIAL,
+    share: Share = Share.CHUNK,
+    policy: PagePlacementPolicy | None = None,
+    colocate: bool = False,
+    cpi: float = 0.5,
+    passes: float = 4.0,
+    accesses: float = 2_000_000.0,
+    write_fraction: float = 0.0,
+) -> Workload:
+    """One-object, one-phase workload for unit tests."""
+    return Workload(
+        name=name,
+        objects=(
+            ObjectSpec(
+                name="data",
+                size_bytes=size_bytes,
+                site=f"{name}.c:1",
+                policy=policy,
+                colocate=colocate,
+            ),
+        ),
+        phases=(
+            PhaseSpec(
+                name="run",
+                accesses_per_thread=accesses,
+                compute_cycles_per_access=cpi,
+                streams=(
+                    StreamSpec(
+                        object_name="data",
+                        pattern=pattern,
+                        share=share,
+                        passes=passes,
+                        write_fraction=write_fraction,
+                    ),
+                ),
+            ),
+        ),
+    )

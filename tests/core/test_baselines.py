@@ -1,0 +1,66 @@
+"""Tests for the Related-Work heuristic baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import LatencyThresholdHeuristic, RemoteAccessHeuristic
+from repro.core.features import TABLE1_FEATURE_NAMES, FeatureVector
+from repro.errors import ModelError
+from repro.types import Mode
+
+
+def fv(**overrides):
+    values = np.zeros(len(TABLE1_FEATURE_NAMES))
+    names = list(TABLE1_FEATURE_NAMES)
+    for k, v in overrides.items():
+        values[names.index(k)] = v
+    return FeatureVector(names=TABLE1_FEATURE_NAMES, values=values)
+
+
+class TestLatencyThresholdHeuristic:
+    def test_flags_hot_latency(self):
+        h = LatencyThresholdHeuristic(threshold_cycles=500, flag_fraction=0.05)
+        assert h.classify_channel(fv(ratio_latency_above_500=0.2)) is Mode.RMC
+        assert h.classify_channel(fv(ratio_latency_above_500=0.01)) is Mode.GOOD
+
+    def test_threshold_maps_to_nearest_bucket(self):
+        h = LatencyThresholdHeuristic(threshold_cycles=300)
+        # 300 rounds up to the 500-cycle bucket.
+        assert h.classify_channel(
+            fv(ratio_latency_above_500=0.5, ratio_latency_above_200=0.0)
+        ) is Mode.RMC
+
+    def test_threshold_above_largest_bucket(self):
+        with pytest.raises(ModelError):
+            LatencyThresholdHeuristic(threshold_cycles=5000).classify_channel(fv())
+
+    def test_fooled_by_tlb_noise(self):
+        """The paper's point: latency spikes without contention misfire."""
+        h = LatencyThresholdHeuristic(threshold_cycles=1000, flag_fraction=0.01)
+        noisy_but_fine = fv(ratio_latency_above_1000=0.02,
+                            num_remote_dram_samples=3)
+        assert h.classify_channel(noisy_but_fine) is Mode.RMC  # false positive
+
+
+class TestRemoteAccessHeuristic:
+    def test_flags_heavy_remote_traffic(self):
+        h = RemoteAccessHeuristic(min_remote_samples=100)
+        assert h.classify_channel(fv(num_remote_dram_samples=500)) is Mode.RMC
+        assert h.classify_channel(fv(num_remote_dram_samples=10)) is Mode.GOOD
+
+    def test_fooled_by_bandit_style_traffic(self, machine, trained):
+        """Heavy remote traffic at healthy latency: the heuristic flags it,
+        the trained tree does not (the bandit lesson)."""
+        from repro.core.classifier import classify_case
+        from repro.core.profiler import DrBwProfiler
+        from repro.workloads.bandit import make_bandit
+
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        profile = profiler.profile(
+            make_bandit(streams_per_instance=2, accesses_per_instance=1.6e6),
+            1, 1, seed=9,
+        )
+        heuristic = RemoteAccessHeuristic(min_remote_samples=100)
+        assert classify_case(heuristic.classify_profile(profile)) is Mode.RMC
+        assert classify_case(clf.classify_profile(profile)) is Mode.GOOD

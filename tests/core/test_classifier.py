@@ -1,0 +1,145 @@
+"""Tests for the DR-BW classifier pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import (
+    MIN_CHANNEL_SUPPORT,
+    DrBwClassifier,
+    classify_benchmark,
+    classify_case,
+)
+from repro.core.features import TABLE1_FEATURE_NAMES, FeatureVector
+from repro.errors import ModelError
+from repro.types import Channel, Mode
+
+
+def synthetic_training(n=60, seed=0):
+    """Synthetic Table-I-shaped data: rmc = many remote samples at high
+    latency; good = either few samples or low latency."""
+    rng = np.random.default_rng(seed)
+    rows, labels = [], []
+    for _ in range(n):
+        rmc = rng.random() < 0.4
+        remote_n = rng.uniform(300, 2000) if rmc else rng.uniform(0, 80)
+        remote_lat = rng.uniform(900, 2500) if rmc else rng.uniform(250, 500)
+        row = np.zeros(len(TABLE1_FEATURE_NAMES))
+        row[5] = remote_n
+        row[6] = remote_lat
+        row[9] = rng.uniform(2000, 6000)
+        row[10] = rng.uniform(5, 40)
+        rows.append(row)
+        labels.append(Mode.RMC.value if rmc else Mode.GOOD.value)
+    return np.stack(rows), np.array(labels)
+
+
+@pytest.fixture
+def clf():
+    X, y = synthetic_training()
+    return DrBwClassifier(feature_names=TABLE1_FEATURE_NAMES).fit(X, y)
+
+
+class TestPipeline:
+    def test_fit_predict(self, clf):
+        X, y = synthetic_training(seed=1)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_normalization_stored(self, clf):
+        X, _ = synthetic_training()
+        normed = clf.normalize(X)
+        assert abs(normed.mean()) < 0.2
+        # Non-constant columns are z-scored; constant ones stay at zero.
+        varying = X.std(axis=0) > 1e-9
+        assert np.allclose(normed[:, varying].std(axis=0), 1.0, atol=1e-6)
+        assert np.allclose(normed[:, ~varying], 0.0)
+
+    def test_unfitted_raises(self):
+        c = DrBwClassifier(feature_names=TABLE1_FEATURE_NAMES)
+        assert not c.is_fitted
+        with pytest.raises(ModelError):
+            c.normalize(np.zeros((1, 13)))
+
+    def test_wrong_width_rejected(self):
+        c = DrBwClassifier(feature_names=("a", "b"))
+        with pytest.raises(ModelError):
+            c.fit(np.zeros((4, 3)), np.array(["g", "g", "r", "r"]))
+
+    def test_classify_channel(self, clf):
+        hot = np.zeros(13)
+        hot[5], hot[6], hot[9], hot[10] = 900, 1800, 4000, 20
+        cold = np.zeros(13)
+        cold[5], cold[6], cold[9], cold[10] = 30, 350, 4000, 20
+        assert clf.classify_channel(
+            FeatureVector(names=TABLE1_FEATURE_NAMES, values=hot)
+        ) is Mode.RMC
+        assert clf.classify_channel(
+            FeatureVector(names=TABLE1_FEATURE_NAMES, values=cold)
+        ) is Mode.GOOD
+
+    def test_classify_channel_wrong_names(self, clf):
+        with pytest.raises(ModelError):
+            clf.classify_channel(FeatureVector(names=("x",), values=np.array([1.0])))
+
+
+class TestSerialization:
+    def test_roundtrip(self, clf):
+        X, y = synthetic_training(seed=2)
+        restored = DrBwClassifier.from_dict(clf.to_dict())
+        assert np.array_equal(restored.predict(X), clf.predict(X))
+
+    def test_unfitted_serialization_rejected(self):
+        with pytest.raises(ModelError):
+            DrBwClassifier(feature_names=("a",)).to_dict()
+
+
+class TestAggregationRules:
+    def test_case_rule(self):
+        assert classify_case({Channel(0, 1): Mode.GOOD}) is Mode.GOOD
+        assert classify_case(
+            {Channel(0, 1): Mode.GOOD, Channel(1, 0): Mode.RMC}
+        ) is Mode.RMC
+        assert classify_case({}) is Mode.GOOD
+
+    def test_benchmark_rule(self):
+        assert classify_benchmark([Mode.GOOD, Mode.GOOD]) is Mode.GOOD
+        assert classify_benchmark([Mode.GOOD, Mode.RMC]) is Mode.RMC
+        with pytest.raises(ModelError):
+            classify_benchmark([])
+
+    def test_min_support_constant_sane(self):
+        assert 1 <= MIN_CHANNEL_SUPPORT <= 100
+
+
+class TestEndToEnd:
+    """The real trained classifier against real profiled runs."""
+
+    def test_detects_contended_micro(self, machine, trained):
+        from repro.core.profiler import DrBwProfiler
+        from repro.workloads.micro import make_sumv
+
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        profile = profiler.profile(make_sumv(512 * 1024 * 1024), 32, 4, seed=5)
+        assert classify_case(clf.classify_profile(profile)) is Mode.RMC
+
+    def test_passes_colocated_micro(self, machine, trained):
+        from repro.core.profiler import DrBwProfiler
+        from repro.workloads.micro import make_sumv
+
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        profile = profiler.profile(
+            make_sumv(512 * 1024 * 1024, colocate=True), 32, 4, seed=5
+        )
+        assert classify_case(clf.classify_profile(profile)) is Mode.GOOD
+
+    def test_min_support_silences_sparse_channels(self, machine, trained):
+        """A cache-resident run's trickle of remote samples never flags."""
+        from repro.core.profiler import DrBwProfiler
+        from repro.workloads.micro import make_sumv
+
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        profile = profiler.profile(make_sumv(4 * 1024 * 1024), 16, 4, seed=5)
+        labels = clf.classify_profile(profile)
+        assert all(m is Mode.GOOD for m in labels.values())

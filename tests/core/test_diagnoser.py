@@ -1,0 +1,140 @@
+"""Tests for the Contribution Fraction diagnoser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diagnoser import UNATTRIBUTED, Diagnoser
+from repro.core.features import SampleSet
+from repro.errors import ModelError
+from repro.pmu.sample import MemorySample
+from repro.types import Channel, MemLevel, Mode
+
+
+def remote_sample(obj, src=1, dst=0, latency=900.0):
+    return MemorySample(
+        address=0x1000, cpu=src * 8, thread_id=0,
+        level=MemLevel.REMOTE_DRAM, latency_cycles=latency,
+        src_node=src, dst_node=dst, object_id=obj,
+    )
+
+
+def local_sample(obj=0):
+    return MemorySample(
+        address=0x1000, cpu=0, thread_id=0, level=MemLevel.L1,
+        latency_cycles=4.0, src_node=0, dst_node=0, object_id=obj,
+    )
+
+
+@pytest.fixture
+def diagnoser():
+    return Diagnoser()
+
+
+class TestCFPerChannel:
+    def test_fractions(self, diagnoser):
+        samples = SampleSet(
+            [remote_sample(1)] * 3 + [remote_sample(2)] * 1 + [local_sample()] * 5
+        )
+        cf = diagnoser.cf_per_channel(samples, Channel(1, 0))
+        assert cf[1] == pytest.approx(0.75)
+        assert cf[2] == pytest.approx(0.25)
+
+    def test_only_channel_samples_counted(self, diagnoser):
+        samples = SampleSet(
+            [remote_sample(1, src=1)] * 2 + [remote_sample(2, src=2)] * 6
+        )
+        cf = diagnoser.cf_per_channel(samples, Channel(1, 0))
+        assert cf == {1: pytest.approx(1.0)}
+
+    def test_local_channel_rejected(self, diagnoser):
+        samples = SampleSet([local_sample()])
+        with pytest.raises(ModelError):
+            diagnoser.cf_per_channel(samples, Channel(0, 0))
+
+    def test_empty_channel(self, diagnoser):
+        samples = SampleSet([local_sample()])
+        assert diagnoser.cf_per_channel(samples, Channel(1, 0)) == {}
+
+
+class TestCFCrossChannels:
+    def test_paper_formula_pools_contended_channels_only(self, diagnoser):
+        """CF(A) = sum over contended channels only (Section VI.A.b)."""
+        samples = SampleSet(
+            [remote_sample(1, src=1)] * 4      # channel 1->0, contended
+            + [remote_sample(2, src=2)] * 4    # channel 2->0, NOT contended
+        )
+        cf = diagnoser.cf_cross_channels(samples, [Channel(1, 0)])
+        assert cf == {1: pytest.approx(1.0)}
+
+    def test_pooling(self, diagnoser):
+        samples = SampleSet(
+            [remote_sample(1, src=1)] * 3 + [remote_sample(2, src=2)] * 1
+        )
+        cf = diagnoser.cf_cross_channels(samples, [Channel(1, 0), Channel(2, 0)])
+        assert cf[1] == pytest.approx(0.75)
+        assert cf[2] == pytest.approx(0.25)
+
+    def test_no_channels_rejected(self, diagnoser):
+        with pytest.raises(ModelError):
+            diagnoser.cf_cross_channels(SampleSet([local_sample()]), [])
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_cf_sums_to_one(self, counts):
+        """'The sum of CF for all the data objects should be 1' (paper)."""
+        samples = []
+        for obj, n in enumerate(counts):
+            samples.extend(remote_sample(obj) for _ in range(n))
+        if not samples:
+            return
+        cf = Diagnoser().cf_cross_channels(SampleSet(samples), [Channel(1, 0)])
+        assert sum(cf.values()) == pytest.approx(1.0)
+
+
+class TestDiagnose:
+    def test_end_to_end(self, machine, trained):
+        from repro.core.profiler import DrBwProfiler
+        from repro.workloads.micro import make_dotv
+
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        profile = profiler.profile(make_dotv(512 * 1024 * 1024), 32, 4, seed=3)
+        labels = clf.classify_profile(profile)
+        report = Diagnoser().diagnose(profile, labels)
+        names = {c.name for c in report.contributions}
+        assert names <= {"a", "b", "<unattributed static/stack>"}
+        assert report.total_cf == pytest.approx(1.0)
+        # Two same-size, same-pattern vectors: comparable CFs.
+        assert abs(report.cf_of("a") - report.cf_of("b")) < 0.2
+
+    def test_diagnose_needs_contention(self, machine, trained):
+        from repro.core.profiler import DrBwProfiler
+        from repro.workloads.micro import make_sumv
+
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        profile = profiler.profile(make_sumv(8 * 1024 * 1024), 4, 1, seed=3)
+        with pytest.raises(ModelError):
+            Diagnoser().diagnose(profile, {Channel(0, 1): Mode.GOOD})
+
+    def test_report_ranked_descending(self, machine, trained):
+        from repro.core.profiler import DrBwProfiler
+        from repro.workloads.suites.sequoia import make_amg2006
+
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        profile = profiler.profile(make_amg2006(), 32, 4, seed=3)
+        labels = clf.classify_profile(profile)
+        report = Diagnoser().diagnose(profile, labels)
+        cfs = [c.cf for c in report.contributions]
+        assert cfs == sorted(cfs, reverse=True)
+        assert report.top(2)[0].cf >= report.top(2)[1].cf
+
+    def test_unattributed_pseudo_object(self):
+        samples = SampleSet([remote_sample(UNATTRIBUTED)] * 2 + [remote_sample(5)] * 2)
+        cf = Diagnoser().cf_cross_channels(samples, [Channel(1, 0)])
+        assert cf[UNATTRIBUTED] == pytest.approx(0.5)

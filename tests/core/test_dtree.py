@@ -1,0 +1,155 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.dtree import DecisionTreeClassifier, gini_impurity
+from repro.errors import ModelError
+
+
+class TestGini:
+    def test_pure(self):
+        assert gini_impurity(np.array([10, 0])) == 0.0
+
+    def test_balanced_binary(self):
+        assert gini_impurity(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert gini_impurity(np.array([0, 0])) == 0.0
+
+
+class TestFitting:
+    def test_separable_1d(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array(["a", "a", "a", "b", "b", "b"])
+        clf = DecisionTreeClassifier(min_samples_leaf=1, min_samples_split=2).fit(X, y)
+        assert list(clf.predict(X)) == list(y)
+        assert clf.depth == 1
+        assert 2.0 < clf.root.threshold < 10.0
+
+    def test_two_feature_and(self):
+        """Label = (x0 high AND x1 high): needs both features."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(400, 2))
+        y = np.where((X[:, 0] > 0.5) & (X[:, 1] > 0.5), "pos", "neg")
+        clf = DecisionTreeClassifier(max_depth=3, min_samples_leaf=1,
+                                     min_samples_split=2).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+        assert clf.used_features() == {0, 1}
+
+    def test_pure_node_stops(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array(["a", "a", "a"])
+        clf = DecisionTreeClassifier().fit(X, y)
+        assert clf.root.is_leaf
+        assert clf.depth == 0
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 4))
+        y = (X.sum(axis=1) > 0).astype(int)
+        clf = DecisionTreeClassifier(max_depth=2, min_samples_leaf=1,
+                                     min_samples_split=2).fit(X, y)
+        assert clf.depth <= 2
+
+    def test_min_samples_leaf(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = np.array([0] * 9 + [1])
+        clf = DecisionTreeClassifier(min_samples_leaf=3).fit(X, y)
+        # The lone positive cannot be isolated.
+        assert clf.root.is_leaf or clf.root.left.n_samples >= 3
+
+    def test_min_impurity_decrease_prunes(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 1))
+        y = rng.integers(0, 2, size=200)  # pure noise
+        clf = DecisionTreeClassifier(min_impurity_decrease=0.05).fit(X, y)
+        assert clf.n_leaves <= 2
+
+    def test_margin_tie_break_prefers_wider_gap(self):
+        """Two features separate perfectly; the wider-margin one wins."""
+        X = np.array(
+            [
+                # f0 gap is tiny, f1 gap is wide (same std scale).
+                [0.49, 0.0],
+                [0.495, 0.1],
+                [0.505, 2.0],
+                [0.51, 2.1],
+            ]
+        )
+        y = np.array([0, 0, 1, 1])
+        clf = DecisionTreeClassifier(min_samples_leaf=1, min_samples_split=2).fit(X, y)
+        assert clf.root.feature == 1
+
+
+class TestPrediction:
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().predict(np.zeros((1, 3)))
+
+    def test_wrong_width(self):
+        clf = DecisionTreeClassifier().fit(np.zeros((4, 2)), np.array([0, 0, 1, 1]))
+        with pytest.raises(ModelError):
+            clf.predict(np.zeros((1, 3)))
+
+    def test_string_labels_roundtrip(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array(["good", "rmc"])
+        clf = DecisionTreeClassifier(min_samples_leaf=1, min_samples_split=2).fit(X, y)
+        assert set(clf.predict(X)) <= {"good", "rmc"}
+
+    def test_predict_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        clf = DecisionTreeClassifier().fit(X, y)
+        probs = clf.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.array([[np.nan]]), np.array([0]))
+
+
+class TestIntrospection:
+    def _fitted(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 1] > 0.2).astype(int)
+        return DecisionTreeClassifier().fit(X, y)
+
+    def test_importances_sum_to_one(self):
+        clf = self._fitted()
+        assert clf.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_importances_identify_signal(self):
+        clf = self._fitted()
+        assert np.argmax(clf.feature_importances_) == 1
+
+    def test_render_contains_feature_names(self):
+        clf = self._fitted()
+        text = clf.render(["a", "b", "c"])
+        assert "b <=" in text
+        assert "[0]" in text or "[1]" in text
+
+    def test_n_leaves_consistent_with_depth(self):
+        clf = self._fitted()
+        assert clf.n_leaves <= 2 ** clf.depth
+
+
+@given(
+    X=arrays(np.float64, (30, 3), elements=st.floats(-100, 100)),
+    y=arrays(np.int64, (30,), elements=st.integers(0, 2)),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_fit_predict_total(X, y):
+    """Any finite dataset fits; predictions come from the label set and
+    training accuracy is at least the majority-class rate."""
+    clf = DecisionTreeClassifier().fit(X, y)
+    pred = clf.predict(X)
+    assert set(pred.tolist()) <= set(y.tolist())
+    majority = np.bincount(y).max() / len(y)
+    assert (pred == y).mean() >= majority - 1e-12

@@ -1,0 +1,164 @@
+"""Tests for feature extraction (Table I and the candidate list)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    LATENCY_THRESHOLDS,
+    TABLE1_FEATURE_NAMES,
+    FeatureVector,
+    SampleSet,
+    candidate_features,
+    extract_channel_features,
+)
+from repro.errors import ModelError
+from repro.pmu.sample import MemorySample
+from repro.types import Channel, MemLevel
+
+
+def mk_sample(level, latency, src=0, dst=0, cpu=None, thread=0, addr=0x1000, obj=0):
+    return MemorySample(
+        address=addr,
+        cpu=cpu if cpu is not None else src * 8,
+        thread_id=thread,
+        level=level,
+        latency_cycles=latency,
+        src_node=src,
+        dst_node=dst,
+        object_id=obj,
+    )
+
+
+@pytest.fixture
+def mixed_samples():
+    """Node 0 issues: 4 L1 hits, 2 local DRAM, 3 remote to node 1, 1 remote
+    to node 2, 1 LFB; node 1 issues 2 L1 hits."""
+    return SampleSet(
+        [
+            *(mk_sample(MemLevel.L1, 4.0) for _ in range(4)),
+            mk_sample(MemLevel.LOCAL_DRAM, 200.0),
+            mk_sample(MemLevel.LOCAL_DRAM, 240.0),
+            mk_sample(MemLevel.REMOTE_DRAM, 300.0, dst=1),
+            mk_sample(MemLevel.REMOTE_DRAM, 600.0, dst=1),
+            mk_sample(MemLevel.REMOTE_DRAM, 1200.0, dst=1),
+            mk_sample(MemLevel.REMOTE_DRAM, 400.0, dst=2),
+            mk_sample(MemLevel.LFB, 60.0),
+            mk_sample(MemLevel.L1, 4.0, src=1, dst=1),
+            mk_sample(MemLevel.L1, 4.0, src=1, dst=1),
+        ]
+    )
+
+
+class TestSampleSet:
+    def test_masks(self, mixed_samples):
+        s = mixed_samples
+        assert int(s.from_node(0).sum()) == 11
+        assert int(s.from_node(1).sum()) == 2
+        assert int(s.on_channel(Channel(0, 1)).sum()) == 3
+        assert int(s.at_level(MemLevel.L1).sum()) == 6
+
+    def test_remote_channels(self, mixed_samples):
+        assert mixed_samples.remote_channels() == [Channel(0, 1), Channel(0, 2)]
+
+    def test_requires_attribution(self):
+        raw = MemorySample(address=1, cpu=0, thread_id=0,
+                           level=MemLevel.L1, latency_cycles=4.0)
+        with pytest.raises(ModelError):
+            SampleSet([raw])
+
+    def test_roundtrip_to_samples(self, mixed_samples):
+        out = mixed_samples.to_samples()
+        assert len(out) == len(mixed_samples)
+        assert out[0].is_attributed
+
+    def test_from_arrays_matches_list_path(self, mixed_samples):
+        rebuilt = SampleSet.from_arrays(
+            address=mixed_samples.address,
+            cpu=mixed_samples.cpu,
+            thread_id=mixed_samples.thread_id,
+            level=mixed_samples.level,
+            latency=mixed_samples.latency,
+            src_node=mixed_samples.src_node,
+            dst_node=mixed_samples.dst_node,
+            object_id=mixed_samples.object_id,
+        )
+        assert np.array_equal(rebuilt.latency, mixed_samples.latency)
+
+
+class TestFeatureVector:
+    def test_lookup(self):
+        fv = FeatureVector(names=("a", "b"), values=np.array([1.0, 2.0]))
+        assert fv["b"] == 2.0
+        with pytest.raises(ModelError):
+            fv["c"]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            FeatureVector(names=("a",), values=np.array([1.0, 2.0]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ModelError):
+            FeatureVector(names=("a",), values=np.array([np.inf]))
+
+    def test_as_dict(self):
+        fv = FeatureVector(names=("x",), values=np.array([3.0]))
+        assert fv.as_dict() == {"x": 3.0}
+
+
+class TestTable1Extraction:
+    def test_names_match_table1(self):
+        assert len(TABLE1_FEATURE_NAMES) == 13
+        assert LATENCY_THRESHOLDS == (1000, 500, 200, 100, 50)
+
+    def test_remote_features_channel_scoped(self, mixed_samples):
+        fv01 = extract_channel_features(mixed_samples, Channel(0, 1))
+        fv02 = extract_channel_features(mixed_samples, Channel(0, 2))
+        assert fv01["num_remote_dram_samples"] == 3
+        assert fv01["avg_remote_dram_latency"] == pytest.approx(700.0)
+        assert fv02["num_remote_dram_samples"] == 1
+        assert fv02["avg_remote_dram_latency"] == pytest.approx(400.0)
+
+    def test_context_features_source_node_scoped(self, mixed_samples):
+        fv = extract_channel_features(mixed_samples, Channel(0, 1))
+        assert fv["num_total_samples"] == 11  # node 0 only
+        assert fv["num_local_dram_samples"] == 2
+        assert fv["avg_local_dram_latency"] == pytest.approx(220.0)
+        assert fv["num_lfb_samples"] == 1
+        assert fv["avg_lfb_latency"] == pytest.approx(60.0)
+
+    def test_latency_ratio_features(self, mixed_samples):
+        fv = extract_channel_features(mixed_samples, Channel(0, 1))
+        assert fv["ratio_latency_above_1000"] == pytest.approx(1 / 11)
+        assert fv["ratio_latency_above_500"] == pytest.approx(2 / 11)
+        assert fv["ratio_latency_above_100"] == pytest.approx(6 / 11)
+        assert fv["ratio_latency_above_50"] == pytest.approx(7 / 11)
+
+    def test_local_channel_rejected(self, mixed_samples):
+        with pytest.raises(ModelError):
+            extract_channel_features(mixed_samples, Channel(1, 1))
+
+    def test_empty_channel_gives_zero_remote(self, mixed_samples):
+        fv = extract_channel_features(mixed_samples, Channel(0, 3))
+        assert fv["num_remote_dram_samples"] == 0
+        assert fv["avg_remote_dram_latency"] == 0.0
+        assert fv["num_total_samples"] == 11  # context still present
+
+
+class TestCandidateFeatures:
+    def test_superset_of_table1(self, mixed_samples):
+        fv = candidate_features(mixed_samples, Channel(0, 1), topology_nodes=4)
+        for name in TABLE1_FEATURE_NAMES:
+            assert name in fv.names
+        assert len(fv.names) > 20
+
+    def test_identification_features_present(self, mixed_samples):
+        fv = candidate_features(mixed_samples, Channel(0, 1), topology_nodes=4)
+        assert fv["num_samples_from_node_0"] == 11
+        assert fv["num_samples_from_node_1"] == 2
+        assert fv["num_distinct_threads_src"] == 1
+
+    def test_location_features(self, mixed_samples):
+        fv = candidate_features(mixed_samples, Channel(0, 1), topology_nodes=4)
+        assert fv["num_l1_hit"] == 4
+        assert fv["num_dram_access"] == 6
+        assert fv["num_llc_miss_remote_dram_all_channels"] == 4

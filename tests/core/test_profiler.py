@@ -1,0 +1,110 @@
+"""Tests for the DR-BW profiler (sampling + attribution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import DrBwProfiler, ProfilerConfig
+from repro.pmu.sampler import SamplerConfig
+from repro.types import Channel, MemLevel
+from repro.workloads.micro import make_sumv
+from tests.conftest import MB, make_stream_workload
+
+
+@pytest.fixture
+def profiler(machine):
+    return DrBwProfiler(machine)
+
+
+class TestProfiling:
+    def test_samples_attributed(self, profiler):
+        profile = profiler.profile(make_sumv(256 * MB), 8, 2, seed=1)
+        s = profile.sample_set
+        assert len(s) > 100
+        assert np.all(s.src_node >= 0)
+        assert np.all(s.dst_node >= 0)
+
+    def test_source_node_matches_cpu(self, profiler, machine):
+        profile = profiler.profile(make_sumv(256 * MB), 8, 2, seed=1)
+        s = profile.sample_set
+        topo = machine.topology
+        for cpu, src in zip(s.cpu[:200], s.src_node[:200]):
+            assert topo.node_of_cpu(int(cpu)) == src
+
+    def test_target_node_matches_page_table(self, profiler):
+        profile = profiler.profile(make_sumv(256 * MB), 8, 2, seed=1)
+        s = profile.sample_set
+        pt = profile.compiled.page_table
+        dram = (s.level == int(MemLevel.REMOTE_DRAM)) | (
+            s.level == int(MemLevel.LOCAL_DRAM)
+        )
+        idx = np.nonzero(dram)[0][:100]
+        for i in idx:
+            assert pt.node_of_address(int(s.address[i])) == s.dst_node[i]
+
+    def test_heap_attribution(self, profiler):
+        profile = profiler.profile(make_sumv(256 * MB), 8, 2, seed=1)
+        s = profile.sample_set
+        vid = profile.compiled.objects["v"].object_id
+        attributed = np.sum(s.object_id == vid)
+        assert attributed / len(s) > 0.95
+
+    def test_static_objects_unattributed(self, profiler):
+        wl = make_stream_workload(size_bytes=256 * MB)
+        wl = wl.__class__(
+            name=wl.name,
+            objects=tuple(
+                type(o)(name=o.name, size_bytes=o.size_bytes, site=o.site,
+                        policy=o.policy, is_heap=False)
+                for o in wl.objects
+            ),
+            phases=wl.phases,
+        )
+        profile = profiler.profile(wl, 4, 1, seed=1)
+        assert np.all(profile.sample_set.object_id == -1)
+
+    def test_remote_channels_detected(self, profiler):
+        # First-touch node 0, threads on two nodes: channel 1->0 carries data.
+        profile = profiler.profile(make_sumv(512 * MB), 16, 2, seed=1)
+        assert Channel(1, 0) in profile.channels_with_remote_samples()
+
+    def test_features_per_channel_keys(self, profiler):
+        profile = profiler.profile(make_sumv(512 * MB), 16, 2, seed=1)
+        per = profile.features_per_channel()
+        for ch, fv in per.items():
+            assert ch.is_remote
+            assert fv["num_remote_dram_samples"] >= 1
+
+    def test_seed_controls_sampling(self, profiler):
+        a = profiler.profile(make_sumv(256 * MB), 4, 1, seed=1)
+        b = profiler.profile(make_sumv(256 * MB), 4, 1, seed=1)
+        c = profiler.profile(make_sumv(256 * MB), 4, 1, seed=2)
+        assert np.array_equal(a.sample_set.address, b.sample_set.address)
+        assert len(a.sample_set) != len(c.sample_set) or not np.array_equal(
+            a.sample_set.address, c.sample_set.address
+        )
+
+    def test_samples_property_materializes(self, profiler):
+        profile = profiler.profile(make_sumv(64 * MB), 2, 1, seed=1)
+        samples = profile.samples
+        assert len(samples) == len(profile.sample_set)
+        assert samples[0].is_attributed
+
+
+class TestOverheadModel:
+    def test_profiling_costs_cycles(self, profiler):
+        plain, profiled, overhead = profiler.measure_overhead(
+            make_sumv(64 * MB), 4, 1
+        )
+        assert profiled > plain
+        assert 0 < overhead < 0.25
+
+    def test_stall_per_access_scales_with_period(self, machine):
+        fast = ProfilerConfig(sampler=SamplerConfig(period=500))
+        slow = ProfilerConfig(sampler=SamplerConfig(period=4000))
+        assert fast.stall_per_access > slow.stall_per_access
+
+    def test_profiled_run_matches_config(self, profiler):
+        profile = profiler.profile(make_sumv(64 * MB), 2, 1, seed=1)
+        assert profile.run.result.extra_stall_cycles == pytest.approx(
+            profiler.config.stall_per_access
+        )

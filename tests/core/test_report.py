@@ -1,0 +1,51 @@
+"""Tests for report formatting."""
+
+from repro.core.diagnoser import DiagnosisReport, ObjectContribution
+from repro.core.report import format_channel_labels, format_diagnosis, suggest_remedy
+from repro.types import Channel, Mode
+
+
+def _report():
+    return DiagnosisReport(
+        workload_name="demo",
+        contended_channels=(Channel(1, 0),),
+        contributions=(
+            ObjectContribution(0, "big_array", "demo.c:10", 0.7, 70),
+            ObjectContribution(1, "small_array", "demo.c:11", 0.2, 20),
+            ObjectContribution(-1, "<unattributed static/stack>", "-", 0.1, 10),
+        ),
+    )
+
+
+class TestFormatting:
+    def test_channel_labels(self):
+        text = format_channel_labels({Channel(0, 1): Mode.RMC, Channel(1, 0): Mode.GOOD})
+        assert "0->1" in text and "rmc" in text and "good" in text
+
+    def test_channel_labels_empty(self):
+        assert "no remote traffic" in format_channel_labels({})
+
+    def test_diagnosis_contains_ranking(self):
+        text = format_diagnosis(_report())
+        assert "big_array" in text
+        assert "demo.c:10" in text
+        assert "70.0%" in text
+        assert text.index("big_array") < text.index("small_array")
+
+    def test_truncation_note(self):
+        text = format_diagnosis(_report(), top_k=1)
+        assert "spread over smaller objects" in text
+
+
+class TestRemedies:
+    def test_chunked_heap_gets_colocate(self):
+        c = ObjectContribution(0, "x", "s", 0.5, 10)
+        assert "co-locate" in suggest_remedy(c)
+
+    def test_read_only_shared_gets_replicate(self):
+        c = ObjectContribution(0, "block", "s", 0.5, 10)
+        assert "replicate" in suggest_remedy(c, shared_read_only=True)
+
+    def test_static_gets_interleave(self):
+        c = ObjectContribution(-1, "<unattributed static/stack>", "-", 0.5, 10)
+        assert "interleave" in suggest_remedy(c)

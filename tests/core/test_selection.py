@@ -1,0 +1,81 @@
+"""Tests for the feature-selection screen."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import cohens_d, screen_features
+from repro.errors import ModelError
+
+
+class TestCohensD:
+    def test_separated_samples(self):
+        a = np.array([1.0, 1.1, 0.9, 1.05])
+        b = np.array([5.0, 5.1, 4.9, 5.05])
+        assert abs(cohens_d(a, b)) > 10
+
+    def test_identical_distributions(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=200), rng.normal(size=200)
+        assert abs(cohens_d(a, b)) < 0.3
+
+    def test_degenerate_identical_constants(self):
+        assert cohens_d(np.ones(5), np.ones(5)) == 0.0
+
+    def test_degenerate_different_constants(self):
+        assert cohens_d(np.zeros(5), np.ones(5)) == float("inf")
+
+    def test_too_few_samples(self):
+        assert cohens_d(np.array([1.0]), np.array([2.0, 3.0])) == 0.0
+
+
+class TestScreen:
+    def _data(self, signal_cols=(0,), n=24, n_feat=4, seed=0):
+        """good ~ N(0,1); rmc shifted by +3 on the signal columns."""
+        rng = np.random.default_rng(seed)
+        per_program = {}
+        for program in ("p1", "p2", "p3"):
+            good = rng.normal(size=(n, n_feat))
+            rmc = rng.normal(size=(n, n_feat))
+            for c in signal_cols:
+                rmc[:, c] += 3.0
+            per_program[program] = (good, rmc)
+        return per_program
+
+    def test_signal_feature_selected(self):
+        result = screen_features(("a", "b", "c", "d"), self._data(signal_cols=(1,)))
+        assert "b" in result.selected
+        assert set(result.rejected) == {"a", "c", "d"}
+
+    def test_majority_vote(self):
+        """A feature significant in only one of three programs is rejected."""
+        data = self._data(signal_cols=())
+        good, rmc = data["p1"]
+        rmc = rmc.copy()
+        rmc[:, 0] += 5.0
+        data["p1"] = (good, rmc)
+        result = screen_features(("a", "b", "c", "d"), data)
+        assert "a" in result.rejected
+
+    def test_programs_without_both_modes_excluded(self):
+        data = self._data(signal_cols=(0,))
+        data["bandit"] = (np.zeros((10, 4)), np.zeros((0, 4)))
+        result = screen_features(("a", "b", "c", "d"), data)
+        assert "a" in result.selected  # bandit didn't poison the vote
+
+    def test_no_valid_programs(self):
+        with pytest.raises(ModelError):
+            screen_features(("a",), {"x": (np.zeros((0, 1)), np.zeros((0, 1)))})
+
+    def test_matrix_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            screen_features(("a", "b"), {"x": (np.zeros((5, 3)), np.ones((5, 3)))})
+
+    def test_effect_sizes_reported(self):
+        result = screen_features(("a", "b", "c", "d"), self._data(signal_cols=(0,)))
+        for d in result.effect_sizes.values():
+            assert d[0] > 2.0
+
+    def test_is_selected(self):
+        result = screen_features(("a", "b", "c", "d"), self._data(signal_cols=(0,)))
+        assert result.is_selected("a")
+        assert not result.is_selected("b")

@@ -1,0 +1,102 @@
+"""Tests for training-set collection and the trained classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import (
+    TrainingConfig,
+    all_training_configs,
+    bandit_training_configs,
+    collect_training_set,
+    hottest_channel_features,
+    micro_training_configs,
+    training_matrix,
+)
+from repro.core.validation import cross_validate
+from repro.numasim.machine import Machine
+from repro.types import Mode
+
+
+class TestConfigGrids:
+    def test_table2_counts(self):
+        configs = all_training_configs()
+        assert len(configs) == 192
+        by_program = {}
+        for c in configs:
+            by_program.setdefault(c.program, [0, 0])
+            by_program[c.program][0 if c.label is Mode.GOOD else 1] += 1
+        assert by_program["sumv"] == [24, 24]
+        assert by_program["dotv"] == [24, 24]
+        assert by_program["countv"] == [24, 24]
+        assert by_program["bandit"] == [48, 0]
+
+    def test_micro_grid_per_program(self):
+        for program in ("sumv", "dotv", "countv"):
+            configs = micro_training_configs(program)
+            assert len(configs) == 48
+            assert sum(c.label is Mode.RMC for c in configs) == 24
+
+    def test_bandit_grid_all_good(self):
+        for c in bandit_training_configs():
+            assert c.label is Mode.GOOD
+            assert c.program == "bandit"
+            assert c.target_node != 0
+
+    def test_describe(self):
+        c = micro_training_configs("sumv")[0]
+        assert "sumv" in c.describe()
+        b = bandit_training_configs()[0]
+        assert "bandit" in b.describe()
+
+
+class TestCollection:
+    def test_small_subset_collection(self, machine):
+        configs = micro_training_configs("sumv")[:2] + micro_training_configs("sumv")[24:26]
+        instances = collect_training_set(machine, configs=configs, seed=0)
+        assert len(instances) == 4
+        X, y = training_matrix(instances)
+        assert X.shape == (4, 13)
+        assert set(y) <= {"good", "rmc"}
+
+    def test_rmc_configs_show_contention_signal(self, machine):
+        """The constructed rmc labels must match measured physics —
+        standing in for the paper's manual examination."""
+        rmc_cfg = [c for c in micro_training_configs("sumv") if c.label is Mode.RMC][0]
+        good_cfg = [c for c in micro_training_configs("sumv") if c.label is Mode.GOOD][0]
+        instances = collect_training_set(machine, configs=[rmc_cfg, good_cfg], seed=0)
+        rmc_lat = instances[0].features["avg_remote_dram_latency"]
+        good_lat = instances[1].features["avg_remote_dram_latency"]
+        assert rmc_lat > 800
+        assert good_lat < 800
+
+
+class TestTrainedClassifier:
+    def test_cv_accuracy_matches_paper_band(self, trained):
+        clf, instances = trained
+        X, y = training_matrix(list(instances))
+        cv = cross_validate(clf, X, y, k=10, seed=0)
+        assert cv.accuracy >= 0.95  # paper: 97.4%
+
+    def test_tree_uses_remote_latency(self, trained):
+        clf, _ = trained
+        assert "avg_remote_dram_latency" in clf.used_feature_names()
+
+    def test_tree_is_small(self, trained):
+        clf, _ = trained
+        assert clf.tree.depth <= 3
+        assert clf.tree.n_leaves <= 8
+
+    def test_instance_channels_sensible(self, trained):
+        _, instances = trained
+        for inst in instances:
+            if inst.channel is not None:
+                assert inst.channel.is_remote
+
+    def test_good_bandit_features(self, trained):
+        """Bandit runs: many remote samples at healthy latency."""
+        _, instances = trained
+        bandit = [i for i in instances if i.config.program == "bandit"]
+        lat = np.array([i.features["avg_remote_dram_latency"] for i in bandit])
+        cnt = np.array([i.features["num_remote_dram_samples"] for i in bandit])
+        assert np.median(cnt) > 50
+        assert np.median(lat) < 700

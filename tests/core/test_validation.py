@@ -1,0 +1,129 @@
+"""Tests for cross-validation and confusion matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dtree import DecisionTreeClassifier
+from repro.core.validation import (
+    ConfusionMatrix,
+    cross_validate,
+    stratified_kfold_indices,
+)
+from repro.errors import ModelError
+
+
+class TestConfusionMatrix:
+    def test_from_predictions(self):
+        cm = ConfusionMatrix.from_predictions(
+            np.array(["a", "a", "b", "b"]),
+            np.array(["a", "b", "b", "b"]),
+        )
+        assert cm.accuracy == pytest.approx(0.75)
+        assert cm.total == 4
+
+    def test_rates(self):
+        cm = ConfusionMatrix.from_predictions(
+            np.array(["good"] * 8 + ["rmc"] * 2),
+            np.array(["good"] * 6 + ["rmc"] * 2 + ["rmc"] * 2),
+            labels=("rmc", "good"),
+        )
+        assert cm.rate("good", "rmc") == pytest.approx(0.25)  # FP rate
+        assert cm.rate("rmc", "good") == pytest.approx(0.0)  # FN rate
+
+    def test_paper_table6_arithmetic(self):
+        """Reproduce the paper's Table VI numbers exactly from its counts."""
+        cm = ConfusionMatrix(
+            labels=("rmc", "good"),
+            counts=np.array([[63, 0], [19, 430]]),
+        )
+        assert cm.accuracy == pytest.approx(0.963, abs=5e-4)
+        assert cm.rate("good", "rmc") == pytest.approx(19 / 449, abs=1e-6)
+        assert cm.rate("rmc", "good") == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ModelError):
+            ConfusionMatrix(labels=("a",), counts=np.zeros((2, 2), dtype=int))
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ModelError):
+            ConfusionMatrix.from_predictions(np.array([1]), np.array([1, 2]))
+
+    def test_str_contains_counts(self):
+        cm = ConfusionMatrix(labels=("x", "y"), counts=np.array([[3, 1], [0, 2]]))
+        assert "3" in str(cm)
+
+
+class TestStratifiedKFold:
+    def test_partition(self):
+        y = np.array([0] * 20 + [1] * 10)
+        folds = stratified_kfold_indices(y, k=5, seed=0)
+        all_idx = np.concatenate(folds)
+        assert sorted(all_idx) == list(range(30))
+
+    def test_stratification(self):
+        y = np.array([0] * 20 + [1] * 10)
+        for fold in stratified_kfold_indices(y, k=5, seed=0):
+            labels = y[fold]
+            assert np.sum(labels == 0) == 4
+            assert np.sum(labels == 1) == 2
+
+    def test_uneven_classes(self):
+        y = np.array([0] * 17 + [1] * 7)
+        folds = stratified_kfold_indices(y, k=5, seed=1)
+        sizes = [np.sum(y[f] == 1) for f in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_few_instances(self):
+        with pytest.raises(ModelError):
+            stratified_kfold_indices(np.array([0, 1]), k=5)
+
+    def test_k_must_be_at_least_two(self):
+        with pytest.raises(ModelError):
+            stratified_kfold_indices(np.zeros(10), k=1)
+
+    @given(
+        n0=st.integers(min_value=5, max_value=40),
+        n1=st.integers(min_value=5, max_value=40),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_folds_disjoint_and_complete(self, n0, n1, seed):
+        y = np.array([0] * n0 + [1] * n1)
+        folds = stratified_kfold_indices(y, k=5, seed=seed)
+        flat = np.concatenate(folds)
+        assert len(flat) == len(y)
+        assert len(set(flat.tolist())) == len(y)
+
+
+class TestCrossValidate:
+    def test_separable_data_perfect(self):
+        X = np.concatenate([np.zeros((20, 1)), np.ones((20, 1)) * 10])
+        y = np.array(["a"] * 20 + ["b"] * 20)
+        cv = cross_validate(
+            DecisionTreeClassifier(min_samples_leaf=1, min_samples_split=2),
+            X, y, k=5,
+        )
+        assert cv.accuracy == 1.0
+        assert len(cv.fold_accuracies) == 5
+
+    def test_noise_data_imperfect(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        y = rng.integers(0, 2, size=60)
+        cv = cross_validate(DecisionTreeClassifier(), X, y, k=5)
+        assert cv.accuracy < 0.9
+
+    def test_confusion_total_matches_n(self):
+        X = np.arange(40, dtype=float)[:, None]
+        y = (X[:, 0] > 20).astype(int)
+        cv = cross_validate(DecisionTreeClassifier(), X, y, k=4)
+        assert cv.confusion.total == 40
+
+    def test_model_not_mutated(self):
+        model = DecisionTreeClassifier()
+        X = np.arange(20, dtype=float)[:, None]
+        y = (X[:, 0] > 10).astype(int)
+        cross_validate(model, X, y, k=4)
+        assert model.root is None  # clones were fitted, not the original

@@ -1,0 +1,39 @@
+"""Tests for the ablation drivers (full sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.eval.ablations import AblationRow, ablate_feature_set, ablate_heuristics
+
+
+class TestFeatureSetAblation:
+    @pytest.fixture(scope="class")
+    def rows(self, trained):
+        return ablate_feature_set(seed=0)
+
+    def test_all_views_scored(self, rows):
+        settings = {r.setting for r in rows}
+        assert "all 13 (Table I)" in settings
+        assert "paper tree pair (#6, #7)" in settings
+
+    def test_full_set_accurate(self, rows):
+        by = {r.setting: r.accuracy for r in rows}
+        assert by["all 13 (Table I)"] >= 0.95
+
+    def test_count_alone_insufficient(self, rows):
+        """The bandit runs make raw remote counts a poor lone feature."""
+        by = {r.setting: r.accuracy for r in rows}
+        assert by["remote count only (#6)"] < by["all 13 (Table I)"]
+
+
+class TestHeuristicAblation:
+    def test_tree_beats_both_heuristics(self, trained):
+        rows = ablate_heuristics(seed=0)
+        by = {r.setting: r.accuracy for r in rows}
+        tree = by["DR-BW tree (out-of-fold)"]
+        assert tree > by["latency threshold"]
+        assert tree > by["remote-access count"]
+
+    def test_rows_have_details(self, trained):
+        for r in ablate_heuristics(seed=0):
+            assert isinstance(r, AblationRow)
+            assert "/" in r.detail

@@ -1,0 +1,39 @@
+"""Tests for evaluation configurations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.configs import EVAL_CONFIGS, RunConfig, config_by_name
+
+
+class TestRunConfig:
+    def test_paper_has_eight_configs(self):
+        assert len(EVAL_CONFIGS) == 8
+        names = {c.name for c in EVAL_CONFIGS}
+        assert names == {
+            "T16-N4", "T24-N4", "T32-N4", "T64-N4",
+            "T24-N3", "T16-N2", "T24-N2", "T32-N2",
+        }
+
+    def test_threads_per_node(self):
+        assert RunConfig(64, 4).threads_per_node == 16
+        assert RunConfig(24, 3).threads_per_node == 8
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig(10, 4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig(0, 1)
+
+    def test_parse_by_name(self):
+        assert config_by_name("T16-N4") == RunConfig(16, 4)
+        assert config_by_name("T8-N2") == RunConfig(8, 2)
+
+    def test_parse_garbage(self):
+        with pytest.raises(ConfigError):
+            config_by_name("banana")
+
+    def test_ordering(self):
+        assert RunConfig(16, 2) < RunConfig(16, 4) or RunConfig(16, 4) < RunConfig(16, 2)

@@ -1,0 +1,82 @@
+"""Tests for the experiment drivers (small subsets; full runs live in
+``benchmarks/``)."""
+
+import pytest
+
+from repro.eval.configs import RunConfig
+from repro.eval.experiments import (
+    AMG_COLOCATE_TARGETS,
+    run_case_blackscholes,
+    run_fig4_cf,
+    run_table2_training_data,
+    run_table3_confusion,
+    run_table5_detection,
+    run_table6_accuracy,
+    run_fig3_tree,
+)
+from repro.types import Mode
+
+
+class TestTrainingDrivers:
+    def test_table2_shape(self, trained):
+        summary = run_table2_training_data()
+        assert summary.total == 192
+        assert summary.counts["bandit"] == (48, 0)
+
+    def test_table3_cv(self, trained):
+        cv = run_table3_confusion()
+        assert cv.accuracy >= 0.95
+        assert len(cv.fold_accuracies) == 10
+
+    def test_fig3_tree(self, trained):
+        tree = run_fig3_tree()
+        assert "avg_remote_dram_latency" in tree.used_features
+        assert "<=" in tree.rendering
+
+
+class TestDetectionDriver:
+    @pytest.fixture(scope="class")
+    def detection(self, trained):
+        # Two benchmarks, two configs: a contended and a clean one.
+        return run_table5_detection(
+            benchmarks=["AMG2006", "EP"],
+            configs=(RunConfig(16, 4), RunConfig(32, 2)),
+        )
+
+    def test_case_results(self, detection):
+        assert len(detection.cases) == 2 + 3 * 2  # AMG 1 input, EP 3 classes
+        amg = [c for c in detection.cases if c.benchmark == "AMG2006"]
+        assert all(c.actual is Mode.RMC for c in amg)
+        assert all(c.detected is Mode.RMC for c in amg)
+        ep = [c for c in detection.cases if c.benchmark == "EP"]
+        assert all(c.actual is Mode.GOOD for c in ep)
+
+    def test_per_benchmark_rollup(self, detection):
+        rows = detection.per_benchmark()
+        assert rows["AMG2006"] == (2, 2, 2)
+        assert rows["EP"] == (6, 0, 0)
+
+    def test_benchmark_classes(self, detection):
+        classes = detection.benchmark_classes()
+        assert classes["AMG2006"] is Mode.RMC
+        assert classes["EP"] is Mode.GOOD
+
+    def test_accuracy_summary(self, detection):
+        cm = run_table6_accuracy(detection)
+        assert cm.total == len(detection.cases)
+        assert detection.false_negative_rate == 0.0
+
+
+class TestCaseDrivers:
+    def test_blackscholes_under_one_percent(self, trained):
+        assert abs(run_case_blackscholes() - 1.0) < 0.02
+
+    def test_fig4_reports_all_panels(self, trained):
+        reports = run_fig4_cf()
+        assert set(reports) == {"AMG2006", "Streamcluster", "LULESH", "NW"}
+        assert reports["AMG2006"].top(1)[0].name == "RAP_diag_j"
+
+    def test_amg_targets_match_fig4a(self):
+        assert AMG_COLOCATE_TARGETS == {
+            "RAP_diag_j", "diag_j", "diag_data", "A_diag_data"
+        }

@@ -1,0 +1,50 @@
+"""Tests for the interleave-oracle ground truth."""
+
+import pytest
+
+from repro.eval.groundtruth import (
+    ORACLE_THRESHOLD,
+    OracleVerdict,
+    interleave_everything,
+    interleave_oracle,
+)
+from repro.osl.pages import Interleave
+from repro.types import Mode
+from repro.workloads.micro import make_sumv
+
+MB = 1024 * 1024
+
+
+class TestVerdict:
+    def test_threshold_matches_paper(self):
+        assert ORACLE_THRESHOLD == pytest.approx(1.10)
+
+    def test_mode_boundaries(self):
+        assert OracleVerdict(100.0, 95.0).mode is Mode.GOOD  # 1.05x
+        assert OracleVerdict(100.0, 80.0).mode is Mode.RMC  # 1.25x
+        assert OracleVerdict(100.0, 100.0).speedup == 1.0
+
+
+class TestInterleaveEverything:
+    def test_all_objects_interleaved(self):
+        out = interleave_everything(make_sumv(64 * MB, colocate=True))
+        for o in out.objects:
+            assert isinstance(o.policy, Interleave)
+            assert not o.colocate
+
+
+class TestOracle:
+    def test_contended_run_flagged(self, machine):
+        verdict = interleave_oracle(make_sumv(512 * MB), machine, 32, 4)
+        assert verdict.speedup > 1.5
+        assert verdict.mode is Mode.RMC
+
+    def test_cache_resident_run_passes(self, machine):
+        # Long-lived resident kernel: the one-off cold pass is negligible.
+        verdict = interleave_oracle(make_sumv(2 * MB, passes=64.0), machine, 8, 2)
+        assert verdict.mode is Mode.GOOD
+
+    def test_colocated_run_passes(self, machine):
+        verdict = interleave_oracle(make_sumv(512 * MB, colocate=True), machine, 16, 4)
+        assert verdict.mode is Mode.GOOD
+        assert verdict.speedup < 1.05

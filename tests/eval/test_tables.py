@@ -1,0 +1,76 @@
+"""Tests for paper-style table rendering."""
+
+import numpy as np
+
+from repro.core.validation import ConfusionMatrix, CrossValidationResult
+from repro.eval.configs import RunConfig
+from repro.eval.experiments import (
+    CaseResult,
+    DetectionResults,
+    OverheadRow,
+    SpeedupRow,
+    TrainingSummary,
+)
+from repro.eval.tables import (
+    format_speedup_rows,
+    format_table2,
+    format_table3,
+    format_table5,
+    format_table6,
+    format_table7,
+)
+from repro.types import Mode
+
+
+def test_format_table2():
+    text = format_table2(
+        TrainingSummary(counts={"sumv": (24, 24), "dotv": (24, 24),
+                                "countv": (24, 24), "bandit": (48, 0)})
+    )
+    assert "192" in text
+    assert "bandit" in text
+    assert "-" in text  # bandit has no rmc runs
+
+
+def test_format_table3():
+    cm = ConfusionMatrix(labels=("good", "rmc"),
+                         counts=np.array([[118, 2], [3, 69]]))
+    cv = CrossValidationResult(confusion=cm, fold_accuracies=(0.97,) * 10)
+    text = format_table3(cv)
+    assert "187/192" in text
+    assert "97.4%" in text
+
+
+def test_format_table5_and_6():
+    cases = [
+        CaseResult("AMG2006", "30x30x30", RunConfig(16, 4), 1.5, Mode.RMC, Mode.RMC),
+        CaseResult("EP", "A", RunConfig(16, 4), 1.0, Mode.GOOD, Mode.GOOD),
+        CaseResult("EP", "B", RunConfig(16, 4), 1.0, Mode.GOOD, Mode.RMC),
+    ]
+    det = DetectionResults(cases=cases)
+    t5 = format_table5(det)
+    assert "AMG2006" in t5 and "Total" in t5
+    t6 = format_table6(det.accuracy_summary())
+    assert "Correctness" in t6
+    assert "False positive" in t6
+    assert det.false_positive_rate == 0.5
+    assert det.false_negative_rate == 0.0
+
+
+def test_format_table7():
+    rows = [OverheadRow("IRSmk", 100.0, 101.0), OverheadRow("NW", 100.0, 106.4)]
+    text = format_table7(rows)
+    assert "+1.0%" in text
+    assert "+6.4%" in text
+    assert "Average" in text
+
+
+def test_format_speedup_rows():
+    rows = [
+        SpeedupRow("large T64-N4", RunConfig(64, 4),
+                   {"co-locate": 3.0, "interleave": 2.5}),
+    ]
+    text = format_speedup_rows(rows, "demo")
+    assert "demo" in text
+    assert "3.00x" in text
+    assert "co-locate" in text

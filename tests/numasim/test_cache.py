@@ -1,0 +1,169 @@
+"""Tests for the exact set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numasim.cache import CacheHierarchy, SetAssociativeCache
+from repro.numasim.topology import CacheSpec
+from repro.types import MemLevel
+
+TINY = CacheSpec(size_bytes=4096, line_bytes=64, associativity=4)  # 16 sets
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(TINY)
+        assert not c.access(0x1000)
+        c.fill(0x1000)
+        assert c.access(0x1000)
+
+    def test_same_line_different_bytes_hit(self):
+        c = SetAssociativeCache(TINY)
+        c.fill(0x1000)
+        assert c.access(0x1000 + 63)
+
+    def test_set_mapping(self):
+        c = SetAssociativeCache(TINY)
+        assert c.set_of(0) == 0
+        assert c.set_of(64) == 1
+        assert c.set_of(64 * 16) == 0  # wraps at n_sets
+
+    def test_lru_eviction_order(self):
+        c = SetAssociativeCache(TINY)
+        span = TINY.n_sets * TINY.line_bytes  # same-set stride
+        addrs = [i * span for i in range(4)]  # fill all 4 ways of set 0
+        for a in addrs:
+            c.fill(a)
+        c.access(addrs[0])  # make way 0 most-recent
+        evicted = c.fill(4 * span)  # overflow the set
+        assert evicted == c.line_of(addrs[1]), "LRU (addrs[1]) must be evicted"
+        assert c.contains(addrs[0])
+
+    def test_fill_idempotent(self):
+        c = SetAssociativeCache(TINY)
+        c.fill(0x40)
+        assert c.fill(0x40) is None
+
+    def test_invalidate(self):
+        c = SetAssociativeCache(TINY)
+        c.fill(0x80)
+        assert c.invalidate(0x80)
+        assert not c.contains(0x80)
+        assert not c.invalidate(0x80)
+
+    def test_miss_rate_accounting(self):
+        c = SetAssociativeCache(TINY)
+        c.access(0)
+        c.fill(0)
+        c.access(0)
+        assert c.miss_rate == pytest.approx(0.5)
+        c.reset_stats()
+        assert c.miss_rate == 0.0
+
+    def test_capacity_respected(self):
+        """Never more lines resident than the cache holds."""
+        c = SetAssociativeCache(TINY)
+        for i in range(1000):
+            c.fill(i * 64)
+        resident = sum(c.contains(i * 64) for i in range(1000))
+        assert resident <= TINY.n_lines
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_fill_then_hit(self, addrs):
+        """After fill, an immediate access to the same address always hits."""
+        c = SetAssociativeCache(TINY)
+        for a in addrs:
+            c.fill(a)
+            assert c.access(a)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 18), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_property_set_isolation(self, addrs):
+        """Evictions only ever remove lines mapping to the same set."""
+        c = SetAssociativeCache(TINY)
+        for a in addrs:
+            victim = c.fill(a)
+            if victim is not None:
+                assert victim % TINY.n_sets == c.set_of(a)
+
+
+class TestCacheHierarchy:
+    def _hier(self):
+        return CacheHierarchy(
+            l1=CacheSpec(1024, 64, 2),
+            l2=CacheSpec(4096, 64, 4),
+            l3=CacheSpec(16384, 64, 8),
+        )
+
+    def test_first_access_goes_to_dram(self):
+        h = self._hier()
+        assert h.access(0x1000).level is MemLevel.LOCAL_DRAM
+
+    def test_remote_dram_level_respected(self):
+        h = self._hier()
+        out = h.access(0x2000, dram_level=MemLevel.REMOTE_DRAM)
+        assert out.level is MemLevel.REMOTE_DRAM
+
+    def test_bad_dram_level_rejected(self):
+        h = self._hier()
+        with pytest.raises(ValueError):
+            h.access(0, dram_level=MemLevel.L2)
+
+    def test_l1_hit_after_fill(self):
+        h = self._hier()
+        h.access(0x40)
+        # Outside the LFB window, the repeat is a plain L1 hit.
+        for a in range(0x4000, 0x4000 + 64 * 6, 64):
+            h.access(a)
+        assert h.access(0x40).level is MemLevel.L1
+
+    def test_lfb_hit_right_after_miss(self):
+        h = self._hier()
+        h.access(0x40)
+        assert h.access(0x44).level is MemLevel.LFB
+
+    def test_l2_hit_when_line_only_in_l2(self):
+        h = self._hier()
+        h.l2.fill(0x80)
+        assert h.access(0x80).level is MemLevel.L2
+
+    def test_l3_hit_when_line_only_in_l3(self):
+        h = self._hier()
+        h.l3.fill(0x80)
+        assert h.access(0x80).level is MemLevel.L3
+
+    def test_fill_completes_after_window(self):
+        h = self._hier()
+        h.access(0x40)  # miss, fill in flight
+        for i in range(6):  # flush past the LFB window
+            h.access((1 << 20) + i * 4096)
+        assert h.access(0x40).level is MemLevel.L1
+
+    def test_run_trace_levels(self):
+        h = self._hier()
+        addrs = np.array([0, 0, 64, 64])
+        levels = h.run_trace(addrs)
+        assert levels[0] == int(MemLevel.LOCAL_DRAM)
+        assert levels[1] != int(MemLevel.LOCAL_DRAM)
+
+    def test_dram_miss_rate(self):
+        h = self._hier()
+        h.run_trace(np.array([0, 0, 0, 0]))
+        assert h.dram_miss_rate == pytest.approx(0.25)
+
+    def test_streaming_miss_fraction(self):
+        """Sequential 8-byte accesses miss once per 64-byte line."""
+        h = self._hier()
+        addrs = np.arange(0, 64 * 512, 8, dtype=np.int64) + (1 << 20)
+        levels = h.run_trace(addrs)
+        dram = np.sum(levels == int(MemLevel.LOCAL_DRAM))
+        lfb = np.sum(levels == int(MemLevel.LFB))
+        l1 = np.sum(levels == int(MemLevel.L1))
+        # One line fetch per 8 accesses; the next 4 hit the in-flight fill
+        # (the LFB window); the remaining 3 hit L1 after install.
+        assert dram == 512
+        assert lfb == 4 * 512
+        assert l1 == 3 * 512

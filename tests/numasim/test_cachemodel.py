@@ -1,0 +1,193 @@
+"""Tests for the analytical cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.numasim.cachemodel import (
+    CacheModel,
+    EffectiveCaches,
+    LevelFractions,
+    PatternKind,
+    StreamProfile,
+    split_dram_locality,
+)
+from repro.types import MemLevel
+
+MB = 1024 * 1024
+CACHES = EffectiveCaches(l1_bytes=32 * 1024, l2_bytes=256 * 1024, l3_bytes=5 * MB)
+MODEL = CacheModel()
+
+
+def seq(ws, passes=1.0, element=8, wf=0.0):
+    return StreamProfile(
+        kind=PatternKind.SEQUENTIAL, working_set_bytes=ws,
+        element_bytes=element, passes=passes, write_fraction=wf,
+    )
+
+
+class TestStreamProfileValidation:
+    def test_bad_working_set(self):
+        with pytest.raises(WorkloadError):
+            StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=0)
+
+    def test_bad_element(self):
+        with pytest.raises(WorkloadError):
+            StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=64, element_bytes=128)
+
+    def test_strided_needs_stride(self):
+        with pytest.raises(WorkloadError):
+            StreamProfile(kind=PatternKind.STRIDED, working_set_bytes=1024)
+
+    def test_bad_chains(self):
+        with pytest.raises(WorkloadError):
+            StreamProfile(kind=PatternKind.POINTER_CHASE, working_set_bytes=1024, chains=0)
+
+
+class TestLevelFractionsInvariants:
+    def test_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            LevelFractions(fractions={MemLevel.L1: 0.5})
+
+    def test_dram_fraction(self):
+        lf = MODEL.level_fractions(seq(256 * MB), CACHES)
+        assert 0 <= lf.dram_fraction <= 1
+
+
+class TestSequential:
+    def test_big_cold_stream(self):
+        """A single pass over a DRAM-sized region: 1/8 line misses."""
+        lf = MODEL.level_fractions(seq(256 * MB), CACHES)
+        f = lf.fractions
+        line_miss = f[MemLevel.LFB] + f[MemLevel.LOCAL_DRAM]
+        assert line_miss == pytest.approx(1 / 8, rel=1e-6)
+        # Prefetcher hides the configured fraction as LFB.
+        assert f[MemLevel.LFB] / line_miss == pytest.approx(MODEL.prefetch_efficiency)
+        # Traffic: one 64-byte line per 8 accesses.
+        assert lf.dram_bytes_per_access == pytest.approx(8.0)
+
+    def test_l1_resident_many_passes(self):
+        lf = MODEL.level_fractions(seq(16 * 1024, passes=16.0), CACHES)
+        assert lf.fractions[MemLevel.L1] > 0.95
+        assert lf.dram_bytes_per_access < 1.0
+
+    def test_l3_resident_warm_passes(self):
+        lf = MODEL.level_fractions(seq(2 * MB, passes=8.0), CACHES)
+        # Warm passes hit L3 on each new line.
+        assert lf.fractions[MemLevel.L3] > 0.05
+        assert lf.fractions[MemLevel.LOCAL_DRAM] < 0.05
+
+    def test_more_passes_less_dram_when_resident(self):
+        few = MODEL.level_fractions(seq(2 * MB, passes=2.0), CACHES)
+        many = MODEL.level_fractions(seq(2 * MB, passes=32.0), CACHES)
+        assert many.dram_bytes_per_access < few.dram_bytes_per_access
+
+    def test_writeback_traffic(self):
+        ro = MODEL.level_fractions(seq(256 * MB), CACHES)
+        rw = MODEL.level_fractions(seq(256 * MB, wf=1.0), CACHES)
+        assert rw.dram_bytes_per_access == pytest.approx(2 * ro.dram_bytes_per_access)
+
+    def test_streaming_mlp(self):
+        lf = MODEL.level_fractions(seq(256 * MB), CACHES)
+        assert lf.mlp == MODEL.streaming_mlp
+
+
+class TestStrided:
+    def test_full_stride_misses_every_line(self):
+        p = StreamProfile(
+            kind=PatternKind.STRIDED, working_set_bytes=256 * MB, stride_bytes=256
+        )
+        lf = MODEL.level_fractions(p, CACHES)
+        line_miss = lf.fractions[MemLevel.LFB] + lf.fractions[MemLevel.LOCAL_DRAM]
+        assert line_miss == pytest.approx(1.0)
+        assert lf.dram_bytes_per_access == pytest.approx(64.0)
+
+    def test_small_stride_like_sequential(self):
+        p = StreamProfile(
+            kind=PatternKind.STRIDED, working_set_bytes=256 * MB, stride_bytes=16
+        )
+        lf = MODEL.level_fractions(p, CACHES)
+        line_miss = lf.fractions[MemLevel.LFB] + lf.fractions[MemLevel.LOCAL_DRAM]
+        assert line_miss == pytest.approx(16 / 64)
+
+
+class TestRandom:
+    def test_cache_resident(self):
+        p = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=16 * 1024)
+        lf = MODEL.level_fractions(p, CACHES)
+        assert lf.fractions[MemLevel.L1] == pytest.approx(1.0)
+
+    def test_big_working_set_mostly_dram(self):
+        p = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=512 * MB)
+        lf = MODEL.level_fractions(p, CACHES)
+        assert lf.fractions[MemLevel.LOCAL_DRAM] > 0.9
+        assert lf.dram_bytes_per_access == pytest.approx(
+            64.0 * lf.fractions[MemLevel.LOCAL_DRAM]
+        )
+
+    def test_hit_probability_matches_capacity_ratio(self):
+        ws = 50 * MB
+        p = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=ws)
+        lf = MODEL.level_fractions(p, CACHES)
+        p_l3 = (CACHES.l3_bytes) / ws
+        assert lf.dram_fraction == pytest.approx(1 - p_l3, rel=1e-6)
+
+    def test_chains_override_mlp(self):
+        p = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=512 * MB, chains=2)
+        assert MODEL.level_fractions(p, CACHES).mlp == 2.0
+        p1 = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=512 * MB)
+        assert MODEL.level_fractions(p1, CACHES).mlp == MODEL.random_mlp
+
+
+class TestPointerChase:
+    def test_all_dram_no_mlp(self):
+        p = StreamProfile(kind=PatternKind.POINTER_CHASE, working_set_bytes=64 * MB)
+        lf = MODEL.level_fractions(p, CACHES)
+        assert lf.fractions[MemLevel.LOCAL_DRAM] == pytest.approx(1.0)
+        assert lf.mlp == 1.0
+        assert lf.dram_bytes_per_access == pytest.approx(64.0)
+
+    def test_chains_give_mlp(self):
+        p = StreamProfile(
+            kind=PatternKind.POINTER_CHASE, working_set_bytes=64 * MB, chains=8
+        )
+        assert MODEL.level_fractions(p, CACHES).mlp == 8.0
+
+
+class TestSplitDramLocality:
+    def test_split(self):
+        lf = MODEL.level_fractions(seq(256 * MB), CACHES)
+        out = split_dram_locality(lf, local_fraction=0.25)
+        dram = out.fractions[MemLevel.LOCAL_DRAM] + out.fractions[MemLevel.REMOTE_DRAM]
+        orig = lf.fractions[MemLevel.LOCAL_DRAM] + lf.fractions[MemLevel.REMOTE_DRAM]
+        assert dram == pytest.approx(orig)
+        assert out.fractions[MemLevel.LOCAL_DRAM] == pytest.approx(0.25 * dram)
+
+    def test_invalid_fraction(self):
+        lf = MODEL.level_fractions(seq(256 * MB), CACHES)
+        with pytest.raises(WorkloadError):
+            split_dram_locality(lf, 1.5)
+
+
+@given(
+    ws=st.integers(min_value=4096, max_value=1 << 30),
+    passes=st.floats(min_value=0.25, max_value=64.0),
+    element=st.sampled_from([4, 8, 16, 32, 64]),
+    kind=st.sampled_from(list(PatternKind)),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_fractions_always_valid(ws, passes, element, kind):
+    """For any profile: fractions sum to 1, traffic >= 0, MLP >= 1."""
+    profile = StreamProfile(
+        kind=kind,
+        working_set_bytes=ws,
+        element_bytes=element,
+        stride_bytes=element * 4 if kind is PatternKind.STRIDED else None,
+        passes=passes,
+    )
+    lf = MODEL.level_fractions(profile, CACHES)
+    assert sum(lf.fractions.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in lf.fractions.values())
+    assert lf.dram_bytes_per_access >= 0
+    assert lf.mlp >= 1.0

@@ -1,0 +1,184 @@
+"""Tests for the max-min fair bandwidth allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.numasim.fairness import FairnessProblem, solve_max_min
+
+
+def solve(demands, usage, capacities):
+    return solve_max_min(
+        FairnessProblem(
+            demands=np.array(demands, dtype=float),
+            usage=usage,
+            capacities=np.array(capacities, dtype=float),
+        )
+    )
+
+
+class TestBasicAllocations:
+    def test_unconstrained_gets_demand(self):
+        sol = solve([3.0, 2.0], [(0,), (0,)], [10.0])
+        assert sol.allocations == pytest.approx([3.0, 2.0])
+        assert sol.utilization[0] == pytest.approx(0.5)
+
+    def test_equal_split_on_saturated_resource(self):
+        sol = solve([10.0, 10.0], [(0,), (0,)], [10.0])
+        assert sol.allocations == pytest.approx([5.0, 5.0])
+        assert sol.utilization[0] == pytest.approx(1.0)
+
+    def test_small_demand_satisfied_first(self):
+        """Classic max-min: the 2-unit flow gets 2; the rest split 8."""
+        sol = solve([2.0, 100.0, 100.0], [(0,), (0,), (0,)], [10.0])
+        assert sol.allocations == pytest.approx([2.0, 4.0, 4.0])
+
+    def test_multi_resource_bottleneck(self):
+        # Flow 0 crosses both; resource 1 is the tighter one.
+        sol = solve([10.0, 10.0], [(0, 1), (0,)], [10.0, 4.0])
+        assert sol.allocations[0] == pytest.approx(4.0)
+        assert sol.allocations[1] == pytest.approx(6.0)
+
+    def test_disjoint_resources_independent(self):
+        sol = solve([8.0, 8.0], [(0,), (1,)], [4.0, 100.0])
+        assert sol.allocations == pytest.approx([4.0, 8.0])
+
+    def test_zero_demand_flow(self):
+        sol = solve([0.0, 5.0], [(0,), (0,)], [4.0])
+        assert sol.allocations[0] == 0.0
+        assert sol.allocations[1] == pytest.approx(4.0)
+
+    def test_no_resources(self):
+        sol = solve([7.0], [()], np.empty(0))
+        assert sol.allocations == pytest.approx([7.0])
+
+    def test_no_flows(self):
+        sol = solve([], [], [5.0])
+        assert sol.allocations.size == 0
+        assert sol.utilization[0] == 0.0
+
+
+class TestThrottle:
+    def test_throttle_ratio(self):
+        sol = solve([10.0, 10.0], [(0,), (0,)], [10.0])
+        thr = sol.throttle(np.array([10.0, 10.0]))
+        assert thr == pytest.approx([0.5, 0.5])
+
+    def test_zero_demand_throttle_is_one(self):
+        sol = solve([0.0], [(0,)], [10.0])
+        assert sol.throttle(np.array([0.0]))[0] == 1.0
+
+
+class TestValidation:
+    def test_negative_demand(self):
+        with pytest.raises(SimulationError):
+            solve([-1.0], [(0,)], [1.0])
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            solve([1.0], [(0,)], [0.0])
+
+    def test_unknown_resource(self):
+        with pytest.raises(SimulationError):
+            solve([1.0], [(3,)], [1.0])
+
+    def test_usage_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            solve([1.0, 2.0], [(0,)], [1.0])
+
+
+@st.composite
+def fairness_problems(draw):
+    n_res = draw(st.integers(min_value=1, max_value=5))
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    demands = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=n_flows, max_size=n_flows,
+        )
+    )
+    capacities = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=50.0),
+            min_size=n_res, max_size=n_res,
+        )
+    )
+    usage = [
+        tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n_res - 1),
+                    max_size=n_res, unique=True,
+                )
+            )
+        )
+        for _ in range(n_flows)
+    ]
+    return demands, usage, capacities
+
+
+@given(fairness_problems())
+@settings(max_examples=200, deadline=None)
+def test_property_max_min_invariants(problem):
+    """No over-capacity, no over-demand, and Pareto optimality."""
+    demands, usage, capacities = problem
+    sol = solve(demands, usage, capacities)
+    alloc = sol.allocations
+    d = np.array(demands)
+    caps = np.array(capacities)
+
+    # 1. Allocation within demand.
+    assert np.all(alloc <= d + 1e-6)
+    assert np.all(alloc >= -1e-12)
+
+    # 2. No resource over capacity.
+    used = np.zeros(len(capacities))
+    for f, res in enumerate(usage):
+        for r in res:
+            used[r] += alloc[f]
+    assert np.all(used <= caps * (1 + 1e-6))
+
+    # 3. Pareto: every unsatisfied flow crosses a saturated resource.
+    for f, res in enumerate(usage):
+        if alloc[f] < d[f] - 1e-6 * max(d[f], 1.0):
+            assert res, "unsatisfied flow must cross some resource"
+            assert any(used[r] >= caps[r] * (1 - 1e-6) for r in res)
+
+    # 4. Utilization consistent and bounded.
+    assert np.all(sol.utilization <= 1.0 + 1e-9)
+    assert np.all(sol.utilization >= 0.0)
+
+
+@given(fairness_problems())
+@settings(max_examples=100, deadline=None)
+def test_property_bottleneck_fairness(problem):
+    """On a saturated resource, an unsatisfied flow's allocation is within
+    rounding of the max allocation among that resource's flows (max-min)."""
+    demands, usage, capacities = problem
+    sol = solve(demands, usage, capacities)
+    alloc = sol.allocations
+    d = np.array(demands)
+    caps = np.array(capacities)
+    used = np.zeros(len(capacities))
+    for f, res in enumerate(usage):
+        for r in res:
+            used[r] += alloc[f]
+    for r in range(len(capacities)):
+        flows = [f for f, res in enumerate(usage) if r in res and d[f] > 1e-9]
+        if not flows or used[r] < caps[r] * (1 - 1e-6):
+            continue
+        unsat = [f for f in flows if alloc[f] < d[f] - 1e-6 * max(d[f], 1.0)]
+        if not unsat:
+            continue
+        # Fairness: an unsatisfied flow on the bottleneck cannot be starved
+        # below another flow on the same bottleneck (modulo its own demand
+        # and other resources it crosses).
+        floor = min(alloc[f] for f in unsat)
+        for f in flows:
+            if alloc[f] > floor + 1e-6:
+                # The bigger flow must be demand-limited or limited here.
+                assert (
+                    alloc[f] <= d[f] + 1e-6
+                ), "allocation above demand is never fair"

@@ -1,0 +1,48 @@
+"""Tests for the Machine facade."""
+
+import pytest
+
+from repro.numasim.cachemodel import PatternKind
+from repro.numasim.machine import Machine
+from repro.numasim.topology import NumaTopology
+from repro.types import Channel
+from repro.workloads.micro import make_sumv
+from repro.workloads.runner import run_workload
+
+MB = 1024 * 1024
+
+
+class TestMachine:
+    def test_defaults_match_paper_box(self):
+        m = Machine()
+        assert m.topology.n_sockets == 4
+        assert m.topology.n_cpus == 64
+
+    def test_engine_construction(self):
+        m = Machine()
+        eng = m.engine(barriers=False)
+        assert not eng.barriers
+
+    def test_run_delegates(self, machine):
+        run = run_workload(make_sumv(8 * MB), machine, 2, 1)
+        assert run.total_cycles > 0
+
+    def test_link_capacity_overrides_flow_through(self):
+        """Choking one directed link slows only traffic crossing it."""
+        fast = Machine()
+        slow = Machine(link_capacity_overrides={Channel(1, 0): 0.5})
+        wl = make_sumv(512 * MB)
+        t_fast = run_workload(wl, fast, 16, 2).total_cycles
+        t_slow = run_workload(wl, slow, 16, 2).total_cycles
+        assert t_slow > t_fast
+
+    def test_custom_topology(self):
+        m = Machine(topology=NumaTopology(n_sockets=2, cores_per_socket=2, smt=1))
+        run = run_workload(make_sumv(8 * MB), m, 2, 2)
+        assert run.total_cycles > 0
+
+    def test_total_seconds(self, machine):
+        run = run_workload(make_sumv(8 * MB), machine, 2, 1)
+        assert run.result.total_seconds == pytest.approx(
+            run.total_cycles / 2.7e9
+        )

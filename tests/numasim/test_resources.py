@@ -1,0 +1,114 @@
+"""Tests for memory-controller and interconnect bandwidth accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.numasim.interconnect import InterconnectFabric
+from repro.numasim.memctrl import MemoryControllerSet, UtilizationRecord
+from repro.numasim.topology import NumaTopology
+from repro.types import Channel
+
+TOPO = NumaTopology()
+
+
+class TestUtilizationRecord:
+    def test_valid(self):
+        r = UtilizationRecord(0.0, 10.0, 0.5, 70.0)
+        assert r.utilization == 0.5
+
+    def test_invalid_utilization(self):
+        with pytest.raises(SimulationError):
+            UtilizationRecord(0.0, 1.0, 1.5, 1.0)
+
+    def test_negative_duration(self):
+        with pytest.raises(SimulationError):
+            UtilizationRecord(0.0, -1.0, 0.5, 1.0)
+
+
+class TestMemoryControllerSet:
+    def test_accounting(self):
+        mc = MemoryControllerSet(TOPO)
+        b = np.zeros(4)
+        b[0] = TOPO.dram_bw_bytes_per_cycle * 100  # node 0 at 100% for 100 cyc
+        mc.record_interval(0.0, 100.0, b)
+        mc.record_interval(100.0, 100.0, np.zeros(4))
+        assert mc.total_bytes(0) == pytest.approx(b[0])
+        assert mc.mean_utilization(0) == pytest.approx(0.5)
+        assert mc.peak_utilization(0) == pytest.approx(1.0)
+        assert mc.mean_utilization(1) == 0.0
+
+    def test_utilization_clamped(self):
+        mc = MemoryControllerSet(TOPO)
+        b = np.full(4, TOPO.dram_bw_bytes_per_cycle * 1000)
+        mc.record_interval(0.0, 10.0, b)  # 100x over capacity
+        assert mc.peak_utilization(2) == pytest.approx(1.0)
+
+    def test_shape_check(self):
+        mc = MemoryControllerSet(TOPO)
+        with pytest.raises(TopologyError):
+            mc.record_interval(0.0, 1.0, np.zeros(3))
+
+    def test_negative_traffic_rejected(self):
+        mc = MemoryControllerSet(TOPO)
+        with pytest.raises(SimulationError):
+            mc.record_interval(0.0, 1.0, np.array([-1.0, 0, 0, 0]))
+
+    def test_history(self):
+        mc = MemoryControllerSet(TOPO)
+        mc.record_interval(0.0, 5.0, np.ones(4))
+        hist = mc.history(0)
+        assert len(hist) == 1
+        assert hist[0].duration_cycles == 5.0
+        with pytest.raises(TopologyError):
+            mc.history(7)
+
+    def test_empty_mean_utilization(self):
+        mc = MemoryControllerSet(TOPO)
+        assert mc.mean_utilization(0) == 0.0
+
+
+class TestInterconnectFabric:
+    def test_channel_enumeration(self):
+        ic = InterconnectFabric(TOPO)
+        assert len(ic) == 12
+        assert ic.capacity_of(Channel(0, 1)) == TOPO.link_bw_bytes_per_cycle
+
+    def test_capacity_overrides(self):
+        ic = InterconnectFabric(TOPO, {Channel(0, 1): 2.0})
+        assert ic.capacity_of(Channel(0, 1)) == 2.0
+        assert ic.capacity_of(Channel(1, 0)) == TOPO.link_bw_bytes_per_cycle
+
+    def test_override_validation(self):
+        with pytest.raises(TopologyError):
+            InterconnectFabric(TOPO, {Channel(1, 1): 2.0})
+        with pytest.raises(TopologyError):
+            InterconnectFabric(TOPO, {Channel(0, 1): -1.0})
+
+    def test_local_channel_rejected(self):
+        ic = InterconnectFabric(TOPO)
+        with pytest.raises(TopologyError):
+            ic.index_of(Channel(2, 2))
+
+    def test_directionality(self):
+        """Traffic on 0->1 never shows up on 1->0."""
+        ic = InterconnectFabric(TOPO)
+        b = np.zeros(12)
+        b[ic.index_of(Channel(0, 1))] = 100.0
+        ic.record_interval(0.0, 10.0, b)
+        assert ic.total_bytes(Channel(0, 1)) == 100.0
+        assert ic.total_bytes(Channel(1, 0)) == 0.0
+
+    def test_mean_and_peak(self):
+        ic = InterconnectFabric(TOPO)
+        b = np.zeros(12)
+        b[0] = TOPO.link_bw_bytes_per_cycle * 50
+        ic.record_interval(0.0, 100.0, b)
+        ch = ic.channels[0]
+        assert ic.mean_utilization(ch) == pytest.approx(0.5)
+        assert ic.peak_utilization(ch) == pytest.approx(0.5)
+
+    def test_shape_check(self):
+        ic = InterconnectFabric(TOPO)
+        with pytest.raises(TopologyError):
+            ic.record_interval(0.0, 1.0, np.zeros(3))

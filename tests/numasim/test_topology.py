@@ -1,0 +1,119 @@
+"""Tests for the NUMA topology description."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.numasim.topology import CacheSpec, NumaTopology
+from repro.types import Channel
+
+
+class TestCacheSpec:
+    def test_geometry(self):
+        spec = CacheSpec(32 * 1024, 64, 8)
+        assert spec.n_sets == 64
+        assert spec.n_lines == 512
+
+    def test_l3_geometry(self):
+        spec = CacheSpec(20 * 1024 * 1024, 64, 20)
+        assert spec.n_sets == 16384
+
+    @pytest.mark.parametrize("size,line,ways", [(0, 64, 8), (1024, 0, 8), (1024, 64, 0)])
+    def test_nonpositive_rejected(self, size, line, ways):
+        with pytest.raises(TopologyError):
+            CacheSpec(size, line, ways)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(TopologyError):
+            CacheSpec(1000, 64, 8)
+
+
+class TestDefaultTopology:
+    """The default machine mirrors the paper's E5-4650 box."""
+
+    def setup_method(self):
+        self.topo = NumaTopology()
+
+    def test_counts(self):
+        assert self.topo.n_sockets == 4
+        assert self.topo.n_cores == 32
+        assert self.topo.n_cpus == 64  # Hyper-Threading
+
+    def test_cache_sizes(self):
+        assert self.topo.l1.size_bytes == 32 * 1024
+        assert self.topo.l2.size_bytes == 256 * 1024
+        assert self.topo.l3.size_bytes == 20 * 1024 * 1024
+
+    def test_dram(self):
+        assert self.topo.dram_bytes_per_node == 64 * 1024**3
+        assert self.topo.total_dram_bytes == 256 * 1024**3
+
+    def test_node_of_cpu_primary_threads(self):
+        assert self.topo.node_of_cpu(0) == 0
+        assert self.topo.node_of_cpu(7) == 0
+        assert self.topo.node_of_cpu(8) == 1
+        assert self.topo.node_of_cpu(31) == 3
+
+    def test_node_of_cpu_smt_siblings(self):
+        # CPU 32 is the SMT sibling of core 0.
+        assert self.topo.node_of_cpu(32) == 0
+        assert self.topo.core_of_cpu(32) == 0
+        assert self.topo.node_of_cpu(63) == 3
+
+    def test_cpus_of_node_layout(self):
+        cpus = self.topo.cpus_of_node(1)
+        assert len(cpus) == 16
+        # Physical cores first, SMT siblings after.
+        assert cpus[:8] == list(range(8, 16))
+        assert cpus[8:] == list(range(40, 48))
+
+    def test_cores_of_node(self):
+        assert self.topo.cores_of_node(2) == list(range(16, 24))
+
+    def test_out_of_range_lookups(self):
+        with pytest.raises(TopologyError):
+            self.topo.node_of_cpu(64)
+        with pytest.raises(TopologyError):
+            self.topo.cpus_of_node(4)
+        with pytest.raises(TopologyError):
+            self.topo.core_of_cpu(-1)
+
+    def test_remote_channels(self):
+        channels = self.topo.remote_channels()
+        assert len(channels) == 12  # 4 * 3 directed links
+        assert Channel(0, 1) in channels
+        assert all(c.is_remote for c in channels)
+
+    def test_all_channels_includes_local(self):
+        assert len(self.topo.all_channels()) == 16
+
+    def test_validate_channel(self):
+        self.topo.validate_channel(Channel(3, 0))
+        with pytest.raises(TopologyError):
+            self.topo.validate_channel(Channel(0, 4))
+
+    def test_time_conversion_roundtrip(self):
+        cycles = self.topo.seconds_to_cycles(1.0)
+        assert cycles == pytest.approx(2.7e9)
+        assert self.topo.cycles_to_seconds(cycles) == pytest.approx(1.0)
+
+
+class TestCustomTopology:
+    def test_two_socket(self):
+        topo = NumaTopology(n_sockets=2, cores_per_socket=4, smt=1)
+        assert topo.n_cpus == 8
+        assert len(topo.remote_channels()) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_sockets": 0},
+            {"cores_per_socket": 0},
+            {"smt": 0},
+            {"clock_ghz": 0.0},
+            {"dram_bw_bytes_per_cycle": -1.0},
+            {"link_bw_bytes_per_cycle": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(TopologyError):
+            NumaTopology(**kwargs)

@@ -1,0 +1,107 @@
+"""Regression harness: analytical cache model vs exact trace simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.numasim.cachemodel import PatternKind, StreamProfile
+from repro.numasim.validate import compare_against_exact, generate_trace
+from repro.types import MemLevel
+
+KB = 1024
+
+
+class TestTraceGeneration:
+    def test_sequential_covers_region(self):
+        p = StreamProfile(kind=PatternKind.SEQUENTIAL, working_set_bytes=1024,
+                          element_bytes=8, passes=2.0)
+        trace = generate_trace(p)
+        assert trace.min() == 0
+        assert trace.max() == 1016
+        assert len(trace) == 2 * 128
+
+    def test_strided(self):
+        p = StreamProfile(kind=PatternKind.STRIDED, working_set_bytes=1024,
+                          stride_bytes=256)
+        trace = generate_trace(p)
+        assert list(trace) == [0, 256, 512, 768]
+
+    def test_random_stays_in_bounds(self):
+        p = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=4096)
+        trace = generate_trace(p, base=1000, n_accesses=500)
+        assert len(trace) == 500
+        assert trace.min() >= 1000
+        assert trace.max() < 1000 + 4096
+
+    def test_pointer_chase_redirects_to_bandit(self):
+        p = StreamProfile(kind=PatternKind.POINTER_CHASE, working_set_bytes=4096)
+        with pytest.raises(WorkloadError):
+            generate_trace(p)
+
+    def test_deterministic_by_seed(self):
+        p = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=4096)
+        assert np.array_equal(generate_trace(p, seed=3), generate_trace(p, seed=3))
+
+
+class TestModelAgreement:
+    """The analytical formulas track exact simulation on the mixes that
+    drive DR-BW's features."""
+
+    def test_streaming_dram_fraction(self):
+        p = StreamProfile(kind=PatternKind.SEQUENTIAL,
+                          working_set_bytes=1024 * KB, element_bytes=8)
+        cmp = compare_against_exact(p)
+        # One pass over a DRAM-sized region: ~1/8 line fetches both ways.
+        assert cmp.dram_gap() < 0.02
+        assert cmp.cache_gap() < 0.05
+
+    def test_l1_resident_stream(self):
+        p = StreamProfile(kind=PatternKind.SEQUENTIAL,
+                          working_set_bytes=2 * KB, element_bytes=8, passes=16.0)
+        cmp = compare_against_exact(p)
+        assert cmp.dram_gap() < 0.02
+        assert cmp.exact.get(MemLevel.L1, 0) > 0.8
+
+    def test_strided_full_line_misses(self):
+        p = StreamProfile(kind=PatternKind.STRIDED,
+                          working_set_bytes=2048 * KB, stride_bytes=256)
+        cmp = compare_against_exact(p)
+        assert cmp.dram_gap() < 0.02
+
+    def test_random_over_large_working_set(self):
+        p = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=4096 * KB)
+        cmp = compare_against_exact(
+            p, max_trace=600_000, seed=1,
+        )
+        # Independent-reference model: resident probability ~ S/W.
+        assert cmp.dram_gap() < 0.08
+
+    def test_random_cache_resident(self):
+        p = StreamProfile(kind=PatternKind.RANDOM, working_set_bytes=2 * KB,
+                          passes=16.0)
+        cmp = compare_against_exact(p)
+        assert cmp.exact.get(MemLevel.L1, 0) + cmp.exact.get(MemLevel.LFB, 0) > 0.9
+
+    def test_warm_passes_reduce_dram_both_ways(self):
+        cold = StreamProfile(kind=PatternKind.SEQUENTIAL,
+                             working_set_bytes=16 * KB, element_bytes=8, passes=1.0)
+        warm = StreamProfile(kind=PatternKind.SEQUENTIAL,
+                             working_set_bytes=16 * KB, element_bytes=8, passes=8.0)
+        c_cold = compare_against_exact(cold)
+        c_warm = compare_against_exact(warm)
+        for mixes in (lambda c: c.analytical, lambda c: c.exact):
+            dram_cold = sum(
+                mixes(c_cold).get(k, 0.0)
+                for k in (MemLevel.LFB, MemLevel.LOCAL_DRAM)
+            )
+            dram_warm = sum(
+                mixes(c_warm).get(k, 0.0)
+                for k in (MemLevel.LFB, MemLevel.LOCAL_DRAM)
+            )
+            assert dram_warm < dram_cold
+
+    def test_trace_budget_enforced(self):
+        p = StreamProfile(kind=PatternKind.SEQUENTIAL,
+                          working_set_bytes=64 * 1024 * KB, element_bytes=8)
+        with pytest.raises(WorkloadError):
+            compare_against_exact(p, max_trace=1000)

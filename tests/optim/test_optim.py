@@ -1,0 +1,113 @@
+"""Tests for the optimization transforms and speedup measurement."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.numasim.cachemodel import PatternKind
+from repro.optim import (
+    colocate_objects,
+    interleave_objects,
+    measure_speedup,
+    replicate_objects,
+)
+from repro.osl.pages import Interleave, Replicated
+from repro.workloads.base import Share
+from repro.workloads.micro import make_sumv
+from repro.workloads.suites.parsec import make_streamcluster
+from tests.conftest import MB, make_stream_workload
+
+
+class TestColocate:
+    def test_flags_objects(self):
+        wl = make_stream_workload()
+        out = colocate_objects(wl)
+        assert out.object_spec("data").colocate
+
+    def test_static_objects_refused(self):
+        wl = make_stream_workload()
+        wl = wl.__class__(
+            name=wl.name,
+            objects=tuple(
+                type(o)(name=o.name, size_bytes=o.size_bytes, site=o.site,
+                        is_heap=False)
+                for o in wl.objects
+            ),
+            phases=wl.phases,
+        )
+        with pytest.raises(WorkloadError):
+            colocate_objects(wl, {"data"})
+        # Default target set skips statics silently.
+        out = colocate_objects(wl)
+        assert not out.object_spec("data").colocate
+
+    def test_speedup_on_contended_run(self, machine):
+        base = make_sumv(512 * MB)
+        result = measure_speedup(base, colocate_objects(base), machine, 32, 4)
+        assert result.speedup > 1.5
+        assert result.remote_traffic_reduction > 0.9
+
+
+class TestInterleave:
+    def test_policy_applied(self):
+        out = interleave_objects(make_stream_workload())
+        assert isinstance(out.object_spec("data").policy, Interleave)
+
+    def test_subset(self):
+        wl = make_streamcluster("simlarge")
+        out = interleave_objects(wl, {"block"})
+        assert isinstance(out.object_spec("block").policy, Interleave)
+        assert not isinstance(out.object_spec("point_p").policy, Interleave)
+
+    def test_speedup_on_contended_run(self, machine):
+        base = make_sumv(512 * MB)
+        result = measure_speedup(base, interleave_objects(base), machine, 32, 4)
+        assert result.speedup > 1.5
+
+    def test_slowdown_on_colocated_run(self, machine):
+        """Interleaving a well-placed workload adds remote accesses."""
+        base = make_sumv(512 * MB, colocate=True)
+        result = measure_speedup(base, interleave_objects(base), machine, 16, 4)
+        assert result.speedup < 1.0
+
+
+class TestReplicate:
+    def test_read_only_required(self):
+        wl = make_stream_workload(write_fraction=0.3)
+        with pytest.raises(WorkloadError):
+            replicate_objects(wl, {"data"})
+
+    def test_policy_applied(self):
+        out = replicate_objects(make_stream_workload(), {"data"})
+        assert isinstance(out.object_spec("data").policy, Replicated)
+
+    def test_static_refused(self):
+        wl = make_stream_workload()
+        wl = wl.__class__(
+            name=wl.name,
+            objects=tuple(
+                type(o)(name=o.name, size_bytes=o.size_bytes, site=o.site,
+                        is_heap=False)
+                for o in wl.objects
+            ),
+            phases=wl.phases,
+        )
+        with pytest.raises(WorkloadError):
+            replicate_objects(wl, {"data"})
+
+    def test_replication_eliminates_remote_traffic(self, machine):
+        base = make_stream_workload(
+            size_bytes=256 * MB, pattern=PatternKind.RANDOM, share=Share.ALL,
+            cpi=1.0,
+        )
+        optimized = replicate_objects(base, {"data"})
+        result = measure_speedup(base, optimized, machine, 16, 4)
+        assert result.remote_traffic_reduction == pytest.approx(1.0)
+        assert result.speedup > 1.0
+
+
+class TestSpeedupResult:
+    def test_phase_speedup_unknown_phase(self, machine):
+        base = make_sumv(64 * MB)
+        result = measure_speedup(base, interleave_objects(base), machine, 4, 1)
+        with pytest.raises(ValueError):
+            result.phase_speedup("nope")

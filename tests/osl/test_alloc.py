@@ -1,0 +1,139 @@
+"""Tests for the heap allocator and allocation table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, InvalidAddressError
+from repro.osl.alloc import HeapAllocator
+from repro.osl.pages import (
+    HUGE_PAGE_BYTES,
+    BindToNode,
+    FirstTouch,
+    Interleave,
+    PageTable,
+)
+
+
+@pytest.fixture
+def allocator():
+    return HeapAllocator(PageTable(n_nodes=4))
+
+
+class TestMalloc:
+    def test_basic(self, allocator):
+        obj = allocator.malloc(4096, site="a.c:1", name="x")
+        assert obj.size_bytes == 4096
+        assert obj.site == "a.c:1"
+        assert obj.name == "x"
+        assert obj.is_heap
+
+    def test_default_policy_is_first_touch_node0(self, allocator):
+        obj = allocator.malloc(4096, site="a.c:1")
+        assert isinstance(obj.policy, FirstTouch)
+        assert allocator.page_table.node_of_address(obj.base) == 0
+
+    def test_pages_follow_policy(self, allocator):
+        obj = allocator.malloc(8 * 4096, site="a.c:1", policy=Interleave())
+        frac = allocator.page_table.node_fractions(obj.base, obj.size_bytes)
+        assert frac == pytest.approx([0.25] * 4)
+
+    def test_huge_pages_aligned(self, allocator):
+        obj = allocator.malloc(HUGE_PAGE_BYTES, site="a.c:1", huge_pages=True)
+        assert obj.base % HUGE_PAGE_BYTES == 0
+
+    def test_zero_size_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.malloc(0, site="a.c:1")
+
+    def test_ids_unique_and_ordered(self, allocator):
+        a = allocator.malloc(64, site="a")
+        b = allocator.malloc(64, site="b")
+        assert b.object_id == a.object_id + 1
+
+    def test_intercept_count(self, allocator):
+        a = allocator.malloc(64, site="a")
+        allocator.free(a)
+        assert allocator.intercept_count == 2
+
+
+class TestCallocRealloc:
+    def test_calloc(self, allocator):
+        obj = allocator.calloc(100, 8, site="c.c:5")
+        assert obj.size_bytes == 800
+
+    def test_calloc_invalid(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.calloc(0, 8, site="c.c:5")
+
+    def test_realloc_preserves_identity_fields(self, allocator):
+        obj = allocator.malloc(4096, site="r.c:1", name="buf", policy=BindToNode(2))
+        new = allocator.realloc(obj, 8192, site="r.c:2")
+        assert new.size_bytes == 8192
+        assert new.name == "buf"
+        assert isinstance(new.policy, BindToNode)
+        assert allocator.object_of_address(obj.base) is None
+
+    def test_realloc_dead_object(self, allocator):
+        obj = allocator.malloc(64, site="r")
+        allocator.free(obj)
+        with pytest.raises(InvalidAddressError):
+            allocator.realloc(obj, 128, site="r2")
+
+
+class TestFree:
+    def test_free_removes_attribution(self, allocator):
+        obj = allocator.malloc(4096, site="f")
+        allocator.free(obj)
+        assert allocator.object_of_address(obj.base) is None
+        assert obj.object_id not in {o.object_id for o in allocator.live_objects()}
+
+    def test_double_free(self, allocator):
+        obj = allocator.malloc(64, site="f")
+        allocator.free(obj)
+        with pytest.raises(InvalidAddressError):
+            allocator.free(obj)
+
+
+class TestAttribution:
+    def test_address_range_lookup(self, allocator):
+        a = allocator.malloc(4096, site="x")
+        b = allocator.malloc(4096, site="y")
+        assert allocator.object_of_address(a.base).object_id == a.object_id
+        assert allocator.object_of_address(a.end - 1).object_id == a.object_id
+        assert allocator.object_of_address(b.base).object_id == b.object_id
+
+    def test_gap_address_unattributed(self, allocator):
+        a = allocator.malloc(100, site="x")  # page-aligned reservation pads
+        assert allocator.object_of_address(a.base + 100) is None
+
+    def test_vectorized_attribution(self, allocator):
+        a = allocator.malloc(4096, site="x")
+        b = allocator.malloc(4096, site="y", is_heap=False)  # static analog
+        addrs = np.array([a.base, a.base + 10, b.base, 0x1], dtype=np.int64)
+        ids = allocator.object_ids_of_addresses(addrs)
+        assert list(ids) == [a.object_id, a.object_id, -1, -1]
+
+    def test_vectorized_empty_table(self, allocator):
+        ids = allocator.object_ids_of_addresses(np.array([1, 2, 3]))
+        assert list(ids) == [-1, -1, -1]
+
+    def test_get(self, allocator):
+        a = allocator.malloc(64, site="x")
+        assert allocator.get(a.object_id).base == a.base
+        with pytest.raises(InvalidAddressError):
+            allocator.get(999)
+
+
+class TestApplyPolicy:
+    def test_migration(self, allocator):
+        obj = allocator.malloc(8 * 4096, site="m", policy=BindToNode(0))
+        new = allocator.apply_policy(obj, Interleave())
+        assert new.object_id == obj.object_id
+        frac = allocator.page_table.node_fractions(new.base, new.size_bytes)
+        assert frac == pytest.approx([0.25] * 4)
+
+    def test_migrating_dead_object(self, allocator):
+        obj = allocator.malloc(64, site="m")
+        allocator.free(obj)
+        with pytest.raises(InvalidAddressError):
+            allocator.apply_policy(obj, Interleave())

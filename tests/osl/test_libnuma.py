@@ -1,0 +1,53 @@
+"""Tests for the libnuma-style facade."""
+
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.osl.alloc import HeapAllocator
+from repro.osl.libnuma import LibNuma
+from repro.osl.pages import PageTable
+
+
+@pytest.fixture
+def numa():
+    pt = PageTable(n_nodes=4)
+    return LibNuma(page_table=pt, allocator=HeapAllocator(pt))
+
+
+class TestLibNuma:
+    def test_configured_nodes(self, numa):
+        assert numa.numa_num_configured_nodes() == 4
+
+    def test_alloc_onnode(self, numa):
+        obj = numa.numa_alloc_onnode(8192, node=2, site="x.c:1")
+        assert numa.numa_node_of_address(obj.base) == 2
+
+    def test_alloc_interleaved(self, numa):
+        obj = numa.numa_alloc_interleaved(8 * 4096, site="x.c:2")
+        dist = numa.numa_node_distribution(obj)
+        assert dist == pytest.approx([0.25] * 4)
+
+    def test_free(self, numa):
+        obj = numa.numa_alloc_onnode(4096, node=1, site="x")
+        numa.numa_free(obj)
+        with pytest.raises(InvalidAddressError):
+            numa.numa_node_of_address(obj.base)
+
+    def test_move_pages(self, numa):
+        obj = numa.numa_alloc_onnode(8 * 4096, node=0, site="x")
+        moved = numa.numa_move_pages_onnode(obj, node=3)
+        assert numa.numa_node_of_address(moved.base) == 3
+        moved2 = numa.numa_move_pages_interleaved(moved)
+        assert numa.numa_node_distribution(moved2) == pytest.approx([0.25] * 4)
+
+    def test_replicate(self, numa):
+        obj = numa.numa_alloc_onnode(4096, node=0, site="x")
+        rep = numa.numa_replicate(obj)
+        # Every accessor resolves its own node.
+        for node in range(4):
+            assert numa.numa_node_of_address(rep.base, accessor_node=node) == node
+
+    def test_replicate_static_rejected(self, numa):
+        obj = numa.allocator.malloc(4096, site="s", is_heap=False)
+        with pytest.raises(InvalidAddressError):
+            numa.numa_replicate(obj)

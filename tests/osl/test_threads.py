@@ -1,0 +1,56 @@
+"""Tests for Tt-Nn thread binding."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.numasim.topology import NumaTopology
+from repro.osl.threads import bind_threads_tt_nn
+
+TOPO = NumaTopology()
+
+
+class TestTtNnBinding:
+    def test_paper_example_t16_n4(self):
+        """Paper: 'for T16-N4, threads 0-3 are bound to node 0, ...'"""
+        b = bind_threads_tt_nn(TOPO, 16, 4)
+        assert len(b) == 16
+        assert [x.node for x in b[:4]] == [0, 0, 0, 0]
+        assert [x.node for x in b[4:8]] == [1, 1, 1, 1]
+        assert b[15].node == 3
+
+    def test_distinct_cpus(self):
+        b = bind_threads_tt_nn(TOPO, 64, 4)
+        cpus = [x.cpu for x in b]
+        assert len(set(cpus)) == 64
+
+    def test_t64_n4_uses_smt(self):
+        b = bind_threads_tt_nn(TOPO, 64, 4)
+        node0 = [x.cpu for x in b if x.node == 0]
+        assert len(node0) == 16
+        # 8 physical cores + 8 SMT siblings of node 0.
+        assert set(node0) == set(TOPO.cpus_of_node(0))
+
+    def test_cpu_matches_node(self):
+        for t, n in ((16, 4), (24, 3), (32, 2), (24, 2)):
+            for binding in bind_threads_tt_nn(TOPO, t, n):
+                assert TOPO.node_of_cpu(binding.cpu) == binding.node
+
+    def test_all_eight_paper_configs_bindable(self):
+        for t, n in ((16, 4), (24, 4), (32, 4), (64, 4), (24, 3), (16, 2), (24, 2), (32, 2)):
+            assert len(bind_threads_tt_nn(TOPO, t, n)) == t
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(BindingError):
+            bind_threads_tt_nn(TOPO, 10, 4)
+
+    def test_too_many_nodes(self):
+        with pytest.raises(BindingError):
+            bind_threads_tt_nn(TOPO, 10, 5)
+
+    def test_node_overflow(self):
+        with pytest.raises(BindingError):
+            bind_threads_tt_nn(TOPO, 40, 2)  # 20 > 16 logical CPUs per node
+
+    def test_zero_threads(self):
+        with pytest.raises(BindingError):
+            bind_threads_tt_nn(TOPO, 0, 1)

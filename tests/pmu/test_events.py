@@ -1,0 +1,46 @@
+"""Tests for PMU event descriptors."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pmu.events import (
+    EVENT_REGISTRY,
+    MEM_LOAD_UOPS_LLC_MISS_RETIRED_REMOTE_DRAM,
+    MEM_TRANS_RETIRED_LATENCY_ABOVE_THRESHOLD,
+    SamplingPlatform,
+    lookup_event,
+)
+
+
+class TestEvents:
+    def test_paper_event_suits_drbw(self):
+        e = MEM_TRANS_RETIRED_LATENCY_ABOVE_THRESHOLD
+        assert e.suits_drbw
+        assert e.supports(SamplingPlatform.INTEL_PEBS)
+        assert not e.supports(SamplingPlatform.AMD_IBS_OP)
+
+    def test_counting_event_does_not_suit(self):
+        assert not MEM_LOAD_UOPS_LLC_MISS_RETIRED_REMOTE_DRAM.suits_drbw
+
+    def test_lookup(self):
+        e = lookup_event(
+            "MEM_TRANS_RETIRED:LATENCY_ABOVE_THRESHOLD", SamplingPlatform.INTEL_PEBS
+        )
+        assert e is MEM_TRANS_RETIRED_LATENCY_ABOVE_THRESHOLD
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigError):
+            lookup_event("NOT_AN_EVENT", SamplingPlatform.INTEL_PEBS)
+
+    def test_lookup_wrong_platform(self):
+        with pytest.raises(ConfigError):
+            lookup_event(
+                "MEM_TRANS_RETIRED:LATENCY_ABOVE_THRESHOLD",
+                SamplingPlatform.IBM_MRK,
+            )
+
+    def test_registry_covers_three_platforms(self):
+        platforms = set()
+        for e in EVENT_REGISTRY.values():
+            platforms |= e.platforms
+        assert platforms == set(SamplingPlatform)

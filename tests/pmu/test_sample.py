@@ -1,0 +1,87 @@
+"""Tests for the memory-sample record and columnar batches."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.sample import MemorySample, RawSampleBatch
+from repro.types import Channel, MemLevel
+
+
+def sample(**kw):
+    defaults = dict(
+        address=0x1000, cpu=3, thread_id=1, level=MemLevel.REMOTE_DRAM,
+        latency_cycles=420.0,
+    )
+    defaults.update(kw)
+    return MemorySample(**defaults)
+
+
+class TestMemorySample:
+    def test_raw_sample_not_attributed(self):
+        s = sample()
+        assert not s.is_attributed
+        with pytest.raises(ValueError):
+            _ = s.channel
+
+    def test_attribution(self):
+        s = sample().with_attribution(src_node=0, dst_node=2, object_id=7)
+        assert s.is_attributed
+        assert s.channel == Channel(0, 2)
+        assert s.is_remote
+        assert s.object_id == 7
+
+    def test_local_sample_not_remote(self):
+        s = sample().with_attribution(src_node=1, dst_node=1, object_id=-1)
+        assert not s.is_remote
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            sample(latency_cycles=0.0)
+
+    def test_invalid_address(self):
+        with pytest.raises(ValueError):
+            sample(address=-1)
+
+
+class TestRawSampleBatch:
+    def _batch(self, n=5):
+        return RawSampleBatch(
+            address=np.arange(n, dtype=np.int64),
+            cpu=np.zeros(n, dtype=np.int64),
+            thread_id=np.zeros(n, dtype=np.int64),
+            level=np.full(n, int(MemLevel.L1), dtype=np.int64),
+            latency=np.full(n, 4.0),
+        )
+
+    def test_len(self):
+        assert len(self._batch(7)) == 7
+        assert len(RawSampleBatch.empty()) == 0
+
+    def test_field_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RawSampleBatch(
+                address=np.zeros(2, dtype=np.int64),
+                cpu=np.zeros(3, dtype=np.int64),
+                thread_id=np.zeros(2, dtype=np.int64),
+                level=np.zeros(2, dtype=np.int64),
+                latency=np.zeros(2),
+            )
+
+    def test_concatenate(self):
+        merged = RawSampleBatch.concatenate([self._batch(2), self._batch(3)])
+        assert len(merged) == 5
+
+    def test_concatenate_empty(self):
+        assert len(RawSampleBatch.concatenate([])) == 0
+
+    def test_permuted_preserves_multiset(self):
+        b = self._batch(20)
+        p = b.permuted(np.random.default_rng(0))
+        assert sorted(p.address) == sorted(b.address)
+
+    def test_to_samples_roundtrip(self):
+        b = self._batch(3)
+        samples = b.to_samples()
+        assert len(samples) == 3
+        assert samples[0].level is MemLevel.L1
+        assert samples[1].latency_cycles == 4.0

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for argv in (["list"], ["train"], ["detect", "EP"], ["diagnose", "NW"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestList:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Streamcluster" in out
+        assert "IRSmk" in out
+        assert "native" in out
+
+
+class TestDetectDiagnose:
+    def _model(self, tmp_path, trained):
+        clf, _ = trained
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(clf.to_dict()))
+        return str(path)
+
+    def test_detect_good_benchmark(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        rc = main(["detect", "EP", "--input", "A", "--config", "T16-N4",
+                   "--model", model])
+        assert rc == 0
+        assert "good" in capsys.readouterr().out
+
+    def test_detect_contended_benchmark(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        rc = main(["detect", "AMG2006", "--config", "T32-N4", "--model", model])
+        assert rc == 2
+        assert "rmc" in capsys.readouterr().out
+
+    def test_diagnose_prints_ranking(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        rc = main(["diagnose", "NW", "--input", "default", "--config", "T32-N4",
+                   "--model", model])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "reference" in out or "input_itemsets" in out
+        assert "suggested remedy" in out
+
+    def test_unknown_benchmark_exits(self, tmp_path, trained):
+        model = self._model(tmp_path, trained)
+        with pytest.raises(SystemExit):
+            main(["detect", "NOPE", "--model", model])
+
+    def test_bad_input_exits(self, tmp_path, trained):
+        model = self._model(tmp_path, trained)
+        with pytest.raises(SystemExit):
+            main(["detect", "EP", "--input", "Z", "--model", model])

@@ -1,0 +1,29 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    subclasses = [
+        errors.TopologyError,
+        errors.AllocationError,
+        errors.InvalidAddressError,
+        errors.BindingError,
+        errors.WorkloadError,
+        errors.SimulationError,
+        errors.ModelError,
+        errors.ConfigError,
+    ]
+    for exc in subclasses:
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.WorkloadError("x")
+
+
+def test_distinct_types():
+    assert not issubclass(errors.TopologyError, errors.ModelError)

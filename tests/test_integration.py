@@ -1,0 +1,113 @@
+"""End-to-end integration tests: the full DR-BW pipeline.
+
+These exercise the complete workflow the paper describes:
+profile → classify per channel → aggregate case verdict → diagnose root
+causes → apply the suggested remedy → re-measure.
+"""
+
+import pytest
+
+from repro.core.classifier import classify_case
+from repro.core.diagnoser import Diagnoser
+from repro.core.profiler import DrBwProfiler
+from repro.core.report import format_diagnosis, suggest_remedy
+from repro.optim import colocate_objects, measure_speedup, replicate_objects
+from repro.types import Mode
+from repro.workloads.suites.parsec import make_streamcluster
+from repro.workloads.suites.rodinia import make_nw
+
+MB = 1024 * 1024
+
+
+class TestDetectDiagnoseFixLoop:
+    """The paper's workflow on the NW case study (Section VIII.E)."""
+
+    def test_nw_full_loop(self, machine, trained):
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        workload = make_nw("default")
+
+        # 1. Profile and detect.
+        profile = profiler.profile(workload, 32, 4, seed=42)
+        labels = clf.classify_profile(profile)
+        assert classify_case(labels) is Mode.RMC
+
+        # 2. Diagnose: the two paper-named arrays dominate the CF.
+        report = Diagnoser().diagnose(profile, labels)
+        top_names = {c.name for c in report.top(2)}
+        assert top_names == {"reference", "input_itemsets"}
+
+        # 3. Apply the suggested remedy (co-locate) to the blamed objects.
+        blamed = {c.name for c in report.top(2)}
+        for c in report.top(2):
+            assert "co-locate" in suggest_remedy(c)
+        optimized = colocate_objects(workload, blamed)
+
+        # 4. Re-measure: a solid speedup with remote traffic slashed.
+        result = measure_speedup(workload, optimized, machine, 32, 4)
+        assert result.speedup > 1.2
+        assert result.remote_traffic_reduction > 0.5
+
+        # 5. The optimized run no longer trips the classifier.
+        reprofiled = profiler.profile(optimized, 32, 4, seed=42)
+        assert classify_case(clf.classify_profile(reprofiled)) is Mode.GOOD
+
+    def test_streamcluster_replicate_loop(self, machine, trained):
+        """Section VIII.C: detect, blame `block`, replicate, win."""
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        workload = make_streamcluster("native")
+
+        profile = profiler.profile(workload, 32, 4, seed=43)
+        labels = clf.classify_profile(profile)
+        assert classify_case(labels) is Mode.RMC
+
+        report = Diagnoser().diagnose(profile, labels)
+        assert report.top(1)[0].name == "block"
+        text = format_diagnosis(report)
+        assert "block" in text and "streamcluster.cpp:1714" in text
+
+        optimized = replicate_objects(workload, {"block", "point_p"})
+        result = measure_speedup(workload, optimized, machine, 32, 4)
+        assert result.speedup > 1.5
+
+
+class TestReproducibility:
+    def test_full_pipeline_deterministic(self, machine, trained):
+        clf, _ = trained
+        profiler = DrBwProfiler(machine)
+        wl = make_nw("default")
+        a = profiler.profile(wl, 16, 2, seed=7)
+        b = profiler.profile(wl, 16, 2, seed=7)
+        fa = a.features_per_channel()
+        fb = b.features_per_channel()
+        assert set(fa) == set(fb)
+        for ch in fa:
+            assert fa[ch].values == pytest.approx(fb[ch].values)
+        assert clf.classify_profile(a) == clf.classify_profile(b)
+
+
+class TestPublicApi:
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__
+        machine = repro.Machine()
+        assert isinstance(machine, repro.Machine)
+        for name in ("DrBwProfiler", "DrBwClassifier", "Diagnoser",
+                     "Channel", "MemLevel", "Mode"):
+            assert hasattr(repro, name)
+
+    def test_quickstart_docstring_flow(self, machine, trained):
+        """The README/package-docstring flow runs as documented."""
+        from repro import Diagnoser as D
+        from repro import DrBwProfiler as P
+        from repro.workloads.suites import benchmark
+
+        clf, _ = trained
+        profile = P(machine).profile(
+            benchmark("Streamcluster").build("native"), n_threads=32, n_nodes=4
+        )
+        labels = clf.classify_profile(profile)
+        report = D().diagnose(profile, labels)
+        assert report.top(3)

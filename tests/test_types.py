@@ -1,0 +1,55 @@
+"""Tests for common value types."""
+
+import pytest
+
+from repro.types import CACHE_LINE_BYTES, DRAM_LEVELS, Channel, MemLevel, Mode
+
+
+class TestMemLevel:
+    def test_dram_levels(self):
+        assert MemLevel.LOCAL_DRAM.is_dram
+        assert MemLevel.REMOTE_DRAM.is_dram
+
+    @pytest.mark.parametrize("lvl", [MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.LFB])
+    def test_cache_levels_are_not_dram(self, lvl):
+        assert not lvl.is_dram
+
+    def test_dram_levels_constant(self):
+        assert DRAM_LEVELS == {MemLevel.LOCAL_DRAM, MemLevel.REMOTE_DRAM}
+
+    def test_int_roundtrip(self):
+        for lvl in MemLevel:
+            assert MemLevel(int(lvl)) is lvl
+
+
+class TestMode:
+    def test_values(self):
+        assert Mode.GOOD.value == "good"
+        assert Mode.RMC.value == "rmc"
+
+    def test_roundtrip_from_value(self):
+        assert Mode("rmc") is Mode.RMC
+
+
+class TestChannel:
+    def test_remote(self):
+        assert Channel(0, 1).is_remote
+        assert not Channel(2, 2).is_remote
+
+    def test_reversed(self):
+        assert Channel(0, 3).reversed() == Channel(3, 0)
+
+    def test_ordering_and_hash(self):
+        channels = {Channel(0, 1), Channel(1, 0), Channel(0, 1)}
+        assert len(channels) == 2
+        assert sorted([Channel(1, 0), Channel(0, 1)]) == [Channel(0, 1), Channel(1, 0)]
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(-1, 0)
+
+    def test_str(self):
+        assert str(Channel(2, 0)) == "2->0"
+
+    def test_cache_line_constant(self):
+        assert CACHE_LINE_BYTES == 64

@@ -1,0 +1,175 @@
+"""Tests for the workload DSL and compiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.numasim.cachemodel import PatternKind
+from repro.numasim.topology import NumaTopology
+from repro.osl.pages import BindToNode, Interleave, Replicated
+from repro.osl.threads import bind_threads_tt_nn
+from repro.workloads.base import (
+    ObjectSpec,
+    PhaseSpec,
+    Share,
+    StreamSpec,
+    Workload,
+    compile_workload,
+)
+from tests.conftest import MB, make_stream_workload
+
+TOPO = NumaTopology()
+
+
+class TestValidation:
+    def test_duplicate_object_names(self):
+        o = ObjectSpec(name="x", size_bytes=64, site="s")
+        with pytest.raises(WorkloadError):
+            Workload(name="w", objects=(o, o), phases=())
+
+    def test_unknown_object_in_stream(self):
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="w",
+                objects=(ObjectSpec(name="x", size_bytes=64, site="s"),),
+                phases=(
+                    PhaseSpec(
+                        name="p", accesses_per_thread=1.0,
+                        compute_cycles_per_access=1.0,
+                        streams=(StreamSpec(object_name="nope",
+                                            pattern=PatternKind.SEQUENTIAL),),
+                    ),
+                ),
+            )
+
+    def test_colocate_and_policy_conflict(self):
+        with pytest.raises(WorkloadError):
+            ObjectSpec(name="x", size_bytes=64, site="s",
+                       policy=BindToNode(0), colocate=True)
+
+    def test_weights_must_sum(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(
+                name="p", accesses_per_thread=1.0, compute_cycles_per_access=1.0,
+                streams=(
+                    StreamSpec(object_name="a", pattern=PatternKind.SEQUENTIAL,
+                               weight=0.4),
+                ),
+            )
+
+
+class TestWorkloadTransforms:
+    def test_with_policies(self):
+        wl = make_stream_workload()
+        out = wl.with_policies({"data": Interleave()})
+        assert isinstance(out.object_spec("data").policy, Interleave)
+        # Original untouched (immutable transforms).
+        assert wl.object_spec("data").policy is None
+
+    def test_with_policies_unknown_object(self):
+        with pytest.raises(WorkloadError):
+            make_stream_workload().with_policies({"nope": Interleave()})
+
+    def test_with_colocation(self):
+        out = make_stream_workload().with_colocation({"data"})
+        assert out.object_spec("data").colocate
+
+    def test_with_accesses(self):
+        out = make_stream_workload().with_accesses("run", 1000.0, 10.0)
+        phase = out.phases[0]
+        assert phase.accesses_are_total
+        assert phase.thread_accesses(4) == pytest.approx(10.0)  # capped
+        assert phase.thread_accesses(200) == pytest.approx(5.0)
+
+    def test_with_accesses_unknown_phase(self):
+        with pytest.raises(WorkloadError):
+            make_stream_workload().with_accesses("nope", 1.0)
+
+    def test_single_thread_accesses(self):
+        p = PhaseSpec(
+            name="init", accesses_per_thread=100.0, compute_cycles_per_access=1.0,
+            streams=(StreamSpec(object_name="data", pattern=PatternKind.SEQUENTIAL),),
+            single_thread=True,
+        )
+        assert p.thread_accesses(8, thread_id=0) == 100.0
+        assert p.thread_accesses(8, thread_id=3) == 0.0
+
+
+class TestCompilation:
+    def test_chunk_regions_partition_object(self):
+        wl = make_stream_workload(size_bytes=64 * MB)
+        bindings = bind_threads_tt_nn(TOPO, 16, 4)
+        compiled = compile_workload(wl, TOPO, bindings)
+        obj = compiled.objects["data"]
+        regions = sorted(
+            (p.phases[0].streams[0].region_base, p.phases[0].streams[0].region_bytes)
+            for p in compiled.programs
+        )
+        # Contiguous, non-overlapping, covering the object.
+        assert regions[0][0] == obj.base
+        for (b1, s1), (b2, _) in zip(regions, regions[1:]):
+            assert b1 + s1 == b2
+        assert regions[-1][0] + regions[-1][1] == obj.end
+
+    def test_share_all_gives_whole_object(self):
+        wl = make_stream_workload(share=Share.ALL)
+        compiled = compile_workload(wl, TOPO, bind_threads_tt_nn(TOPO, 8, 2))
+        for p in compiled.programs:
+            s = p.phases[0].streams[0]
+            assert s.region_bytes == wl.object_spec("data").size_bytes
+            assert s.shared
+
+    def test_first_touch_node_fractions(self):
+        wl = make_stream_workload()  # default first-touch node 0
+        compiled = compile_workload(wl, TOPO, bind_threads_tt_nn(TOPO, 8, 2))
+        for p in compiled.programs:
+            nf = p.phases[0].streams[0].node_fractions
+            assert nf[0] == pytest.approx(1.0)
+
+    def test_colocation_places_chunks_locally(self):
+        wl = make_stream_workload(colocate=True, size_bytes=64 * MB)
+        compiled = compile_workload(wl, TOPO, bind_threads_tt_nn(TOPO, 16, 4))
+        for p, binding in zip(compiled.programs, bind_threads_tt_nn(TOPO, 16, 4)):
+            nf = p.phases[0].streams[0].node_fractions
+            assert nf[binding.node] > 0.95
+
+    def test_replicated_fractions_local(self):
+        wl = make_stream_workload(policy=Replicated(), share=Share.ALL)
+        compiled = compile_workload(wl, TOPO, bind_threads_tt_nn(TOPO, 8, 4))
+        for p, binding in zip(compiled.programs, bind_threads_tt_nn(TOPO, 8, 4)):
+            nf = p.phases[0].streams[0].node_fractions
+            assert nf[binding.node] == pytest.approx(1.0)
+
+    def test_allocation_table_populated(self):
+        wl = make_stream_workload()
+        compiled = compile_workload(wl, TOPO, bind_threads_tt_nn(TOPO, 4, 1))
+        assert compiled.allocator.object_of_address(
+            compiled.objects["data"].base
+        ).name == "data"
+
+    def test_no_bindings_rejected(self):
+        with pytest.raises(WorkloadError):
+            compile_workload(make_stream_workload(), TOPO, [])
+
+    def test_chunking_more_threads_than_elements(self):
+        wl = make_stream_workload(size_bytes=64)  # 8 elements
+        with pytest.raises(WorkloadError):
+            compile_workload(wl, TOPO, bind_threads_tt_nn(TOPO, 16, 4))
+
+    def test_n_threads(self):
+        wl = make_stream_workload()
+        compiled = compile_workload(wl, TOPO, bind_threads_tt_nn(TOPO, 8, 2))
+        assert compiled.n_threads == 8
+
+
+class TestNodeFractionConsistency:
+    def test_fractions_match_page_table(self):
+        """Compiler-derived fractions agree with direct page-table queries."""
+        wl = make_stream_workload(policy=Interleave(), size_bytes=32 * MB)
+        compiled = compile_workload(wl, TOPO, bind_threads_tt_nn(TOPO, 4, 2))
+        for p in compiled.programs:
+            s = p.phases[0].streams[0]
+            expected = compiled.page_table.node_fractions(
+                s.region_base, s.region_bytes
+            )
+            assert np.allclose(s.node_fractions, expected)

@@ -1,0 +1,30 @@
+"""Tests for the convenience runner."""
+
+import pytest
+
+from repro.workloads.micro import make_sumv
+from repro.workloads.runner import run_workload
+
+MB = 1024 * 1024
+
+
+class TestRunWorkload:
+    def test_binds_and_runs(self, machine):
+        run = run_workload(make_sumv(32 * MB), machine, 8, 2)
+        assert run.total_cycles > 0
+        assert run.compiled.n_threads == 8
+        nodes = {b.node for b in run.compiled.bindings}
+        assert nodes == {0, 1}
+
+    def test_extra_stall_passthrough(self, machine):
+        base = run_workload(make_sumv(32 * MB), machine, 4, 1)
+        slowed = run_workload(
+            make_sumv(32 * MB), machine, 4, 1, extra_stall_cycles_per_access=2.0
+        )
+        assert slowed.total_cycles > base.total_cycles
+
+    def test_barriers_follow_workload(self, machine):
+        wl = make_sumv(32 * MB)
+        assert wl.barriers
+        run = run_workload(wl, machine, 4, 1)
+        assert run.result.phase_timings
