@@ -9,9 +9,17 @@ desynchronization effect outside a stationary model — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import time
+
 from _util import save_and_print
-from repro.eval.experiments import run_table7_overhead
+from repro.core.classifier import MIN_CHANNEL_SUPPORT
+from repro.core.profiler import DrBwProfiler, ProfilerConfig
+from repro.eval.configs import RunConfig
+from repro.eval.experiments import TABLE7_BENCHMARKS, run_table7_overhead
 from repro.eval.tables import format_table7
+from repro.faults import FAULT_PRESETS
+from repro.numasim.machine import Machine
+from repro.workloads.suites.registry import BENCHMARKS
 
 
 def test_table7_overhead(benchmark, results_dir):
@@ -23,3 +31,54 @@ def test_table7_overhead(benchmark, results_dir):
     assert all(o <= 0.10 for o in overheads.values())
     # Average within the paper's ballpark.
     assert sum(overheads.values()) / len(overheads) <= 0.05
+
+
+def test_table7_overhead_faulted(benchmark, results_dir):
+    """Host-side cost of the degradation path (quarantine + retry).
+
+    Times the analysis pipeline itself — ``profile()`` wall-clock per
+    benchmark — clean vs. under the ``standard`` fault plan with the
+    resample loop armed, so regressions in the quarantine/retry hot path
+    show up in ``benchmarks/results/``.
+    """
+    machine = Machine()
+    config = RunConfig(64, 4)
+    clean = DrBwProfiler(machine)
+    faulted = DrBwProfiler(
+        machine,
+        ProfilerConfig(
+            faults=FAULT_PRESETS["standard"],
+            resample_floor=MIN_CHANNEL_SUPPORT,
+            resample_attempts=3,
+        ),
+    )
+
+    def run_all():
+        rows = []
+        for name, inp in TABLE7_BENCHMARKS:
+            workload = BENCHMARKS[name].build(inp)
+            t0 = time.perf_counter()
+            clean.profile(workload, config.n_threads, config.n_nodes, seed=0)
+            t_clean = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            profile = faulted.profile(workload, config.n_threads, config.n_nodes, seed=0)
+            t_faulted = time.perf_counter() - t0
+            rows.append((name, t_clean, t_faulted, profile.dropped))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        f"{'Code':<15}{'clean (s)':>11}{'faulted (s)':>13}{'ratio':>8}"
+        f"{'quarantined':>13}{'retries':>9}"
+    ]
+    for name, t_clean, t_faulted, dropped in rows:
+        ratio = t_faulted / t_clean if t_clean > 0 else float("inf")
+        lines.append(
+            f"{name:<15}{t_clean:>11.3f}{t_faulted:>13.3f}{ratio:>8.2f}"
+            f"{dropped.total_quarantined:>13}{dropped.resample_attempts:>9}"
+        )
+    save_and_print(results_dir, "table7_overhead_faulted", "\n".join(lines))
+    assert len(rows) == 6
+    # The degradation path must complete everywhere and quarantine under
+    # the standard plan (10% drop / 1% corruption) on every benchmark.
+    assert all(dropped.observed > 0 for _, _, _, dropped in rows)

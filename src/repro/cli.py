@@ -9,6 +9,13 @@ The workflow a release user runs without writing Python:
 * ``diagnose`` — detect, then print the Contribution-Fraction ranking and
   suggested remedies;
 * ``list``     — the available benchmarks and their inputs.
+
+``detect`` and ``diagnose`` accept ``--faults`` (a preset name such as
+``standard``, or ``drop=0.1,corrupt=0.01``-style pairs) to run the
+pipeline under injected collection faults; the output then includes a
+degradation summary and per-channel confidence.  Any :class:`ReproError`
+— unknown benchmark, bad configuration, malformed model file, invalid
+fault spec — prints one line to stderr and exits with status 2.
 """
 
 from __future__ import annotations
@@ -19,11 +26,19 @@ import sys
 
 from repro.core.classifier import DrBwClassifier, classify_case
 from repro.core.diagnoser import Diagnoser
-from repro.core.profiler import DrBwProfiler
-from repro.core.report import format_channel_labels, format_diagnosis, suggest_remedy
+from repro.core.profiler import DrBwProfiler, ProfilerConfig
+from repro.core.report import (
+    format_channel_labels,
+    format_channel_verdicts,
+    format_degradation,
+    format_diagnosis,
+    suggest_remedy,
+)
 from repro.core.training import train_default_classifier, training_matrix
 from repro.core.validation import cross_validate
+from repro.errors import ConfigError, ReproError
 from repro.eval.configs import config_by_name
+from repro.faults import FAULT_PRESETS, parse_fault_plan
 from repro.numasim.machine import Machine
 from repro.types import Mode
 from repro.workloads.suites.registry import BENCHMARKS
@@ -54,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--model", default=None,
                        help="trained model JSON (default: train in-process)")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--faults", default=None, metavar="PLAN",
+                       help="inject collection faults: a preset "
+                            f"({', '.join(FAULT_PRESETS)}) or key=value pairs, "
+                            "e.g. drop=0.1,corrupt=0.01,seed=7")
 
     sub.add_parser("list", help="list benchmarks and inputs")
     return parser
@@ -61,8 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _load_or_train(model_path: str | None, seed: int, machine: Machine) -> DrBwClassifier:
     if model_path:
-        with open(model_path) as fh:
-            return DrBwClassifier.from_dict(json.load(fh))
+        return DrBwClassifier.load(model_path)
     print("no --model given; training on the mini-programs ...", file=sys.stderr)
     clf, _ = train_default_classifier(machine, seed=seed)
     return clf
@@ -72,11 +90,28 @@ def _resolve_benchmark(args) -> tuple:
     try:
         spec = BENCHMARKS[args.benchmark]
     except KeyError:
-        sys.exit(f"unknown benchmark {args.benchmark!r}; try `list`")
+        raise ConfigError(
+            f"unknown benchmark {args.benchmark!r}; try `list`"
+        ) from None
     inp = args.input or spec.inputs[-1]
     if inp not in spec.inputs:
-        sys.exit(f"{spec.name} has inputs {spec.inputs}, not {inp!r}")
+        raise ConfigError(f"{spec.name} has inputs {spec.inputs}, not {inp!r}")
     return spec, inp
+
+
+def _profiler_config(args) -> ProfilerConfig:
+    if not getattr(args, "faults", None):
+        return ProfilerConfig()
+    plan = parse_fault_plan(args.faults)
+    # Under lossy collection, retry channels that came back below the
+    # classifier's support floor (see docs/robustness.md).
+    from repro.core.classifier import MIN_CHANNEL_SUPPORT
+
+    return ProfilerConfig(
+        faults=plan,
+        resample_floor=MIN_CHANNEL_SUPPORT,
+        resample_attempts=3,
+    )
 
 
 def cmd_train(args) -> int:
@@ -93,18 +128,27 @@ def cmd_train(args) -> int:
 
 
 def cmd_detect(args, want_diagnosis: bool = False) -> int:
-    machine = Machine()
-    clf = _load_or_train(args.model, args.seed, machine)
+    # Validate everything cheap (benchmark, config, fault plan) before the
+    # expensive model load/train.
     spec, inp = _resolve_benchmark(args)
     cfg = config_by_name(args.config)
+    profiler_cfg = _profiler_config(args)
+    machine = Machine()
+    clf = _load_or_train(args.model, args.seed, machine)
 
     workload = spec.build(inp)
-    profile = DrBwProfiler(machine).profile(
+    profile = DrBwProfiler(machine, profiler_cfg).profile(
         workload, cfg.n_threads, cfg.n_nodes, seed=args.seed
     )
-    labels = clf.classify_profile(profile)
     print(f"{spec.name} ({inp}) under {cfg.name}:")
-    print(format_channel_labels(labels))
+    if profiler_cfg.faults is not None:
+        verdicts = clf.classify_profile_detailed(profile)
+        labels = {ch: v.mode for ch, v in verdicts.items()}
+        print(format_channel_verdicts(verdicts))
+        print(format_degradation(profile.dropped))
+    else:
+        labels = clf.classify_profile(profile)
+        print(format_channel_labels(labels))
     verdict = classify_case(labels)
     print(f"case verdict: {verdict}")
 
@@ -130,14 +174,18 @@ def cmd_list(_args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "train":
-        return cmd_train(args)
-    if args.command == "detect":
-        return cmd_detect(args, want_diagnosis=False)
-    if args.command == "diagnose":
-        return cmd_detect(args, want_diagnosis=True)
-    if args.command == "list":
-        return cmd_list(args)
+    try:
+        if args.command == "train":
+            return cmd_train(args)
+        if args.command == "detect":
+            return cmd_detect(args, want_diagnosis=False)
+        if args.command == "diagnose":
+            return cmd_detect(args, want_diagnosis=True)
+        if args.command == "list":
+            return cmd_list(args)
+    except ReproError as exc:
+        print(f"drbw: error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -28,7 +28,9 @@ from repro.types import Channel, Mode
 
 __all__ = [
     "MIN_CHANNEL_SUPPORT",
+    "ChannelVerdict",
     "DrBwClassifier",
+    "validate_model_dict",
     "classify_case",
     "classify_benchmark",
 ]
@@ -37,6 +39,102 @@ __all__ = [
 #: Below this, latency averages are sampling noise — the role the paper's
 #: remote-sample-count feature (Table I #6) plays in its decision tree.
 MIN_CHANNEL_SUPPORT = 25
+
+
+@dataclass(frozen=True)
+class ChannelVerdict:
+    """One channel's label plus how much to trust it.
+
+    ``confidence`` combines the fitted tree's leaf purity (class margin)
+    with a sample-support factor: a pure leaf reached on 4 remote samples
+    is still a guess, and a thin batch after lossy collection must say so
+    instead of masquerading as a confident ``good``.  When the batch falls
+    below the support floor the verdict is ``insufficient-data``:
+    ``mode`` degrades to the conservative ``good`` (matching the legacy
+    label) and ``confidence`` is 0.
+    """
+
+    mode: Mode
+    confidence: float
+    n_remote_samples: int
+    insufficient_data: bool = False
+
+    @property
+    def label(self) -> str:
+        """Rendered label: the mode, or ``insufficient-data``."""
+        return "insufficient-data" if self.insufficient_data else self.mode.value
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ModelError(f"model JSON invalid: {message}")
+
+
+def _validate_node(d: object, n_features: int, n_classes: int, path: str) -> None:
+    _require(isinstance(d, dict), f"node {path} is not an object")
+    for key in ("leaf", "prediction", "counts", "n"):
+        _require(key in d, f"node {path} is missing key {key!r}")
+    _require(isinstance(d["leaf"], bool), f"node {path}: 'leaf' must be a bool")
+    _require(
+        isinstance(d["prediction"], int) and 0 <= d["prediction"] < n_classes,
+        f"node {path}: prediction {d['prediction']!r} out of range",
+    )
+    counts = d["counts"]
+    _require(
+        isinstance(counts, list)
+        and len(counts) == n_classes
+        and all(isinstance(c, (int, float)) for c in counts),
+        f"node {path}: 'counts' must list {n_classes} numbers",
+    )
+    if not d["leaf"]:
+        for key in ("feature", "threshold", "left", "right"):
+            _require(key in d, f"split node {path} is missing key {key!r}")
+        _require(
+            isinstance(d["feature"], int) and 0 <= d["feature"] < n_features,
+            f"node {path}: feature index {d.get('feature')!r} out of range "
+            f"for {n_features} features",
+        )
+        _require(
+            isinstance(d["threshold"], (int, float)),
+            f"node {path}: threshold must be a number",
+        )
+        _validate_node(d["left"], n_features, n_classes, path + ".left")
+        _validate_node(d["right"], n_features, n_classes, path + ".right")
+
+
+def validate_model_dict(data: object) -> dict:
+    """Check a model-JSON payload before trusting any of its fields.
+
+    Raises :class:`ModelError` with a message naming the first defect —
+    a truncated download or a hand-edited file should never surface as a
+    ``KeyError`` three stack frames into tree reconstruction.
+    """
+    _require(isinstance(data, dict), "top level must be an object")
+    for key in ("feature_names", "mean", "std", "classes", "root"):
+        _require(key in data, f"missing top-level key {key!r}")
+    names = data["feature_names"]
+    _require(
+        isinstance(names, list) and names and all(isinstance(n, str) for n in names),
+        "'feature_names' must be a non-empty list of strings",
+    )
+    n_features = len(names)
+    for key in ("mean", "std"):
+        vec = data[key]
+        _require(
+            isinstance(vec, list)
+            and len(vec) == n_features
+            and all(isinstance(v, (int, float)) for v in vec),
+            f"{key!r} must list {n_features} numbers (one per feature)",
+        )
+    classes = data["classes"]
+    _require(
+        isinstance(classes, list)
+        and len(classes) >= 2
+        and all(isinstance(c, str) for c in classes),
+        "'classes' must list at least two class labels",
+    )
+    _validate_node(data["root"], n_features, len(classes), "root")
+    return data
 
 
 @dataclass
@@ -88,6 +186,40 @@ class DrBwClassifier:
         label = self.predict(features.values[None, :])[0]
         return Mode(label)
 
+    def classify_channel_detailed(
+        self, features: FeatureVector, min_support: int = MIN_CHANNEL_SUPPORT
+    ) -> ChannelVerdict:
+        """Label one channel and attach a confidence.
+
+        Confidence is ``leaf-margin × support``: the margin is the fitted
+        leaf's majority fraction rescaled to [0, 1] (an evenly split leaf
+        knows nothing), and support saturates as the channel's remote
+        sample count reaches twice ``min_support``.  Below ``min_support``
+        the verdict is ``insufficient-data``.
+        """
+        if features.names != self.feature_names:
+            raise ModelError("feature vector does not match the trained feature set")
+        n_remote = int(features["num_remote_dram_samples"])
+        if n_remote < min_support:
+            return ChannelVerdict(
+                mode=Mode.GOOD,
+                confidence=0.0,
+                n_remote_samples=n_remote,
+                insufficient_data=True,
+            )
+        row = self.normalize(features.values[None, :])
+        label = Mode(self.tree.predict(row)[0])
+        probs = self.tree.predict_proba(row)[0]
+        assert self.tree.classes_ is not None
+        p_pred = float(probs[list(self.tree.classes_).index(label.value)])
+        margin = max(0.0, 2.0 * p_pred - 1.0)
+        support = min(1.0, n_remote / float(2 * max(min_support, 1)))
+        return ChannelVerdict(
+            mode=label,
+            confidence=margin * support,
+            n_remote_samples=n_remote,
+        )
+
     def classify_profile(
         self, profile: ProfileResult, min_support: int = MIN_CHANNEL_SUPPORT
     ) -> dict[Channel, Mode]:
@@ -96,15 +228,23 @@ class DrBwClassifier:
         Channels with fewer than ``min_support`` remote-DRAM samples are
         labeled ``good`` without consulting the tree: a handful of samples
         cannot evidence *bandwidth* contention, and their latency averages
-        are dominated by interference outliers.
+        are dominated by interference outliers.  (The degradation-aware
+        variant, :meth:`classify_profile_detailed`, reports those channels
+        as ``insufficient-data`` with zero confidence instead.)
         """
-        out: dict[Channel, Mode] = {}
-        for ch, fv in profile.features_per_channel().items():
-            if fv["num_remote_dram_samples"] < min_support:
-                out[ch] = Mode.GOOD
-            else:
-                out[ch] = self.classify_channel(fv)
-        return out
+        return {
+            ch: v.mode
+            for ch, v in self.classify_profile_detailed(profile, min_support).items()
+        }
+
+    def classify_profile_detailed(
+        self, profile: ProfileResult, min_support: int = MIN_CHANNEL_SUPPORT
+    ) -> dict[Channel, ChannelVerdict]:
+        """Per-channel verdicts with confidence for one profiled run."""
+        return {
+            ch: self.classify_channel_detailed(fv, min_support)
+            for ch, fv in profile.features_per_channel().items()
+        }
 
     # -- introspection ------------------------------------------------------------
 
@@ -154,8 +294,15 @@ class DrBwClassifier:
 
     @classmethod
     def from_dict(cls, data: dict) -> "DrBwClassifier":
-        """Rebuild a trained classifier from :meth:`to_dict` output."""
+        """Rebuild a trained classifier from :meth:`to_dict` output.
+
+        The payload is schema-validated first (:func:`validate_model_dict`)
+        so malformed or truncated files fail with a descriptive
+        :class:`ModelError` instead of a ``KeyError``/``IndexError``.
+        """
         from repro.core.dtree import TreeNode
+
+        validate_model_dict(data)
 
         def build(d) -> TreeNode:
             node = TreeNode(
@@ -177,6 +324,24 @@ class DrBwClassifier:
         clf.tree.n_features_ = len(data["feature_names"])
         clf.tree.root = build(data["root"])
         return clf
+
+    @classmethod
+    def load(cls, path: str) -> "DrBwClassifier":
+        """Load a trained model from a JSON file, with readable failures.
+
+        Missing files and syntactically broken JSON both surface as
+        :class:`ModelError` so CLI-level handling stays uniform.
+        """
+        import json
+
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            raise ModelError(f"model file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"model file {path} is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
 
 
 def classify_case(channel_labels: dict[Channel, Mode]) -> Mode:

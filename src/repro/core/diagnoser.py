@@ -52,11 +52,19 @@ class ObjectContribution:
 
 @dataclass(frozen=True)
 class DiagnosisReport:
-    """Ranked contribution fractions over contended channels."""
+    """Ranked contribution fractions over contended channels.
+
+    ``attribution_coverage`` is the fraction of the analyzed remote-DRAM
+    samples that attributed to a tracked heap object — the paper's SP and
+    LULESH studies show exactly this number limiting what the diagnoser
+    can blame, and under lossy collection it tells the reader how much of
+    the ranking rests on resolvable data.
+    """
 
     workload_name: str
     contended_channels: tuple[Channel, ...]
     contributions: tuple[ObjectContribution, ...]
+    attribution_coverage: float = 1.0
 
     def top(self, k: int = 5) -> tuple[ObjectContribution, ...]:
         """The ``k`` largest contributors."""
@@ -113,12 +121,20 @@ class Diagnoser:
         self,
         profile: ProfileResult,
         channel_labels: dict[Channel, Mode],
+        skip_unattributed: bool = False,
     ) -> DiagnosisReport:
         """Full Section VI analysis of a profiled run.
 
         ``channel_labels`` comes from the classifier; only ``rmc`` channels
         enter the cross-channel CF.  Raises when nothing is contended —
         there is no contention to explain.
+
+        By default unattributable samples keep their pseudo-object row in
+        the ranking (the paper's presentation).  ``skip_unattributed=True``
+        drops them from both numerator and denominator — CF over tracked
+        heap objects only — which is the degraded-collection mode: the
+        report still states how much was skipped via
+        ``attribution_coverage``.
         """
         contended = sorted(ch for ch, m in channel_labels.items() if m is Mode.RMC)
         if not contended:
@@ -128,6 +144,17 @@ class Diagnoser:
         for ch in contended:
             counts_mask |= profile.sample_set.on_channel(ch)
         counts_mask &= profile.sample_set.at_level(MemLevel.REMOTE_DRAM)
+
+        total = int(counts_mask.sum())
+        unattributed = int(
+            (counts_mask & (profile.sample_set.object_id == UNATTRIBUTED)).sum()
+        )
+        coverage = (total - unattributed) / total if total else 0.0
+        if skip_unattributed:
+            cf.pop(UNATTRIBUTED, None)
+            attributed_total = sum(cf.values())
+            if attributed_total > 0:
+                cf = {oid: f / attributed_total for oid, f in cf.items()}
 
         allocator = profile.compiled.allocator
         contributions: list[ObjectContribution] = []
@@ -150,4 +177,5 @@ class Diagnoser:
             workload_name=profile.workload.name,
             contended_channels=tuple(contended),
             contributions=tuple(contributions),
+            attribution_coverage=coverage,
         )

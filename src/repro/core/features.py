@@ -36,7 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ModelError
+from repro.errors import InsufficientSamplesError, ModelError
 from repro.pmu.sample import MemorySample
 from repro.types import Channel, MemLevel
 
@@ -45,6 +45,7 @@ __all__ = [
     "TABLE1_FEATURE_NAMES",
     "FeatureVector",
     "SampleSet",
+    "channel_sample_counts",
     "extract_channel_features",
     "candidate_features",
 ]
@@ -205,18 +206,43 @@ def _mean(values: np.ndarray) -> float:
     return float(values.mean()) if values.size else 0.0
 
 
-def extract_channel_features(samples: SampleSet, channel: Channel) -> FeatureVector:
+def channel_sample_counts(samples: SampleSet, channel: Channel) -> tuple[int, int]:
+    """(source-node samples, remote-DRAM samples on the channel).
+
+    The two populations the Table I features are computed over — callers
+    use these to decide whether a channel has enough data to classify.
+    """
+    src_mask = samples.from_node(channel.src)
+    chan_remote = samples.on_channel(channel) & samples.at_level(MemLevel.REMOTE_DRAM)
+    return int(src_mask.sum()), int(chan_remote.sum())
+
+
+def extract_channel_features(
+    samples: SampleSet, channel: Channel, min_samples: int = 0
+) -> FeatureVector:
     """The 13 Table I features for ``channel``.
 
     Remote-DRAM features (6, 7) come from the channel's own samples; the
     remaining context features come from every sample issued by the
     channel's source node.
+
+    ``min_samples`` is a degradation guard: when the source-node
+    population is smaller, the averages and threshold ratios are sampling
+    noise, so the extractor raises :class:`InsufficientSamplesError`
+    rather than emit a vector that *looks* trustworthy.  The default of 0
+    keeps the permissive behavior (empty selections yield zeros — the
+    features are NaN-safe by construction).
     """
     if not channel.is_remote:
         raise ModelError(f"features are defined for remote channels, got {channel}")
     src_mask = samples.from_node(channel.src)
     lat_src = samples.latency[src_mask]
     n_src = int(src_mask.sum())
+    if n_src < min_samples:
+        raise InsufficientSamplesError(
+            f"channel {channel} has {n_src} source-node samples, "
+            f"below the floor of {min_samples}"
+        )
 
     chan_remote = samples.on_channel(channel) & samples.at_level(MemLevel.REMOTE_DRAM)
     lat_remote = samples.latency[chan_remote]
@@ -243,6 +269,10 @@ def extract_channel_features(samples: SampleSet, channel: Channel) -> FeatureVec
             _mean(lat_lfb),
         ]
     )
+    # Belt-and-braces against degraded inputs (e.g. overflow-wrapped
+    # latencies aggregated over tiny populations): the classifier must
+    # never see a non-finite feature.  Identity for finite values.
+    values = np.nan_to_num(values, nan=0.0, posinf=0.0, neginf=0.0)
     return FeatureVector(names=TABLE1_FEATURE_NAMES, values=values)
 
 

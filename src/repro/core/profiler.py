@@ -14,6 +14,15 @@ This is Section IV of the paper as a library component:
   contains the address (Section IV.C); static/stack data is not tracked,
   so such samples stay unattributed (``object_id == -1``), exactly like
   the paper's tool in the SP and LULESH case studies.
+
+The profiler degrades gracefully under lossy collection: samples whose
+address cannot be mapped or whose node lookup transiently fails are
+**quarantined** into a structured :class:`DroppedSampleReport` (counted by
+reason) instead of aborting the run, and remote channels whose surviving
+batch falls below a configurable floor are **re-sampled** with a reseeded
+sampler at a progressively shorter period (bounded attempts).  Fault
+injection itself lives in :mod:`repro.faults`; set
+:attr:`ProfilerConfig.faults` to enable it.
 """
 
 from __future__ import annotations
@@ -25,13 +34,18 @@ import numpy as np
 
 from repro.core.features import FeatureVector, SampleSet, extract_channel_features
 from repro.numasim.machine import Machine
-from repro.pmu.sample import MemorySample
+from repro.pmu.sample import MemorySample, RawSampleBatch
 from repro.pmu.sampler import AddressSampler, SamplerConfig
-from repro.types import Channel
+from repro.types import Channel, MemLevel
 from repro.workloads.base import CompiledWorkload, Workload
 from repro.workloads.runner import WorkloadRun, run_workload
 
-__all__ = ["ProfilerConfig", "ProfileResult", "DrBwProfiler"]
+__all__ = [
+    "ProfilerConfig",
+    "DroppedSampleReport",
+    "ProfileResult",
+    "DrBwProfiler",
+]
 
 
 @dataclass(frozen=True)
@@ -42,16 +56,74 @@ class ProfilerConfig:
     (interrupt, record parsing, allocation-table lookup); at the paper's
     1-in-2000 period a ~800-cycle interrupt amortizes to less
     than one cycle per access — inside the <10% overhead the paper reports.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`, or ``None``) injects
+    collection failures; ``resample_floor`` / ``resample_attempts`` bound
+    the retry loop that re-samples remote channels whose batch came back
+    too thin — each attempt reseeds the sampler and divides the period by
+    ``resample_backoff`` (shorter period ⇒ more samples).
     """
 
     sampler: SamplerConfig = field(default_factory=SamplerConfig)
     interrupt_cost_cycles: float = 800.0
     alloc_intercept_cost_cycles: float = 2000.0
+    faults: object | None = None  # repro.faults.FaultPlan, kept untyped to avoid a cycle
+    resample_floor: int = 0
+    resample_attempts: int = 3
+    resample_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.resample_floor < 0 or self.resample_attempts < 0:
+            raise ValueError("resample_floor and resample_attempts must be >= 0")
+        if self.resample_backoff < 1.0:
+            raise ValueError("resample_backoff must be >= 1")
 
     @property
     def stall_per_access(self) -> float:
         """Amortized sampling cost injected per memory access."""
         return self.interrupt_cost_cycles / self.sampler.period
+
+
+@dataclass
+class DroppedSampleReport:
+    """What the profiler lost, and why — the degradation ledger.
+
+    ``quarantined`` counts samples the profiler received but had to
+    discard during attribution, by reason; ``injected`` counts the
+    perturbations the fault layer reports having applied upstream
+    (informational — an injected corruption that still mapped somewhere is
+    *not* quarantined, it is a silent mis-attribution, as on real
+    hardware).
+    """
+
+    observed: int = 0
+    kept: int = 0
+    quarantined: dict[str, int] = field(default_factory=dict)
+    injected: dict[str, int] = field(default_factory=dict)
+    resample_attempts: int = 0
+    resampled_channels: tuple[Channel, ...] = ()
+
+    @property
+    def total_quarantined(self) -> int:
+        return sum(self.quarantined.values())
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of observed samples quarantined (0 when none observed)."""
+        return self.total_quarantined / self.observed if self.observed else 0.0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when nothing was quarantined, injected, or retried."""
+        return (
+            not self.total_quarantined
+            and not any(self.injected.values())
+            and self.resample_attempts == 0
+        )
+
+    def count(self, reason: str, n: int) -> None:
+        if n:
+            self.quarantined[reason] = self.quarantined.get(reason, 0) + int(n)
 
 
 @dataclass
@@ -62,6 +134,7 @@ class ProfileResult:
     run: WorkloadRun
     sample_set: SampleSet
     config: ProfilerConfig
+    dropped: DroppedSampleReport = field(default_factory=DroppedSampleReport)
 
     @property
     def samples(self) -> list[MemorySample]:
@@ -118,18 +191,18 @@ class DrBwProfiler:
         sampler_cfg = self.config.sampler
         if seed is not None:
             sampler_cfg = dataclasses.replace(sampler_cfg, seed=seed)
-        sampler = AddressSampler(
-            sampler_cfg,
-            page_table=run.compiled.page_table,
-            latency_model=self.machine.latency_model,
-        )
-        batch = sampler.sample_run_batch(run.result)
-        sample_set = self._attribute(batch, run.compiled)
+
+        report = DroppedSampleReport()
+        batch, lookup_failed = self._collect(run, sampler_cfg, report, attempt=0)
+        fields = self._attribute(batch, run.compiled, lookup_failed, report)
+        fields = self._resample_thin_channels(run, sampler_cfg, fields, report)
+        report.kept = int(fields["address"].shape[0])
         return ProfileResult(
             workload=workload,
             run=run,
-            sample_set=sample_set,
+            sample_set=SampleSet.from_arrays(**fields),
             config=self.config,
+            dropped=report,
         )
 
     def measure_overhead(
@@ -152,25 +225,159 @@ class DrBwProfiler:
 
     # -- internals ----------------------------------------------------------------
 
-    def _attribute(self, batch, compiled: CompiledWorkload) -> SampleSet:
+    def _collect(
+        self,
+        run: WorkloadRun,
+        sampler_cfg: SamplerConfig,
+        report: DroppedSampleReport,
+        attempt: int,
+    ) -> tuple[RawSampleBatch, np.ndarray]:
+        """One sampling pass: the (possibly faulted) batch plus the mask of
+        samples whose node lookup failed."""
+        sampler: AddressSampler | object = AddressSampler(
+            sampler_cfg,
+            page_table=run.compiled.page_table,
+            latency_model=self.machine.latency_model,
+        )
+        page_table = run.compiled.page_table
+        plan = self.config.faults
+        faulty_sampler = None
+        faulty_table = None
+        if plan is not None:
+            from repro.faults import FaultyAddressSampler, FaultyPageTable
+
+            attempt_plan = plan.with_seed(plan.seed + 7919 * attempt) if attempt else plan
+            faulty_sampler = FaultyAddressSampler(
+                sampler, attempt_plan, n_cpus=self.machine.topology.n_cpus
+            )
+            faulty_table = FaultyPageTable(page_table, attempt_plan)
+            sampler, page_table = faulty_sampler, faulty_table
+
+        batch = sampler.sample_run_batch(run.result)
+        report.observed += len(batch)
+
+        topo = self.machine.topology
+        src = (batch.cpu % topo.n_cores) // topo.cores_per_socket
+        dst = page_table.nodes_of_addresses(
+            batch.address, accessor_nodes=src, on_unmapped="ignore"
+        )
+        lookup_failed = dst < 0
+        if faulty_sampler is not None:
+            for reason, n in faulty_sampler.injected.items():
+                if n:
+                    report.injected[reason] = report.injected.get(reason, 0) + n
+        if faulty_table is not None and faulty_table.injected_failures:
+            report.injected["lookup_failure"] = (
+                report.injected.get("lookup_failure", 0) + faulty_table.injected_failures
+            )
+            # Transient libnuma failures vs. genuinely unmappable addresses:
+            # the wrapper knows how many it failed; the remainder of the bad
+            # lookups never mapped at all.
+            transient = min(faulty_table.injected_failures, int(lookup_failed.sum()))
+            report.count("lookup_failure", transient)
+            report.count("unmapped_address", int(lookup_failed.sum()) - transient)
+        else:
+            report.count("unmapped_address", int(lookup_failed.sum()))
+        return batch, lookup_failed
+
+    def _attribute(
+        self,
+        batch: RawSampleBatch,
+        compiled: CompiledWorkload,
+        lookup_failed: np.ndarray,
+        report: DroppedSampleReport,
+    ) -> dict[str, np.ndarray]:
         """Vectorized channel association + data-object attribution.
 
         Source nodes come from CPU ids and the topology; target nodes from
         the libnuma page-table lookup; object ids from the allocation
-        table's range index (heap objects only, -1 otherwise).
+        table's range index (heap objects only, -1 otherwise).  Samples
+        whose lookup failed are quarantined (already counted by
+        :meth:`_collect`) rather than crashing the columnar SampleSet.
         """
         topo = self.machine.topology
+        if np.any(lookup_failed):
+            batch = batch.select(~lookup_failed)
         cores = batch.cpu % topo.n_cores
         src = cores // topo.cores_per_socket
         dst = compiled.page_table.nodes_of_addresses(batch.address, accessor_nodes=src)
         object_id = compiled.allocator.object_ids_of_addresses(batch.address)
-        return SampleSet.from_arrays(
-            address=batch.address,
-            cpu=batch.cpu,
-            thread_id=batch.thread_id,
-            level=batch.level,
-            latency=batch.latency,
-            src_node=np.asarray(src, dtype=np.int64),
-            dst_node=dst,
-            object_id=object_id,
-        )
+        return {
+            "address": batch.address,
+            "cpu": batch.cpu,
+            "thread_id": batch.thread_id,
+            "level": batch.level,
+            "latency": batch.latency,
+            "src_node": np.asarray(src, dtype=np.int64),
+            "dst_node": dst,
+            "object_id": object_id,
+        }
+
+    def _resample_thin_channels(
+        self,
+        run: WorkloadRun,
+        sampler_cfg: SamplerConfig,
+        fields: dict[str, np.ndarray],
+        report: DroppedSampleReport,
+    ) -> dict[str, np.ndarray]:
+        """Re-sample remote channels whose batch fell below the floor.
+
+        Bounded attempts; each attempt reseeds the sampler and divides the
+        period by ``resample_backoff`` so the retry collects more records
+        per access.  Only samples landing on the deficient channels are
+        merged in — healthy channels keep their first-pass statistics.
+        """
+        cfg = self.config
+        if cfg.resample_floor <= 0 or cfg.resample_attempts <= 0:
+            return fields
+
+        def thin_channels(f: dict[str, np.ndarray]) -> set[tuple[int, int]]:
+            remote = (f["src_node"] != f["dst_node"]) & (
+                f["level"] == int(MemLevel.REMOTE_DRAM)
+            )
+            if not np.any(remote):
+                return set()
+            pairs, counts = np.unique(
+                np.stack([f["src_node"][remote], f["dst_node"][remote]], axis=1),
+                axis=0,
+                return_counts=True,
+            )
+            return {
+                (int(s), int(d))
+                for (s, d), c in zip(pairs, counts)
+                if c < cfg.resample_floor
+            }
+
+        deficient = thin_channels(fields)
+        attempt = 0
+        retried: set[tuple[int, int]] = set()
+        while deficient and attempt < cfg.resample_attempts:
+            attempt += 1
+            retry_cfg = dataclasses.replace(
+                sampler_cfg,
+                seed=sampler_cfg.seed + 7919 * attempt,
+                period=max(1, int(sampler_cfg.period / cfg.resample_backoff**attempt)),
+            )
+            extra_report = DroppedSampleReport()
+            batch, lookup_failed = self._collect(run, retry_cfg, extra_report, attempt)
+            extra = self._attribute(batch, run.compiled, lookup_failed, extra_report)
+            for reason, n in extra_report.quarantined.items():
+                report.count(reason, n)
+            for reason, n in extra_report.injected.items():
+                report.injected[reason] = report.injected.get(reason, 0) + n
+            report.observed += extra_report.observed
+
+            on_deficient = np.zeros(extra["address"].shape[0], dtype=bool)
+            for s, d in deficient:
+                on_deficient |= (extra["src_node"] == s) & (extra["dst_node"] == d)
+            if np.any(on_deficient):
+                fields = {
+                    name: np.concatenate([fields[name], extra[name][on_deficient]])
+                    for name in fields
+                }
+            retried |= deficient
+            deficient = {ch for ch in thin_channels(fields) if ch in deficient}
+
+        report.resample_attempts = attempt
+        report.resampled_channels = tuple(Channel(s, d) for s, d in sorted(retried))
+        return fields

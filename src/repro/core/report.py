@@ -10,10 +10,18 @@ remedy per access pattern).
 
 from __future__ import annotations
 
+from repro.core.classifier import ChannelVerdict
 from repro.core.diagnoser import DiagnosisReport, ObjectContribution
+from repro.core.profiler import DroppedSampleReport
 from repro.types import Channel, Mode
 
-__all__ = ["format_channel_labels", "format_diagnosis", "suggest_remedy"]
+__all__ = [
+    "format_channel_labels",
+    "format_channel_verdicts",
+    "format_degradation",
+    "format_diagnosis",
+    "suggest_remedy",
+]
 
 
 def format_channel_labels(labels: dict[Channel, Mode]) -> str:
@@ -21,6 +29,52 @@ def format_channel_labels(labels: dict[Channel, Mode]) -> str:
     if not labels:
         return "(no remote traffic observed)"
     lines = [f"  {str(ch):>6}  {labels[ch].value}" for ch in sorted(labels)]
+    return "\n".join(lines)
+
+
+def format_channel_verdicts(verdicts: dict[Channel, ChannelVerdict]) -> str:
+    """Confidence-aware channel table: ``0->1  rmc  (conf 0.87, 412 samples)``."""
+    if not verdicts:
+        return "(no remote traffic observed)"
+    lines = []
+    for ch in sorted(verdicts):
+        v = verdicts[ch]
+        if v.insufficient_data:
+            lines.append(
+                f"  {str(ch):>6}  {v.label}  ({v.n_remote_samples} remote samples)"
+            )
+        else:
+            lines.append(
+                f"  {str(ch):>6}  {v.label}  "
+                f"(conf {v.confidence:.2f}, {v.n_remote_samples} remote samples)"
+            )
+    return "\n".join(lines)
+
+
+def format_degradation(report: DroppedSampleReport) -> str:
+    """Multi-line summary of what the collection pipeline lost and why."""
+    if report.is_clean:
+        return "degradation: none (clean collection)"
+    lines = [
+        "degradation summary:",
+        f"  samples observed:    {report.observed}",
+        f"  samples kept:        {report.kept}",
+        f"  quarantined:         {report.total_quarantined}"
+        f" ({report.drop_fraction:.1%} of observed)",
+    ]
+    for reason in sorted(report.quarantined):
+        lines.append(f"    - {reason:<18} {report.quarantined[reason]}")
+    injected = {k: v for k, v in report.injected.items() if v}
+    if injected:
+        lines.append(
+            "  injected faults:     "
+            + ", ".join(f"{k}={v}" for k, v in sorted(injected.items()))
+        )
+    if report.resample_attempts:
+        chans = ", ".join(str(c) for c in report.resampled_channels) or "-"
+        lines.append(
+            f"  resample attempts:   {report.resample_attempts} (channels: {chans})"
+        )
     return "\n".join(lines)
 
 
@@ -56,4 +110,9 @@ def format_diagnosis(report: DiagnosisReport, top_k: int = 10) -> str:
     covered = sum(c.cf for c in report.top(top_k))
     if covered < 0.999:
         lines.append(f"      ({1 - covered:.1%} spread over smaller objects)")
+    if report.attribution_coverage < 0.999:
+        lines.append(
+            f"      (attribution coverage: {report.attribution_coverage:.1%} "
+            "of analyzed samples resolve to a tracked heap object)"
+        )
     return "\n".join(lines)

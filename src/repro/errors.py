@@ -41,3 +41,11 @@ class ModelError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid experiment configuration (thread/node combination, ...)."""
+
+
+class FaultError(ConfigError):
+    """Invalid fault-injection plan (rate out of range, bad spec string)."""
+
+
+class InsufficientSamplesError(ModelError):
+    """A channel's sample batch fell below the minimum-sample floor."""

@@ -7,6 +7,8 @@ tables and figures.
   *actually* RMC when whole-program interleaving speeds it up >10%);
 * :mod:`repro.eval.experiments` — drivers regenerating Tables II-VII and
   Figures 3-8;
+* :mod:`repro.eval.faulted` — the same detection experiments run through
+  the :mod:`repro.faults` injection layer (robustness evaluation);
 * :mod:`repro.eval.tables` — paper-style text rendering of results.
 """
 

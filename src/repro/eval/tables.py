@@ -20,6 +20,7 @@ __all__ = [
     "format_table4",
     "format_table5",
     "format_table6",
+    "format_table6_faulted",
     "format_table7",
     "format_fig4",
     "format_speedup_rows",
@@ -113,6 +114,36 @@ def format_table6(confusion: ConfusionMatrix) -> str:
         f"False positive rate: {confusion.rate(good, rmc):.1%}  (paper: 4.2%)\n"
         f"False negative rate: {confusion.rate(rmc, good):.1%}  (paper: 0%)"
     )
+
+
+def format_table6_faulted(result) -> str:
+    """Clean vs. faulted Table VI accuracy plus the degradation ledger.
+
+    ``result`` is a :class:`repro.eval.faulted.Table6UnderFaults` (typed
+    loosely to keep this rendering module import-light).
+    """
+    rmc, good = Mode.RMC.value, Mode.GOOD.value
+    deg = result.degradation
+    lines = [
+        f"fault plan: {result.plan.describe()}",
+        f"{'':<22}{'clean':>10}{'faulted':>10}",
+        f"{'Correctness':<22}{result.clean.accuracy:>9.1%}{result.faulted.accuracy:>9.1%}",
+        f"{'False positive rate':<22}"
+        f"{result.clean.rate(good, rmc):>9.1%}{result.faulted.rate(good, rmc):>9.1%}",
+        f"{'False negative rate':<22}"
+        f"{result.clean.rate(rmc, good):>9.1%}{result.faulted.rate(rmc, good):>9.1%}",
+        f"accuracy delta: {result.accuracy_delta:+.1%}",
+        f"samples observed={deg.observed} kept={deg.kept} "
+        f"quarantined={deg.total_quarantined} ({deg.drop_fraction:.1%})",
+    ]
+    if deg.quarantined:
+        lines.append(
+            "quarantine reasons: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(deg.quarantined.items()))
+        )
+    if deg.resample_attempts:
+        lines.append(f"resample attempts across cases: {deg.resample_attempts}")
+    return "\n".join(lines)
 
 
 def format_table7(rows: list[OverheadRow]) -> str:

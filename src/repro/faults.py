@@ -1,0 +1,350 @@
+"""Deterministic fault injection for the sampling → classification pipeline.
+
+Real PEBS collection is lossy: the PEBS-at-scale literature documents
+dropped records under buffer pressure, truncated DS buffers on overflow,
+effective addresses that fail to resolve, latency counters with limited
+width, and records stamped with the CPU a thread *used to* run on before
+it migrated.  DR-BW's pipeline has to survive all of that; this module
+makes each failure mode injectable, at a configurable rate, from a single
+seed, so robustness is testable and regressions are reproducible.
+
+Design rules:
+
+* **The happy path is untouched.**  Faults are applied by *wrappers* —
+  :class:`FaultyAddressSampler` around the PEBS sampler,
+  :class:`FaultyPageTable` around the libnuma-style lookup — never by
+  edits to the wrapped components.  A plan with all rates at zero is a
+  no-op: it draws nothing from its RNG and returns the wrapped results
+  unchanged, so zero-rate runs are bit-identical to unfaulted runs.
+* **Determinism.**  Every fault decision comes from
+  ``np.random.default_rng`` streams derived from ``FaultPlan.seed``; the
+  same plan applied to the same run perturbs the same samples.
+* **Observability.**  Wrappers count every perturbation they inject
+  (:attr:`FaultyAddressSampler.injected`,
+  :attr:`FaultyPageTable.injected_failures`) so the profiler's
+  :class:`~repro.core.profiler.DroppedSampleReport` can reconcile what was
+  lost against why.
+
+The fault taxonomy, rates, and degradation semantics are documented in
+``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.numasim.engine import RunResult
+from repro.osl.pages import PageTable
+from repro.pmu.sample import MemorySample, RawSampleBatch
+from repro.pmu.sampler import AddressSampler
+
+__all__ = [
+    "FaultPlan",
+    "FAULT_PRESETS",
+    "parse_fault_plan",
+    "FaultyAddressSampler",
+    "FaultyPageTable",
+]
+
+#: Base of the garbage address region used for corrupted, unmappable
+#: addresses — far above any simulated allocation.
+_GARBAGE_ADDRESS_BASE = 0x7F00_0000_0000
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-fault rates (all in ``[0, 1]``) plus the seed that fixes them.
+
+    ============================  ================================================
+    ``drop_rate``                 each sample independently lost (PEBS record
+                                  dropped under buffer pressure)
+    ``truncate_rate``             probability the whole batch loses a contiguous
+                                  tail (DS buffer overflow before drain)
+    ``corrupt_address_rate``      sample address replaced by garbage (half land
+                                  in an unmapped region, half bit-flip in place)
+    ``latency_overflow_rate``     latency wraps modulo the counter width
+                                  (``latency_counter_max``)
+    ``cpu_migration_rate``        sample stamped with a stale CPU id — the
+                                  thread migrated between access and record
+    ``lookup_failure_rate``       transient ``numa_node_of_address`` failure
+                                  during attribution (returns "unknown node")
+    ============================  ================================================
+    """
+
+    drop_rate: float = 0.0
+    truncate_rate: float = 0.0
+    corrupt_address_rate: float = 0.0
+    latency_overflow_rate: float = 0.0
+    cpu_migration_rate: float = 0.0
+    lookup_failure_rate: float = 0.0
+    seed: int = 0
+    #: Fraction of the batch lost when a truncation fires, drawn uniformly
+    #: from this range (an overflow loses whatever had not been drained).
+    truncate_fraction: tuple[float, float] = (0.1, 0.5)
+    #: Saturation value of the latency counter, in cycles.
+    latency_counter_max: int = 4096
+
+    _RATE_FIELDS = (
+        "drop_rate",
+        "truncate_rate",
+        "corrupt_address_rate",
+        "latency_overflow_rate",
+        "cpu_migration_rate",
+        "lookup_failure_rate",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._RATE_FIELDS:
+            v = getattr(self, name)
+            if not isinstance(v, (int, float)) or not 0.0 <= float(v) <= 1.0:
+                raise FaultError(f"fault rate {name} must be in [0, 1], got {v!r}")
+        lo, hi = self.truncate_fraction
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise FaultError(
+                f"truncate_fraction must satisfy 0 <= lo <= hi <= 1, got {self.truncate_fraction}"
+            )
+        if self.latency_counter_max < 2:
+            raise FaultError(
+                f"latency_counter_max must be >= 2, got {self.latency_counter_max}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when every fault rate is zero (the plan is a no-op)."""
+        return all(getattr(self, name) == 0.0 for name in self._RATE_FIELDS)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same rates under a different seed (used by resampling retries)."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        """One line listing the nonzero rates, e.g. ``drop=10% corrupt=1%``."""
+        if self.is_zero:
+            return "no faults"
+        short = {
+            "drop_rate": "drop",
+            "truncate_rate": "truncate",
+            "corrupt_address_rate": "corrupt",
+            "latency_overflow_rate": "lat-overflow",
+            "cpu_migration_rate": "cpu-migrate",
+            "lookup_failure_rate": "lookup-fail",
+        }
+        parts = [
+            f"{short[name]}={getattr(self, name):.2%}"
+            for name in self._RATE_FIELDS
+            if getattr(self, name) > 0
+        ]
+        return " ".join(parts) + f" seed={self.seed}"
+
+
+#: Named plans for the CLI and the evaluation harness.  ``standard`` is the
+#: documented 10%-drop / 1%-corruption plan the robustness evaluation uses.
+FAULT_PRESETS: dict[str, FaultPlan] = {
+    "none": FaultPlan(),
+    "light": FaultPlan(drop_rate=0.02, lookup_failure_rate=0.005),
+    "standard": FaultPlan(
+        drop_rate=0.10,
+        corrupt_address_rate=0.01,
+        lookup_failure_rate=0.01,
+        cpu_migration_rate=0.005,
+    ),
+    "heavy": FaultPlan(
+        drop_rate=0.30,
+        truncate_rate=0.25,
+        corrupt_address_rate=0.05,
+        latency_overflow_rate=0.05,
+        cpu_migration_rate=0.02,
+        lookup_failure_rate=0.05,
+    ),
+}
+
+#: ``key=value`` spellings accepted by :func:`parse_fault_plan`.
+_SPEC_KEYS = {
+    "drop": "drop_rate",
+    "truncate": "truncate_rate",
+    "corrupt": "corrupt_address_rate",
+    "lat-overflow": "latency_overflow_rate",
+    "cpu-migrate": "cpu_migration_rate",
+    "lookup-fail": "lookup_failure_rate",
+    "seed": "seed",
+}
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse a preset name or a ``key=value,...`` spec into a plan.
+
+    ``parse_fault_plan("standard")`` returns the named preset;
+    ``parse_fault_plan("drop=0.1,corrupt=0.01,seed=7")`` builds a custom
+    plan.  Field names accept both the short spellings above and the full
+    dataclass field names.
+    """
+    spec = spec.strip()
+    if spec in FAULT_PRESETS:
+        return FAULT_PRESETS[spec]
+    field_names = {f.name for f in fields(FaultPlan)}
+    kwargs: dict[str, float | int] = {}
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        if "=" not in part:
+            raise FaultError(
+                f"bad fault spec {part!r}; expected a preset "
+                f"({', '.join(FAULT_PRESETS)}) or key=value pairs"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip()
+        name = _SPEC_KEYS.get(key, key)
+        if name not in field_names or name == "truncate_fraction":
+            raise FaultError(f"unknown fault spec key {key!r}")
+        try:
+            kwargs[name] = int(value) if name == "seed" else float(value)
+        except ValueError:
+            raise FaultError(f"bad value for fault spec key {key!r}: {value!r}") from None
+    if not kwargs:
+        raise FaultError(
+            f"empty fault spec; expected a preset ({', '.join(FAULT_PRESETS)}) "
+            "or key=value pairs"
+        )
+    return FaultPlan(**kwargs)  # type: ignore[arg-type]
+
+
+class FaultyAddressSampler:
+    """Wrap an :class:`AddressSampler`, perturbing the batches it emits.
+
+    Perturbations are applied in the order a real collector would suffer
+    them: buffer-overflow truncation, per-record drops, address
+    corruption, latency-counter overflow, and stale CPU stamping.
+    ``injected`` accumulates the count of each across calls.
+    """
+
+    def __init__(
+        self,
+        inner: AddressSampler,
+        plan: FaultPlan,
+        n_cpus: int | None = None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.n_cpus = n_cpus
+        self._rng = np.random.default_rng(plan.seed)
+        self.injected: dict[str, int] = {
+            "truncated": 0,
+            "dropped": 0,
+            "corrupted_address": 0,
+            "latency_overflow": 0,
+            "cpu_migration": 0,
+        }
+
+    @property
+    def config(self):
+        return self.inner.config
+
+    def sample_run_batch(self, run: RunResult) -> RawSampleBatch:
+        return self.perturb(self.inner.sample_run_batch(run))
+
+    def sample_run(self, run: RunResult) -> list[MemorySample]:
+        return self.sample_run_batch(run).to_samples()
+
+    def perturb(self, batch: RawSampleBatch) -> RawSampleBatch:
+        """Apply the plan to one batch (returned batch owns its arrays)."""
+        plan = self.plan
+        if plan.is_zero or len(batch) == 0:
+            return batch
+
+        if plan.truncate_rate > 0 and self._rng.random() < plan.truncate_rate:
+            lo, hi = plan.truncate_fraction
+            lost = int(len(batch) * self._rng.uniform(lo, hi))
+            if lost > 0:
+                self.injected["truncated"] += lost
+                batch = batch.select(np.arange(len(batch) - lost))
+        if len(batch) == 0:
+            return batch
+
+        if plan.drop_rate > 0:
+            keep = self._rng.random(len(batch)) >= plan.drop_rate
+            self.injected["dropped"] += int(len(batch) - keep.sum())
+            batch = batch.select(keep)
+        if len(batch) == 0:
+            return batch
+
+        batch = batch.copy()
+        n = len(batch)
+
+        if plan.corrupt_address_rate > 0:
+            hit = np.nonzero(self._rng.random(n) < plan.corrupt_address_rate)[0]
+            if hit.size:
+                self.injected["corrupted_address"] += int(hit.size)
+                # Half the corruptions land in a far unmapped region (the
+                # address failed to resolve at all); the rest flip low bits
+                # in place, which may still map — a silent mis-attribution.
+                garbage = self._rng.random(hit.size) < 0.5
+                addrs = batch.address[hit]
+                addrs[garbage] = _GARBAGE_ADDRESS_BASE + self._rng.integers(
+                    0, 1 << 30, size=int(garbage.sum()), dtype=np.int64
+                )
+                flips = 1 << self._rng.integers(0, 20, size=int((~garbage).sum()))
+                addrs[~garbage] ^= flips.astype(np.int64)
+                batch.address[hit] = addrs
+
+        if plan.latency_overflow_rate > 0:
+            hit = self._rng.random(n) < plan.latency_overflow_rate
+            if np.any(hit):
+                self.injected["latency_overflow"] += int(hit.sum())
+                wrapped = np.mod(batch.latency[hit], plan.latency_counter_max)
+                batch.latency[hit] = np.maximum(wrapped, 1.0)
+
+        if plan.cpu_migration_rate > 0:
+            hit = self._rng.random(n) < plan.cpu_migration_rate
+            if np.any(hit):
+                self.injected["cpu_migration"] += int(hit.sum())
+                n_cpus = self.n_cpus or int(batch.cpu.max()) + 1
+                batch.cpu[hit] = self._rng.integers(
+                    0, n_cpus, size=int(hit.sum()), dtype=np.int64
+                )
+
+        return batch
+
+
+class FaultyPageTable:
+    """Wrap a :class:`PageTable`, injecting transient lookup failures.
+
+    Only the *lookup* surface is perturbed (``node_of_address`` /
+    ``nodes_of_addresses`` — the calls DR-BW's attribution makes through
+    libnuma); mapping and placement pass straight through, as do all other
+    attributes.  A failed lookup reports node ``-1``, which the profiler
+    quarantines as ``lookup_failure``.
+    """
+
+    def __init__(self, inner: PageTable, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        # Decorrelated from the sampler's stream so the same seed does not
+        # fail the lookups of exactly the samples it corrupted.
+        self._rng = np.random.default_rng((plan.seed << 8) ^ 0xA5)
+        self.injected_failures = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def node_of_address(self, addr: int, accessor_node: int | None = None) -> int:
+        if self.plan.lookup_failure_rate > 0 and self._rng.random() < self.plan.lookup_failure_rate:
+            self.injected_failures += 1
+            return -1
+        return self.inner.node_of_address(addr, accessor_node)
+
+    def nodes_of_addresses(
+        self,
+        addrs: np.ndarray,
+        accessor_nodes: np.ndarray | None = None,
+        on_unmapped: str = "raise",
+    ) -> np.ndarray:
+        out = self.inner.nodes_of_addresses(addrs, accessor_nodes, on_unmapped=on_unmapped)
+        rate = self.plan.lookup_failure_rate
+        if rate > 0 and out.size:
+            fail = (self._rng.random(out.size) < rate) & (out >= 0)
+            if np.any(fail):
+                out = out.copy()
+                out[fail] = -1
+                self.injected_failures += int(fail.sum())
+        return out

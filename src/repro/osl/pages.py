@@ -295,26 +295,44 @@ class PageTable:
         return counts / counts.sum()
 
     def nodes_of_addresses(
-        self, addrs: np.ndarray, accessor_nodes: np.ndarray | None = None
+        self,
+        addrs: np.ndarray,
+        accessor_nodes: np.ndarray | None = None,
+        on_unmapped: str = "raise",
     ) -> np.ndarray:
         """Vectorized :meth:`node_of_address` over an address array.
 
         ``accessor_nodes`` (same shape) resolves replicated ranges to the
         accessor's local replica, as in the scalar lookup.
+
+        ``on_unmapped`` selects the failure behavior: ``"raise"`` (the
+        default) raises :class:`InvalidAddressError` on the first unmapped
+        address, while ``"ignore"`` reports ``-1`` for unmapped entries —
+        the mode the fault-tolerant profiler uses to quarantine corrupted
+        samples instead of aborting the whole attribution pass.
         """
+        if on_unmapped not in ("raise", "ignore"):
+            raise ValueError(f"on_unmapped must be 'raise' or 'ignore', got {on_unmapped!r}")
         addrs = np.asarray(addrs, dtype=np.int64)
         out = np.empty(addrs.shape[0], dtype=np.int64)
         bases = np.asarray(self._bases, dtype=np.int64)
         sizes = np.asarray(self._sizes, dtype=np.int64)
+        if bases.size == 0:
+            if addrs.size and on_unmapped == "raise":
+                raise InvalidAddressError("no ranges mapped")
+            out.fill(-1)
+            return out
         idx = np.searchsorted(bases, addrs, side="right") - 1
         bad = (idx < 0) | (addrs >= bases[np.maximum(idx, 0)] + sizes[np.maximum(idx, 0)])
         if np.any(bad):
-            raise InvalidAddressError(
-                f"{int(bad.sum())} addresses are not mapped (first: "
-                f"{int(addrs[bad][0]):#x})"
-            )
-        for r in np.unique(idx):
-            mask = idx == r
+            if on_unmapped == "raise":
+                raise InvalidAddressError(
+                    f"{int(bad.sum())} addresses are not mapped (first: "
+                    f"{int(addrs[bad][0]):#x})"
+                )
+            out[bad] = -1
+        for r in np.unique(idx[~bad]):
+            mask = (idx == r) & ~bad
             if self._replicated[r] and accessor_nodes is not None:
                 out[mask] = accessor_nodes[mask]
                 continue

@@ -104,6 +104,26 @@ class RawSampleBatch:
             latency=np.concatenate([b.latency for b in batches]),
         )
 
+    def select(self, mask: np.ndarray) -> "RawSampleBatch":
+        """The sub-batch selected by a boolean mask (or index array)."""
+        return RawSampleBatch(
+            address=self.address[mask],
+            cpu=self.cpu[mask],
+            thread_id=self.thread_id[mask],
+            level=self.level[mask],
+            latency=self.latency[mask],
+        )
+
+    def copy(self) -> "RawSampleBatch":
+        """A deep copy whose arrays can be mutated independently."""
+        return RawSampleBatch(
+            address=self.address.copy(),
+            cpu=self.cpu.copy(),
+            thread_id=self.thread_id.copy(),
+            level=self.level.copy(),
+            latency=self.latency.copy(),
+        )
+
     def permuted(self, rng: np.random.Generator) -> "RawSampleBatch":
         """A randomly reordered copy (PEBS interleaves threads' samples)."""
         order = rng.permutation(len(self))

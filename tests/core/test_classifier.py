@@ -143,3 +143,131 @@ class TestEndToEnd:
         profile = profiler.profile(make_sumv(4 * 1024 * 1024), 16, 4, seed=5)
         labels = clf.classify_profile(profile)
         assert all(m is Mode.GOOD for m in labels.values())
+
+
+def _rmc_features(clf, n_remote=500.0):
+    """A raw feature row the fitted synthetic tree labels rmc."""
+    row = np.zeros(len(TABLE1_FEATURE_NAMES))
+    row[5] = n_remote
+    row[6] = 1800.0
+    row[9] = 4000.0
+    row[10] = 20.0
+    return FeatureVector(names=TABLE1_FEATURE_NAMES, values=row)
+
+
+class TestChannelVerdicts:
+    def test_confident_rmc(self, clf):
+        v = clf.classify_channel_detailed(_rmc_features(clf))
+        assert v.mode is Mode.RMC
+        assert not v.insufficient_data
+        assert 0.0 < v.confidence <= 1.0
+        assert v.label == "rmc"
+        assert v.n_remote_samples == 500
+
+    def test_insufficient_data_verdict(self, clf):
+        v = clf.classify_channel_detailed(_rmc_features(clf, n_remote=3.0))
+        assert v.insufficient_data
+        assert v.mode is Mode.GOOD
+        assert v.confidence == 0.0
+        assert v.label == "insufficient-data"
+
+    def test_support_scales_confidence(self, clf):
+        floor = MIN_CHANNEL_SUPPORT
+        thin = clf.classify_channel_detailed(_rmc_features(clf, n_remote=floor))
+        thick = clf.classify_channel_detailed(_rmc_features(clf, n_remote=10 * floor))
+        assert thin.confidence <= thick.confidence
+
+    def test_detailed_agrees_with_plain_labels(self, clf):
+        for n_remote in (3.0, 30.0, 500.0):
+            fv = _rmc_features(clf, n_remote=n_remote)
+            v = clf.classify_channel_detailed(fv)
+            plain = (
+                Mode.GOOD
+                if fv["num_remote_dram_samples"] < MIN_CHANNEL_SUPPORT
+                else clf.classify_channel(fv)
+            )
+            assert v.mode is plain
+
+    def test_wrong_feature_names_rejected(self, clf):
+        with pytest.raises(ModelError):
+            clf.classify_channel_detailed(
+                FeatureVector(names=("x",), values=np.array([1.0]))
+            )
+
+
+class TestModelJsonValidation:
+    """from_dict rejects malformed payloads with readable ModelErrors."""
+
+    def test_roundtrip_through_json_text(self, clf):
+        import json
+
+        X, y = synthetic_training(seed=3)
+        restored = DrBwClassifier.from_dict(json.loads(json.dumps(clf.to_dict())))
+        assert np.array_equal(restored.predict(X), clf.predict(X))
+
+    @pytest.mark.parametrize(
+        "mutate,fragment",
+        [
+            (lambda d: d.pop("root"), "missing top-level key 'root'"),
+            (lambda d: d.pop("mean"), "missing top-level key 'mean'"),
+            (lambda d: d.update(feature_names=[]), "non-empty list"),
+            (lambda d: d.update(feature_names=[1, 2]), "non-empty list of strings"),
+            (lambda d: d.update(mean=d["mean"][:-1]), "'mean' must list"),
+            (lambda d: d.update(std="oops"), "'std' must list"),
+            (lambda d: d.update(classes=["only-one"]), "at least two"),
+            (lambda d: d["root"].pop("counts"), "missing key 'counts'"),
+            (lambda d: d["root"].update(leaf="yes"), "must be a bool"),
+            (lambda d: d.update(root=[]), "not an object"),
+        ],
+    )
+    def test_corrupted_payloads(self, clf, mutate, fragment):
+        data = clf.to_dict()
+        mutate(data)
+        with pytest.raises(ModelError, match="model JSON invalid"):
+            DrBwClassifier.from_dict(data)
+        try:
+            DrBwClassifier.from_dict(clf.to_dict())  # pristine copy still loads
+        except ModelError:
+            pytest.fail("validation rejected a well-formed payload")
+
+    def test_corrupted_split_node(self, clf):
+        data = clf.to_dict()
+
+        def first_split(node):
+            if not node["leaf"]:
+                return node
+            return None
+
+        node = first_split(data["root"])
+        if node is None:
+            pytest.skip("synthetic tree is a stump")
+        node["feature"] = 99  # out of range for 13 features
+        with pytest.raises(ModelError, match="feature index"):
+            DrBwClassifier.from_dict(data)
+
+    def test_truncated_subtree(self, clf):
+        data = clf.to_dict()
+        if data["root"]["leaf"]:
+            pytest.skip("synthetic tree is a stump")
+        data["root"]["left"] = {"leaf": True}  # missing prediction/counts/n
+        with pytest.raises(ModelError, match="missing key"):
+            DrBwClassifier.from_dict(data)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ModelError, match="not found"):
+            DrBwClassifier.load(str(tmp_path / "nope.json"))
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text('{"feature_names": [truncated')
+        with pytest.raises(ModelError, match="not valid JSON"):
+            DrBwClassifier.load(str(path))
+
+    def test_load_roundtrip(self, clf, tmp_path):
+        import json
+
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(clf.to_dict()))
+        X, y = synthetic_training(seed=4)
+        restored = DrBwClassifier.load(str(path))
+        assert np.array_equal(restored.predict(X), clf.predict(X))

@@ -18,6 +18,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_faults_flag_parses(self):
+        args = build_parser().parse_args(["detect", "EP", "--faults", "standard"])
+        assert args.faults == "standard"
+
 
 class TestList:
     def test_lists_benchmarks(self, capsys):
@@ -57,12 +61,89 @@ class TestDetectDiagnose:
         assert "reference" in out or "input_itemsets" in out
         assert "suggested remedy" in out
 
-    def test_unknown_benchmark_exits(self, tmp_path, trained):
-        model = self._model(tmp_path, trained)
-        with pytest.raises(SystemExit):
-            main(["detect", "NOPE", "--model", model])
 
-    def test_bad_input_exits(self, tmp_path, trained):
+class TestErrorHandling:
+    """ReproError anywhere in a command prints one line and exits 2."""
+
+    def _model(self, tmp_path, trained):
+        clf, _ = trained
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(clf.to_dict()))
+        return str(path)
+
+    def test_unknown_benchmark_exits_2(self, tmp_path, trained, capsys):
         model = self._model(tmp_path, trained)
-        with pytest.raises(SystemExit):
-            main(["detect", "EP", "--input", "Z", "--model", model])
+        assert main(["detect", "NOPE", "--model", model]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("drbw: error:")
+        assert "NOPE" in err
+
+    def test_bad_input_exits_2(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        assert main(["detect", "EP", "--input", "Z", "--model", model]) == 2
+        assert "drbw: error:" in capsys.readouterr().err
+
+    def test_bad_config_exits_2(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        assert main(["detect", "EP", "--config", "T7-N3", "--model", model]) == 2
+        err = capsys.readouterr().err
+        assert "drbw: error:" in err
+
+    def test_missing_model_file_exits_2(self, capsys):
+        assert main(["detect", "EP", "--model", "/nonexistent/model.json"]) == 2
+        err = capsys.readouterr().err
+        assert "drbw: error:" in err
+        assert "model file not found" in err
+
+    def test_corrupt_model_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "model.json"
+        path.write_text("{not json")
+        assert main(["detect", "EP", "--model", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_truncated_model_file_exits_2(self, tmp_path, trained, capsys):
+        clf, _ = trained
+        data = clf.to_dict()
+        del data["root"]
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(data))
+        assert main(["detect", "EP", "--model", str(path)]) == 2
+        assert "model JSON invalid" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        assert main(["detect", "EP", "--model", model, "--faults", "drop=2.0"]) == 2
+        assert "drbw: error:" in capsys.readouterr().err
+
+
+class TestDetectUnderFaults:
+    def _model(self, tmp_path, trained):
+        clf, _ = trained
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(clf.to_dict()))
+        return str(path)
+
+    def test_detect_with_standard_faults_completes(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        rc = main(["detect", "NW", "--input", "default", "--config", "T32-N4",
+                   "--model", model, "--faults", "standard"])
+        assert rc in (0, 2)
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        assert "case verdict:" in out
+
+    def test_detect_with_custom_fault_spec(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        rc = main(["detect", "EP", "--input", "A", "--config", "T16-N4",
+                   "--model", model, "--faults", "drop=0.1,corrupt=0.01,seed=7"])
+        assert rc in (0, 2)
+        out = capsys.readouterr().out
+        assert "case verdict:" in out
+
+    def test_diagnose_under_faults(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        rc = main(["diagnose", "AMG2006", "--config", "T32-N4",
+                   "--model", model, "--faults", "light"])
+        assert rc in (0, 2)
+        out = capsys.readouterr().out
+        assert "case verdict:" in out

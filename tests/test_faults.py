@@ -1,0 +1,321 @@
+"""Tests for the fault-injection subsystem and graceful degradation.
+
+Three contracts, from ISSUE 1:
+
+* any :class:`FaultPlan` with rates in [0, 1] — including 1.0 — never
+  crashes the sampling → profiling → classification pipeline;
+* fault injection is reproducible under a fixed seed;
+* a zero-rate plan is byte-identical to the unfaulted run.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import MIN_CHANNEL_SUPPORT, classify_case
+from repro.core.diagnoser import Diagnoser
+from repro.core.features import extract_channel_features
+from repro.core.profiler import DroppedSampleReport, DrBwProfiler, ProfilerConfig
+from repro.errors import FaultError, InsufficientSamplesError
+from repro.faults import (
+    FAULT_PRESETS,
+    FaultPlan,
+    FaultyAddressSampler,
+    FaultyPageTable,
+    parse_fault_plan,
+)
+from repro.numasim.machine import Machine
+from repro.pmu.sample import RawSampleBatch
+from repro.types import Mode
+
+from .conftest import make_stream_workload
+
+MB = 1024 * 1024
+
+
+def _profile(machine, plan=None, floor=0, attempts=0, seed=3, workload=None):
+    cfg = ProfilerConfig(faults=plan, resample_floor=floor, resample_attempts=attempts)
+    wl = workload or make_stream_workload(size_bytes=32 * MB, accesses=500_000.0)
+    return DrBwProfiler(machine, cfg).profile(wl, n_threads=8, n_nodes=2, seed=seed)
+
+
+def _batch(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    return RawSampleBatch(
+        address=rng.integers(0x1000_0000, 0x2000_0000, size=n, dtype=np.int64),
+        cpu=rng.integers(0, 32, size=n, dtype=np.int64),
+        thread_id=rng.integers(0, 16, size=n, dtype=np.int64),
+        level=rng.integers(1, 7, size=n, dtype=np.int64),
+        latency=rng.uniform(10, 3000, size=n),
+    )
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize("field", FaultPlan._RATE_FIELDS)
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, float("nan")])
+    def test_rates_outside_unit_interval_rejected(self, field, bad):
+        with pytest.raises(FaultError):
+            FaultPlan(**{field: bad})
+
+    @pytest.mark.parametrize("field", FaultPlan._RATE_FIELDS)
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_rates_in_unit_interval_accepted(self, field, ok):
+        plan = FaultPlan(**{field: ok})
+        assert getattr(plan, field) == ok
+
+    def test_is_zero(self):
+        assert FaultPlan().is_zero
+        assert not FaultPlan(drop_rate=0.01).is_zero
+
+    def test_bad_truncate_fraction(self):
+        with pytest.raises(FaultError):
+            FaultPlan(truncate_fraction=(0.9, 0.1))
+
+    def test_describe_names_nonzero_rates(self):
+        assert FaultPlan().describe() == "no faults"
+        text = FaultPlan(drop_rate=0.1, seed=9).describe()
+        assert "drop=10.00%" in text and "seed=9" in text
+
+    def test_presets_are_valid(self):
+        for name, plan in FAULT_PRESETS.items():
+            assert isinstance(plan, FaultPlan), name
+        assert FAULT_PRESETS["none"].is_zero
+        assert FAULT_PRESETS["standard"].drop_rate == pytest.approx(0.10)
+        assert FAULT_PRESETS["standard"].corrupt_address_rate == pytest.approx(0.01)
+
+
+class TestParseFaultPlan:
+    def test_preset_names(self):
+        assert parse_fault_plan("standard") is FAULT_PRESETS["standard"]
+
+    def test_key_value_pairs(self):
+        plan = parse_fault_plan("drop=0.1, corrupt=0.01, seed=7")
+        assert plan.drop_rate == 0.1
+        assert plan.corrupt_address_rate == 0.01
+        assert plan.seed == 7
+
+    def test_full_field_names_accepted(self):
+        plan = parse_fault_plan("lookup_failure_rate=0.05")
+        assert plan.lookup_failure_rate == 0.05
+
+    @pytest.mark.parametrize("bad", ["", "nonsense", "drop", "drop=x", "wat=0.1", "drop=2.0"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(FaultError):
+            parse_fault_plan(bad)
+
+
+class TestReproducibility:
+    def test_same_seed_same_perturbation(self):
+        plan = FAULT_PRESETS["heavy"]
+        first = FaultyAddressSampler(inner=None, plan=plan).perturb(_batch())
+        second = FaultyAddressSampler(inner=None, plan=plan).perturb(_batch())
+        np.testing.assert_array_equal(first.address, second.address)
+        np.testing.assert_array_equal(first.cpu, second.cpu)
+        np.testing.assert_array_equal(first.latency, second.latency)
+
+    def test_different_seed_different_perturbation(self):
+        plan = FaultPlan(drop_rate=0.3)
+        first = FaultyAddressSampler(inner=None, plan=plan).perturb(_batch())
+        second = FaultyAddressSampler(inner=None, plan=plan.with_seed(99)).perturb(_batch())
+        assert len(first) != len(second) or not np.array_equal(first.address, second.address)
+
+    def test_profile_reproducible_under_faults(self, machine):
+        plan = FAULT_PRESETS["standard"]
+        a = _profile(machine, plan=plan)
+        b = _profile(machine, plan=plan)
+        np.testing.assert_array_equal(a.sample_set.address, b.sample_set.address)
+        np.testing.assert_array_equal(a.sample_set.latency, b.sample_set.latency)
+        assert a.dropped.quarantined == b.dropped.quarantined
+        assert a.dropped.injected == b.dropped.injected
+
+
+class TestZeroRatePlanIsIdentity:
+    def test_perturb_returns_batch_unchanged(self):
+        batch = _batch()
+        out = FaultyAddressSampler(inner=None, plan=FaultPlan()).perturb(batch)
+        assert out is batch  # not even copied
+
+    def test_profile_outputs_bit_identical(self, machine):
+        clean = _profile(machine, plan=None)
+        zero = _profile(machine, plan=FaultPlan())
+        for name in ("address", "cpu", "thread_id", "level", "latency",
+                     "src_node", "dst_node", "object_id"):
+            np.testing.assert_array_equal(
+                getattr(clean.sample_set, name), getattr(zero.sample_set, name)
+            )
+        for ch in clean.channels_with_remote_samples():
+            np.testing.assert_array_equal(
+                clean.features_for(ch).values, zero.features_for(ch).values
+            )
+        assert zero.dropped.is_clean
+
+    def test_verdicts_and_cf_identical(self, machine, trained):
+        clf, _ = trained
+        clean = _profile(machine, plan=None)
+        zero = _profile(machine, plan=FaultPlan())
+        labels_clean = clf.classify_profile(clean)
+        labels_zero = clf.classify_profile(zero)
+        assert labels_clean == labels_zero
+        if classify_case(labels_clean) is Mode.RMC:
+            d = Diagnoser()
+            ra = d.diagnose(clean, labels_clean)
+            rb = d.diagnose(zero, labels_zero)
+            assert [(c.object_id, c.cf) for c in ra.contributions] == [
+                (c.object_id, c.cf) for c in rb.contributions
+            ]
+
+
+RATES = (0.0, 0.3, 1.0)
+
+
+class TestPipelineNeverCrashes:
+    """Property-style sweep: every rate combination completes end to end."""
+
+    @pytest.mark.parametrize(
+        "drop,corrupt,lookup",
+        [c for c in itertools.product(RATES, RATES, RATES) if any(c)],
+    )
+    def test_rate_grid(self, machine, trained, drop, corrupt, lookup):
+        clf, _ = trained
+        plan = FaultPlan(
+            drop_rate=drop,
+            corrupt_address_rate=corrupt,
+            lookup_failure_rate=lookup,
+            seed=11,
+        )
+        profile = _profile(machine, plan=plan)
+        labels = clf.classify_profile(profile)
+        verdict = classify_case(labels)
+        assert verdict in (Mode.GOOD, Mode.RMC)
+        if verdict is Mode.RMC:
+            report = Diagnoser().diagnose(profile, labels)
+            assert 0.0 <= report.attribution_coverage <= 1.0
+
+    @pytest.mark.parametrize("field", FaultPlan._RATE_FIELDS)
+    def test_each_fault_alone_at_full_rate(self, machine, trained, field):
+        clf, _ = trained
+        profile = _profile(machine, plan=FaultPlan(**{field: 1.0}))
+        verdicts = clf.classify_profile_detailed(profile)
+        for v in verdicts.values():
+            assert 0.0 <= v.confidence <= 1.0
+
+    def test_total_loss_yields_empty_but_valid_profile(self, machine, trained):
+        clf, _ = trained
+        profile = _profile(machine, plan=FaultPlan(drop_rate=1.0))
+        assert len(profile.sample_set) == 0
+        assert clf.classify_profile(profile) == {}
+        assert classify_case({}) is Mode.GOOD
+
+    def test_heavy_preset_full_pipeline(self, machine, trained):
+        clf, _ = trained
+        profile = _profile(machine, plan=FAULT_PRESETS["heavy"])
+        verdicts = clf.classify_profile_detailed(profile)
+        assert classify_case({c: v.mode for c, v in verdicts.items()}) in (
+            Mode.GOOD,
+            Mode.RMC,
+        )
+
+
+class TestQuarantine:
+    def test_corruption_is_quarantined_and_counted(self, machine):
+        plan = FaultPlan(corrupt_address_rate=0.2)
+        profile = _profile(machine, plan=plan)
+        rep = profile.dropped
+        assert rep.injected["corrupted_address"] > 0
+        assert rep.quarantined.get("unmapped_address", 0) > 0
+        assert rep.kept == len(profile.sample_set)
+        assert rep.kept + rep.total_quarantined == rep.observed
+
+    def test_lookup_failures_quarantined(self, machine):
+        plan = FaultPlan(lookup_failure_rate=0.1)
+        profile = _profile(machine, plan=plan)
+        assert profile.dropped.quarantined.get("lookup_failure", 0) > 0
+        # Every surviving sample is fully attributed.
+        assert np.all(profile.sample_set.dst_node >= 0)
+
+    def test_clean_run_reports_clean(self, machine):
+        profile = _profile(machine, plan=None)
+        assert profile.dropped.is_clean
+        assert profile.dropped.kept == len(profile.sample_set)
+
+
+class TestResampleRetry:
+    def test_retry_recovers_thin_channels(self, machine):
+        # A heavy drop plan starves channels; the retry loop must bring
+        # surviving remote channels back over the floor (or exhaust its
+        # bounded attempts).
+        plan = FaultPlan(drop_rate=0.9, seed=5)
+        profile = _profile(machine, plan=plan, floor=MIN_CHANNEL_SUPPORT, attempts=3)
+        assert profile.dropped.resample_attempts <= 3
+        if profile.dropped.resample_attempts:
+            assert profile.dropped.resampled_channels
+
+    def test_no_retry_when_disabled(self, machine):
+        plan = FaultPlan(drop_rate=0.9, seed=5)
+        profile = _profile(machine, plan=plan, floor=0, attempts=0)
+        assert profile.dropped.resample_attempts == 0
+
+    def test_retry_disabled_by_default_config(self):
+        cfg = ProfilerConfig()
+        assert cfg.resample_floor == 0
+
+
+class TestFaultyPageTable:
+    def test_delegates_and_injects(self, machine):
+        from repro.osl.pages import FirstTouch, PageTable
+
+        pt = PageTable(n_nodes=2)
+        pt.map_range(0, 4096 * 16, FirstTouch(0))
+        faulty = FaultyPageTable(pt, FaultPlan(lookup_failure_rate=1.0))
+        addrs = np.arange(0, 4096 * 16, 4096, dtype=np.int64)
+        out = faulty.nodes_of_addresses(addrs, on_unmapped="ignore")
+        assert np.all(out == -1)
+        assert faulty.injected_failures == len(addrs)
+        # Non-lookup surface passes through untouched.
+        assert faulty.page_bytes == pt.page_bytes
+        assert faulty.is_mapped(0)
+
+    def test_zero_rate_is_transparent(self):
+        from repro.osl.pages import FirstTouch, PageTable
+
+        pt = PageTable(n_nodes=2)
+        pt.map_range(0, 4096 * 4, FirstTouch(1))
+        faulty = FaultyPageTable(pt, FaultPlan())
+        addrs = np.arange(0, 4096 * 4, 4096, dtype=np.int64)
+        np.testing.assert_array_equal(
+            faulty.nodes_of_addresses(addrs), pt.nodes_of_addresses(addrs)
+        )
+
+
+class TestFeatureGuards:
+    def test_min_samples_guard_raises(self, machine):
+        profile = _profile(machine, plan=None)
+        channels = profile.channels_with_remote_samples()
+        assert channels
+        with pytest.raises(InsufficientSamplesError):
+            extract_channel_features(
+                profile.sample_set, channels[0], min_samples=10**9
+            )
+
+    def test_default_guard_permissive(self, machine):
+        profile = _profile(machine, plan=None)
+        for ch in profile.channels_with_remote_samples():
+            fv = extract_channel_features(profile.sample_set, ch)
+            assert np.all(np.isfinite(fv.values))
+
+
+class TestDroppedSampleReport:
+    def test_count_and_fractions(self):
+        rep = DroppedSampleReport(observed=100, kept=90)
+        rep.count("unmapped_address", 10)
+        rep.count("unmapped_address", 0)  # no-op
+        assert rep.total_quarantined == 10
+        assert rep.drop_fraction == pytest.approx(0.1)
+        assert not rep.is_clean
+
+    def test_empty_report_is_clean(self):
+        assert DroppedSampleReport().is_clean
+        assert DroppedSampleReport().drop_fraction == 0.0
