@@ -19,18 +19,36 @@ from repro.eval.experiments import TABLE7_BENCHMARKS, run_table7_overhead
 from repro.eval.tables import format_table7
 from repro.faults import FAULT_PRESETS
 from repro.numasim.machine import Machine
+from repro.telemetry.overhead import OVERHEAD_BUDGET, measure_self_overhead
 from repro.workloads.suites.registry import BENCHMARKS
 
 
 def test_table7_overhead(benchmark, results_dir):
     rows = benchmark.pedantic(run_table7_overhead, rounds=1, iterations=1)
-    save_and_print(results_dir, "table7_overhead", format_table7(rows))
+    # The observability layer must itself be cheap: re-run the full Table
+    # VII pass with telemetry off and on (interleaved, min of 3 each) and
+    # hold the added wall time under the Examem-style budget.
+    self_cost = measure_self_overhead(run_table7_overhead, repetitions=3)
+    text = format_table7(rows) + (
+        "\n\ntelemetry self-overhead (full Table VII pass, min of "
+        f"{self_cost.repetitions} interleaved runs):\n"
+        f"{'telemetry':<15}{'off (s)':>14}{'on (s)':>14}{'added':>10}\n"
+        f"{'':<15}{self_cost.off_seconds:>14.3f}{self_cost.on_seconds:>14.3f}"
+        f"{self_cost.added_fraction * 100:>+9.1f}%\n"
+        f"(budget: <{OVERHEAD_BUDGET * 100:.0f}% added wall time)"
+    )
+    save_and_print(results_dir, "table7_overhead", text)
     overheads = {r.benchmark: r.overhead for r in rows}
     assert len(rows) == 6
     # Paper bound: every benchmark stays at or under ~10% overhead.
     assert all(o <= 0.10 for o in overheads.values())
     # Average within the paper's ballpark.
     assert sum(overheads.values()) / len(overheads) <= 0.05
+    assert self_cost.within_budget, (
+        f"telemetry added {self_cost.added_fraction:.1%} wall time "
+        f"(budget {OVERHEAD_BUDGET:.0%}): off={self_cost.off_seconds:.3f}s "
+        f"on={self_cost.on_seconds:.3f}s"
+    )
 
 
 def test_table7_overhead_faulted(benchmark, results_dir):

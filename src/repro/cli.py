@@ -8,22 +8,31 @@ The workflow a release user runs without writing Python:
   configuration and print the per-channel verdicts;
 * ``diagnose`` — detect, then print the Contribution-Fraction ranking and
   suggested remedies;
+* ``report``   — render the text dashboard for a telemetry artifact
+  exported by a previous run;
 * ``list``     — the available benchmarks and their inputs.
 
 ``detect`` and ``diagnose`` accept ``--faults`` (a preset name such as
 ``standard``, or ``drop=0.1,corrupt=0.01``-style pairs) to run the
 pipeline under injected collection faults; the output then includes a
-degradation summary and per-channel confidence.  Any :class:`ReproError`
-— unknown benchmark, bad configuration, malformed model file, invalid
-fault spec — prints one line to stderr and exits with status 2.
+degradation summary and per-channel confidence.  ``train``/``detect``/
+``diagnose`` accept ``--telemetry[=DIR]`` to record stage spans, pipeline
+metrics, and per-channel timelines, exported as a run artifact that
+``report`` (or Perfetto, via ``trace.json``) can inspect later.  ``-v``
+/``-q`` raise/lower library log verbosity.  Any :class:`ReproError` —
+unknown benchmark, bad configuration, malformed model file, invalid
+fault spec, broken artifact — prints one line to stderr and exits with
+status 2.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
+from repro import telemetry
 from repro.core.classifier import DrBwClassifier, classify_case
 from repro.core.diagnoser import Diagnoser
 from repro.core.profiler import DrBwProfiler, ProfilerConfig
@@ -40,10 +49,31 @@ from repro.errors import ConfigError, ReproError
 from repro.eval.configs import config_by_name
 from repro.faults import FAULT_PRESETS, parse_fault_plan
 from repro.numasim.machine import Machine
+from repro.telemetry.artifact import (
+    collect_metadata,
+    export_artifact,
+    load_artifact,
+)
+from repro.telemetry.dashboard import render_dashboard
 from repro.types import Mode
 from repro.workloads.suites.registry import BENCHMARKS
 
 __all__ = ["main", "build_parser"]
+
+#: Default artifact directory for a bare ``--telemetry``.
+DEFAULT_TELEMETRY_DIR = "drbw-telemetry"
+
+
+def _add_common(p: argparse.ArgumentParser, with_telemetry: bool = True) -> None:
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="more library logging (-v info, -vv debug)")
+    p.add_argument("-q", "--quiet", action="count", default=0,
+                   help="less library logging (errors only)")
+    if with_telemetry:
+        p.add_argument("--telemetry", nargs="?", const=DEFAULT_TELEMETRY_DIR,
+                       default=None, metavar="DIR",
+                       help="record spans/metrics/timelines and export a run "
+                            f"artifact to DIR (default: {DEFAULT_TELEMETRY_DIR}/)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--model", default="drbw_model.json",
                          help="output JSON path (default: drbw_model.json)")
     p_train.add_argument("--seed", type=int, default=0)
+    _add_common(p_train)
 
     for name, hlp in (("detect", "classify a benchmark run"),
                       ("diagnose", "detect + rank the contended data objects")):
@@ -73,9 +104,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject collection faults: a preset "
                             f"({', '.join(FAULT_PRESETS)}) or key=value pairs, "
                             "e.g. drop=0.1,corrupt=0.01,seed=7")
+        _add_common(p)
+
+    p_report = sub.add_parser(
+        "report", help="render the dashboard for a telemetry artifact"
+    )
+    p_report.add_argument("artifact", help="artifact directory from --telemetry")
+    _add_common(p_report, with_telemetry=False)
 
     sub.add_parser("list", help="list benchmarks and inputs")
     return parser
+
+
+def _setup_logging(args) -> None:
+    verbosity = getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
+    if verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    elif verbosity < 0:
+        level = logging.ERROR
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level, stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
 
 
 def _load_or_train(model_path: str | None, seed: int, machine: Machine) -> DrBwClassifier:
@@ -114,16 +168,70 @@ def _profiler_config(args) -> ProfilerConfig:
     )
 
 
+# -- telemetry payloads -----------------------------------------------------------
+
+
+def _verdicts_payload(verdicts) -> list[dict]:
+    return [
+        {
+            "channel": str(ch),
+            "label": v.label,
+            "mode": v.mode.value,
+            "confidence": v.confidence,
+            "n_remote_samples": v.n_remote_samples,
+            "insufficient_data": v.insufficient_data,
+        }
+        for ch, v in sorted(verdicts.items())
+    ]
+
+
+def _degradation_payload(d) -> dict:
+    return {
+        "observed": d.observed,
+        "kept": d.kept,
+        "quarantined": dict(d.quarantined),
+        "injected": {k: v for k, v in d.injected.items() if v},
+        "drop_fraction": d.drop_fraction,
+        "resample_attempts": d.resample_attempts,
+        "resampled_channels": [str(c) for c in d.resampled_channels],
+    }
+
+
+def _diagnosis_payload(report) -> dict:
+    return {
+        "contended_channels": [str(c) for c in report.contended_channels],
+        "attribution_coverage": report.attribution_coverage,
+        "top": [
+            {"name": c.name, "site": c.site, "cf": c.cf, "n_samples": c.n_samples}
+            for c in report.top(10)
+        ],
+    }
+
+
+# -- commands ---------------------------------------------------------------------
+
+
 def cmd_train(args) -> int:
     machine = Machine()
-    clf, instances = train_default_classifier(machine, seed=args.seed)
-    X, y = training_matrix(list(instances))
-    cv = cross_validate(clf, X, y, k=10, seed=args.seed)
+    tel = telemetry.Telemetry(enabled=args.telemetry is not None)
+    with telemetry.session(tel):
+        clf, instances = train_default_classifier(machine, seed=args.seed)
+        X, y = training_matrix(list(instances))
+        cv = cross_validate(clf, X, y, k=10, seed=args.seed)
     print(f"trained on {len(instances)} runs; 10-fold CV accuracy {cv.accuracy:.1%}")
     print(clf.render_tree())
     with open(args.model, "w") as fh:
         json.dump(clf.to_dict(), fh, indent=2)
     print(f"model saved to {args.model}")
+    if args.telemetry:
+        meta = collect_metadata("train", args.seed, machine.topology,
+                                model=args.model)
+        results = {
+            "cv_accuracy": cv.accuracy,
+            "n_instances": len(instances),
+        }
+        export_artifact(args.telemetry, tel, meta, results)
+        print(f"telemetry artifact written to {args.telemetry}", file=sys.stderr)
     return 0
 
 
@@ -134,34 +242,60 @@ def cmd_detect(args, want_diagnosis: bool = False) -> int:
     cfg = config_by_name(args.config)
     profiler_cfg = _profiler_config(args)
     machine = Machine()
-    clf = _load_or_train(args.model, args.seed, machine)
+    tel = telemetry.Telemetry(enabled=args.telemetry is not None)
+    diagnosis = None
+    with telemetry.session(tel):
+        clf = _load_or_train(args.model, args.seed, machine)
 
-    workload = spec.build(inp)
-    profile = DrBwProfiler(machine, profiler_cfg).profile(
-        workload, cfg.n_threads, cfg.n_nodes, seed=args.seed
-    )
-    print(f"{spec.name} ({inp}) under {cfg.name}:")
-    if profiler_cfg.faults is not None:
+        workload = spec.build(inp)
+        profile = DrBwProfiler(machine, profiler_cfg).profile(
+            workload, cfg.n_threads, cfg.n_nodes, seed=args.seed
+        )
         verdicts = clf.classify_profile_detailed(profile)
         labels = {ch: v.mode for ch, v in verdicts.items()}
-        print(format_channel_verdicts(verdicts))
-        print(format_degradation(profile.dropped))
-    else:
-        labels = clf.classify_profile(profile)
-        print(format_channel_labels(labels))
-    verdict = classify_case(labels)
-    print(f"case verdict: {verdict}")
-
-    if want_diagnosis:
-        if verdict is not Mode.RMC:
-            print("nothing to diagnose: no contended channel")
+        print(f"{spec.name} ({inp}) under {cfg.name}:")
+        if profiler_cfg.faults is not None:
+            print(format_channel_verdicts(verdicts))
+            print(format_degradation(profile.dropped))
         else:
-            report = Diagnoser().diagnose(profile, labels)
-            print()
-            print(format_diagnosis(report))
-            top = report.top(1)[0]
-            print(f"\nsuggested remedy for {top.name!r}: {suggest_remedy(top)}")
+            print(format_channel_labels(labels))
+        verdict = classify_case(labels)
+        print(f"case verdict: {verdict}")
+
+        if want_diagnosis:
+            if verdict is not Mode.RMC:
+                print("nothing to diagnose: no contended channel")
+            else:
+                diagnosis = Diagnoser().diagnose(profile, labels)
+                print()
+                print(format_diagnosis(diagnosis))
+                top = diagnosis.top(1)[0]
+                print(f"\nsuggested remedy for {top.name!r}: {suggest_remedy(top)}")
+
+    if args.telemetry:
+        meta = collect_metadata(
+            "diagnose" if want_diagnosis else "detect",
+            args.seed,
+            machine.topology,
+            faults=profiler_cfg.faults,
+            benchmark=spec.name,
+            input=inp,
+            config=cfg.name,
+        )
+        results = {
+            "channel_verdicts": _verdicts_payload(verdicts),
+            "case_verdict": verdict.value,
+            "degradation": _degradation_payload(profile.dropped),
+            "diagnosis": _diagnosis_payload(diagnosis) if diagnosis else None,
+        }
+        export_artifact(args.telemetry, tel, meta, results)
+        print(f"telemetry artifact written to {args.telemetry}", file=sys.stderr)
     return 0 if verdict is Mode.GOOD else 2
+
+
+def cmd_report(args) -> int:
+    print(render_dashboard(load_artifact(args.artifact)))
+    return 0
 
 
 def cmd_list(_args) -> int:
@@ -174,6 +308,7 @@ def cmd_list(_args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_logging(args)
     try:
         if args.command == "train":
             return cmd_train(args)
@@ -181,6 +316,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_detect(args, want_diagnosis=False)
         if args.command == "diagnose":
             return cmd_detect(args, want_diagnosis=True)
+        if args.command == "report":
+            return cmd_report(args)
         if args.command == "list":
             return cmd_list(args)
     except ReproError as exc:

@@ -16,6 +16,7 @@ A thin pipeline around the CART tree:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,7 +25,10 @@ from repro.core.dtree import DecisionTreeClassifier
 from repro.core.features import FeatureVector
 from repro.core.profiler import ProfileResult
 from repro.errors import ModelError
+from repro.telemetry import MARGIN_BUCKETS, get_telemetry
 from repro.types import Channel, Mode
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "MIN_CHANNEL_SUPPORT",
@@ -199,8 +203,14 @@ class DrBwClassifier:
         """
         if features.names != self.feature_names:
             raise ModelError("feature vector does not match the trained feature set")
+        tel = get_telemetry()
         n_remote = int(features["num_remote_dram_samples"])
         if n_remote < min_support:
+            logger.debug(
+                "insufficient data: %d remote samples (< %d floor)",
+                n_remote, min_support,
+            )
+            tel.metrics.counter("classifier.verdict.insufficient-data").inc()
             return ChannelVerdict(
                 mode=Mode.GOOD,
                 confidence=0.0,
@@ -214,6 +224,11 @@ class DrBwClassifier:
         p_pred = float(probs[list(self.tree.classes_).index(label.value)])
         margin = max(0.0, 2.0 * p_pred - 1.0)
         support = min(1.0, n_remote / float(2 * max(min_support, 1)))
+        if tel.enabled:
+            tel.metrics.counter(f"classifier.verdict.{label.value}").inc()
+            tel.metrics.histogram("classifier.leaf_margin", MARGIN_BUCKETS).observe(
+                margin
+            )
         return ChannelVerdict(
             mode=label,
             confidence=margin * support,
@@ -241,10 +256,13 @@ class DrBwClassifier:
         self, profile: ProfileResult, min_support: int = MIN_CHANNEL_SUPPORT
     ) -> dict[Channel, ChannelVerdict]:
         """Per-channel verdicts with confidence for one profiled run."""
-        return {
-            ch: self.classify_channel_detailed(fv, min_support)
-            for ch, fv in profile.features_per_channel().items()
-        }
+        with get_telemetry().span("classifier.classify") as sp:
+            verdicts = {
+                ch: self.classify_channel_detailed(fv, min_support)
+                for ch, fv in profile.features_per_channel().items()
+            }
+            sp.set(n_channels=len(verdicts))
+            return verdicts
 
     # -- introspection ------------------------------------------------------------
 

@@ -20,6 +20,7 @@ The CF values over all (pseudo-)objects sum to 1.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,9 +28,12 @@ import numpy as np
 from repro.core.features import SampleSet
 from repro.core.profiler import ProfileResult
 from repro.errors import ModelError
+from repro.telemetry import get_telemetry
 from repro.types import Channel, MemLevel, Mode
 
 __all__ = ["UNATTRIBUTED", "ObjectContribution", "DiagnosisReport", "Diagnoser"]
+
+logger = logging.getLogger(__name__)
 
 #: Pseudo-object id for samples outside any tracked heap allocation.
 UNATTRIBUTED = -1
@@ -139,6 +143,37 @@ class Diagnoser:
         contended = sorted(ch for ch, m in channel_labels.items() if m is Mode.RMC)
         if not contended:
             raise ModelError("no contended channels; nothing to diagnose")
+        with get_telemetry().span(
+            "diagnoser.diagnose", n_contended=len(contended)
+        ) as sp:
+            report = self._diagnose_inner(
+                profile, contended, skip_unattributed=skip_unattributed
+            )
+            sp.set(
+                n_objects=len(report.contributions),
+                coverage=round(report.attribution_coverage, 4),
+            )
+            logger.info(
+                "diagnosed %d object(s) over %d channel(s), %.1f%% attributed",
+                len(report.contributions), len(contended),
+                report.attribution_coverage * 100.0,
+            )
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.metrics.gauge("diagnoser.attribution_coverage").set(
+                    report.attribution_coverage
+                )
+                tel.metrics.counter("diagnoser.ranked_objects").inc(
+                    len(report.contributions)
+                )
+            return report
+
+    def _diagnose_inner(
+        self,
+        profile: ProfileResult,
+        contended: list[Channel],
+        skip_unattributed: bool,
+    ) -> DiagnosisReport:
         cf = self.cf_cross_channels(profile.sample_set, contended)
         counts_mask = np.zeros(len(profile.sample_set), dtype=bool)
         for ch in contended:

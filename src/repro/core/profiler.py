@@ -28,6 +28,7 @@ injection itself lives in :mod:`repro.faults`; set
 from __future__ import annotations
 
 import dataclasses
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,9 +37,12 @@ from repro.core.features import FeatureVector, SampleSet, extract_channel_featur
 from repro.numasim.machine import Machine
 from repro.pmu.sample import MemorySample, RawSampleBatch
 from repro.pmu.sampler import AddressSampler, SamplerConfig
+from repro.telemetry import capture_run_timelines, get_telemetry
 from repro.types import Channel, MemLevel
 from repro.workloads.base import CompiledWorkload, Workload
 from repro.workloads.runner import WorkloadRun, run_workload
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "ProfilerConfig",
@@ -160,10 +164,12 @@ class ProfileResult:
 
     def features_per_channel(self) -> dict[Channel, FeatureVector]:
         """Table I features for every channel with remote-DRAM samples."""
-        return {
-            ch: extract_channel_features(self.sample_set, ch)
-            for ch in self.channels_with_remote_samples()
-        }
+        channels = self.channels_with_remote_samples()
+        with get_telemetry().span("features.extract", n_channels=len(channels)):
+            return {
+                ch: extract_channel_features(self.sample_set, ch)
+                for ch in channels
+            }
 
 
 class DrBwProfiler:
@@ -181,29 +187,43 @@ class DrBwProfiler:
         seed: int | None = None,
     ) -> ProfileResult:
         """Execute ``workload`` with sampling on; return attributed samples."""
-        run = run_workload(
-            workload,
-            self.machine,
+        tel = get_telemetry()
+        with tel.span(
+            "profiler.profile",
+            workload=workload.name,
             n_threads=n_threads,
             n_nodes=n_nodes,
-            extra_stall_cycles_per_access=self.config.stall_per_access,
-        )
-        sampler_cfg = self.config.sampler
-        if seed is not None:
-            sampler_cfg = dataclasses.replace(sampler_cfg, seed=seed)
+        ) as sp:
+            run = run_workload(
+                workload,
+                self.machine,
+                n_threads=n_threads,
+                n_nodes=n_nodes,
+                extra_stall_cycles_per_access=self.config.stall_per_access,
+            )
+            sampler_cfg = self.config.sampler
+            if seed is not None:
+                sampler_cfg = dataclasses.replace(sampler_cfg, seed=seed)
 
-        report = DroppedSampleReport()
-        batch, lookup_failed = self._collect(run, sampler_cfg, report, attempt=0)
-        fields = self._attribute(batch, run.compiled, lookup_failed, report)
-        fields = self._resample_thin_channels(run, sampler_cfg, fields, report)
-        report.kept = int(fields["address"].shape[0])
-        return ProfileResult(
-            workload=workload,
-            run=run,
-            sample_set=SampleSet.from_arrays(**fields),
-            config=self.config,
-            dropped=report,
-        )
+            report = DroppedSampleReport()
+            batch, lookup_failed = self._collect(run, sampler_cfg, report, attempt=0)
+            fields = self._attribute(batch, run.compiled, lookup_failed, report)
+            fields = self._resample_thin_channels(run, sampler_cfg, fields, report)
+            report.kept = int(fields["address"].shape[0])
+            sp.set(observed=report.observed, kept=report.kept)
+            if tel.enabled:
+                self._record_metrics(tel, fields, report)
+                # Snapshot, don't accumulate: a session may profile many
+                # runs (training collects 192), and the artifact's timeline
+                # view is of the *measured* run — always the last one.
+                tel.timelines[:] = capture_run_timelines(run.result)
+            return ProfileResult(
+                workload=workload,
+                run=run,
+                sample_set=SampleSet.from_arrays(**fields),
+                config=self.config,
+                dropped=report,
+            )
 
     def measure_overhead(
         self, workload: Workload, n_threads: int, n_nodes: int
@@ -225,6 +245,45 @@ class DrBwProfiler:
 
     # -- internals ----------------------------------------------------------------
 
+    def _record_metrics(
+        self, tel, fields: dict[str, np.ndarray], report: DroppedSampleReport
+    ) -> None:
+        """Push the profile's sample statistics into the metrics registry.
+
+        Everything here is vectorized over the final attributed batch;
+        the per-channel loop runs once per observed remote channel (a
+        dozen entries on the 4-socket default machine).
+        """
+        m = tel.metrics
+        m.counter("profiler.samples.observed").inc(report.observed)
+        m.counter("profiler.samples.kept").inc(report.kept)
+        for reason, n in report.quarantined.items():
+            m.counter(f"profiler.quarantined.{reason}").inc(n)
+        for reason, n in report.injected.items():
+            if n:
+                m.counter(f"profiler.injected.{reason}").inc(n)
+        m.counter("profiler.resample.attempts").inc(report.resample_attempts)
+        m.counter("profiler.resample.channels").inc(len(report.resampled_channels))
+
+        levels, counts = np.unique(fields["level"], return_counts=True)
+        for lvl, n in zip(levels, counts):
+            name = MemLevel(int(lvl)).name.lower()
+            m.counter(f"profiler.samples.level.{name}").inc(int(n))
+
+        remote = (fields["src_node"] != fields["dst_node"]) & (
+            fields["level"] == int(MemLevel.REMOTE_DRAM)
+        )
+        if np.any(remote):
+            src = fields["src_node"][remote]
+            dst = fields["dst_node"][remote]
+            lat = fields["latency"][remote]
+            pairs = np.unique(np.stack([src, dst], axis=1), axis=0)
+            for s, d in pairs:
+                on_channel = (src == s) & (dst == d)
+                m.histogram(f"profiler.remote_latency.{s}->{d}").observe_many(
+                    lat[on_channel]
+                )
+
     def _collect(
         self,
         run: WorkloadRun,
@@ -234,6 +293,20 @@ class DrBwProfiler:
     ) -> tuple[RawSampleBatch, np.ndarray]:
         """One sampling pass: the (possibly faulted) batch plus the mask of
         samples whose node lookup failed."""
+        with get_telemetry().span("profiler.collect", attempt=attempt) as sp:
+            batch, lookup_failed = self._collect_inner(
+                run, sampler_cfg, report, attempt
+            )
+            sp.set(observed=len(batch), lookup_failed=int(lookup_failed.sum()))
+            return batch, lookup_failed
+
+    def _collect_inner(
+        self,
+        run: WorkloadRun,
+        sampler_cfg: SamplerConfig,
+        report: DroppedSampleReport,
+        attempt: int,
+    ) -> tuple[RawSampleBatch, np.ndarray]:
         sampler: AddressSampler | object = AddressSampler(
             sampler_cfg,
             page_table=run.compiled.page_table,
@@ -295,6 +368,16 @@ class DrBwProfiler:
         whose lookup failed are quarantined (already counted by
         :meth:`_collect`) rather than crashing the columnar SampleSet.
         """
+        with get_telemetry().span("profiler.attribute", n_samples=len(batch)):
+            return self._attribute_inner(batch, compiled, lookup_failed, report)
+
+    def _attribute_inner(
+        self,
+        batch: RawSampleBatch,
+        compiled: CompiledWorkload,
+        lookup_failed: np.ndarray,
+        report: DroppedSampleReport,
+    ) -> dict[str, np.ndarray]:
         topo = self.machine.topology
         if np.any(lookup_failed):
             batch = batch.select(~lookup_failed)
@@ -349,6 +432,29 @@ class DrBwProfiler:
             }
 
         deficient = thin_channels(fields)
+        resample_span = get_telemetry().span(
+            "profiler.resample", floor=cfg.resample_floor
+        )
+        with resample_span as sp:
+            fields, attempt, retried = self._resample_loop(
+                run, sampler_cfg, fields, report, deficient, thin_channels
+            )
+            sp.set(attempts=attempt, channels=len(retried))
+
+        report.resample_attempts = attempt
+        report.resampled_channels = tuple(Channel(s, d) for s, d in sorted(retried))
+        return fields
+
+    def _resample_loop(
+        self,
+        run: WorkloadRun,
+        sampler_cfg: SamplerConfig,
+        fields: dict[str, np.ndarray],
+        report: DroppedSampleReport,
+        deficient: set[tuple[int, int]],
+        thin_channels,
+    ) -> tuple[dict[str, np.ndarray], int, set[tuple[int, int]]]:
+        cfg = self.config
         attempt = 0
         retried: set[tuple[int, int]] = set()
         while deficient and attempt < cfg.resample_attempts:
@@ -357,6 +463,10 @@ class DrBwProfiler:
                 sampler_cfg,
                 seed=sampler_cfg.seed + 7919 * attempt,
                 period=max(1, int(sampler_cfg.period / cfg.resample_backoff**attempt)),
+            )
+            logger.info(
+                "resampling %d thin channel(s) (attempt %d, period %d)",
+                len(deficient), attempt, retry_cfg.period,
             )
             extra_report = DroppedSampleReport()
             batch, lookup_failed = self._collect(run, retry_cfg, extra_report, attempt)
@@ -377,7 +487,4 @@ class DrBwProfiler:
                 }
             retried |= deficient
             deficient = {ch for ch in thin_channels(fields) if ch in deficient}
-
-        report.resample_attempts = attempt
-        report.resampled_channels = tuple(Channel(s, d) for s, d in sorted(retried))
-        return fields
+        return fields, attempt, retried

@@ -28,6 +28,7 @@ the run never leaves its socket.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,7 +37,10 @@ from repro.core.classifier import DrBwClassifier
 from repro.core.features import TABLE1_FEATURE_NAMES, FeatureVector
 from repro.core.profiler import DrBwProfiler, ProfileResult
 from repro.numasim.machine import Machine
+from repro.telemetry import get_telemetry
 from repro.types import Channel, Mode
+
+logger = logging.getLogger(__name__)
 from repro.workloads.bandit import make_bandit
 from repro.workloads.micro import make_countv, make_dotv, make_sumv
 
@@ -229,15 +233,17 @@ def collect_training_set(
     profiler = profiler or DrBwProfiler(machine)
     configs = configs if configs is not None else all_training_configs()
     instances: list[TrainingInstance] = []
-    for i, cfg in enumerate(configs):
-        workload = _build_workload(cfg)
-        profile = profiler.profile(
-            workload, n_threads=cfg.n_threads, n_nodes=cfg.n_nodes, seed=seed + i
-        )
-        features, channel = hottest_channel_features(profile)
-        instances.append(
-            TrainingInstance(config=cfg, features=features, label=cfg.label, channel=channel)
-        )
+    with get_telemetry().span("training.collect", n_configs=len(configs)):
+        for i, cfg in enumerate(configs):
+            workload = _build_workload(cfg)
+            profile = profiler.profile(
+                workload, n_threads=cfg.n_threads, n_nodes=cfg.n_nodes, seed=seed + i
+            )
+            features, channel = hottest_channel_features(profile)
+            instances.append(
+                TrainingInstance(config=cfg, features=features, label=cfg.label, channel=channel)
+            )
+    logger.info("collected %d training instances", len(instances))
     return instances
 
 
@@ -258,5 +264,6 @@ def train_default_classifier(
     instances = collect_training_set(machine, profiler, configs, seed=seed)
     X, y = training_matrix(instances)
     clf = DrBwClassifier(feature_names=TABLE1_FEATURE_NAMES)
-    clf.fit(X, y)
+    with get_telemetry().span("training.fit", n_instances=len(instances)):
+        clf.fit(X, y)
     return clf, instances

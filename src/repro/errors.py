@@ -49,3 +49,7 @@ class FaultError(ConfigError):
 
 class InsufficientSamplesError(ModelError):
     """A channel's sample batch fell below the minimum-sample floor."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry artifact is missing, malformed, or unreadable."""

@@ -25,6 +25,7 @@ the threads crossing it, which is precisely what DR-BW's features observe.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 
@@ -42,7 +43,10 @@ from repro.numasim.interconnect import InterconnectFabric
 from repro.numasim.latency import LatencyModel
 from repro.numasim.memctrl import MemoryControllerSet
 from repro.numasim.topology import NumaTopology
+from repro.telemetry import get_telemetry
 from repro.types import Channel, MemLevel
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "EngineStream",
@@ -244,6 +248,28 @@ class ExecutionEngine:
         used by the profiling-overhead model (Table VII): sampling interrupts
         and allocation interception steal cycles from every thread.
         """
+        tel = get_telemetry()
+        with tel.span("engine.run", n_threads=len(programs)) as sp:
+            result = self._run(programs, extra_stall_cycles_per_access)
+            if tel.enabled:
+                n_intervals = len(result.memctrl.history(0))
+                sp.set(
+                    intervals=n_intervals,
+                    total_cycles=round(result.total_cycles, 1),
+                )
+                tel.metrics.counter("engine.runs").inc()
+                tel.metrics.counter("engine.intervals").inc(n_intervals)
+                logger.debug(
+                    "engine run: %d threads, %d intervals, %.0f cycles",
+                    len(programs), n_intervals, result.total_cycles,
+                )
+            return result
+
+    def _run(
+        self,
+        programs: list[ThreadProgram],
+        extra_stall_cycles_per_access: float,
+    ) -> RunResult:
         if not programs:
             raise SimulationError("no thread programs to run")
         seen = set()

@@ -1,0 +1,109 @@
+"""Zero-dependency observability for the DR-BW pipeline.
+
+Three instruments, one session object:
+
+* :class:`~repro.telemetry.spans.Tracer` — nested span tracing with
+  wall/CPU time per pipeline stage (engine run, sample collection,
+  attribution, resampling, feature extraction, classification,
+  diagnosis);
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — counters, gauges,
+  and fixed-bucket histograms (samples per memory level, per-channel
+  remote latency, drop reasons, classifier leaf margins);
+* :mod:`~repro.telemetry.timeline` — NUMAscope-style per-channel
+  bandwidth/utilization timelines captured from the engine's interval
+  solver.
+
+Library code is instrumented *unconditionally* against the module-level
+active session (:func:`get_telemetry`), which defaults to a disabled
+singleton whose every operation is a no-op.  Enabling telemetry is the
+caller's move::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        profile = profiler.profile(workload, 32, 4)
+    tel.tracer.records        # stage spans
+    tel.metrics.to_dict()     # pipeline metrics
+    tel.timelines             # per-channel utilization series
+
+Artifact export/load lives in :mod:`repro.telemetry.artifact`; the text
+dashboard over an exported artifact in
+:mod:`repro.telemetry.dashboard`.  The whole subsystem is stdlib + numpy
+only, and its self-overhead is asserted (<3% on the Table VII benchmark)
+by ``benchmarks/bench_table7_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS,
+    MARGIN_BUCKETS,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.telemetry.spans import NULL_SPAN, SpanRecord, Tracer
+from repro.telemetry.timeline import (
+    ResourceTimeline,
+    capture_run_timelines,
+    dump_timelines,
+    load_timelines,
+)
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "session",
+    "Tracer",
+    "SpanRecord",
+    "MetricsRegistry",
+    "ResourceTimeline",
+    "capture_run_timelines",
+    "dump_timelines",
+    "load_timelines",
+    "LATENCY_BUCKETS",
+    "MARGIN_BUCKETS",
+]
+
+
+class Telemetry:
+    """One observability session: tracer + metrics + captured timelines."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer(enabled=enabled)
+        self.metrics = MetricsRegistry() if enabled else NULL_METRICS
+        self.timelines: list[ResourceTimeline] = []
+
+    def span(self, name: str, **attrs: object):
+        """Shorthand for ``self.tracer.span(...)``."""
+        return self.tracer.span(name, **attrs)
+
+
+#: Disabled singleton the instrumentation sees when no session is active.
+_DISABLED = Telemetry(enabled=False)
+_active: Telemetry = _DISABLED
+
+
+def get_telemetry() -> Telemetry:
+    """The active session, or the shared disabled one."""
+    return _active
+
+
+@contextlib.contextmanager
+def session(tel: Telemetry | None = None):
+    """Activate a telemetry session for the duration of the block.
+
+    Sessions do not nest: entering a new session while one is active
+    simply shadows it for the block (the pipeline is single-threaded, so
+    the last activation wins is the only sane rule).
+    """
+    global _active
+    tel = tel if tel is not None else Telemetry(enabled=True)
+    prev = _active
+    _active = tel
+    try:
+        yield tel
+    finally:
+        _active = prev

@@ -1,0 +1,209 @@
+"""Text dashboard over an exported telemetry artifact.
+
+``repro report <dir>`` renders the artifact the way NUMAscope's TUI
+renders live counters: stage timings as an indented span tree,
+per-channel utilization timelines as unicode strips, then the pipeline's
+own health — metrics, channel verdicts with confidence, degradation
+counters, and the top contended objects.  The rendering is a pure
+function of the loaded artifact, so export → load → render is a
+round-trip invariant the tests pin down.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.artifact import RunArtifact
+from repro.telemetry.timeline import ResourceTimeline, sparkline
+
+__all__ = ["render_dashboard"]
+
+_RULE = "─" * 72
+
+#: Span-tree children shown per parent before folding the rest into one
+#: summary row (training.collect has ~960 descendants; show the shape,
+#: not the haystack).
+MAX_CHILDREN_SHOWN = 12
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:8.3f}s "
+    return f"{s * 1e3:8.2f}ms"
+
+
+def _render_header(meta: dict) -> list[str]:
+    lines = ["DR-BW run report", _RULE]
+    fault = meta.get("fault_plan")
+    rows = [
+        ("command", meta.get("command", "?")),
+        ("benchmark", meta.get("benchmark")),
+        ("input", meta.get("input")),
+        ("config", meta.get("config")),
+        ("seed", meta.get("seed")),
+        ("fault plan", fault["describe"] if fault else "none"),
+        ("topology", meta.get("topology_hash", "?")),
+        ("package", meta.get("package_version", "?")),
+    ]
+    for key, value in rows:
+        if value is not None:
+            lines.append(f"  {key:<12} {value}")
+    return lines
+
+
+def _render_spans(spans: list[dict]) -> list[str]:
+    lines = ["", "stage timings", _RULE]
+    if not spans:
+        lines.append("  (no spans recorded)")
+        return lines
+    by_parent: dict[int, list[dict]] = {}
+    for s in spans:
+        by_parent.setdefault(s.get("parent_id", -1), []).append(s)
+    for children in by_parent.values():
+        children.sort(key=lambda s: s.get("start_s", 0.0))
+    total_wall = sum(s["wall_s"] for s in by_parent.get(-1, [])) or 1.0
+
+    def walk(parent: int, depth: int) -> None:
+        children = by_parent.get(parent, [])
+        for s in children[:MAX_CHILDREN_SHOWN]:
+            pct = s["wall_s"] / total_wall * 100.0
+            attrs = s.get("attrs", {})
+            attr_txt = (
+                "  " + " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+                if attrs
+                else ""
+            )
+            name = "  " * depth + s["name"]
+            lines.append(
+                f"  {name:<38}{_fmt_seconds(s['wall_s'])}"
+                f"  cpu {_fmt_seconds(s['cpu_s'])}  {pct:5.1f}%{attr_txt}"
+            )
+            walk(s["span_id"], depth + 1)
+        hidden = children[MAX_CHILDREN_SHOWN:]
+        if hidden:
+            wall = sum(s["wall_s"] for s in hidden)
+            pct = wall / total_wall * 100.0
+            name = "  " * depth + f"... +{len(hidden)} more"
+            lines.append(
+                f"  {name:<38}{_fmt_seconds(wall)}"
+                f"  {'':<14}  {pct:5.1f}%"
+            )
+
+    walk(-1, 0)
+    return lines
+
+
+def _render_timelines(timelines: list[ResourceTimeline]) -> list[str]:
+    lines = ["", "channel timelines (utilization over run)", _RULE]
+    if not timelines:
+        lines.append("  (no timelines captured)")
+        return lines
+    links = [t for t in timelines if t.kind == "link"]
+    ctrls = [t for t in timelines if t.kind == "memctrl"]
+    for group, title in ((links, "interconnect links"), (ctrls, "memory controllers")):
+        if not group:
+            continue
+        lines.append(f"  {title}:")
+        for tl in group:
+            lines.append(
+                f"    {tl.name:>7} |{sparkline(tl)}| "
+                f"mean {tl.mean_utilization:5.1%}  peak {tl.peak_utilization:5.1%}"
+                f"  {tl.total_bytes / 1e6:10.1f} MB"
+            )
+    return lines
+
+
+def _render_metrics(metrics: dict) -> list[str]:
+    lines = ["", "pipeline metrics", _RULE]
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    if not (counters or gauges or histograms):
+        lines.append("  (no metrics recorded)")
+        return lines
+    for name in sorted(counters):
+        lines.append(f"  {name:<44}{counters[name]:>14,.0f}")
+    for name in sorted(gauges):
+        lines.append(f"  {name:<44}{gauges[name]:>14.4g}")
+    for name in sorted(histograms):
+        h = histograms[name]
+        count = h.get("count", 0)
+        mean = h["sum"] / count if count else 0.0
+        hmax = f"{h['max']:,.1f}" if h["max"] is not None else "-"
+        lines.append(
+            f"  {name:<44}{count:>10,} obs  mean {mean:,.1f}  max {hmax}"
+        )
+        edges = ["<=" + f"{b:g}" for b in h["boundaries"]] + ["+inf"]
+        peak = max(h["counts"]) or 1
+        bars = "".join(
+            " ▁▂▃▄▅▆▇█"[min(8, int(c / peak * 8 + 0.5))] for c in h["counts"]
+        )
+        lines.append(f"    [{bars}]  buckets: {', '.join(edges)}")
+    return lines
+
+
+def _render_results(results: dict) -> list[str]:
+    lines: list[str] = []
+    verdicts = results.get("channel_verdicts")
+    if verdicts is not None:
+        lines += ["", "channel verdicts", _RULE]
+        if not verdicts:
+            lines.append("  (no remote traffic observed)")
+        for v in verdicts:
+            conf = (
+                "insufficient data"
+                if v.get("insufficient_data")
+                else f"conf {v['confidence']:.2f}"
+            )
+            lines.append(
+                f"  {v['channel']:>7}  {v['label']:<18} {conf}"
+                f"  ({v['n_remote_samples']} remote samples)"
+            )
+        if "case_verdict" in results:
+            lines.append(f"  case verdict: {results['case_verdict']}")
+    degradation = results.get("degradation")
+    if degradation is not None:
+        lines += ["", "degradation counters", _RULE]
+        lines.append(
+            f"  observed {degradation['observed']:,}   kept {degradation['kept']:,}"
+            f"   quarantined {sum(degradation['quarantined'].values()):,}"
+            f" ({degradation['drop_fraction']:.1%})"
+        )
+        for reason in sorted(degradation["quarantined"]):
+            lines.append(f"    - {reason:<20} {degradation['quarantined'][reason]:,}")
+        injected = {k: v for k, v in degradation.get("injected", {}).items() if v}
+        if injected:
+            lines.append(
+                "  injected: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(injected.items()))
+            )
+        if degradation.get("resample_attempts"):
+            chans = ", ".join(degradation.get("resampled_channels", [])) or "-"
+            lines.append(
+                f"  resample attempts: {degradation['resample_attempts']}"
+                f" (channels: {chans})"
+            )
+    diagnosis = results.get("diagnosis")
+    if diagnosis:
+        lines += ["", "top contended objects (contribution fraction)", _RULE]
+        lines.append(
+            "  contended channels: "
+            + ", ".join(diagnosis.get("contended_channels", []))
+        )
+        for rank, c in enumerate(diagnosis.get("top", []), start=1):
+            lines.append(
+                f"  {rank:>3}. {c['cf']:>6.1%}  {c['n_samples']:>8,}  "
+                f"{c['name']} ({c['site']})"
+            )
+        cov = diagnosis.get("attribution_coverage")
+        if cov is not None:
+            lines.append(f"  attribution coverage: {cov:.1%}")
+    return lines
+
+
+def render_dashboard(artifact: RunArtifact) -> str:
+    """The full text dashboard for one exported run."""
+    lines = _render_header(artifact.meta)
+    lines += _render_spans(artifact.spans)
+    lines += _render_timelines(artifact.timelines)
+    lines += _render_metrics(artifact.metrics)
+    lines += _render_results(artifact.results)
+    return "\n".join(lines)

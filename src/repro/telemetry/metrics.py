@@ -1,0 +1,210 @@
+"""Pipeline metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Names are dotted paths with the variable part last
+(``profiler.quarantined.unmapped_address``, ``timeline.link.0->1``) so
+the dashboard can group them by prefix.  Histograms use *fixed* bucket
+boundaries declared at creation: recording is a ``searchsorted`` (scalar
+or vectorized), never an allocation, and two runs with the same
+boundaries are directly comparable bucket-by-bucket.
+
+A :class:`NullMetrics` stands in when telemetry is disabled — every
+lookup returns a shared no-op instrument, so instrumented code never
+branches on enablement for one-line counter bumps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MARGIN_BUCKETS",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+#: Default buckets (cycles) for access-latency histograms — the Table I
+#: thresholds plus headroom for queueing-inflated tails.
+LATENCY_BUCKETS: tuple[float, ...] = (50, 100, 200, 500, 1000, 2000, 5000)
+
+#: Buckets for distributions over [0, 1] (leaf margins, confidences).
+MARGIN_BUCKETS: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up, got {n}")
+        self.value += n
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max summary stats.
+
+    ``boundaries`` are upper bucket edges; an implicit +inf bucket catches
+    the overflow, so ``counts`` has ``len(boundaries) + 1`` entries.
+    """
+
+    __slots__ = ("boundaries", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, boundaries: tuple[float, ...]) -> None:
+        if not boundaries or any(
+            b >= c for b, c in zip(boundaries, boundaries[1:])
+        ):
+            raise ValueError(f"boundaries must be strictly increasing: {boundaries}")
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self.counts = [0] * (len(boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        i = int(np.searchsorted(self.boundaries, v, side="left"))
+        self.counts[i] += 1
+        self.count += 1
+        self.sum += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Vectorized recording of a whole sample batch."""
+        v = np.asarray(values, dtype=np.float64)
+        if v.size == 0:
+            return
+        idx = np.searchsorted(self.boundaries, v, side="left")
+        binned = np.bincount(idx, minlength=len(self.counts))
+        for i, c in enumerate(binned):
+            self.counts[i] += int(c)
+        self.count += int(v.size)
+        self.sum += float(v.sum())
+        self.min = min(self.min, float(v.min()))
+        self.max = max(self.max, float(v.max()))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(
+        self, name: str, boundaries: tuple[float, ...] = LATENCY_BUCKETS
+    ) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(boundaries)
+        return h
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot, sorted for deterministic export."""
+        return {
+            "counters": {k: self.counters[k].to_dict() for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k].to_dict() for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_dict() for k in sorted(self.histograms)
+            },
+        }
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def observe_many(self, values: object) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry stand-in for disabled telemetry: all lookups no-op."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, boundaries: tuple[float, ...] = LATENCY_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def to_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

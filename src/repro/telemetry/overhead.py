@@ -1,0 +1,69 @@
+"""Self-measurement: what does telemetry itself cost?
+
+Examem's discipline: an observability layer must measure *its own*
+overhead with the same rigor it measures the system, or its numbers
+can't be trusted.  :func:`measure_self_overhead` times an arbitrary
+workload function with telemetry inactive and active, interleaved and
+min-of-N so OS noise doesn't masquerade as instrumentation cost, and
+returns the added wall-time fraction.  The Table VII benchmark harness
+asserts the result stays under :data:`OVERHEAD_BUDGET`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.telemetry import Telemetry, session
+
+__all__ = ["OVERHEAD_BUDGET", "SelfOverheadResult", "measure_self_overhead"]
+
+#: Maximum tolerated telemetry-on slowdown (fraction of wall time).
+OVERHEAD_BUDGET = 0.03
+
+
+@dataclass(frozen=True)
+class SelfOverheadResult:
+    """Min-of-N wall times with telemetry off and on."""
+
+    off_seconds: float
+    on_seconds: float
+    repetitions: int
+
+    @property
+    def added_fraction(self) -> float:
+        """Relative wall-time cost of enabling telemetry (can be < 0 in noise)."""
+        return self.on_seconds / self.off_seconds - 1.0
+
+    @property
+    def within_budget(self) -> bool:
+        return self.added_fraction < OVERHEAD_BUDGET
+
+
+def measure_self_overhead(
+    workload: Callable[[], object], repetitions: int = 3
+) -> SelfOverheadResult:
+    """Time ``workload()`` with telemetry off and on, interleaved.
+
+    Each repetition runs one off-pass then one on-pass (fresh
+    :class:`Telemetry` session, discarded afterwards); the reported times
+    are the minima, the standard defense against one-sided scheduler
+    noise in A/B timing.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    best_off = float("inf")
+    best_on = float("inf")
+    for _ in range(repetitions):
+        t0 = time.perf_counter()
+        workload()
+        best_off = min(best_off, time.perf_counter() - t0)
+
+        with session(Telemetry(enabled=True)):
+            t0 = time.perf_counter()
+            workload()
+            best_on = min(best_on, time.perf_counter() - t0)
+    return SelfOverheadResult(
+        off_seconds=best_off, on_seconds=best_on, repetitions=repetitions
+    )

@@ -1,0 +1,189 @@
+"""Span-based tracing for the sampling → diagnosis pipeline.
+
+A :class:`Tracer` records nested, named spans — one per pipeline stage —
+with wall-clock and CPU time plus arbitrary key/value attributes.  The
+design goals, in order:
+
+* **Near-zero cost when off.**  A disabled tracer's :meth:`Tracer.span`
+  returns a shared no-op context manager and allocates nothing, so
+  instrumentation can stay permanently in library code (the Examem
+  requirement: instrumentation you cannot afford to leave on is
+  instrumentation nobody trusts).
+* **Nesting without plumbing.**  The tracer keeps an explicit stack of
+  open spans; ``with tracer.span("profiler.profile"): ...`` inside an
+  enclosing span records the parent id automatically.  The pipeline is
+  single-threaded, so no thread-local machinery is needed (and none is
+  provided — see ``docs/observability.md``).
+* **Loss-free export.**  Finished spans serialize to plain dicts whose
+  floats survive JSON round-trips exactly (Python's ``json`` emits
+  shortest-round-trip reprs), and to Chrome-trace JSON loadable in
+  ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "Tracer", "NULL_SPAN"]
+
+
+class _NullSpan:
+    """Shared do-nothing span for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Times are relative to the tracer's epoch (its construction instant):
+    ``start_s``/``wall_s`` from ``time.perf_counter``, ``cpu_s`` from
+    ``time.process_time``.  ``parent_id`` is -1 for root spans.
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    start_s: float
+    wall_s: float
+    cpu_s: float
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.wall_s
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanRecord":
+        return cls(
+            span_id=int(d["span_id"]),
+            parent_id=int(d["parent_id"]),
+            name=str(d["name"]),
+            start_s=float(d["start_s"]),
+            wall_s=float(d["wall_s"]),
+            cpu_s=float(d["cpu_s"]),
+            attrs=dict(d.get("attrs", {})),
+        )
+
+
+class _OpenSpan:
+    """Context manager for one live span; appends a record on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_parent_id",
+                 "_t0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def set(self, **attrs: object) -> "_OpenSpan":
+        """Attach attributes discovered mid-span (e.g. result sizes)."""
+        self._attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_OpenSpan":
+        tr = self._tracer
+        self._span_id = tr._next_id
+        tr._next_id += 1
+        self._parent_id = tr._stack[-1] if tr._stack else -1
+        tr._stack.append(self._span_id)
+        self._t0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._cpu0
+        tr = self._tracer
+        tr._stack.pop()
+        if exc_type is not None:
+            self._attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+        tr.records.append(
+            SpanRecord(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self._name,
+                start_s=self._t0 - tr._epoch,
+                wall_s=wall,
+                cpu_s=cpu,
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects nested :class:`SpanRecord` objects for one pipeline run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs: object):
+        """Open a span; use as ``with tracer.span("stage", key=val):``."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _OpenSpan(self, name, attrs)
+
+    def to_dicts(self) -> list[dict]:
+        """Finished spans as JSON-ready dicts, in completion order."""
+        return [r.to_dict() for r in self.records]
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome-trace/Perfetto "complete" (``ph: "X"``) events.
+
+        Timestamps and durations are microseconds since the tracer epoch;
+        the whole pipeline runs in one process on one logical thread, so
+        ``pid``/``tid`` are constant.
+        """
+        return chrome_trace_events(self.to_dicts())
+
+
+def chrome_trace_events(spans: list[dict]) -> list[dict]:
+    """Convert exported span dicts to Chrome-trace JSON events."""
+    events = []
+    for s in spans:
+        args = {k: v for k, v in s.get("attrs", {}).items()}
+        args["cpu_ms"] = s["cpu_s"] * 1e3
+        events.append(
+            {
+                "name": s["name"],
+                "ph": "X",
+                "ts": s["start_s"] * 1e6,
+                "dur": s["wall_s"] * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return events

@@ -108,3 +108,58 @@ class TestOverheadModel:
         assert profile.run.result.extra_stall_cycles == pytest.approx(
             profiler.config.stall_per_access
         )
+
+
+class TestDroppedSampleReport:
+    """Degradation-ledger edge cases (see also tests/test_faults.py)."""
+
+    def test_zero_observed_drop_fraction_is_zero(self):
+        from repro.core.profiler import DroppedSampleReport
+
+        report = DroppedSampleReport()
+        assert report.observed == 0
+        assert report.drop_fraction == 0.0
+        assert report.is_clean
+
+    def test_quarantine_without_observed_still_divides_safely(self):
+        from repro.core.profiler import DroppedSampleReport
+
+        report = DroppedSampleReport()
+        report.count("unmapped_address", 3)
+        assert report.drop_fraction == 0.0  # no observed denominator
+        assert not report.is_clean
+
+    def test_injected_only_faults_are_not_clean(self):
+        from repro.core.profiler import DroppedSampleReport
+
+        report = DroppedSampleReport(observed=100, kept=100)
+        report.injected["dropped"] = 5
+        assert report.total_quarantined == 0
+        assert report.drop_fraction == 0.0
+        # A corruption that still mapped somewhere quarantines nothing,
+        # but the run is not clean: the ledger must say so.
+        assert not report.is_clean
+
+    def test_zero_valued_injected_counters_stay_clean(self):
+        from repro.core.profiler import DroppedSampleReport
+
+        report = DroppedSampleReport(observed=10, kept=10)
+        report.injected["dropped"] = 0
+        assert report.is_clean
+
+    def test_resample_attempts_alone_break_cleanliness(self):
+        from repro.core.profiler import DroppedSampleReport
+
+        report = DroppedSampleReport(observed=10, kept=10, resample_attempts=2)
+        assert not report.is_clean
+
+    def test_count_ignores_zero_and_accumulates(self):
+        from repro.core.profiler import DroppedSampleReport
+
+        report = DroppedSampleReport()
+        report.count("lookup_failure", 0)
+        assert report.quarantined == {}
+        report.count("lookup_failure", 2)
+        report.count("lookup_failure", 3)
+        assert report.quarantined == {"lookup_failure": 5}
+        assert report.total_quarantined == 5

@@ -1,0 +1,110 @@
+"""Counters, gauges, fixed-bucket histograms, and the null registry."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_keeps_last_value(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper(self):
+        h = Histogram((10.0, 20.0))
+        for v in (5, 10, 15, 20, 25):
+            h.observe(v)
+        # <=10: {5, 10}; <=20: {15, 20}; +inf: {25}
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.sum == 75.0
+        assert (h.min, h.max) == (5.0, 25.0)
+
+    def test_observe_many_matches_scalar_observes(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0, 8000, size=500)
+        scalar = Histogram(LATENCY_BUCKETS)
+        vector = Histogram(LATENCY_BUCKETS)
+        for v in values:
+            scalar.observe(v)
+        vector.observe_many(values)
+        a, b = scalar.to_dict(), vector.to_dict()
+        # np.sum is pairwise, the scalar loop sequential: identical up to
+        # float association, exactly equal everywhere else.
+        assert a.pop("sum") == pytest.approx(b.pop("sum"))
+        assert a == b
+
+    def test_observe_many_empty_is_a_noop(self):
+        h = Histogram((1.0,))
+        h.observe_many(np.array([]))
+        assert h.count == 0
+        assert h.to_dict()["min"] is None
+        assert h.to_dict()["max"] is None
+
+    def test_mean(self):
+        h = Histogram((10.0,))
+        h.observe(4)
+        h.observe(8)
+        assert h.mean == 6.0
+        assert Histogram((10.0,)).mean == 0.0
+
+    def test_rejects_unsorted_or_empty_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((5.0, 5.0))
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+
+
+class TestRegistry:
+    def test_create_on_first_touch_then_reuse(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc()
+        assert reg.counters["a.b"].value == 2.0
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_to_dict_is_sorted_and_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("lat").observe(120)
+        d = reg.to_dict()
+        assert list(d["counters"]) == ["a", "z"]
+        assert d["gauges"]["g"] == 1.5
+        assert d["histograms"]["lat"]["count"] == 1
+
+    def test_null_registry_accepts_everything_and_exports_empty(self):
+        NULL_METRICS.counter("x").inc(5)
+        NULL_METRICS.gauge("y").set(1)
+        NULL_METRICS.histogram("z").observe(3)
+        NULL_METRICS.histogram("z").observe_many(np.arange(4))
+        assert NULL_METRICS.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,151 @@
+"""Span tracer: nesting, attributes, disabled path, Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Telemetry, get_telemetry, session
+from repro.telemetry.artifact import validate_chrome_trace
+from repro.telemetry.spans import NULL_SPAN, SpanRecord, Tracer
+
+
+class TestNesting:
+    def test_parent_ids_follow_the_with_stack(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                with tr.span("leaf"):
+                    pass
+            with tr.span("sibling"):
+                pass
+        by_name = {r.name: r for r in tr.records}
+        assert by_name["outer"].parent_id == -1
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["leaf"].parent_id == by_name["inner"].span_id
+        assert by_name["sibling"].parent_id == by_name["outer"].span_id
+
+    def test_records_append_in_completion_order(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        assert [r.name for r in tr.records] == ["inner", "outer"]
+
+    def test_sequential_roots_are_both_roots(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        assert [r.parent_id for r in tr.records] == [-1, -1]
+
+    def test_span_ids_are_unique(self):
+        tr = Tracer()
+        for _ in range(5):
+            with tr.span("s"):
+                pass
+        ids = [r.span_id for r in tr.records]
+        assert len(set(ids)) == len(ids)
+
+
+class TestAttributes:
+    def test_creation_and_set_attributes_merge(self):
+        tr = Tracer()
+        with tr.span("stage", workload="sumv") as sp:
+            sp.set(kept=42)
+        (rec,) = tr.records
+        assert rec.attrs == {"workload": "sumv", "kept": 42}
+
+    def test_exception_closes_span_with_error_attr(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("failing"):
+                raise ValueError("boom")
+        (rec,) = tr.records
+        assert rec.attrs["error"] == "ValueError"
+        assert not tr._stack  # the stack unwound
+
+    def test_timings_are_positive_and_nested_inside_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                sum(range(1000))
+        inner, outer = tr.records
+        assert 0 <= inner.wall_s <= outer.wall_s
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s + 1e-6
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.span("stage", key=1) as sp:
+            sp.set(more=2)
+        assert tr.records == []
+
+    def test_disabled_tracer_returns_the_shared_null_span(self):
+        tr = Tracer(enabled=False)
+        assert tr.span("a") is NULL_SPAN
+        assert tr.span("b") is NULL_SPAN
+
+    def test_default_telemetry_is_disabled_and_silent(self):
+        tel = get_telemetry()
+        assert not tel.enabled
+        with tel.span("anything") as sp:
+            sp.set(k=1)
+        assert tel.tracer.records == []
+
+    def test_session_activates_and_restores(self):
+        tel = Telemetry()
+        assert not get_telemetry().enabled
+        with session(tel):
+            assert get_telemetry() is tel
+            with get_telemetry().span("inside"):
+                pass
+        assert not get_telemetry().enabled
+        assert [r.name for r in tel.tracer.records] == ["inside"]
+
+
+class TestSerialization:
+    def test_record_round_trips_through_json(self):
+        tr = Tracer()
+        with tr.span("stage", n=3, label="x"):
+            pass
+        d = json.loads(json.dumps(tr.to_dicts()[0]))
+        rec = SpanRecord.from_dict(d)
+        assert rec == tr.records[0]
+
+    def test_chrome_trace_validates_and_is_time_sorted(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        events = validate_chrome_trace(tr.to_chrome_trace())
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["ts"] <= events[1]["ts"]
+
+    def test_chrome_trace_carries_attrs_and_cpu_time(self):
+        tr = Tracer()
+        with tr.span("stage", kept=9):
+            pass
+        (event,) = tr.to_chrome_trace()
+        assert event["args"]["kept"] == 9
+        assert "cpu_ms" in event["args"]
+
+    def test_validate_rejects_non_list(self):
+        with pytest.raises(TelemetryError):
+            validate_chrome_trace({"name": "not a list"})
+
+    def test_validate_rejects_missing_fields(self):
+        with pytest.raises(TelemetryError, match="dur"):
+            validate_chrome_trace(
+                [{"name": "e", "ph": "X", "ts": 0.0, "pid": 1, "tid": 1}]
+            )
+
+    def test_validate_rejects_wrong_phase(self):
+        with pytest.raises(TelemetryError, match="phase"):
+            validate_chrome_trace(
+                [{"name": "e", "ph": "B", "ts": 0.0, "dur": 1.0, "pid": 1, "tid": 1}]
+            )

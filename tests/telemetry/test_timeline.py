@@ -1,0 +1,94 @@
+"""Timeline capture, rebinning invariants, JSONL round-trip, sparklines."""
+
+import pytest
+
+from repro.numasim.machine import Machine
+from repro.telemetry.timeline import (
+    ResourceTimeline,
+    TimelinePoint,
+    capture_run_timelines,
+    dump_timelines,
+    load_timelines,
+    sparkline,
+)
+from repro.workloads.runner import run_workload
+
+from tests.conftest import MB, make_stream_workload
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    workload = make_stream_workload(size_bytes=96 * MB, accesses=400_000.0)
+    return run_workload(workload, Machine(), n_threads=8, n_nodes=2).result
+
+
+class TestCapture:
+    def test_captures_every_link_and_controller(self, run_result):
+        timelines = capture_run_timelines(run_result)
+        links = [t for t in timelines if t.kind == "link"]
+        ctrls = [t for t in timelines if t.kind == "memctrl"]
+        n = run_result.topology.n_sockets
+        assert len(links) == n * (n - 1)
+        assert len(ctrls) == n
+        assert {t.name for t in ctrls} == {f"node{i}" for i in range(n)}
+
+    def test_remote_traffic_shows_up_on_the_right_link(self, run_result):
+        by_name = {t.name: t for t in capture_run_timelines(run_result)}
+        # Chunked first-touch data on node 0 streamed from 2 nodes: node 1
+        # reads remotely over 1->0.
+        assert by_name["1->0"].total_bytes > 0
+        assert by_name["1->0"].peak_utilization > 0
+        assert 0 <= by_name["1->0"].mean_utilization <= 1
+
+    def test_rebin_bounds_points_and_preserves_bytes(self, run_result):
+        full = capture_run_timelines(run_result, max_points=10_000)
+        small = capture_run_timelines(run_result, max_points=2)
+        for tl_full, tl_small in zip(full, small):
+            assert len(tl_small.points) <= 2
+            assert tl_small.total_bytes == pytest.approx(tl_full.total_bytes)
+            # Duration-weighted mean survives merging exactly.
+            assert tl_small.mean_utilization == pytest.approx(
+                tl_full.mean_utilization
+            )
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip_is_lossless(self, run_result, tmp_path):
+        timelines = capture_run_timelines(run_result)
+        path = tmp_path / "timeline.jsonl"
+        dump_timelines(timelines, str(path))
+        loaded = load_timelines(str(path))
+        assert loaded == timelines
+
+    def test_second_dump_is_byte_identical(self, run_result, tmp_path):
+        timelines = capture_run_timelines(run_result)
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        dump_timelines(timelines, str(p1))
+        dump_timelines(load_timelines(str(p1)), str(p2))
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+class TestSparkline:
+    def _tl(self, utils):
+        return ResourceTimeline(
+            kind="link",
+            name="0->1",
+            capacity=16.0,
+            points=tuple(
+                TimelinePoint(
+                    start_cycle=float(i),
+                    duration_cycles=1.0,
+                    bytes_moved=16.0 * u,
+                    utilization=u,
+                )
+                for i, u in enumerate(utils)
+            ),
+        )
+
+    def test_fixed_width_and_extremes(self):
+        strip = sparkline(self._tl([0.0] * 4 + [1.0] * 4), width=8)
+        assert len(strip) == 8
+        assert strip[0] == " " and strip[-1] == "█"
+
+    def test_empty_timeline_renders_blank(self):
+        assert sparkline(self._tl([]), width=6) == " " * 6

@@ -147,3 +147,98 @@ class TestDetectUnderFaults:
         assert rc in (0, 2)
         out = capsys.readouterr().out
         assert "case verdict:" in out
+
+
+class TestTelemetryFlag:
+    def _model(self, tmp_path, trained):
+        clf, _ = trained
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(clf.to_dict()))
+        return str(path)
+
+    def test_detect_exports_artifact_and_report_renders_it(
+        self, tmp_path, trained, capsys
+    ):
+        model = self._model(tmp_path, trained)
+        out = tmp_path / "tel"
+        rc = main(["detect", "NW", "--input", "default", "--config", "T32-N4",
+                   "--model", model, f"--telemetry={out}"])
+        assert rc in (0, 2)
+        captured = capsys.readouterr()
+        assert "case verdict:" in captured.out  # normal output unchanged
+        for name in ("meta.json", "spans.jsonl", "trace.json",
+                     "metrics.json", "timeline.jsonl", "results.json"):
+            assert (out / name).is_file(), name
+
+        assert main(["report", str(out)]) == 0
+        dash = capsys.readouterr().out
+        for section in ("stage timings", "channel timelines",
+                        "pipeline metrics", "channel verdicts",
+                        "degradation counters"):
+            assert section in dash, section
+        assert "profiler.profile" in dash
+
+    def test_faulted_detect_artifact_reports_degradation(
+        self, tmp_path, trained, capsys
+    ):
+        model = self._model(tmp_path, trained)
+        out = tmp_path / "tel"
+        rc = main(["detect", "NW", "--input", "default", "--config", "T32-N4",
+                   "--model", model, "--faults", "standard",
+                   f"--telemetry={out}"])
+        assert rc in (0, 2)
+        results = json.loads((out / "results.json").read_text())
+        assert results["degradation"]["observed"] > 0
+        assert results["degradation"]["injected"]
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["fault_plan"] is not None
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        dash = capsys.readouterr().out
+        assert "quarantined" in dash
+        assert "injected:" in dash
+
+    def test_diagnose_artifact_carries_ranking(self, tmp_path, trained, capsys):
+        model = self._model(tmp_path, trained)
+        out = tmp_path / "tel"
+        rc = main(["diagnose", "NW", "--input", "default", "--config",
+                   "T32-N4", "--model", model, f"--telemetry={out}"])
+        assert rc == 2  # NW is contended
+        results = json.loads((out / "results.json").read_text())
+        assert results["diagnosis"]["top"]
+        assert 0 <= results["diagnosis"]["attribution_coverage"] <= 1
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        assert "top contended objects" in capsys.readouterr().out
+
+    def test_trace_json_is_perfetto_loadable(self, tmp_path, trained, capsys):
+        from repro.telemetry.artifact import validate_chrome_trace
+
+        model = self._model(tmp_path, trained)
+        out = tmp_path / "tel"
+        main(["detect", "EP", "--input", "A", "--config", "T16-N4",
+              "--model", model, f"--telemetry={out}"])
+        events = json.loads((out / "trace.json").read_text())
+        validate_chrome_trace(events)
+        assert any(e["name"] == "profiler.profile" for e in events)
+
+    def test_without_flag_nothing_is_written(self, tmp_path, trained, capsys,
+                                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        model = self._model(tmp_path, trained)
+        rc = main(["detect", "EP", "--input", "A", "--config", "T16-N4",
+                   "--model", model])
+        assert rc == 0
+        assert not (tmp_path / "drbw-telemetry").exists()
+
+    def test_report_on_missing_artifact_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nothing")]) == 2
+        assert "drbw: error:" in capsys.readouterr().err
+
+    def test_verbosity_flags_parse(self):
+        args = build_parser().parse_args(["detect", "EP", "-vv"])
+        assert args.verbose == 2
+        args = build_parser().parse_args(["train", "-q"])
+        assert args.quiet == 1
+        args = build_parser().parse_args(["detect", "EP", "--telemetry"])
+        assert args.telemetry == "drbw-telemetry"
