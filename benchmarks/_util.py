@@ -2,11 +2,74 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import pathlib
+from typing import Any
+
+import numpy as np
+
+#: Envelope schema for the per-result JSON twins under benchmarks/results/.
+RESULT_SCHEMA = "drbw-bench-result"
+RESULT_SCHEMA_VERSION = 1
 
 
-def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
-    """Persist one regenerated table and echo it to the terminal."""
+def jsonable(value: Any) -> Any:
+    """Coerce a benchmark result value into plain JSON types.
+
+    Handles the shapes the experiment drivers actually return: nested
+    dataclasses, numpy scalars and arrays, mappings keyed by non-string
+    objects (``Channel``, ``Mode``), and tuples/sets.  Anything else
+    falls back to ``str`` so emission never fails on an exotic value.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_and_print(
+    results_dir: pathlib.Path, name: str, text: str, data: Any = None
+) -> None:
+    """Persist one regenerated table and echo it to the terminal.
+
+    When ``data`` is given, a machine-readable twin lands next to the
+    text rendering as ``<name>.json`` so ``bench_all.py`` can aggregate
+    the benchmark trajectory without re-parsing human-formatted tables.
+    """
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")
+    if data is not None:
+        envelope = {
+            "schema": RESULT_SCHEMA,
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "result": name,
+            "data": jsonable(data),
+        }
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+        )
     print(f"\n=== {name} ===\n{text}\n[saved to {path}]")
+
+
+def load_result(results_dir: pathlib.Path, name: str) -> Any:
+    """Read back the ``data`` payload of one emitted result (or None)."""
+    path = results_dir / f"{name}.json"
+    if not path.exists():
+        return None
+    envelope = json.loads(path.read_text())
+    if envelope.get("schema") != RESULT_SCHEMA:
+        raise ValueError(f"{path} is not a {RESULT_SCHEMA} document")
+    return envelope["data"]

@@ -33,7 +33,7 @@ def test_ablation_sampling_period(benchmark, results_dir):
         rounds=1, iterations=1,
     )
     save_and_print(results_dir, "ablation_sampling_period",
-                   _fmt(rows, "sampling period vs CV accuracy"))
+                   _fmt(rows, "sampling period vs CV accuracy"), data=rows)
     by = {r.setting: r.accuracy for r in rows}
     # The paper's period works; extreme sparsity costs accuracy at most a
     # few points (misclassification "because DR-BW depends on hardware
@@ -45,7 +45,7 @@ def test_ablation_sampling_period(benchmark, results_dir):
 def test_ablation_feature_set(benchmark, results_dir):
     rows = benchmark.pedantic(ablate_feature_set, rounds=1, iterations=1)
     save_and_print(results_dir, "ablation_feature_set",
-                   _fmt(rows, "feature sets vs CV accuracy"))
+                   _fmt(rows, "feature sets vs CV accuracy"), data=rows)
     by = {r.setting: r.accuracy for r in rows}
     # The pair the paper's tree uses carries the full signal...
     assert by["paper tree pair (#6, #7)"] >= 0.95
@@ -56,7 +56,7 @@ def test_ablation_feature_set(benchmark, results_dir):
 def test_ablation_channel_granularity(benchmark, results_dir):
     rows = benchmark.pedantic(ablate_channel_granularity, rounds=1, iterations=1)
     save_and_print(results_dir, "ablation_channel_granularity",
-                   _fmt(rows, "per-channel vs whole-program"))
+                   _fmt(rows, "per-channel vs whole-program"), data=rows)
     by = {r.setting: r.accuracy for r in rows}
     assert by["per-channel"] >= by["whole-program"] - 1e-9
 
@@ -64,7 +64,8 @@ def test_ablation_channel_granularity(benchmark, results_dir):
 def test_ablation_machine_parameters(benchmark, results_dir):
     rows = benchmark.pedantic(ablate_machine_parameters, rounds=1, iterations=1)
     save_and_print(results_dir, "ablation_machine_parameters",
-                   _fmt(rows, "machine-model sensitivity (retrain + detect slice)"))
+                   _fmt(rows, "machine-model sensitivity (retrain + detect slice)"),
+                   data=rows)
     # The method holds up across a 2x spread of fabric parameters.
     for r in rows:
         assert r.accuracy >= 0.75, r.setting
@@ -75,7 +76,7 @@ def test_ablation_machine_parameters(benchmark, results_dir):
 def test_ablation_heuristics(benchmark, results_dir):
     rows = benchmark.pedantic(ablate_heuristics, rounds=1, iterations=1)
     save_and_print(results_dir, "ablation_heuristics",
-                   _fmt(rows, "learned tree vs Related-Work heuristics"))
+                   _fmt(rows, "learned tree vs Related-Work heuristics"), data=rows)
     by = {r.setting: r.accuracy for r in rows}
     tree = by["DR-BW tree (out-of-fold)"]
     # The learned model clearly beats both single heuristics — the paper's

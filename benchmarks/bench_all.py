@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Aggregate benchmark results into a ``BENCH_PR<k>.json`` trajectory point.
+
+The repo tracks its own performance across PRs as a sequence of
+trajectory files in the repo root (``BENCH_PR3.json``, ``BENCH_PR4.json``,
+...), each summarizing one PR's benchmark pass: wall time, profiler
+throughput, classifier accuracy, and monitor overhead/agreement.  CI
+regenerates the current point and fails when throughput regresses more
+than 10% against the previous committed point.
+
+Usage::
+
+    python benchmarks/bench_all.py                  # run core benches, write BENCH_PR3.json
+    python benchmarks/bench_all.py --full           # run the entire bench suite first
+    python benchmarks/bench_all.py --no-run         # aggregate existing results only
+    python benchmarks/bench_all.py --check PREV     # gate against a previous point
+    python benchmarks/bench_all.py --validate FILE  # schema-check a trajectory file
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _util import load_result  # noqa: E402
+
+BENCH_DIR = pathlib.Path(__file__).parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+TRAJECTORY_SCHEMA = "drbw-bench-trajectory"
+TRAJECTORY_SCHEMA_VERSION = 1
+PR_NUMBER = 3
+
+#: The benches whose JSON results feed the trajectory point.
+CORE_BENCHES = ("bench_table3_confusion.py", "bench_monitor.py")
+
+#: Maximum tolerated samples/sec drop against the previous point.
+REGRESSION_THRESHOLD = 0.10
+
+
+def run_benches(full: bool = False) -> float:
+    """Run the (core or full) benchmark suite; returns wall seconds."""
+    targets = (
+        [str(BENCH_DIR)]
+        if full
+        else [str(BENCH_DIR / name) for name in CORE_BENCHES]
+    )
+    cmd = [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider", *targets]
+    t0 = time.perf_counter()
+    proc = subprocess.run(cmd, cwd=REPO_ROOT)
+    elapsed = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+    return elapsed
+
+
+def build_trajectory(
+    results_dir: pathlib.Path, wall_time_s: float | None = None
+) -> dict:
+    """Assemble the trajectory point from emitted per-result JSON."""
+    overhead = load_result(results_dir, "monitor_overhead")
+    agreement = load_result(results_dir, "monitor_agreement")
+    confusion = load_result(results_dir, "table3_confusion")
+    missing = [
+        name
+        for name, payload in (
+            ("monitor_overhead", overhead),
+            ("monitor_agreement", agreement),
+            ("table3_confusion", confusion),
+        )
+        if payload is None
+    ]
+    if missing:
+        raise SystemExit(
+            f"missing benchmark results {missing} under {results_dir}; "
+            "run without --no-run to regenerate them"
+        )
+    if wall_time_s is None:
+        wall_time_s = overhead["wall_time_s"]
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "pr": PR_NUMBER,
+        "wall_time_s": round(float(wall_time_s), 3),
+        "throughput": {
+            "samples_per_sec": round(float(overhead["samples_per_sec"]), 1),
+        },
+        "classifier": {
+            "cv_accuracy": round(float(confusion["cv_accuracy"]), 4),
+        },
+        "monitor": {
+            "overhead_fraction": round(float(overhead["overhead_fraction"]), 4),
+            "agreement": round(float(agreement["agreement"]), 4),
+            "channel_windows": int(agreement["channel_windows"]),
+        },
+        "results": sorted(p.stem for p in results_dir.glob("*.json")),
+    }
+
+
+def validate_trajectory(doc: dict) -> list[str]:
+    """Return a list of schema problems (empty = valid)."""
+    errors = []
+    if doc.get("schema") != TRAJECTORY_SCHEMA:
+        errors.append(f"schema must be {TRAJECTORY_SCHEMA!r}, got {doc.get('schema')!r}")
+    if doc.get("schema_version") != TRAJECTORY_SCHEMA_VERSION:
+        errors.append(f"unsupported schema_version {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("pr"), int):
+        errors.append("pr must be an integer")
+    for path, kind in (
+        (("wall_time_s",), (int, float)),
+        (("throughput", "samples_per_sec"), (int, float)),
+        (("classifier", "cv_accuracy"), (int, float)),
+        (("monitor", "overhead_fraction"), (int, float)),
+        (("monitor", "agreement"), (int, float)),
+    ):
+        node = doc
+        for key in path:
+            node = node.get(key) if isinstance(node, dict) else None
+        dotted = ".".join(path)
+        if not isinstance(node, kind) or isinstance(node, bool):
+            errors.append(f"{dotted} must be a number, got {node!r}")
+    return errors
+
+
+def check_regression(current: dict, previous_path: pathlib.Path) -> int:
+    """Gate: fail on a >10% samples/sec drop against ``previous_path``."""
+    if not previous_path.exists():
+        print(
+            f"no previous trajectory at {previous_path}; "
+            "nothing to gate against (first recorded point)"
+        )
+        return 0
+    previous = json.loads(previous_path.read_text())
+    errors = validate_trajectory(previous)
+    if errors:
+        print(f"previous trajectory {previous_path} is invalid: {errors}")
+        return 1
+    prev_tp = previous["throughput"]["samples_per_sec"]
+    cur_tp = current["throughput"]["samples_per_sec"]
+    change = cur_tp / prev_tp - 1.0
+    print(
+        f"throughput: {prev_tp:,.0f} -> {cur_tp:,.0f} samples/s "
+        f"({change:+.1%}; PR {previous['pr']} -> PR {current['pr']})"
+    )
+    if change < -REGRESSION_THRESHOLD:
+        print(
+            f"FAIL: throughput regressed {-change:.1%} "
+            f"(> {REGRESSION_THRESHOLD:.0%} budget)"
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="run the entire benchmark suite, not just the core set")
+    parser.add_argument("--no-run", action="store_true",
+                        help="aggregate existing benchmarks/results/ JSON only")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / f"BENCH_PR{PR_NUMBER}.json",
+                        help="trajectory file to write")
+    parser.add_argument("--check", type=pathlib.Path, metavar="PREV",
+                        help="previous trajectory point to gate against")
+    parser.add_argument("--validate", type=pathlib.Path, metavar="FILE",
+                        help="schema-check FILE and exit (no run, no write)")
+    parser.add_argument("--results-dir", type=pathlib.Path, default=RESULTS_DIR)
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        doc = json.loads(args.validate.read_text())
+        errors = validate_trajectory(doc)
+        for err in errors:
+            print(f"invalid: {err}")
+        if not errors:
+            print(f"{args.validate} is a valid {TRAJECTORY_SCHEMA} document")
+        return 1 if errors else 0
+
+    wall_time = None if args.no_run else run_benches(full=args.full)
+    trajectory = build_trajectory(args.results_dir, wall_time_s=wall_time)
+    errors = validate_trajectory(trajectory)
+    if errors:
+        raise SystemExit(f"generated trajectory is invalid: {errors}")
+    args.out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    if args.check is not None:
+        return check_regression(trajectory, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ def test_case_sp(benchmark, results_dir):
         "case_sp",
         f"SP class C, T64-N4, whole-program interleave: {speedup:.2f}x "
         f"(paper: up to 1.75x)",
+        data={"speedup": speedup, "paper_speedup": 1.75},
     )
     assert speedup > 1.5, "SP must benefit substantially from interleaving"
 
@@ -48,6 +49,8 @@ def test_case_nw(benchmark, results_dir):
         f"NW co-locate(reference, input_itemsets) T64-N4: "
         f"{result.speedup:.2f}x, remote traffic -{result.remote_traffic_reduction:.0%} "
         f"(paper: 1.33x, latency -60%)",
+        data={"speedup": result.speedup,
+              "remote_traffic_reduction": result.remote_traffic_reduction},
     )
     assert result.speedup > 1.2
     assert result.remote_traffic_reduction > 0.5
@@ -59,5 +62,6 @@ def test_case_blackscholes(benchmark, results_dir):
         results_dir,
         "case_blackscholes",
         f"Blackscholes co-locate(buffer) T64-N4: {speedup:.3f}x (paper: <1.01x)",
+        data={"speedup": speedup},
     )
     assert abs(speedup - 1.0) < 0.02, "no contention, no speedup"

@@ -18,7 +18,12 @@ from repro.eval.tables import format_fig3
 
 def test_fig3_tree(benchmark, results_dir):
     tree = benchmark.pedantic(run_fig3_tree, rounds=1, iterations=1)
-    save_and_print(results_dir, "fig3_tree", format_fig3(tree))
+    save_and_print(
+        results_dir, "fig3_tree", format_fig3(tree),
+        data={"depth": tree.depth, "n_leaves": tree.n_leaves,
+              "used_features": tree.used_features,
+              "importances": tree.importances},
+    )
     # The latency feature must dominate, the tree must stay tiny (paper
     # depth <= 3), and nothing outside Table I may appear.
     assert "avg_remote_dram_latency" in tree.used_features

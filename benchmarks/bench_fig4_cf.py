@@ -15,7 +15,20 @@ from repro.eval.tables import format_fig4
 
 def test_fig4_cf(benchmark, results_dir):
     reports = benchmark.pedantic(run_fig4_cf, rounds=1, iterations=1)
-    save_and_print(results_dir, "fig4_cf", format_fig4(reports))
+    save_and_print(
+        results_dir, "fig4_cf", format_fig4(reports),
+        data={
+            name: {
+                "attribution_coverage": r.attribution_coverage,
+                "contributions": [
+                    {"name": c.name, "cf": c.cf, "n_samples": c.n_samples,
+                     "unattributed": c.is_unattributed}
+                    for c in r.contributions
+                ],
+            }
+            for name, r in reports.items()
+        },
+    )
 
     amg = reports["AMG2006"]
     assert amg.top(1)[0].name == "RAP_diag_j", "RAP_diag_j leads in every config"

@@ -15,7 +15,8 @@ from repro.eval.tables import format_speedup_rows
 def test_fig5_amg(benchmark, results_dir):
     rows = benchmark.pedantic(run_fig5_amg, rounds=1, iterations=1)
     save_and_print(
-        results_dir, "fig5_amg", format_speedup_rows(rows, "AMG2006 (Figure 5)")
+        results_dir, "fig5_amg", format_speedup_rows(rows, "AMG2006 (Figure 5)"),
+        data=rows,
     )
     for row in rows:
         s = row.speedups

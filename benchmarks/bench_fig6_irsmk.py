@@ -15,7 +15,8 @@ from repro.eval.tables import format_speedup_rows
 def test_fig6_irsmk(benchmark, results_dir):
     rows = benchmark.pedantic(run_fig6_irsmk, rounds=1, iterations=1)
     save_and_print(
-        results_dir, "fig6_irsmk", format_speedup_rows(rows, "IRSmk (Figure 6)")
+        results_dir, "fig6_irsmk", format_speedup_rows(rows, "IRSmk (Figure 6)"),
+        data=rows,
     )
     by_label = {r.label: r.speedups for r in rows}
 

@@ -18,6 +18,7 @@ def test_fig7_streamcluster(benchmark, results_dir):
         results_dir,
         "fig7_streamcluster",
         format_speedup_rows(rows, "Streamcluster (Figure 7)"),
+        data=rows,
     )
     for row in rows:
         s = row.speedups

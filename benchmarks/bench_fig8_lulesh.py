@@ -15,7 +15,8 @@ from repro.eval.tables import format_speedup_rows
 def test_fig8_lulesh(benchmark, results_dir):
     rows = benchmark.pedantic(run_fig8_lulesh, rounds=1, iterations=1)
     save_and_print(
-        results_dir, "fig8_lulesh", format_speedup_rows(rows, "LULESH (Figure 8)")
+        results_dir, "fig8_lulesh", format_speedup_rows(rows, "LULESH (Figure 8)"),
+        data=rows,
     )
     by_config = {r.config.name: r.speedups for r in rows}
 

@@ -11,7 +11,10 @@ def test_table2_training_data(benchmark, results_dir):
     summary = benchmark.pedantic(
         run_table2_training_data, rounds=1, iterations=1
     )
-    save_and_print(results_dir, "table2_training_data", format_table2(summary))
+    save_and_print(
+        results_dir, "table2_training_data", format_table2(summary),
+        data={"counts": summary.counts, "total": summary.total},
+    )
     # Paper: 24+24 per vector kernel, 48 good bandit runs, 192 total.
     assert summary.counts["sumv"] == (24, 24)
     assert summary.counts["dotv"] == (24, 24)

@@ -14,6 +14,12 @@ from repro.eval.tables import format_table3
 
 def test_table3_confusion(benchmark, results_dir):
     cv = benchmark.pedantic(run_table3_confusion, rounds=1, iterations=1)
-    save_and_print(results_dir, "table3_confusion", format_table3(cv))
+    save_and_print(
+        results_dir, "table3_confusion", format_table3(cv),
+        data={"cv_accuracy": cv.accuracy,
+              "fold_accuracies": cv.fold_accuracies,
+              "confusion": {"labels": cv.confusion.labels,
+                            "counts": cv.confusion.counts}},
+    )
     assert cv.accuracy >= 0.95, "paper reports 97.4%; ours must stay >= 95%"
     assert cv.confusion.total == 192

@@ -32,7 +32,14 @@ def _detection():
 
 def test_table5_detection(benchmark, results_dir):
     detection = benchmark.pedantic(_detection, rounds=1, iterations=1)
-    save_and_print(results_dir, "table5_detection", format_table5(detection))
+    save_and_print(
+        results_dir, "table5_detection", format_table5(detection),
+        data={"cases": len(detection.cases),
+              "per_benchmark": {
+                  name: {"cases": c, "actual_rmc": a, "detected_rmc": d}
+                  for name, (c, a, d) in detection.per_benchmark().items()
+              }},
+    )
 
     rows = detection.per_benchmark()
     assert sum(v[0] for v in rows.values()) == 512, "the paper runs 512 cases"
@@ -51,7 +58,10 @@ def test_table4_classes(benchmark, results_dir):
     classes = benchmark.pedantic(
         lambda: run_table4_classes(detection), rounds=1, iterations=1
     )
-    save_and_print(results_dir, "table4_classes", format_table4(classes))
+    save_and_print(
+        results_dir, "table4_classes", format_table4(classes),
+        data={name: mode.value for name, mode in classes.items()},
+    )
     rmc = {b for b, m in classes.items() if m is Mode.RMC}
     # Paper Table IV's rmc set, minus LULESH (not a Table V row).
     assert rmc == {"SP", "Streamcluster", "NW", "AMG2006", "IRSmk"}
@@ -62,7 +72,12 @@ def test_table6_accuracy(benchmark, results_dir):
     confusion = benchmark.pedantic(
         lambda: run_table6_accuracy(detection), rounds=1, iterations=1
     )
-    save_and_print(results_dir, "table6_accuracy", format_table6(confusion))
+    save_and_print(
+        results_dir, "table6_accuracy", format_table6(confusion),
+        data={"accuracy": confusion.accuracy,
+              "false_positive_rate": detection.false_positive_rate,
+              "false_negative_rate": detection.false_negative_rate},
+    )
     # Paper: 96.3% correctness, 4.2% FP, 0% FN.
     assert confusion.accuracy >= 0.93
     assert detection.false_negative_rate == pytest.approx(0.0, abs=0.02)

@@ -19,7 +19,13 @@ def test_table6_under_faults(benchmark, results_dir, trained_classifier):
     result = benchmark.pedantic(
         run_table6_under_faults, args=("standard",), rounds=1, iterations=1
     )
-    save_and_print(results_dir, "table6_faulted", format_table6_faulted(result))
+    save_and_print(
+        results_dir, "table6_faulted", format_table6_faulted(result),
+        data={"clean_accuracy": result.clean.accuracy,
+              "faulted_accuracy": result.faulted.accuracy,
+              "accuracy_delta": result.accuracy_delta,
+              "observed_samples": result.degradation.observed},
+    )
     assert result.degradation.observed > 0
     # Robustness bar: the documented 10%-drop / 1%-corruption plan moves
     # case accuracy by at most 5 points.

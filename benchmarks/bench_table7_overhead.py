@@ -37,8 +37,18 @@ def test_table7_overhead(benchmark, results_dir):
         f"{self_cost.added_fraction * 100:>+9.1f}%\n"
         f"(budget: <{OVERHEAD_BUDGET * 100:.0f}% added wall time)"
     )
-    save_and_print(results_dir, "table7_overhead", text)
     overheads = {r.benchmark: r.overhead for r in rows}
+    save_and_print(
+        results_dir, "table7_overhead", text,
+        data={"overheads": overheads,
+              "mean_overhead": sum(overheads.values()) / len(overheads),
+              "telemetry_self_overhead": {
+                  "off_seconds": self_cost.off_seconds,
+                  "on_seconds": self_cost.on_seconds,
+                  "added_fraction": self_cost.added_fraction,
+                  "within_budget": self_cost.within_budget,
+              }},
+    )
     assert len(rows) == 6
     # Paper bound: every benchmark stays at or under ~10% overhead.
     assert all(o <= 0.10 for o in overheads.values())
@@ -95,7 +105,14 @@ def test_table7_overhead_faulted(benchmark, results_dir):
             f"{name:<15}{t_clean:>11.3f}{t_faulted:>13.3f}{ratio:>8.2f}"
             f"{dropped.total_quarantined:>13}{dropped.resample_attempts:>9}"
         )
-    save_and_print(results_dir, "table7_overhead_faulted", "\n".join(lines))
+    save_and_print(
+        results_dir, "table7_overhead_faulted", "\n".join(lines),
+        data=[{"benchmark": name, "clean_seconds": t_clean,
+               "faulted_seconds": t_faulted,
+               "quarantined": dropped.total_quarantined,
+               "resample_attempts": dropped.resample_attempts}
+              for name, t_clean, t_faulted, dropped in rows],
+    )
     assert len(rows) == 6
     # The degradation path must complete everywhere and quarantine under
     # the standard plan (10% drop / 1% corruption) on every benchmark.

@@ -8,6 +8,11 @@ The workflow a release user runs without writing Python:
   configuration and print the per-channel verdicts;
 * ``diagnose`` — detect, then print the Contribution-Fraction ranking and
   suggested remedies;
+* ``monitor``  — profile a benchmark (or the built-in ``demo`` workload)
+  with *live* monitoring: sliding-window verdicts per channel, an alert
+  engine, an optional JSONL event stream (``--events``) and an optional
+  Prometheus ``/metrics`` endpoint (``--serve``); exits 2 when any
+  channel was held in ``rmc`` at any point;
 * ``report``   — render the text dashboard for a telemetry artifact
   exported by a previous run;
 * ``list``     — the available benchmarks and their inputs.
@@ -105,6 +110,43 @@ def build_parser() -> argparse.ArgumentParser:
                             f"({', '.join(FAULT_PRESETS)}) or key=value pairs, "
                             "e.g. drop=0.1,corrupt=0.01,seed=7")
         _add_common(p)
+
+    p_mon = sub.add_parser(
+        "monitor", help="profile with live contention monitoring"
+    )
+    p_mon.add_argument("benchmark",
+                       help="benchmark name (see `list`), or `demo` for the "
+                            "built-in contend-then-recover workload")
+    p_mon.add_argument("--input", default=None,
+                       help="input name (default: the benchmark's largest)")
+    p_mon.add_argument("--config", default="T16-N2",
+                       help="Tt-Nn configuration (default: T16-N2)")
+    p_mon.add_argument("--model", default=None,
+                       help="trained model JSON (default: train in-process)")
+    p_mon.add_argument("--seed", type=int, default=0)
+    p_mon.add_argument("--faults", default=None, metavar="PLAN",
+                       help="inject collection faults: a preset "
+                            f"({', '.join(FAULT_PRESETS)}) or key=value pairs")
+    p_mon.add_argument("--window", type=int, default=8, metavar="W",
+                       help="sliding window width in intervals (default: 8)")
+    p_mon.add_argument("--interval", type=float, default=None, metavar="CYCLES",
+                       help="monitoring interval length in cycles "
+                            "(default: 8e6)")
+    p_mon.add_argument("--hysteresis", default=None, metavar="N/M",
+                       help="require N agreeing verdicts of the last M to "
+                            "flip a channel status (default: 2/3)")
+    p_mon.add_argument("--rules", default=None, metavar="FILE",
+                       help="JSON file with alert rules (default: built-ins)")
+    p_mon.add_argument("--events", default=None, metavar="FILE",
+                       help="write the JSONL event stream here")
+    p_mon.add_argument("--serve", nargs="?", const=0, default=None, type=int,
+                       metavar="PORT",
+                       help="serve Prometheus text at /metrics during the run "
+                            "(PORT 0 or omitted: OS-assigned)")
+    p_mon.add_argument("--plain", action="store_true",
+                       help="one line per window instead of the live "
+                            "dashboard (useful for CI logs and pipes)")
+    _add_common(p_mon)
 
     p_report = sub.add_parser(
         "report", help="render the dashboard for a telemetry artifact"
@@ -293,6 +335,146 @@ def cmd_detect(args, want_diagnosis: bool = False) -> int:
     return 0 if verdict is Mode.GOOD else 2
 
 
+def _parse_hysteresis(spec: str | None):
+    from repro.monitor import HysteresisConfig
+
+    if spec is None:
+        return HysteresisConfig()
+    try:
+        n, m = spec.split("/")
+        return HysteresisConfig(confirm=int(n), window=int(m))
+    except ValueError as exc:
+        raise ConfigError(
+            f"cannot parse hysteresis {spec!r}; expected N/M, e.g. 2/3"
+        ) from exc
+
+
+def _load_rules(path: str | None):
+    from repro.errors import MonitorError
+    from repro.monitor import DEFAULT_ALERT_RULES, parse_alert_rules
+
+    if path is None:
+        return DEFAULT_ALERT_RULES
+    try:
+        with open(path) as fh:
+            spec = json.load(fh)
+    except OSError as exc:
+        raise MonitorError(f"cannot read alert rules file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise MonitorError(f"alert rules file {path} is not JSON: {exc}") from exc
+    return parse_alert_rules(spec)
+
+
+def cmd_monitor(args) -> int:
+    import contextlib
+
+    from repro.monitor import (
+        EventLog,
+        LiveMonitor,
+        MetricsServer,
+        MonitorConfig,
+        make_monitor_demo_workload,
+        render_monitor_frame,
+        render_prometheus,
+        render_window_line,
+    )
+    from repro.monitor.monitor import DEFAULT_INTERVAL_CYCLES
+
+    # Validate everything cheap before the expensive model load/train.
+    if args.benchmark == "demo":
+        spec, inp, workload = None, "builtin", make_monitor_demo_workload()
+    else:
+        spec, inp = _resolve_benchmark(args)
+        workload = None  # built after validation below
+    cfg = config_by_name(args.config)
+    profiler_cfg = _profiler_config(args)
+    monitor_cfg = MonitorConfig(
+        window_intervals=args.window,
+        hysteresis=_parse_hysteresis(args.hysteresis),
+        rules=_load_rules(args.rules),
+        interval_cycles=args.interval or DEFAULT_INTERVAL_CYCLES,
+    )
+    if workload is None:
+        workload = spec.build(inp)
+    name = spec.name if spec else "demo"
+
+    machine = Machine()
+    tel = telemetry.Telemetry(enabled=args.telemetry is not None)
+    live = sys.stdout.isatty() and not args.plain
+    with telemetry.session(tel), contextlib.ExitStack() as stack:
+        clf = _load_or_train(args.model, args.seed, machine)
+        event_log = (
+            stack.enter_context(EventLog(args.events)) if args.events else None
+        )
+
+        def on_window(snapshot) -> None:
+            if live:
+                # Home the cursor and clear below: a flicker-free redraw.
+                sys.stdout.write("\x1b[H\x1b[J" + render_monitor_frame(monitor))
+            else:
+                sys.stdout.write(render_window_line(snapshot) + "\n")
+            sys.stdout.flush()
+
+        monitor = LiveMonitor(
+            clf,
+            machine.topology,
+            config=monitor_cfg,
+            event_log=event_log,
+            on_window=on_window,
+        )
+        if args.serve is not None:
+            server = stack.enter_context(
+                MetricsServer(lambda: render_prometheus(monitor.metrics),
+                              port=args.serve)
+            )
+            print(f"serving metrics at {server.url}", file=sys.stderr)
+        if live:
+            sys.stdout.write("\x1b[2J")  # start from a clean screen
+
+        profile = DrBwProfiler(machine, profiler_cfg).profile_live(
+            workload, cfg.n_threads, cfg.n_nodes, monitor=monitor, seed=args.seed
+        )
+
+    if live:
+        print()  # leave the last frame on screen
+    windows = monitor.window_index + 1
+    rmc_windows = sorted({t.window_index for t in monitor.transitions
+                          if t.status is Mode.RMC})
+    print(f"{name} ({inp}) under {cfg.name}: {windows} windows, "
+          f"{monitor.windows.n_samples} samples in the final window")
+    if profiler_cfg.faults is not None:
+        print(format_degradation(profile.dropped))
+    if monitor.ever_rmc:
+        chans = ", ".join(sorted({str(t.channel) for t in monitor.transitions
+                                  if t.status is Mode.RMC}))
+        print(f"contention detected on {chans} "
+              f"(first rmc window: {rmc_windows[0]})")
+    else:
+        print("no contention detected")
+
+    if args.telemetry:
+        meta = collect_metadata(
+            "monitor", args.seed, machine.topology,
+            faults=profiler_cfg.faults, benchmark=name, input=inp,
+            config=cfg.name,
+        )
+        results = {
+            "windows": windows,
+            "ever_rmc": monitor.ever_rmc,
+            "statuses": {str(c): m.value for c, m in monitor.statuses.items()},
+            "transitions": len(monitor.transitions),
+            "alert_events": [
+                {"rule": e.rule, "kind": e.kind, "severity": e.severity,
+                 "channel": str(e.channel) if e.channel else None,
+                 "window": e.window_index}
+                for e in monitor.alert_events
+            ],
+        }
+        export_artifact(args.telemetry, tel, meta, results)
+        print(f"telemetry artifact written to {args.telemetry}", file=sys.stderr)
+    return 2 if monitor.ever_rmc else 0
+
+
 def cmd_report(args) -> int:
     print(render_dashboard(load_artifact(args.artifact)))
     return 0
@@ -316,6 +498,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_detect(args, want_diagnosis=False)
         if args.command == "diagnose":
             return cmd_detect(args, want_diagnosis=True)
+        if args.command == "monitor":
+            return cmd_monitor(args)
         if args.command == "report":
             return cmd_report(args)
         if args.command == "list":

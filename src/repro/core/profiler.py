@@ -37,9 +37,10 @@ from repro.core.features import FeatureVector, SampleSet, extract_channel_featur
 from repro.numasim.machine import Machine
 from repro.pmu.sample import MemorySample, RawSampleBatch
 from repro.pmu.sampler import AddressSampler, SamplerConfig
+from repro.osl.threads import bind_threads_tt_nn
 from repro.telemetry import capture_run_timelines, get_telemetry
 from repro.types import Channel, MemLevel
-from repro.workloads.base import CompiledWorkload, Workload
+from repro.workloads.base import CompiledWorkload, Workload, compile_workload
 from repro.workloads.runner import WorkloadRun, run_workload
 
 logger = logging.getLogger(__name__)
@@ -224,6 +225,168 @@ class DrBwProfiler:
                 config=self.config,
                 dropped=report,
             )
+
+    def profile_live(
+        self,
+        workload: Workload,
+        n_threads: int,
+        n_nodes: int,
+        monitor,
+        seed: int | None = None,
+        interval_cycles: float | None = None,
+    ) -> ProfileResult:
+        """Profile ``workload`` while streaming samples into ``monitor``.
+
+        The streaming counterpart of :meth:`profile`: instead of thinning
+        the run's access buckets after it finishes, the engine's interval
+        hook delivers per-interval access rates *during* execution; each
+        interval is sampled, attributed, and pushed into ``monitor`` (any
+        object with an ``observe_interval(record, fields, observed=...,
+        quarantined=...)`` method — canonically
+        :class:`repro.monitor.LiveMonitor`) before the next interval is
+        simulated.  Per-interval Poisson thinning is distributionally
+        identical to end-of-run thinning, so the returned
+        :class:`ProfileResult` carries the same sample statistics as the
+        batch path.
+
+        ``interval_cycles`` bounds the monitoring interval length (defaults
+        to ``monitor.interval_cycles`` when the monitor declares one, else
+        one interval per stationary span).  Thin-channel resampling is a
+        post-hoc repair and deliberately does not run in streaming mode —
+        degraded channels surface through the monitor's verdict/alert
+        stream instead.
+        """
+        tel = get_telemetry()
+        with tel.span(
+            "profiler.profile_live",
+            workload=workload.name,
+            n_threads=n_threads,
+            n_nodes=n_nodes,
+        ) as sp:
+            bindings = bind_threads_tt_nn(self.machine.topology, n_threads, n_nodes)
+            compiled = compile_workload(workload, self.machine.topology, bindings)
+            sampler_cfg = self.config.sampler
+            if seed is not None:
+                sampler_cfg = dataclasses.replace(sampler_cfg, seed=seed)
+            sampler: AddressSampler | object = AddressSampler(
+                sampler_cfg,
+                page_table=compiled.page_table,
+                latency_model=self.machine.latency_model,
+            )
+            page_table = compiled.page_table
+            plan = self.config.faults
+            faulty_sampler = None
+            faulty_table = None
+            if plan is not None:
+                from repro.faults import FaultyAddressSampler, FaultyPageTable
+
+                faulty_sampler = FaultyAddressSampler(
+                    sampler, plan, n_cpus=self.machine.topology.n_cpus
+                )
+                faulty_table = FaultyPageTable(page_table, plan)
+                sampler, page_table = faulty_sampler, faulty_table
+
+            if interval_cycles is None:
+                interval_cycles = getattr(monitor, "interval_cycles", None)
+
+            report = DroppedSampleReport()
+            topo = self.machine.topology
+            chunks: list[dict[str, np.ndarray]] = []
+            n_intervals = 0
+            seen_lookup_failures = 0
+
+            def on_interval(record) -> None:
+                nonlocal n_intervals, seen_lookup_failures
+                n_intervals += 1
+                batch = sampler.sample_interval(record)
+                observed = len(batch)
+                report.observed += observed
+                src = (batch.cpu % topo.n_cores) // topo.cores_per_socket
+                dst = page_table.nodes_of_addresses(
+                    batch.address, accessor_nodes=src, on_unmapped="ignore"
+                )
+                bad = dst < 0
+                n_bad = int(bad.sum())
+                if faulty_table is not None:
+                    delta = faulty_table.injected_failures - seen_lookup_failures
+                    seen_lookup_failures = faulty_table.injected_failures
+                    transient = min(delta, n_bad)
+                    report.count("lookup_failure", transient)
+                    report.count("unmapped_address", n_bad - transient)
+                else:
+                    report.count("unmapped_address", n_bad)
+                if n_bad:
+                    keep = ~bad
+                    batch = batch.select(keep)
+                    src = src[keep]
+                    dst = dst[keep]
+                fields = {
+                    "address": batch.address,
+                    "cpu": batch.cpu,
+                    "thread_id": batch.thread_id,
+                    "level": batch.level,
+                    "latency": batch.latency,
+                    "src_node": np.asarray(src, dtype=np.int64),
+                    "dst_node": np.asarray(dst, dtype=np.int64),
+                    "object_id": compiled.allocator.object_ids_of_addresses(batch.address),
+                }
+                chunks.append(fields)
+                monitor.observe_interval(
+                    record, fields, observed=observed, quarantined=n_bad
+                )
+
+            result = self.machine.run(
+                compiled.programs,
+                barriers=workload.barriers,
+                extra_stall_cycles_per_access=self.config.stall_per_access,
+                interval_listener=on_interval,
+                interval_max_cycles=interval_cycles,
+            )
+            run = WorkloadRun(compiled=compiled, result=result)
+
+            if faulty_sampler is not None:
+                for reason, n in faulty_sampler.injected.items():
+                    if n:
+                        report.injected[reason] = report.injected.get(reason, 0) + n
+            if faulty_table is not None and faulty_table.injected_failures:
+                report.injected["lookup_failure"] = faulty_table.injected_failures
+
+            fields = self._concat_chunks(chunks)
+            report.kept = int(fields["address"].shape[0])
+            sp.set(observed=report.observed, kept=report.kept, intervals=n_intervals)
+            if tel.enabled:
+                self._record_metrics(tel, fields, report)
+                tel.timelines[:] = capture_run_timelines(result)
+            finalize = getattr(monitor, "finalize", None)
+            if finalize is not None:
+                finalize(run)
+            return ProfileResult(
+                workload=workload,
+                run=run,
+                sample_set=SampleSet.from_arrays(**fields),
+                config=self.config,
+                dropped=report,
+            )
+
+    @staticmethod
+    def _concat_chunks(chunks: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+        """Union of per-interval field dicts (typed empties when no samples)."""
+        if chunks:
+            return {
+                name: np.concatenate([c[name] for c in chunks])
+                for name in chunks[0]
+            }
+        empty_i = lambda: np.zeros(0, dtype=np.int64)  # noqa: E731
+        return {
+            "address": empty_i(),
+            "cpu": empty_i(),
+            "thread_id": empty_i(),
+            "level": empty_i(),
+            "latency": np.zeros(0, dtype=np.float64),
+            "src_node": empty_i(),
+            "dst_node": empty_i(),
+            "object_id": empty_i(),
+        }
 
     def measure_overhead(
         self, workload: Workload, n_threads: int, n_nodes: int

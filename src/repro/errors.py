@@ -53,3 +53,7 @@ class InsufficientSamplesError(ModelError):
 
 class TelemetryError(ReproError):
     """A telemetry artifact is missing, malformed, or unreadable."""
+
+
+class MonitorError(ReproError):
+    """Invalid live-monitor configuration, alert rule, or event stream."""

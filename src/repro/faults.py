@@ -243,6 +243,10 @@ class FaultyAddressSampler:
     def sample_run_batch(self, run: RunResult) -> RawSampleBatch:
         return self.perturb(self.inner.sample_run_batch(run))
 
+    def sample_interval(self, record) -> RawSampleBatch:
+        """Streaming counterpart: perturb one interval's thinned batch."""
+        return self.perturb(self.inner.sample_interval(record))
+
     def sample_run(self, run: RunResult) -> list[MemorySample]:
         return self.sample_run_batch(run).to_samples()
 

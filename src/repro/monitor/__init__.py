@@ -1,0 +1,70 @@
+"""Streaming observability: live contention detection during a run.
+
+The batch pipeline answers "was there contention?" after a run ends;
+this package answers "is there contention *now*?" while it executes.
+:meth:`Profiler.profile_live <repro.core.profiler.Profiler.profile_live>`
+streams each simulation interval's attributed samples into a
+:class:`LiveMonitor`, which maintains sliding-window Table I features
+per channel (:mod:`~repro.monitor.windows`), classifies every window
+with the fitted decision tree under N-of-M hysteresis
+(:mod:`~repro.monitor.detector`), evaluates declarative alert rules
+(:mod:`~repro.monitor.alerts`), appends a JSONL event stream
+(:mod:`~repro.monitor.events`), and exposes everything as Prometheus
+text over stdlib HTTP (:mod:`~repro.monitor.exposition`,
+:mod:`~repro.monitor.httpserver`).  ``drbw monitor`` wires it all to a
+terminal dashboard (:mod:`~repro.monitor.dashboard`).
+"""
+
+from repro.monitor.alerts import (
+    DEFAULT_ALERT_RULES,
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    parse_alert_rules,
+)
+from repro.monitor.dashboard import (
+    render_monitor_frame,
+    render_window_line,
+    value_sparkline,
+)
+from repro.monitor.demo import make_monitor_demo_workload
+from repro.monitor.detector import HysteresisConfig, OnlineDetector, StatusTransition
+from repro.monitor.events import EVENT_KINDS, EventLog, read_events, validate_event
+from repro.monitor.exposition import CONTENT_TYPE, render_prometheus
+from repro.monitor.httpserver import MetricsServer
+from repro.monitor.monitor import (
+    ChannelView,
+    LiveMonitor,
+    MonitorConfig,
+    WindowSnapshot,
+)
+from repro.monitor.windows import FeatureWindows, IntervalStats, interval_stats
+
+__all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "ChannelView",
+    "CONTENT_TYPE",
+    "DEFAULT_ALERT_RULES",
+    "EVENT_KINDS",
+    "EventLog",
+    "FeatureWindows",
+    "HysteresisConfig",
+    "IntervalStats",
+    "LiveMonitor",
+    "MetricsServer",
+    "MonitorConfig",
+    "OnlineDetector",
+    "StatusTransition",
+    "WindowSnapshot",
+    "interval_stats",
+    "make_monitor_demo_workload",
+    "parse_alert_rules",
+    "read_events",
+    "render_monitor_frame",
+    "render_window_line",
+    "render_prometheus",
+    "validate_event",
+    "value_sparkline",
+]

@@ -1,0 +1,276 @@
+"""Declarative alert rules over the monitor's window snapshots.
+
+A rule names a *signal*, a comparison, and firing/clearing durations
+measured in windows.  Channel-scoped signals are evaluated once per
+remote channel in the snapshot (each channel fires independently);
+global signals once per snapshot.  A rule fires after its predicate has
+held for ``for_windows`` consecutive windows and resolves after it has
+been false for ``clear_windows`` consecutive windows — the same
+for-duration semantics Prometheus alerting uses, so thresholds can sit
+close to the signal's noise floor without flapping.
+
+Signals
+-------
+``remote_share``        (channel)  fraction of the source node's window
+                                   samples that hit this remote channel
+``avg_remote_latency``  (channel)  mean REMOTE_DRAM latency, cycles
+``rmc_status``          (channel)  1.0 while the damped status is rmc
+``rmc_channels``        (global)   number of channels in rmc status
+``quarantine_rate``     (global)   quarantined / observed samples over
+                                   the window
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import MonitorError
+from repro.types import Channel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.monitor.monitor import WindowSnapshot
+
+__all__ = [
+    "SEVERITIES",
+    "CHANNEL_SIGNALS",
+    "GLOBAL_SIGNALS",
+    "AlertRule",
+    "AlertEvent",
+    "AlertEngine",
+    "DEFAULT_ALERT_RULES",
+    "parse_alert_rules",
+]
+
+SEVERITIES = ("info", "warning", "critical")
+CHANNEL_SIGNALS = frozenset({"remote_share", "avg_remote_latency", "rmc_status"})
+GLOBAL_SIGNALS = frozenset({"rmc_channels", "quarantine_rate"})
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule: ``signal op threshold`` for ``for_windows``."""
+
+    name: str
+    signal: str
+    threshold: float
+    op: str = ">"
+    for_windows: int = 1
+    clear_windows: int = 1
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MonitorError("alert rule needs a non-empty name")
+        if self.signal not in CHANNEL_SIGNALS | GLOBAL_SIGNALS:
+            raise MonitorError(
+                f"rule {self.name!r}: unknown signal {self.signal!r}; "
+                f"expected one of {sorted(CHANNEL_SIGNALS | GLOBAL_SIGNALS)}"
+            )
+        if self.op not in _OPS:
+            raise MonitorError(
+                f"rule {self.name!r}: unknown operator {self.op!r}; "
+                f"expected one of {sorted(_OPS)}"
+            )
+        if self.for_windows < 1 or self.clear_windows < 1:
+            raise MonitorError(
+                f"rule {self.name!r}: for_windows and clear_windows must be >= 1"
+            )
+        if self.severity not in SEVERITIES:
+            raise MonitorError(
+                f"rule {self.name!r}: severity {self.severity!r} not in {SEVERITIES}"
+            )
+
+    @property
+    def is_channel_rule(self) -> bool:
+        return self.signal in CHANNEL_SIGNALS
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """A rule started or stopped firing for one scope."""
+
+    rule: str
+    severity: str
+    kind: str  # "firing" | "resolved"
+    channel: Channel | None
+    window_index: int
+    value: float
+    threshold: float
+
+
+#: Rules active when the user supplies none: contention itself, its two
+#: leading indicators, and collection health.
+DEFAULT_ALERT_RULES: tuple[AlertRule, ...] = (
+    AlertRule(
+        name="channel-rmc",
+        signal="rmc_status",
+        threshold=1.0,
+        op=">=",
+        for_windows=1,
+        clear_windows=1,
+        severity="critical",
+    ),
+    AlertRule(
+        name="remote-share-high",
+        signal="remote_share",
+        threshold=0.5,
+        op=">",
+        for_windows=2,
+        clear_windows=2,
+        severity="warning",
+    ),
+    AlertRule(
+        name="remote-latency-high",
+        signal="avg_remote_latency",
+        threshold=500.0,
+        op=">",
+        for_windows=2,
+        clear_windows=2,
+        severity="warning",
+    ),
+    AlertRule(
+        name="lossy-collection",
+        signal="quarantine_rate",
+        threshold=0.05,
+        op=">",
+        for_windows=1,
+        clear_windows=2,
+        severity="info",
+    ),
+)
+
+
+@dataclass
+class _RuleState:
+    true_streak: int = 0
+    false_streak: int = 0
+    firing: bool = False
+    value: float = 0.0
+
+
+class AlertEngine:
+    """Evaluate a fixed rule set against successive window snapshots."""
+
+    def __init__(self, rules: tuple[AlertRule, ...] = DEFAULT_ALERT_RULES) -> None:
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise MonitorError(f"duplicate alert rule names: {names}")
+        self.rules = tuple(rules)
+        self._state: dict[tuple[str, Channel | None], _RuleState] = {}
+
+    def _signal_value(
+        self, rule: AlertRule, snapshot: WindowSnapshot, channel: Channel | None
+    ) -> float:
+        if rule.signal == "rmc_channels":
+            return float(len(snapshot.rmc_channels))
+        if rule.signal == "quarantine_rate":
+            return snapshot.quarantine_rate
+        view = snapshot.channels[channel]
+        if rule.signal == "remote_share":
+            return view.remote_share
+        if rule.signal == "avg_remote_latency":
+            return view.avg_remote_latency
+        return 1.0 if view.status.value == "rmc" else 0.0  # rmc_status
+
+    def _step(
+        self, rule: AlertRule, channel: Channel | None, value: float, index: int
+    ) -> AlertEvent | None:
+        st = self._state.setdefault((rule.name, channel), _RuleState())
+        st.value = value
+        if _OPS[rule.op](value, rule.threshold):
+            st.true_streak += 1
+            st.false_streak = 0
+        else:
+            st.false_streak += 1
+            st.true_streak = 0
+        if not st.firing and st.true_streak >= rule.for_windows:
+            st.firing = True
+            return AlertEvent(
+                rule.name, rule.severity, "firing", channel, index, value,
+                rule.threshold,
+            )
+        if st.firing and st.false_streak >= rule.clear_windows:
+            st.firing = False
+            return AlertEvent(
+                rule.name, rule.severity, "resolved", channel, index, value,
+                rule.threshold,
+            )
+        return None
+
+    def evaluate(self, snapshot: WindowSnapshot) -> list[AlertEvent]:
+        """Advance every rule by one window; returns transitions only."""
+        events: list[AlertEvent] = []
+        for rule in self.rules:
+            if rule.is_channel_rule:
+                scopes = set(snapshot.channels)
+                # Channels that dropped out of the snapshot still count as
+                # a false evaluation, so their alerts eventually resolve.
+                scopes |= {
+                    ch
+                    for (name, ch) in self._state
+                    if name == rule.name and ch is not None
+                }
+                for ch in sorted(scopes, key=lambda c: (c.src, c.dst)):
+                    value = (
+                        self._signal_value(rule, snapshot, ch)
+                        if ch in snapshot.channels
+                        else 0.0
+                    )
+                    ev = self._step(rule, ch, value, snapshot.index)
+                    if ev is not None:
+                        events.append(ev)
+            else:
+                value = self._signal_value(rule, snapshot, None)
+                ev = self._step(rule, None, value, snapshot.index)
+                if ev is not None:
+                    events.append(ev)
+        return events
+
+    def firing(self) -> list[AlertEvent]:
+        """Currently-active alerts as synthetic ``firing`` events."""
+        by_name = {r.name: r for r in self.rules}
+        out = []
+        for (name, channel), st in sorted(
+            self._state.items(),
+            key=lambda kv: (kv[0][0], (kv[0][1].src, kv[0][1].dst) if kv[0][1] else (-1, -1)),
+        ):
+            if st.firing:
+                rule = by_name[name]
+                out.append(
+                    AlertEvent(
+                        name, rule.severity, "firing", channel, -1, st.value,
+                        rule.threshold,
+                    )
+                )
+        return out
+
+
+def parse_alert_rules(spec: object) -> tuple[AlertRule, ...]:
+    """Build rules from decoded JSON: a list of rule objects."""
+    if not isinstance(spec, list):
+        raise MonitorError(
+            f"alert rules file must hold a JSON list, got {type(spec).__name__}"
+        )
+    rules = []
+    allowed = {
+        "name", "signal", "threshold", "op", "for_windows", "clear_windows",
+        "severity",
+    }
+    for i, item in enumerate(spec):
+        if not isinstance(item, dict):
+            raise MonitorError(f"alert rule #{i} is not an object")
+        unknown = set(item) - allowed
+        if unknown:
+            raise MonitorError(f"alert rule #{i}: unknown keys {sorted(unknown)}")
+        try:
+            rules.append(AlertRule(**item))
+        except TypeError as exc:
+            raise MonitorError(f"alert rule #{i}: {exc}") from exc
+    return tuple(rules)

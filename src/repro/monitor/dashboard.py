@@ -1,0 +1,104 @@
+"""Terminal rendering for ``drbw monitor``.
+
+:func:`render_monitor_frame` turns a :class:`~repro.monitor.monitor.LiveMonitor`'s
+current state into one text frame: a header line, a per-channel table
+with a remote-share sparkline, damped status, verdict confidence and
+mean remote latency, and the firing alerts.  :func:`render_window_line`
+is the one-line-per-window plain mode used in CI logs and piped output.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.types import Mode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitor.monitor import LiveMonitor, WindowSnapshot
+
+__all__ = ["render_monitor_frame", "render_window_line", "value_sparkline"]
+
+_SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def value_sparkline(values, width: int = 24) -> str:
+    """Unicode sparkline of a value sequence, scaled to its own max."""
+    vals = list(values)[-width:]
+    if not vals:
+        return " " * width
+    peak = max(vals)
+    if peak <= 0:
+        return ("▁" * len(vals)).rjust(width)
+    top = len(_SPARK_BLOCKS) - 1
+    chars = [_SPARK_BLOCKS[max(1, round(v / peak * top))] for v in vals]
+    return "".join(chars).rjust(width)
+
+
+def _status_cell(status: Mode) -> str:
+    return "RMC " if status is Mode.RMC else "good"
+
+
+def render_window_line(snapshot: WindowSnapshot) -> str:
+    """One summary line per window (plain / CI mode)."""
+    parts = [
+        f"window {snapshot.index:>4}",
+        f"cycle {snapshot.end_cycle:.3e}",
+        f"samples {snapshot.n_samples:>6}",
+    ]
+    if snapshot.quarantine_rate > 0:
+        parts.append(f"quarantined {snapshot.quarantine_rate:.1%}")
+    for ch, view in sorted(snapshot.channels.items(), key=lambda kv: (kv[0].src, kv[0].dst)):
+        parts.append(
+            f"{ch.src}->{ch.dst} {_status_cell(view.status).strip()}"
+            f"({view.verdict.label} {view.verdict.confidence:.2f})"
+        )
+    if snapshot.rmc_channels:
+        parts.append("RMC:" + ",".join(f"{c.src}->{c.dst}" for c in snapshot.rmc_channels))
+    return "  ".join(parts)
+
+
+def render_monitor_frame(monitor: LiveMonitor, width: int = 24) -> str:
+    """Full dashboard frame for the live terminal view."""
+    snap = monitor.last_snapshot
+    lines = ["DR-BW live monitor"]
+    if snap is None:
+        lines.append("  waiting for the first interval...")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        f"  window {snap.index}  cycle {snap.end_cycle:.3e}  "
+        f"samples {snap.n_samples}  quarantine {snap.quarantine_rate:.2%}"
+    )
+    lines.append("")
+    header = (
+        f"  {'channel':<8} {'remote share':<{width}} {'share':>6} "
+        f"{'status':<6} {'verdict':<17} {'conf':>5} {'lat':>7}"
+    )
+    lines.append(header)
+    for ch in sorted(monitor.history, key=lambda c: (c.src, c.dst)):
+        view = snap.channels.get(ch)
+        spark = value_sparkline(monitor.history[ch], width)
+        if view is None:
+            lines.append(
+                f"  {ch.src}->{ch.dst:<5} {spark} {'':>6} "
+                f"{_status_cell(monitor.detector.status_of(ch)):<6} "
+                f"{'(quiet)':<17} {'':>5} {'':>7}"
+            )
+            continue
+        lines.append(
+            f"  {ch.src}->{ch.dst:<5} {spark} {view.remote_share:>6.1%} "
+            f"{_status_cell(view.status):<6} {view.verdict.label:<17} "
+            f"{view.verdict.confidence:>5.2f} {view.avg_remote_latency:>7.1f}"
+        )
+    firing = monitor.firing()
+    lines.append("")
+    if firing:
+        lines.append(f"  alerts firing ({len(firing)}):")
+        for ev in firing:
+            scope = f" {ev.channel.src}->{ev.channel.dst}" if ev.channel else ""
+            lines.append(
+                f"    [{ev.severity}] {ev.rule}{scope}  "
+                f"value {ev.value:.3g} vs {ev.threshold:.3g}"
+            )
+    else:
+        lines.append("  alerts: none firing")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,73 @@
+"""A two-act workload for monitor demos and CI smoke tests.
+
+Act one reproduces the training set's canonical rmc construction
+(:func:`repro.core.training.micro_training_configs`): a large
+first-touch node-0 vector streamed by every thread, so threads on the
+other sockets hammer node 0's memory across the interconnect and remote
+latency queues up.  Act two streams a *colocated* vector — each page
+lives on the node of the thread that owns its chunk — so all traffic
+goes local and the contention clears.  A live monitor watching this run
+(with ``n_nodes >= 2``) should see the inbound channels to node 0 go
+``rmc`` (alerts fire) during act one and recover (alerts resolve)
+during act two — which is exactly what the CI smoke job asserts.
+"""
+
+from __future__ import annotations
+
+from repro.numasim.cachemodel import PatternKind
+from repro.osl.pages import FirstTouch
+from repro.workloads.base import ObjectSpec, PhaseSpec, Share, StreamSpec, Workload
+
+__all__ = ["make_monitor_demo_workload"]
+
+#: Matches the training set's rmc vector sizes (128-1024 MB); big enough
+#: that streaming it never fits in cache.
+_DEFAULT_VECTOR_BYTES = 256 * 1024 * 1024
+
+
+def make_monitor_demo_workload(
+    vector_bytes: int = _DEFAULT_VECTOR_BYTES,
+    accesses_per_thread: float = 2_000_000.0,
+    calm_accesses_per_thread: float | None = None,
+) -> Workload:
+    """Contended remote phase followed by a calm colocated phase.
+
+    Run with at least 2 nodes (canonically ``n_threads=16, n_nodes=2``,
+    one of the training set's rmc shapes) so act one actually crosses
+    sockets.  The calm act defaults to 3x the contended act's length so
+    the sliding window fully drains of contended intervals and the rmc
+    status (and its alert) resolves before the run ends.
+    """
+    if calm_accesses_per_thread is None:
+        calm_accesses_per_thread = 3.0 * accesses_per_thread
+    hot = ObjectSpec(
+        name="hot",
+        size_bytes=vector_bytes,
+        site="monitor_demo.c:10",
+        policy=FirstTouch(0),
+    )
+    cold = ObjectSpec(
+        name="cold",
+        size_bytes=vector_bytes,
+        site="monitor_demo.c:20",
+        colocate=True,
+    )
+    stream = dict(pattern=PatternKind.SEQUENTIAL, share=Share.CHUNK, element_bytes=8)
+    return Workload(
+        name="monitor-demo",
+        objects=(hot, cold),
+        phases=(
+            PhaseSpec(
+                name="contend",
+                accesses_per_thread=accesses_per_thread,
+                compute_cycles_per_access=0.5,
+                streams=(StreamSpec(object_name="hot", **stream),),
+            ),
+            PhaseSpec(
+                name="calm",
+                accesses_per_thread=calm_accesses_per_thread,
+                compute_cycles_per_access=0.5,
+                streams=(StreamSpec(object_name="cold", **stream),),
+            ),
+        ),
+    )

@@ -1,0 +1,164 @@
+"""Online per-channel verdicts with N-of-M hysteresis.
+
+The batch classifier labels a channel once, from a whole run's samples.
+Online, a verdict is produced every window, and a single noisy window
+must not flap a channel between ``good`` and ``rmc``.  The standard fix
+is N-of-M hysteresis: a channel's *status* only changes when at least
+``confirm`` of the last ``window`` raw verdicts agree on the new label.
+Both directions are damped symmetrically, so entering and leaving
+contention each require sustained evidence.
+
+Windows whose verdict is ``insufficient-data`` (below the remote-sample
+support floor) are excluded from the vote entirely — thin evidence
+neither confirms nor clears a status.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.classifier import MIN_CHANNEL_SUPPORT, ChannelVerdict, DrBwClassifier
+from repro.core.features import FeatureVector
+from repro.errors import MonitorError
+from repro.types import Channel, Mode
+
+__all__ = ["HysteresisConfig", "StatusTransition", "OnlineDetector"]
+
+
+@dataclass(frozen=True)
+class HysteresisConfig:
+    """Require ``confirm`` agreeing verdicts out of the last ``window``."""
+
+    confirm: int = 2
+    window: int = 3
+
+    def __post_init__(self) -> None:
+        if self.confirm < 1:
+            raise MonitorError(f"hysteresis confirm must be >= 1, got {self.confirm}")
+        if self.window < self.confirm:
+            raise MonitorError(
+                f"hysteresis window ({self.window}) must be >= confirm "
+                f"({self.confirm})"
+            )
+
+
+@dataclass(frozen=True)
+class StatusTransition:
+    """A channel's damped status changed at ``window_index``."""
+
+    channel: Channel
+    window_index: int
+    status: Mode
+    previous: Mode
+    verdict: ChannelVerdict
+
+
+@dataclass
+class _ChannelState:
+    votes: deque[Mode]
+    status: Mode = Mode.GOOD
+    last_verdict: ChannelVerdict | None = None
+
+
+class OnlineDetector:
+    """Per-window classification plus N-of-M status damping.
+
+    Wraps a fitted :class:`DrBwClassifier`: each call to :meth:`observe`
+    classifies one channel's window features, records the raw verdict in
+    that channel's vote history, and moves the damped status when enough
+    recent votes agree on a different label.
+    """
+
+    def __init__(
+        self,
+        classifier: DrBwClassifier,
+        hysteresis: HysteresisConfig | None = None,
+        min_support: int = MIN_CHANNEL_SUPPORT,
+    ) -> None:
+        self.classifier = classifier
+        self.hysteresis = hysteresis or HysteresisConfig()
+        self.min_support = min_support
+        self._channels: dict[Channel, _ChannelState] = {}
+
+    def _state(self, channel: Channel) -> _ChannelState:
+        st = self._channels.get(channel)
+        if st is None:
+            st = self._channels[channel] = _ChannelState(
+                votes=deque(maxlen=self.hysteresis.window)
+            )
+        return st
+
+    def observe(
+        self, channel: Channel, features: FeatureVector, window_index: int
+    ) -> tuple[ChannelVerdict, StatusTransition | None]:
+        """Classify one channel-window; returns the raw verdict and, when
+        the damped status flips, a :class:`StatusTransition`."""
+        verdict = self.classifier.classify_channel_detailed(
+            features, min_support=self.min_support
+        )
+        st = self._state(channel)
+        st.last_verdict = verdict
+        if verdict.insufficient_data:
+            return verdict, None
+        st.votes.append(verdict.mode)
+        return verdict, self._maybe_transition(st, channel, window_index, verdict)
+
+    def observe_quiet(
+        self, channel: Channel, window_index: int
+    ) -> StatusTransition | None:
+        """Vote ``good`` for a known channel with *zero* remote samples in
+        the window: no remote traffic cannot be remote contention.  (A
+        thin-but-nonzero window is ``insufficient-data`` instead, which
+        holds the status.)  No-op for never-observed channels."""
+        st = self._channels.get(channel)
+        if st is None:
+            return None
+        verdict = ChannelVerdict(
+            mode=Mode.GOOD, confidence=0.0, n_remote_samples=0
+        )
+        st.last_verdict = verdict
+        st.votes.append(Mode.GOOD)
+        return self._maybe_transition(st, channel, window_index, verdict)
+
+    def _maybe_transition(
+        self,
+        st: _ChannelState,
+        channel: Channel,
+        window_index: int,
+        verdict: ChannelVerdict,
+    ) -> StatusTransition | None:
+        for mode in (Mode.RMC, Mode.GOOD):
+            if mode is st.status:
+                continue
+            if sum(1 for v in st.votes if v is mode) >= self.hysteresis.confirm:
+                transition = StatusTransition(
+                    channel=channel,
+                    window_index=window_index,
+                    status=mode,
+                    previous=st.status,
+                    verdict=verdict,
+                )
+                st.status = mode
+                return transition
+        return None
+
+    def status_of(self, channel: Channel) -> Mode:
+        """Current damped status (``GOOD`` for never-seen channels)."""
+        st = self._channels.get(channel)
+        return st.status if st is not None else Mode.GOOD
+
+    def last_verdict(self, channel: Channel) -> ChannelVerdict | None:
+        st = self._channels.get(channel)
+        return st.last_verdict if st is not None else None
+
+    @property
+    def statuses(self) -> dict[Channel, Mode]:
+        """Damped status of every channel observed so far."""
+        return {ch: st.status for ch, st in sorted(self._channels.items(),
+                                                   key=lambda kv: (kv[0].src, kv[0].dst))}
+
+    @property
+    def rmc_channels(self) -> list[Channel]:
+        """Channels currently held in ``rmc`` status."""
+        return [ch for ch, m in self.statuses.items() if m is Mode.RMC]

@@ -1,0 +1,103 @@
+"""Append-only JSONL event stream for monitor sessions.
+
+One JSON object per line, flushed per event so a crashed or killed run
+leaves a readable prefix.  Every event carries a format version, a
+monotonically increasing sequence number, and a ``kind``; the remaining
+keys are kind-specific.  :func:`validate_event` checks one decoded
+object and :func:`read_events` replays (and validates) a whole file, so
+CI can assert on a run's alert history without parsing logs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.errors import MonitorError
+
+__all__ = ["EVENT_KINDS", "EventLog", "read_events", "validate_event"]
+
+EVENT_STREAM_VERSION = 1
+
+#: kind -> keys required beyond the envelope (v, seq, kind).
+EVENT_KINDS: dict[str, tuple[str, ...]] = {
+    "monitor_started": ("window_intervals", "n_nodes"),
+    "channel_status": ("channel", "status", "previous", "window", "confidence"),
+    "alert_firing": ("rule", "severity", "window", "value", "threshold"),
+    "alert_resolved": ("rule", "severity", "window", "value", "threshold"),
+    "monitor_finished": ("windows", "samples", "rmc_channels"),
+}
+
+
+def validate_event(obj: object) -> dict:
+    """Check one decoded event object; returns it on success."""
+    if not isinstance(obj, dict):
+        raise MonitorError(f"event is not a JSON object: {obj!r}")
+    for key in ("v", "seq", "kind"):
+        if key not in obj:
+            raise MonitorError(f"event is missing envelope key {key!r}: {obj!r}")
+    if obj["v"] != EVENT_STREAM_VERSION:
+        raise MonitorError(
+            f"unsupported event stream version {obj['v']!r} "
+            f"(expected {EVENT_STREAM_VERSION})"
+        )
+    kind = obj["kind"]
+    required = EVENT_KINDS.get(kind)
+    if required is None:
+        raise MonitorError(f"unknown event kind {kind!r}")
+    missing = [k for k in required if k not in obj]
+    if missing:
+        raise MonitorError(f"{kind} event is missing keys {missing}: {obj!r}")
+    return obj
+
+
+class EventLog:
+    """Writes validated events to a JSONL file, one per line, flushed."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self._seq = 0
+
+    def emit(self, kind: str, **payload: object) -> dict:
+        """Append one event; returns the full object written."""
+        if self._fh is None:
+            raise MonitorError(f"event log {self.path} is closed")
+        event = {"v": EVENT_STREAM_VERSION, "seq": self._seq, "kind": kind}
+        event.update(payload)
+        validate_event(event)
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        self._seq += 1
+        return event
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> EventLog:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> Iterator[dict]:
+    """Replay a JSONL event stream, validating every line."""
+    path = Path(path)
+    if not path.exists():
+        raise MonitorError(f"event stream not found: {path}")
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise MonitorError(
+                    f"{path}:{lineno}: malformed JSON: {exc}"
+                ) from exc
+            yield validate_event(obj)

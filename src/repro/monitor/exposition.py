@@ -1,0 +1,119 @@
+"""Prometheus text exposition (format v0.0.4) for a MetricsRegistry.
+
+The telemetry registry uses dotted names with the variable part last
+(``profiler.remote_latency.0->1``).  Prometheus wants a flat metric name
+plus labels, so the renderer splits each dotted name, lifts any
+``src->dst`` segment into a ``channel`` label, joins the rest with
+underscores, and emits the standard ``# HELP`` / ``# TYPE`` preamble per
+family.  Counters get the conventional ``_total`` suffix; histograms are
+expanded to cumulative ``_bucket{le=...}`` series (closed with
+``le="+Inf"``) plus ``_sum`` and ``_count``, matching what a real
+Prometheus client library would produce.  Output is sorted, so two
+renders of the same registry are byte-identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: Value for the HTTP Content-Type header when serving this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_CHANNEL_SEGMENT = re.compile(r"^(\d+)->(\d+)$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _split_name(dotted: str, namespace: str) -> tuple[str, dict[str, str]]:
+    """Dotted registry name -> (prometheus metric name, labels)."""
+    labels: dict[str, str] = {}
+    parts = []
+    for seg in dotted.split("."):
+        m = _CHANNEL_SEGMENT.match(seg)
+        if m:
+            labels["channel"] = f"{m.group(1)}->{m.group(2)}"
+        else:
+            parts.append(_INVALID_CHARS.sub("_", seg))
+    name = "_".join(p for p in parts if p)
+    if namespace:
+        name = f"{namespace}_{name}"
+    if not name or name[0].isdigit():
+        name = f"_{name}"
+    return name, labels
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(v: float) -> str:
+    f = float(v)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _histogram_lines(
+    name: str, labels: dict[str, str], hist: Histogram
+) -> list[str]:
+    lines = []
+    cumulative = 0
+    for bound, count in zip(hist.boundaries, hist.counts):
+        cumulative += count
+        le = dict(labels, le=_fmt(bound))
+        lines.append(f"{name}_bucket{_render_labels(le)} {cumulative}")
+    le = dict(labels, le="+Inf")
+    lines.append(f"{name}_bucket{_render_labels(le)} {hist.count}")
+    lines.append(f"{name}_sum{_render_labels(labels)} {_fmt(hist.sum)}")
+    lines.append(f"{name}_count{_render_labels(labels)} {hist.count}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry, namespace: str = "drbw") -> str:
+    """Render every instrument in ``registry`` as exposition text."""
+    # family name -> (type, help, [(labels, instrument)])
+    families: dict[str, tuple[str, str, list]] = {}
+
+    def add(dotted: str, kind: str, instrument: object, suffix: str = "") -> None:
+        name, labels = _split_name(dotted, namespace)
+        name += suffix
+        fam = families.get(name)
+        if fam is None:
+            help_text = f"{name} exported from the repro metrics registry"
+            fam = families[name] = (kind, help_text, [])
+        fam[2].append((labels, instrument))
+
+    for dotted, c in registry.counters.items():
+        add(dotted, "counter", c, suffix="_total")
+    for dotted, g in registry.gauges.items():
+        add(dotted, "gauge", g)
+    for dotted, h in registry.histograms.items():
+        add(dotted, "histogram", h)
+
+    out: list[str] = []
+    for name in sorted(families):
+        kind, help_text, series = families[name]
+        out.append(f"# HELP {name} {help_text}")
+        out.append(f"# TYPE {name} {kind}")
+        for labels, instrument in sorted(series, key=lambda s: sorted(s[0].items())):
+            if kind == "histogram":
+                out.extend(_histogram_lines(name, labels, instrument))
+            else:
+                out.append(
+                    f"{name}{_render_labels(labels)} {_fmt(instrument.value)}"
+                )
+    return "\n".join(out) + "\n" if out else ""

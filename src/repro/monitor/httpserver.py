@@ -1,0 +1,100 @@
+"""Zero-dependency ``/metrics`` endpoint on the stdlib HTTP server.
+
+A :class:`MetricsServer` wraps a render callable (normally
+``lambda: render_prometheus(registry)``) behind a daemon-threaded
+:class:`~http.server.ThreadingHTTPServer`.  Binding to port 0 lets the
+OS pick a free port — tests and the CLI read it back from ``.port`` —
+and rendering happens per request, so a scrape always sees the current
+registry state.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.errors import MonitorError
+from repro.monitor.exposition import CONTENT_TYPE
+
+__all__ = ["MetricsServer"]
+
+logger = logging.getLogger(__name__)
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    render: Callable[[], str]  # set by MetricsServer on the subclass
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        try:
+            body = type(self).render().encode("utf-8")
+        except Exception:  # pragma: no cover - defensive: render must not kill scrapes
+            logger.exception("metrics render failed")
+            self.send_error(500, "metrics render failed")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        logger.debug("metrics http: " + format, *args)
+
+
+class MetricsServer:
+    """Serve exposition text at ``http://host:port/metrics``."""
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        handler = type("_BoundHandler", (_MetricsHandler,), {"render": staticmethod(render)})
+        try:
+            self._server = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            raise MonitorError(
+                f"cannot bind metrics endpoint on {host}:{port}: {exc}"
+            ) from exc
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def start(self) -> MetricsServer:
+        if self._thread is not None:
+            raise MonitorError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="drbw-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> MetricsServer:
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

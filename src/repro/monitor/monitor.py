@@ -1,0 +1,290 @@
+"""The live monitor: windows -> verdicts -> alerts -> events/metrics.
+
+:class:`LiveMonitor` is the object :meth:`Profiler.profile_live
+<repro.core.profiler.Profiler.profile_live>` streams into.  Each
+interval's attributed samples are reduced to sufficient statistics,
+pushed into the sliding :class:`~repro.monitor.windows.FeatureWindows`,
+classified per channel by the :class:`~repro.monitor.detector.OnlineDetector`,
+and the resulting :class:`WindowSnapshot` is fed to the
+:class:`~repro.monitor.alerts.AlertEngine`.  Side effects per window:
+
+* gauges/counters in the monitor's metrics registry (scrapeable via
+  :func:`~repro.monitor.exposition.render_prometheus`),
+* ``channel_status`` / ``alert_*`` events on the optional JSONL
+  :class:`~repro.monitor.events.EventLog`,
+* an optional ``on_window(snapshot)`` callback (the CLI dashboard).
+
+When a telemetry session is active the monitor writes into its shared
+registry, so monitor gauges land in the exported telemetry artifact;
+otherwise it owns a private registry, keeping ``/metrics`` functional
+without a telemetry session.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.classifier import MIN_CHANNEL_SUPPORT, ChannelVerdict, DrBwClassifier
+from repro.errors import InsufficientSamplesError, MonitorError
+from repro.monitor.alerts import AlertEngine, AlertEvent, AlertRule, DEFAULT_ALERT_RULES
+from repro.monitor.detector import HysteresisConfig, OnlineDetector, StatusTransition
+from repro.monitor.events import EventLog
+from repro.monitor.windows import FeatureWindows, interval_stats
+from repro.numasim.topology import NumaTopology
+from repro.telemetry import MetricsRegistry, get_telemetry
+from repro.types import Channel, Mode
+
+__all__ = ["MonitorConfig", "ChannelView", "WindowSnapshot", "LiveMonitor"]
+
+#: Default monitoring interval: 8M cycles keeps streaming overhead in the
+#: low single digits (see benchmarks/bench_monitor.py) while giving each
+#: window enough samples to clear the classifier's support floor.
+DEFAULT_INTERVAL_CYCLES = 8e6
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tunables for one live-monitoring session."""
+
+    window_intervals: int = 8
+    hysteresis: HysteresisConfig = field(default_factory=HysteresisConfig)
+    min_support: int = MIN_CHANNEL_SUPPORT
+    rules: tuple[AlertRule, ...] = DEFAULT_ALERT_RULES
+    interval_cycles: float = DEFAULT_INTERVAL_CYCLES
+    history: int = 96
+
+    def __post_init__(self) -> None:
+        if self.window_intervals < 1:
+            raise MonitorError(
+                f"window_intervals must be >= 1, got {self.window_intervals}"
+            )
+        if self.interval_cycles <= 0:
+            raise MonitorError(
+                f"interval_cycles must be positive, got {self.interval_cycles}"
+            )
+        if self.history < 1:
+            raise MonitorError(f"history must be >= 1, got {self.history}")
+
+
+@dataclass(frozen=True)
+class ChannelView:
+    """One channel's state in a window snapshot."""
+
+    channel: Channel
+    remote_share: float
+    avg_remote_latency: float
+    n_remote: int
+    verdict: ChannelVerdict
+    status: Mode
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Everything the alert engine and dashboard see for one window."""
+
+    index: int
+    end_cycle: float
+    n_samples: int
+    quarantine_rate: float
+    channels: dict[Channel, ChannelView]
+    rmc_channels: tuple[Channel, ...]
+
+
+class LiveMonitor:
+    """Streaming contention monitor over profiler intervals."""
+
+    def __init__(
+        self,
+        classifier: DrBwClassifier,
+        topology: NumaTopology,
+        config: MonitorConfig | None = None,
+        event_log: EventLog | None = None,
+        on_window: Callable[[WindowSnapshot], None] | None = None,
+    ) -> None:
+        self.config = config or MonitorConfig()
+        self.topology = topology
+        self.event_log = event_log
+        self.on_window = on_window
+        tel = get_telemetry()
+        self.metrics = tel.metrics if tel.enabled else MetricsRegistry()
+        self.windows = FeatureWindows(
+            n_nodes=topology.n_sockets,
+            window_intervals=self.config.window_intervals,
+        )
+        self.detector = OnlineDetector(
+            classifier,
+            hysteresis=self.config.hysteresis,
+            min_support=self.config.min_support,
+        )
+        self.alerts = AlertEngine(self.config.rules)
+        # Per-channel remote-share history for the dashboard sparklines.
+        self.history: dict[Channel, deque[float]] = {}
+        self._quarantine: deque[tuple[int, int]] = deque(
+            maxlen=self.config.window_intervals
+        )
+        self.window_index = -1
+        self.last_snapshot: WindowSnapshot | None = None
+        self.transitions: list[StatusTransition] = []
+        self.alert_events: list[AlertEvent] = []
+        self._started = False
+
+    # -- properties the CLI and tests read -------------------------------
+
+    @property
+    def interval_cycles(self) -> float:
+        """Read by :meth:`Profiler.profile_live` to slice the run."""
+        return self.config.interval_cycles
+
+    @property
+    def statuses(self) -> dict[Channel, Mode]:
+        return self.detector.statuses
+
+    @property
+    def rmc_channels(self) -> list[Channel]:
+        return self.detector.rmc_channels
+
+    @property
+    def ever_rmc(self) -> bool:
+        """Whether any channel's damped status ever reached rmc."""
+        return any(t.status is Mode.RMC for t in self.transitions)
+
+    def firing(self) -> list[AlertEvent]:
+        return self.alerts.firing()
+
+    # -- the streaming entry point ---------------------------------------
+
+    def observe_interval(
+        self, record, fields, observed: int = 0, quarantined: int = 0
+    ) -> WindowSnapshot:
+        """Consume one profiler interval; returns the window snapshot."""
+        if not self._started:
+            self._started = True
+            self._emit(
+                "monitor_started",
+                window_intervals=self.config.window_intervals,
+                n_nodes=self.topology.n_sockets,
+            )
+        self.window_index += 1
+        index = self.window_index
+        m = self.metrics
+
+        stats = interval_stats(fields, self.topology.n_sockets)
+        self.windows.push(stats)
+        self._quarantine.append((observed, quarantined))
+        q_obs = sum(o for o, _ in self._quarantine)
+        q_bad = sum(q for _, q in self._quarantine)
+        quarantine_rate = q_bad / q_obs if q_obs else 0.0
+
+        window_channels = self.windows.channels()
+        views: dict[Channel, ChannelView] = {}
+        for channel in window_channels:
+            try:
+                features = self.windows.features_for(
+                    channel, min_samples=self.config.min_support
+                )
+            except InsufficientSamplesError:
+                continue
+            verdict, transition = self.detector.observe(channel, features, index)
+            if transition is not None:
+                self._record_transition(transition)
+            share = self.windows.remote_share(channel)
+            lat = self.windows.avg_remote_latency(channel)
+            views[channel] = ChannelView(
+                channel=channel,
+                remote_share=share,
+                avg_remote_latency=lat,
+                n_remote=verdict.n_remote_samples,
+                verdict=verdict,
+                status=self.detector.status_of(channel),
+            )
+            tag = f"{channel.src}->{channel.dst}"
+            m.gauge(f"monitor.window.remote_share.{tag}").set(share)
+            m.gauge(f"monitor.window.remote_latency.{tag}").set(lat)
+            m.gauge(f"monitor.window.rmc_status.{tag}").set(
+                1.0 if views[channel].status is Mode.RMC else 0.0
+            )
+            hist = self.history.get(channel)
+            if hist is None:
+                hist = self.history[channel] = deque(maxlen=self.config.history)
+            hist.append(share)
+
+        # Channels the detector has seen but that carry *zero* remote
+        # samples this window vote good (quiet is not contended) and keep
+        # their dashboard traces decaying toward zero.
+        window_set = set(window_channels)
+        for channel in self.detector.statuses:
+            if channel in window_set:
+                continue
+            transition = self.detector.observe_quiet(channel, index)
+            if transition is not None:
+                self._record_transition(transition)
+            tag = f"{channel.src}->{channel.dst}"
+            m.gauge(f"monitor.window.remote_share.{tag}").set(0.0)
+            m.gauge(f"monitor.window.remote_latency.{tag}").set(0.0)
+            m.gauge(f"monitor.window.rmc_status.{tag}").set(
+                1.0 if self.detector.status_of(channel) is Mode.RMC else 0.0
+            )
+            hist = self.history.get(channel)
+            if hist is not None:
+                hist.append(0.0)
+
+        rmc = tuple(ch for ch, v in views.items() if v.status is Mode.RMC)
+        snapshot = WindowSnapshot(
+            index=index,
+            end_cycle=float(record.end_cycle),
+            n_samples=self.windows.n_samples,
+            quarantine_rate=quarantine_rate,
+            channels=views,
+            rmc_channels=rmc,
+        )
+
+        m.counter("monitor.windows").inc()
+        m.gauge("monitor.window.samples").set(snapshot.n_samples)
+        m.gauge("monitor.window.quarantine_rate").set(quarantine_rate)
+        m.gauge("monitor.window.rmc_channels").set(len(rmc))
+
+        for event in self.alerts.evaluate(snapshot):
+            self.alert_events.append(event)
+            m.counter(f"monitor.alerts.{event.kind}").inc()
+            self._emit(
+                f"alert_{event.kind}",
+                rule=event.rule,
+                severity=event.severity,
+                window=event.window_index,
+                value=round(event.value, 6),
+                threshold=event.threshold,
+                **({"channel": str(event.channel)} if event.channel else {}),
+            )
+
+        self.last_snapshot = snapshot
+        if self.on_window is not None:
+            self.on_window(snapshot)
+        return snapshot
+
+    def _record_transition(self, transition: StatusTransition) -> None:
+        self.transitions.append(transition)
+        self.metrics.counter("monitor.status_transitions").inc()
+        self._emit(
+            "channel_status",
+            channel=str(transition.channel),
+            status=transition.status.value,
+            previous=transition.previous.value,
+            window=transition.window_index,
+            confidence=round(transition.verdict.confidence, 4),
+        )
+
+    def finalize(self, run: object = None) -> None:
+        """Called by ``profile_live`` after the run completes."""
+        if self._started:
+            self._emit(
+                "monitor_finished",
+                windows=self.window_index + 1,
+                samples=self.windows.n_samples,
+                rmc_channels=[str(c) for c in self.rmc_channels],
+            )
+
+    def _emit(self, kind: str, **payload: object) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(kind, **payload)

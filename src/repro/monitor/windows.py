@@ -1,0 +1,233 @@
+"""Sliding-window Table I features from streaming interval statistics.
+
+The batch pipeline computes features once, over a whole run's samples;
+live monitoring needs the same 13 features over *the recent past*, updated
+every interval, without rescanning samples.  The trick is that every
+Table I feature is a ratio of sufficient statistics — counts and latency
+sums over fixed populations (source node, channel × REMOTE_DRAM, source
+node × LOCAL_DRAM/LFB, threshold exceedances).  So each interval is
+reduced once, vectorized, to an :class:`IntervalStats`, and a window is a
+deque of those with running totals: push adds, eviction subtracts, and
+:meth:`FeatureWindows.features_for` reassembles the exact
+:class:`~repro.core.features.FeatureVector` the batch extractor would
+produce over the same samples (counts exactly — integer arithmetic —
+and averages up to float summation order).
+
+The PR 1 min-sample floor carries over unchanged: a window whose
+source-node population is below ``min_samples`` raises
+:class:`~repro.errors.InsufficientSamplesError`, exactly like
+:func:`repro.core.features.extract_channel_features`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.features import (
+    LATENCY_THRESHOLDS,
+    TABLE1_FEATURE_NAMES,
+    FeatureVector,
+)
+from repro.errors import InsufficientSamplesError, MonitorError
+from repro.types import Channel, MemLevel
+
+__all__ = ["IntervalStats", "interval_stats", "FeatureWindows"]
+
+_N_THRESH = len(LATENCY_THRESHOLDS)
+
+
+class IntervalStats:
+    """Sufficient statistics of one interval's attributed samples.
+
+    Per source node: sample count, latency sum, per-threshold exceedance
+    counts, and the LOCAL_DRAM / LFB sub-population counts and sums.  Per
+    directed remote channel: REMOTE_DRAM count and latency sum.  Addition
+    and subtraction are elementwise, so a sliding window maintains running
+    totals in O(nodes) per interval.
+    """
+
+    __slots__ = (
+        "n_samples",
+        "src_n",
+        "src_lat",
+        "src_above",
+        "local_n",
+        "local_lat",
+        "lfb_n",
+        "lfb_lat",
+        "remote",
+    )
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_samples = 0
+        self.src_n = np.zeros(n_nodes, dtype=np.int64)
+        self.src_lat = np.zeros(n_nodes)
+        self.src_above = np.zeros((n_nodes, _N_THRESH), dtype=np.int64)
+        self.local_n = np.zeros(n_nodes, dtype=np.int64)
+        self.local_lat = np.zeros(n_nodes)
+        self.lfb_n = np.zeros(n_nodes, dtype=np.int64)
+        self.lfb_lat = np.zeros(n_nodes)
+        self.remote: dict[tuple[int, int], list[float]] = {}  # (s, d) -> [n, lat_sum]
+
+
+def interval_stats(fields: dict[str, np.ndarray], n_nodes: int) -> IntervalStats:
+    """Reduce one interval's attributed sample fields to sufficient stats."""
+    src = fields["src_node"]
+    lat = fields["latency"]
+    level = fields["level"]
+    st = IntervalStats(n_nodes)
+    st.n_samples = int(src.shape[0])
+    if not st.n_samples:
+        return st
+
+    st.src_n = np.bincount(src, minlength=n_nodes).astype(np.int64)
+    st.src_lat = np.bincount(src, weights=lat, minlength=n_nodes)
+    for j, t in enumerate(LATENCY_THRESHOLDS):
+        above = src[lat > t]
+        if above.size:
+            st.src_above[:, j] = np.bincount(above, minlength=n_nodes)
+
+    local = level == int(MemLevel.LOCAL_DRAM)
+    if np.any(local):
+        st.local_n = np.bincount(src[local], minlength=n_nodes).astype(np.int64)
+        st.local_lat = np.bincount(src[local], weights=lat[local], minlength=n_nodes)
+    lfb = level == int(MemLevel.LFB)
+    if np.any(lfb):
+        st.lfb_n = np.bincount(src[lfb], minlength=n_nodes).astype(np.int64)
+        st.lfb_lat = np.bincount(src[lfb], weights=lat[lfb], minlength=n_nodes)
+
+    dst = fields["dst_node"]
+    remote = (level == int(MemLevel.REMOTE_DRAM)) & (src != dst)
+    if np.any(remote):
+        rs, rd, rl = src[remote], dst[remote], lat[remote]
+        flat = rs * n_nodes + rd
+        counts = np.bincount(flat, minlength=n_nodes * n_nodes)
+        sums = np.bincount(flat, weights=rl, minlength=n_nodes * n_nodes)
+        for k in np.nonzero(counts)[0]:
+            st.remote[(int(k) // n_nodes, int(k) % n_nodes)] = [
+                int(counts[k]),
+                float(sums[k]),
+            ]
+    return st
+
+
+class FeatureWindows:
+    """Sliding window of interval statistics with incremental Table I features.
+
+    ``window_intervals`` is the window width W: after each
+    :meth:`push` the totals cover the last W intervals (fewer during
+    warm-up).  Counts are integers, so they are exact under add/subtract;
+    latency sums are float accumulations whose drift is far below feature
+    noise (the property test pins them to the batch recompute at 1e-9
+    relative).
+    """
+
+    def __init__(self, n_nodes: int, window_intervals: int) -> None:
+        if n_nodes < 1:
+            raise MonitorError(f"need at least one node, got {n_nodes}")
+        if window_intervals < 1:
+            raise MonitorError(
+                f"window must span at least one interval, got {window_intervals}"
+            )
+        self.n_nodes = n_nodes
+        self.window_intervals = window_intervals
+        self._frames: deque[IntervalStats] = deque()
+        self._tot = IntervalStats(n_nodes)
+
+    def __len__(self) -> int:
+        """Number of intervals currently in the window."""
+        return len(self._frames)
+
+    @property
+    def n_samples(self) -> int:
+        """Total samples across the window."""
+        return self._tot.n_samples
+
+    def push(self, stats: IntervalStats) -> IntervalStats | None:
+        """Add one interval; returns the evicted interval once full."""
+        self._frames.append(stats)
+        self._apply(stats, +1)
+        if len(self._frames) <= self.window_intervals:
+            return None
+        evicted = self._frames.popleft()
+        self._apply(evicted, -1)
+        return evicted
+
+    def _apply(self, st: IntervalStats, sign: int) -> None:
+        tot = self._tot
+        tot.n_samples += sign * st.n_samples
+        tot.src_n += sign * st.src_n
+        tot.src_lat += sign * st.src_lat
+        tot.src_above += sign * st.src_above
+        tot.local_n += sign * st.local_n
+        tot.local_lat += sign * st.local_lat
+        tot.lfb_n += sign * st.lfb_n
+        tot.lfb_lat += sign * st.lfb_lat
+        for key, (n, s) in st.remote.items():
+            acc = tot.remote.get(key)
+            if acc is None:
+                acc = tot.remote[key] = [0, 0.0]
+            acc[0] += sign * n
+            acc[1] += sign * s
+            if acc[0] <= 0:
+                # Dropping the emptied channel also drops any float
+                # residue, so a channel that goes quiet re-enters clean.
+                del tot.remote[key]
+
+    def channels(self) -> list[Channel]:
+        """Remote channels with at least one REMOTE_DRAM sample in-window."""
+        return [Channel(s, d) for s, d in sorted(self._tot.remote)]
+
+    def features_for(self, channel: Channel, min_samples: int = 0) -> FeatureVector:
+        """Table I features over the window, batch-extractor semantics.
+
+        Raises :class:`InsufficientSamplesError` when the source-node
+        population is below ``min_samples`` (the PR 1 degradation floor).
+        """
+        tot = self._tot
+        s = channel.src
+        n_src = int(tot.src_n[s])
+        if n_src < min_samples:
+            raise InsufficientSamplesError(
+                f"channel {channel} has {n_src} source-node samples in the "
+                f"window, below the floor of {min_samples}"
+            )
+        remote_n, remote_sum = tot.remote.get((channel.src, channel.dst), (0, 0.0))
+        ratios = [
+            int(tot.src_above[s, j]) / n_src if n_src else 0.0
+            for j in range(_N_THRESH)
+        ]
+        local_n = int(tot.local_n[s])
+        lfb_n = int(tot.lfb_n[s])
+        values = np.array(
+            ratios
+            + [
+                float(remote_n),
+                remote_sum / remote_n if remote_n else 0.0,
+                float(local_n),
+                tot.local_lat[s] / local_n if local_n else 0.0,
+                float(n_src),
+                tot.src_lat[s] / n_src if n_src else 0.0,
+                float(lfb_n),
+                tot.lfb_lat[s] / lfb_n if lfb_n else 0.0,
+            ]
+        )
+        values = np.nan_to_num(values, nan=0.0, posinf=0.0, neginf=0.0)
+        return FeatureVector(names=TABLE1_FEATURE_NAMES, values=values)
+
+    def remote_share(self, channel: Channel) -> float:
+        """Fraction of the source node's window samples on this channel."""
+        n_src = int(self._tot.src_n[channel.src])
+        if not n_src:
+            return 0.0
+        remote_n, _ = self._tot.remote.get((channel.src, channel.dst), (0, 0.0))
+        return remote_n / n_src
+
+    def avg_remote_latency(self, channel: Channel) -> float:
+        """Mean REMOTE_DRAM latency on this channel over the window."""
+        remote_n, remote_sum = self._tot.remote.get(
+            (channel.src, channel.dst), (0, 0.0)
+        )
+        return remote_sum / remote_n if remote_n else 0.0

@@ -53,6 +53,8 @@ __all__ = [
     "EnginePhase",
     "ThreadProgram",
     "SampleBucket",
+    "BucketRates",
+    "IntervalRecord",
     "PhaseTiming",
     "RunResult",
     "ExecutionEngine",
@@ -152,6 +154,76 @@ class SampleBucket:
 
 
 @dataclass(frozen=True)
+class BucketRates:
+    """Columnar per-cycle access rates of one stationary span.
+
+    One row per (thread, stream, level, dst) combination the span's solver
+    resolved; ``rate[i]`` is accesses/cycle, so a slice of ``dt`` cycles
+    contributes ``rate[i] * dt`` accesses at ``latency[i]``.  Shared by
+    every :class:`IntervalRecord` sliced out of the span, so per-slice
+    consumers (the PMU sampler's streaming path) can thin the whole row
+    set with one vectorized draw instead of materializing buckets.
+    """
+
+    thread_id: np.ndarray
+    cpu: np.ndarray
+    src_node: np.ndarray
+    object_id: np.ndarray
+    region_base: np.ndarray
+    region_bytes: np.ndarray
+    level: np.ndarray
+    dst_node: np.ndarray
+    rate: np.ndarray
+    latency: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.rate.shape[0])
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One monitoring interval emitted by the engine's streaming hook.
+
+    Produced only when a listener is attached (see
+    :meth:`ExecutionEngine.run`); the batch path never builds these.
+    ``node_bytes[d]`` is DRAM traffic served by node ``d`` during the
+    interval; ``channel_bytes`` the per-directed-channel share of it.
+    """
+
+    index: int
+    start_cycle: float
+    duration_cycles: float
+    node_bytes: np.ndarray
+    channel_bytes: dict[Channel, float]
+    rates: BucketRates
+
+    @property
+    def end_cycle(self) -> float:
+        return self.start_cycle + self.duration_cycles
+
+    def buckets(self) -> list[SampleBucket]:
+        """Materialize this interval's accesses as sample buckets."""
+        r = self.rates
+        counts = r.rate * self.duration_cycles
+        return [
+            SampleBucket(
+                thread_id=int(r.thread_id[i]),
+                cpu=int(r.cpu[i]),
+                src_node=int(r.src_node[i]),
+                object_id=int(r.object_id[i]),
+                region_base=int(r.region_base[i]),
+                region_bytes=int(r.region_bytes[i]),
+                level=MemLevel(int(r.level[i])),
+                dst_node=int(r.dst_node[i]),
+                n_accesses=float(counts[i]),
+                mean_latency=float(r.latency[i]),
+            )
+            for i in range(len(r))
+            if counts[i] > 0
+        ]
+
+
+@dataclass(frozen=True)
 class PhaseTiming:
     """Wall-clock (cycle) extent of one named phase across all threads."""
 
@@ -241,16 +313,33 @@ class ExecutionEngine:
         self,
         programs: list[ThreadProgram],
         extra_stall_cycles_per_access: float = 0.0,
+        interval_listener=None,
+        interval_max_cycles: float | None = None,
     ) -> RunResult:
         """Execute ``programs`` and return the full run record.
 
         ``extra_stall_cycles_per_access`` injects a uniform per-access slowdown
         used by the profiling-overhead model (Table VII): sampling interrupts
         and allocation interception steal cycles from every thread.
+
+        ``interval_listener``, when given, is called with an
+        :class:`IntervalRecord` for every monitoring interval *while the run
+        executes* — the streaming hook live monitoring builds on.  The system
+        is stationary between phase completions, so slicing a span at
+        ``interval_max_cycles`` (when set) only refines reporting
+        granularity: per-slice traffic and access counts are exact linear
+        shares of the span, and the batch-path accounting (buckets,
+        utilization histories, timings) is untouched.  Listener exceptions
+        propagate and abort the run.
         """
         tel = get_telemetry()
         with tel.span("engine.run", n_threads=len(programs)) as sp:
-            result = self._run(programs, extra_stall_cycles_per_access)
+            result = self._run(
+                programs,
+                extra_stall_cycles_per_access,
+                interval_listener=interval_listener,
+                interval_max_cycles=interval_max_cycles,
+            )
             if tel.enabled:
                 n_intervals = len(result.memctrl.history(0))
                 sp.set(
@@ -269,7 +358,13 @@ class ExecutionEngine:
         self,
         programs: list[ThreadProgram],
         extra_stall_cycles_per_access: float,
+        interval_listener=None,
+        interval_max_cycles: float | None = None,
     ) -> RunResult:
+        if interval_max_cycles is not None and interval_max_cycles <= 0:
+            raise SimulationError(
+                f"interval_max_cycles must be positive, got {interval_max_cycles}"
+            )
         if not programs:
             raise SimulationError("no thread programs to run")
         seen = set()
@@ -292,6 +387,7 @@ class ExecutionEngine:
         phase_spans: dict[tuple[int, str], list[float]] = {}  # (group, name) -> [start, end]
         guard = 0
         max_events = sum(len(p.phases) for p in programs) * 4 + 64
+        interval_index = 0
 
         while True:
             runnable = self._runnable(states)
@@ -315,6 +411,18 @@ class ExecutionEngine:
             self._record_interval(
                 now, dt, runnable, rates, ctxs, memctrl, fabric, bucket_acc, phase_spans
             )
+            if interval_listener is not None:
+                interval_index = self._emit_intervals(
+                    interval_listener,
+                    interval_index,
+                    now,
+                    dt,
+                    runnable,
+                    rates,
+                    ctxs,
+                    fabric,
+                    interval_max_cycles,
+                )
 
             now += dt
             for st, rate in zip(runnable, rates):
@@ -661,6 +769,130 @@ class ExecutionEngine:
 
         memctrl.record_interval(now, dt, node_bytes)
         fabric.record_interval(now, dt, chan_bytes)
+
+    # -- the streaming hook -----------------------------------------------------
+
+    def _emit_intervals(
+        self,
+        listener,
+        index: int,
+        start: float,
+        span: float,
+        runnable: list[_ThreadState],
+        rates: list[float],
+        ctxs: list[list[_StreamCtx]],
+        fabric: InterconnectFabric,
+        max_cycles: float | None,
+    ) -> int:
+        """Slice one stationary span into monitoring intervals.
+
+        The solver ran once for the whole span; slices share one
+        :class:`BucketRates` table, so each emission is a handful of
+        vectorized scalings — cheap enough to leave the listener attached
+        on production-length runs.
+        """
+        bucket_rates, node_rate, chan_rate = self._span_rates(runnable, rates, ctxs, fabric)
+        n_slices = 1
+        if max_cycles is not None:
+            n_slices = max(1, math.ceil(span / max_cycles))
+            if n_slices > 100_000:
+                raise SimulationError(
+                    f"interval_max_cycles={max_cycles} slices a {span:.3g}-cycle "
+                    "span into too many intervals"
+                )
+        dt = span / n_slices
+        channels = fabric.channels
+        for k in range(n_slices):
+            chan_bytes = chan_rate * dt
+            listener(
+                IntervalRecord(
+                    index=index,
+                    start_cycle=start + k * dt,
+                    duration_cycles=dt,
+                    node_bytes=node_rate * dt,
+                    channel_bytes={
+                        ch: float(v) for ch, v in zip(channels, chan_bytes)
+                    },
+                    rates=bucket_rates,
+                )
+            )
+            index += 1
+        return index
+
+    def _span_rates(
+        self,
+        runnable: list[_ThreadState],
+        rates: list[float],
+        ctxs: list[list[_StreamCtx]],
+        fabric: InterconnectFabric,
+    ) -> tuple[BucketRates, np.ndarray, np.ndarray]:
+        """Per-cycle access and traffic rates of the current stationary span."""
+        n_nodes = self.topology.n_sockets
+        node_rate = np.zeros(n_nodes)
+        chan_rate = np.zeros(len(fabric))
+        cols: dict[str, list] = {
+            name: []
+            for name in (
+                "thread_id", "cpu", "src_node", "object_id",
+                "region_base", "region_bytes", "level", "dst_node",
+                "rate", "latency",
+            )
+        }
+
+        def add_row(st: _ThreadState, ctx: _StreamCtx, level: MemLevel,
+                    dst: int, rate: float, latency: float) -> None:
+            if rate <= 0:
+                return
+            cols["thread_id"].append(st.program.thread_id)
+            cols["cpu"].append(st.program.cpu)
+            cols["src_node"].append(ctx.src_node)
+            cols["object_id"].append(ctx.stream.object_id)
+            cols["region_base"].append(ctx.stream.region_base)
+            cols["region_bytes"].append(ctx.stream.region_bytes)
+            cols["level"].append(int(level))
+            cols["dst_node"].append(dst)
+            cols["rate"].append(rate)
+            cols["latency"].append(latency)
+
+        for st, rate, per_thread in zip(runnable, rates, ctxs):
+            for ctx in per_thread:
+                lats = getattr(ctx, "latencies")
+                stream_rate = rate * ctx.stream.weight
+                nf = ctx.stream.node_fractions
+                src = ctx.src_node
+                remote_total = 1.0 - float(nf[src])
+                for dst in range(n_nodes):
+                    traffic = ctx.traffic_coeff[dst] * rate
+                    if traffic <= 0:
+                        continue
+                    node_rate[dst] += traffic
+                    if dst != src:
+                        chan_rate[fabric.index_of(Channel(src, dst))] += traffic
+                for lvl, frac in ctx.fractions.items():
+                    if frac <= 0:
+                        continue
+                    if lvl is MemLevel.REMOTE_DRAM:
+                        for dst in range(n_nodes):
+                            if dst == src or nf[dst] <= 0:
+                                continue
+                            r = stream_rate * frac * nf[dst] / max(remote_total, _EPS)
+                            add_row(st, ctx, lvl, dst, r, lats[(lvl, dst)])
+                    else:
+                        add_row(st, ctx, lvl, src, stream_rate * frac, lats[(lvl, src)])
+
+        int_cols = (
+            "thread_id", "cpu", "src_node", "object_id",
+            "region_base", "region_bytes", "level", "dst_node",
+        )
+        return (
+            BucketRates(
+                **{c: np.asarray(cols[c], dtype=np.int64) for c in int_cols},
+                rate=np.asarray(cols["rate"], dtype=np.float64),
+                latency=np.asarray(cols["latency"], dtype=np.float64),
+            ),
+            node_rate,
+            chan_rate,
+        )
 
     @staticmethod
     def _accumulate(

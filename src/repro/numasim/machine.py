@@ -43,8 +43,17 @@ class Machine:
         programs: list[ThreadProgram],
         barriers: bool = True,
         extra_stall_cycles_per_access: float = 0.0,
+        interval_listener=None,
+        interval_max_cycles: float | None = None,
     ) -> RunResult:
-        """Execute ``programs`` on this machine and return the run record."""
+        """Execute ``programs`` on this machine and return the run record.
+
+        ``interval_listener`` / ``interval_max_cycles`` forward to the
+        engine's streaming hook (see :meth:`ExecutionEngine.run`).
+        """
         return self.engine(barriers=barriers).run(
-            programs, extra_stall_cycles_per_access=extra_stall_cycles_per_access
+            programs,
+            extra_stall_cycles_per_access=extra_stall_cycles_per_access,
+            interval_listener=interval_listener,
+            interval_max_cycles=interval_max_cycles,
         )

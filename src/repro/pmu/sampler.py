@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.numasim.engine import RunResult, SampleBucket
+from repro.numasim.engine import IntervalRecord, RunResult, SampleBucket
 from repro.numasim.latency import LatencyModel
 from repro.osl.pages import PageTable
 from repro.pmu.events import (
@@ -37,6 +37,7 @@ from repro.pmu.events import (
     PmuEvent,
 )
 from repro.pmu.sample import MemorySample, RawSampleBatch
+from repro.types import MemLevel
 
 __all__ = ["SamplerConfig", "AddressSampler"]
 
@@ -92,6 +93,11 @@ class AddressSampler:
         self.page_table = page_table
         self.latency_model = latency_model or LatencyModel()
         self._rng = np.random.default_rng(config.seed)
+        # Candidate-page sets per (region, level, dst) — page placement is
+        # fixed for the table this sampler was built against, so the lookup
+        # is pure; caching it keeps the streaming path (many small interval
+        # batches over the same regions) as cheap as the batch path.
+        self._page_cache: dict[tuple[int, int, int, int], np.ndarray | None | bool] = {}
 
     def sample_run_batch(self, run: RunResult) -> RawSampleBatch:
         """Columnar samples for a whole run (the fast path)."""
@@ -106,12 +112,143 @@ class AddressSampler:
         """Per-record samples (convenience wrapper over the batch path)."""
         return self.sample_run_batch(run).to_samples()
 
+    def sample_interval(self, record: IntervalRecord) -> RawSampleBatch:
+        """Thin one monitoring interval's access rates (the streaming path).
+
+        One vectorized Poisson draw covers every row of the interval's
+        shared :class:`~repro.numasim.engine.BucketRates` table, and sample
+        fabrication (addresses, lognormal latencies, outliers) is grouped
+        across rows rather than per bucket — the streaming path must stay
+        cheap enough to run once per monitoring interval.  Thinning a
+        Poisson process interval-by-interval is distributionally identical
+        to thinning the whole run at once, so streaming collection feeds
+        the classifier the same statistics as :meth:`sample_run_batch`.
+        """
+        r = record.rates
+        expected = r.rate * (record.duration_cycles / self.config.period)
+        draws = self._rng.poisson(expected)
+        rows = np.nonzero(draws)[0]
+        if rows.size == 0:
+            return RawSampleBatch.empty()
+
+        # Resolve candidate pages per drawn row (memoized); rows whose
+        # placement no longer matches are dropped like the batch path does.
+        candidates = [self._candidate_pages_row(r, int(i)) for i in rows]
+        ok = np.array([c is not False for c in candidates])
+        if not np.any(ok):
+            return RawSampleBatch.empty()
+        rows = rows[ok]
+        candidates = [c for c in candidates if c is not False]
+        counts = draws[rows]
+        total = int(counts.sum())
+
+        addresses = self._grouped_addresses(r, rows, counts, candidates, total)
+        medians = np.repeat(r.latency[rows], counts)
+        latencies = medians * self._rng.lognormal(
+            mean=0.0, sigma=self.latency_model.noise_sigma, size=total
+        )
+        latencies = self._inject_outliers(latencies)
+        floor = max(self.config.event.min_latency_cycles, 1)
+        latencies = np.maximum(latencies, floor)
+
+        batch = RawSampleBatch(
+            address=addresses,
+            cpu=np.repeat(r.cpu[rows], counts),
+            thread_id=np.repeat(r.thread_id[rows], counts),
+            level=np.repeat(r.level[rows], counts),
+            latency=latencies.astype(np.float64),
+        )
+        return batch.permuted(self._rng)
+
+    def _candidate_pages_row(self, rates, i: int) -> np.ndarray | None | bool:
+        """Columnar-row variant of :meth:`_candidate_pages`."""
+        key = (
+            int(rates.region_base[i]),
+            int(rates.region_bytes[i]),
+            int(rates.level[i]),
+            int(rates.dst_node[i]),
+        )
+        try:
+            return self._page_cache[key]
+        except KeyError:
+            pass
+        bucket = SampleBucket(
+            thread_id=0, cpu=0, src_node=0, object_id=0,
+            region_base=key[0], region_bytes=key[1],
+            level=MemLevel(key[2]), dst_node=key[3],
+            n_accesses=0.0, mean_latency=1.0,
+        )
+        return self._candidate_pages(bucket)
+
+    def _grouped_addresses(
+        self,
+        rates,
+        rows: np.ndarray,
+        counts: np.ndarray,
+        candidates: list,
+        total: int,
+    ) -> np.ndarray:
+        """Fabricate addresses for all drawn rows with per-group vector draws.
+
+        Rows without page constraints draw uniform offsets in one shot;
+        DRAM rows are grouped by their (shared, memoized) candidate-page
+        set so each distinct placement costs one vectorized choice.
+        """
+        base_ps = np.repeat(rates.region_base[rows], counts)
+        # Group id per row: -1 = unconstrained, else index into `groups`.
+        groups: list[tuple[np.ndarray, int, int]] = []  # (pages, base, size)
+        group_of: dict[int, int] = {}
+        gid_rows = np.empty(rows.size, dtype=np.int64)
+        for j, cand in enumerate(candidates):
+            if cand is None:
+                gid_rows[j] = -1
+                continue
+            gkey = id(cand)
+            g = group_of.get(gkey)
+            if g is None:
+                g = len(groups)
+                group_of[gkey] = g
+                groups.append(
+                    (cand, int(rates.region_base[rows[j]]), int(rates.region_bytes[rows[j]]))
+                )
+            gid_rows[j] = g
+        gid_ps = np.repeat(gid_rows, counts)
+
+        addresses = np.empty(total, dtype=np.int64)
+        unconstrained = gid_ps < 0
+        n_u = int(unconstrained.sum())
+        if n_u:
+            size_ps = np.repeat(rates.region_bytes[rows], counts)
+            offsets = (self._rng.random(n_u) * size_ps[unconstrained]).astype(np.int64)
+            addresses[unconstrained] = base_ps[unconstrained] + offsets
+        page = self.page_table.page_bytes
+        n_paged = total - n_u
+        if n_paged:
+            # One pair of RNG draws covers every page-constrained sample;
+            # per-group work is just indexing into its candidate set.
+            pick = self._rng.random(n_paged)
+            in_page = self._rng.integers(0, page, size=n_paged, dtype=np.int64)
+            paged = ~unconstrained
+            gids = gid_ps[paged]
+            out = np.empty(n_paged, dtype=np.int64)
+            for g, (pages, base, size) in enumerate(groups):
+                mask = gids == g
+                idx = (pick[mask] * pages.size).astype(np.int64)
+                out[mask] = np.minimum(
+                    base + pages[idx] * page + in_page[mask], base + size - 1
+                )
+            addresses[paged] = out
+        return addresses
+
     # -- internals -------------------------------------------------------------
 
     def _sample_bucket(self, bucket: SampleBucket) -> RawSampleBatch | None:
         n = int(self._rng.poisson(bucket.n_accesses / self.config.period))
         if n == 0:
             return None
+        return self._sample_bucket_n(bucket, n)
+
+    def _sample_bucket_n(self, bucket: SampleBucket, n: int) -> RawSampleBatch | None:
         addresses = self._addresses_for(bucket, n)
         if addresses is None:
             return None
@@ -149,23 +286,41 @@ class AddressSampler:
                 out[walk] += self._rng.uniform(tlo, thi, size=int(walk.sum()))
         return out
 
-    def _addresses_for(self, bucket: SampleBucket, n: int) -> np.ndarray | None:
-        """Addresses inside the bucket's region consistent with its target node."""
+    def _candidate_pages(self, bucket: SampleBucket) -> np.ndarray | None | bool:
+        """Pages consistent with the bucket's target node (memoized).
+
+        ``None`` means any offset in the region is fine; ``False`` means the
+        placement no longer matches and the bucket must be dropped.
+        """
+        key = (bucket.region_base, bucket.region_bytes, int(bucket.level), bucket.dst_node)
+        try:
+            return self._page_cache[key]
+        except KeyError:
+            pass
         base, size = bucket.region_base, bucket.region_bytes
-        page = self.page_table.page_bytes
+        candidate_pages: np.ndarray | None | bool
         if bucket.level.is_dram and self.page_table.is_mapped(base):
             if self.page_table.is_replicated(base):
                 # Replicated object: any page is fine, locality is by accessor.
                 candidate_pages = None
             else:
                 pages = self.page_table.pages_on_node(base, size, bucket.dst_node)
-                if pages.size == 0:
-                    # Placement changed between run and sampling; drop quietly
-                    # (mirrors PEBS races where a page migrates mid-run).
-                    return None
-                candidate_pages = pages
+                # An empty set means placement changed between run and
+                # sampling; drop quietly (mirrors PEBS races where a page
+                # migrates mid-run).
+                candidate_pages = pages if pages.size else False
         else:
             candidate_pages = None
+        self._page_cache[key] = candidate_pages
+        return candidate_pages
+
+    def _addresses_for(self, bucket: SampleBucket, n: int) -> np.ndarray | None:
+        """Addresses inside the bucket's region consistent with its target node."""
+        base, size = bucket.region_base, bucket.region_bytes
+        page = self.page_table.page_bytes
+        candidate_pages = self._candidate_pages(bucket)
+        if candidate_pages is False:
+            return None
 
         if candidate_pages is None:
             offsets = self._rng.integers(0, size, size=n, dtype=np.int64)

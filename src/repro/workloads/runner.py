@@ -30,13 +30,21 @@ def run_workload(
     n_threads: int,
     n_nodes: int,
     extra_stall_cycles_per_access: float = 0.0,
+    interval_listener=None,
+    interval_max_cycles: float | None = None,
 ) -> WorkloadRun:
-    """Run ``workload`` under the ``Tt-Nn`` binding on ``machine``."""
+    """Run ``workload`` under the ``Tt-Nn`` binding on ``machine``.
+
+    ``interval_listener`` / ``interval_max_cycles`` forward to the engine's
+    streaming hook (see :meth:`repro.numasim.engine.ExecutionEngine.run`).
+    """
     bindings = bind_threads_tt_nn(machine.topology, n_threads, n_nodes)
     compiled = compile_workload(workload, machine.topology, bindings)
     result = machine.run(
         compiled.programs,
         barriers=workload.barriers,
         extra_stall_cycles_per_access=extra_stall_cycles_per_access,
+        interval_listener=interval_listener,
+        interval_max_cycles=interval_max_cycles,
     )
     return WorkloadRun(compiled=compiled, result=result)

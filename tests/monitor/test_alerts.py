@@ -1,0 +1,133 @@
+"""Alert rule validation and firing/resolution semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import ChannelVerdict
+from repro.errors import MonitorError
+from repro.monitor.alerts import (
+    DEFAULT_ALERT_RULES,
+    AlertEngine,
+    AlertRule,
+    parse_alert_rules,
+)
+from repro.monitor.monitor import ChannelView, WindowSnapshot
+from repro.types import Channel, Mode
+
+CH = Channel(0, 1)
+
+
+def snapshot(index, remote_share=0.0, latency=0.0, status=Mode.GOOD,
+             quarantine=0.0, channels=True):
+    views = {}
+    if channels:
+        verdict = ChannelVerdict(mode=status, confidence=0.9, n_remote_samples=50)
+        views[CH] = ChannelView(
+            channel=CH, remote_share=remote_share, avg_remote_latency=latency,
+            n_remote=50, verdict=verdict, status=status,
+        )
+    rmc = tuple(c for c, v in views.items() if v.status is Mode.RMC)
+    return WindowSnapshot(
+        index=index, end_cycle=float(index) * 1e6, n_samples=1000,
+        quarantine_rate=quarantine, channels=views, rmc_channels=rmc,
+    )
+
+
+def test_fires_after_for_windows_and_resolves_after_clear_windows():
+    rule = AlertRule(name="share", signal="remote_share", threshold=0.3,
+                     for_windows=2, clear_windows=2)
+    eng = AlertEngine((rule,))
+    assert eng.evaluate(snapshot(0, remote_share=0.5)) == []  # 1 of 2
+    events = eng.evaluate(snapshot(1, remote_share=0.5))
+    assert [(e.kind, e.channel) for e in events] == [("firing", CH)]
+    assert eng.evaluate(snapshot(2, remote_share=0.1)) == []  # 1 of 2 clear
+    events = eng.evaluate(snapshot(3, remote_share=0.1))
+    assert [(e.kind, e.channel) for e in events] == [("resolved", CH)]
+    assert eng.firing() == []
+
+
+def test_interrupted_streak_does_not_fire():
+    rule = AlertRule(name="share", signal="remote_share", threshold=0.3,
+                     for_windows=2)
+    eng = AlertEngine((rule,))
+    for i, share in enumerate([0.5, 0.1, 0.5, 0.1, 0.5]):
+        assert eng.evaluate(snapshot(i, remote_share=share)) == []
+
+
+def test_vanished_channel_resolves():
+    """A channel that disappears from snapshots counts as a false
+    evaluation, so its alert resolves instead of firing forever."""
+    rule = AlertRule(name="share", signal="remote_share", threshold=0.3,
+                     for_windows=1, clear_windows=2)
+    eng = AlertEngine((rule,))
+    events = eng.evaluate(snapshot(0, remote_share=0.9))
+    assert [e.kind for e in events] == ["firing"]
+    eng.evaluate(snapshot(1, channels=False))
+    events = eng.evaluate(snapshot(2, channels=False))
+    assert [(e.kind, e.value) for e in events] == [("resolved", 0.0)]
+
+
+def test_global_signals():
+    rules = (
+        AlertRule(name="rmc-count", signal="rmc_channels", threshold=0.0,
+                  op=">"),
+        AlertRule(name="lossy", signal="quarantine_rate", threshold=0.05,
+                  op=">", severity="info"),
+    )
+    eng = AlertEngine(rules)
+    events = eng.evaluate(snapshot(0, status=Mode.RMC, quarantine=0.2))
+    kinds = {(e.rule, e.kind, e.channel) for e in events}
+    assert ("rmc-count", "firing", None) in kinds
+    assert ("lossy", "firing", None) in kinds
+    assert all(e.channel is None for e in events)
+
+
+def test_rmc_status_signal_tracks_damped_status():
+    rule = AlertRule(name="rmc", signal="rmc_status", threshold=1.0, op=">=")
+    eng = AlertEngine((rule,))
+    assert eng.evaluate(snapshot(0, status=Mode.GOOD)) == []
+    events = eng.evaluate(snapshot(1, status=Mode.RMC))
+    assert [e.kind for e in events] == ["firing"]
+    assert eng.firing()[0].rule == "rmc"
+
+
+def test_default_rules_are_valid_and_unique():
+    eng = AlertEngine(DEFAULT_ALERT_RULES)
+    assert len({r.name for r in eng.rules}) == len(eng.rules)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(name="", signal="remote_share", threshold=1.0),
+        dict(name="x", signal="nope", threshold=1.0),
+        dict(name="x", signal="remote_share", threshold=1.0, op="!="),
+        dict(name="x", signal="remote_share", threshold=1.0, for_windows=0),
+        dict(name="x", signal="remote_share", threshold=1.0, severity="fatal"),
+    ],
+)
+def test_rule_validation(kwargs):
+    with pytest.raises(MonitorError):
+        AlertRule(**kwargs)
+
+
+def test_duplicate_rule_names_rejected():
+    rule = AlertRule(name="x", signal="remote_share", threshold=1.0)
+    with pytest.raises(MonitorError):
+        AlertEngine((rule, rule))
+
+
+def test_parse_alert_rules():
+    rules = parse_alert_rules(
+        [{"name": "a", "signal": "remote_share", "threshold": 0.4,
+          "severity": "critical"}]
+    )
+    assert rules[0].severity == "critical"
+    with pytest.raises(MonitorError):
+        parse_alert_rules({"name": "a"})
+    with pytest.raises(MonitorError):
+        parse_alert_rules(["not an object"])
+    with pytest.raises(MonitorError):
+        parse_alert_rules([{"name": "a", "signal": "remote_share",
+                            "threshold": 1.0, "bogus": 1}])

@@ -1,0 +1,109 @@
+"""The ``drbw monitor`` subcommand end to end."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.monitor import read_events
+
+
+@pytest.fixture()
+def model(tmp_path, trained):
+    clf, _ = trained
+    path = tmp_path / "model.json"
+    path.write_text(json.dumps(clf.to_dict()))
+    return str(path)
+
+
+#: Short demo settings every CLI test shares: enough windows for the
+#: contend->recover arc, small enough to stay fast.
+DEMO = ["monitor", "demo", "--plain", "--interval", "4e6", "--window", "6",
+        "--seed", "7"]
+
+
+class TestParser:
+    def test_monitor_parses(self):
+        args = build_parser().parse_args(
+            ["monitor", "demo", "--window", "4", "--interval", "1e6",
+             "--hysteresis", "2/3", "--serve", "--plain"]
+        )
+        assert args.command == "monitor"
+        assert args.serve == 0  # bare --serve means OS-assigned port
+        assert args.window == 4
+
+    def test_serve_with_port(self):
+        args = build_parser().parse_args(["monitor", "demo", "--serve", "9100"])
+        assert args.serve == 9100
+
+
+class TestDemoRun:
+    def test_demo_detects_and_exits_2(self, model, capsys):
+        rc = main(DEMO + ["--model", model])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "contention detected on 1->0" in out
+        assert "window" in out
+
+    def test_events_stream(self, model, tmp_path, capsys):
+        events_path = tmp_path / "run.events.jsonl"
+        rc = main(DEMO + ["--model", model, "--events", str(events_path)])
+        assert rc == 2
+        events = list(read_events(events_path))
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "monitor_started"
+        assert kinds[-1] == "monitor_finished"
+        rmc = [e for e in events
+               if e["kind"] == "alert_firing" and e["rule"] == "channel-rmc"]
+        assert rmc, "channel-rmc alert never fired"
+        resolved = [e for e in events
+                    if e["kind"] == "alert_resolved" and e["rule"] == "channel-rmc"]
+        assert resolved, "channel-rmc alert never resolved"
+
+    def test_custom_rules_file(self, model, tmp_path, capsys):
+        rules = [{"name": "only-lossy", "signal": "quarantine_rate",
+                  "threshold": 0.5, "severity": "info"}]
+        rules_path = tmp_path / "rules.json"
+        rules_path.write_text(json.dumps(rules))
+        rc = main(DEMO + ["--model", model, "--rules", str(rules_path)])
+        # Status detection still runs (exit 2); the custom rule set just
+        # never fires its single quarantine rule.
+        assert rc == 2
+
+    def test_bad_rules_file_exits_2(self, model, tmp_path, capsys):
+        bad = tmp_path / "rules.json"
+        bad.write_text('[{"name": "x", "signal": "bogus", "threshold": 1}]')
+        assert main(DEMO + ["--model", model, "--rules", str(bad)]) == 2
+        assert "drbw: error" in capsys.readouterr().err
+
+    def test_bad_hysteresis_exits_2(self, model, capsys):
+        assert main(DEMO + ["--model", model, "--hysteresis", "banana"]) == 2
+        assert "hysteresis" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_metrics_endpoint_serves_during_run(self, model, capsys):
+        """Scrape /metrics from inside the run via an on-window hook is
+        impossible from the CLI test, so scrape right after: the server
+        context closes with the run, which is itself the assertion —
+        during the run the URL printed to stderr must be live.  Here we
+        check the line is printed and the run completes cleanly."""
+        rc = main(DEMO + ["--model", model, "--serve", "0"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "serving metrics at http://127.0.0.1:" in err
+
+
+class TestRealBenchmark:
+    def test_monitor_known_benchmark(self, model, capsys):
+        rc = main(["monitor", "NW", "--config", "T8-N2", "--plain",
+                   "--model", model, "--seed", "0"])
+        assert rc in (0, 2)
+        assert "NW" in capsys.readouterr().out
+
+    def test_unknown_benchmark_exits_2(self, model, capsys):
+        assert main(["monitor", "nope", "--model", model]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -1,0 +1,127 @@
+"""N-of-M hysteresis behavior of the online detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import ChannelVerdict
+from repro.core.features import TABLE1_FEATURE_NAMES, FeatureVector
+from repro.errors import MonitorError
+from repro.monitor.detector import HysteresisConfig, OnlineDetector
+from repro.types import Channel, Mode
+
+import numpy as np
+
+CH = Channel(0, 1)
+
+
+class ScriptedClassifier:
+    """Returns a scripted sequence of verdicts, ignoring the features."""
+
+    def __init__(self, labels):
+        self.labels = list(labels)
+        self.i = 0
+
+    def classify_channel_detailed(self, features, min_support=25):
+        label = self.labels[self.i % len(self.labels)]
+        self.i += 1
+        if label == "insufficient":
+            return ChannelVerdict(
+                mode=Mode.GOOD, confidence=0.0, n_remote_samples=3,
+                insufficient_data=True,
+            )
+        return ChannelVerdict(
+            mode=Mode(label), confidence=0.9, n_remote_samples=100
+        )
+
+
+def fv() -> FeatureVector:
+    return FeatureVector(
+        names=TABLE1_FEATURE_NAMES,
+        values=np.zeros(len(TABLE1_FEATURE_NAMES)),
+    )
+
+
+def run(labels, confirm=2, window=3):
+    det = OnlineDetector(
+        ScriptedClassifier(labels),
+        hysteresis=HysteresisConfig(confirm=confirm, window=window),
+    )
+    transitions = []
+    for i in range(len(labels)):
+        _, t = det.observe(CH, fv(), i)
+        if t is not None:
+            transitions.append(t)
+    return det, transitions
+
+
+def test_single_rmc_verdict_does_not_flip():
+    det, transitions = run(["rmc", "good", "good", "good"])
+    assert transitions == []
+    assert det.status_of(CH) is Mode.GOOD
+
+
+def test_two_of_three_rmc_flips():
+    det, transitions = run(["rmc", "good", "rmc"])
+    assert len(transitions) == 1
+    assert transitions[0].status is Mode.RMC
+    assert transitions[0].previous is Mode.GOOD
+    assert transitions[0].window_index == 2
+    assert det.status_of(CH) is Mode.RMC
+
+
+def test_symmetric_damping_on_recovery():
+    det, transitions = run(["rmc", "rmc", "good", "rmc", "good", "good"])
+    assert [t.status for t in transitions] == [Mode.RMC, Mode.GOOD]
+    # Recovery needs 2 good votes within the 3-vote history: the history
+    # is [good, rmc, good] at index 4.
+    assert transitions[1].window_index == 4
+    assert det.status_of(CH) is Mode.GOOD
+
+
+def test_insufficient_data_holds_status():
+    """insufficient-data verdicts are excluded from the vote entirely."""
+    det, transitions = run(
+        ["rmc", "rmc", "insufficient", "insufficient", "insufficient"]
+    )
+    assert [t.status for t in transitions] == [Mode.RMC]
+    assert det.status_of(CH) is Mode.RMC
+    assert det.last_verdict(CH).insufficient_data
+
+
+def test_observe_quiet_votes_good():
+    det, _ = run(["rmc", "rmc"])
+    assert det.status_of(CH) is Mode.RMC
+    assert det.observe_quiet(CH, 2) is None  # 1 good vote of 2 needed
+    t = det.observe_quiet(CH, 3)
+    assert t is not None and t.status is Mode.GOOD
+    assert det.last_verdict(CH).n_remote_samples == 0
+
+
+def test_observe_quiet_unknown_channel_is_noop():
+    det = OnlineDetector(ScriptedClassifier(["good"]))
+    assert det.observe_quiet(Channel(2, 3), 0) is None
+    assert det.statuses == {}
+
+
+def test_confirm_1_flips_immediately():
+    det, transitions = run(["rmc"], confirm=1, window=1)
+    assert [t.status for t in transitions] == [Mode.RMC]
+
+
+def test_statuses_sorted_and_rmc_list():
+    det = OnlineDetector(
+        ScriptedClassifier(["rmc"] * 10),
+        hysteresis=HysteresisConfig(confirm=1, window=1),
+    )
+    for ch in (Channel(1, 0), Channel(0, 1)):
+        det.observe(ch, fv(), 0)
+    assert list(det.statuses) == [Channel(0, 1), Channel(1, 0)]
+    assert det.rmc_channels == [Channel(0, 1), Channel(1, 0)]
+
+
+def test_hysteresis_validation():
+    with pytest.raises(MonitorError):
+        HysteresisConfig(confirm=0, window=3)
+    with pytest.raises(MonitorError):
+        HysteresisConfig(confirm=4, window=3)

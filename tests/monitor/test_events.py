@@ -1,0 +1,81 @@
+"""JSONL event stream: write, replay, validate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor.events import EventLog, read_events, validate_event
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "run.events.jsonl"
+    with EventLog(path) as log:
+        log.emit("monitor_started", window_intervals=8, n_nodes=4)
+        log.emit("channel_status", channel="0->1", status="rmc",
+                 previous="good", window=3, confidence=0.93)
+        log.emit("alert_firing", rule="channel-rmc", severity="critical",
+                 window=3, value=1.0, threshold=1.0, channel="0->1")
+        log.emit("monitor_finished", windows=10, samples=5000,
+                 rmc_channels=["0->1"])
+    events = list(read_events(path))
+    assert [e["kind"] for e in events] == [
+        "monitor_started", "channel_status", "alert_firing", "monitor_finished"
+    ]
+    assert [e["seq"] for e in events] == [0, 1, 2, 3]
+    assert all(e["v"] == 1 for e in events)
+
+
+def test_emit_rejects_bad_events(tmp_path):
+    with EventLog(tmp_path / "e.jsonl") as log:
+        with pytest.raises(MonitorError):
+            log.emit("bogus_kind")
+        with pytest.raises(MonitorError):
+            log.emit("alert_firing", rule="x")  # missing keys
+    with pytest.raises(MonitorError):
+        log.emit("monitor_started", window_intervals=1, n_nodes=2)  # closed
+
+
+def test_partial_stream_is_readable(tmp_path):
+    """A crashed run leaves a valid prefix (per-event flush)."""
+    path = tmp_path / "e.jsonl"
+    log = EventLog(path)
+    log.emit("monitor_started", window_intervals=4, n_nodes=2)
+    # No close() — simulate a hard kill; the line must already be on disk.
+    assert [e["kind"] for e in read_events(path)] == ["monitor_started"]
+    log.close()
+
+
+def test_read_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"v": 1, "seq": 0, "kind": "monitor_started"\n')
+    with pytest.raises(MonitorError, match="malformed JSON"):
+        list(read_events(path))
+    path.write_text('{"v": 99, "seq": 0, "kind": "monitor_started"}\n')
+    with pytest.raises(MonitorError, match="version"):
+        list(read_events(path))
+    with pytest.raises(MonitorError, match="not found"):
+        list(read_events(tmp_path / "missing.jsonl"))
+
+
+def test_validate_event_requires_envelope_and_kind_keys():
+    with pytest.raises(MonitorError):
+        validate_event("not a dict")
+    with pytest.raises(MonitorError):
+        validate_event({"v": 1, "seq": 0})
+    with pytest.raises(MonitorError):
+        validate_event({"v": 1, "seq": 0, "kind": "unknown"})
+    ok = {"v": 1, "seq": 0, "kind": "monitor_finished",
+          "windows": 1, "samples": 2, "rmc_channels": []}
+    assert validate_event(ok) is ok
+
+
+def test_events_are_plain_json(tmp_path):
+    path = tmp_path / "e.jsonl"
+    with EventLog(path) as log:
+        log.emit("monitor_started", window_intervals=8, n_nodes=4)
+    raw = path.read_text().splitlines()
+    assert len(raw) == 1
+    assert json.loads(raw[0])["kind"] == "monitor_started"

@@ -1,0 +1,173 @@
+"""Prometheus text-format rendering and the in-process /metrics scrape.
+
+``_parse_exposition`` is a small validator for the text exposition
+format v0.0.4 grammar: every sample line must parse, every family must
+be announced by ``# HELP`` + ``# TYPE`` before its samples, and
+histogram families must satisfy the cumulative-bucket invariants.
+"""
+
+from __future__ import annotations
+
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.monitor.exposition import CONTENT_TYPE, render_prometheus
+from repro.monitor.httpserver import MetricsServer
+from repro.telemetry.metrics import MetricsRegistry
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$')
+
+
+def _split_labels(blob: str) -> dict[str, str]:
+    """Split a label blob on commas not inside quotes."""
+    labels, depth, cur = {}, False, ""
+    parts = []
+    for ch in blob:
+        if ch == '"' and not cur.endswith("\\"):
+            depth = not depth
+        if ch == "," and not depth:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    if cur:
+        parts.append(cur)
+    for part in parts:
+        m = _LABEL.match(part)
+        assert m, f"bad label pair: {part!r}"
+        labels[m.group("key")] = m.group("val")
+    return labels
+
+
+def _parse_exposition(text: str):
+    """Validate grammar; returns {family: (type, [(name, labels, value)])}."""
+    families: dict[str, tuple[str, list]] = {}
+    helped: set[str] = set()
+    current: str | None = None
+    for line in text.splitlines():
+        assert line == line.rstrip(), f"trailing whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            fam = line.split(" ", 3)[2]
+            assert _NAME.match(fam), fam
+            assert fam not in helped, f"duplicate HELP for {fam}"
+            helped.add(fam)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, fam, kind = line.split(" ", 3)
+            assert fam in helped, f"TYPE before HELP for {fam}"
+            assert kind in ("counter", "gauge", "histogram", "summary", "untyped")
+            assert fam not in families, f"duplicate TYPE for {fam}"
+            families[fam] = (kind, [])
+            current = fam
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        m = _SAMPLE.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        name, labels = m.group("name"), _split_labels(m.group("labels") or "")
+        float(m.group("value"))  # must be a number
+        assert current is not None and (
+            name == current or name.startswith(current + "_")
+        ), f"sample {name} outside its family block ({current})"
+        families[current][1].append((name, labels, float(m.group("value"))))
+    return families
+
+
+def sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("monitor.windows").inc(5)
+    reg.counter("monitor.alerts.firing").inc(2)
+    reg.gauge("monitor.window.remote_share.0->1").set(0.75)
+    reg.gauge("monitor.window.remote_share.1->0").set(0.25)
+    h = reg.histogram("profiler.remote_latency.0->1", boundaries=(100.0, 500.0))
+    for v in (50.0, 120.0, 700.0, 800.0):
+        h.observe(v)
+    return reg
+
+
+def test_grammar_and_families():
+    text = render_prometheus(sample_registry())
+    families = _parse_exposition(text)
+    assert families["drbw_monitor_windows_total"][0] == "counter"
+    assert families["drbw_monitor_window_remote_share"][0] == "gauge"
+    assert families["drbw_profiler_remote_latency"][0] == "histogram"
+    # Counters carry the _total suffix; the sample value survives.
+    (name, labels, value), = [
+        s for s in families["drbw_monitor_windows_total"][1]
+    ]
+    assert (name, labels, value) == ("drbw_monitor_windows_total", {}, 5.0)
+
+
+def test_channel_segment_becomes_label():
+    text = render_prometheus(sample_registry())
+    families = _parse_exposition(text)
+    share = families["drbw_monitor_window_remote_share"][1]
+    assert {(s[1]["channel"], s[2]) for s in share} == {("0->1", 0.75), ("1->0", 0.25)}
+
+
+def test_histogram_invariants():
+    text = render_prometheus(sample_registry())
+    families = _parse_exposition(text)
+    samples = families["drbw_profiler_remote_latency"][1]
+    buckets = [(s[1]["le"], s[2]) for s in samples if s[0].endswith("_bucket")]
+    count = [s[2] for s in samples if s[0].endswith("_count")][0]
+    total = [s[2] for s in samples if s[0].endswith("_sum")][0]
+    # Cumulative, non-decreasing, closed by +Inf == _count.
+    values = [v for _, v in buckets]
+    assert values == sorted(values)
+    assert buckets[-1][0] == "+Inf" and buckets[-1][1] == count
+    assert buckets == [("100", 1.0), ("500", 2.0), ("+Inf", 4.0)]
+    assert total == pytest.approx(50 + 120 + 700 + 800)
+
+
+def test_label_escaping():
+    reg = MetricsRegistry()
+    reg.gauge("weird.0->1").set(1.0)
+    text = render_prometheus(reg)
+    # The channel label itself round-trips; now check escape machinery
+    # directly on a crafted value.
+    from repro.monitor.exposition import _escape_label
+
+    assert _escape_label('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+    _parse_exposition(text)
+
+
+def test_deterministic_output():
+    assert render_prometheus(sample_registry()) == render_prometheus(
+        sample_registry()
+    )
+
+
+def test_empty_registry_renders_empty():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_http_scrape_in_process():
+    reg = sample_registry()
+    with MetricsServer(lambda: render_prometheus(reg)) as server:
+        with urllib.request.urlopen(server.url, timeout=5) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == CONTENT_TYPE
+            body = resp.read().decode("utf-8")
+        families = _parse_exposition(body)
+        assert "drbw_monitor_windows_total" in families
+        # A second scrape sees updated values (rendered per request).
+        reg.counter("monitor.windows").inc(3)
+        with urllib.request.urlopen(server.url, timeout=5) as resp:
+            body2 = resp.read().decode("utf-8")
+        fam2 = _parse_exposition(body2)
+        assert fam2["drbw_monitor_windows_total"][1][0][2] == 8.0
+        # Unknown paths 404.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                server.url.replace("/metrics", "/nope"), timeout=5
+            )
+        assert err.value.code == 404

@@ -1,0 +1,208 @@
+"""The streaming spine: engine interval hook, per-interval sampling,
+``profile_live``, and the assembled LiveMonitor end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import DrBwProfiler, ProfilerConfig
+from repro.errors import SimulationError
+from repro.faults import FaultPlan
+from repro.monitor import (
+    EventLog,
+    LiveMonitor,
+    MonitorConfig,
+    read_events,
+    render_monitor_frame,
+    render_window_line,
+)
+from repro.monitor.demo import make_monitor_demo_workload
+from repro.monitor.detector import HysteresisConfig
+from repro.numasim.machine import Machine
+from repro.pmu.sampler import AddressSampler, SamplerConfig
+from repro.types import Mode
+from repro.workloads.runner import run_workload
+
+from tests.conftest import make_stream_workload
+
+MB = 1024 * 1024
+
+
+def small_workload():
+    return make_stream_workload(size_bytes=16 * MB, accesses=300_000.0, passes=1.0)
+
+
+# -- engine interval hook ----------------------------------------------------
+
+
+def test_intervals_cover_run_exactly(machine):
+    records = []
+    run = run_workload(
+        small_workload(), machine, n_threads=4, n_nodes=2,
+        interval_listener=records.append, interval_max_cycles=1e6,
+    )
+    assert records, "listener never fired"
+    assert records[0].start_cycle == 0.0
+    total = sum(r.duration_cycles for r in records)
+    assert total == pytest.approx(run.result.total_cycles)
+    for a, b in zip(records, records[1:]):
+        assert b.start_cycle == pytest.approx(a.end_cycle)
+        assert b.index == a.index + 1
+    assert all(r.duration_cycles <= 1e6 * (1 + 1e-9) for r in records)
+
+
+def test_interval_bytes_match_batch_run(machine):
+    """Per-interval node/channel bytes sum to the batch run's totals."""
+    wl = small_workload()
+    records = []
+    live = run_workload(wl, machine, n_threads=4, n_nodes=2,
+                        interval_listener=records.append,
+                        interval_max_cycles=2e6)
+    batch = run_workload(wl, machine, n_threads=4, n_nodes=2)
+    assert live.result.total_cycles == batch.result.total_cycles
+    live_node = np.sum([r.node_bytes for r in records], axis=0)
+    batch_node = [batch.result.memctrl.total_bytes(n)
+                  for n in range(machine.topology.n_sockets)]
+    np.testing.assert_allclose(live_node, batch_node, rtol=1e-6)
+    chan_totals: dict = {}
+    for r in records:
+        for ch, v in r.channel_bytes.items():
+            chan_totals[ch] = chan_totals.get(ch, 0.0) + v
+    batch_chan = batch.result.channel_bytes()
+    for ch, v in chan_totals.items():
+        assert v == pytest.approx(batch_chan.get(ch, 0.0), rel=1e-6)
+
+
+def test_listener_exception_aborts_run(machine):
+    class Boom(RuntimeError):
+        pass
+
+    def bad_listener(record):
+        raise Boom("listener failed")
+
+    with pytest.raises(Boom):
+        run_workload(small_workload(), machine, n_threads=2, n_nodes=1,
+                     interval_listener=bad_listener, interval_max_cycles=1e6)
+
+
+def test_invalid_interval_max_cycles(machine):
+    with pytest.raises(SimulationError):
+        run_workload(small_workload(), machine, n_threads=2, n_nodes=1,
+                     interval_listener=lambda r: None, interval_max_cycles=0.0)
+
+
+# -- per-interval sampling ---------------------------------------------------
+
+
+def test_interval_sampling_statistics_match_batch(machine):
+    """Summed over intervals, streaming sampling matches the batch sampler
+    distributionally (counts within Poisson noise, same channels)."""
+    wl = make_monitor_demo_workload(vector_bytes=32 * MB,
+                                    accesses_per_thread=400_000.0)
+    records = []
+    run = run_workload(wl, machine, n_threads=8, n_nodes=2,
+                       interval_listener=records.append,
+                       interval_max_cycles=2e6)
+    cfg = SamplerConfig(seed=11)
+    streaming = AddressSampler(cfg, page_table=run.compiled.page_table,
+                               latency_model=machine.latency_model)
+    n_stream = sum(
+        len(streaming.sample_interval(r)) for r in records
+    )
+    batch_sampler = AddressSampler(cfg, page_table=run.compiled.page_table,
+                                   latency_model=machine.latency_model)
+    batch = batch_sampler.sample_run_batch(run.result)
+    n_batch = len(batch)
+    assert n_batch > 500
+    # Both are Poisson draws over the same rate mass.
+    assert abs(n_stream - n_batch) < 6 * np.sqrt(max(n_batch, 1))
+
+
+# -- profile_live + LiveMonitor ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live_profile(trained):
+    """One monitored demo run shared by the e2e assertions below."""
+    clf, _ = trained
+    machine = Machine()
+    monitor = LiveMonitor(
+        clf, machine.topology,
+        MonitorConfig(window_intervals=6, interval_cycles=4e6,
+                      hysteresis=HysteresisConfig(confirm=2, window=3)),
+    )
+    profiler = DrBwProfiler(machine, ProfilerConfig())
+    wl = make_monitor_demo_workload()
+    profile = profiler.profile_live(wl, n_threads=16, n_nodes=2,
+                                    monitor=monitor, seed=7)
+    return monitor, profile
+
+
+def test_live_demo_detects_and_recovers(live_profile):
+    monitor, _ = live_profile
+    assert monitor.ever_rmc
+    flips = [(str(t.channel), t.status) for t in monitor.transitions]
+    assert ("1->0", Mode.RMC) in flips
+    assert ("1->0", Mode.GOOD) in flips
+    # The contention alert fired and later resolved.
+    rmc_alerts = [e for e in monitor.alert_events if e.rule == "channel-rmc"]
+    assert [e.kind for e in rmc_alerts] == ["firing", "resolved"]
+    assert monitor.firing() == []
+
+
+def test_live_profile_result_is_complete(live_profile):
+    monitor, profile = live_profile
+    assert len(profile.sample_set) > 1000
+    assert profile.dropped.observed >= len(profile.sample_set)
+    # The profile's samples are exactly the union of streamed intervals.
+    assert monitor.window_index + 1 > 10
+
+
+def test_live_metrics_and_frames(live_profile):
+    monitor, _ = live_profile
+    assert monitor.metrics.counters["monitor.windows"].value == (
+        monitor.window_index + 1
+    )
+    frame = render_monitor_frame(monitor)
+    assert "1->0" in frame and "DR-BW live monitor" in frame
+    line = render_window_line(monitor.last_snapshot)
+    assert line.startswith("window")
+
+
+def test_event_stream_from_live_run(trained, tmp_path):
+    clf, _ = trained
+    machine = Machine()
+    path = tmp_path / "run.events.jsonl"
+    with EventLog(path) as log:
+        monitor = LiveMonitor(
+            clf, machine.topology,
+            MonitorConfig(window_intervals=4, interval_cycles=4e6),
+            event_log=log,
+        )
+        DrBwProfiler(machine).profile_live(
+            make_monitor_demo_workload(vector_bytes=64 * MB,
+                                       accesses_per_thread=600_000.0),
+            n_threads=16, n_nodes=2, monitor=monitor, seed=3,
+        )
+    events = list(read_events(path))
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "monitor_started"
+    assert kinds[-1] == "monitor_finished"
+    assert events[-1]["windows"] == monitor.window_index + 1
+
+
+def test_live_with_faults_reports_quarantine(trained):
+    clf, _ = trained
+    machine = Machine()
+    monitor = LiveMonitor(
+        clf, machine.topology,
+        MonitorConfig(window_intervals=4, interval_cycles=4e6),
+    )
+    cfg = ProfilerConfig(faults=FaultPlan(drop_rate=0.2, seed=5))
+    profile = DrBwProfiler(machine, cfg).profile_live(
+        make_stream_workload(size_bytes=32 * MB, accesses=400_000.0),
+        n_threads=4, n_nodes=2, monitor=monitor, seed=5,
+    )
+    assert profile.dropped.injected.get("dropped", 0) > 0
+    assert monitor.last_snapshot is not None

@@ -1,0 +1,168 @@
+"""Property tests: sliding-window features == batch recompute.
+
+The core promise of :mod:`repro.monitor.windows` is that the
+incrementally-maintained Table I features over the last W intervals are
+*the same vector* the batch extractor would produce over those
+intervals' concatenated samples — across warm-up, steady state with
+eviction, channels appearing and disappearing, and the PR 1 min-sample
+floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import SampleSet, extract_channel_features
+from repro.errors import InsufficientSamplesError, MonitorError
+from repro.monitor.windows import FeatureWindows, interval_stats
+from repro.types import Channel, MemLevel
+
+N_NODES = 4
+LEVELS = np.array(
+    [int(MemLevel.L1), int(MemLevel.LFB), int(MemLevel.L3),
+     int(MemLevel.LOCAL_DRAM), int(MemLevel.REMOTE_DRAM)],
+    dtype=np.int64,
+)
+
+
+def random_fields(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """A random attributed-sample batch shaped like the profiler's fields."""
+    src = rng.integers(0, N_NODES, n)
+    level = LEVELS[rng.integers(0, len(LEVELS), n)]
+    # REMOTE_DRAM gets a distinct destination; everything else serves local.
+    dst = src.copy()
+    remote = level == int(MemLevel.REMOTE_DRAM)
+    offset = rng.integers(1, N_NODES, int(remote.sum()))
+    dst[remote] = (src[remote] + offset) % N_NODES
+    latency = rng.lognormal(5.0, 0.8, n)  # spans the Table I thresholds
+    return {
+        "address": rng.integers(0, 1 << 40, n),
+        "cpu": rng.integers(0, 32, n),
+        "thread_id": rng.integers(0, 32, n),
+        "level": level,
+        "latency": latency,
+        "src_node": src.astype(np.int64),
+        "dst_node": dst.astype(np.int64),
+        "object_id": rng.integers(0, 8, n),
+    }
+
+
+def concat_fields(frames: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    return {
+        k: np.concatenate([f[k] for f in frames]) for k in frames[0]
+    }
+
+
+def batch_features(frames, channel, min_samples=0):
+    samples = SampleSet.from_arrays(**concat_fields(frames))
+    return extract_channel_features(samples, channel, min_samples=min_samples)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("window", [1, 3, 8])
+def test_window_features_match_batch_recompute(seed, window):
+    """After every push, every feature of every active channel matches the
+    batch extractor run over exactly the window's intervals — including
+    during warm-up (partial window) and after eviction (full window)."""
+    rng = np.random.default_rng(seed)
+    windows = FeatureWindows(n_nodes=N_NODES, window_intervals=window)
+    frames: list[dict[str, np.ndarray]] = []
+    checked = 0
+    for i in range(window * 3 + 2):
+        fields = random_fields(rng, int(rng.integers(50, 400)))
+        frames.append(fields)
+        windows.push(interval_stats(fields, N_NODES))
+        tail = frames[-window:]
+        for channel in windows.channels():
+            expected = batch_features(tail, channel)
+            got = windows.features_for(channel)
+            assert got.names == expected.names
+            np.testing.assert_allclose(
+                got.values, expected.values, rtol=1e-9, atol=1e-12,
+                err_msg=f"interval {i}, channel {channel}",
+            )
+            checked += 1
+    assert checked > 0
+
+
+def test_channels_match_batch_remote_channels():
+    rng = np.random.default_rng(3)
+    window = 4
+    windows = FeatureWindows(n_nodes=N_NODES, window_intervals=window)
+    frames = []
+    for _ in range(10):
+        fields = random_fields(rng, 200)
+        frames.append(fields)
+        windows.push(interval_stats(fields, N_NODES))
+        samples = SampleSet.from_arrays(**concat_fields(frames[-window:]))
+        assert windows.channels() == samples.remote_channels()
+
+
+def test_evicted_channel_disappears():
+    """A channel only present in an evicted interval drops out entirely
+    (no float residue keeps it in the channel list)."""
+    windows = FeatureWindows(n_nodes=2, window_intervals=2)
+    remote = {
+        "address": np.array([1], dtype=np.int64),
+        "cpu": np.array([0], dtype=np.int64),
+        "thread_id": np.array([0], dtype=np.int64),
+        "level": np.array([int(MemLevel.REMOTE_DRAM)], dtype=np.int64),
+        "latency": np.array([300.0]),
+        "src_node": np.array([0], dtype=np.int64),
+        "dst_node": np.array([1], dtype=np.int64),
+        "object_id": np.array([0], dtype=np.int64),
+    }
+    local = {**remote,
+             "level": np.array([int(MemLevel.LOCAL_DRAM)], dtype=np.int64),
+             "dst_node": np.array([0], dtype=np.int64)}
+    windows.push(interval_stats(remote, 2))
+    assert windows.channels() == [Channel(0, 1)]
+    windows.push(interval_stats(local, 2))
+    assert windows.channels() == [Channel(0, 1)]
+    windows.push(interval_stats(local, 2))  # evicts the remote interval
+    assert windows.channels() == []
+    assert windows.remote_share(Channel(0, 1)) == 0.0
+    assert windows.avg_remote_latency(Channel(0, 1)) == 0.0
+
+
+def test_min_sample_floor_matches_batch():
+    """The window raises InsufficientSamplesError exactly when the batch
+    extractor would, for the same floor."""
+    rng = np.random.default_rng(4)
+    windows = FeatureWindows(n_nodes=N_NODES, window_intervals=3)
+    frames = []
+    floor = 120
+    for _ in range(8):
+        fields = random_fields(rng, int(rng.integers(30, 120)))
+        frames.append(fields)
+        windows.push(interval_stats(fields, N_NODES))
+        for channel in windows.channels():
+            try:
+                expected = batch_features(frames[-3:], channel, min_samples=floor)
+            except InsufficientSamplesError:
+                with pytest.raises(InsufficientSamplesError):
+                    windows.features_for(channel, min_samples=floor)
+            else:
+                got = windows.features_for(channel, min_samples=floor)
+                np.testing.assert_allclose(
+                    got.values, expected.values, rtol=1e-9, atol=1e-12
+                )
+
+
+def test_empty_interval_is_harmless():
+    windows = FeatureWindows(n_nodes=2, window_intervals=2)
+    empty = {k: np.zeros(0, dtype=np.int64) for k in
+             ("address", "cpu", "thread_id", "level", "src_node",
+              "dst_node", "object_id")}
+    empty["latency"] = np.zeros(0)
+    windows.push(interval_stats(empty, 2))
+    assert windows.n_samples == 0
+    assert windows.channels() == []
+
+
+def test_constructor_validation():
+    with pytest.raises(MonitorError):
+        FeatureWindows(n_nodes=0, window_intervals=4)
+    with pytest.raises(MonitorError):
+        FeatureWindows(n_nodes=2, window_intervals=0)

@@ -1,0 +1,130 @@
+"""The BENCH_PR<k> trajectory tooling: schema, aggregation, regression gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "benchmarks"))
+
+import bench_all  # noqa: E402
+from _util import RESULT_SCHEMA, jsonable, load_result, save_and_print  # noqa: E402
+
+
+def write_result(results_dir, name, data):
+    save_and_print(results_dir, name, f"{name} (test)", data=data)
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    write_result(d, "monitor_overhead", {
+        "overhead_fraction": 0.012, "samples_per_sec": 300_000.0,
+        "wall_time_s": 12.5,
+    })
+    write_result(d, "monitor_agreement", {
+        "agreement": 0.99, "channel_windows": 400,
+    })
+    write_result(d, "table3_confusion", {"cv_accuracy": 0.974})
+    return d
+
+
+def test_save_and_print_emits_json_twin(tmp_path, capsys):
+    save_and_print(tmp_path, "thing", "rendered", data={"x": (1, 2)})
+    assert (tmp_path / "thing.txt").read_text() == "rendered\n"
+    envelope = json.loads((tmp_path / "thing.json").read_text())
+    assert envelope["schema"] == RESULT_SCHEMA
+    assert envelope["result"] == "thing"
+    assert envelope["data"] == {"x": [1, 2]}
+    assert load_result(tmp_path, "thing") == {"x": [1, 2]}
+    assert load_result(tmp_path, "absent") is None
+
+
+def test_jsonable_handles_bench_shapes():
+    import dataclasses
+
+    import numpy as np
+
+    from repro.types import Channel, Mode
+
+    @dataclasses.dataclass
+    class Row:
+        label: str
+        value: float
+
+    coerced = jsonable({
+        Channel(0, 1): Row("a", 1.5),
+        "arr": np.arange(3),
+        "scalar": np.float64(2.5),
+        "mode": Mode.RMC,
+    })
+    assert coerced == {
+        "0->1": {"label": "a", "value": 1.5},
+        "arr": [0, 1, 2],
+        "scalar": 2.5,
+        "mode": str(Mode.RMC),
+    }
+
+
+def test_build_trajectory_and_validate(results_dir):
+    doc = bench_all.build_trajectory(results_dir, wall_time_s=30.0)
+    assert bench_all.validate_trajectory(doc) == []
+    assert doc["pr"] == bench_all.PR_NUMBER
+    assert doc["wall_time_s"] == 30.0
+    assert doc["throughput"]["samples_per_sec"] == 300_000.0
+    assert doc["classifier"]["cv_accuracy"] == 0.974
+    assert doc["monitor"]["agreement"] == 0.99
+    # With no explicit wall time the overhead pass's own measurement wins.
+    assert bench_all.build_trajectory(results_dir)["wall_time_s"] == 12.5
+
+
+def test_build_trajectory_reports_missing_results(tmp_path):
+    empty = tmp_path / "results"
+    empty.mkdir()
+    with pytest.raises(SystemExit, match="monitor_overhead"):
+        bench_all.build_trajectory(empty)
+
+
+def test_validate_rejects_broken_documents(results_dir):
+    doc = bench_all.build_trajectory(results_dir)
+    assert bench_all.validate_trajectory({}) != []
+    bad = dict(doc, schema="nope")
+    assert any("schema" in e for e in bench_all.validate_trajectory(bad))
+    bad = json.loads(json.dumps(doc))
+    bad["throughput"]["samples_per_sec"] = "fast"
+    assert any("samples_per_sec" in e for e in bench_all.validate_trajectory(bad))
+
+
+def test_regression_gate(results_dir, tmp_path, capsys):
+    current = bench_all.build_trajectory(results_dir)
+    prev_path = tmp_path / "BENCH_PR2.json"
+
+    # Missing previous point: first recorded point, gate passes.
+    assert bench_all.check_regression(current, prev_path) == 0
+
+    # Small drop passes; >10% drop fails.
+    previous = json.loads(json.dumps(current))
+    previous["pr"] = 2
+    previous["throughput"]["samples_per_sec"] = 310_000.0
+    prev_path.write_text(json.dumps(previous))
+    assert bench_all.check_regression(current, prev_path) == 0
+    previous["throughput"]["samples_per_sec"] = 400_000.0
+    prev_path.write_text(json.dumps(previous))
+    assert bench_all.check_regression(current, prev_path) == 1
+    assert "regressed" in capsys.readouterr().out
+
+    # A corrupt previous point fails loudly rather than silently passing.
+    prev_path.write_text(json.dumps({"schema": "nope"}))
+    assert bench_all.check_regression(current, prev_path) == 1
+
+
+def test_committed_trajectory_point_is_valid():
+    path = pathlib.Path(__file__).parent.parent / "BENCH_PR3.json"
+    doc = json.loads(path.read_text())
+    assert bench_all.validate_trajectory(doc) == []
+    assert doc["monitor"]["agreement"] >= 0.95
+    assert doc["monitor"]["overhead_fraction"] < 0.05
