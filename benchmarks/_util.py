@@ -24,7 +24,11 @@ def jsonable(value: Any) -> Any:
     """
     if isinstance(value, dict):
         return {str(k): jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
+    if isinstance(value, (set, frozenset)):
+        # Set iteration order is arbitrary (and, for strings, varies with
+        # the per-process hash salt) — sort so emitted JSON is stable.
+        return sorted(jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
         return [jsonable(v) for v in value]
     if isinstance(value, np.ndarray):
         return value.tolist()
@@ -65,11 +69,25 @@ def save_and_print(
 
 
 def load_result(results_dir: pathlib.Path, name: str) -> Any:
-    """Read back the ``data`` payload of one emitted result (or None)."""
+    """Read back the ``data`` payload of one emitted result (or None).
+
+    A present-but-broken file — unreadable, non-JSON, wrong envelope —
+    raises :class:`repro.errors.SchemaError` naming the defect, never a
+    ``KeyError``/``TypeError`` from blind field access.
+    """
+    from repro.errors import SchemaError
+
     path = results_dir / f"{name}.json"
     if not path.exists():
         return None
-    envelope = json.loads(path.read_text())
-    if envelope.get("schema") != RESULT_SCHEMA:
-        raise ValueError(f"{path} is not a {RESULT_SCHEMA} document")
+    try:
+        envelope = json.loads(path.read_text())
+    except OSError as exc:
+        raise SchemaError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("schema") != RESULT_SCHEMA:
+        raise SchemaError(f"{path} is not a {RESULT_SCHEMA} document")
+    if "data" not in envelope:
+        raise SchemaError(f"{path} has no 'data' payload")
     return envelope["data"]

@@ -36,10 +36,14 @@ RESULTS_DIR = BENCH_DIR / "results"
 
 TRAJECTORY_SCHEMA = "drbw-bench-trajectory"
 TRAJECTORY_SCHEMA_VERSION = 1
-PR_NUMBER = 3
+PR_NUMBER = 4
 
 #: The benches whose JSON results feed the trajectory point.
-CORE_BENCHES = ("bench_table3_confusion.py", "bench_monitor.py")
+CORE_BENCHES = (
+    "bench_table3_confusion.py",
+    "bench_monitor.py",
+    "bench_parallel.py",
+)
 
 #: Maximum tolerated samples/sec drop against the previous point.
 REGRESSION_THRESHOLD = 0.10
@@ -68,12 +72,14 @@ def build_trajectory(
     overhead = load_result(results_dir, "monitor_overhead")
     agreement = load_result(results_dir, "monitor_agreement")
     confusion = load_result(results_dir, "table3_confusion")
+    scaling = load_result(results_dir, "parallel_scaling")
     missing = [
         name
         for name, payload in (
             ("monitor_overhead", overhead),
             ("monitor_agreement", agreement),
             ("table3_confusion", confusion),
+            ("parallel_scaling", scaling),
         )
         if payload is None
     ]
@@ -100,12 +106,25 @@ def build_trajectory(
             "agreement": round(float(agreement["agreement"]), 4),
             "channel_windows": int(agreement["channel_windows"]),
         },
+        "parallel": {
+            "speedup_jobs2": round(float(scaling["speedup_jobs2"]), 3),
+            "speedup_jobs4": round(float(scaling["speedup_jobs4"]), 3),
+            "warm_cache_seconds": round(float(scaling["warm_cache_seconds"]), 4),
+            "identical": bool(scaling["identical"]),
+            "usable_cpus": int(scaling["usable_cpus"]),
+        },
         "results": sorted(p.stem for p in results_dir.glob("*.json")),
     }
 
 
-def validate_trajectory(doc: dict) -> list[str]:
-    """Return a list of schema problems (empty = valid)."""
+def validate_trajectory(doc: object) -> list[str]:
+    """Return a list of schema problems (empty = valid).
+
+    Total over arbitrary JSON values: a list, scalar, or null document
+    yields an error entry rather than an attribute crash.
+    """
+    if not isinstance(doc, dict):
+        return [f"trajectory must be a JSON object, got {type(doc).__name__}"]
     errors = []
     if doc.get("schema") != TRAJECTORY_SCHEMA:
         errors.append(f"schema must be {TRAJECTORY_SCHEMA!r}, got {doc.get('schema')!r}")
@@ -126,6 +145,22 @@ def validate_trajectory(doc: dict) -> list[str]:
         dotted = ".".join(path)
         if not isinstance(node, kind) or isinstance(node, bool):
             errors.append(f"{dotted} must be a number, got {node!r}")
+    # The parallel section only exists from PR 4 on; when present it must
+    # carry the scaling numbers and the determinism bit.
+    parallel = doc.get("parallel")
+    if parallel is not None:
+        if not isinstance(parallel, dict):
+            errors.append(f"parallel must be an object, got {parallel!r}")
+        else:
+            for key in ("speedup_jobs2", "speedup_jobs4"):
+                val = parallel.get(key)
+                if not isinstance(val, (int, float)) or isinstance(val, bool):
+                    errors.append(f"parallel.{key} must be a number, got {val!r}")
+            if not isinstance(parallel.get("identical"), bool):
+                errors.append(
+                    f"parallel.identical must be a boolean, "
+                    f"got {parallel.get('identical')!r}"
+                )
     return errors
 
 
@@ -137,7 +172,11 @@ def check_regression(current: dict, previous_path: pathlib.Path) -> int:
             "nothing to gate against (first recorded point)"
         )
         return 0
-    previous = json.loads(previous_path.read_text())
+    try:
+        previous = json.loads(previous_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"previous trajectory {previous_path} is unreadable: {exc}")
+        return 1
     errors = validate_trajectory(previous)
     if errors:
         print(f"previous trajectory {previous_path} is invalid: {errors}")
@@ -175,7 +214,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.validate is not None:
-        doc = json.loads(args.validate.read_text())
+        try:
+            doc = json.loads(args.validate.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"invalid: {args.validate} is unreadable: {exc}")
+            return 1
         errors = validate_trajectory(doc)
         for err in errors:
             print(f"invalid: {err}")

@@ -13,6 +13,11 @@ The workflow a release user runs without writing Python:
   engine, an optional JSONL event stream (``--events``) and an optional
   Prometheus ``/metrics`` endpoint (``--serve``); exits 2 when any
   channel was held in ``rmc`` at any point;
+* ``campaign`` — regenerate a paper table (II, V, or VII) as a sharded
+  campaign: ``--jobs N`` fans the workload × configuration grid over a
+  worker pool, results are bit-identical for any N, and the on-disk
+  shard cache (``--cache-dir``/``--no-cache``) makes unchanged re-runs
+  near-instant (see ``docs/parallelism.md``);
 * ``report``   — render the text dashboard for a telemetry artifact
   exported by a previous run;
 * ``list``     — the available benchmarks and their inputs.
@@ -92,7 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--model", default="drbw_model.json",
                          help="output JSON path (default: drbw_model.json)")
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes for training collection "
+                              "(default: $DRBW_JOBS, else serial)")
     _add_common(p_train)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a sharded experiment campaign (Tables II/V/VII)",
+    )
+    p_camp.add_argument("experiment", choices=("table2", "table5", "table7"),
+                        help="which campaign to run: table2 (training set + "
+                             "CV), table5 (detection sweep), table7 "
+                             "(profiling overhead)")
+    p_camp.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $DRBW_JOBS, else 1; "
+                             "results are identical for any N)")
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shard result cache (default: $DRBW_CACHE_DIR, "
+                             "else ~/.cache/drbw)")
+    p_camp.add_argument("--no-cache", action="store_true",
+                        help="recompute every shard, read/write no cache")
+    p_camp.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                        help="comma-separated benchmark subset (table5 only)")
+    _add_common(p_camp)
 
     for name, hlp in (("detect", "classify a benchmark run"),
                       ("diagnose", "detect + rank the contended data objects")):
@@ -257,7 +286,9 @@ def cmd_train(args) -> int:
     machine = Machine()
     tel = telemetry.Telemetry(enabled=args.telemetry is not None)
     with telemetry.session(tel):
-        clf, instances = train_default_classifier(machine, seed=args.seed)
+        clf, instances = train_default_classifier(
+            machine, seed=args.seed, jobs=getattr(args, "jobs", None)
+        )
         X, y = training_matrix(list(instances))
         cv = cross_validate(clf, X, y, k=10, seed=args.seed)
     print(f"trained on {len(instances)} runs; 10-fold CV accuracy {cv.accuracy:.1%}")
@@ -475,6 +506,84 @@ def cmd_monitor(args) -> int:
     return 2 if monitor.ever_rmc else 0
 
 
+def cmd_campaign(args) -> int:
+    from repro.eval.experiments import (
+        TrainingSummary,
+        run_table5_detection,
+        run_table7_overhead,
+    )
+    from repro.eval.tables import (
+        format_table2,
+        format_table5,
+        format_table6,
+        format_table7,
+        k_fold_line,
+    )
+    from repro.parallel import ResultCache, resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    benchmarks = (
+        [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+        if args.benchmarks
+        else None
+    )
+    machine = Machine()
+    tel = telemetry.Telemetry(enabled=args.telemetry is not None)
+    results: dict = {"experiment": args.experiment, "jobs": jobs}
+    with telemetry.session(tel):
+        if args.experiment == "table2":
+            clf, instances = train_default_classifier(
+                machine, seed=args.seed, jobs=jobs, cache=cache
+            )
+            X, y = training_matrix(list(instances))
+            cv = cross_validate(clf, X, y, k=10, seed=args.seed)
+            counts: dict[str, list[int]] = {}
+            for inst in instances:
+                slot = counts.setdefault(inst.config.program, [0, 0])
+                slot[0 if inst.label is Mode.GOOD else 1] += 1
+            summary = TrainingSummary(
+                counts={k: (v[0], v[1]) for k, v in counts.items()}
+            )
+            print(format_table2(summary))
+            print(k_fold_line(cv))
+            results.update(cv_accuracy=cv.accuracy, n_instances=len(instances))
+        elif args.experiment == "table5":
+            detection = run_table5_detection(
+                seed=args.seed, benchmarks=benchmarks, jobs=jobs, cache=cache
+            )
+            print(format_table5(detection))
+            print()
+            print(format_table6(detection.accuracy_summary()))
+            results.update(
+                n_cases=len(detection.cases),
+                accuracy=detection.accuracy_summary().accuracy,
+                false_negative_rate=detection.false_negative_rate,
+                false_positive_rate=detection.false_positive_rate,
+            )
+        else:
+            rows = run_table7_overhead(seed=args.seed, jobs=jobs, cache=cache)
+            print(format_table7(rows))
+            results.update(
+                overheads={r.benchmark: r.overhead for r in rows},
+            )
+    results["cache"] = cache.stats
+    print(
+        f"campaign {args.experiment}: jobs={jobs}, "
+        f"cache hits={cache.hits} misses={cache.misses}"
+        + ("" if cache.enabled else " (cache disabled)"),
+        file=sys.stderr,
+    )
+    if args.telemetry:
+        meta = collect_metadata(
+            f"campaign:{args.experiment}", args.seed, machine.topology,
+            jobs=jobs,
+        )
+        export_artifact(args.telemetry, tel, meta, results)
+        print(f"telemetry artifact written to {args.telemetry}", file=sys.stderr)
+    return 0
+
+
 def cmd_report(args) -> int:
     print(render_dashboard(load_artifact(args.artifact)))
     return 0
@@ -498,6 +607,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_detect(args, want_diagnosis=False)
         if args.command == "diagnose":
             return cmd_detect(args, want_diagnosis=True)
+        if args.command == "campaign":
+            return cmd_campaign(args)
         if args.command == "monitor":
             return cmd_monitor(args)
         if args.command == "report":

@@ -49,9 +49,11 @@ __all__ = [
     "TrainingConfig",
     "micro_training_configs",
     "bandit_training_configs",
+    "all_training_configs",
     "collect_training_set",
     "train_default_classifier",
     "hottest_channel_features",
+    "hottest_channel_from",
 ]
 
 _MB = 1024 * 1024
@@ -190,37 +192,53 @@ def _build_workload(cfg: TrainingConfig):
     return _BUILDERS[cfg.program](cfg.vector_bytes, colocate=cfg.colocate)
 
 
-def hottest_channel_features(
-    profile: ProfileResult, min_support: int | None = None
+def hottest_channel_from(
+    per_channel: dict[Channel, FeatureVector],
+    fallback: FeatureVector,
+    min_support: int | None = None,
 ) -> tuple[FeatureVector, Channel | None]:
-    """Features of the channel with the most remote-DRAM samples.
+    """Pick the channel with the most remote-DRAM samples from a feature map.
 
-    A run with no remote samples — or none reaching ``min_support`` (the
-    classifier's evidence floor, applied here too so training sees the
-    same distribution the detector will) — contributes the context
-    features of node 0's outgoing channel to node 1, with zeroed remote
-    features, matching what PEBS would (not) see.
+    The shared core of :func:`hottest_channel_features` and the campaign
+    payload path — both hand it the same ``{channel: features}`` map, so
+    serial and sharded collection select identically.  Ties break toward
+    the smallest channel (channels sort by ``(src, dst)``), never by dict
+    iteration order.
+
+    Runs with no channel reaching ``min_support`` (the classifier's
+    evidence floor, applied here too so training sees the same
+    distribution the detector will) contribute the ``fallback`` context
+    features with zeroed remote features, matching what PEBS would (not)
+    see.
     """
     from repro.core.classifier import MIN_CHANNEL_SUPPORT
 
     if min_support is None:
         min_support = MIN_CHANNEL_SUPPORT
-    per_channel = profile.features_per_channel()
-    per_channel = {
+    eligible = {
         ch: fv
         for ch, fv in per_channel.items()
         if fv["num_remote_dram_samples"] >= min_support
     }
-    if not per_channel:
-        fallback = Channel(0, 1)
-        fv = profile.features_for(fallback)
-        values = fv.values.copy()
-        for i, name in enumerate(fv.names):
+    if not eligible:
+        values = fallback.values.copy()
+        for i, name in enumerate(fallback.names):
             if name in ("num_remote_dram_samples", "avg_remote_dram_latency"):
                 values[i] = 0.0
-        return FeatureVector(names=fv.names, values=values), None
-    ch = max(per_channel, key=lambda c: per_channel[c]["num_remote_dram_samples"])
-    return per_channel[ch], ch
+        return FeatureVector(names=fallback.names, values=values), None
+    ch = max(sorted(eligible), key=lambda c: eligible[c]["num_remote_dram_samples"])
+    return eligible[ch], ch
+
+
+def hottest_channel_features(
+    profile: ProfileResult, min_support: int | None = None
+) -> tuple[FeatureVector, Channel | None]:
+    """Features of the channel with the most remote-DRAM samples."""
+    return hottest_channel_from(
+        profile.features_per_channel(),
+        profile.features_for(Channel(0, 1)),
+        min_support=min_support,
+    )
 
 
 def collect_training_set(
@@ -228,22 +246,97 @@ def collect_training_set(
     profiler: DrBwProfiler | None = None,
     configs: list[TrainingConfig] | None = None,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
+    cache=None,
+    cache_dir: str | None = None,
+    use_cache: bool = False,
 ) -> list[TrainingInstance]:
-    """Profile every training configuration and return labeled instances."""
+    """Profile every training configuration and return labeled instances.
+
+    Collection runs as a sharded campaign: each configuration becomes a
+    declarative shard spec seeded from ``(seed, config hash)``, executed
+    over ``jobs`` worker processes (``DRBW_JOBS``/serial by default) and
+    optionally memoized in the on-disk result cache.  The result is
+    bit-identical for any worker count.  Machines or profiler configs the
+    shard encoding cannot carry (custom PMU events, per-channel capacity
+    overrides) fall back to in-process collection with the same
+    content-derived per-config seeds.
+    """
+    from repro.parallel import CampaignRunner
+    from repro.parallel.shards import (
+        machine_spec,
+        payload_channel_features,
+        payload_fallback_features,
+        profile_shard,
+        profiler_spec,
+        training_workload_spec,
+    )
+
     profiler = profiler or DrBwProfiler(machine)
     configs = configs if configs is not None else all_training_configs()
+    mspec = machine_spec(machine)
+    pspec = profiler_spec(profiler.config)
     instances: list[TrainingInstance] = []
     with get_telemetry().span("training.collect", n_configs=len(configs)):
-        for i, cfg in enumerate(configs):
-            workload = _build_workload(cfg)
-            profile = profiler.profile(
-                workload, n_threads=cfg.n_threads, n_nodes=cfg.n_nodes, seed=seed + i
+        if mspec is None or pspec is None:
+            return _collect_in_process(profiler, configs, seed)
+        specs = [
+            profile_shard(
+                training_workload_spec(cfg),
+                cfg.n_threads,
+                cfg.n_nodes,
+                machine=mspec,
+                profiler=pspec,
             )
-            features, channel = hottest_channel_features(profile)
+            for cfg in configs
+        ]
+        runner = CampaignRunner(
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            campaign_seed=seed,
+        )
+        for cfg, outcome in zip(configs, runner.run(specs)):
+            features, channel = hottest_channel_from(
+                payload_channel_features(outcome.payload),
+                payload_fallback_features(outcome.payload),
+            )
             instances.append(
-                TrainingInstance(config=cfg, features=features, label=cfg.label, channel=channel)
+                TrainingInstance(
+                    config=cfg, features=features, label=cfg.label, channel=channel
+                )
             )
     logger.info("collected %d training instances", len(instances))
+    return instances
+
+
+def _collect_in_process(
+    profiler: DrBwProfiler, configs: list[TrainingConfig], seed: int
+) -> list[TrainingInstance]:
+    """Serial fallback for shard-unencodable machines/profilers.
+
+    Seeds are still derived from the workload spec's content hash — never
+    from the loop index alone — so inserting or reordering configurations
+    does not reseed the survivors.
+    """
+    from repro.parallel.seeding import config_hash, shard_seed
+    from repro.parallel.shards import training_workload_spec
+
+    instances: list[TrainingInstance] = []
+    for cfg in configs:
+        workload = _build_workload(cfg)
+        run_seed = shard_seed(seed, config_hash(training_workload_spec(cfg)))
+        profile = profiler.profile(
+            workload, n_threads=cfg.n_threads, n_nodes=cfg.n_nodes, seed=run_seed
+        )
+        features, channel = hottest_channel_features(profile)
+        instances.append(
+            TrainingInstance(
+                config=cfg, features=features, label=cfg.label, channel=channel
+            )
+        )
     return instances
 
 
@@ -259,9 +352,23 @@ def train_default_classifier(
     profiler: DrBwProfiler | None = None,
     configs: list[TrainingConfig] | None = None,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
+    cache=None,
+    cache_dir: str | None = None,
+    use_cache: bool = False,
 ) -> tuple[DrBwClassifier, list[TrainingInstance]]:
     """Collect the Table II training set and fit the DR-BW classifier."""
-    instances = collect_training_set(machine, profiler, configs, seed=seed)
+    instances = collect_training_set(
+        machine,
+        profiler,
+        configs,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+    )
     X, y = training_matrix(instances)
     clf = DrBwClassifier(feature_names=TABLE1_FEATURE_NAMES)
     with get_telemetry().span("training.fit", n_instances=len(instances)):

@@ -57,3 +57,16 @@ class TelemetryError(ReproError):
 
 class MonitorError(ReproError):
     """Invalid live-monitor configuration, alert rule, or event stream."""
+
+
+class ParallelError(ReproError):
+    """Invalid campaign shard spec, worker failure, or unserializable value."""
+
+
+class CacheError(ParallelError):
+    """The shard result cache is unusable (bad directory, broken entry)."""
+
+
+class SchemaError(ReproError):
+    """A JSON document does not match its declared schema (trajectory
+    points, benchmark result envelopes, and other machine-readable files)."""

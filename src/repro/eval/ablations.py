@@ -20,12 +20,11 @@ import numpy as np
 
 from repro.core.baselines import LatencyThresholdHeuristic, RemoteAccessHeuristic
 from repro.core.classifier import DrBwClassifier, classify_case
-from repro.core.features import TABLE1_FEATURE_NAMES, extract_channel_features
+from repro.core.features import TABLE1_FEATURE_NAMES
 from repro.core.profiler import DrBwProfiler, ProfilerConfig
 from repro.core.training import collect_training_set, training_matrix
 from repro.core.validation import cross_validate
-from repro.eval.configs import EVAL_CONFIGS, RunConfig
-from repro.eval.groundtruth import interleave_oracle
+from repro.eval.configs import RunConfig
 from repro.numasim.machine import Machine
 from repro.pmu.sampler import SamplerConfig
 from repro.types import Mode
@@ -53,6 +52,7 @@ class AblationRow:
 def ablate_sampling_period(
     periods: tuple[int, ...] = (500, 1000, 2000, 4000, 8000),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """Retrain + cross-validate at each sampling period.
 
@@ -65,7 +65,7 @@ def ablate_sampling_period(
         profiler = DrBwProfiler(
             machine, ProfilerConfig(sampler=SamplerConfig(period=period))
         )
-        instances = collect_training_set(machine, profiler, seed=seed)
+        instances = collect_training_set(machine, profiler, seed=seed, jobs=jobs)
         X, y = training_matrix(instances)
         clf = DrBwClassifier(feature_names=TABLE1_FEATURE_NAMES)
         cv = cross_validate(clf, X, y, k=10, seed=seed)
@@ -80,10 +80,10 @@ def ablate_sampling_period(
     return rows
 
 
-def ablate_feature_set(seed: int = 0) -> list[AblationRow]:
+def ablate_feature_set(seed: int = 0, jobs: int | None = None) -> list[AblationRow]:
     """Cross-validate on restricted feature views of the training set."""
     machine = Machine()
-    instances = collect_training_set(machine, seed=seed)
+    instances = collect_training_set(machine, seed=seed, jobs=jobs)
     X, y = training_matrix(instances)
 
     views: dict[str, list[str]] = {
@@ -110,37 +110,52 @@ def ablate_channel_granularity(
     benchmarks: tuple[str, ...] = ("AMG2006", "UA", "EP"),
     configs: tuple[RunConfig, ...] = (RunConfig(32, 4), RunConfig(64, 4)),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
     """Per-channel vs whole-program classification on a detection slice.
 
     Whole-program aggregation merges every channel's samples into one
     pooled feature vector; a single hot channel gets diluted by calm ones
     (especially the calm *directions*), which is exactly why the paper
-    classifies per channel.
+    classifies per channel.  Both views come from the same campaign
+    payload: the pooled vector is the per-channel vectors averaged, with
+    count features summed.
     """
     from repro.eval.experiments import shared_classifier
+    from repro.parallel import CampaignRunner
+    from repro.parallel.shards import (
+        benchmark_workload_spec,
+        payload_channel_features,
+        profile_shard,
+    )
 
-    machine = Machine()
     clf, _ = shared_classifier(seed)
-    profiler = DrBwProfiler(machine)
-
+    cases = [
+        (name, inp, cfg)
+        for name in benchmarks
+        for inp in BENCHMARKS[name].inputs
+        for cfg in configs
+    ]
+    specs = [
+        profile_shard(
+            benchmark_workload_spec(name, inp), cfg.n_threads, cfg.n_nodes, oracle=True
+        )
+        for name, inp, cfg in cases
+    ]
+    runner = CampaignRunner(jobs=jobs, use_cache=False, campaign_seed=seed)
     outcomes = {"per-channel": [], "whole-program": []}
-    for name in benchmarks:
-        spec = BENCHMARKS[name]
-        for inp in spec.inputs:
-            for cfg in configs:
-                wl = spec.build(inp)
-                verdict = interleave_oracle(wl, machine, cfg.n_threads, cfg.n_nodes)
-                profile = profiler.profile(
-                    wl, cfg.n_threads, cfg.n_nodes, seed=seed + 31
-                )
-                actual = verdict.mode
+    for _, outcome in zip(cases, runner.run(specs)):
+        per_channel = payload_channel_features(outcome.payload)
+        actual = Mode(outcome.payload["oracle"]["mode"])
 
-                per = classify_case(clf.classify_profile(profile))
-                outcomes["per-channel"].append(per is actual)
+        labels = {
+            ch: clf.classify_channel_detailed(fv).mode
+            for ch, fv in per_channel.items()
+        }
+        outcomes["per-channel"].append(classify_case(labels) is actual)
 
-                pooled = _whole_program_label(clf, profile)
-                outcomes["whole-program"].append(pooled is actual)
+        pooled = _whole_program_label(clf, per_channel)
+        outcomes["whole-program"].append(pooled is actual)
 
     return [
         AblationRow(
@@ -152,20 +167,30 @@ def ablate_channel_granularity(
     ]
 
 
-def ablate_machine_parameters(seed: int = 0) -> list[AblationRow]:
+def ablate_machine_parameters(
+    seed: int = 0, jobs: int | None = None
+) -> list[AblationRow]:
     """Sensitivity of end-to-end detection to the machine model's knobs.
 
     Varies interconnect bandwidth and the queueing-inflation cap around the
     defaults and re-runs a small train-and-detect slice (AMG2006 must stay
     detected everywhere, EP must stay clean).  The pipeline retrains per
     machine, so the claim under test is *robustness of the method*, not of
-    one fitted threshold.
+    one fitted threshold.  Non-default machines ride through the campaign
+    as scalar deltas against the default topology/latency model.
     """
     import dataclasses
 
     from repro.core.training import train_default_classifier
     from repro.numasim.latency import LatencyModel
     from repro.numasim.topology import NumaTopology
+    from repro.parallel import CampaignRunner
+    from repro.parallel.shards import (
+        benchmark_workload_spec,
+        machine_spec,
+        payload_channel_features,
+        profile_shard,
+    )
 
     settings: dict[str, Machine] = {
         "defaults": Machine(),
@@ -191,17 +216,30 @@ def ablate_machine_parameters(seed: int = 0) -> list[AblationRow]:
     configs = (RunConfig(32, 4), RunConfig(64, 4))
     rows = []
     for name, machine in settings.items():
-        clf, _ = train_default_classifier(machine, seed=seed)
-        profiler = DrBwProfiler(machine)
+        clf, _ = train_default_classifier(machine, seed=seed, jobs=jobs)
+        mspec = machine_spec(machine)
+        cases = [
+            (bench, inp, expected, cfg)
+            for bench, inp, expected in slice_specs
+            for cfg in configs
+        ]
+        specs = [
+            profile_shard(
+                benchmark_workload_spec(bench, inp),
+                cfg.n_threads,
+                cfg.n_nodes,
+                machine=mspec,
+            )
+            for bench, inp, _, cfg in cases
+        ]
+        runner = CampaignRunner(jobs=jobs, use_cache=False, campaign_seed=seed)
         hits = []
-        for bench, inp, expected in slice_specs:
-            for cfg in configs:
-                wl = BENCHMARKS[bench].build(inp)
-                profile = profiler.profile(
-                    wl, cfg.n_threads, cfg.n_nodes, seed=seed + 3
-                )
-                verdict = classify_case(clf.classify_profile(profile))
-                hits.append(verdict is expected)
+        for (_, _, expected, _), outcome in zip(cases, runner.run(specs)):
+            labels = {
+                ch: clf.classify_channel_detailed(fv).mode
+                for ch, fv in payload_channel_features(outcome.payload).items()
+            }
+            hits.append(classify_case(labels) is expected)
         rows.append(
             AblationRow(
                 setting=name,
@@ -212,14 +250,11 @@ def ablate_machine_parameters(seed: int = 0) -> list[AblationRow]:
     return rows
 
 
-def _whole_program_label(clf: DrBwClassifier, profile) -> Mode:
-    """Classify pooled features: every remote channel's samples merged."""
-    channels = profile.channels_with_remote_samples()
-    if not channels:
+def _whole_program_label(clf: DrBwClassifier, per_channel: dict) -> Mode:
+    """Classify pooled features: every remote channel's vector merged."""
+    if not per_channel:
         return Mode.GOOD
-    vectors = [
-        extract_channel_features(profile.sample_set, ch).values for ch in channels
-    ]
+    vectors = [per_channel[ch].values for ch in sorted(per_channel)]
     pooled = np.mean(np.stack(vectors), axis=0)
     # Counts pool additively rather than averaging.
     for i, name in enumerate(TABLE1_FEATURE_NAMES):

@@ -28,7 +28,6 @@ from repro.core.training import (
 )
 from repro.core.validation import ConfusionMatrix, CrossValidationResult, cross_validate
 from repro.eval.configs import EVAL_CONFIGS, RunConfig
-from repro.eval.groundtruth import interleave_oracle
 from repro.numasim.machine import Machine
 from repro.optim import (
     colocate_objects,
@@ -187,38 +186,70 @@ def run_table5_detection(
     seed: int = 0,
     benchmarks: list[str] | None = None,
     configs: tuple[RunConfig, ...] = EVAL_CONFIGS,
+    *,
+    jobs: int | None = None,
+    cache=None,
+    cache_dir: str | None = None,
+    use_cache: bool = False,
 ) -> DetectionResults:
-    """Run every Table V case: interleave oracle vs DR-BW detection."""
-    machine = Machine()
+    """Run every Table V case: interleave oracle vs DR-BW detection.
+
+    Each (benchmark, input, configuration) case is one campaign shard: the
+    worker profiles the run and evaluates the interleave oracle, the
+    parent classifies the returned per-channel features.  Keeping the
+    model out of the shard makes cache entries reusable across
+    classifiers, and shard seeds come from the case's content hash — the
+    old ``hash((name, inp, cfg.name))`` seeding was salted per process and
+    made every fresh interpreter a different experiment.
+    """
+    from repro.parallel import CampaignRunner
+    from repro.parallel.shards import (
+        benchmark_workload_spec,
+        payload_channel_features,
+        profile_shard,
+    )
+
     clf, _ = shared_classifier(seed)
-    profiler = DrBwProfiler(machine)
     names = benchmarks or [n for n, s in BENCHMARKS.items() if s.in_table5]
-    results = DetectionResults()
+    cases: list[tuple[str, str, RunConfig]] = []
+    specs: list[dict] = []
     for name in names:
         spec: BenchmarkSpec = BENCHMARKS[name]
         for inp in spec.inputs:
             for cfg in configs:
-                workload = spec.build(inp)
-                verdict = interleave_oracle(
-                    workload, machine, cfg.n_threads, cfg.n_nodes
-                )
-                profile = profiler.profile(
-                    workload,
-                    cfg.n_threads,
-                    cfg.n_nodes,
-                    seed=(hash((name, inp, cfg.name)) ^ seed) % 2**31,
-                )
-                detected = classify_case(clf.classify_profile(profile))
-                results.cases.append(
-                    CaseResult(
-                        benchmark=name,
-                        input_name=inp,
-                        config=cfg,
-                        oracle_speedup=verdict.speedup,
-                        actual=verdict.mode,
-                        detected=detected,
+                cases.append((name, inp, cfg))
+                specs.append(
+                    profile_shard(
+                        benchmark_workload_spec(name, inp),
+                        cfg.n_threads,
+                        cfg.n_nodes,
+                        oracle=True,
                     )
                 )
+    runner = CampaignRunner(
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        campaign_seed=seed,
+    )
+    results = DetectionResults()
+    for (name, inp, cfg), outcome in zip(cases, runner.run(specs)):
+        labels = {
+            ch: clf.classify_channel_detailed(fv).mode
+            for ch, fv in payload_channel_features(outcome.payload).items()
+        }
+        oracle = outcome.payload["oracle"]
+        results.cases.append(
+            CaseResult(
+                benchmark=name,
+                input_name=inp,
+                config=cfg,
+                oracle_speedup=float(oracle["speedup"]),
+                actual=Mode(oracle["mode"]),
+                detected=classify_case(labels),
+            )
+        )
     return results
 
 
@@ -261,18 +292,66 @@ class OverheadRow:
 def run_table7_overhead(
     config: RunConfig = RunConfig(64, 4),
     profiler_config: ProfilerConfig | None = None,
+    *,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache=None,
+    cache_dir: str | None = None,
+    use_cache: bool = False,
 ) -> list[OverheadRow]:
-    """Profiling overhead at 64 threads across four nodes (Table VII)."""
-    machine = Machine()
-    profiler = DrBwProfiler(machine, profiler_config)
-    rows = []
-    for name, inp in TABLE7_BENCHMARKS:
-        workload = BENCHMARKS[name].build(inp)
-        plain, profiled, _ = profiler.measure_overhead(
-            workload, config.n_threads, config.n_nodes
+    """Profiling overhead at 64 threads across four nodes (Table VII).
+
+    Overhead shards skip feature extraction (``features=False``) — the
+    measurement is the plain-vs-profiled cycle pair.  Profiler configs the
+    shard encoding cannot carry run in-process instead.
+    """
+    from repro.parallel import CampaignRunner
+    from repro.parallel.shards import (
+        benchmark_workload_spec,
+        profile_shard,
+        profiler_spec,
+    )
+
+    pspec = profiler_spec(profiler_config or ProfilerConfig())
+    if pspec is None:
+        machine = Machine()
+        profiler = DrBwProfiler(machine, profiler_config)
+        rows = []
+        for name, inp in TABLE7_BENCHMARKS:
+            workload = BENCHMARKS[name].build(inp)
+            plain, profiled, _ = profiler.measure_overhead(
+                workload, config.n_threads, config.n_nodes
+            )
+            rows.append(
+                OverheadRow(benchmark=name, plain_cycles=plain, profiled_cycles=profiled)
+            )
+        return rows
+    specs = [
+        profile_shard(
+            benchmark_workload_spec(name, inp),
+            config.n_threads,
+            config.n_nodes,
+            profiler=pspec,
+            overhead=True,
+            features=False,
         )
-        rows.append(OverheadRow(benchmark=name, plain_cycles=plain, profiled_cycles=profiled))
-    return rows
+        for name, inp in TABLE7_BENCHMARKS
+    ]
+    runner = CampaignRunner(
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        campaign_seed=seed,
+    )
+    return [
+        OverheadRow(
+            benchmark=name,
+            plain_cycles=outcome.payload["overhead"]["plain_cycles"],
+            profiled_cycles=outcome.payload["overhead"]["profiled_cycles"],
+        )
+        for (name, _), outcome in zip(TABLE7_BENCHMARKS, runner.run(specs))
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -67,51 +67,110 @@ def run_detection_under_faults(
     configs: tuple[RunConfig, ...] = EVAL_CONFIGS,
     resample_floor: int = 25,
     resample_attempts: int = 3,
+    *,
+    jobs: int | None = None,
+    cache=None,
+    cache_dir: str | None = None,
+    use_cache: bool = False,
 ) -> FaultedDetectionResults:
     """Run Table V cases through the fault-injected pipeline.
 
     Mirrors :func:`repro.eval.experiments.run_table5_detection` case for
-    case (same oracle, same per-case sampler seeds) so clean-vs-faulted
-    deltas isolate the fault plan's effect.
+    case — same oracle, same campaign machinery, per-case seeds derived
+    from each shard's content hash (process-stable, unlike the salted
+    ``hash()`` seeding this replaced) — so clean-vs-faulted deltas
+    isolate the fault plan's effect.
     """
-    machine = Machine()
+    from repro.parallel import CampaignRunner
+    from repro.parallel.seeding import stable_case_seed
+    from repro.parallel.shards import (
+        benchmark_workload_spec,
+        payload_channel_features,
+        profile_shard,
+        profiler_spec,
+    )
+    from repro.types import Mode
+
     clf, _ = shared_classifier(seed)
-    profiler = DrBwProfiler(
-        machine,
-        ProfilerConfig(
-            faults=plan,
-            resample_floor=resample_floor,
-            resample_attempts=resample_attempts,
-        ),
+    pconfig = ProfilerConfig(
+        faults=plan,
+        resample_floor=resample_floor,
+        resample_attempts=resample_attempts,
     )
     names = benchmarks or [n for n, s in BENCHMARKS.items() if s.in_table5]
     results = FaultedDetectionResults(plan=plan)
+    pspec = profiler_spec(pconfig)
+    if pspec is None:
+        # Shard-unencodable fault plan: profile in-process, content-seeded.
+        machine = Machine()
+        profiler = DrBwProfiler(machine, pconfig)
+        for name in names:
+            spec: BenchmarkSpec = BENCHMARKS[name]
+            for inp in spec.inputs:
+                for cfg in configs:
+                    workload = spec.build(inp)
+                    verdict = interleave_oracle(
+                        workload, machine, cfg.n_threads, cfg.n_nodes
+                    )
+                    profile = profiler.profile(
+                        workload,
+                        cfg.n_threads,
+                        cfg.n_nodes,
+                        seed=stable_case_seed(seed, name, inp, cfg.name),
+                    )
+                    results.fold_degradation(profile.dropped)
+                    detected = classify_case(clf.classify_profile(profile))
+                    results.cases.append(
+                        CaseResult(
+                            benchmark=name,
+                            input_name=inp,
+                            config=cfg,
+                            oracle_speedup=verdict.speedup,
+                            actual=verdict.mode,
+                            detected=detected,
+                        )
+                    )
+        return results
+    cases: list[tuple[str, str, RunConfig]] = []
+    specs: list[dict] = []
     for name in names:
-        spec: BenchmarkSpec = BENCHMARKS[name]
-        for inp in spec.inputs:
+        bspec: BenchmarkSpec = BENCHMARKS[name]
+        for inp in bspec.inputs:
             for cfg in configs:
-                workload = spec.build(inp)
-                verdict = interleave_oracle(
-                    workload, machine, cfg.n_threads, cfg.n_nodes
-                )
-                profile = profiler.profile(
-                    workload,
-                    cfg.n_threads,
-                    cfg.n_nodes,
-                    seed=(hash((name, inp, cfg.name)) ^ seed) % 2**31,
-                )
-                results.fold_degradation(profile.dropped)
-                detected = classify_case(clf.classify_profile(profile))
-                results.cases.append(
-                    CaseResult(
-                        benchmark=name,
-                        input_name=inp,
-                        config=cfg,
-                        oracle_speedup=verdict.speedup,
-                        actual=verdict.mode,
-                        detected=detected,
+                cases.append((name, inp, cfg))
+                specs.append(
+                    profile_shard(
+                        benchmark_workload_spec(name, inp),
+                        cfg.n_threads,
+                        cfg.n_nodes,
+                        profiler=pspec,
+                        oracle=True,
                     )
                 )
+    runner = CampaignRunner(
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        campaign_seed=seed,
+    )
+    for (name, inp, cfg), outcome in zip(cases, runner.run(specs)):
+        results.fold_degradation(outcome.dropped)
+        labels = {
+            ch: clf.classify_channel_detailed(fv).mode
+            for ch, fv in payload_channel_features(outcome.payload).items()
+        }
+        oracle = outcome.payload["oracle"]
+        results.cases.append(
+            CaseResult(
+                benchmark=name,
+                input_name=inp,
+                config=cfg,
+                oracle_speedup=float(oracle["speedup"]),
+                actual=Mode(oracle["mode"]),
+                detected=classify_case(labels),
+            )
+        )
     return results
 
 

@@ -1,0 +1,163 @@
+"""Content-addressed on-disk cache for campaign shard results.
+
+Each entry is one shard's canonical-JSON payload, keyed by the SHA-256 of
+``{spec, campaign_seed, package version}`` — if any input that could
+change the result changes, the key changes, so entries never need
+invalidation.  A warm cache makes re-running an unchanged campaign
+near-instant, and because payloads are stored as the same canonical JSON
+the runner emits for fresh results, a cache hit is *bytes-identical* to a
+recomputation (asserted by the determinism tests).
+
+Failure policy: a cache must never change results or crash a campaign.
+Unreadable or corrupt entries count as misses (and are deleted when
+possible); an unwritable cache directory degrades the cache to disabled
+with a logged warning.  Only a caller explicitly *asking* for an
+impossible directory (``--cache-dir`` pointing at a file) gets a
+:class:`~repro.errors.CacheError`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import tempfile
+
+from repro.errors import CacheError
+
+__all__ = ["ResultCache", "default_cache_dir", "CACHE_SCHEMA"]
+
+logger = logging.getLogger(__name__)
+
+#: Envelope schema identifier for cache entries.
+CACHE_SCHEMA = "drbw-shard-result"
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "DRBW_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$DRBW_CACHE_DIR``, else ``$XDG_CACHE_HOME/drbw``, else ``~/.cache/drbw``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "drbw"
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` shard-result envelopes.
+
+    ``root=None`` uses :func:`default_cache_dir`; ``enabled=False`` turns
+    every operation into a no-op (the ``--no-cache`` path), which keeps
+    call sites branch-free.
+    """
+
+    def __init__(
+        self, root: str | os.PathLike | None = None, enabled: bool = True
+    ) -> None:
+        self.enabled = enabled
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        if not enabled:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            if root is not None:
+                raise CacheError(
+                    f"cannot create cache directory {self.root}: {exc}"
+                ) from exc
+            logger.warning("disabling result cache (%s unusable: %s)", self.root, exc)
+            self.enabled = False
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Location of one entry (two-level fan-out keeps directories small)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        Any defect — unreadable file, non-JSON bytes, wrong schema, key
+        mismatch — is a miss; broken entries are removed so they cannot
+        shadow a future write.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            envelope = json.loads(text)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != CACHE_SCHEMA
+                or envelope.get("schema_version") != CACHE_SCHEMA_VERSION
+                or envelope.get("key") != key
+                or not isinstance(envelope.get("payload"), dict)
+            ):
+                raise ValueError("bad envelope")
+        except ValueError:
+            logger.warning("evicting corrupt cache entry %s", path)
+            self._evict(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope["payload"]
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store one payload atomically (tmp file + rename).
+
+        Write failures are logged and swallowed — a full disk must not
+        fail the campaign whose results it was merely memoizing.
+        """
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "payload": payload,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(envelope, fh, sort_keys=True, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError as exc:
+            logger.warning("cache write failed for %s: %s", path, exc)
+
+    def _evict(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed (test helper)."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for entry in self.root.glob("*/*.json"):
+            self._evict(entry)
+            removed += 1
+        return removed
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

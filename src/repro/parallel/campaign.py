@@ -1,0 +1,275 @@
+"""The sharded campaign runner.
+
+:class:`CampaignRunner` takes a list of shard specs and returns one
+:class:`ShardOutcome` per spec, **in spec order**, regardless of worker
+count, scheduling, or cache state:
+
+1. every spec is canonicalized and hashed; the hash (plus the campaign
+   seed and package version) is the cache key, and the shard seed is
+   derived from ``(campaign_seed, config_hash)`` via SHA-256;
+2. cached shards are answered from disk; the rest are executed — on a
+   ``ProcessPoolExecutor`` when ``jobs > 1``, in-process otherwise, both
+   through the same :func:`~repro.parallel.shards.run_profile_shard`;
+3. fresh payloads are normalized through canonical JSON before being
+   returned *and* cached, so a warm-cache re-run is bytes-identical;
+4. worker-side telemetry spans are merged into the parent session's
+   tracer (tagged with the shard hash) and worker metrics counters are
+   folded into the parent registry, so ``drbw report`` sees one coherent
+   run.
+
+``jobs=None`` resolves ``DRBW_JOBS`` from the environment and defaults to
+serial; a pool that cannot start (sandboxes without working semaphores,
+fork-restricted environments) degrades to serial with a logged warning
+rather than failing the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import repro
+from repro import telemetry
+from repro.core.profiler import DroppedSampleReport
+from repro.errors import ParallelError
+from repro.parallel.cache import ResultCache
+from repro.parallel.seeding import canonical_json, config_hash, shard_seed
+from repro.parallel.shards import dropped_from_payload, run_profile_shard
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "ShardOutcome",
+    "merge_dropped_payloads",
+    "resolve_jobs",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "DRBW_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Explicit ``jobs``, else ``$DRBW_JOBS``, else 1 (serial)."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ParallelError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}"
+                ) from None
+    if jobs is None:
+        return 1
+    if jobs < 1:
+        raise ParallelError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's result plus its identity and provenance."""
+
+    spec: dict
+    config_hash: str
+    seed: int
+    payload: dict
+    cache_hit: bool
+
+    @property
+    def canonical_payload(self) -> str:
+        """The payload's canonical JSON — the bytes determinism compares."""
+        return canonical_json(self.payload)
+
+    @property
+    def dropped(self) -> DroppedSampleReport:
+        """This shard's quarantine ledger (empty when features were off)."""
+        return dropped_from_payload(self.payload.get("dropped", {}))
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign run, plus run-level accounting."""
+
+    outcomes: list[ShardOutcome]
+    jobs: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def payloads(self) -> list[dict]:
+        return [o.payload for o in self.outcomes]
+
+    @property
+    def dropped(self) -> DroppedSampleReport:
+        """The merged quarantine ledger across every shard."""
+        return merge_dropped_payloads(self.payloads)
+
+
+def merge_dropped_payloads(payloads: list[dict]) -> DroppedSampleReport:
+    """Fold per-shard quarantine ledgers into one campaign-level report.
+
+    Counts add; the resampled-channel set unions (sorted, so the merge is
+    order-independent).
+    """
+    merged = DroppedSampleReport()
+    channels: set = set()
+    for payload in payloads:
+        d = payload.get("dropped")
+        if not d:
+            continue
+        report = dropped_from_payload(d)
+        merged.observed += report.observed
+        merged.kept += report.kept
+        merged.resample_attempts += report.resample_attempts
+        for reason, n in report.quarantined.items():
+            merged.quarantined[reason] = merged.quarantined.get(reason, 0) + n
+        for reason, n in report.injected.items():
+            merged.injected[reason] = merged.injected.get(reason, 0) + n
+        channels.update(report.resampled_channels)
+    merged.resampled_channels = tuple(sorted(channels))
+    return merged
+
+
+def _execute_shard(args: tuple[dict, int, bool]) -> dict:
+    """Worker entry point: run one shard under its own telemetry session.
+
+    Returns ``{"payload", "spans", "counters"}`` — everything crosses the
+    process boundary as plain JSON-able dicts.
+    """
+    spec, seed, tel_enabled = args
+    tel = telemetry.Telemetry(enabled=tel_enabled)
+    with telemetry.session(tel):
+        payload = run_profile_shard(spec, seed)
+    counters = (
+        {k: c.value for k, c in tel.metrics.counters.items()} if tel_enabled else {}
+    )
+    return {
+        "payload": payload,
+        "spans": tel.tracer.to_dicts() if tel_enabled else [],
+        "counters": counters,
+    }
+
+
+@dataclass
+class CampaignRunner:
+    """Fan shard specs over a worker pool with deterministic replay."""
+
+    jobs: int | None = None
+    cache: ResultCache | None = None
+    cache_dir: str | None = None
+    use_cache: bool = True
+    campaign_seed: int = 0
+    _pool_failed: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.jobs = resolve_jobs(self.jobs)
+        if self.cache is None:
+            self.cache = ResultCache(self.cache_dir, enabled=self.use_cache)
+
+    # -- identity ---------------------------------------------------------------
+
+    def shard_identity(self, spec: dict) -> tuple[str, int, str]:
+        """(config hash, shard seed, cache key) for one spec."""
+        digest = config_hash(spec)
+        seed = shard_seed(self.campaign_seed, digest)
+        key = config_hash(
+            {
+                "spec_hash": digest,
+                "campaign_seed": int(self.campaign_seed),
+                "version": repro.__version__,
+            }
+        )
+        return digest, seed, key
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, specs: list[dict]) -> CampaignResult:
+        """Execute every spec; outcomes come back in spec order."""
+        tel = telemetry.get_telemetry()
+        with tel.span(
+            "campaign.run", n_shards=len(specs), jobs=self.jobs
+        ) as sp:
+            result = self._run_inner(specs, tel)
+            sp.set(cache_hits=result.cache_hits, cache_misses=result.cache_misses)
+            return result
+
+    def _run_inner(self, specs: list[dict], tel) -> CampaignResult:
+        assert self.cache is not None
+        identities = [self.shard_identity(spec) for spec in specs]
+        outcomes: list[ShardOutcome | None] = [None] * len(specs)
+        pending: list[int] = []
+        hits = 0
+        for i, (spec, (digest, seed, key)) in enumerate(zip(specs, identities)):
+            cached = self.cache.get(key)
+            if cached is not None:
+                hits += 1
+                outcomes[i] = ShardOutcome(
+                    spec=spec, config_hash=digest, seed=seed,
+                    payload=cached, cache_hit=True,
+                )
+            else:
+                pending.append(i)
+
+        if pending:
+            results = self._execute_pending(
+                [(specs[i], identities[i][1], tel.enabled) for i in pending]
+            )
+            for i, result in zip(pending, results):
+                digest, seed, key = identities[i]
+                # Normalize through canonical JSON so a fresh payload is
+                # bytes-identical to the same payload read back from disk.
+                payload = json.loads(canonical_json(result["payload"]))
+                self.cache.put(key, payload)
+                tel.tracer.merge_records(result["spans"], shard=digest[:12])
+                for name, value in sorted(result["counters"].items()):
+                    tel.metrics.counter(name).inc(value)
+                outcomes[i] = ShardOutcome(
+                    spec=specs[i], config_hash=digest, seed=seed,
+                    payload=payload, cache_hit=False,
+                )
+        if tel.enabled:
+            tel.metrics.counter("campaign.shards").inc(len(specs))
+            tel.metrics.counter("campaign.cache.hits").inc(hits)
+            tel.metrics.counter("campaign.cache.misses").inc(len(pending))
+        assert all(o is not None for o in outcomes)
+        return CampaignResult(
+            outcomes=outcomes,  # type: ignore[arg-type]
+            jobs=self.jobs or 1,
+            cache_hits=hits,
+            cache_misses=len(pending),
+        )
+
+    def _execute_pending(self, tasks: list[tuple[dict, int, bool]]) -> list[dict]:
+        jobs = self.jobs or 1
+        if jobs > 1 and not self._pool_failed and len(tasks) > 1:
+            try:
+                return self._execute_pool(tasks, jobs)
+            except (OSError, PermissionError, ImportError) as exc:
+                # Pools need working semaphores and fork/spawn support;
+                # locked-down environments get the serial path instead.
+                logger.warning(
+                    "worker pool unavailable (%s); falling back to serial", exc
+                )
+                self._pool_failed = True
+        return [_execute_shard(task) for task in tasks]
+
+    @staticmethod
+    def _execute_pool(tasks: list[tuple[dict, int, bool]], jobs: int) -> list[dict]:
+        workers = min(jobs, len(tasks))
+        # Chunking amortizes task pickling without harming determinism:
+        # map() preserves input order no matter which worker ran what.
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_shard, tasks, chunksize=chunksize))

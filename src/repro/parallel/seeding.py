@@ -1,0 +1,78 @@
+"""Deterministic hashing and seeding for sharded campaigns.
+
+The old drivers seeded each case with ``hash((name, inp, cfg.name)) ^
+seed`` — but Python's ``hash`` of strings is salted per *process*
+(``PYTHONHASHSEED``), so two runs of the same campaign, or the same
+campaign sharded over worker processes, profiled under different seeds.
+Everything here goes through :mod:`hashlib` instead: the same spec hashes
+to the same value on every interpreter, every process, every platform.
+
+``canonical_json`` is the single serialization used for hashing and for
+cache storage: sorted keys, no whitespace, no NaN/Infinity.  Two specs
+are the same campaign shard if and only if their canonical JSON matches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import ParallelError
+
+__all__ = [
+    "canonical_json",
+    "config_hash",
+    "shard_seed",
+    "stable_case_seed",
+]
+
+#: Seeds live in the non-negative int32 range the samplers accept.
+_SEED_SPACE = 2**31
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON text: sorted keys, compact, finite floats only.
+
+    This is the byte-level identity of a shard spec or payload — hashing,
+    caching, and the bytes-identical determinism tests all compare this
+    exact string.  ``allow_nan=False`` because NaN breaks both JSON
+    interchange and equality.
+    """
+    try:
+        return json.dumps(
+            value,
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+            ensure_ascii=True,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ParallelError(f"value is not canonically serializable: {exc}") from exc
+
+
+def config_hash(spec: Any) -> str:
+    """SHA-256 hex digest of a spec's canonical JSON."""
+    return hashlib.sha256(canonical_json(spec).encode("ascii")).hexdigest()
+
+
+def shard_seed(campaign_seed: int, config_digest: str) -> int:
+    """The shard's RNG seed, derived from ``(campaign_seed, config_hash)``.
+
+    Stable across processes and platforms, independent of shard order and
+    worker count, and decorrelated across campaign seeds (the campaign
+    seed is hashed in, not XOR-ed in, so nearby seeds share no structure).
+    """
+    material = f"{int(campaign_seed)}:{config_digest}".encode("ascii")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+def stable_case_seed(campaign_seed: int, *parts: object) -> int:
+    """A process-stable replacement for ``hash(tuple) ^ seed`` seeding.
+
+    Used by drivers that seed per (benchmark, input, config) case without
+    going through the campaign runner; the parts are stringified into the
+    hash material, so anything with a stable ``str`` works.
+    """
+    return shard_seed(campaign_seed, config_hash([str(p) for p in parts]))

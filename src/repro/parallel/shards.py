@@ -1,0 +1,337 @@
+"""Declarative shard specs and their worker-side execution.
+
+A shard spec is a plain JSON dict describing one profiled run completely:
+the workload (a training mini-program configuration or a named benchmark
+input), the ``Tt-Nn`` placement, optional machine-model overrides,
+optional profiler overrides (sampling period, fault plan, resample
+knobs), and which extra measurements to take (interleave oracle, Table
+VII overhead pass).  Workers rebuild everything from the spec and run it
+from scratch, so a shard's result depends only on ``(spec, seed)`` —
+never on which process executed it or in what order.
+
+The payload is symmetric: plain JSON (feature vectors per channel, the
+quarantine ledger, oracle/overhead numbers) that consumers re-hydrate
+into the library's domain objects.  JSON floats round-trip exactly
+(shortest-repr), so a payload that went through the cache is
+bytes-identical to one computed fresh.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.core.profiler import DroppedSampleReport, ProfilerConfig
+from repro.core.features import FeatureVector, TABLE1_FEATURE_NAMES
+from repro.errors import ParallelError
+from repro.numasim.cachemodel import CacheModel
+from repro.numasim.latency import LatencyModel
+from repro.numasim.machine import Machine
+from repro.numasim.topology import NumaTopology
+from repro.pmu.sampler import SamplerConfig
+from repro.types import Channel
+
+__all__ = [
+    "PROFILE_SHARD_KIND",
+    "benchmark_workload_spec",
+    "training_workload_spec",
+    "machine_spec",
+    "profiler_spec",
+    "profile_shard",
+    "run_profile_shard",
+    "payload_channel_features",
+    "payload_fallback_features",
+    "dropped_from_payload",
+    "dropped_to_dict",
+]
+
+#: Kind tag baked into every spec (and therefore every hash): bump it when
+#: the payload layout changes so stale cache entries can never be replayed.
+PROFILE_SHARD_KIND = "profile/v1"
+
+#: Topology/latency fields that may differ from defaults and still shard.
+_TOPOLOGY_SCALARS = (
+    "n_sockets",
+    "cores_per_socket",
+    "smt",
+    "clock_ghz",
+    "dram_bytes_per_node",
+    "dram_bw_bytes_per_cycle",
+    "link_bw_bytes_per_cycle",
+)
+_LATENCY_SCALARS = (
+    "mc_queue_fraction",
+    "link_queue_fraction",
+    "max_inflation",
+)
+
+
+# ---------------------------------------------------------------------------
+# Workload specs
+# ---------------------------------------------------------------------------
+
+def training_workload_spec(cfg) -> dict:
+    """Spec for one :class:`~repro.core.training.TrainingConfig` run."""
+    d = dataclasses.asdict(cfg)
+    d["label"] = cfg.label.value
+    d["kind"] = "training"
+    return d
+
+
+def benchmark_workload_spec(name: str, input_name: str) -> dict:
+    """Spec for one registered benchmark input."""
+    return {"kind": "benchmark", "name": name, "input": input_name}
+
+
+def _build_workload(wspec: dict):
+    kind = wspec.get("kind")
+    if kind == "training":
+        from repro.core.training import TrainingConfig, _build_workload
+        from repro.types import Mode
+
+        fields = {k: v for k, v in wspec.items() if k != "kind"}
+        fields["label"] = Mode(fields["label"])
+        # JSON round-trips tuples as lists; TrainingConfig has none today,
+        # but guard the frozen-dataclass rebuild against unknown keys.
+        known = {f.name for f in dataclasses.fields(TrainingConfig)}
+        unknown = set(fields) - known
+        if unknown:
+            raise ParallelError(f"unknown training-config fields {sorted(unknown)}")
+        return _build_workload(TrainingConfig(**fields))
+    if kind == "benchmark":
+        from repro.workloads.suites.registry import BENCHMARKS
+
+        try:
+            spec = BENCHMARKS[wspec["name"]]
+        except KeyError:
+            raise ParallelError(f"unknown benchmark {wspec.get('name')!r}") from None
+        return spec.build(wspec["input"])
+    raise ParallelError(f"unknown workload spec kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Machine / profiler specs
+# ---------------------------------------------------------------------------
+
+def machine_spec(machine: Machine) -> dict | None:
+    """Serializable description of ``machine``, or ``None`` when it uses
+    features the shard encoding does not carry (per-channel capacity
+    overrides, non-default cache specs/latency bases) — callers fall back
+    to the serial in-process path for those."""
+    if machine.link_capacity_overrides:
+        return None
+    default_topo = NumaTopology()
+    topo = machine.topology
+    if (topo.l1, topo.l2, topo.l3) != (
+        default_topo.l1, default_topo.l2, default_topo.l3
+    ):
+        return None
+    default_lat = LatencyModel()
+    lat = machine.latency_model
+    if lat.base != default_lat.base:
+        return None
+    if machine.cache_model != CacheModel():
+        return None
+    spec: dict[str, dict] = {}
+    topo_delta = {
+        name: getattr(topo, name)
+        for name in _TOPOLOGY_SCALARS
+        if getattr(topo, name) != getattr(default_topo, name)
+    }
+    lat_delta = {
+        name: getattr(lat, name)
+        for name in _LATENCY_SCALARS
+        if getattr(lat, name) != getattr(default_lat, name)
+    }
+    if topo_delta:
+        spec["topology"] = topo_delta
+    if lat_delta:
+        spec["latency_model"] = lat_delta
+    return spec
+
+
+def _build_machine(mspec: dict | None) -> Machine:
+    if not mspec:
+        return Machine()
+    unknown = set(mspec) - {"topology", "latency_model"}
+    if unknown:
+        raise ParallelError(f"unknown machine spec sections {sorted(unknown)}")
+    topo = NumaTopology(**mspec.get("topology", {}))
+    lat = LatencyModel(**mspec.get("latency_model", {}))
+    return Machine(topology=topo, latency_model=lat)
+
+
+def profiler_spec(config: ProfilerConfig) -> dict | None:
+    """Serializable description of a profiler config, or ``None`` when it
+    is not shard-encodable (custom PMU event, non-dataclass fault plan)."""
+    sampler = config.sampler
+    if sampler.event != SamplerConfig().event:
+        return None
+    sampler_d = dataclasses.asdict(sampler)
+    del sampler_d["event"]
+    del sampler_d["seed"]  # the shard seed replaces it
+    sampler_d["outlier_scale"] = list(sampler.outlier_scale)
+    sampler_d["tlb_walk_cycles"] = list(sampler.tlb_walk_cycles)
+    faults = None
+    if config.faults is not None:
+        from repro.faults import FaultPlan
+
+        if not isinstance(config.faults, FaultPlan):
+            return None
+        faults = dataclasses.asdict(config.faults)
+        faults["truncate_fraction"] = list(config.faults.truncate_fraction)
+    return {
+        "sampler": sampler_d,
+        "interrupt_cost_cycles": config.interrupt_cost_cycles,
+        "alloc_intercept_cost_cycles": config.alloc_intercept_cost_cycles,
+        "faults": faults,
+        "resample_floor": config.resample_floor,
+        "resample_attempts": config.resample_attempts,
+        "resample_backoff": config.resample_backoff,
+    }
+
+
+def _build_profiler_config(pspec: dict | None, seed: int) -> ProfilerConfig:
+    if pspec is None:
+        return ProfilerConfig(sampler=SamplerConfig(seed=seed))
+    sampler_d = dict(pspec.get("sampler", {}))
+    for key in ("outlier_scale", "tlb_walk_cycles"):
+        if key in sampler_d:
+            sampler_d[key] = tuple(sampler_d[key])
+    sampler = SamplerConfig(seed=seed, **sampler_d)
+    faults = None
+    if pspec.get("faults") is not None:
+        from repro.faults import FaultPlan
+
+        fault_d = dict(pspec["faults"])
+        if "truncate_fraction" in fault_d:
+            fault_d["truncate_fraction"] = tuple(fault_d["truncate_fraction"])
+        faults = FaultPlan(**fault_d)
+    return ProfilerConfig(
+        sampler=sampler,
+        interrupt_cost_cycles=pspec.get("interrupt_cost_cycles", 800.0),
+        alloc_intercept_cost_cycles=pspec.get("alloc_intercept_cost_cycles", 2000.0),
+        faults=faults,
+        resample_floor=pspec.get("resample_floor", 0),
+        resample_attempts=pspec.get("resample_attempts", 3),
+        resample_backoff=pspec.get("resample_backoff", 2.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The shard itself
+# ---------------------------------------------------------------------------
+
+def profile_shard(
+    workload: dict,
+    n_threads: int,
+    n_nodes: int,
+    machine: dict | None = None,
+    profiler: dict | None = None,
+    oracle: bool = False,
+    overhead: bool = False,
+    features: bool = True,
+) -> dict:
+    """Assemble one profile-shard spec (plain JSON, hashable, cacheable)."""
+    return {
+        "kind": PROFILE_SHARD_KIND,
+        "workload": workload,
+        "n_threads": int(n_threads),
+        "n_nodes": int(n_nodes),
+        "machine": machine or {},
+        "profiler": profiler,
+        "oracle": bool(oracle),
+        "overhead": bool(overhead),
+        "features": bool(features),
+    }
+
+
+def dropped_to_dict(report: DroppedSampleReport) -> dict:
+    """JSON form of the quarantine ledger (sorted for canonical bytes)."""
+    return {
+        "observed": report.observed,
+        "kept": report.kept,
+        "quarantined": {k: report.quarantined[k] for k in sorted(report.quarantined)},
+        "injected": {k: report.injected[k] for k in sorted(report.injected)},
+        "resample_attempts": report.resample_attempts,
+        "resampled_channels": [[c.src, c.dst] for c in report.resampled_channels],
+    }
+
+
+def dropped_from_payload(d: dict) -> DroppedSampleReport:
+    """Re-hydrate one shard's quarantine ledger."""
+    return DroppedSampleReport(
+        observed=int(d.get("observed", 0)),
+        kept=int(d.get("kept", 0)),
+        quarantined={str(k): int(v) for k, v in d.get("quarantined", {}).items()},
+        injected={str(k): int(v) for k, v in d.get("injected", {}).items()},
+        resample_attempts=int(d.get("resample_attempts", 0)),
+        resampled_channels=tuple(
+            Channel(int(s), int(dn)) for s, dn in d.get("resampled_channels", ())
+        ),
+    )
+
+
+def run_profile_shard(spec: dict, seed: int) -> dict:
+    """Execute one shard (in a worker or in-process) and return its payload.
+
+    The only inputs are ``spec`` and ``seed``; everything else — machine,
+    profiler, workload — is rebuilt here, which is what makes the result
+    independent of the executing process.
+    """
+    if spec.get("kind") != PROFILE_SHARD_KIND:
+        raise ParallelError(f"unsupported shard kind {spec.get('kind')!r}")
+    from repro.core.profiler import DrBwProfiler
+
+    machine = _build_machine(spec.get("machine"))
+    profiler = DrBwProfiler(machine, _build_profiler_config(spec.get("profiler"), seed))
+    workload = _build_workload(spec["workload"])
+    t, n = int(spec["n_threads"]), int(spec["n_nodes"])
+
+    payload: dict[str, Any] = {}
+    if spec.get("overhead"):
+        plain, profiled, _ = profiler.measure_overhead(workload, t, n)
+        payload["overhead"] = {
+            "plain_cycles": float(plain),
+            "profiled_cycles": float(profiled),
+        }
+    if spec.get("oracle"):
+        from repro.eval.groundtruth import interleave_oracle
+
+        verdict = interleave_oracle(workload, machine, t, n)
+        payload["oracle"] = {
+            "original_cycles": float(verdict.original_cycles),
+            "interleaved_cycles": float(verdict.interleaved_cycles),
+            "speedup": float(verdict.speedup),
+            "mode": verdict.mode.value,
+        }
+    if spec.get("features", True):
+        profile = profiler.profile(workload, t, n, seed=seed)
+        per_channel = profile.features_per_channel()
+        payload["channels"] = [
+            [ch.src, ch.dst, fv.values.tolist()]
+            for ch, fv in sorted(per_channel.items())
+        ]
+        payload["fallback"] = profile.features_for(Channel(0, 1)).values.tolist()
+        payload["total_cycles"] = float(profile.total_cycles)
+        payload["dropped"] = dropped_to_dict(profile.dropped)
+    return payload
+
+
+def payload_channel_features(payload: dict) -> dict[Channel, FeatureVector]:
+    """Per-channel Table I features from one shard payload, in sorted
+    channel order (the same order the batch extractor produces)."""
+    return {
+        Channel(int(s), int(d)): FeatureVector(
+            names=TABLE1_FEATURE_NAMES, values=list(map(float, values))
+        )
+        for s, d, values in payload.get("channels", ())
+    }
+
+
+def payload_fallback_features(payload: dict) -> FeatureVector:
+    """The zero-remote fallback channel's context features (node 0 → 1)."""
+    return FeatureVector(
+        names=TABLE1_FEATURE_NAMES,
+        values=list(map(float, payload["fallback"])),
+    )

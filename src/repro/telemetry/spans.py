@@ -158,6 +158,43 @@ class Tracer:
         """Finished spans as JSON-ready dicts, in completion order."""
         return [r.to_dict() for r in self.records]
 
+    def merge_records(self, span_dicts: list[dict], shard: str | None = None) -> int:
+        """Adopt spans exported by another tracer (a pool worker's).
+
+        Span ids are offset past this tracer's id space so merged and
+        local spans never collide; relative parent links are preserved and
+        worker roots stay roots (``parent_id`` -1).  Each adopted span is
+        tagged with the originating ``shard`` so the dashboard can group
+        per-worker work.  Times stay relative to the *worker's* epoch —
+        cross-process clocks are not reconciled, and per-span wall/CPU
+        durations (the quantities the reports aggregate) are unaffected.
+        Returns the number of spans adopted.
+        """
+        if not span_dicts:
+            return 0
+        offset = self._next_id
+        top = offset
+        for d in span_dicts:
+            rec = SpanRecord.from_dict(d)
+            attrs = dict(rec.attrs)
+            if shard is not None:
+                attrs["shard"] = shard
+            new_id = rec.span_id + offset
+            top = max(top, new_id + 1)
+            self.records.append(
+                SpanRecord(
+                    span_id=new_id,
+                    parent_id=rec.parent_id + offset if rec.parent_id >= 0 else -1,
+                    name=rec.name,
+                    start_s=rec.start_s,
+                    wall_s=rec.wall_s,
+                    cpu_s=rec.cpu_s,
+                    attrs=attrs,
+                )
+            )
+        self._next_id = top
+        return len(span_dicts)
+
     def to_chrome_trace(self) -> list[dict]:
         """Chrome-trace/Perfetto "complete" (``ph: "X"``) events.
 

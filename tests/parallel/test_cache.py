@@ -1,0 +1,88 @@
+"""The on-disk shard-result cache: hits, eviction, degradation policy."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CacheError
+from repro.parallel.cache import CACHE_SCHEMA, ResultCache, default_cache_dir
+
+KEY = "ab" + "0" * 62
+PAYLOAD = {"channels": [[0, 1, {"x": 1.5}]], "total_cycles": 1000}
+
+
+def test_miss_put_hit_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    assert cache.get(KEY) is None
+    cache.put(KEY, PAYLOAD)
+    assert cache.get(KEY) == PAYLOAD
+    assert cache.stats == {"hits": 1, "misses": 1}
+
+
+def test_two_level_fanout_layout(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.put(KEY, PAYLOAD)
+    path = cache.path_for(KEY)
+    assert path == tmp_path / "c" / KEY[:2] / f"{KEY}.json"
+    assert path.exists()
+    # Atomic write: no temp droppings left behind.
+    assert not list((tmp_path / "c").rglob(".tmp-*"))
+
+
+def test_corrupt_entries_are_evicted_as_misses(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    path = cache.path_for(KEY)
+    path.parent.mkdir(parents=True)
+
+    for bad in (
+        "not json at all {",
+        json.dumps(["not", "an", "object"]),
+        json.dumps({"schema": "wrong", "key": KEY, "payload": {}}),
+        json.dumps({"schema": CACHE_SCHEMA, "schema_version": 99,
+                    "key": KEY, "payload": {}}),
+        json.dumps({"schema": CACHE_SCHEMA, "schema_version": 1,
+                    "key": "somebody-else", "payload": {}}),
+        json.dumps({"schema": CACHE_SCHEMA, "schema_version": 1,
+                    "key": KEY, "payload": "not a dict"}),
+    ):
+        path.write_text(bad)
+        assert cache.get(KEY) is None
+        assert not path.exists()  # evicted, cannot shadow a future write
+
+    cache.put(KEY, PAYLOAD)
+    assert cache.get(KEY) == PAYLOAD
+
+
+def test_disabled_cache_is_inert(tmp_path):
+    cache = ResultCache(tmp_path / "c", enabled=False)
+    cache.put(KEY, PAYLOAD)
+    assert cache.get(KEY) is None
+    assert not (tmp_path / "c").exists()
+    assert cache.stats == {"hits": 0, "misses": 0}
+
+
+def test_explicit_impossible_root_raises(tmp_path):
+    blocker = tmp_path / "a-file"
+    blocker.write_text("x")
+    with pytest.raises(CacheError):
+        ResultCache(blocker / "cache")
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    for i in range(3):
+        cache.put(f"{i:02d}" + "f" * 62, PAYLOAD)
+    assert cache.clear() == 3
+    assert cache.get("00" + "f" * 62) is None
+
+
+def test_default_cache_dir_resolution(monkeypatch, tmp_path):
+    monkeypatch.setenv("DRBW_CACHE_DIR", str(tmp_path / "explicit"))
+    assert default_cache_dir() == tmp_path / "explicit"
+    monkeypatch.delenv("DRBW_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "drbw"
+    monkeypatch.delenv("XDG_CACHE_HOME")
+    assert default_cache_dir().name == "drbw"

@@ -1,0 +1,179 @@
+"""Property-based determinism: worker count and cache state never change results.
+
+Random campaign subsets (seeded stdlib ``random``) run serial, at
+``jobs=2``, at ``jobs=4``, and from a warm cache — every variant must
+produce byte-identical canonical payloads and identical cache keys.
+Plus regression tests for the specific nondeterminism bugs the parallel
+layer fixed: salted-``hash`` seeding and unordered tie-breaking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.training import all_training_configs
+from repro.parallel import (
+    CampaignRunner,
+    ResultCache,
+    profile_shard,
+    training_workload_spec,
+)
+
+ALL_CONFIGS = all_training_configs()
+
+
+def random_specs(rng: random.Random, n: int) -> list[dict]:
+    """A random n-config campaign, with oracle/overhead flags varied too."""
+    configs = rng.sample(ALL_CONFIGS, n)
+    return [
+        profile_shard(
+            training_workload_spec(cfg),
+            cfg.n_threads,
+            cfg.n_nodes,
+            overhead=rng.random() < 0.3,
+        )
+        for cfg in configs
+    ]
+
+
+@pytest.mark.parametrize("trial", range(3))
+def test_worker_count_never_changes_bytes(trial):
+    """Serial vs jobs=2 vs jobs=4: same canonical bytes, same identities."""
+    rng = random.Random(1000 + trial)
+    specs = random_specs(rng, rng.randint(3, 5))
+    campaign_seed = rng.randint(0, 2**16)
+
+    baseline = None
+    for jobs in (1, 2, 4):
+        runner = CampaignRunner(
+            jobs=jobs, use_cache=False, campaign_seed=campaign_seed
+        )
+        result = runner.run(specs)
+        snapshot = [
+            (o.config_hash, o.seed, o.canonical_payload) for o in result
+        ]
+        keys = [runner.shard_identity(s)[2] for s in specs]
+        if baseline is None:
+            baseline = (snapshot, keys)
+        else:
+            assert (snapshot, keys) == baseline, f"jobs={jobs} diverged"
+
+
+@pytest.mark.parametrize("trial", range(2))
+def test_cache_replay_is_bytes_identical(trial, tmp_path):
+    """A warm-cache re-run returns the exact bytes the cold run produced."""
+    rng = random.Random(2000 + trial)
+    specs = random_specs(rng, 3)
+    cache = ResultCache(tmp_path / f"cache-{trial}")
+
+    cold = CampaignRunner(jobs=1, cache=cache, campaign_seed=7).run(specs)
+    warm = CampaignRunner(jobs=1, cache=cache, campaign_seed=7).run(specs)
+    assert warm.cache_hits == len(specs)
+    assert [o.canonical_payload for o in warm] == [
+        o.canonical_payload for o in cold
+    ]
+    # A different campaign seed must NOT hit the same entries.
+    other = CampaignRunner(jobs=1, cache=cache, campaign_seed=8).run(specs)
+    assert other.cache_hits == 0
+
+
+def test_shard_order_does_not_change_per_shard_bytes():
+    """Shuffling the spec list permutes outcomes without perturbing them."""
+    rng = random.Random(3000)
+    specs = random_specs(rng, 4)
+    forward = CampaignRunner(jobs=1, use_cache=False).run(specs)
+    by_hash = {o.config_hash: o.canonical_payload for o in forward}
+
+    shuffled = specs[:]
+    rng.shuffle(shuffled)
+    permuted = CampaignRunner(jobs=1, use_cache=False).run(shuffled)
+    assert {o.config_hash: o.canonical_payload for o in permuted} == by_hash
+
+
+def test_campaign_bytes_survive_hash_salt():
+    """End-to-end PYTHONHASHSEED independence (the old seeding bug).
+
+    Two interpreters with different hash salts run the same 2-shard
+    campaign and must print the same digest of the merged canonical
+    payloads.
+    """
+    import pathlib
+
+    src = pathlib.Path(__file__).resolve().parents[2] / "src"
+    prog = (
+        "import hashlib\n"
+        "from repro.core.training import all_training_configs\n"
+        "from repro.parallel import (CampaignRunner, profile_shard,\n"
+        "                            training_workload_spec)\n"
+        "specs = [profile_shard(training_workload_spec(c), c.n_threads,\n"
+        "                       c.n_nodes)\n"
+        "         for c in all_training_configs()[:2]]\n"
+        "result = CampaignRunner(jobs=1, use_cache=False).run(specs)\n"
+        "blob = '\\n'.join(o.canonical_payload for o in result)\n"
+        "print(hashlib.sha256(blob.encode()).hexdigest())\n"
+    )
+    digests = []
+    for salt in ("11", "42"):
+        proc = subprocess.run(
+            [sys.executable, "-c", prog],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONHASHSEED": salt,
+                "PYTHONPATH": str(src),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        digests.append(proc.stdout.strip())
+    assert digests[0] == digests[1]
+    assert len(digests[0]) == 64
+
+
+def test_hottest_channel_tie_breaks_by_channel_order():
+    """Equal-support channels must resolve by channel identity, not dict order."""
+    from repro.core.features import TABLE1_FEATURE_NAMES, FeatureVector
+    from repro.core.training import hottest_channel_from
+    from repro.types import Channel
+
+    def vector(remote_samples: float) -> FeatureVector:
+        values = np.zeros(len(TABLE1_FEATURE_NAMES))
+        idx = TABLE1_FEATURE_NAMES.index("num_remote_dram_samples")
+        values[idx] = remote_samples
+        return FeatureVector(names=TABLE1_FEATURE_NAMES, values=values)
+
+    fallback = vector(0.0)
+    tied = {Channel(2, 0): vector(40.0), Channel(0, 1): vector(40.0)}
+    reversed_tied = dict(reversed(list(tied.items())))
+    fv_a, ch_a = hottest_channel_from(tied, fallback)
+    fv_b, ch_b = hottest_channel_from(reversed_tied, fallback)
+    assert ch_a == ch_b == Channel(0, 1)  # smallest channel wins the tie
+    assert np.array_equal(fv_a.values, fv_b.values)
+    assert fv_a["num_remote_dram_samples"] == 40.0
+    # Below the support floor the fallback wins, with remote features zeroed.
+    fv_low, ch_low = hottest_channel_from(
+        {Channel(0, 1): vector(3.0)}, vector(0.0)
+    )
+    assert ch_low is None
+    assert fv_low["num_remote_dram_samples"] == 0.0
+
+
+def test_repeated_runs_are_identical_in_process():
+    """Same campaign twice in one process: digest-for-digest identical."""
+    rng = random.Random(4000)
+    specs = random_specs(rng, 3)
+
+    def digest() -> str:
+        result = CampaignRunner(jobs=1, use_cache=False, campaign_seed=5).run(
+            specs
+        )
+        blob = "\n".join(o.canonical_payload for o in result)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    assert digest() == digest()

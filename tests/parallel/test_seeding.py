@@ -1,0 +1,111 @@
+"""Deterministic hashing/seeding: stable across processes and hash salts."""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.seeding import (
+    canonical_json,
+    config_hash,
+    shard_seed,
+    stable_case_seed,
+)
+
+
+def test_canonical_json_is_key_order_independent():
+    a = {"b": 1, "a": [1, 2, {"y": 0, "x": 1}]}
+    b = {"a": [1, 2, {"x": 1, "y": 0}], "b": 1}
+    assert canonical_json(a) == canonical_json(b)
+    assert canonical_json(a) == '{"a":[1,2,{"x":1,"y":0}],"b":1}'
+
+
+def test_canonical_json_round_trips_floats_exactly():
+    # json floats use shortest-repr; loads∘dumps must be a fixed point,
+    # otherwise warm-cache payloads could drift from fresh ones.
+    rng = random.Random(7)
+    values = [rng.random() * 10**rng.randint(-8, 8) for _ in range(200)]
+    text = canonical_json(values)
+    assert canonical_json(json.loads(text)) == text
+    assert json.loads(text) == values
+
+
+def test_canonical_json_rejects_nan_and_unserializable():
+    with pytest.raises(ParallelError):
+        canonical_json({"x": float("nan")})
+    with pytest.raises(ParallelError):
+        canonical_json({"x": float("inf")})
+    with pytest.raises(ParallelError):
+        canonical_json({"x": {1, 2}})
+    with pytest.raises(ParallelError):
+        canonical_json(object())
+
+
+def test_config_hash_properties():
+    spec = {"kind": "profile/v1", "n_threads": 4}
+    digest = config_hash(spec)
+    assert len(digest) == 64 and set(digest) <= set("0123456789abcdef")
+    assert config_hash({"n_threads": 4, "kind": "profile/v1"}) == digest
+    assert config_hash({"kind": "profile/v1", "n_threads": 8}) != digest
+
+
+def test_shard_seed_range_and_determinism():
+    digest = config_hash({"a": 1})
+    seeds = {shard_seed(s, digest) for s in range(50)}
+    assert len(seeds) == 50  # campaign seeds decorrelate
+    for s in seeds:
+        assert 0 <= s < 2**31
+    assert shard_seed(3, digest) == shard_seed(3, digest)
+    assert shard_seed(3, digest) != shard_seed(3, config_hash({"a": 2}))
+
+
+def test_stable_case_seed_stringifies_parts():
+    assert stable_case_seed(0, "EP", "C", "64t4n") == stable_case_seed(
+        0, "EP", "C", "64t4n"
+    )
+    assert stable_case_seed(0, 32) == stable_case_seed(0, "32")
+    assert stable_case_seed(0, "EP") != stable_case_seed(0, "CG")
+    assert stable_case_seed(0, "EP") != stable_case_seed(1, "EP")
+
+
+def test_hashes_survive_hash_salt():
+    """The exact bug this module replaces: PYTHONHASHSEED-dependent seeds.
+
+    Two fresh interpreters with different hash salts must agree on every
+    derived hash and seed.
+    """
+    import pathlib
+
+    src = pathlib.Path(__file__).resolve().parents[2] / "src"
+    prog = (
+        "from repro.parallel.seeding import config_hash, stable_case_seed\n"
+        "spec = {'kind': 'profile/v1', 'names': ['EP', 'CG', 'AMG2006']}\n"
+        "print(config_hash(spec))\n"
+        "print(stable_case_seed(0, 'EP', 'C', '64t4n'))\n"
+    )
+    outputs = []
+    for salt in ("1", "2"):
+        proc = subprocess.run(
+            [sys.executable, "-c", prog],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONHASHSEED": salt,
+                "PYTHONPATH": str(src),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+    # And the in-process interpreter (whatever its salt) agrees too.
+    digest, seed = outputs[0].split()
+    assert digest == config_hash(
+        {"kind": "profile/v1", "names": ["EP", "CG", "AMG2006"]}
+    )
+    assert int(seed) == stable_case_seed(0, "EP", "C", "64t4n")

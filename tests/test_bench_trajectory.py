@@ -30,6 +30,10 @@ def results_dir(tmp_path):
         "agreement": 0.99, "channel_windows": 400,
     })
     write_result(d, "table3_confusion", {"cv_accuracy": 0.974})
+    write_result(d, "parallel_scaling", {
+        "speedup_jobs2": 1.6, "speedup_jobs4": 2.4,
+        "warm_cache_seconds": 0.01, "identical": True, "usable_cpus": 4,
+    })
     return d
 
 
@@ -78,6 +82,10 @@ def test_build_trajectory_and_validate(results_dir):
     assert doc["throughput"]["samples_per_sec"] == 300_000.0
     assert doc["classifier"]["cv_accuracy"] == 0.974
     assert doc["monitor"]["agreement"] == 0.99
+    assert doc["parallel"] == {
+        "speedup_jobs2": 1.6, "speedup_jobs4": 2.4,
+        "warm_cache_seconds": 0.01, "identical": True, "usable_cpus": 4,
+    }
     # With no explicit wall time the overhead pass's own measurement wins.
     assert bench_all.build_trajectory(results_dir)["wall_time_s"] == 12.5
 
@@ -97,6 +105,17 @@ def test_validate_rejects_broken_documents(results_dir):
     bad = json.loads(json.dumps(doc))
     bad["throughput"]["samples_per_sec"] = "fast"
     assert any("samples_per_sec" in e for e in bench_all.validate_trajectory(bad))
+    # Non-object documents yield errors, never attribute crashes.
+    for junk in (None, 3, "trajectory", [doc]):
+        assert bench_all.validate_trajectory(junk) != []
+    # The parallel section is optional (pre-PR4 points) but typed when present.
+    old_point = {k: v for k, v in doc.items() if k != "parallel"}
+    assert bench_all.validate_trajectory(old_point) == []
+    bad = json.loads(json.dumps(doc))
+    bad["parallel"]["identical"] = "yes"
+    assert any("identical" in e for e in bench_all.validate_trajectory(bad))
+    bad["parallel"] = 7
+    assert any("parallel" in e for e in bench_all.validate_trajectory(bad))
 
 
 def test_regression_gate(results_dir, tmp_path, capsys):
@@ -122,9 +141,12 @@ def test_regression_gate(results_dir, tmp_path, capsys):
     assert bench_all.check_regression(current, prev_path) == 1
 
 
-def test_committed_trajectory_point_is_valid():
-    path = pathlib.Path(__file__).parent.parent / "BENCH_PR3.json"
+@pytest.mark.parametrize("pr", [3, 4])
+def test_committed_trajectory_point_is_valid(pr):
+    path = pathlib.Path(__file__).parent.parent / f"BENCH_PR{pr}.json"
     doc = json.loads(path.read_text())
     assert bench_all.validate_trajectory(doc) == []
     assert doc["monitor"]["agreement"] >= 0.95
     assert doc["monitor"]["overhead_fraction"] < 0.05
+    if pr >= 4:
+        assert doc["parallel"]["identical"] is True
