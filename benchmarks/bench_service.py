@@ -1,0 +1,151 @@
+"""Service benchmark: HTTP round-trip overhead, coalescing, warm hits.
+
+Three claims gate the profiling daemon (ISSUE 5):
+
+* **Byte identity** — the result fetched over HTTP is exactly
+  ``canonical_json(execute_job(spec))`` plus a newline, i.e. the same
+  bytes ``drbw detect --json`` prints.  Asserted unconditionally.
+* **One execution per storm** — a burst of identical submissions costs
+  exactly one pipeline execution: in-flight duplicates coalesce onto
+  the primary, late duplicates replay from the result cache.
+* **Warm hits skip the pipeline** — resubmitting a finished spec is
+  answered from disk, far below the cold round-trip time.
+
+The recorded numbers (direct execution, cold HTTP round trip, warm-hit
+latency, storm wall time) land in ``benchmarks/results/`` like every
+other table; only the structural claims above are asserted, since
+absolute timings vary across runners.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from _util import save_and_print
+from repro.parallel import ResultCache, canonical_json
+from repro.service import (
+    SERVICE_CACHE_SCHEMA,
+    ServiceClient,
+    ServiceQueue,
+    ServiceServer,
+    execute_job,
+)
+
+STORM_SIZE = 8
+POLL_S = 0.01
+
+
+def _write_model(tmp_path, trained_classifier) -> str:
+    clf, _ = trained_classifier
+    path = tmp_path / "model.json"
+    path.write_text(json.dumps(clf.to_dict()))
+    return str(path)
+
+
+def test_service_overhead(benchmark, results_dir, tmp_path, trained_classifier):
+    model = _write_model(tmp_path, trained_classifier)
+    spec = {
+        "kind": "detect",
+        "benchmark": "NW",
+        "config": "T16-N2",
+        "model": model,
+        "seed": 0,
+    }
+    storm_spec = dict(spec, seed=1)
+
+    def run():
+        # Direct execution: the floor the service overhead is measured against.
+        t0 = time.perf_counter()
+        direct_text = canonical_json(execute_job(spec))
+        direct_s = time.perf_counter() - t0
+
+        cache = ResultCache(tmp_path / "cache", schema=SERVICE_CACHE_SCHEMA)
+        queue = ServiceQueue(workers=2, capacity=32, cache=cache)
+        server = ServiceServer(queue).start()
+        try:
+            client = ServiceClient(server.url)
+
+            # Cold round trip: submit -> poll -> fetch, one real execution.
+            t0 = time.perf_counter()
+            job = client.submit(spec)
+            client.wait(job["id"], poll_s=POLL_S)
+            text = client.result_text(job["id"])
+            cold_s = time.perf_counter() - t0
+            identical = text == direct_text + "\n"
+
+            # Warm hit: the same spec answers from the result cache.
+            t0 = time.perf_counter()
+            warm_job = client.submit(spec)
+            warm_text = client.result_text(warm_job["id"])
+            warm_s = time.perf_counter() - t0
+            warm_hit = warm_job["cache_hit"] and warm_text == text
+
+            # Storm: identical concurrent submissions, one execution total.
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=STORM_SIZE) as pool:
+                jobs = list(pool.map(
+                    lambda _: client.submit(storm_spec), range(STORM_SIZE)
+                ))
+            texts = set()
+            for j in jobs:
+                client.wait(j["id"], poll_s=POLL_S)
+                texts.add(client.result_text(j["id"]))
+            storm_s = time.perf_counter() - t0
+            coalesced = queue.metrics.counter("service.jobs_coalesced").value
+            # Warm-hit count includes the resubmit above; storm late-comers
+            # are whatever the coalescer didn't catch in flight.
+            storm_cache_hits = queue.metrics.counter("service.cache_hits").value - 1
+        finally:
+            server.stop()
+        return {
+            "direct_s": direct_s,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "storm_s": storm_s,
+            "identical": identical,
+            "warm_hit": warm_hit,
+            "storm_texts": len(texts),
+            "coalesced": coalesced,
+            "storm_cache_hits": storm_cache_hits,
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead_ms = (r["cold_s"] - r["direct_s"]) * 1e3
+    one_execution = r["coalesced"] + r["storm_cache_hits"] == STORM_SIZE - 1
+
+    lines = [
+        "Profiling service vs direct execution (detect NW, T16-N2, warm model):",
+        f"{'path':>28}{'seconds':>10}",
+        f"{'direct execute_job':>28}{r['direct_s']:>10.3f}",
+        f"{'cold HTTP round trip':>28}{r['cold_s']:>10.3f}"
+        f"   (+{overhead_ms:.1f} ms submit/poll/fetch)",
+        f"{'warm cache hit':>28}{r['warm_s']:>10.3f}",
+        f"{STORM_SIZE:>4} identical submissions{'':>2}{r['storm_s']:>10.3f}"
+        f"   ({int(r['coalesced'])} coalesced, {int(r['storm_cache_hits'])} warm)",
+        f"result bytes identical to the CLI --json path: {r['identical']}",
+        f"storm cost exactly one execution: {one_execution}",
+    ]
+    save_and_print(
+        results_dir, "service_overhead", "\n".join(lines),
+        data={
+            "direct_s": r["direct_s"],
+            "cold_roundtrip_s": r["cold_s"],
+            "roundtrip_overhead_ms": overhead_ms,
+            "warm_hit_s": r["warm_s"],
+            "storm_size": STORM_SIZE,
+            "storm_s": r["storm_s"],
+            "storm_coalesced": r["coalesced"],
+            "storm_cache_hits": r["storm_cache_hits"],
+            "identical": r["identical"],
+            "one_execution": one_execution,
+        },
+    )
+    assert r["identical"], "service result differs from the CLI --json bytes"
+    assert r["warm_hit"], "resubmitted spec did not replay from the cache"
+    assert r["storm_texts"] == 1, "storm submissions returned differing results"
+    assert one_execution, (
+        f"{STORM_SIZE} identical submissions should cost one execution, got "
+        f"{r['coalesced']} coalesced + {r['storm_cache_hits']} warm hits"
+    )

@@ -18,9 +18,18 @@ The workflow a release user runs without writing Python:
   worker pool, results are bit-identical for any N, and the on-disk
   shard cache (``--cache-dir``/``--no-cache``) makes unchanged re-runs
   near-instant (see ``docs/parallelism.md``);
+* ``serve``    — run the profiling service daemon: profile/detect/
+  diagnose jobs over HTTP with request coalescing, a bounded queue
+  (429 + ``Retry-After`` under saturation), per-client rate limits,
+  ``/healthz``/``/readyz``/``/metrics`` endpoints, and a graceful
+  SIGTERM drain (see ``docs/service.md``);
 * ``report``   — render the text dashboard for a telemetry artifact
   exported by a previous run;
 * ``list``     — the available benchmarks and their inputs.
+
+``detect`` and ``diagnose`` also take ``--json``: print the machine-
+readable result as one canonical-JSON line instead of the human text —
+byte-identical to what the service returns for the same job spec.
 
 ``detect`` and ``diagnose`` accept ``--faults`` (a preset name such as
 ``standard``, or ``drop=0.1,corrupt=0.01``-style pairs) to run the
@@ -59,6 +68,14 @@ from repro.errors import ConfigError, ReproError
 from repro.eval.configs import config_by_name
 from repro.faults import FAULT_PRESETS, parse_fault_plan
 from repro.numasim.machine import Machine
+
+# The telemetry-payload JSON fragments are shared with the service's job
+# executor so the CLI and service outputs can never drift.
+from repro.service.jobspec import (
+    degradation_payload as _degradation_payload,
+    diagnosis_payload as _diagnosis_payload,
+    verdicts_payload as _verdicts_payload,
+)
 from repro.telemetry.artifact import (
     collect_metadata,
     export_artifact,
@@ -138,6 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject collection faults: a preset "
                             f"({', '.join(FAULT_PRESETS)}) or key=value pairs, "
                             "e.g. drop=0.1,corrupt=0.01,seed=7")
+        p.add_argument("--json", action="store_true",
+                       help="print the result as one canonical-JSON line "
+                            "(byte-identical to the service's job result)")
         _add_common(p)
 
     p_mon = sub.add_parser(
@@ -176,6 +196,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one line per window instead of the live "
                             "dashboard (useful for CI logs and pipes)")
     _add_common(p_mon)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the profiling service daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="listen port, 0 for OS-assigned (default: 8787)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="job worker threads (default: 2)")
+    p_serve.add_argument("--queue-size", type=int, default=16, metavar="N",
+                         help="bounded job queue depth; full queue answers "
+                              "429 with Retry-After (default: 16)")
+    p_serve.add_argument("--rate", type=float, default=None, metavar="R",
+                         help="per-client submissions/second token-bucket "
+                              "rate (default: unlimited)")
+    p_serve.add_argument("--burst", type=float, default=10.0, metavar="B",
+                         help="per-client token-bucket burst (default: 10)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="warm-result cache (default: $DRBW_CACHE_DIR, "
+                              "else ~/.cache/drbw)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="execute every job, read/write no cache")
+    p_serve.add_argument("--no-telemetry", action="store_true",
+                         help="skip per-job pipeline telemetry aggregation")
+    _add_common(p_serve, with_telemetry=False)
 
     p_report = sub.add_parser(
         "report", help="render the dashboard for a telemetry artifact"
@@ -239,46 +285,6 @@ def _profiler_config(args) -> ProfilerConfig:
     )
 
 
-# -- telemetry payloads -----------------------------------------------------------
-
-
-def _verdicts_payload(verdicts) -> list[dict]:
-    return [
-        {
-            "channel": str(ch),
-            "label": v.label,
-            "mode": v.mode.value,
-            "confidence": v.confidence,
-            "n_remote_samples": v.n_remote_samples,
-            "insufficient_data": v.insufficient_data,
-        }
-        for ch, v in sorted(verdicts.items())
-    ]
-
-
-def _degradation_payload(d) -> dict:
-    return {
-        "observed": d.observed,
-        "kept": d.kept,
-        "quarantined": dict(d.quarantined),
-        "injected": {k: v for k, v in d.injected.items() if v},
-        "drop_fraction": d.drop_fraction,
-        "resample_attempts": d.resample_attempts,
-        "resampled_channels": [str(c) for c in d.resampled_channels],
-    }
-
-
-def _diagnosis_payload(report) -> dict:
-    return {
-        "contended_channels": [str(c) for c in report.contended_channels],
-        "attribution_coverage": report.attribution_coverage,
-        "top": [
-            {"name": c.name, "site": c.site, "cf": c.cf, "n_samples": c.n_samples}
-            for c in report.top(10)
-        ],
-    }
-
-
 # -- commands ---------------------------------------------------------------------
 
 
@@ -309,6 +315,8 @@ def cmd_train(args) -> int:
 
 
 def cmd_detect(args, want_diagnosis: bool = False) -> int:
+    if getattr(args, "json", False):
+        return _cmd_detect_json(args, want_diagnosis)
     # Validate everything cheap (benchmark, config, fault plan) before the
     # expensive model load/train.
     spec, inp = _resolve_benchmark(args)
@@ -364,6 +372,57 @@ def cmd_detect(args, want_diagnosis: bool = False) -> int:
         export_artifact(args.telemetry, tel, meta, results)
         print(f"telemetry artifact written to {args.telemetry}", file=sys.stderr)
     return 0 if verdict is Mode.GOOD else 2
+
+
+def _cmd_detect_json(args, want_diagnosis: bool) -> int:
+    """``--json``: run the job exactly as the service would and print its
+    canonical bytes.  One executor, two transports — that is the whole
+    byte-identity guarantee."""
+    from repro.parallel.seeding import canonical_json
+    from repro.service.jobspec import execute_job
+
+    result = execute_job({
+        "kind": "diagnose" if want_diagnosis else "detect",
+        "benchmark": args.benchmark,
+        "input": args.input,
+        "config": args.config,
+        "seed": args.seed,
+        "faults": args.faults,
+        "model": args.model,
+    })
+    print(canonical_json(result))
+    return 0 if result["case_verdict"] == Mode.GOOD.value else 2
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.parallel.cache import ResultCache
+    from repro.service import SERVICE_CACHE_SCHEMA, ServiceQueue, ServiceServer
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir, schema=SERVICE_CACHE_SCHEMA)
+    jobq = ServiceQueue(
+        workers=args.workers,
+        capacity=args.queue_size,
+        cache=cache,
+        telemetry_enabled=not args.no_telemetry,
+    )
+    server = ServiceServer(
+        jobq, host=args.host, port=args.port, rate=args.rate, burst=args.burst
+    )
+
+    def _graceful(signum, frame) -> None:
+        print("drbw serve: signal received, draining ...", file=sys.stderr)
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    print(f"drbw service listening on {server.url}", file=sys.stderr)
+    server.serve_forever()
+    print("drbw serve: drained, exiting", file=sys.stderr)
+    return 0
 
 
 def _parse_hysteresis(spec: str | None):
@@ -611,6 +670,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_campaign(args)
         if args.command == "monitor":
             return cmd_monitor(args)
+        if args.command == "serve":
+            return cmd_serve(args)
         if args.command == "report":
             return cmd_report(args)
         if args.command == "list":

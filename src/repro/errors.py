@@ -67,6 +67,18 @@ class CacheError(ParallelError):
     """The shard result cache is unusable (bad directory, broken entry)."""
 
 
+class ServiceError(ReproError):
+    """Invalid service job spec, unknown job, or misconfigured daemon."""
+
+
+class ServiceSaturatedError(ServiceError):
+    """The service job queue is full; retry after backoff (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class SchemaError(ReproError):
     """A JSON document does not match its declared schema (trajectory
     points, benchmark result envelopes, and other machine-readable files)."""

@@ -30,7 +30,11 @@ from repro.monitor.dashboard import (
 from repro.monitor.demo import make_monitor_demo_workload
 from repro.monitor.detector import HysteresisConfig, OnlineDetector, StatusTransition
 from repro.monitor.events import EVENT_KINDS, EventLog, read_events, validate_event
-from repro.monitor.exposition import CONTENT_TYPE, render_prometheus
+from repro.monitor.exposition import (
+    CONTENT_TYPE,
+    render_prometheus,
+    render_prometheus_multi,
+)
 from repro.monitor.httpserver import MetricsServer
 from repro.monitor.monitor import (
     ChannelView,
@@ -65,6 +69,7 @@ __all__ = [
     "render_monitor_frame",
     "render_window_line",
     "render_prometheus",
+    "render_prometheus_multi",
     "validate_event",
     "value_sparkline",
 ]

@@ -15,12 +15,12 @@ renders of the same registry are byte-identical.
 from __future__ import annotations
 
 import re
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.metrics import Histogram, MetricsRegistry
 
-__all__ = ["render_prometheus", "CONTENT_TYPE"]
+__all__ = ["render_prometheus", "render_prometheus_multi", "CONTENT_TYPE"]
 
 #: Value for the HTTP Content-Type header when serving this format.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -117,3 +117,25 @@ def render_prometheus(registry: MetricsRegistry, namespace: str = "drbw") -> str
                     f"{name}{_render_labels(labels)} {_fmt(instrument.value)}"
                 )
     return "\n".join(out) + "\n" if out else ""
+
+
+def render_prometheus_multi(
+    registries: Iterable[tuple[str, MetricsRegistry]]
+) -> str:
+    """Render several ``(namespace, registry)`` pairs as one exposition page.
+
+    The profiling service scrapes its own lifecycle counters next to the
+    pipeline telemetry it aggregated from finished jobs; distinct
+    namespaces keep the families disjoint, so concatenation is valid
+    exposition text (Prometheus forbids a family appearing twice).
+    """
+    pages = []
+    seen: set[str] = set()
+    for namespace, registry in registries:
+        if namespace in seen:
+            raise ValueError(f"duplicate exposition namespace {namespace!r}")
+        seen.add(namespace)
+        page = render_prometheus(registry, namespace=namespace)
+        if page:
+            pages.append(page)
+    return "".join(pages)

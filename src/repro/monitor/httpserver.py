@@ -64,6 +64,7 @@ class MetricsServer:
             ) from exc
         self._server.daemon_threads = True
         self._thread: threading.Thread | None = None
+        self._closed = False
 
     @property
     def port(self) -> int:
@@ -75,6 +76,8 @@ class MetricsServer:
         return f"http://{host}:{self.port}/metrics"
 
     def start(self) -> MetricsServer:
+        if self._closed:
+            raise MonitorError("metrics server already stopped")
         if self._thread is not None:
             raise MonitorError("metrics server already started")
         self._thread = threading.Thread(
@@ -86,12 +89,22 @@ class MetricsServer:
         return self
 
     def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._server.shutdown()
-        self._thread.join(timeout=5.0)
-        self._server.server_close()
-        self._thread = None
+        """Stop serving and release the socket.
+
+        Idempotent, and safe whether or not :meth:`start` ever ran: the
+        constructor binds the port, so a server abandoned before (or
+        during a failed) startup must still close its socket or the port
+        leaks until process exit.
+        """
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._server.shutdown()
+            thread.join(timeout=5.0)
+            if thread.is_alive():  # pragma: no cover - defensive
+                logger.warning("metrics server thread did not exit within 5s")
+        if not self._closed:
+            self._server.server_close()
+            self._closed = True
 
     def __enter__(self) -> MetricsServer:
         return self.start()

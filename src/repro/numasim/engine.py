@@ -41,7 +41,7 @@ from repro.numasim.cachemodel import (
 from repro.numasim.fairness import FairnessProblem, solve_max_min
 from repro.numasim.interconnect import InterconnectFabric
 from repro.numasim.latency import LatencyModel
-from repro.numasim.memctrl import MemoryControllerSet
+from repro.numasim.memctrl import DEFAULT_HISTORY_LIMIT, MemoryControllerSet
 from repro.numasim.topology import NumaTopology
 from repro.telemetry import get_telemetry
 from repro.types import Channel, MemLevel
@@ -300,12 +300,19 @@ class ExecutionEngine:
         cache_model: CacheModel | None = None,
         barriers: bool = True,
         link_capacity_overrides: dict[Channel, float] | None = None,
+        history_limit: int | None = None,
     ) -> None:
         self.topology = topology
         self.latency_model = latency_model or LatencyModel()
         self.cache_model = cache_model or CacheModel()
         self.barriers = barriers
         self._link_overrides = link_capacity_overrides
+        #: Retention cap for raw per-interval utilization records on the
+        #: run's memory controllers and interconnect fabric (``None`` uses
+        #: their shared default) — running aggregates are never capped.
+        self.history_limit = (
+            history_limit if history_limit is not None else DEFAULT_HISTORY_LIMIT
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -341,7 +348,7 @@ class ExecutionEngine:
                 interval_max_cycles=interval_max_cycles,
             )
             if tel.enabled:
-                n_intervals = len(result.memctrl.history(0))
+                n_intervals = result.memctrl.n_intervals
                 sp.set(
                     intervals=n_intervals,
                     total_cycles=round(result.total_cycles, 1),
@@ -375,8 +382,10 @@ class ExecutionEngine:
             if not 0 <= p.cpu < self.topology.n_cpus:
                 raise SimulationError(f"thread {p.thread_id} bound to bad cpu {p.cpu}")
 
-        memctrl = MemoryControllerSet(self.topology)
-        fabric = InterconnectFabric(self.topology, self._link_overrides)
+        memctrl = MemoryControllerSet(self.topology, history_limit=self.history_limit)
+        fabric = InterconnectFabric(
+            self.topology, self._link_overrides, history_limit=self.history_limit
+        )
 
         states = [_ThreadState(program=p) for p in programs]
         for st in states:

@@ -9,10 +9,16 @@ bandwidth resource.  The fabric mirrors
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.errors import SimulationError, TopologyError
-from repro.numasim.memctrl import UtilizationRecord
+from repro.numasim.memctrl import (
+    DEFAULT_HISTORY_LIMIT,
+    UtilizationRecord,
+    make_history,
+)
 from repro.numasim.topology import NumaTopology
 from repro.types import Channel
 
@@ -20,12 +26,19 @@ __all__ = ["InterconnectFabric"]
 
 
 class InterconnectFabric:
-    """Bandwidth accounting for every directed inter-socket channel."""
+    """Bandwidth accounting for every directed inter-socket channel.
+
+    Like :class:`~repro.numasim.memctrl.MemoryControllerSet`, raw interval
+    records live in a bounded ring buffer (``history_limit`` per channel)
+    while mean/peak/total statistics are running aggregates over the whole
+    run — long-lived runs stay flat in memory.
+    """
 
     def __init__(
         self,
         topology: NumaTopology,
         capacity_overrides: dict[Channel, float] | None = None,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
     ) -> None:
         self.topology = topology
         self.channels: list[Channel] = topology.remote_channels()
@@ -39,13 +52,23 @@ class InterconnectFabric:
                 raise TopologyError(f"capacity for {ch} must be positive")
             caps[self._index[ch]] = cap
         self.capacities = caps
+        self.history_limit = history_limit
         self._bytes = np.zeros(len(self.channels), dtype=np.float64)
         self._busy_cycles = np.zeros(len(self.channels), dtype=np.float64)
+        self._peak = np.zeros(len(self.channels), dtype=np.float64)
         self._total_cycles = 0.0
-        self._history: list[list[UtilizationRecord]] = [[] for _ in self.channels]
+        self._n_intervals = 0
+        self._history: list[deque[UtilizationRecord]] = [
+            make_history(history_limit) for _ in self.channels
+        ]
 
     def __len__(self) -> int:
         return len(self.channels)
+
+    @property
+    def n_intervals(self) -> int:
+        """Total intervals ever recorded (not capped by the ring buffer)."""
+        return self._n_intervals
 
     def index_of(self, channel: Channel) -> int:
         """Dense index of ``channel`` (raises for local/unknown channels)."""
@@ -75,8 +98,10 @@ class InterconnectFabric:
         self._bytes += b
         self._total_cycles += duration_cycles
         if duration_cycles > 0:
+            self._n_intervals += 1
             rho = np.minimum(b / (self.capacities * duration_cycles), 1.0)
             self._busy_cycles += rho * duration_cycles
+            np.maximum(self._peak, rho, out=self._peak)
             for i in range(len(self.channels)):
                 self._history[i].append(
                     UtilizationRecord(
@@ -98,10 +123,17 @@ class InterconnectFabric:
         return float(self._busy_cycles[self.index_of(channel)] / self._total_cycles)
 
     def peak_utilization(self, channel: Channel) -> float:
-        """Highest interval utilization seen on ``channel``."""
-        hist = self._history[self.index_of(channel)]
-        return max((r.utilization for r in hist), default=0.0)
+        """Highest interval utilization ever seen on ``channel``.
+
+        A running aggregate — unaffected by the history retention cap.
+        """
+        return float(self._peak[self.index_of(channel)])
 
     def history(self, channel: Channel) -> list[UtilizationRecord]:
-        """Interval-by-interval utilization records for ``channel``."""
+        """The retained utilization records for ``channel``.
+
+        At most ``history_limit`` records — the most recent ones when the
+        run outlived the cap.  Use the running aggregates for whole-run
+        statistics.
+        """
         return list(self._history[self.index_of(channel)])

@@ -27,6 +27,9 @@ class Machine:
     cache_model: CacheModel = field(default_factory=CacheModel)
     #: Optional per-channel capacity overrides (asymmetric interconnects).
     link_capacity_overrides: dict[Channel, float] | None = None
+    #: Retention cap for raw per-interval utilization records (``None``
+    #: uses the engine default); running aggregates are never capped.
+    history_limit: int | None = None
 
     def engine(self, barriers: bool = True) -> ExecutionEngine:
         """Build an execution engine for this machine."""
@@ -36,6 +39,7 @@ class Machine:
             cache_model=self.cache_model,
             barriers=barriers,
             link_capacity_overrides=self.link_capacity_overrides,
+            history_limit=self.history_limit,
         )
 
     def run(

@@ -4,10 +4,22 @@ Each NUMA node owns one memory controller with a fixed service capacity in
 bytes/cycle.  The engine debits traffic into the controller per simulated
 interval; the controller keeps a time-weighted utilization history that the
 evaluation harness uses to report where contention occurred.
+
+Raw per-interval records are kept in a bounded ring buffer
+(``history_limit`` records per resource, :data:`DEFAULT_HISTORY_LIMIT` by
+default) so a long-lived run — the live monitor, or a profiling service
+executing jobs for hours — uses constant memory instead of growing
+linearly with simulated intervals.  The summary statistics
+(:meth:`~MemoryControllerSet.mean_utilization`,
+:meth:`~MemoryControllerSet.peak_utilization`,
+:meth:`~MemoryControllerSet.total_bytes`, ``n_intervals``) are running
+aggregates over *every* interval ever recorded, so bounding the raw
+records never changes them.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,7 +27,26 @@ import numpy as np
 from repro.errors import SimulationError, TopologyError
 from repro.numasim.topology import NumaTopology
 
-__all__ = ["MemoryControllerSet", "UtilizationRecord"]
+__all__ = ["DEFAULT_HISTORY_LIMIT", "MemoryControllerSet", "UtilizationRecord"]
+
+#: Default cap on raw per-interval records retained per bandwidth resource.
+#: Generously above any batch run (the engine's event budget bounds those
+#: to a few hundred intervals) while keeping unbounded streaming runs flat.
+DEFAULT_HISTORY_LIMIT = 4096
+
+
+def make_history(history_limit: int | None) -> deque:
+    """A ring buffer for interval records (``None`` → unbounded).
+
+    Shared by :class:`MemoryControllerSet` and
+    :class:`~repro.numasim.interconnect.InterconnectFabric` so both sides
+    validate the limit identically.
+    """
+    if history_limit is not None and history_limit < 1:
+        raise SimulationError(
+            f"history_limit must be >= 1 or None, got {history_limit}"
+        )
+    return deque(maxlen=history_limit)
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,15 +68,27 @@ class UtilizationRecord:
 class MemoryControllerSet:
     """Bandwidth accounting for every node's memory controller."""
 
-    def __init__(self, topology: NumaTopology) -> None:
+    def __init__(
+        self,
+        topology: NumaTopology,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
         self.topology = topology
         self.capacity = topology.dram_bw_bytes_per_cycle
+        self.history_limit = history_limit
         self._bytes = np.zeros(topology.n_sockets, dtype=np.float64)
         self._busy_cycles = np.zeros(topology.n_sockets, dtype=np.float64)
+        self._peak = np.zeros(topology.n_sockets, dtype=np.float64)
         self._total_cycles = 0.0
-        self._history: list[list[UtilizationRecord]] = [
-            [] for _ in range(topology.n_sockets)
+        self._n_intervals = 0
+        self._history: list[deque[UtilizationRecord]] = [
+            make_history(history_limit) for _ in range(topology.n_sockets)
         ]
+
+    @property
+    def n_intervals(self) -> int:
+        """Total intervals ever recorded (not capped by the ring buffer)."""
+        return self._n_intervals
 
     def record_interval(
         self,
@@ -64,8 +107,10 @@ class MemoryControllerSet:
         self._bytes += b
         self._total_cycles += duration_cycles
         if duration_cycles > 0:
+            self._n_intervals += 1
             rho = np.minimum(b / (self.capacity * duration_cycles), 1.0)
             self._busy_cycles += rho * duration_cycles
+            np.maximum(self._peak, rho, out=self._peak)
             for node in range(self.topology.n_sockets):
                 self._history[node].append(
                     UtilizationRecord(
@@ -87,12 +132,19 @@ class MemoryControllerSet:
         return float(self._busy_cycles[node] / self._total_cycles)
 
     def peak_utilization(self, node: int) -> float:
-        """Highest interval utilization seen on ``node``'s controller."""
-        hist = self._history[node]
-        return max((r.utilization for r in hist), default=0.0)
+        """Highest interval utilization ever seen on ``node``'s controller.
+
+        A running aggregate — unaffected by the history retention cap.
+        """
+        return float(self._peak[node])
 
     def history(self, node: int) -> list[UtilizationRecord]:
-        """Interval-by-interval utilization records for ``node``."""
+        """The retained utilization records for ``node``.
+
+        At most ``history_limit`` records — the most recent ones when the
+        run outlived the cap.  Use the running aggregates for whole-run
+        statistics.
+        """
         if not 0 <= node < self.topology.n_sockets:
             raise TopologyError(f"no node {node}")
         return list(self._history[node])

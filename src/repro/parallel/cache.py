@@ -14,6 +14,14 @@ possible); an unwritable cache directory degrades the cache to disabled
 with a logged warning.  Only a caller explicitly *asking* for an
 impossible directory (``--cache-dir`` pointing at a file) gets a
 :class:`~repro.errors.CacheError`.
+
+The same policy covers *concurrent* access: several campaigns (or the
+profiling service's worker threads) may share one cache directory, so an
+entry can be evicted, replaced, or half-classified by a sibling process
+between any two filesystem operations here.  Every read, evict, and clear
+path therefore tolerates ``FileNotFoundError`` (and the wider ``OSError``
+family) by degrading to a miss — never by raising — which the
+two-process stress test in ``tests/parallel/test_cache.py`` hammers.
 """
 
 from __future__ import annotations
@@ -53,16 +61,24 @@ class ResultCache:
 
     ``root=None`` uses :func:`default_cache_dir`; ``enabled=False`` turns
     every operation into a no-op (the ``--no-cache`` path), which keeps
-    call sites branch-free.
+    call sites branch-free.  ``schema`` names the envelope family stored
+    here — campaign shards use the default, the profiling service stores
+    job results under its own schema so the two can never replay each
+    other's entries even when pointed at the same directory.
     """
 
     def __init__(
-        self, root: str | os.PathLike | None = None, enabled: bool = True
+        self,
+        root: str | os.PathLike | None = None,
+        enabled: bool = True,
+        schema: str = CACHE_SCHEMA,
     ) -> None:
         self.enabled = enabled
+        self.schema = schema
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if not enabled:
             return
         try:
@@ -82,15 +98,21 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """The cached payload for ``key``, or ``None`` on a miss.
 
-        Any defect — unreadable file, non-JSON bytes, wrong schema, key
-        mismatch — is a miss; broken entries are removed so they cannot
-        shadow a future write.
+        Any defect — unreadable file, a file evicted by a concurrent
+        reader between our existence check and read, non-JSON bytes,
+        wrong schema, key mismatch — is a miss; broken entries are
+        removed so they cannot shadow a future write.
         """
         if not self.enabled:
             return None
         path = self.path_for(key)
         try:
             text = path.read_text()
+        except FileNotFoundError:
+            # The common concurrent case: a sibling evicted (or has not
+            # yet written) this entry.  A plain miss, no log noise.
+            self.misses += 1
+            return None
         except OSError:
             self.misses += 1
             return None
@@ -98,7 +120,7 @@ class ResultCache:
             envelope = json.loads(text)
             if (
                 not isinstance(envelope, dict)
-                or envelope.get("schema") != CACHE_SCHEMA
+                or envelope.get("schema") != self.schema
                 or envelope.get("schema_version") != CACHE_SCHEMA_VERSION
                 or envelope.get("key") != key
                 or not isinstance(envelope.get("payload"), dict)
@@ -122,7 +144,7 @@ class ResultCache:
             return
         path = self.path_for(key)
         envelope = {
-            "schema": CACHE_SCHEMA,
+            "schema": self.schema,
             "schema_version": CACHE_SCHEMA_VERSION,
             "key": key,
             "payload": payload,
@@ -145,19 +167,33 @@ class ResultCache:
     def _evict(self, path: pathlib.Path) -> None:
         try:
             path.unlink()
-        except OSError:
+        except FileNotFoundError:
+            # A concurrent reader already evicted it — same outcome.
             pass
+        except OSError:
+            return
+        else:
+            self.evictions += 1
 
     def clear(self) -> int:
         """Remove every entry; returns the number removed (test helper)."""
         removed = 0
-        if not self.root.is_dir():
+        try:
+            entries = list(self.root.glob("*/*.json"))
+        except OSError:
             return 0
-        for entry in self.root.glob("*/*.json"):
-            self._evict(entry)
+        for entry in entries:
+            try:
+                entry.unlink()
+            except OSError:
+                continue
             removed += 1
         return removed
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

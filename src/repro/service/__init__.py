@@ -1,0 +1,56 @@
+"""The DR-BW profiling service: batch jobs over HTTP, CLI-identical results.
+
+``drbw serve`` runs a stdlib-only daemon that accepts profile / detect /
+diagnose jobs as JSON specs, executes them on a bounded worker pool, and
+serves results that are **byte-identical** to what the corresponding
+``drbw`` command prints with ``--json`` (the two paths share one
+executor, :func:`~repro.service.jobspec.execute_job`).
+
+The moving parts, one module each:
+
+* :mod:`~repro.service.jobspec`   — spec validation, canonical job
+  identity, and execution;
+* :mod:`~repro.service.jobstore`  — the in-memory job table and states;
+* :mod:`~repro.service.coalescer` — identical in-flight jobs execute
+  once, every submitter reads the same bytes;
+* :mod:`~repro.service.queue`     — the bounded queue, worker threads,
+  warm-result cache, and token-bucket rate limiter;
+* :mod:`~repro.service.server`    — the HTTP endpoints, backpressure
+  responses (429 + ``Retry-After``), and graceful SIGTERM drain;
+* :mod:`~repro.service.client`    — a urllib client for scripts and the
+  CI smoke test.
+
+See ``docs/service.md`` for the operator's view.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.coalescer import Coalescer
+from repro.service.jobspec import (
+    JOB_KINDS,
+    execute_job,
+    job_key,
+    normalize_job,
+)
+from repro.service.jobstore import JOB_STATES, Job, JobStore
+from repro.service.queue import (
+    SERVICE_CACHE_SCHEMA,
+    ServiceQueue,
+    TokenBucket,
+)
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "Coalescer",
+    "Job",
+    "JobStore",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "SERVICE_CACHE_SCHEMA",
+    "ServiceClient",
+    "ServiceQueue",
+    "ServiceServer",
+    "TokenBucket",
+    "execute_job",
+    "job_key",
+    "normalize_job",
+]

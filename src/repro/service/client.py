@@ -1,0 +1,128 @@
+"""A tiny urllib client for the profiling service.
+
+Bundled so scripts, the CI smoke test, and operators poking at a daemon
+don't each reinvent submit/poll/fetch against raw HTTP.  Errors come
+back as :class:`~repro.errors.ServiceError` (or
+:class:`~repro.errors.ServiceSaturatedError` for 429s, carrying the
+server's ``Retry-After``), so callers handle the service exactly like
+the rest of the library.
+
+Usage::
+
+    client = ServiceClient("http://127.0.0.1:8787")
+    status = client.submit({"kind": "detect", "benchmark": "Streamcluster"})
+    result = client.wait(status["id"], timeout=600)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError, ServiceSaturatedError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw HTTP ---------------------------------------------------------------
+
+    def _request(self, path: str, data: bytes | None = None) -> tuple[int, dict, bytes]:
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            message = self._error_message(body, exc)
+            if exc.code == 429:
+                retry = float(exc.headers.get("Retry-After", "1") or "1")
+                raise ServiceSaturatedError(message, retry_after=retry) from None
+            raise ServiceError(f"HTTP {exc.code}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    @staticmethod
+    def _error_message(body: bytes, exc: urllib.error.HTTPError) -> str:
+        try:
+            return json.loads(body)["error"]
+        except (ValueError, KeyError, TypeError):
+            return exc.reason or f"status {exc.code}"
+
+    # -- API --------------------------------------------------------------------
+
+    def submit(self, spec: dict) -> dict:
+        """POST one job spec; returns its status payload."""
+        _, _, body = self._request(
+            "/v1/jobs", json.dumps(spec).encode("utf-8")
+        )
+        return json.loads(body)
+
+    def status(self, job_id: str) -> dict:
+        _, _, body = self._request(f"/v1/jobs/{job_id}")
+        return json.loads(body)
+
+    def result_text(self, job_id: str) -> str:
+        """The finished job's result — the exact ``--json`` CLI bytes."""
+        _, _, body = self._request(f"/v1/jobs/{job_id}/result")
+        return body.decode("utf-8")
+
+    def result(self, job_id: str) -> dict:
+        return json.loads(self.result_text(job_id))
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll_s: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns the result.
+
+        Raises :class:`ServiceError` on job failure or timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] == "done":
+                return self.result(job_id)
+            if status["state"] == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: {status.get('error', 'unknown error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    def run(self, spec: dict, timeout: float = 600.0, poll_s: float = 0.2) -> dict:
+        """Submit and wait — the one-call path scripts want."""
+        return self.wait(self.submit(spec)["id"], timeout=timeout, poll_s=poll_s)
+
+    def metrics(self) -> str:
+        _, _, body = self._request("/metrics")
+        return body.decode("utf-8")
+
+    def healthy(self) -> bool:
+        try:
+            status, _, _ = self._request("/healthz")
+        except ServiceError:
+            return False
+        return status == 200
+
+    def ready(self) -> bool:
+        try:
+            status, _, _ = self._request("/readyz")
+        except ServiceError:
+            return False
+        return status == 200

@@ -1,0 +1,56 @@
+"""Request coalescing: identical in-flight jobs execute once.
+
+Profiling jobs take seconds to minutes, so a burst of identical requests
+(a dashboard refresh storm, a retrying client) would multiply that cost
+for zero information.  The coalescer maps each job key — the SHA-256 of
+the normalized spec — to the one *primary* job actually executing, and
+attaches every later identical submission as a *follower*.  When the
+primary finishes, all followers are finished with the primary's exact
+result text, so every attached client reads the same bytes.
+
+Not thread-safe on its own: every method is called under the owning
+:class:`~repro.service.queue.ServiceQueue`'s lock, which is also what
+makes "check for an in-flight primary, then attach or register" atomic.
+"""
+
+from __future__ import annotations
+
+from repro.service.jobstore import Job
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """key -> (primary job, followers) for jobs currently in flight."""
+
+    def __init__(self) -> None:
+        self._primary: dict[str, Job] = {}
+        self._followers: dict[str, list[Job]] = {}
+
+    def primary_for(self, key: str) -> Job | None:
+        """The in-flight primary for ``key``, if any."""
+        return self._primary.get(key)
+
+    def register(self, key: str, job: Job) -> None:
+        """Make ``job`` the primary execution for ``key``."""
+        if key in self._primary:
+            raise AssertionError(f"key {key[:12]} already has a primary")
+        self._primary[key] = job
+        self._followers[key] = []
+
+    def attach(self, key: str, follower: Job) -> Job:
+        """Attach ``follower`` to the in-flight primary; returns the primary."""
+        primary = self._primary[key]
+        follower.coalesced = True
+        self._followers[key].append(follower)
+        return primary
+
+    def complete(self, key: str) -> list[Job]:
+        """Retire ``key`` and return its followers (to be finished with
+        the primary's result)."""
+        self._primary.pop(key, None)
+        return self._followers.pop(key, [])
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._primary)

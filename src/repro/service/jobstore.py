@@ -1,0 +1,100 @@
+"""In-memory job registry: states, results, and status payloads.
+
+A :class:`Job` moves ``queued -> running -> done`` (or ``failed``).
+Jobs that attached to another in-flight execution (coalesced) or were
+answered from the warm-result cache skip straight to ``done``; their
+status payload says so, because "why was this instant?" is the first
+question an operator asks.
+
+The store is a dict behind one lock.  That is deliberate: the service
+is a front-end for *minutes*-scale profiling jobs, so job-table
+operations are never the bottleneck, and a single lock makes the
+coalescing invariants (exactly one primary per key, followers finish
+with the primary's exact result object) easy to prove.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+
+__all__ = ["Job", "JobStore", "JOB_STATES"]
+
+#: Legal job states.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the status endpoints report."""
+
+    id: str
+    key: str
+    spec: dict
+    state: str = "queued"
+    #: Canonical-JSON result text (``done`` only) — the exact bytes the
+    #: CLI ``--json`` path would print for the same spec.
+    result_text: str | None = None
+    error: str | None = None
+    #: True when this job attached to another job's in-flight execution.
+    coalesced: bool = False
+    #: True when the result came from the warm cache without executing.
+    cache_hit: bool = False
+    created_s: float = field(default_factory=time.monotonic)
+    started_s: float | None = None
+    finished_s: float | None = None
+
+    def status_payload(self) -> dict:
+        """The JSON body of ``GET /v1/jobs/<id>``."""
+        payload = {
+            "id": self.id,
+            "key": self.key,
+            "kind": self.spec.get("kind"),
+            "state": self.state,
+            "coalesced": self.coalesced,
+            "cache_hit": self.cache_hit,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.finished_s is not None:
+            base = self.started_s if self.started_s is not None else self.created_s
+            payload["duration_s"] = round(self.finished_s - base, 6)
+        return payload
+
+
+class JobStore:
+    """Thread-safe id -> :class:`Job` table."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+
+    def create(self, spec: dict, key: str) -> Job:
+        with self._lock:
+            job = Job(id=f"job-{next(self._ids):06d}", key=key, spec=spec)
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (for ``/readyz`` and the metrics gauges)."""
+        out = dict.fromkeys(JOB_STATES, 0)
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.state] += 1
+        return out

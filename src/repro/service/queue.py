@@ -1,0 +1,285 @@
+"""The bounded job queue, its worker pool, and the token-bucket limiter.
+
+:class:`ServiceQueue` is the service's engine room.  ``submit`` decides,
+atomically under one lock, which of three paths a spec takes:
+
+1. **warm hit** — the result cache already holds this key's canonical
+   payload: the job is born ``done`` with those bytes, no execution;
+2. **coalesce** — an identical job is queued or running: attach as a
+   follower and share its eventual result;
+3. **enqueue** — take a slot in the bounded queue, or fail with
+   :class:`~repro.errors.ServiceSaturatedError` (HTTP 429) when full.
+
+Worker threads execute jobs through :func:`~repro.service.jobspec
+.execute_job` (injectable for tests), each under its own telemetry
+session; finished jobs fold their spans and counters into the service
+aggregate the ``/metrics`` endpoint exposes.  Because every counter bump
+happens under the queue lock together with the state change it
+describes, metrics are exact, not eventually-consistent — the
+saturation tests assert equalities, not inequalities.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue as _stdqueue
+import threading
+import time
+from typing import Callable
+
+from repro import telemetry
+from repro.errors import ReproError, ServiceError, ServiceSaturatedError
+from repro.parallel.cache import ResultCache
+from repro.parallel.seeding import canonical_json
+from repro.service.coalescer import Coalescer
+from repro.service.jobspec import execute_job, job_key, normalize_job
+from repro.service.jobstore import Job, JobStore
+
+__all__ = ["ServiceQueue", "TokenBucket", "SERVICE_CACHE_SCHEMA", "JOB_SECONDS_BUCKETS"]
+
+logger = logging.getLogger(__name__)
+
+#: Envelope schema for service job results in the shared result cache —
+#: disjoint from the campaign's shard schema by construction.
+SERVICE_CACHE_SCHEMA = "drbw-service-job"
+
+#: Job wall-time histogram buckets (seconds).
+JOB_SECONDS_BUCKETS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0)
+
+#: Queue sentinel telling a worker thread to exit.
+_STOP = object()
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``clock`` is injectable so rate-limit tests are deterministic
+    instead of sleep-based.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst < 1:
+            raise ServiceError(
+                f"rate must be > 0 and burst >= 1, got rate={rate}, burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        """Take one token if available."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until one token will be available (0 if one already is)."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+class ServiceQueue:
+    """Bounded queue + worker pool executing job specs."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        capacity: int = 16,
+        cache: ResultCache | None = None,
+        executor: Callable[[dict], dict] = execute_job,
+        telemetry_enabled: bool = True,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        self.store = JobStore()
+        self.cache = cache
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        self._executor = executor
+        self._n_workers = workers
+        self._q: _stdqueue.Queue = _stdqueue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._coalescer = Coalescer()
+        self._threads: list[threading.Thread] = []
+        self._draining = False
+        #: Service lifecycle counters — always live, whatever the
+        #: telemetry setting, because ``/metrics`` and the CI smoke test
+        #: scrape them unconditionally.
+        self.metrics = telemetry.MetricsRegistry()
+        #: Pipeline-telemetry aggregate: per-job sessions merge in here.
+        self.telemetry = telemetry.Telemetry(enabled=telemetry_enabled)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> ServiceQueue:
+        if self._threads:
+            raise ServiceError("service queue already started")
+        for i in range(self._n_workers):
+            t = threading.Thread(
+                target=self._work, name=f"drbw-service-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting in the queue (excludes running jobs and followers)."""
+        return self._q.qsize()
+
+    def drain(self) -> None:
+        """Stop accepting, finish everything queued and running, stop workers.
+
+        The graceful-shutdown path: after this returns, every accepted
+        job has reached a terminal state and the worker threads are gone.
+        """
+        with self._lock:
+            self._draining = True
+        self._q.join()
+        self.stop()
+
+    def stop(self) -> None:
+        """Stop worker threads (does not wait for queued work — see drain)."""
+        if not self._threads:
+            return
+        for _ in self._threads:
+            self._q.put(_STOP)
+        for t in self._threads:
+            t.join(timeout=30.0)
+        self._threads = []
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, spec: dict) -> Job:
+        """Accept one job spec; returns its (possibly already done) job.
+
+        Raises :class:`ServiceError` for malformed specs and
+        :class:`ServiceSaturatedError` when the queue is full.
+        """
+        normalized = normalize_job(spec)
+        key = job_key(normalized)
+        with self._lock:
+            if self._draining:
+                raise ServiceError("service is draining; not accepting jobs")
+            self.metrics.counter("service.jobs_submitted").inc()
+
+            primary = self._coalescer.primary_for(key)
+            if primary is not None:
+                job = self.store.create(normalized, key)
+                self._coalescer.attach(key, job)
+                self.metrics.counter("service.jobs_coalesced").inc()
+                return job
+
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    job = self.store.create(normalized, key)
+                    job.state = "done"
+                    job.cache_hit = True
+                    job.result_text = canonical_json(cached)
+                    job.finished_s = time.monotonic()
+                    self.metrics.counter("service.cache_hits").inc()
+                    self.metrics.counter("service.jobs_done").inc()
+                    return job
+
+            job = self.store.create(normalized, key)
+            try:
+                self._q.put_nowait(job)
+            except _stdqueue.Full:
+                job.state = "failed"
+                job.error = "rejected: queue full"
+                job.finished_s = time.monotonic()
+                self.metrics.counter("service.jobs_rejected").inc()
+                raise ServiceSaturatedError(
+                    f"job queue full ({self.capacity} deep); retry later",
+                    retry_after=self.retry_after_s,
+                ) from None
+            self._coalescer.register(key, job)
+            self.metrics.gauge("service.queue_depth").set(self._q.qsize())
+            return job
+
+    # -- execution --------------------------------------------------------------
+
+    def _work(self) -> None:
+        while True:
+            item = self._q.get()
+            if item is _STOP:
+                self._q.task_done()
+                return
+            try:
+                self._run_one(item)
+            finally:
+                self._q.task_done()
+
+    def _run_one(self, job: Job) -> None:
+        with self._lock:
+            job.state = "running"
+            job.started_s = time.monotonic()
+            self.metrics.gauge("service.queue_depth").set(self._q.qsize())
+
+        tel = telemetry.Telemetry(enabled=self.telemetry.enabled)
+        result_text: str | None = None
+        error: str | None = None
+        t0 = time.monotonic()
+        try:
+            with telemetry.session(tel):
+                result = self._executor(job.spec)
+            result_text = canonical_json(result)
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
+            logger.exception("job %s crashed", job.id)
+            error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.monotonic() - t0
+
+        with self._lock:
+            followers = self._coalescer.complete(job.key)
+            now = time.monotonic()
+            for j in (job, *followers):
+                j.finished_s = now
+                if error is None:
+                    j.state = "done"
+                    j.result_text = result_text
+                else:
+                    j.state = "failed"
+                    j.error = error
+            n = 1 + len(followers)
+            if error is None:
+                self.metrics.counter("service.jobs_done").inc(n)
+                if self.cache is not None:
+                    self.cache.put(job.key, json.loads(result_text))
+            else:
+                self.metrics.counter("service.jobs_failed").inc(n)
+            self.metrics.histogram(
+                "service.job_seconds", JOB_SECONDS_BUCKETS
+            ).observe(elapsed)
+            if tel.enabled:
+                self.telemetry.tracer.merge_records(
+                    tel.tracer.to_dicts(), shard=job.id
+                )
+                for name, c in sorted(tel.metrics.counters.items()):
+                    self.telemetry.metrics.counter(name).inc(c.value)

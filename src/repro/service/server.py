@@ -1,0 +1,295 @@
+"""The stdlib HTTP front-end: ``drbw serve``.
+
+Endpoints (all JSON unless noted):
+
+* ``POST /v1/jobs``            — submit a job spec; ``202`` with the job's
+  status payload, ``400`` for malformed specs, ``429`` +
+  ``Retry-After`` when the queue is full or the client is over its
+  token-bucket rate, ``503`` while draining;
+* ``GET /v1/jobs/<id>``        — job status;
+* ``GET /v1/jobs/<id>/result`` — the finished job's result, served as
+  the *exact bytes* ``drbw <kind> --json`` would print for the same
+  spec (``409`` while the job is still queued/running, ``500`` with the
+  error for failed jobs);
+* ``GET /healthz``             — liveness (text ``ok``);
+* ``GET /readyz``              — readiness: ``200`` while accepting,
+  ``503`` once draining;
+* ``GET /metrics``             — Prometheus text: service lifecycle
+  counters plus the aggregated pipeline telemetry of finished jobs.
+
+Shutdown: :meth:`ServiceServer.request_shutdown` (wired to SIGTERM by
+the CLI) flips readiness, lets the queue drain every accepted job, then
+stops the listener — an orchestrator doing a rolling restart loses no
+work that was ever acknowledged with a 202.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ServiceError, ServiceSaturatedError
+from repro.monitor.exposition import CONTENT_TYPE, render_prometheus_multi
+from repro.service.queue import ServiceQueue, TokenBucket
+
+__all__ = ["ServiceServer", "MAX_BODY_BYTES"]
+
+logger = logging.getLogger(__name__)
+
+#: Request bodies larger than this are rejected outright (413).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    service: ServiceServer  # bound by ServiceServer on the subclass
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _send(self, status: int, body: bytes, content_type: str,
+              extra: dict[str, str] | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for k, v in (extra or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, status: int, payload: dict,
+              extra: dict[str, str] | None = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send(status, body, "application/json", extra)
+
+    def _error(self, status: int, message: str,
+               extra: dict[str, str] | None = None) -> None:
+        self._json(status, {"error": message}, extra)
+
+    def log_message(self, format: str, *args: object) -> None:
+        logger.debug("service http: " + format, *args)
+
+    # -- routes -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send(200, b"ok\n", "text/plain; charset=utf-8")
+            return
+        if path == "/readyz":
+            if self.service.ready:
+                self._json(200, {"ready": True, **self.service.queue.store.counts()})
+            else:
+                self._error(503, "draining")
+            return
+        if path == "/metrics":
+            body = self.service.render_metrics().encode("utf-8")
+            self._send(200, body, CONTENT_TYPE)
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/result"):
+                self._get_result(rest[: -len("/result")])
+            else:
+                self._get_status(rest)
+            return
+        self._error(404, f"no route for {path}")
+
+    def _get_status(self, job_id: str) -> None:
+        try:
+            job = self.service.queue.store.get(job_id)
+        except ServiceError as exc:
+            self._error(404, str(exc))
+            return
+        self._json(200, job.status_payload())
+
+    def _get_result(self, job_id: str) -> None:
+        try:
+            job = self.service.queue.store.get(job_id)
+        except ServiceError as exc:
+            self._error(404, str(exc))
+            return
+        if job.state == "failed":
+            self._error(500, job.error or "job failed")
+            return
+        if job.state != "done":
+            self._json(409, {"error": "job not finished", "state": job.state},
+                       extra={"Retry-After": "1"})
+            return
+        # The result bytes are exactly what `drbw <kind> --json` prints:
+        # canonical JSON plus the trailing newline print() appends.
+        body = (job.result_text or "").encode("utf-8") + b"\n"
+        self._send(200, body, "application/json")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        path = self.path.split("?", 1)[0]
+        if path != "/v1/jobs":
+            self._error(404, f"no route for {path}")
+            return
+        client = self.client_address[0]
+        limiter = self.service.limiter_for(client)
+        if limiter is not None and not limiter.try_acquire():
+            retry = max(limiter.retry_after, 0.001)
+            self.service.queue.metrics.counter("service.rate_limited").inc()
+            self._error(429, f"rate limit exceeded for {client}",
+                        extra={"Retry-After": f"{retry:.3f}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"body too large ({length} > {MAX_BODY_BYTES})")
+            return
+        try:
+            spec = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"body is not JSON: {exc}")
+            return
+        try:
+            job = self.service.queue.submit(spec)
+        except ServiceSaturatedError as exc:
+            self._error(429, str(exc),
+                        extra={"Retry-After": f"{exc.retry_after:.3f}"})
+            return
+        except ServiceError as exc:
+            status = 503 if self.service.queue.draining else 400
+            self._error(status, str(exc))
+            return
+        self._json(202, job.status_payload())
+
+
+class ServiceServer:
+    """The HTTP listener wrapping one :class:`ServiceQueue`.
+
+    ``rate``/``burst`` configure the per-client token bucket
+    (``rate=None`` disables rate limiting).  ``start()`` serves on a
+    background thread (tests); :meth:`serve_forever` serves on the
+    calling thread until :meth:`request_shutdown` (the CLI).
+    """
+
+    def __init__(
+        self,
+        queue: ServiceQueue,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rate: float | None = None,
+        burst: float = 10.0,
+    ) -> None:
+        self.queue = queue
+        self._rate = rate
+        self._burst = burst
+        self._buckets: dict[str, TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
+        handler = type("_BoundHandler", (_ServiceHandler,), {"service": self})
+        try:
+            self._server = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot bind service on {host}:{port}: {exc}"
+            ) from exc
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._shutdown_started = False
+        self._shutdown_lock = threading.Lock()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    @property
+    def ready(self) -> bool:
+        return not self.queue.draining and not self._closed
+
+    def limiter_for(self, client: str) -> TokenBucket | None:
+        if self._rate is None:
+            return None
+        with self._buckets_lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(self._rate, self._burst)
+            return bucket
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` page: service counters + pipeline aggregate."""
+        counts = self.queue.store.counts()
+        for state, n in counts.items():
+            self.queue.metrics.gauge(f"service.jobs_{state}_now").set(n)
+        self.queue.metrics.gauge("service.queue_depth").set(self.queue.depth)
+        registries = [("drbw", self.queue.metrics)]
+        if self.queue.telemetry.enabled:
+            registries.append(("drbw_pipeline", self.queue.telemetry.metrics))
+        return render_prometheus_multi(registries)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> ServiceServer:
+        """Serve on a background thread (the test-facing entry point)."""
+        if self._closed:
+            raise ServiceError("service server already stopped")
+        if self._thread is not None:
+            raise ServiceError("service server already started")
+        self.queue.start()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="drbw-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`request_shutdown`."""
+        self.queue.start()
+        try:
+            self._server.serve_forever()
+        finally:
+            self._close()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain: finish accepted jobs, then stop.
+
+        Safe to call from a signal handler; idempotent.  The drain runs
+        on a helper thread because ``queue.drain()`` blocks and a signal
+        handler must not.
+        """
+        with self._shutdown_lock:
+            if self._shutdown_started:
+                return
+            self._shutdown_started = True
+        threading.Thread(
+            target=self._drain_and_stop, name="drbw-service-drain", daemon=True
+        ).start()
+
+    def _drain_and_stop(self) -> None:
+        try:
+            self.queue.drain()
+        finally:
+            self._server.shutdown()
+
+    def stop(self) -> None:
+        """Immediate stop for tests: drain the queue, close the listener."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self.queue.drain()
+            self._server.shutdown()
+            thread.join(timeout=30.0)
+        self._close()
+
+    def _close(self) -> None:
+        if not self._closed:
+            self._server.server_close()
+            self._closed = True
+
+    def __enter__(self) -> ServiceServer:
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -36,6 +36,7 @@ by ``benchmarks/bench_table7_overhead.py``.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 
 from repro.telemetry.metrics import (
     LATENCY_BUCKETS,
@@ -83,12 +84,19 @@ class Telemetry:
 
 #: Disabled singleton the instrumentation sees when no session is active.
 _DISABLED = Telemetry(enabled=False)
-_active: Telemetry = _DISABLED
+
+#: The active session is a context variable, not a module global: the
+#: profiling service runs jobs on concurrent worker threads, each under
+#: its own session, and a ``ContextVar`` keeps those activations from
+#: clobbering one another (each thread starts from a fresh context).
+_active: contextvars.ContextVar[Telemetry] = contextvars.ContextVar(
+    "drbw_telemetry", default=_DISABLED
+)
 
 
 def get_telemetry() -> Telemetry:
-    """The active session, or the shared disabled one."""
-    return _active
+    """The active session in this context, or the shared disabled one."""
+    return _active.get()
 
 
 @contextlib.contextmanager
@@ -96,14 +104,13 @@ def session(tel: Telemetry | None = None):
     """Activate a telemetry session for the duration of the block.
 
     Sessions do not nest: entering a new session while one is active
-    simply shadows it for the block (the pipeline is single-threaded, so
-    the last activation wins is the only sane rule).
+    simply shadows it for the block.  Activation is per execution
+    context (thread / task), so concurrent service workers each see only
+    their own session.
     """
-    global _active
     tel = tel if tel is not None else Telemetry(enabled=True)
-    prev = _active
-    _active = tel
+    token = _active.set(tel)
     try:
         yield tel
     finally:
-        _active = prev
+        _active.reset(token)

@@ -14,7 +14,11 @@ import urllib.request
 
 import pytest
 
-from repro.monitor.exposition import CONTENT_TYPE, render_prometheus
+from repro.monitor.exposition import (
+    CONTENT_TYPE,
+    render_prometheus,
+    render_prometheus_multi,
+)
 from repro.monitor.httpserver import MetricsServer
 from repro.telemetry.metrics import MetricsRegistry
 
@@ -148,6 +152,29 @@ def test_deterministic_output():
 
 def test_empty_registry_renders_empty():
     assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_multi_registry_page_is_valid_exposition():
+    """The service scrapes its lifecycle counters next to the aggregated
+    pipeline telemetry — one page, disjoint namespaces, valid grammar."""
+    svc = MetricsRegistry()
+    svc.counter("service.jobs_done").inc(3)
+    pipe = MetricsRegistry()
+    pipe.counter("profiler.samples").inc(100)
+    page = render_prometheus_multi([("drbw", svc), ("drbw_pipeline", pipe)])
+    families = _parse_exposition(page)
+    assert "drbw_service_jobs_done_total" in families
+    assert "drbw_pipeline_profiler_samples_total" in families
+
+
+def test_multi_registry_skips_empty_and_rejects_duplicates():
+    svc = MetricsRegistry()
+    svc.counter("service.jobs_done").inc()
+    assert render_prometheus_multi(
+        [("drbw", svc), ("drbw_pipeline", MetricsRegistry())]
+    ) == render_prometheus(svc)
+    with pytest.raises(ValueError, match="duplicate"):
+        render_prometheus_multi([("drbw", svc), ("drbw", svc)])
 
 
 def test_http_scrape_in_process():

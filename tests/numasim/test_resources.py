@@ -5,7 +5,11 @@ import pytest
 
 from repro.errors import SimulationError, TopologyError
 from repro.numasim.interconnect import InterconnectFabric
-from repro.numasim.memctrl import MemoryControllerSet, UtilizationRecord
+from repro.numasim.memctrl import (
+    DEFAULT_HISTORY_LIMIT,
+    MemoryControllerSet,
+    UtilizationRecord,
+)
 from repro.numasim.topology import NumaTopology
 from repro.types import Channel
 
@@ -112,3 +116,83 @@ class TestInterconnectFabric:
         ic = InterconnectFabric(TOPO)
         with pytest.raises(TopologyError):
             ic.record_interval(0.0, 1.0, np.zeros(3))
+
+
+class TestBoundedHistory:
+    """The long-run memory-leak regression: raw interval records are ring-
+    buffered, while mean/peak/total statistics stay exact whole-run
+    aggregates (the pre-fix code grew one record per resource per interval,
+    forever)."""
+
+    def _drive_memctrl(self, mc: MemoryControllerSet, n: int) -> None:
+        cap = TOPO.dram_bw_bytes_per_cycle
+        for i in range(n):
+            b = np.zeros(4)
+            # Varying load, with the single peak interval early — a ring
+            # buffer that recomputed peak from retained records would lose it.
+            b[0] = cap * 10.0 * (1.0 if i == 3 else 0.25 + 0.05 * (i % 5))
+            mc.record_interval(i * 10.0, 10.0, b)
+
+    def test_memctrl_history_stays_flat(self):
+        mc = MemoryControllerSet(TOPO, history_limit=64)
+        self._drive_memctrl(mc, 500)
+        assert len(mc.history(0)) == 64
+        assert mc.n_intervals == 500
+        self._drive_memctrl(mc, 4500)
+        assert len(mc.history(0)) == 64  # flat, not linear in intervals
+        assert mc.n_intervals == 5000
+
+    def test_aggregates_match_unbounded_reference(self):
+        bounded = MemoryControllerSet(TOPO, history_limit=16)
+        unbounded = MemoryControllerSet(TOPO, history_limit=None)
+        self._drive_memctrl(bounded, 300)
+        self._drive_memctrl(unbounded, 300)
+        assert len(unbounded.history(0)) == 300
+        for node in range(4):
+            assert bounded.mean_utilization(node) == pytest.approx(
+                unbounded.mean_utilization(node)
+            )
+            assert bounded.peak_utilization(node) == pytest.approx(
+                unbounded.peak_utilization(node)
+            )
+            assert bounded.total_bytes(node) == pytest.approx(
+                unbounded.total_bytes(node)
+            )
+
+    def test_peak_survives_eviction(self):
+        mc = MemoryControllerSet(TOPO, history_limit=8)
+        self._drive_memctrl(mc, 100)
+        # The saturating interval (i == 3) left the ring buffer long ago.
+        assert all(r.utilization < 1.0 for r in mc.history(0))
+        assert mc.peak_utilization(0) == pytest.approx(1.0)
+
+    def test_history_keeps_most_recent_records(self):
+        mc = MemoryControllerSet(TOPO, history_limit=4)
+        self._drive_memctrl(mc, 10)
+        starts = [r.start_cycle for r in mc.history(0)]
+        assert starts == [60.0, 70.0, 80.0, 90.0]
+
+    def test_fabric_history_stays_flat(self):
+        ic = InterconnectFabric(TOPO, history_limit=32)
+        b = np.zeros(12)
+        b[0] = TOPO.link_bw_bytes_per_cycle * 50
+        for i in range(1000):
+            ic.record_interval(i * 100.0, 100.0, b)
+        ch = ic.channels[0]
+        assert len(ic.history(ch)) == 32
+        assert ic.n_intervals == 1000
+        assert ic.mean_utilization(ch) == pytest.approx(0.5)
+        assert ic.peak_utilization(ch) == pytest.approx(0.5)
+        assert ic.total_bytes(ch) == pytest.approx(b[0] * 1000)
+
+    def test_default_limit_is_bounded(self):
+        mc = MemoryControllerSet(TOPO)
+        assert mc.history_limit == DEFAULT_HISTORY_LIMIT
+        ic = InterconnectFabric(TOPO)
+        assert ic.history_limit == DEFAULT_HISTORY_LIMIT
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryControllerSet(TOPO, history_limit=0)
+        with pytest.raises(SimulationError):
+            InterconnectFabric(TOPO, history_limit=-1)

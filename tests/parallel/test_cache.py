@@ -18,7 +18,7 @@ def test_miss_put_hit_round_trip(tmp_path):
     assert cache.get(KEY) is None
     cache.put(KEY, PAYLOAD)
     assert cache.get(KEY) == PAYLOAD
-    assert cache.stats == {"hits": 1, "misses": 1}
+    assert cache.stats == {"hits": 1, "misses": 1, "evictions": 0}
 
 
 def test_two_level_fanout_layout(tmp_path):
@@ -60,7 +60,7 @@ def test_disabled_cache_is_inert(tmp_path):
     cache.put(KEY, PAYLOAD)
     assert cache.get(KEY) is None
     assert not (tmp_path / "c").exists()
-    assert cache.stats == {"hits": 0, "misses": 0}
+    assert cache.stats == {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def test_explicit_impossible_root_raises(tmp_path):
@@ -76,6 +76,102 @@ def test_clear_removes_entries(tmp_path):
         cache.put(f"{i:02d}" + "f" * 62, PAYLOAD)
     assert cache.clear() == 3
     assert cache.get("00" + "f" * 62) is None
+
+
+def test_eviction_counter_tracks_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    path = cache.path_for(KEY)
+    path.parent.mkdir(parents=True)
+    path.write_text("not json {")
+    assert cache.get(KEY) is None
+    assert cache.stats["evictions"] == 1
+
+
+def test_entry_vanishing_before_read_is_a_plain_miss(tmp_path):
+    """A sibling process may evict an entry between our existence check and
+    read — that must be a miss, never an exception."""
+    cache = ResultCache(tmp_path / "c")
+    cache.put(KEY, PAYLOAD)
+    cache.path_for(KEY).unlink()  # simulate the concurrent eviction
+    assert cache.get(KEY) is None
+    assert cache.stats == {"hits": 0, "misses": 1, "evictions": 0}
+
+
+def test_entry_vanishing_before_evict_is_tolerated(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    # Evicting a path that no longer exists must not raise or count.
+    cache._evict(tmp_path / "c" / "ab" / "gone.json")
+    assert cache.stats["evictions"] == 0
+
+
+def test_clear_tolerates_concurrent_removal(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.put(KEY, PAYLOAD)
+    other = ResultCache(tmp_path / "c")
+    assert other.clear() == 1
+    assert cache.clear() == 0  # everything already gone; no error
+
+
+def test_schema_namespaces_are_disjoint(tmp_path):
+    """Two caches with different envelope schemas sharing one directory can
+    never replay each other's entries (the service vs. campaign split)."""
+    shard = ResultCache(tmp_path / "c")
+    service = ResultCache(tmp_path / "c", schema="drbw-service-job")
+    shard.put(KEY, PAYLOAD)
+    assert service.get(KEY) is None  # wrong schema: miss + eviction
+    assert service.stats["evictions"] == 1
+    service.put(KEY, PAYLOAD)
+    assert service.get(KEY) == PAYLOAD
+
+
+def _stress_worker(root: str, n_rounds: int, worker_id: int) -> dict:
+    """One side of the two-process race: hammer get/put/corrupt/evict cycles
+    against a shared directory and report what happened.  Any exception
+    escaping the cache API is the bug this test exists to catch."""
+    import pathlib
+
+    cache = ResultCache(pathlib.Path(root))
+    bad_reads = 0
+    for i in range(n_rounds):
+        key = f"{i % 7:02d}" + "e" * 62
+        try:
+            got = cache.get(key)
+            if got is not None and got != PAYLOAD:
+                bad_reads += 1
+            cache.put(key, PAYLOAD)
+            path = cache.path_for(key)
+            if i % 3 == worker_id % 3:
+                # Corrupt the entry under the other process's feet...
+                try:
+                    path.write_text("corrupt {")
+                except OSError:
+                    pass
+            elif i % 5 == worker_id % 5:
+                # ...or yank it entirely.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            cache.get(key)
+        except Exception as exc:  # pragma: no cover - the failure path
+            return {"ok": False, "error": repr(exc), "round": i}
+    return {"ok": True, "bad_reads": bad_reads, "stats": cache.stats}
+
+
+def test_two_process_eviction_stress(tmp_path):
+    """Two processes sharing a cache directory, each corrupting and evicting
+    entries while the other reads: no exception may escape, and every
+    successful read must be the exact payload."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(2) as pool:
+        results = pool.starmap(
+            _stress_worker, [(str(tmp_path / "c"), 120, 0), (str(tmp_path / "c"), 120, 1)]
+        )
+    for r in results:
+        assert r["ok"], f"cache API raised under contention: {r}"
+        assert r["bad_reads"] == 0
 
 
 def test_default_cache_dir_resolution(monkeypatch, tmp_path):

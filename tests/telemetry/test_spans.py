@@ -106,6 +106,32 @@ class TestDisabled:
         assert not get_telemetry().enabled
         assert [r.name for r in tel.tracer.records] == ["inside"]
 
+    def test_sessions_are_isolated_across_threads(self):
+        """Concurrent service workers each activate their own session; a
+        ContextVar keeps them from clobbering one another (the old module
+        global made threads share — and corrupt — one activation)."""
+        import threading
+
+        barrier = threading.Barrier(4)
+        seen: dict[int, bool] = {}
+
+        def worker(i: int) -> None:
+            tel = Telemetry()
+            with session(tel):
+                barrier.wait(timeout=10)  # every thread is now inside
+                seen[i] = get_telemetry() is tel
+                with get_telemetry().span(f"job-{i}"):
+                    pass
+            assert [r.name for r in tel.tracer.records] == [f"job-{i}"]
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert seen == {0: True, 1: True, 2: True, 3: True}
+        assert not get_telemetry().enabled  # main thread never saw a session
+
 
 class TestSerialization:
     def test_record_round_trips_through_json(self):
