@@ -4,13 +4,14 @@
 The repo tracks its own performance across PRs as a sequence of
 trajectory files in the repo root (``BENCH_PR3.json``, ``BENCH_PR4.json``,
 ...), each summarizing one PR's benchmark pass: wall time, profiler
-throughput, classifier accuracy, and monitor overhead/agreement.  CI
+throughput, classifier accuracy, monitor overhead/agreement, parallel
+scaling, and resilience overhead/chaos-identity.  CI
 regenerates the current point and fails when throughput regresses more
 than 10% against the previous committed point.
 
 Usage::
 
-    python benchmarks/bench_all.py                  # run core benches, write BENCH_PR3.json
+    python benchmarks/bench_all.py                  # run core benches, write BENCH_PR6.json
     python benchmarks/bench_all.py --full           # run the entire bench suite first
     python benchmarks/bench_all.py --no-run         # aggregate existing results only
     python benchmarks/bench_all.py --check PREV     # gate against a previous point
@@ -36,13 +37,14 @@ RESULTS_DIR = BENCH_DIR / "results"
 
 TRAJECTORY_SCHEMA = "drbw-bench-trajectory"
 TRAJECTORY_SCHEMA_VERSION = 1
-PR_NUMBER = 4
+PR_NUMBER = 6
 
 #: The benches whose JSON results feed the trajectory point.
 CORE_BENCHES = (
     "bench_table3_confusion.py",
     "bench_monitor.py",
     "bench_parallel.py",
+    "bench_resilience.py",
 )
 
 #: Maximum tolerated samples/sec drop against the previous point.
@@ -73,6 +75,7 @@ def build_trajectory(
     agreement = load_result(results_dir, "monitor_agreement")
     confusion = load_result(results_dir, "table3_confusion")
     scaling = load_result(results_dir, "parallel_scaling")
+    resilience = load_result(results_dir, "resilience_overhead")
     missing = [
         name
         for name, payload in (
@@ -80,6 +83,7 @@ def build_trajectory(
             ("monitor_agreement", agreement),
             ("table3_confusion", confusion),
             ("parallel_scaling", scaling),
+            ("resilience_overhead", resilience),
         )
         if payload is None
     ]
@@ -112,6 +116,16 @@ def build_trajectory(
             "warm_cache_seconds": round(float(scaling["warm_cache_seconds"]), 4),
             "identical": bool(scaling["identical"]),
             "usable_cpus": int(scaling["usable_cpus"]),
+        },
+        "resilience": {
+            "overhead_fraction": round(
+                float(resilience["overhead_fraction"]), 5
+            ),
+            "armed_cost_per_shard_us": round(
+                float(resilience["armed_cost_per_shard_seconds"]) * 1e6, 1
+            ),
+            "chaos_identical": bool(resilience["chaos_identical"]),
+            "chaos_retries": int(resilience["chaos_retries"]),
         },
         "results": sorted(p.stem for p in results_dir.glob("*.json")),
     }
@@ -160,6 +174,23 @@ def validate_trajectory(doc: object) -> list[str]:
                 errors.append(
                     f"parallel.identical must be a boolean, "
                     f"got {parallel.get('identical')!r}"
+                )
+    # The resilience section only exists from PR 6 on; when present it
+    # must carry the overhead number and the chaos-identity bit.
+    resilience = doc.get("resilience")
+    if resilience is not None:
+        if not isinstance(resilience, dict):
+            errors.append(f"resilience must be an object, got {resilience!r}")
+        else:
+            val = resilience.get("overhead_fraction")
+            if not isinstance(val, (int, float)) or isinstance(val, bool):
+                errors.append(
+                    f"resilience.overhead_fraction must be a number, got {val!r}"
+                )
+            if not isinstance(resilience.get("chaos_identical"), bool):
+                errors.append(
+                    f"resilience.chaos_identical must be a boolean, "
+                    f"got {resilience.get('chaos_identical')!r}"
                 )
     return errors
 

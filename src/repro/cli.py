@@ -66,7 +66,7 @@ from repro.core.training import train_default_classifier, training_matrix
 from repro.core.validation import cross_validate
 from repro.errors import ConfigError, ReproError
 from repro.eval.configs import config_by_name
-from repro.faults import FAULT_PRESETS, parse_fault_plan
+from repro.faults import FAULT_PRESETS, INFRA_PRESETS, parse_fault_plan
 from repro.numasim.machine import Machine
 
 # The telemetry-payload JSON fragments are shared with the service's job
@@ -138,6 +138,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recompute every shard, read/write no cache")
     p_camp.add_argument("--benchmarks", default=None, metavar="A,B,...",
                         help="comma-separated benchmark subset (table5 only)")
+    p_camp.add_argument("--journal", default=None, metavar="FILE",
+                        help="checkpoint completed shards to this JSONL "
+                             "write-ahead journal as they finish")
+    p_camp.add_argument("--resume", default=None, metavar="FILE",
+                        help="resume from an interrupted campaign's journal "
+                             "(implies --journal FILE; completed shards are "
+                             "replayed, not re-executed)")
+    p_camp.add_argument("--out", default=None, metavar="FILE",
+                        help="write merged shard payloads (canonical JSON, "
+                             "one line per shard in spec order) — requires "
+                             "--journal or --resume")
+    p_camp.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="max attempts per shard after worker crashes or "
+                             "deadline expiry (default: 3)")
+    p_camp.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                        help="per-shard deadline in seconds (default: none)")
+    p_camp.add_argument("--infra-faults", default=None, metavar="PLAN",
+                        help="inject infrastructure faults: a preset "
+                             f"({', '.join(INFRA_PRESETS)}) or key=value "
+                             "pairs, e.g. kill=0.3,enospc=0.2,seed=7 "
+                             "(chaos testing; results stay byte-identical)")
+    p_camp.add_argument("--quarantine", action="store_true",
+                        help="quarantine shards that exhaust their retries "
+                             "instead of failing the campaign")
     _add_common(p_camp)
 
     for name, hlp in (("detect", "classify a benchmark run"),
@@ -221,6 +245,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execute every job, read/write no cache")
     p_serve.add_argument("--no-telemetry", action="store_true",
                          help="skip per-job pipeline telemetry aggregation")
+    p_serve.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                         help="per-job deadline; the watchdog fails or "
+                              "requeues jobs that exceed it (default: none)")
+    p_serve.add_argument("--job-attempts", type=int, default=1, metavar="N",
+                         help="attempts per job before a deadline expiry is "
+                              "terminal (default: 1)")
+    p_serve.add_argument("--degraded-window", type=float, default=30.0,
+                         metavar="S",
+                         help="how long a watchdog incident keeps /readyz "
+                              "reporting degraded (default: 30)")
+    p_serve.add_argument("--infra-faults", default=None, metavar="PLAN",
+                         help="inject infrastructure faults into the service "
+                              "(chaos testing): same spec language as "
+                              "`campaign --infra-faults`, e.g. "
+                              "svc-hang=1.0,svc-hang-s=60,seed=1")
     _add_common(p_serve, with_telemetry=False)
 
     p_report = sub.add_parser(
@@ -400,14 +439,36 @@ def cmd_serve(args) -> int:
     from repro.parallel.cache import ResultCache
     from repro.service import SERVICE_CACHE_SCHEMA, ServiceQueue, ServiceServer
 
+    executor = None
+    infra = None
+    if args.infra_faults:
+        from repro.faults import faulty_executor, parse_infra_plan
+
+        infra = parse_infra_plan(args.infra_faults)
+        executor = faulty_executor(infra)
+        print(f"infra faults: {infra.describe()}", file=sys.stderr)
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir, schema=SERVICE_CACHE_SCHEMA)
+        if infra is not None:
+            from repro.faults import FaultyResultCache
+
+            cache = FaultyResultCache(
+                args.cache_dir, schema=SERVICE_CACHE_SCHEMA, infra_plan=infra
+            )
+        else:
+            cache = ResultCache(args.cache_dir, schema=SERVICE_CACHE_SCHEMA)
+    queue_opts: dict = {}
+    if executor is not None:
+        queue_opts["executor"] = executor
     jobq = ServiceQueue(
         workers=args.workers,
         capacity=args.queue_size,
         cache=cache,
         telemetry_enabled=not args.no_telemetry,
+        job_timeout_s=args.job_timeout,
+        job_max_attempts=args.job_attempts,
+        degraded_window_s=args.degraded_window,
+        **queue_opts,
     )
     server = ServiceServer(
         jobq, host=args.host, port=args.port, rate=args.rate, burst=args.burst
@@ -578,10 +639,40 @@ def cmd_campaign(args) -> int:
         format_table7,
         k_fold_line,
     )
-    from repro.parallel import ResultCache, resolve_jobs
+    from repro.parallel import CampaignJournal, ResultCache, resolve_jobs
 
     jobs = resolve_jobs(args.jobs)
-    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+
+    if args.journal and args.resume and args.journal != args.resume:
+        raise ReproError("--journal and --resume point at different files")
+    journal_path = args.resume or args.journal
+    if args.out and journal_path is None:
+        raise ReproError("--out requires --journal or --resume")
+
+    runner_opts: dict = {}
+    if journal_path is not None:
+        runner_opts["journal_path"] = journal_path
+        runner_opts["resume"] = bool(args.resume)
+    if args.retries is not None:
+        from repro.resilience import RetryPolicy
+
+        runner_opts["retry"] = RetryPolicy(max_attempts=args.retries, seed=args.seed)
+    if args.task_timeout is not None:
+        runner_opts["task_timeout_s"] = args.task_timeout
+    if args.quarantine:
+        runner_opts["on_exhausted"] = "quarantine"
+    if args.infra_faults:
+        from repro.faults import FaultyResultCache, parse_infra_plan
+
+        infra = parse_infra_plan(args.infra_faults)
+        runner_opts["infra"] = infra
+        cache = FaultyResultCache(
+            args.cache_dir, enabled=not args.no_cache, infra_plan=infra
+        )
+        print(f"infra faults: {infra.describe()}", file=sys.stderr)
+    else:
+        cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+
     benchmarks = (
         [b.strip() for b in args.benchmarks.split(",") if b.strip()]
         if args.benchmarks
@@ -593,7 +684,8 @@ def cmd_campaign(args) -> int:
     with telemetry.session(tel):
         if args.experiment == "table2":
             clf, instances = train_default_classifier(
-                machine, seed=args.seed, jobs=jobs, cache=cache
+                machine, seed=args.seed, jobs=jobs, cache=cache,
+                runner_opts=runner_opts or None,
             )
             X, y = training_matrix(list(instances))
             cv = cross_validate(clf, X, y, k=10, seed=args.seed)
@@ -609,7 +701,8 @@ def cmd_campaign(args) -> int:
             results.update(cv_accuracy=cv.accuracy, n_instances=len(instances))
         elif args.experiment == "table5":
             detection = run_table5_detection(
-                seed=args.seed, benchmarks=benchmarks, jobs=jobs, cache=cache
+                seed=args.seed, benchmarks=benchmarks, jobs=jobs, cache=cache,
+                runner_opts=runner_opts or None,
             )
             print(format_table5(detection))
             print()
@@ -621,7 +714,10 @@ def cmd_campaign(args) -> int:
                 false_positive_rate=detection.false_positive_rate,
             )
         else:
-            rows = run_table7_overhead(seed=args.seed, jobs=jobs, cache=cache)
+            rows = run_table7_overhead(
+                seed=args.seed, jobs=jobs, cache=cache,
+                runner_opts=runner_opts or None,
+            )
             print(format_table7(rows))
             results.update(
                 overheads={r.benchmark: r.overhead for r in rows},
@@ -633,6 +729,24 @@ def cmd_campaign(args) -> int:
         + ("" if cache.enabled else " (cache disabled)"),
         file=sys.stderr,
     )
+    if journal_path is not None:
+        # Reopen read-only-ish (resume mode appends nothing) to report
+        # checkpoint coverage and render the merged payload stream.
+        with CampaignJournal(journal_path, args.seed, resume=True) as jrn:
+            results["journal"] = {"path": str(journal_path), "shards": len(jrn)}
+            print(
+                f"journal {journal_path}: {len(jrn)} shard(s) checkpointed"
+                + (" (resumed)" if args.resume else ""),
+                file=sys.stderr,
+            )
+            if args.out:
+                lines = jrn.merged_payload_lines()
+                with open(args.out, "w") as fh:
+                    fh.write("\n".join(lines) + ("\n" if lines else ""))
+                print(
+                    f"merged payloads written to {args.out} ({len(lines)} line(s))",
+                    file=sys.stderr,
+                )
     if args.telemetry:
         meta = collect_metadata(
             f"campaign:{args.experiment}", args.seed, machine.topology,
@@ -679,6 +793,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"drbw: error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Campaign/monitor runs leave their journals and caches in a
+        # resumable state on the way out; 130 = killed by SIGINT.
+        print("drbw: interrupted", file=sys.stderr)
+        return 130
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -251,6 +251,7 @@ def collect_training_set(
     cache=None,
     cache_dir: str | None = None,
     use_cache: bool = False,
+    runner_opts: dict | None = None,
 ) -> list[TrainingInstance]:
     """Profile every training configuration and return labeled instances.
 
@@ -297,6 +298,7 @@ def collect_training_set(
             cache_dir=cache_dir,
             use_cache=use_cache,
             campaign_seed=seed,
+            **(runner_opts or {}),
         )
         for cfg, outcome in zip(configs, runner.run(specs)):
             features, channel = hottest_channel_from(
@@ -357,6 +359,7 @@ def train_default_classifier(
     cache=None,
     cache_dir: str | None = None,
     use_cache: bool = False,
+    runner_opts: dict | None = None,
 ) -> tuple[DrBwClassifier, list[TrainingInstance]]:
     """Collect the Table II training set and fit the DR-BW classifier."""
     instances = collect_training_set(
@@ -368,6 +371,7 @@ def train_default_classifier(
         cache=cache,
         cache_dir=cache_dir,
         use_cache=use_cache,
+        runner_opts=runner_opts,
     )
     X, y = training_matrix(instances)
     clf = DrBwClassifier(feature_names=TABLE1_FEATURE_NAMES)

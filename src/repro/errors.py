@@ -63,6 +63,22 @@ class ParallelError(ReproError):
     """Invalid campaign shard spec, worker failure, or unserializable value."""
 
 
+class WorkerLostError(ParallelError):
+    """A worker process died mid-shard (crash, kill, broken pool).
+
+    Transient by definition — the shard itself is deterministic, so the
+    campaign runner retries it on a fresh pool rather than failing the
+    whole campaign."""
+
+
+class DeadlineExceededError(ReproError):
+    """A bounded operation (shard, service job) ran past its deadline."""
+
+
+class ShardQuarantinedError(ParallelError):
+    """A shard kept failing after bounded retries and was quarantined."""
+
+
 class CacheError(ParallelError):
     """The shard result cache is unusable (bad directory, broken entry)."""
 

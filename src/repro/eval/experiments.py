@@ -191,6 +191,7 @@ def run_table5_detection(
     cache=None,
     cache_dir: str | None = None,
     use_cache: bool = False,
+    runner_opts: dict | None = None,
 ) -> DetectionResults:
     """Run every Table V case: interleave oracle vs DR-BW detection.
 
@@ -232,6 +233,7 @@ def run_table5_detection(
         cache_dir=cache_dir,
         use_cache=use_cache,
         campaign_seed=seed,
+        **(runner_opts or {}),
     )
     results = DetectionResults()
     for (name, inp, cfg), outcome in zip(cases, runner.run(specs)):
@@ -298,6 +300,7 @@ def run_table7_overhead(
     cache=None,
     cache_dir: str | None = None,
     use_cache: bool = False,
+    runner_opts: dict | None = None,
 ) -> list[OverheadRow]:
     """Profiling overhead at 64 threads across four nodes (Table VII).
 
@@ -343,6 +346,7 @@ def run_table7_overhead(
         cache_dir=cache_dir,
         use_cache=use_cache,
         campaign_seed=seed,
+        **(runner_opts or {}),
     )
     return [
         OverheadRow(

@@ -31,7 +31,10 @@ The fault taxonomy, rates, and degradation semantics are documented in
 
 from __future__ import annotations
 
+import errno
+import time
 from dataclasses import dataclass, fields, replace
+from typing import Callable
 
 import numpy as np
 
@@ -47,6 +50,11 @@ __all__ = [
     "parse_fault_plan",
     "FaultyAddressSampler",
     "FaultyPageTable",
+    "InfraFaultPlan",
+    "INFRA_PRESETS",
+    "parse_infra_plan",
+    "FaultyResultCache",
+    "faulty_executor",
 ]
 
 #: Base of the garbage address region used for corrupted, unmappable
@@ -352,3 +360,330 @@ class FaultyPageTable:
                 out[fail] = -1
                 self.injected_failures += int(fail.sum())
         return out
+
+
+# ---------------------------------------------------------------------------
+# Infrastructure faults: the execution layer, not the data path.
+#
+# Where FaultPlan perturbs *samples* (what a lossy PEBS collector emits),
+# InfraFaultPlan perturbs the *machinery running the campaign*: worker
+# processes die mid-shard, the cache filesystem corrupts / errors / fills
+# up / slows down, service jobs hang.  The resilience layer
+# (repro.resilience, the hardened CampaignRunner, the service watchdog)
+# must absorb all of it without changing a single result byte — which the
+# chaos suite in tests/resilience/ asserts.
+#
+# The cardinal rule: infra faults are injected *around* shard execution
+# (in the runner's dispatch and the cache's I/O hooks), never *into* shard
+# specs.  A fault that leaked into a spec would change its config_hash,
+# hence its derived seed, hence its payload — destroying the byte-identity
+# the whole exercise is meant to prove.
+# ---------------------------------------------------------------------------
+
+
+def _infra_unit(seed: int, *tokens: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by ``(seed, tokens)``.
+
+    Stateless — unlike an RNG stream, the decision for one (fault, shard)
+    pair does not depend on how many other decisions were drawn first, so
+    it is identical under any worker count or dispatch order.
+    """
+    from repro.resilience import _unit_interval
+
+    return _unit_interval(seed, *tokens)
+
+
+@dataclass(frozen=True)
+class InfraFaultPlan:
+    """Deterministic infrastructure-fault schedule for chaos testing.
+
+    ============================  ================================================
+    ``worker_kill_rate``          fraction of shards whose worker process is
+                                  killed (``os._exit``) — at ``kill_point``
+                                  "before" the shard runs or "after" it finishes
+                                  but before the result is returned
+    ``shard_hang_rate``           fraction of shards that stall ``shard_hang_s``
+                                  seconds before running (deadline-watchdog food)
+    ``cache_corrupt_rate``        fraction of cache keys whose written bytes are
+                                  mangled (read back as a corrupt envelope)
+    ``cache_io_error_rate``       fraction of cache keys whose reads raise EIO
+    ``cache_enospc_rate``         fraction of cache keys whose writes raise
+                                  ENOSPC (disk full)
+    ``cache_slow_s``              added latency on every cache I/O operation
+    ``service_hang_rate``         fraction of service jobs that stall
+                                  ``service_hang_s`` seconds mid-execution
+    ============================  ================================================
+
+    Every decision is a pure function of ``(seed, fault, identity token)``
+    — no RNG stream, so dispatch order and worker count cannot change
+    which shard gets which fault.  Kills and hangs additionally key on the
+    attempt number and stop after ``max_faults_per_task`` attempts, so a
+    targeted shard *always* completes once the retry budget exceeds the
+    fault budget — making chaos runs deterministic end to end.
+    """
+
+    worker_kill_rate: float = 0.0
+    kill_point: str = "before"
+    shard_hang_rate: float = 0.0
+    shard_hang_s: float = 30.0
+    cache_corrupt_rate: float = 0.0
+    cache_io_error_rate: float = 0.0
+    cache_enospc_rate: float = 0.0
+    cache_slow_s: float = 0.0
+    service_hang_rate: float = 0.0
+    service_hang_s: float = 30.0
+    max_faults_per_task: int = 2
+    seed: int = 0
+
+    _RATE_FIELDS = (
+        "worker_kill_rate",
+        "shard_hang_rate",
+        "cache_corrupt_rate",
+        "cache_io_error_rate",
+        "cache_enospc_rate",
+        "service_hang_rate",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._RATE_FIELDS:
+            v = getattr(self, name)
+            if not isinstance(v, (int, float)) or not 0.0 <= float(v) <= 1.0:
+                raise FaultError(f"infra fault rate {name} must be in [0, 1], got {v!r}")
+        if self.kill_point not in ("before", "after"):
+            raise FaultError(
+                f"kill_point must be 'before' or 'after', got {self.kill_point!r}"
+            )
+        for name in ("shard_hang_s", "cache_slow_s", "service_hang_s"):
+            if getattr(self, name) < 0:
+                raise FaultError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.max_faults_per_task < 1:
+            raise FaultError(
+                f"max_faults_per_task must be >= 1, got {self.max_faults_per_task}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing (bit-identical no-op)."""
+        return (
+            all(getattr(self, name) == 0.0 for name in self._RATE_FIELDS)
+            and self.cache_slow_s == 0.0
+        )
+
+    def with_seed(self, seed: int) -> "InfraFaultPlan":
+        return replace(self, seed=seed)
+
+    def decide(self, rate_field: str, *tokens: object) -> bool:
+        """One deterministic fault decision keyed by ``(seed, fault, tokens)``."""
+        rate = getattr(self, rate_field)
+        if rate <= 0.0:
+            return False
+        return _infra_unit(self.seed, rate_field, *tokens) < rate
+
+    def kill_decision(self, token: str, attempt: int) -> bool:
+        """Should the worker running attempt ``attempt`` of this shard die?
+
+        Targeted shards are killed on attempts ``1..max_faults_per_task``
+        and then left alone, so bounded retries always converge.
+        """
+        return attempt <= self.max_faults_per_task and self.decide(
+            "worker_kill_rate", token
+        )
+
+    def hang_decision(self, token: str, attempt: int) -> bool:
+        """Should attempt ``attempt`` of this shard stall past its deadline?"""
+        return attempt <= self.max_faults_per_task and self.decide(
+            "shard_hang_rate", token
+        )
+
+    def describe(self) -> str:
+        if self.is_zero:
+            return "no infra faults"
+        short = {
+            "worker_kill_rate": "kill",
+            "shard_hang_rate": "shard-hang",
+            "cache_corrupt_rate": "cache-corrupt",
+            "cache_io_error_rate": "cache-io",
+            "cache_enospc_rate": "enospc",
+            "service_hang_rate": "svc-hang",
+        }
+        parts = [
+            f"{short[name]}={getattr(self, name):.2%}"
+            for name in self._RATE_FIELDS
+            if getattr(self, name) > 0
+        ]
+        if self.cache_slow_s > 0:
+            parts.append(f"cache-slow={self.cache_slow_s}s")
+        return " ".join(parts) + f" seed={self.seed}"
+
+
+#: Named infra plans.  ``chaos-standard`` is what the CI chaos-smoke job
+#: and the acceptance chaos test run: worker kills plus cache corruption
+#: and a full disk, all survivable within the default retry budget.
+INFRA_PRESETS: dict[str, InfraFaultPlan] = {
+    "none": InfraFaultPlan(),
+    "chaos-standard": InfraFaultPlan(
+        worker_kill_rate=0.30,
+        cache_corrupt_rate=0.25,
+        cache_enospc_rate=0.25,
+    ),
+    "chaos-heavy": InfraFaultPlan(
+        worker_kill_rate=0.50,
+        kill_point="after",
+        cache_corrupt_rate=0.40,
+        cache_io_error_rate=0.30,
+        cache_enospc_rate=0.40,
+        cache_slow_s=0.01,
+    ),
+}
+
+_INFRA_SPEC_KEYS = {
+    "kill": "worker_kill_rate",
+    "kill-point": "kill_point",
+    "shard-hang": "shard_hang_rate",
+    "shard-hang-s": "shard_hang_s",
+    "cache-corrupt": "cache_corrupt_rate",
+    "cache-io": "cache_io_error_rate",
+    "enospc": "cache_enospc_rate",
+    "cache-slow": "cache_slow_s",
+    "svc-hang": "service_hang_rate",
+    "svc-hang-s": "service_hang_s",
+    "max-faults": "max_faults_per_task",
+    "seed": "seed",
+}
+
+
+def parse_infra_plan(spec: str) -> InfraFaultPlan:
+    """Parse a preset name or ``key=value,...`` spec into an infra plan.
+
+    ``parse_infra_plan("chaos-standard")`` returns the named preset;
+    ``parse_infra_plan("kill=0.3,enospc=0.2,seed=7")`` builds a custom
+    plan; ``parse_infra_plan("chaos-standard,seed=42")`` starts from the
+    preset and overrides fields.  Keys accept the short spellings and
+    full field names.
+    """
+    spec = spec.strip()
+    if spec in INFRA_PRESETS:
+        return INFRA_PRESETS[spec]
+    field_names = {f.name for f in fields(InfraFaultPlan)}
+    kwargs: dict[str, object] = {}
+    parts = list(filter(None, (p.strip() for p in spec.split(","))))
+    if parts and parts[0] in INFRA_PRESETS:
+        # "chaos-standard,seed=42" — start from the preset, then override.
+        base = INFRA_PRESETS[parts.pop(0)]
+        kwargs.update({f.name: getattr(base, f.name) for f in fields(base)})
+    for part in parts:
+        if "=" not in part:
+            raise FaultError(
+                f"bad infra fault spec {part!r}; expected a preset "
+                f"({', '.join(INFRA_PRESETS)}) or key=value pairs"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip()
+        name = _INFRA_SPEC_KEYS.get(key, key)
+        if name not in field_names:
+            raise FaultError(f"unknown infra fault spec key {key!r}")
+        try:
+            if name == "kill_point":
+                kwargs[name] = value.strip()
+            elif name in ("seed", "max_faults_per_task"):
+                kwargs[name] = int(value)
+            else:
+                kwargs[name] = float(value)
+        except ValueError:
+            raise FaultError(
+                f"bad value for infra fault spec key {key!r}: {value!r}"
+            ) from None
+    if not kwargs:
+        raise FaultError(
+            f"empty infra fault spec; expected a preset ({', '.join(INFRA_PRESETS)}) "
+            "or key=value pairs"
+        )
+    return InfraFaultPlan(**kwargs)  # type: ignore[arg-type]
+
+
+def _faulty_cache_class():
+    """Build :class:`FaultyResultCache` lazily (avoids an import cycle —
+    ``repro.parallel`` imports are deferred until first use)."""
+    from repro.parallel.cache import ResultCache
+
+    class FaultyResultCache(ResultCache):
+        """A :class:`ResultCache` whose raw I/O hooks inject infra faults.
+
+        Because only the two ``_read_entry_text`` / ``_write_entry_text``
+        hooks are overridden, every injected fault passes through the
+        production error handling — breaker accounting, eviction,
+        in-memory fallback — exactly as a real disk fault would.
+
+        Key-based determinism: a key decided faulty is faulty on *every*
+        operation, so e.g. an ENOSPC key permanently lives in the memory
+        overlay (exactly how a real full disk behaves for new writes).
+        """
+
+        def __init__(self, *args, infra_plan: InfraFaultPlan, **kwargs) -> None:
+            self.infra_plan = infra_plan
+            self.injected: dict[str, int] = {
+                "read_errors": 0,
+                "write_enospc": 0,
+                "corrupted_writes": 0,
+                "slow_ops": 0,
+            }
+            super().__init__(*args, **kwargs)
+
+        def _read_entry_text(self, path):
+            plan = self.infra_plan
+            if plan.cache_slow_s > 0:
+                self.injected["slow_ops"] += 1
+                time.sleep(plan.cache_slow_s)
+            if plan.decide("cache_io_error_rate", "read", path.stem):
+                self.injected["read_errors"] += 1
+                raise OSError(errno.EIO, f"injected read error for {path.name}")
+            return super()._read_entry_text(path)
+
+        def _write_entry_text(self, path, text):
+            plan = self.infra_plan
+            if plan.cache_slow_s > 0:
+                self.injected["slow_ops"] += 1
+                time.sleep(plan.cache_slow_s)
+            if plan.decide("cache_enospc_rate", "write", path.stem):
+                self.injected["write_enospc"] += 1
+                raise OSError(errno.ENOSPC, f"injected ENOSPC for {path.name}")
+            if plan.decide("cache_corrupt_rate", "corrupt", path.stem):
+                self.injected["corrupted_writes"] += 1
+                text = text[: max(1, len(text) // 2)] + '#torn-write"'
+            super()._write_entry_text(path, text)
+
+    return FaultyResultCache
+
+
+def __getattr__(name: str):
+    if name == "FaultyResultCache":
+        cls = _faulty_cache_class()
+        globals()["FaultyResultCache"] = cls
+        return cls
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def faulty_executor(
+    plan: InfraFaultPlan,
+    inner: Callable[[dict], dict] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Callable[[dict], dict]:
+    """Wrap a service job executor so selected jobs hang mid-execution.
+
+    The hang fires *inside* the executor — after the job left the queue,
+    while a worker thread owns it — which is exactly the stuck state the
+    service watchdog exists to recover from.  Decisions key on the job's
+    canonical identity, so the same job hangs (or not) on every run.
+    """
+    if inner is None:
+        from repro.service.jobspec import execute_job as inner
+
+    def run(spec: dict) -> dict:
+        if plan.service_hang_rate > 0:
+            from repro.parallel.seeding import config_hash
+
+            if plan.decide("service_hang_rate", config_hash(spec)):
+                sleep(plan.service_hang_s)
+        return inner(spec)
+
+    return run

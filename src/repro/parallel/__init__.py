@@ -34,10 +34,12 @@ from repro.parallel.cache import ResultCache, default_cache_dir
 from repro.parallel.campaign import (
     CampaignResult,
     CampaignRunner,
+    ShardFailure,
     ShardOutcome,
     merge_dropped_payloads,
     resolve_jobs,
 )
+from repro.parallel.journal import CampaignJournal
 from repro.parallel.seeding import (
     canonical_json,
     config_hash,
@@ -55,10 +57,12 @@ from repro.parallel.shards import (
 )
 
 __all__ = [
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
     "PROFILE_SHARD_KIND",
     "ResultCache",
+    "ShardFailure",
     "ShardOutcome",
     "benchmark_workload_spec",
     "canonical_json",

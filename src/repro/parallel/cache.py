@@ -22,6 +22,14 @@ between any two filesystem operations here.  Every read, evict, and clear
 path therefore tolerates ``FileNotFoundError`` (and the wider ``OSError``
 family) by degrading to a miss — never by raising — which the
 two-process stress test in ``tests/parallel/test_cache.py`` hammers.
+
+Sustained I/O failure (dying disk, ENOSPC, yanked network mount) is a
+step beyond the occasional lost entry: a :class:`CircuitBreaker` counts
+consecutive I/O errors and, once tripped, routes traffic to an in-memory
+overlay instead of the filesystem.  Results stay correct and available
+for the life of the process; only cross-process sharing is lost while the
+circuit is open.  ``FileNotFoundError`` on read is a *healthy* miss and
+never feeds the breaker.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -31,8 +39,10 @@ import logging
 import os
 import pathlib
 import tempfile
+import time
 
 from repro.errors import CacheError
+from repro.resilience import CircuitBreaker
 
 __all__ = ["ResultCache", "default_cache_dir", "CACHE_SCHEMA"]
 
@@ -44,6 +54,10 @@ CACHE_SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "DRBW_CACHE_DIR"
+
+#: Orphaned ``.tmp-*`` files older than this are swept on cache open.
+#: Young ones may belong to a live writer mid-``os.replace`` and are kept.
+ORPHAN_MAX_AGE_S = 3600.0
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -65,6 +79,13 @@ class ResultCache:
     here — campaign shards use the default, the profiling service stores
     job results under its own schema so the two can never replay each
     other's entries even when pointed at the same directory.
+
+    ``breaker`` guards the disk: after ``failure_threshold`` consecutive
+    I/O errors the cache falls back to a process-local in-memory overlay
+    (checked before disk on every ``get``) until the breaker half-opens
+    and a probe succeeds.  Fault-injection subclasses override the two
+    ``_read_entry_text`` / ``_write_entry_text`` hooks so injected I/O
+    errors are indistinguishable from real ones to the breaker.
     """
 
     def __init__(
@@ -72,13 +93,22 @@ class ResultCache:
         root: str | os.PathLike | None = None,
         enabled: bool = True,
         schema: str = CACHE_SCHEMA,
+        *,
+        breaker: CircuitBreaker | None = None,
+        orphan_max_age_s: float = ORPHAN_MAX_AGE_S,
     ) -> None:
         self.enabled = enabled
         self.schema = schema
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.io_errors = 0
+        self.fallback_puts = 0
+        self.fallback_hits = 0
+        self.orphans_swept = 0
+        self._memory: dict[str, dict] = {}
         if not enabled:
             return
         try:
@@ -90,10 +120,31 @@ class ResultCache:
                 ) from exc
             logger.warning("disabling result cache (%s unusable: %s)", self.root, exc)
             self.enabled = False
+            return
+        self._sweep_orphans(orphan_max_age_s)
 
     def path_for(self, key: str) -> pathlib.Path:
         """Location of one entry (two-level fan-out keeps directories small)."""
         return self.root / key[:2] / f"{key}.json"
+
+    # -- raw I/O hooks (overridden by fault-injection subclasses) ---------------
+
+    def _read_entry_text(self, path: pathlib.Path) -> str:
+        return path.read_text()
+
+    def _write_entry_text(self, path: pathlib.Path, text: str) -> None:
+        """Atomically materialize ``text`` at ``path`` (tmp file + rename)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+
+    # -- public API -------------------------------------------------------------
 
     def get(self, key: str) -> dict | None:
         """The cached payload for ``key``, or ``None`` on a miss.
@@ -105,17 +156,33 @@ class ResultCache:
         """
         if not self.enabled:
             return None
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.hits += 1
+            self.fallback_hits += 1
+            return hit
+        if not self.breaker.allow():
+            # Circuit open: don't touch the sick filesystem at all.
+            self.misses += 1
+            return None
         path = self.path_for(key)
         try:
-            text = path.read_text()
+            text = self._read_entry_text(path)
         except FileNotFoundError:
             # The common concurrent case: a sibling evicted (or has not
-            # yet written) this entry.  A plain miss, no log noise.
+            # yet written) this entry.  A plain miss, no log noise —
+            # and a *healthy* filesystem answer, so it closes the
+            # breaker's half-open probe rather than feeding it.
+            self.breaker.record_success()
             self.misses += 1
             return None
-        except OSError:
+        except OSError as exc:
+            self.io_errors += 1
+            self.breaker.record_failure()
+            logger.warning("cache read failed for %s: %s", path, exc)
             self.misses += 1
             return None
+        self.breaker.record_success()
         try:
             envelope = json.loads(text)
             if (
@@ -127,6 +194,8 @@ class ResultCache:
             ):
                 raise ValueError("bad envelope")
         except ValueError:
+            # Corruption is a *content* defect, not an I/O failure — the
+            # disk answered fine — so it evicts without tripping the breaker.
             logger.warning("evicting corrupt cache entry %s", path)
             self._evict(path)
             self.misses += 1
@@ -138,9 +207,15 @@ class ResultCache:
         """Store one payload atomically (tmp file + rename).
 
         Write failures are logged and swallowed — a full disk must not
-        fail the campaign whose results it was merely memoizing.
+        fail the campaign whose results it was merely memoizing — but
+        they feed the circuit breaker, and the payload lands in the
+        in-memory overlay so this process can still re-read it.
         """
         if not self.enabled:
+            return
+        if not self.breaker.allow():
+            self.fallback_puts += 1
+            self._memory[key] = payload
             return
         path = self.path_for(key)
         envelope = {
@@ -149,20 +224,17 @@ class ResultCache:
             "key": key,
             "payload": payload,
         }
+        text = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".json"
-            )
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(envelope, fh, sort_keys=True, separators=(",", ":"))
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            self._write_entry_text(path, text)
         except OSError as exc:
+            self.io_errors += 1
+            self.breaker.record_failure()
             logger.warning("cache write failed for %s: %s", path, exc)
+            self.fallback_puts += 1
+            self._memory[key] = payload
+            return
+        self.breaker.record_success()
 
     def _evict(self, path: pathlib.Path) -> None:
         try:
@@ -175,8 +247,32 @@ class ResultCache:
         else:
             self.evictions += 1
 
+    def _sweep_orphans(self, max_age_s: float) -> None:
+        """Remove ``.tmp-*`` files stranded by a writer that died between
+        ``mkstemp`` and ``os.replace``.  Only files older than ``max_age_s``
+        go — a young temp file may belong to a live concurrent writer."""
+        now = time.time()
+        try:
+            orphans = list(self.root.glob("*/.tmp-*.json"))
+        except OSError:
+            return
+        for orphan in orphans:
+            try:
+                if now - orphan.stat().st_mtime < max_age_s:
+                    continue
+                orphan.unlink()
+            except OSError:
+                continue
+            self.orphans_swept += 1
+        if self.orphans_swept:
+            logger.info(
+                "swept %d orphaned cache temp file(s) under %s",
+                self.orphans_swept, self.root,
+            )
+
     def clear(self) -> int:
         """Remove every entry; returns the number removed (test helper)."""
+        self._memory.clear()
         removed = 0
         try:
             entries = list(self.root.glob("*/*.json"))
@@ -191,9 +287,25 @@ class ResultCache:
         return removed
 
     @property
+    def degraded(self) -> bool:
+        """True while the breaker is not closed (disk considered sick)."""
+        return self.enabled and self.breaker.state != "closed"
+
+    @property
     def stats(self) -> dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+        }
+
+    @property
+    def resilience_stats(self) -> dict[str, object]:
+        return {
+            "io_errors": self.io_errors,
+            "fallback_puts": self.fallback_puts,
+            "fallback_hits": self.fallback_hits,
+            "orphans_swept": self.orphans_swept,
+            "breaker_state": self.breaker.state,
+            "breaker_trips": self.breaker.trips,
         }

@@ -7,7 +7,8 @@ count, scheduling, or cache state:
 1. every spec is canonicalized and hashed; the hash (plus the campaign
    seed and package version) is the cache key, and the shard seed is
    derived from ``(campaign_seed, config_hash)`` via SHA-256;
-2. cached shards are answered from disk; the rest are executed — on a
+2. checkpointed shards are answered from the resume journal, cached
+   shards from disk; the rest are executed — on a
    ``ProcessPoolExecutor`` when ``jobs > 1``, in-process otherwise, both
    through the same :func:`~repro.parallel.shards.run_profile_shard`;
 3. fresh payloads are normalized through canonical JSON before being
@@ -21,6 +22,21 @@ count, scheduling, or cache state:
 serial; a pool that cannot start (sandboxes without working semaphores,
 fork-restricted environments) degrades to serial with a logged warning
 rather than failing the campaign.
+
+Crash resilience (see ``docs/robustness.md``): a worker process dying
+mid-shard (``BrokenProcessPool``) or a shard overrunning its
+``task_timeout_s`` deadline no longer kills the campaign.  Completed
+shards are kept, the pool is respawned, and the failed shards are
+re-dispatched under the :class:`~repro.resilience.RetryPolicy` — bounded
+attempts, deterministic backoff.  Shards still failing after the retry
+budget either fail the campaign (:class:`ShardQuarantinedError`, the
+strict default) or are quarantined into :attr:`CampaignResult.quarantined`
+when ``on_exhausted="quarantine"``.  Deterministic shard errors (bad
+spec, unknown kind) are *never* retried — retrying can't fix them, and
+surfacing them immediately preserves the historical contract.  With
+``journal_path`` set, every completed shard is checkpointed to a JSONL
+write-ahead journal that ``resume=True`` replays, so an interrupted
+campaign picks up exactly where it stopped.
 """
 
 from __future__ import annotations
@@ -28,20 +44,32 @@ from __future__ import annotations
 import json
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Callable
 
 import repro
 from repro import telemetry
 from repro.core.profiler import DroppedSampleReport
-from repro.errors import ParallelError
+from repro.errors import (
+    DeadlineExceededError,
+    ParallelError,
+    ReproError,
+    ShardQuarantinedError,
+    WorkerLostError,
+)
 from repro.parallel.cache import ResultCache
+from repro.parallel.journal import CampaignJournal
 from repro.parallel.seeding import canonical_json, config_hash, shard_seed
 from repro.parallel.shards import dropped_from_payload, run_profile_shard
+from repro.resilience import RetryPolicy
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "ShardFailure",
     "ShardOutcome",
     "merge_dropped_payloads",
     "resolve_jobs",
@@ -80,6 +108,8 @@ class ShardOutcome:
     seed: int
     payload: dict
     cache_hit: bool
+    resumed: bool = False
+    quarantined: bool = False
 
     @property
     def canonical_payload(self) -> str:
@@ -92,6 +122,15 @@ class ShardOutcome:
         return dropped_from_payload(self.payload.get("dropped", {}))
 
 
+@dataclass(frozen=True)
+class ShardFailure:
+    """Ledger entry for a shard quarantined after exhausting its retries."""
+
+    config_hash: str
+    attempts: int
+    error: str
+
+
 @dataclass
 class CampaignResult:
     """All outcomes of one campaign run, plus run-level accounting."""
@@ -100,6 +139,10 @@ class CampaignResult:
     jobs: int
     cache_hits: int = 0
     cache_misses: int = 0
+    journal_hits: int = 0
+    retries: int = 0
+    pools_respawned: int = 0
+    quarantined: list[ShardFailure] = field(default_factory=list)
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -142,16 +185,38 @@ def merge_dropped_payloads(payloads: list[dict]) -> DroppedSampleReport:
     return merged
 
 
-def _execute_shard(args: tuple[dict, int, bool]) -> dict:
+def _apply_chaos(chaos: dict | None, point: str) -> None:
+    """Inject one scheduled infra fault inside the worker.
+
+    ``kill`` is a hard ``os._exit`` in pool workers — indistinguishable
+    from a segfault or OOM kill to the parent — but a raised
+    :class:`WorkerLostError` in serial mode, where exiting would take the
+    campaign (and the test suite) down with it.
+    """
+    if not chaos:
+        return
+    if point == "before" and chaos.get("hang_s"):
+        time.sleep(chaos["hang_s"])
+    if chaos.get("kill") and chaos.get("kill_point", "before") == point:
+        if chaos.get("serial"):
+            raise WorkerLostError("injected worker kill (serial mode)")
+        os._exit(13)
+
+
+def _execute_shard(args: tuple) -> dict:
     """Worker entry point: run one shard under its own telemetry session.
 
     Returns ``{"payload", "spans", "counters"}`` — everything crosses the
-    process boundary as plain JSON-able dicts.
+    process boundary as plain JSON-able dicts.  ``args`` may carry an
+    optional fourth element: the chaos schedule for this attempt.
     """
-    spec, seed, tel_enabled = args
+    spec, seed, tel_enabled, *rest = args
+    chaos = rest[0] if rest else None
+    _apply_chaos(chaos, "before")
     tel = telemetry.Telemetry(enabled=tel_enabled)
     with telemetry.session(tel):
         payload = run_profile_shard(spec, seed)
+    _apply_chaos(chaos, "after")
     counters = (
         {k: c.value for k, c in tel.metrics.counters.items()} if tel_enabled else {}
     )
@@ -163,20 +228,86 @@ def _execute_shard(args: tuple[dict, int, bool]) -> dict:
 
 
 @dataclass
+class _Task:
+    """One pending shard: its position, identity, and attempt count."""
+
+    idx: int
+    spec: dict
+    seed: int
+    token: str  # the config hash — stable across retries and runs
+    attempts: int = 0
+    last_error: str = ""
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, killing worker processes outright.
+
+    Used when a worker is known-stuck (deadline expiry) or the parent is
+    unwinding (KeyboardInterrupt): a graceful shutdown would block on the
+    hung shard, and leaving workers behind orphans them.
+    """
+    # Snapshot the workers first: shutdown() clears pool._processes, and
+    # the whole point here is to signal processes shutdown won't reap.
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=5.0)
+        except (OSError, AttributeError):
+            pass
+
+
+#: Errors that mean "the attempt died, the shard is fine" — retry these.
+_RETRYABLE = (WorkerLostError, DeadlineExceededError)
+
+
+@dataclass
 class CampaignRunner:
-    """Fan shard specs over a worker pool with deterministic replay."""
+    """Fan shard specs over a worker pool with deterministic replay.
+
+    Beyond the original knobs, the resilience layer adds: ``retry`` (the
+    :class:`~repro.resilience.RetryPolicy` for crashed/timed-out shards),
+    ``task_timeout_s`` (per-shard deadline, pool mode only),
+    ``infra`` (an :class:`~repro.faults.InfraFaultPlan` for chaos tests),
+    ``journal_path``/``resume`` (JSONL write-ahead checkpointing), and
+    ``on_exhausted`` (``"raise"`` — strict, the default — or
+    ``"quarantine"`` to ledger the failure and keep going).
+    """
 
     jobs: int | None = None
     cache: ResultCache | None = None
     cache_dir: str | None = None
     use_cache: bool = True
     campaign_seed: int = 0
+    retry: RetryPolicy | None = None
+    task_timeout_s: float | None = None
+    infra: object | None = None  # InfraFaultPlan; untyped to avoid the import
+    journal_path: str | os.PathLike | None = None
+    resume: bool = False
+    on_exhausted: str = "raise"
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
     _pool_failed: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.jobs = resolve_jobs(self.jobs)
         if self.cache is None:
             self.cache = ResultCache(self.cache_dir, enabled=self.use_cache)
+        if self.retry is None:
+            self.retry = RetryPolicy(seed=self.campaign_seed)
+        if self.on_exhausted not in ("raise", "quarantine"):
+            raise ParallelError(
+                f"on_exhausted must be 'raise' or 'quarantine', got {self.on_exhausted!r}"
+            )
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ParallelError(
+                f"task_timeout_s must be > 0, got {self.task_timeout_s}"
+            )
 
     # -- identity ---------------------------------------------------------------
 
@@ -207,11 +338,34 @@ class CampaignRunner:
 
     def _run_inner(self, specs: list[dict], tel) -> CampaignResult:
         assert self.cache is not None
+        journal: CampaignJournal | None = None
+        if self.journal_path is not None:
+            journal = CampaignJournal(
+                self.journal_path, self.campaign_seed, resume=self.resume
+            )
+        try:
+            return self._run_with_journal(specs, tel, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _run_with_journal(
+        self, specs: list[dict], tel, journal: CampaignJournal | None
+    ) -> CampaignResult:
         identities = [self.shard_identity(spec) for spec in specs]
         outcomes: list[ShardOutcome | None] = [None] * len(specs)
-        pending: list[int] = []
+        pending: list[_Task] = []
         hits = 0
+        journal_hits = 0
         for i, (spec, (digest, seed, key)) in enumerate(zip(specs, identities)):
+            entry = journal.completed(key) if journal is not None else None
+            if entry is not None:
+                journal_hits += 1
+                outcomes[i] = ShardOutcome(
+                    spec=spec, config_hash=digest, seed=seed,
+                    payload=entry["payload"], cache_hit=False, resumed=True,
+                )
+                continue
             cached = self.cache.get(key)
             if cached is not None:
                 hits += 1
@@ -219,19 +373,32 @@ class CampaignRunner:
                     spec=spec, config_hash=digest, seed=seed,
                     payload=cached, cache_hit=True,
                 )
+                if journal is not None:
+                    journal.record(i, key, digest, cached)
             else:
-                pending.append(i)
+                pending.append(_Task(idx=i, spec=spec, seed=seed, token=digest))
 
+        quarantined: list[ShardFailure] = []
+        retries = 0
+        respawns = 0
         if pending:
-            results = self._execute_pending(
-                [(specs[i], identities[i][1], tel.enabled) for i in pending]
-            )
-            for i, result in zip(pending, results):
+
+            def on_result(task: _Task, result: dict) -> None:
+                # Persist *immediately*, not after the whole batch: the
+                # cache entry and journal record are the write-ahead
+                # checkpoint an interrupted campaign resumes from, so a
+                # completed shard must never sit unpersisted while its
+                # siblings run.  Normalizing through canonical JSON keeps
+                # a fresh payload bytes-identical to its disk round-trip.
+                i = task.idx
                 digest, seed, key = identities[i]
-                # Normalize through canonical JSON so a fresh payload is
-                # bytes-identical to the same payload read back from disk.
-                payload = json.loads(canonical_json(result["payload"]))
+                payload_text = canonical_json(result["payload"])
+                payload = json.loads(payload_text)
                 self.cache.put(key, payload)
+                if journal is not None:
+                    journal.record(
+                        i, key, digest, payload, payload_text=payload_text
+                    )
                 tel.tracer.merge_records(result["spans"], shard=digest[:12])
                 for name, value in sorted(result["counters"].items()):
                     tel.metrics.counter(name).inc(value)
@@ -239,23 +406,101 @@ class CampaignRunner:
                     spec=specs[i], config_hash=digest, seed=seed,
                     payload=payload, cache_hit=False,
                 )
+
+            retries, respawns = self._execute_pending(
+                pending, tel.enabled, on_result
+            )
+            for task in pending:
+                i = task.idx
+                if outcomes[i] is not None:
+                    continue
+                # Exhausted its retry budget under on_exhausted="quarantine".
+                digest, seed, _key = identities[i]
+                quarantined.append(
+                    ShardFailure(
+                        config_hash=digest,
+                        attempts=task.attempts,
+                        error=task.last_error,
+                    )
+                )
+                outcomes[i] = ShardOutcome(
+                    spec=specs[i], config_hash=digest, seed=seed,
+                    payload={"quarantined": {
+                        "error": task.last_error, "attempts": task.attempts,
+                    }},
+                    cache_hit=False, quarantined=True,
+                )
         if tel.enabled:
             tel.metrics.counter("campaign.shards").inc(len(specs))
             tel.metrics.counter("campaign.cache.hits").inc(hits)
             tel.metrics.counter("campaign.cache.misses").inc(len(pending))
+            if journal_hits:
+                tel.metrics.counter("campaign.journal.hits").inc(journal_hits)
+            if retries:
+                tel.metrics.counter("campaign.retries").inc(retries)
+            if quarantined:
+                tel.metrics.counter("campaign.quarantined").inc(len(quarantined))
         assert all(o is not None for o in outcomes)
         return CampaignResult(
             outcomes=outcomes,  # type: ignore[arg-type]
             jobs=self.jobs or 1,
             cache_hits=hits,
             cache_misses=len(pending),
+            journal_hits=journal_hits,
+            retries=retries,
+            pools_respawned=respawns,
+            quarantined=quarantined,
         )
 
-    def _execute_pending(self, tasks: list[tuple[dict, int, bool]]) -> list[dict]:
+    # -- fault scheduling -------------------------------------------------------
+
+    def _chaos_for(self, task: _Task, serial: bool) -> dict | None:
+        """The chaos schedule for this attempt of this shard (None = clean)."""
+        plan = self.infra
+        if plan is None or plan.is_zero:
+            return None
+        chaos: dict = {}
+        if plan.kill_decision(task.token, task.attempts):
+            chaos.update(
+                kill=True, kill_point=plan.kill_point, serial=serial
+            )
+        if plan.hang_decision(task.token, task.attempts):
+            chaos["hang_s"] = plan.shard_hang_s
+        return chaos or None
+
+    def _record_failure(self, task: _Task, exc: BaseException) -> None:
+        task.last_error = f"{type(exc).__name__}: {exc}"
+
+    def _exhausted(self, task: _Task, exc: BaseException) -> None:
+        """A shard burned its whole retry budget: raise or quarantine."""
+        self._record_failure(task, exc)
+        if self.on_exhausted == "raise":
+            raise ShardQuarantinedError(
+                f"shard {task.token[:12]} failed {task.attempts} attempt(s); "
+                f"last error: {task.last_error}"
+            ) from exc
+        logger.warning(
+            "quarantining shard %s after %d attempt(s): %s",
+            task.token[:12], task.attempts, task.last_error,
+        )
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _execute_pending(
+        self,
+        tasks: list[_Task],
+        tel_enabled: bool,
+        on_result: Callable[[_Task, dict], None],
+    ) -> tuple[int, int]:
+        """Run every task, retrying transient failures.  ``on_result`` is
+        invoked in the parent as each shard completes (the checkpoint
+        hook); returns ``(total retries, pools respawned)``."""
         jobs = self.jobs or 1
         if jobs > 1 and not self._pool_failed and len(tasks) > 1:
             try:
-                return self._execute_pool(tasks, jobs)
+                return self._execute_pool_resilient(
+                    tasks, jobs, tel_enabled, on_result
+                )
             except (OSError, PermissionError, ImportError) as exc:
                 # Pools need working semaphores and fork/spawn support;
                 # locked-down environments get the serial path instead.
@@ -263,13 +508,177 @@ class CampaignRunner:
                     "worker pool unavailable (%s); falling back to serial", exc
                 )
                 self._pool_failed = True
-        return [_execute_shard(task) for task in tasks]
+        return self._execute_serial(tasks, tel_enabled, on_result)
 
-    @staticmethod
-    def _execute_pool(tasks: list[tuple[dict, int, bool]], jobs: int) -> list[dict]:
-        workers = min(jobs, len(tasks))
-        # Chunking amortizes task pickling without harming determinism:
-        # map() preserves input order no matter which worker ran what.
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_shard, tasks, chunksize=chunksize))
+    def _execute_serial(
+        self,
+        tasks: list[_Task],
+        tel_enabled: bool,
+        on_result: Callable[[_Task, dict], None],
+    ) -> tuple[int, int]:
+        assert self.retry is not None
+        retries = 0
+        for task in tasks:
+            while True:
+                task.attempts += 1
+                chaos = self._chaos_for(task, serial=True)
+                try:
+                    result = _execute_shard(
+                        (task.spec, task.seed, tel_enabled, chaos)
+                    )
+                    on_result(task, result)
+                    break
+                except _RETRYABLE as exc:
+                    self._record_failure(task, exc)
+                    if task.attempts >= self.retry.max_attempts:
+                        self._exhausted(task, exc)
+                        break
+                    retries += 1
+                    self.sleep(self.retry.delay_s(task.attempts, task.token))
+        return retries, 0
+
+    def _execute_pool_resilient(
+        self,
+        tasks: list[_Task],
+        jobs: int,
+        tel_enabled: bool,
+        on_result: Callable[[_Task, dict], None],
+    ) -> tuple[int, int]:
+        """Submit-based pool dispatch with crash recovery.
+
+        Each *round* gets a fresh pool.  Tasks whose attempt dies
+        transiently (worker killed → ``BrokenProcessPool``, deadline
+        expired) are carried into the next round until they succeed or
+        exhaust the retry budget; a deterministic shard error aborts the
+        campaign immediately, exactly like the serial path.
+        """
+        assert self.retry is not None
+        queue = list(tasks)
+        retries = 0
+        respawns = -1  # the first pool is not a "respawn"
+        while queue:
+            respawns += 1
+            round_tasks, queue = queue, []
+            workers = min(jobs, len(round_tasks))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            failed: list[tuple[_Task, BaseException]] = []
+            pool_broken = False
+            try:
+                futures = {}
+                deadlines: dict = {}
+                for n, task in enumerate(round_tasks):
+                    task.attempts += 1
+                    chaos = self._chaos_for(task, serial=False)
+                    try:
+                        fut = pool.submit(
+                            _execute_shard,
+                            (task.spec, task.seed, tel_enabled, chaos),
+                        )
+                    except BrokenProcessPool as exc:
+                        # A worker died while this round was still being
+                        # submitted; this task and every unsubmitted
+                        # sibling ride the next pool.
+                        pool_broken = True
+                        failed.append(
+                            (task, WorkerLostError(
+                                f"worker died before shard {task.token[:12]} "
+                                f"was dispatched: {exc}"
+                            ))
+                        )
+                        for later in round_tasks[n + 1:]:
+                            later.attempts += 1
+                            failed.append(
+                                (later, WorkerLostError(
+                                    f"shard {later.token[:12]} abandoned: its "
+                                    "pool broke during round submission"
+                                ))
+                            )
+                        break
+                    futures[fut] = task
+                    if self.task_timeout_s is not None:
+                        deadlines[fut] = self.clock() + self.task_timeout_s
+                not_done = set(futures)
+                while not_done:
+                    timeout = None
+                    if deadlines:
+                        now = self.clock()
+                        timeout = max(
+                            0.0,
+                            min(deadlines[f] for f in not_done) - now,
+                        )
+                    done, not_done = wait(
+                        not_done, timeout=timeout, return_when=FIRST_COMPLETED
+                    )
+                    for fut in done:
+                        task = futures[fut]
+                        try:
+                            on_result(task, fut.result())
+                        except BrokenProcessPool as exc:
+                            pool_broken = True
+                            failed.append(
+                                (task, WorkerLostError(
+                                    f"worker died running shard {task.token[:12]}: {exc}"
+                                ))
+                            )
+                        except _RETRYABLE as exc:
+                            failed.append((task, exc))
+                        # Deterministic ReproError (bad spec, unknown kind)
+                        # propagates via the enclosing try/finally.
+                    if not_done and deadlines:
+                        now = self.clock()
+                        expired = [f for f in not_done if now >= deadlines[f]]
+                        if expired:
+                            # A worker is wedged on an expired shard.  The
+                            # pool cannot take it back, so every in-flight
+                            # task on this pool is written off and retried
+                            # on a fresh one.
+                            for fut in expired:
+                                task = futures[fut]
+                                failed.append(
+                                    (task, DeadlineExceededError(
+                                        f"shard {task.token[:12]} exceeded its "
+                                        f"{self.task_timeout_s}s deadline"
+                                    ))
+                                )
+                            for fut in not_done - set(expired):
+                                task = futures[fut]
+                                failed.append(
+                                    (task, WorkerLostError(
+                                        f"shard {task.token[:12]} abandoned: its pool "
+                                        "was torn down after a sibling's deadline expiry"
+                                    ))
+                                )
+                            pool_broken = True
+                            _terminate_pool(pool)
+                            not_done = set()
+                    elif pool_broken and not_done:
+                        # BrokenProcessPool resolves every sibling future
+                        # promptly; keep draining them through wait().
+                        continue
+            except KeyboardInterrupt:
+                # Leave nothing behind: cancel what never started, kill
+                # what did, and let the interrupt unwind (the journal —
+                # flushed per shard — is the recovery point).
+                pool_broken = True
+                _terminate_pool(pool)
+                raise
+            finally:
+                # A broken/torn-down pool must not be waited on — its
+                # stuck or dead workers would block the shutdown.
+                pool.shutdown(wait=not pool_broken, cancel_futures=True)
+
+            round_delays = []
+            for task, exc in failed:
+                self._record_failure(task, exc)
+                if task.attempts >= self.retry.max_attempts:
+                    self._exhausted(task, exc)
+                    continue
+                retries += 1
+                round_delays.append(self.retry.delay_s(task.attempts, task.token))
+                queue.append(task)
+            if round_delays:
+                # One backoff per round (the max of the per-task delays):
+                # tasks retry together on the fresh pool rather than each
+                # serializing its own sleep.
+                self.sleep(max(round_delays))
+        return retries, max(0, respawns)

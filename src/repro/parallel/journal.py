@@ -1,0 +1,227 @@
+"""Write-ahead checkpoint journal for campaign runs.
+
+A :class:`CampaignJournal` is an append-only JSONL file: one header line
+identifying the campaign, then one line per *completed* shard carrying
+its cache key, config hash, spec-order sequence number, and canonical
+payload.  Lines are flushed as each shard finishes, so after a crash or
+SIGINT the journal holds exactly the work that completed — and
+``drbw campaign --resume <journal>`` replays those shards from the
+journal instead of re-executing them.
+
+Recovery rules, in the spirit of classic WAL recovery:
+
+* the header must match the resuming campaign (same ``campaign_seed``) —
+  resuming under a different seed would splice together payloads from two
+  different sample universes, so it is an error, not a warning;
+* a torn final line (the process died mid-``write``) is discarded
+  silently: the shard it described never acknowledged completion, so
+  dropping it is the correct (and safe) outcome;
+* unknown keys in a journal line are ignored and entries for shards the
+  resuming campaign does not contain are simply never looked up — a
+  journal is a cache with provenance, never an instruction stream.
+
+Because entries carry the payload itself (canonical JSON, the same bytes
+the result cache stores), a resumed run is byte-identical to an
+uninterrupted one even if the result cache was lost, corrupted, or
+disabled in between.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import time
+
+from repro.errors import ParallelError
+from repro.parallel.seeding import canonical_json
+
+__all__ = ["CampaignJournal", "JOURNAL_SCHEMA"]
+
+logger = logging.getLogger(__name__)
+
+JOURNAL_SCHEMA = "drbw-campaign-journal"
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of completed shards.
+
+    ``resume=True`` loads any existing journal at ``path`` (validating its
+    header) before appending; ``resume=False`` truncates and starts
+    fresh.  :meth:`completed` answers "was this shard already done?" with
+    its recorded payload; :meth:`record` checkpoints a newly finished
+    shard and is idempotent per key.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        campaign_seed: int = 0,
+        resume: bool = False,
+        fsync_interval_s: float = 1.0,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.campaign_seed = int(campaign_seed)
+        self._entries: dict[str, dict] = {}
+        self._fh = None
+        self.resumed_count = 0
+        #: Throttle for fsync: every record is flushed to the OS (which
+        #: survives a process crash/SIGINT — the failure mode campaigns
+        #: actually see), but the costlier disk barrier runs at most once
+        #: per interval plus once at close.  0 means fsync every record.
+        self._fsync_interval_s = float(fsync_interval_s)
+        self._last_fsync = float("-inf")
+        if resume and self.path.exists():
+            self._load()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            mode = "a" if resume else "w"
+            self._fh = open(self.path, mode)
+        except OSError as exc:
+            raise ParallelError(f"cannot open campaign journal {self.path}: {exc}") from exc
+        if self._fh.tell() == 0:
+            self._write_line(
+                {
+                    "schema": JOURNAL_SCHEMA,
+                    "schema_version": JOURNAL_SCHEMA_VERSION,
+                    "campaign_seed": self.campaign_seed,
+                }
+            )
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError as exc:
+            raise ParallelError(f"cannot read campaign journal {self.path}: {exc}") from exc
+        lines = text.splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            raise ParallelError(
+                f"campaign journal {self.path} has an unreadable header"
+            ) from None
+        if (
+            not isinstance(header, dict)
+            or header.get("schema") != JOURNAL_SCHEMA
+            or header.get("schema_version") != JOURNAL_SCHEMA_VERSION
+        ):
+            raise ParallelError(
+                f"{self.path} is not a campaign journal (bad header schema)"
+            )
+        if header.get("campaign_seed") != self.campaign_seed:
+            raise ParallelError(
+                f"journal {self.path} was written by campaign_seed="
+                f"{header.get('campaign_seed')}; cannot resume with "
+                f"campaign_seed={self.campaign_seed}"
+            )
+        for i, line in enumerate(lines[1:], start=2):
+            try:
+                entry = json.loads(line)
+                if (
+                    not isinstance(entry, dict)
+                    or not isinstance(entry.get("key"), str)
+                    or not isinstance(entry.get("payload"), dict)
+                    or not isinstance(entry.get("seq"), int)
+                ):
+                    raise ValueError("bad entry")
+            except ValueError:
+                if i == len(lines):
+                    # A torn tail: the writer died mid-append.  That shard
+                    # never acknowledged completion, so dropping it is safe.
+                    logger.warning(
+                        "discarding torn final line of journal %s", self.path
+                    )
+                    break
+                raise ParallelError(
+                    f"campaign journal {self.path} is corrupt at line {i}"
+                ) from None
+            self._entries[entry["key"]] = entry
+        self.resumed_count = len(self._entries)
+
+    # -- API --------------------------------------------------------------------
+
+    def completed(self, key: str) -> dict | None:
+        """The recorded entry for ``key`` (``{"seq", "key", ...}``), or None."""
+        return self._entries.get(key)
+
+    def record(
+        self,
+        seq: int,
+        key: str,
+        config_hash: str,
+        payload: dict,
+        payload_text: str | None = None,
+    ) -> None:
+        """Checkpoint one completed shard (idempotent per key, flushed).
+
+        ``payload_text``, when the caller already holds the payload's
+        canonical JSON, skips re-serializing it — the dominant cost of a
+        checkpoint — while producing the exact same line bytes.
+        """
+        if key in self._entries:
+            return
+        entry = {"seq": seq, "key": key, "config_hash": config_hash, "payload": payload}
+        self._entries[key] = entry
+        if payload_text is None:
+            self._write_text(canonical_json(entry) + "\n")
+        else:
+            # Hand-assembled in canonical form (keys in sorted order,
+            # compact separators) — byte-identical to canonical_json(entry).
+            self._write_text(
+                '{"config_hash":%s,"key":%s,"payload":%s,"seq":%d}\n'
+                % (json.dumps(config_hash), json.dumps(key), payload_text, seq)
+            )
+
+    def _write_line(self, obj: dict) -> None:
+        self._write_text(canonical_json(obj) + "\n")
+
+    def _write_text(self, text: str) -> None:
+        if self._fh is None or self._fh.closed:
+            return
+        try:
+            self._fh.write(text)
+            self._fh.flush()
+            now = time.monotonic()
+            if now - self._last_fsync >= self._fsync_interval_s:
+                os.fsync(self._fh.fileno())
+                self._last_fsync = now
+        except (OSError, ValueError) as exc:
+            # A journal that cannot persist must not fail the campaign it
+            # is checkpointing; it just stops being a recovery point.
+            logger.warning("campaign journal write failed (%s); continuing", exc)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError):
+                pass
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def merged_payload_lines(self) -> list[str]:
+        """Every recorded payload as canonical JSON, in spec (seq) order.
+
+        This is what ``drbw campaign --out`` writes — a deterministic
+        byte stream for CI's ``cmp``, independent of completion order.
+        """
+        ordered = sorted(self._entries.values(), key=lambda e: e["seq"])
+        return [canonical_json(e["payload"]) for e in ordered]

@@ -1,0 +1,219 @@
+"""Crash-resilience primitives: retries, deadlines, circuit breakers.
+
+The execution layers (``repro.parallel`` campaigns, the ``repro.service``
+daemon) share three small mechanisms:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  **seeded deterministic jitter**: the delay before retry *k* of token
+  *t* is a pure function of ``(seed, t, k)``, so a retried campaign
+  sleeps the same schedule on every run and the overall result stays
+  reproducible (real randomness in backoff would make wall-clock — and
+  therefore logs, traces, and interleavings — diverge run to run).
+* :class:`Deadline` — a monotonic-clock budget for one task, with an
+  injectable clock so timeout handling is testable without sleeping.
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine.  The on-disk :class:`~repro.parallel.cache.ResultCache` uses
+  one to stop hammering a failing filesystem: after ``failure_threshold``
+  consecutive I/O errors the breaker opens and the cache degrades to an
+  in-memory overlay; after ``reset_after_s`` one probe operation is let
+  through (half-open) and a success re-closes the breaker.
+
+Design rule, after the PEBS-at-scale overhead discipline: resilience must
+cost ~nothing when nothing fails.  On the happy path each primitive is a
+branch and an integer compare — no syscalls, no allocation, no RNG draw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError, DeadlineExceededError
+
+__all__ = ["RetryPolicy", "Deadline", "CircuitBreaker"]
+
+
+def _unit_interval(*parts: object) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` from hashed tokens.
+
+    Pure function of its inputs (SHA-256, not Python ``hash``): identical
+    across processes, platforms, and ``PYTHONHASHSEED`` values.
+    """
+    material = "|".join(str(p) for p in parts).encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts *total* tries, so ``max_attempts=1`` disables
+    retrying.  ``delay_s(attempt, token)`` is the sleep before retry
+    ``attempt`` (1-based: the delay after the first failure is attempt 1)
+    of the task identified by ``token`` — jitter is derived from
+    ``(seed, token, attempt)``, never from a live RNG.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    backoff: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigError("retry delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ConfigError(f"backoff must be >= 1, got {self.backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, attempt: int, token: str = "") -> float:
+        """Backoff delay before retry ``attempt`` (>= 1) of ``token``."""
+        if attempt < 1:
+            return 0.0
+        delay = min(self.base_delay_s * self.backoff ** (attempt - 1), self.max_delay_s)
+        if self.jitter:
+            # Jitter spreads delay in [delay*(1-j), delay*(1+j)] — but
+            # deterministically, keyed by (seed, token, attempt).
+            u = _unit_interval(self.seed, token, attempt)
+            delay *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return delay
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        token: str = "",
+        retry_on: tuple[type[BaseException], ...] = (OSError,),
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        """Run ``fn`` under this policy; re-raise after the final attempt."""
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on:
+                if attempt >= self.max_attempts:
+                    raise
+                sleep(self.delay_s(attempt, token))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class Deadline:
+    """A per-task time budget on an injectable monotonic clock.
+
+    ``timeout_s=None`` is the unbounded deadline: it never expires and
+    costs one ``is None`` check per query.
+    """
+
+    __slots__ = ("timeout_s", "_clock", "_expires_at")
+
+    def __init__(
+        self,
+        timeout_s: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError(f"deadline timeout must be > 0, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self._clock = clock
+        self._expires_at = None if timeout_s is None else clock() + timeout_s
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0), or ``None`` when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self._clock())
+
+    def check(self, label: str = "task") -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{label} exceeded its {self.timeout_s}s deadline"
+            )
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over consecutive failures.
+
+    Thread-safe (the service's worker threads share the cache's breaker).
+    ``allow()`` answers "may I try the protected operation?": always in
+    ``closed``, never in ``open``, and once per probe window in
+    ``half-open``.  Callers report outcomes with :meth:`record_success`
+    / :meth:`record_failure`.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after_s <= 0:
+            raise ConfigError(f"reset_after_s must be > 0, got {reset_after_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open``, or ``half-open``."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.reset_after_s:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """True when the protected operation should be attempted."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open":
+                # One probe per window: re-arm the window so concurrent
+                # callers do not all pile onto a still-broken resource.
+                self._opened_at = self._clock() - self.reset_after_s + min(
+                    1.0, self.reset_after_s / 2
+                )
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._opened_at is None
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self.trips += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._opened_at = self._clock()

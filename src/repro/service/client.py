@@ -7,6 +7,17 @@ back as :class:`~repro.errors.ServiceError` (or
 server's ``Retry-After``), so callers handle the service exactly like
 the rest of the library.
 
+Two client-side resilience behaviors (see ``docs/robustness.md``):
+
+* :meth:`ServiceClient.wait` polls with **capped exponential backoff**
+  (``poll_s`` doubling up to ``poll_max_s``) instead of a fixed-interval
+  busy loop — fast jobs are picked up within milliseconds, long jobs
+  cost a few requests per minute instead of hundreds;
+* idempotent **GETs are retried exactly once** after a transient
+  transport error (``ConnectionResetError`` / ``RemoteDisconnected`` —
+  e.g. the server restarted between keep-alive requests).  POSTs are
+  never retried: submitting twice would double-submit the job.
+
 Usage::
 
     client = ServiceClient("http://127.0.0.1:8787")
@@ -16,26 +27,51 @@ Usage::
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
+from typing import Callable
 
 from repro.errors import ServiceError, ServiceSaturatedError
 
 __all__ = ["ServiceClient"]
 
+#: Transport errors that justify one retry of an idempotent request.
+_TRANSIENT = (ConnectionResetError, http.client.RemoteDisconnected)
+
 
 class ServiceClient:
     """HTTP client bound to one service base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self._sleep = sleep
 
     # -- raw HTTP ---------------------------------------------------------------
 
     def _request(self, path: str, data: bytes | None = None) -> tuple[int, dict, bytes]:
+        # GETs (data is None) are idempotent and safe to retry once after
+        # a transient transport failure; POSTs are not (double submit).
+        attempts = 2 if data is None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._request_once(path, data)
+            except _TRANSIENT:
+                if attempt >= attempts:
+                    raise ServiceError(
+                        f"connection to {self.base_url} reset repeatedly"
+                    ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, path: str, data: bytes | None) -> tuple[int, dict, bytes]:
         req = urllib.request.Request(
             self.base_url + path,
             data=data,
@@ -53,6 +89,9 @@ class ServiceClient:
                 raise ServiceSaturatedError(message, retry_after=retry) from None
             raise ServiceError(f"HTTP {exc.code}: {message}") from None
         except urllib.error.URLError as exc:
+            if isinstance(exc.reason, _TRANSIENT):
+                # Unwrap so the retry loop can classify it.
+                raise exc.reason from None
             raise ServiceError(
                 f"cannot reach service at {self.base_url}: {exc.reason}"
             ) from None
@@ -85,12 +124,22 @@ class ServiceClient:
     def result(self, job_id: str) -> dict:
         return json.loads(self.result_text(job_id))
 
-    def wait(self, job_id: str, timeout: float = 600.0, poll_s: float = 0.2) -> dict:
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.05,
+        poll_max_s: float = 2.0,
+    ) -> dict:
         """Poll until the job reaches a terminal state; returns the result.
 
-        Raises :class:`ServiceError` on job failure or timeout.
+        The poll interval starts at ``poll_s`` and doubles up to
+        ``poll_max_s`` — capped exponential backoff, so short jobs return
+        promptly and long jobs don't hammer the status endpoint.  Raises
+        :class:`ServiceError` on job failure or timeout.
         """
         deadline = time.monotonic() + timeout
+        delay = max(poll_s, 0.001)
         while True:
             status = self.status(job_id)
             if status["state"] == "done":
@@ -103,9 +152,10 @@ class ServiceClient:
                 raise ServiceError(
                     f"job {job_id} still {status['state']} after {timeout}s"
                 )
-            time.sleep(poll_s)
+            self._sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(delay * 2.0, poll_max_s)
 
-    def run(self, spec: dict, timeout: float = 600.0, poll_s: float = 0.2) -> dict:
+    def run(self, spec: dict, timeout: float = 600.0, poll_s: float = 0.05) -> dict:
         """Submit and wait — the one-call path scripts want."""
         return self.wait(self.submit(spec)["id"], timeout=timeout, poll_s=poll_s)
 

@@ -44,6 +44,8 @@ class Job:
     coalesced: bool = False
     #: True when the result came from the warm cache without executing.
     cache_hit: bool = False
+    #: Execution attempts so far (> 1 only after a watchdog requeue).
+    attempts: int = 0
     created_s: float = field(default_factory=time.monotonic)
     started_s: float | None = None
     finished_s: float | None = None
@@ -58,6 +60,8 @@ class Job:
             "coalesced": self.coalesced,
             "cache_hit": self.cache_hit,
         }
+        if self.attempts > 1:
+            payload["attempts"] = self.attempts
         if self.error is not None:
             payload["error"] = self.error
         if self.finished_s is not None:

@@ -17,6 +17,19 @@ aggregate the ``/metrics`` endpoint exposes.  Because every counter bump
 happens under the queue lock together with the state change it
 describes, metrics are exact, not eventually-consistent — the
 saturation tests assert equalities, not inequalities.
+
+With ``job_timeout_s`` set, a **watchdog thread** patrols running jobs.
+A job past its deadline is *abandoned*: its delivery is accounted for
+(so drain cannot hang on it), the stuck worker thread is retired and a
+replacement spawned, and the job is either requeued (while attempts
+remain under ``job_max_attempts``) or failed along with its coalesced
+followers.  If the stuck executor ever does return, its result is
+discarded — the abandoned generation is recorded precisely so a late
+result cannot overwrite the watchdog's verdict.  The watchdog also
+respawns worker threads that died outright.  Each incident is
+timestamped; :meth:`ServiceQueue.health` reports ``degraded`` (distinct
+from unready) while incidents are recent or the result cache's circuit
+breaker is open.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -106,15 +119,29 @@ class ServiceQueue:
         executor: Callable[[dict], dict] = execute_job,
         telemetry_enabled: bool = True,
         retry_after_s: float = 1.0,
+        job_timeout_s: float | None = None,
+        job_max_attempts: int = 1,
+        watchdog_interval_s: float = 0.25,
+        degraded_window_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         if capacity < 1:
             raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ServiceError(f"job_timeout_s must be > 0, got {job_timeout_s}")
+        if job_max_attempts < 1:
+            raise ServiceError(f"job_max_attempts must be >= 1, got {job_max_attempts}")
         self.store = JobStore()
         self.cache = cache
         self.capacity = capacity
         self.retry_after_s = retry_after_s
+        self.job_timeout_s = job_timeout_s
+        self.job_max_attempts = job_max_attempts
+        self.watchdog_interval_s = watchdog_interval_s
+        self.degraded_window_s = degraded_window_s
+        self.clock = clock
         self._executor = executor
         self._n_workers = workers
         self._q: _stdqueue.Queue = _stdqueue.Queue(maxsize=capacity)
@@ -122,6 +149,16 @@ class ServiceQueue:
         self._coalescer = Coalescer()
         self._threads: list[threading.Thread] = []
         self._draining = False
+        self._stopping = False
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
+        #: job.id -> (job, worker thread, attempt generation, deadline).
+        self._inflight: dict[str, tuple[Job, threading.Thread, int, float | None]] = {}
+        #: (job.id, generation) pairs whose eventual result must be discarded.
+        self._abandoned: set[tuple[str, int]] = set()
+        #: Monotonic timestamps of recent watchdog incidents (degraded signal).
+        self._incidents: list[float] = []
+        self._worker_serial = 0
         #: Service lifecycle counters — always live, whatever the
         #: telemetry setting, because ``/metrics`` and the CI smoke test
         #: scrape them unconditionally.
@@ -131,15 +168,29 @@ class ServiceQueue:
 
     # -- lifecycle --------------------------------------------------------------
 
+    def _spawn_worker_locked(self) -> threading.Thread:
+        self._worker_serial += 1
+        t = threading.Thread(
+            target=self._work,
+            name=f"drbw-service-worker-{self._worker_serial}",
+            daemon=True,
+        )
+        t.start()
+        self._threads.append(t)
+        return t
+
     def start(self) -> ServiceQueue:
         if self._threads:
             raise ServiceError("service queue already started")
-        for i in range(self._n_workers):
-            t = threading.Thread(
-                target=self._work, name=f"drbw-service-worker-{i}", daemon=True
+        with self._lock:
+            for _ in range(self._n_workers):
+                self._spawn_worker_locked()
+        if self.job_timeout_s is not None:
+            self._watchdog_stop.clear()
+            self._watchdog = threading.Thread(
+                target=self._watch, name="drbw-service-watchdog", daemon=True
             )
-            t.start()
-            self._threads.append(t)
+            self._watchdog.start()
         return self
 
     @property
@@ -156,6 +207,8 @@ class ServiceQueue:
 
         The graceful-shutdown path: after this returns, every accepted
         job has reached a terminal state and the worker threads are gone.
+        (Abandoned deliveries were already accounted by the watchdog, so
+        a hung job cannot wedge the drain.)
         """
         with self._lock:
             self._draining = True
@@ -164,13 +217,127 @@ class ServiceQueue:
 
     def stop(self) -> None:
         """Stop worker threads (does not wait for queued work — see drain)."""
-        if not self._threads:
+        # Halt the watchdog first so it cannot respawn workers mid-stop.
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=10.0)
+            self._watchdog = None
+        with self._lock:
+            self._stopping = True
+            threads = list(self._threads)
+        if not threads:
             return
-        for _ in self._threads:
+        for _ in threads:
             self._q.put(_STOP)
-        for t in self._threads:
+        for t in threads:
             t.join(timeout=30.0)
-        self._threads = []
+        with self._lock:
+            self._threads = []
+
+    # -- watchdog ---------------------------------------------------------------
+
+    def _watch(self) -> None:
+        while not self._watchdog_stop.wait(self.watchdog_interval_s):
+            try:
+                self._watchdog_pass()
+            except Exception:  # noqa: BLE001 - the watchdog must outlive bugs
+                logger.exception("service watchdog pass failed")
+
+    def _watchdog_pass(self) -> None:
+        now = self.clock()
+        with self._lock:
+            if self._stopping:
+                return
+            self._incidents = [
+                t for t in self._incidents if now - t <= self.degraded_window_s
+            ]
+            expired = [
+                entry for entry in self._inflight.values()
+                if entry[3] is not None and now >= entry[3]
+            ]
+            for job, thread, gen, _deadline in expired:
+                self._abandon_locked(job, thread, gen)
+            # Belt and braces: a worker thread that died outright (a bug
+            # this layer cannot rule out) gets replaced so capacity never
+            # silently decays.
+            for t in list(self._threads):
+                if not t.is_alive():
+                    self._threads.remove(t)
+                    self._spawn_worker_locked()
+                    self._incidents.append(now)
+                    self.metrics.counter("service.workers_restarted").inc()
+                    logger.warning("service worker %s died; restarted", t.name)
+
+    def _abandon_locked(self, job: Job, thread: threading.Thread, gen: int) -> None:
+        """Take a hung job away from its stuck worker (lock held).
+
+        The stuck thread keeps running its executor call — Python cannot
+        preempt it — but from here on it is a zombie: its delivery is
+        accounted, its thread retired from the pool, and its eventual
+        result (if any) discarded by generation check.
+        """
+        self._inflight.pop(job.id, None)
+        self._abandoned.add((job.id, gen))
+        # Account the delivery the stuck worker will never task_done.
+        self._q.task_done()
+        self._incidents.append(self.clock())
+        self.metrics.counter("service.jobs_timed_out").inc()
+        # Retire the wedged thread and restore capacity.
+        if thread in self._threads:
+            self._threads.remove(thread)
+            self._spawn_worker_locked()
+            self.metrics.counter("service.workers_restarted").inc()
+        timeout = self.job_timeout_s
+        if (
+            job.attempts < self.job_max_attempts
+            and not self._draining
+            and not self._stopping
+        ):
+            try:
+                self._q.put_nowait(job)
+            except _stdqueue.Full:
+                pass  # no room to retry: fall through to failure
+            else:
+                job.state = "queued"
+                self.metrics.counter("service.jobs_requeued").inc()
+                logger.warning(
+                    "job %s exceeded its %ss deadline; requeued (attempt %d/%d)",
+                    job.id, timeout, job.attempts, self.job_max_attempts,
+                )
+                return
+        followers = self._coalescer.complete(job.key)
+        now = time.monotonic()
+        error = (
+            f"DeadlineExceededError: job exceeded its {timeout}s deadline "
+            f"after {job.attempts} attempt(s)"
+        )
+        for j in (job, *followers):
+            j.finished_s = now
+            j.state = "failed"
+            j.error = error
+        self.metrics.counter("service.jobs_failed").inc(1 + len(followers))
+        logger.warning("job %s failed by watchdog: %s", job.id, error)
+
+    def health(self) -> dict:
+        """Readiness detail for ``/readyz``: ``ready`` or ``degraded``.
+
+        Degraded means "serving, but something recently went wrong":
+        the cache circuit is open, or watchdog incidents (timeouts,
+        worker restarts) happened within ``degraded_window_s``.  Distinct
+        from *unready* (draining/stopped), which fails the probe.
+        """
+        reasons: list[str] = []
+        if self.cache is not None and getattr(self.cache, "degraded", False):
+            reasons.append("cache circuit open")
+        now = self.clock()
+        with self._lock:
+            recent = [t for t in self._incidents if now - t <= self.degraded_window_s]
+        if recent:
+            reasons.append(
+                f"{len(recent)} watchdog incident(s) in the last "
+                f"{self.degraded_window_s:g}s"
+            )
+        return {"state": "degraded" if reasons else "ready", "reasons": reasons}
 
     # -- submission -------------------------------------------------------------
 
@@ -225,20 +392,41 @@ class ServiceQueue:
     # -- execution --------------------------------------------------------------
 
     def _work(self) -> None:
+        me = threading.current_thread()
         while True:
             item = self._q.get()
             if item is _STOP:
                 self._q.task_done()
                 return
+            abandoned = False
             try:
-                self._run_one(item)
+                abandoned = self._run_one(item)
             finally:
-                self._q.task_done()
+                if not abandoned:
+                    self._q.task_done()
+                # An abandoned delivery was task_done'd by the watchdog
+                # when it retired this thread; doing it again here would
+                # corrupt the queue's unfinished-task accounting.
+            with self._lock:
+                retired = me not in self._threads
+            if retired:
+                # The watchdog replaced this thread while it was stuck;
+                # its successor owns the queue now.
+                return
 
-    def _run_one(self, job: Job) -> None:
+    def _run_one(self, job: Job) -> bool:
+        """Execute one job; returns True when the watchdog abandoned it."""
+        me = threading.current_thread()
         with self._lock:
             job.state = "running"
             job.started_s = time.monotonic()
+            job.attempts += 1
+            gen = job.attempts
+            deadline = (
+                None if self.job_timeout_s is None
+                else self.clock() + self.job_timeout_s
+            )
+            self._inflight[job.id] = (job, me, gen, deadline)
             self.metrics.gauge("service.queue_depth").set(self._q.qsize())
 
         tel = telemetry.Telemetry(enabled=self.telemetry.enabled)
@@ -257,6 +445,15 @@ class ServiceQueue:
         elapsed = time.monotonic() - t0
 
         with self._lock:
+            entry = self._inflight.get(job.id)
+            if entry is not None and entry[2] == gen:
+                del self._inflight[job.id]
+            if (job.id, gen) in self._abandoned:
+                # The watchdog already ruled on this attempt (failed or
+                # requeued it) — a late result must not overrule it.
+                self._abandoned.discard((job.id, gen))
+                self.metrics.counter("service.results_abandoned").inc()
+                return True
             followers = self._coalescer.complete(job.key)
             now = time.monotonic()
             for j in (job, *followers):
@@ -283,3 +480,4 @@ class ServiceQueue:
                 )
                 for name, c in sorted(tel.metrics.counters.items()):
                     self.telemetry.metrics.counter(name).inc(c.value)
+        return False

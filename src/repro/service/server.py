@@ -78,7 +78,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         if path == "/readyz":
             if self.service.ready:
-                self._json(200, {"ready": True, **self.service.queue.store.counts()})
+                # "degraded" (cache circuit open, recent watchdog
+                # incidents) still answers 200 — the instance serves
+                # traffic — but the state/reasons let operators and
+                # probes tell a limping instance from a healthy one.
+                health = self.service.queue.health()
+                self._json(200, {
+                    "ready": True,
+                    "state": health["state"],
+                    "reasons": health["reasons"],
+                    **self.service.queue.store.counts(),
+                })
             else:
                 self._error(503, "draining")
             return

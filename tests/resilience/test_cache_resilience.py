@@ -1,0 +1,161 @@
+"""Cache under infrastructure failure: breaker fallback, orphan sweep."""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+
+from repro.faults import FaultyResultCache, InfraFaultPlan
+from repro.parallel.cache import ResultCache
+from repro.resilience import CircuitBreaker
+
+KEY = "ab" + "0" * 62
+PAYLOAD = {"x": 1}
+
+
+class ExplodingCache(ResultCache):
+    """Every disk touch raises — a completely dead filesystem."""
+
+    def _read_entry_text(self, path):
+        raise OSError(errno.EIO, "dead disk")
+
+    def _write_entry_text(self, path, text):
+        raise OSError(errno.ENOSPC, "dead disk")
+
+
+def key_n(i: int) -> str:
+    return f"{i:02d}" + "c" * 62
+
+
+class TestBreakerFallback:
+    def test_repeated_io_errors_trip_to_memory_fallback(self, tmp_path):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=3, clock=lambda: now[0])
+        cache = ExplodingCache(tmp_path / "c", breaker=breaker)
+        # Three failed writes trip the breaker...
+        for i in range(3):
+            cache.put(key_n(i), PAYLOAD)
+        assert breaker.state == "open"
+        assert cache.degraded
+        assert cache.io_errors == 3
+        # ...but nothing was lost: every payload landed in the overlay.
+        for i in range(3):
+            assert cache.get(key_n(i)) == PAYLOAD
+        assert cache.fallback_hits == 3
+        # New puts go straight to memory without touching the disk.
+        cache.put(key_n(9), PAYLOAD)
+        assert cache.io_errors == 3  # unchanged: breaker short-circuited
+        assert cache.get(key_n(9)) == PAYLOAD
+
+    def test_open_breaker_answers_misses_without_disk_io(self, tmp_path):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, clock=lambda: now[0])
+        cache = ExplodingCache(tmp_path / "c", breaker=breaker)
+        cache.put(KEY, PAYLOAD)  # trips on first write
+        assert breaker.state == "open"
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.io_errors == 1  # the open circuit skipped the read
+
+    def test_recovery_closes_the_circuit(self, tmp_path):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=5.0, clock=lambda: now[0]
+        )
+        # A *healthy* cache whose breaker was tripped by earlier trouble.
+        cache = ResultCache(tmp_path / "c", breaker=breaker)
+        breaker.record_failure()
+        assert cache.degraded
+        now[0] = 5.0  # half-open: one probe allowed
+        cache.put(KEY, PAYLOAD)  # the probe succeeds on the healthy disk
+        assert breaker.state == "closed"
+        assert not cache.degraded
+        assert cache.get(KEY) == PAYLOAD
+
+    def test_missing_entry_is_healthy_not_a_breaker_failure(self, tmp_path):
+        breaker = CircuitBreaker(failure_threshold=1)
+        cache = ResultCache(tmp_path / "c", breaker=breaker)
+        for i in range(20):
+            assert cache.get(key_n(i)) is None
+        assert breaker.state == "closed"
+        assert cache.io_errors == 0
+
+
+class TestFaultyCache:
+    def test_enospc_keys_live_in_the_overlay(self, tmp_path):
+        plan = InfraFaultPlan(cache_enospc_rate=0.5, seed=11)
+        cache = FaultyResultCache(tmp_path / "c", infra_plan=plan)
+        keys = [key_n(i) for i in range(12)]
+        for k in keys:
+            cache.put(k, PAYLOAD)
+        assert 0 < cache.injected["write_enospc"] < len(keys)
+        # Every payload readable regardless of which writes failed.
+        for k in keys:
+            assert cache.get(k) == PAYLOAD
+        assert cache.fallback_puts == cache.injected["write_enospc"]
+
+    def test_corrupted_writes_evict_as_misses(self, tmp_path):
+        plan = InfraFaultPlan(cache_corrupt_rate=1.0, seed=3)
+        cache = FaultyResultCache(tmp_path / "c", infra_plan=plan)
+        cache.put(KEY, PAYLOAD)
+        assert cache.injected["corrupted_writes"] == 1
+        assert cache.get(KEY) is None  # corrupt envelope: evicted miss
+        assert cache.evictions == 1
+        assert not cache.degraded  # corruption is content, not I/O
+
+    def test_decisions_are_deterministic(self, tmp_path):
+        plan = InfraFaultPlan(cache_enospc_rate=0.5, cache_corrupt_rate=0.5, seed=5)
+        a = FaultyResultCache(tmp_path / "a", infra_plan=plan)
+        b = FaultyResultCache(tmp_path / "b", infra_plan=plan)
+        for i in range(10):
+            a.put(key_n(i), PAYLOAD)
+            b.put(key_n(i), PAYLOAD)
+        assert a.injected == b.injected
+        assert [a.get(key_n(i)) for i in range(10)] == [
+            b.get(key_n(i)) for i in range(10)
+        ]
+
+
+class TestOrphanSweep:
+    def make_orphan(self, root, name: str, age_s: float) -> None:
+        d = root / "ab"
+        d.mkdir(parents=True, exist_ok=True)
+        p = d / name
+        p.write_text("{half an envel")
+        old = time.time() - age_s
+        os.utime(p, (old, old))
+
+    def test_stale_orphans_swept_on_open(self, tmp_path):
+        root = tmp_path / "c"
+        root.mkdir()
+        self.make_orphan(root, ".tmp-dead1.json", age_s=7200)
+        self.make_orphan(root, ".tmp-dead2.json", age_s=7200)
+        cache = ResultCache(root)
+        assert cache.orphans_swept == 2
+        assert not list(root.rglob(".tmp-*"))
+
+    def test_young_orphans_survive_the_sweep(self, tmp_path):
+        """A fresh temp file may belong to a live concurrent writer."""
+        root = tmp_path / "c"
+        root.mkdir()
+        self.make_orphan(root, ".tmp-live.json", age_s=1)
+        cache = ResultCache(root)
+        assert cache.orphans_swept == 0
+        assert (root / "ab" / ".tmp-live.json").exists()
+
+    def test_sweep_threshold_is_configurable(self, tmp_path):
+        root = tmp_path / "c"
+        root.mkdir()
+        self.make_orphan(root, ".tmp-x.json", age_s=30)
+        cache = ResultCache(root, orphan_max_age_s=10.0)
+        assert cache.orphans_swept == 1
+
+    def test_real_entries_are_never_swept(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(KEY, PAYLOAD)
+        entry = cache.path_for(KEY)
+        old = time.time() - 1e6
+        os.utime(entry, (old, old))
+        again = ResultCache(tmp_path / "c", orphan_max_age_s=1.0)
+        assert again.orphans_swept == 0
+        assert again.get(KEY) == PAYLOAD

@@ -1,0 +1,214 @@
+"""Campaign runner under injected infra faults: byte-identity, quarantine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.training import all_training_configs
+from repro.errors import ParallelError, ShardQuarantinedError
+from repro.faults import FaultyResultCache, InfraFaultPlan, parse_infra_plan
+from repro.parallel import (
+    CampaignRunner,
+    ResultCache,
+    profile_shard,
+    training_workload_spec,
+)
+from repro.resilience import RetryPolicy
+
+
+@pytest.fixture(scope="module")
+def specs():
+    configs = all_training_configs()[:3]
+    return [
+        profile_shard(training_workload_spec(cfg), cfg.n_threads, cfg.n_nodes)
+        for cfg in configs
+    ]
+
+
+@pytest.fixture(scope="module")
+def clean_payloads(specs):
+    """The fault-free ground truth every chaos run must reproduce."""
+    result = CampaignRunner(jobs=1, use_cache=False).run(specs)
+    return [o.canonical_payload for o in result]
+
+
+class TestSerialChaos:
+    def test_worker_kills_are_retried_to_identical_bytes(
+        self, specs, clean_payloads
+    ):
+        plan = InfraFaultPlan(worker_kill_rate=0.8, seed=4)
+        runner = CampaignRunner(
+            jobs=1, use_cache=False, infra=plan, sleep=lambda _s: None
+        )
+        result = runner.run(specs)
+        assert result.retries > 0  # the plan actually fired
+        assert [o.canonical_payload for o in result] == clean_payloads
+        assert not result.quarantined
+
+    def test_chaos_standard_preset_with_faulty_cache(
+        self, specs, clean_payloads, tmp_path
+    ):
+        plan = parse_infra_plan("chaos-standard").with_seed(2)
+        cache = FaultyResultCache(tmp_path / "c", infra_plan=plan)
+        runner = CampaignRunner(
+            jobs=1, cache=cache, infra=plan, sleep=lambda _s: None
+        )
+        result = runner.run(specs)
+        assert [o.canonical_payload for o in result] == clean_payloads
+        # A warm re-run through the same battered cache still agrees:
+        # corrupt/ENOSPC'd entries become misses and are re-executed.
+        warm = CampaignRunner(
+            jobs=1, cache=cache, infra=plan, sleep=lambda _s: None
+        ).run(specs)
+        assert [o.canonical_payload for o in warm] == clean_payloads
+
+    def test_retry_sleeps_follow_the_policy(self, specs):
+        sleeps: list[float] = []
+        plan = InfraFaultPlan(worker_kill_rate=1.0, max_faults_per_task=1, seed=0)
+        retry = RetryPolicy(max_attempts=3, base_delay_s=0.01, seed=9)
+        runner = CampaignRunner(
+            jobs=1, use_cache=False, infra=plan, retry=retry,
+            sleep=sleeps.append,
+        )
+        result = runner.run(specs[:1])
+        token = result.outcomes[0].config_hash
+        # kill fires on attempt 1 only (max_faults_per_task=1): one retry,
+        # backed off by the policy's deterministic delay for that attempt.
+        assert sleeps == [retry.delay_s(1, token)]
+
+
+class TestPoolChaos:
+    def test_pool_worker_kills_recover_to_identical_bytes(
+        self, specs, clean_payloads
+    ):
+        plan = InfraFaultPlan(worker_kill_rate=0.8, seed=4)
+        runner = CampaignRunner(
+            jobs=2, use_cache=False, infra=plan, sleep=lambda _s: None
+        )
+        result = runner.run(specs)
+        if runner._pool_failed:  # sandbox without multiprocessing
+            pytest.skip("process pool unavailable in this environment")
+        assert result.retries > 0
+        assert result.pools_respawned > 0  # a pool actually died
+        assert [o.canonical_payload for o in result] == clean_payloads
+
+    def test_kill_after_execution_also_recovers(self, specs, clean_payloads):
+        plan = InfraFaultPlan(worker_kill_rate=0.8, kill_point="after", seed=4)
+        runner = CampaignRunner(
+            jobs=2, use_cache=False, infra=plan, sleep=lambda _s: None
+        )
+        result = runner.run(specs)
+        if runner._pool_failed:
+            pytest.skip("process pool unavailable in this environment")
+        assert [o.canonical_payload for o in result] == clean_payloads
+
+    def test_pool_breaking_during_submission_recovers(
+        self, specs, clean_payloads, monkeypatch
+    ):
+        """A worker kill can land while the round is still being submitted,
+        making ``pool.submit`` itself raise ``BrokenProcessPool`` — the
+        unsubmitted remainder must ride the next pool, not crash the run."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.parallel import campaign as campaign_mod
+
+        real_pool = campaign_mod.ProcessPoolExecutor
+        state = {"submits": 0}
+
+        class FlakySubmitPool:
+            def __init__(self, *args, **kwargs) -> None:
+                self._inner = real_pool(*args, **kwargs)
+
+            def submit(self, *args, **kwargs):
+                state["submits"] += 1
+                if state["submits"] == 2:  # first pool, second dispatch
+                    raise BrokenProcessPool("worker died during submission")
+                return self._inner.submit(*args, **kwargs)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        monkeypatch.setattr(campaign_mod, "ProcessPoolExecutor", FlakySubmitPool)
+        runner = CampaignRunner(jobs=2, use_cache=False, sleep=lambda _s: None)
+        result = runner.run(specs)
+        if runner._pool_failed:
+            pytest.skip("process pool unavailable in this environment")
+        assert result.retries >= 2  # the broken-submit task + its siblings
+        assert [o.canonical_payload for o in result] == clean_payloads
+
+
+class TestExhaustion:
+    def forever_killing_runner(self, **kw):
+        # kill fires on every attempt the retry budget allows: the shard
+        # can never complete.
+        plan = InfraFaultPlan(worker_kill_rate=1.0, max_faults_per_task=5, seed=0)
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        return CampaignRunner(
+            jobs=1, use_cache=False, infra=plan, retry=retry,
+            sleep=lambda _s: None, **kw,
+        )
+
+    def test_strict_mode_raises_shard_quarantined(self, specs):
+        with pytest.raises(ShardQuarantinedError, match="2 attempt"):
+            self.forever_killing_runner().run(specs[:1])
+
+    def test_quarantine_mode_ledgers_and_continues(self, specs):
+        runner = self.forever_killing_runner(on_exhausted="quarantine")
+        result = runner.run(specs)
+        assert len(result) == len(specs)
+        assert len(result.quarantined) == len(specs)
+        for failure, outcome in zip(result.quarantined, result):
+            assert failure.attempts == 2
+            assert "WorkerLostError" in failure.error
+            assert outcome.quarantined
+            assert outcome.payload["quarantined"]["attempts"] == 2
+
+    def test_deterministic_errors_are_never_retried(self):
+        sleeps: list[float] = []
+        runner = CampaignRunner(jobs=1, use_cache=False, sleep=sleeps.append)
+        with pytest.raises(ParallelError):
+            runner.run([{"kind": "no-such-shard-kind"}])
+        assert sleeps == []  # no backoff: the error propagated immediately
+
+    def test_invalid_on_exhausted_rejected(self):
+        with pytest.raises(ParallelError):
+            CampaignRunner(jobs=1, on_exhausted="ignore")
+
+
+class TestInfraPlanParsing:
+    def test_presets_round_trip(self):
+        assert parse_infra_plan("none").is_zero
+        std = parse_infra_plan("chaos-standard")
+        assert std.worker_kill_rate > 0 and not std.is_zero
+
+    def test_spec_string_overrides(self):
+        plan = parse_infra_plan("kill=0.5,kill-point=after,enospc=0.25,seed=7")
+        assert plan.worker_kill_rate == 0.5
+        assert plan.kill_point == "after"
+        assert plan.cache_enospc_rate == 0.25
+        assert plan.seed == 7
+
+    def test_preset_plus_overrides(self):
+        plan = parse_infra_plan("chaos-standard,seed=42,kill=0.1")
+        assert plan.seed == 42
+        assert plan.worker_kill_rate == 0.1
+
+    def test_bad_specs_rejected(self):
+        from repro.errors import FaultError
+
+        with pytest.raises(FaultError):
+            parse_infra_plan("kill=2.0")
+        with pytest.raises(FaultError):
+            parse_infra_plan("no-such-knob=1")
+        with pytest.raises(FaultError):
+            parse_infra_plan("kill-point=sideways")
+
+    def test_decisions_are_stateless_and_order_free(self):
+        plan = InfraFaultPlan(worker_kill_rate=0.5, seed=3)
+        forward = [plan.decide("worker_kill_rate", t) for t in "abcdef"]
+        backward = [plan.decide("worker_kill_rate", t) for t in "fedcba"]
+        assert forward == list(reversed(backward))
+        reseeded = [
+            plan.with_seed(4).decide("worker_kill_rate", t) for t in "abcdef"
+        ]
+        assert reseeded != forward  # the seed reaches every decision

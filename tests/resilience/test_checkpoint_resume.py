@@ -1,0 +1,178 @@
+"""Campaign journaling: write-ahead checkpoints, resume, torn tails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.training import all_training_configs
+from repro.errors import ParallelError
+from repro.parallel import (
+    CampaignJournal,
+    CampaignRunner,
+    ResultCache,
+    profile_shard,
+    training_workload_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    configs = all_training_configs()[:3]
+    return [
+        profile_shard(training_workload_spec(cfg), cfg.n_threads, cfg.n_nodes)
+        for cfg in configs
+    ]
+
+
+@pytest.fixture(scope="module")
+def clean_payloads(specs):
+    result = CampaignRunner(jobs=1, use_cache=False).run(specs)
+    return [o.canonical_payload for o in result]
+
+
+class TestJournalWrites:
+    def test_every_shard_is_checkpointed(self, specs, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        CampaignRunner(jobs=1, use_cache=False, journal_path=journal).run(specs)
+        lines = journal.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == "drbw-campaign-journal"
+        assert header["campaign_seed"] == 0
+        assert len(lines) == 1 + len(specs)
+        seqs = [json.loads(ln)["seq"] for ln in lines[1:]]
+        assert sorted(seqs) == list(range(len(specs)))
+
+    def test_cache_hits_are_journaled_too(self, specs, tmp_path):
+        """A journal must end complete even when shards came from cache —
+        otherwise ``--out`` from a warm run would be missing shards."""
+        cache = ResultCache(tmp_path / "c")
+        CampaignRunner(jobs=1, cache=cache).run(specs)  # warm the cache
+        journal = tmp_path / "j.jsonl"
+        result = CampaignRunner(
+            jobs=1, cache=cache, journal_path=journal
+        ).run(specs)
+        assert result.cache_hits == len(specs)
+        with CampaignJournal(journal, 0, resume=True) as jrn:
+            assert len(jrn) == len(specs)
+
+
+class TestResume:
+    def test_full_resume_executes_nothing(self, specs, clean_payloads, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        CampaignRunner(jobs=1, use_cache=False, journal_path=journal).run(specs)
+        resumed = CampaignRunner(
+            jobs=1, use_cache=False, journal_path=journal, resume=True
+        ).run(specs)
+        assert resumed.journal_hits == len(specs)
+        assert resumed.cache_misses == 0  # nothing re-executed
+        assert resumed.cache_hits == 0  # journal outranks cache
+        assert all(o.resumed for o in resumed)
+        assert [o.canonical_payload for o in resumed] == clean_payloads
+
+    def test_partial_resume_runs_only_the_remainder(
+        self, specs, clean_payloads, tmp_path
+    ):
+        journal = tmp_path / "j.jsonl"
+        # The "interrupted" run completed the first two shards only.
+        CampaignRunner(jobs=1, use_cache=False, journal_path=journal).run(
+            specs[:2]
+        )
+        resumed = CampaignRunner(
+            jobs=1, use_cache=False, journal_path=journal, resume=True
+        ).run(specs)
+        assert resumed.journal_hits == 2
+        assert resumed.cache_misses == 1  # exactly the missing shard ran
+        assert [o.canonical_payload for o in resumed] == clean_payloads
+        # The journal now holds the full campaign for --out rendering.
+        with CampaignJournal(journal, 0, resume=True) as jrn:
+            assert len(jrn) == len(specs)
+
+    def test_torn_final_line_is_discarded(self, specs, clean_payloads, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        CampaignRunner(jobs=1, use_cache=False, journal_path=journal).run(specs)
+        # A crash mid-write leaves a torn last record.
+        with journal.open("a") as fh:
+            fh.write('{"seq": 99, "key": "deadbeef", "payl')
+        resumed = CampaignRunner(
+            jobs=1, use_cache=False, journal_path=journal, resume=True
+        ).run(specs)
+        assert resumed.journal_hits == len(specs)
+        assert [o.canonical_payload for o in resumed] == clean_payloads
+
+    def test_mid_file_corruption_is_an_error(self, specs, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        CampaignRunner(jobs=1, use_cache=False, journal_path=journal).run(specs)
+        lines = journal.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # torn *interior* record
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ParallelError, match="corrupt"):
+            CampaignRunner(
+                jobs=1, use_cache=False, journal_path=journal, resume=True
+            ).run(specs)
+
+    def test_seed_mismatch_is_an_error(self, specs, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        CampaignRunner(
+            jobs=1, use_cache=False, journal_path=journal, campaign_seed=1
+        ).run(specs)
+        with pytest.raises(ParallelError, match="seed"):
+            CampaignRunner(
+                jobs=1, use_cache=False, journal_path=journal,
+                resume=True, campaign_seed=2,
+            ).run(specs)
+
+    def test_resume_against_missing_journal_starts_fresh(
+        self, specs, clean_payloads, tmp_path
+    ):
+        journal = tmp_path / "never-written.jsonl"
+        result = CampaignRunner(
+            jobs=1, use_cache=False, journal_path=journal, resume=True
+        ).run(specs)
+        assert result.journal_hits == 0
+        assert [o.canonical_payload for o in result] == clean_payloads
+        assert journal.exists()  # and the fresh run checkpointed itself
+
+
+class TestMergedOutput:
+    def test_merged_lines_are_in_seq_order_and_canonical(self, specs, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        result = CampaignRunner(
+            jobs=1, use_cache=False, journal_path=journal
+        ).run(specs)
+        with CampaignJournal(journal, 0, resume=True) as jrn:
+            lines = jrn.merged_payload_lines()
+        assert lines == [o.canonical_payload for o in result]
+
+    def test_resumed_run_renders_identical_output(self, specs, tmp_path):
+        j1 = tmp_path / "one-shot.jsonl"
+        CampaignRunner(jobs=1, use_cache=False, journal_path=j1).run(specs)
+        j2 = tmp_path / "interrupted.jsonl"
+        CampaignRunner(jobs=1, use_cache=False, journal_path=j2).run(specs[:1])
+        CampaignRunner(
+            jobs=1, use_cache=False, journal_path=j2, resume=True
+        ).run(specs)
+        with CampaignJournal(j1, 0, resume=True) as a, CampaignJournal(
+            j2, 0, resume=True
+        ) as b:
+            assert a.merged_payload_lines() == b.merged_payload_lines()
+
+    def test_record_is_idempotent_per_key(self, tmp_path):
+        with CampaignJournal(tmp_path / "j.jsonl", 0) as jrn:
+            jrn.record(0, "k1", "d1", {"a": 1})
+            jrn.record(0, "k1", "d1", {"a": 1})
+            assert len(jrn) == 1
+
+    def test_payload_text_fast_path_writes_identical_bytes(self, tmp_path):
+        from repro.parallel.seeding import canonical_json
+
+        payload = {"b": [1.5, "x", None], "a": {"z": True, "y": -0.25}}
+        with CampaignJournal(tmp_path / "slow.jsonl", 0) as jrn:
+            jrn.record(3, "k", "d", payload)
+        with CampaignJournal(tmp_path / "fast.jsonl", 0) as jrn:
+            jrn.record(3, "k", "d", payload, payload_text=canonical_json(payload))
+        assert (
+            (tmp_path / "fast.jsonl").read_bytes()
+            == (tmp_path / "slow.jsonl").read_bytes()
+        )

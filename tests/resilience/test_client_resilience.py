@@ -1,0 +1,85 @@
+"""ServiceClient: capped-exponential polling, transient-GET retry policy."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ServiceClient
+
+
+class PollClient(ServiceClient):
+    """Serves a scripted sequence of job states without a network."""
+
+    def __init__(self, states: list[str]) -> None:
+        self.sleeps: list[float] = []
+        super().__init__("http://test.invalid", sleep=self.sleeps.append)
+        self._states = list(states)
+
+    def status(self, job_id: str) -> dict:
+        state = self._states.pop(0) if len(self._states) > 1 else self._states[0]
+        return {"id": job_id, "state": state}
+
+    def result(self, job_id: str) -> dict:
+        return {"done": job_id}
+
+
+class FlakyTransport(ServiceClient):
+    """Raises transient transport errors for the first ``flaky`` requests."""
+
+    def __init__(self, flaky: int) -> None:
+        super().__init__("http://test.invalid")
+        self.flaky = flaky
+        self.requests = 0
+
+    def _request_once(self, path, data):
+        self.requests += 1
+        if self.requests <= self.flaky:
+            raise ConnectionResetError("peer reset")
+        return 200, {}, json.dumps({"id": "job-000001", "state": "queued"}).encode()
+
+
+class TestPollBackoff:
+    def test_poll_interval_doubles_up_to_the_cap(self):
+        client = PollClient(["queued"] * 8 + ["done"])
+        client.wait("job-1", timeout=600.0, poll_s=0.05, poll_max_s=0.4)
+        assert client.sleeps == [0.05, 0.1, 0.2, 0.4, 0.4, 0.4, 0.4, 0.4]
+
+    def test_fast_jobs_never_sleep(self):
+        client = PollClient(["done"])
+        assert client.wait("job-1") == {"done": "job-1"}
+        assert client.sleeps == []
+
+    def test_failed_job_raises_without_polling_on(self):
+        client = PollClient(["queued", "failed"])
+        with pytest.raises(ServiceError, match="failed"):
+            client.wait("job-1")
+        assert len(client.sleeps) == 1  # one poll cycle, then the verdict
+
+    def test_custom_poll_floor_is_respected(self):
+        client = PollClient(["queued", "queued", "done"])
+        client.wait("job-1", poll_s=0.2, poll_max_s=1.0)
+        assert client.sleeps == [0.2, 0.4]
+
+
+class TestTransientRetry:
+    def test_get_is_retried_once_after_a_reset(self):
+        client = FlakyTransport(flaky=1)
+        status = client.status("job-000001")
+        assert status["state"] == "queued"
+        assert client.requests == 2
+
+    def test_get_gives_up_after_the_second_reset(self):
+        client = FlakyTransport(flaky=2)
+        with pytest.raises(ServiceError, match="reset repeatedly"):
+            client.status("job-000001")
+        assert client.requests == 2  # exactly one retry, never more
+
+    def test_post_is_never_retried(self):
+        """A replayed POST would double-submit; the reset surfaces instead."""
+        client = FlakyTransport(flaky=10)
+        with pytest.raises(ServiceError):
+            client.submit({"kind": "detect", "benchmark": "NW"})
+        assert client.requests == 1

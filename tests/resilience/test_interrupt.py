@@ -1,0 +1,160 @@
+"""SIGINT mid-campaign: no orphan workers, clean cache, replayable journal."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import uuid
+from pathlib import Path
+
+import pytest
+
+from repro.core.training import all_training_configs
+from repro.faults import InfraFaultPlan
+from repro.parallel import (
+    CampaignJournal,
+    CampaignRunner,
+    profile_shard,
+    training_workload_spec,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Campaign script run as a subprocess so a real SIGINT can hit it.  The
+#: hang plan wedges some shards for minutes; the quick ones checkpoint.
+SCRIPT = """\
+import sys
+
+from repro.core.training import all_training_configs
+from repro.faults import InfraFaultPlan
+from repro.parallel import (
+    CampaignRunner, ResultCache, profile_shard, training_workload_spec,
+)
+
+_token, cache_dir, journal, seed = sys.argv[1:5]
+configs = all_training_configs()[:3]
+specs = [
+    profile_shard(training_workload_spec(c), c.n_threads, c.n_nodes)
+    for c in configs
+]
+plan = InfraFaultPlan(shard_hang_rate=0.5, shard_hang_s=300.0, seed=int(seed))
+runner = CampaignRunner(
+    jobs=2, cache=ResultCache(cache_dir), journal_path=journal, infra=plan,
+)
+try:
+    runner.run(specs)
+except KeyboardInterrupt:
+    sys.exit(130)
+"""
+
+
+def build_specs():
+    configs = all_training_configs()[:3]
+    return [
+        profile_shard(training_workload_spec(cfg), cfg.n_threads, cfg.n_nodes)
+        for cfg in configs
+    ]
+
+
+def pick_hang_seed(digests: list[str]) -> int:
+    """A plan seed where the *first* shard runs clean (so at least one
+    checkpoint lands before the interrupt) and a later shard hangs."""
+    for seed in range(200):
+        plan = InfraFaultPlan(shard_hang_rate=0.5, shard_hang_s=300.0, seed=seed)
+        hangs = [plan.hang_decision(d, 1) for d in digests]
+        if not hangs[0] and any(hangs[1:]):
+            return seed
+    raise AssertionError("no suitable hang seed in range")  # pragma: no cover
+
+
+def procs_with_token(token: str) -> list[int]:
+    """PIDs whose cmdline mentions the campaign's unique token —
+    forked pool workers inherit the parent's argv, so this finds both."""
+    found = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            cmdline = Path(f"/proc/{entry}/cmdline").read_bytes()
+        except OSError:
+            continue
+        if token.encode() in cmdline:
+            found.append(int(entry))
+    return found
+
+
+def journal_entries(path: Path) -> int:
+    if not path.exists():
+        return 0
+    return max(0, len(path.read_text().splitlines()) - 1)  # minus header
+
+
+def test_sigint_leaves_a_resumable_campaign(tmp_path):
+    # The token must be unique per invocation (pytest recycles tmp dir
+    # names), or the /proc scan would count strays from earlier runs.
+    token = f"drbw-interrupt-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    cache_dir = tmp_path / "cache"
+    journal = tmp_path / f"{token}.jsonl"
+    specs = build_specs()
+    runner = CampaignRunner(jobs=1, use_cache=False)
+    digests = [runner.shard_identity(s)[0] for s in specs]
+    seed = pick_hang_seed(digests)
+
+    script = tmp_path / "campaign_script.py"
+    script.write_text(SCRIPT)
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.Popen(
+        [sys.executable, str(script), token, str(cache_dir), str(journal),
+         str(seed)],
+        env=env, cwd=tmp_path,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    try:
+        # Wait for at least one checkpoint, then interrupt while the
+        # hanging shard still has a worker wedged on it.
+        deadline = time.monotonic() + 120.0
+        while journal_entries(journal) < 1:
+            if proc.poll() is not None:
+                out, err = proc.communicate()
+                raise AssertionError(
+                    f"campaign exited early: {err.decode(errors='replace')}"
+                )
+            if time.monotonic() > deadline:
+                raise AssertionError("no checkpoint appeared before timeout")
+            time.sleep(0.1)
+        checkpointed = journal_entries(journal)
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=60.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+    assert proc.returncode == 130
+
+    # No orphan workers: everything spawned for this campaign is gone.
+    deadline = time.monotonic() + 10.0
+    while procs_with_token(token) and time.monotonic() < deadline:
+        time.sleep(0.2)
+    assert procs_with_token(token) == []
+
+    # No partial cache entries: the tmp+rename protocol never exposes
+    # half-written files, interrupt or not.
+    assert list(cache_dir.rglob(".tmp-*")) == []
+
+    # The journal replays: completed shards come back verbatim, and a
+    # fault-free resume finishes the campaign to the clean-run bytes.
+    with CampaignJournal(journal, 0, resume=True) as jrn:
+        assert len(jrn) == checkpointed
+    clean = CampaignRunner(jobs=1, use_cache=False).run(specs)
+    resumed = CampaignRunner(
+        jobs=1, use_cache=False, journal_path=journal, resume=True
+    ).run(specs)
+    assert resumed.journal_hits >= checkpointed
+    assert resumed.journal_hits < len(specs)  # the hung shard was not fabricated
+    assert [o.canonical_payload for o in resumed] == [
+        o.canonical_payload for o in clean
+    ]

@@ -1,0 +1,155 @@
+"""RetryPolicy, Deadline, CircuitBreaker: determinism, bounds, states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, DeadlineExceededError
+from repro.resilience import CircuitBreaker, Deadline, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_across_instances(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        for attempt in (1, 2, 3):
+            assert a.delay_s(attempt, "tok") == b.delay_s(attempt, "tok")
+
+    def test_delays_vary_by_seed_token_and_attempt(self):
+        p = RetryPolicy(seed=1)
+        assert p.delay_s(1, "a") != RetryPolicy(seed=2).delay_s(1, "a")
+        assert p.delay_s(1, "a") != p.delay_s(1, "b")
+        assert p.delay_s(1, "a") != p.delay_s(2, "a")
+
+    def test_backoff_grows_and_caps(self):
+        p = RetryPolicy(
+            base_delay_s=0.1, max_delay_s=0.5, backoff=2.0, jitter=0.0
+        )
+        assert p.delay_s(1) == pytest.approx(0.1)
+        assert p.delay_s(2) == pytest.approx(0.2)
+        assert p.delay_s(3) == pytest.approx(0.4)
+        assert p.delay_s(4) == pytest.approx(0.5)  # capped
+        assert p.delay_s(10) == pytest.approx(0.5)
+
+    def test_jitter_stays_within_band(self):
+        p = RetryPolicy(base_delay_s=1.0, max_delay_s=1.0, jitter=0.25)
+        for attempt in range(1, 20):
+            d = p.delay_s(attempt, "x")
+            assert 0.75 <= d <= 1.25
+
+    def test_call_retries_then_succeeds(self):
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        p = RetryPolicy(max_attempts=3, base_delay_s=0.01)
+        assert p.call(flaky, token="t", sleep=sleeps.append) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [p.delay_s(1, "t"), p.delay_s(2, "t")]
+
+    def test_call_reraises_after_budget(self):
+        p = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        with pytest.raises(OSError):
+            p.call(lambda: (_ for _ in ()).throw(OSError("nope")),
+                   sleep=lambda _s: None)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline(None, clock=lambda: 1e12)
+        assert not d.expired
+        assert d.remaining() is None
+        d.check()  # no raise
+
+    def test_expiry_on_fake_clock(self):
+        now = [0.0]
+        d = Deadline(5.0, clock=lambda: now[0])
+        assert not d.expired
+        assert d.remaining() == pytest.approx(5.0)
+        now[0] = 4.9
+        d.check("shard")
+        now[0] = 5.0
+        assert d.expired
+        assert d.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError, match="shard"):
+            d.check("shard")
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            Deadline(0.0)
+        with pytest.raises(ConfigError):
+            Deadline(-1.0)
+
+
+class TestCircuitBreaker:
+    def make(self, now):
+        return CircuitBreaker(
+            failure_threshold=3, reset_after_s=10.0, clock=lambda: now[0]
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        now = [0.0]
+        b = self.make(now)
+        assert b.state == "closed"
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed" and b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+        assert b.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        now = [0.0]
+        b = self.make(now)
+        for _ in range(10):
+            b.record_failure()
+            b.record_failure()
+            b.record_success()
+        assert b.state == "closed"
+
+    def test_half_open_probe_then_close(self):
+        now = [0.0]
+        b = self.make(now)
+        for _ in range(3):
+            b.record_failure()
+        assert not b.allow()
+        now[0] = 10.0
+        assert b.state == "half-open"
+        assert b.allow()          # the probe
+        assert not b.allow()      # only one probe per window
+        b.record_success()
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        now = [0.0]
+        b = self.make(now)
+        for _ in range(3):
+            b.record_failure()
+        now[0] = 10.0
+        assert b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(reset_after_s=0.0)

@@ -34,6 +34,10 @@ def results_dir(tmp_path):
         "speedup_jobs2": 1.6, "speedup_jobs4": 2.4,
         "warm_cache_seconds": 0.01, "identical": True, "usable_cpus": 4,
     })
+    write_result(d, "resilience_overhead", {
+        "overhead_fraction": 0.0003, "armed_cost_per_shard_seconds": 6.2e-6,
+        "chaos_identical": True, "chaos_retries": 24,
+    })
     return d
 
 
@@ -86,6 +90,10 @@ def test_build_trajectory_and_validate(results_dir):
         "speedup_jobs2": 1.6, "speedup_jobs4": 2.4,
         "warm_cache_seconds": 0.01, "identical": True, "usable_cpus": 4,
     }
+    assert doc["resilience"] == {
+        "overhead_fraction": 0.0003, "armed_cost_per_shard_us": 6.2,
+        "chaos_identical": True, "chaos_retries": 24,
+    }
     # With no explicit wall time the overhead pass's own measurement wins.
     assert bench_all.build_trajectory(results_dir)["wall_time_s"] == 12.5
 
@@ -116,6 +124,14 @@ def test_validate_rejects_broken_documents(results_dir):
     assert any("identical" in e for e in bench_all.validate_trajectory(bad))
     bad["parallel"] = 7
     assert any("parallel" in e for e in bench_all.validate_trajectory(bad))
+    # Same deal for the resilience section (pre-PR6 points lack it).
+    old_point = {k: v for k, v in doc.items() if k != "resilience"}
+    assert bench_all.validate_trajectory(old_point) == []
+    bad = json.loads(json.dumps(doc))
+    bad["resilience"]["chaos_identical"] = 1
+    assert any("chaos_identical" in e for e in bench_all.validate_trajectory(bad))
+    bad["resilience"] = []
+    assert any("resilience" in e for e in bench_all.validate_trajectory(bad))
 
 
 def test_regression_gate(results_dir, tmp_path, capsys):
@@ -141,7 +157,7 @@ def test_regression_gate(results_dir, tmp_path, capsys):
     assert bench_all.check_regression(current, prev_path) == 1
 
 
-@pytest.mark.parametrize("pr", [3, 4])
+@pytest.mark.parametrize("pr", [3, 4, 6])
 def test_committed_trajectory_point_is_valid(pr):
     path = pathlib.Path(__file__).parent.parent / f"BENCH_PR{pr}.json"
     doc = json.loads(path.read_text())
@@ -150,3 +166,6 @@ def test_committed_trajectory_point_is_valid(pr):
     assert doc["monitor"]["overhead_fraction"] < 0.05
     if pr >= 4:
         assert doc["parallel"]["identical"] is True
+    if pr >= 6:
+        assert doc["resilience"]["chaos_identical"] is True
+        assert doc["resilience"]["overhead_fraction"] < 0.02
