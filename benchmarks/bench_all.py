@@ -5,13 +5,13 @@ The repo tracks its own performance across PRs as a sequence of
 trajectory files in the repo root (``BENCH_PR3.json``, ``BENCH_PR4.json``,
 ...), each summarizing one PR's benchmark pass: wall time, profiler
 throughput, classifier accuracy, monitor overhead/agreement, parallel
-scaling, and resilience overhead/chaos-identity.  CI
-regenerates the current point and fails when throughput regresses more
-than 10% against the previous committed point.
+scaling, resilience overhead/chaos-identity, and fleet ingest/overhead.
+CI regenerates the current point and fails when throughput regresses
+more than 10% against the previous committed point.
 
 Usage::
 
-    python benchmarks/bench_all.py                  # run core benches, write BENCH_PR6.json
+    python benchmarks/bench_all.py                  # run core benches, write BENCH_PR7.json
     python benchmarks/bench_all.py --full           # run the entire bench suite first
     python benchmarks/bench_all.py --no-run         # aggregate existing results only
     python benchmarks/bench_all.py --check PREV     # gate against a previous point
@@ -37,7 +37,7 @@ RESULTS_DIR = BENCH_DIR / "results"
 
 TRAJECTORY_SCHEMA = "drbw-bench-trajectory"
 TRAJECTORY_SCHEMA_VERSION = 1
-PR_NUMBER = 6
+PR_NUMBER = 7
 
 #: The benches whose JSON results feed the trajectory point.
 CORE_BENCHES = (
@@ -45,6 +45,7 @@ CORE_BENCHES = (
     "bench_monitor.py",
     "bench_parallel.py",
     "bench_resilience.py",
+    "bench_fleet.py",
 )
 
 #: Maximum tolerated samples/sec drop against the previous point.
@@ -76,6 +77,8 @@ def build_trajectory(
     confusion = load_result(results_dir, "table3_confusion")
     scaling = load_result(results_dir, "parallel_scaling")
     resilience = load_result(results_dir, "resilience_overhead")
+    fleet_ingest = load_result(results_dir, "fleet_ingest")
+    fleet_overhead = load_result(results_dir, "fleet_overhead")
     missing = [
         name
         for name, payload in (
@@ -84,6 +87,8 @@ def build_trajectory(
             ("table3_confusion", confusion),
             ("parallel_scaling", scaling),
             ("resilience_overhead", resilience),
+            ("fleet_ingest", fleet_ingest),
+            ("fleet_overhead", fleet_overhead),
         )
         if payload is None
     ]
@@ -126,6 +131,16 @@ def build_trajectory(
             ),
             "chaos_identical": bool(resilience["chaos_identical"]),
             "chaos_retries": int(resilience["chaos_retries"]),
+        },
+        "fleet": {
+            "ingest_windows_per_sec": round(
+                float(fleet_ingest["ingest_windows_per_sec"]), 1
+            ),
+            "order_independent": bool(fleet_ingest["order_independent"]),
+            "per_machine_overhead_fraction": round(
+                float(fleet_overhead["per_machine_overhead_fraction"]), 5
+            ),
+            "machines": int(fleet_overhead["machines"]),
         },
         "results": sorted(p.stem for p in results_dir.glob("*.json")),
     }
@@ -191,6 +206,22 @@ def validate_trajectory(doc: object) -> list[str]:
                 errors.append(
                     f"resilience.chaos_identical must be a boolean, "
                     f"got {resilience.get('chaos_identical')!r}"
+                )
+    # The fleet section only exists from PR 7 on; when present it must
+    # carry the ingest rate, the overhead number, and the determinism bit.
+    fleet = doc.get("fleet")
+    if fleet is not None:
+        if not isinstance(fleet, dict):
+            errors.append(f"fleet must be an object, got {fleet!r}")
+        else:
+            for key in ("ingest_windows_per_sec", "per_machine_overhead_fraction"):
+                val = fleet.get(key)
+                if not isinstance(val, (int, float)) or isinstance(val, bool):
+                    errors.append(f"fleet.{key} must be a number, got {val!r}")
+            if not isinstance(fleet.get("order_independent"), bool):
+                errors.append(
+                    f"fleet.order_independent must be a boolean, "
+                    f"got {fleet.get('order_independent')!r}"
                 )
     return errors
 

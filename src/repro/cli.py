@@ -13,6 +13,13 @@ The workflow a release user runs without writing Python:
   engine, an optional JSONL event stream (``--events``) and an optional
   Prometheus ``/metrics`` endpoint (``--serve``); exits 2 when any
   channel was held in ``rmc`` at any point;
+* ``fleet``    — simulate N machines concurrently, each live-monitored,
+  streaming per-window wire records into one fleet aggregator:
+  per-epoch rollups, top-K contended channels, fleet-scoped alerts, a
+  cross-machine Perfetto timeline (``--timeline``), a replayable wire
+  recording (``--events``/``--replay``), and fleet-labelled Prometheus
+  metrics + push ingest over HTTP (``--serve``); exits 2 when a
+  fleet-level rmc alert fired (see ``docs/observability.md``);
 * ``campaign`` — regenerate a paper table (II, V, or VII) as a sharded
   campaign: ``--jobs N`` fans the workload × configuration grid over a
   worker pool, results are bit-identical for any N, and the on-disk
@@ -220,6 +227,82 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one line per window instead of the live "
                             "dashboard (useful for CI logs and pipes)")
     _add_common(p_mon)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="simulate a fleet of machines into one aggregator",
+    )
+    p_fleet.add_argument("--machines", type=int, default=12, metavar="N",
+                         help="simulated machines in the fleet (default: 12)")
+    p_fleet.add_argument("--seed", type=int, default=0,
+                         help="fleet seed; per-machine seeds, workloads, and "
+                              "fault plans derive from it (default: 0)")
+    p_fleet.add_argument("--config", default="T16-N2",
+                         help="per-machine Tt-Nn configuration "
+                              "(default: T16-N2)")
+    p_fleet.add_argument("--model", default=None,
+                         help="trained model JSON (default: train in-process)")
+    p_fleet.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="concurrent machine simulations (default: "
+                              "min(8, machines); results identical for any N)")
+    p_fleet.add_argument("--contend-fraction", type=float, default=0.5,
+                         metavar="F",
+                         help="fraction of machines assigned the contended "
+                              "workload (default: 0.5)")
+    p_fleet.add_argument("--faults", default=None, metavar="PLAN",
+                         help="collection fault plan for the faulted subset: "
+                              f"a preset ({', '.join(FAULT_PRESETS)}) or "
+                              "key=value pairs")
+    p_fleet.add_argument("--faulted-fraction", type=float, default=0.25,
+                         metavar="F",
+                         help="fraction of machines running under --faults "
+                              "(default: 0.25)")
+    p_fleet.add_argument("--window", type=int, default=4, metavar="W",
+                         help="per-machine sliding window width (default: 4)")
+    p_fleet.add_argument("--interval", type=float, default=None,
+                         metavar="CYCLES",
+                         help="per-machine monitoring interval (default: 4e6)")
+    p_fleet.add_argument("--accesses", type=float, default=1_500_000.0,
+                         metavar="N",
+                         help="contended-phase accesses per thread per "
+                              "machine (default: 1500000; the default mix "
+                              "fires and resolves the fleet rmc alert)")
+    p_fleet.add_argument("--rules", default=None, metavar="FILE",
+                         help="JSON file with fleet alert rules "
+                              "(default: built-ins)")
+    p_fleet.add_argument("--topk", type=int, default=5, metavar="K",
+                         help="top contended channels to track (default: 5)")
+    p_fleet.add_argument("--fleet-tag", default="fleet0", metavar="TAG",
+                         help="fleet label on metrics and the rollup "
+                              "(default: fleet0)")
+    p_fleet.add_argument("--events", default=None, metavar="FILE",
+                         help="write the JSONL wire stream here (replayable "
+                              "with --replay)")
+    p_fleet.add_argument("--events-max-kb", type=int, default=None,
+                         metavar="KB",
+                         help="rotate the wire file past this size, keeping "
+                              "the last 3 segments (default: unbounded)")
+    p_fleet.add_argument("--replay", default=None, metavar="FILE",
+                         help="skip simulation: re-aggregate a recorded wire "
+                              "stream (byte-identical derived state)")
+    p_fleet.add_argument("--timeline", default=None, metavar="FILE",
+                         help="export the cross-machine Chrome-trace timeline "
+                              "JSON here (loadable in Perfetto)")
+    p_fleet.add_argument("--rollup", default=None, metavar="FILE",
+                         help="write the fleet rollup as canonical JSON here")
+    p_fleet.add_argument("--serve", nargs="?", const=0, default=None, type=int,
+                         metavar="PORT",
+                         help="serve fleet /metrics, /v1/fleet/rollup and "
+                              "push ingest during the run (PORT 0 or "
+                              "omitted: OS-assigned)")
+    p_fleet.add_argument("--serve-hold", action="store_true",
+                         help="with --serve: keep the endpoints up after the "
+                              "run until interrupted (scrapers never race "
+                              "the run's end)")
+    p_fleet.add_argument("--plain", action="store_true",
+                         help="one line per fleet epoch instead of the live "
+                              "dashboard (useful for CI logs and pipes)")
+    _add_common(p_fleet, with_telemetry=False)
 
     p_serve = sub.add_parser(
         "serve", help="run the profiling service daemon"
@@ -626,6 +709,188 @@ def cmd_monitor(args) -> int:
     return 2 if monitor.ever_rmc else 0
 
 
+def _load_fleet_rules(path: str | None):
+    from repro.errors import FleetError
+    from repro.fleet import DEFAULT_FLEET_RULES, parse_fleet_rules
+
+    if path is None:
+        return DEFAULT_FLEET_RULES
+    try:
+        with open(path) as fh:
+            spec = json.load(fh)
+    except OSError as exc:
+        raise FleetError(f"cannot read fleet rules file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise FleetError(f"fleet rules file {path} is not JSON: {exc}") from exc
+    return parse_fleet_rules(spec)
+
+
+def cmd_fleet(args) -> int:
+    import contextlib
+    import threading
+    import time
+
+    from repro.errors import FleetError
+    from repro.fleet import (
+        FleetAggregator,
+        FleetServer,
+        FleetSpec,
+        WireLog,
+        read_wire,
+        render_epoch_line,
+        render_fleet_frame,
+        run_fleet,
+    )
+    from repro.parallel.seeding import canonical_json
+
+    # Validate everything cheap before the expensive model load/train.
+    rules = _load_fleet_rules(args.rules)
+    if args.replay is not None and args.events:
+        raise FleetError("--events records a live run; drop it with --replay")
+    if args.serve_hold and args.serve is None:
+        raise FleetError("--serve-hold needs --serve")
+    spec = None
+    if args.replay is None:
+        spec = FleetSpec(
+            machines=args.machines,
+            seed=args.seed,
+            config=args.config,
+            contend_fraction=args.contend_fraction,
+            faults=args.faults,
+            faulted_fraction=args.faulted_fraction,
+            window_intervals=args.window,
+            interval_cycles=args.interval or 4e6,
+            accesses_per_thread=args.accesses,
+            fleet=args.fleet_tag,
+        )
+    aggregator = FleetAggregator(
+        rules=rules, top_k=args.topk, fleet=args.fleet_tag
+    )
+    live = sys.stdout.isatty() and not args.plain and args.replay is None
+
+    summaries = None
+    with contextlib.ExitStack() as stack:
+        if args.serve is not None:
+            server = stack.enter_context(FleetServer(aggregator, port=args.serve))
+            print(f"serving fleet endpoints at {server.url}", file=sys.stderr)
+        if args.replay is not None:
+            # Fix the roster before ingesting: without it, epochs would
+            # evaluate before late machines say hello and their buffered
+            # windows for already-closed epochs would be dropped —
+            # replay must derive exactly what the live run derived.
+            records = list(read_wire(args.replay))
+            roster = {
+                r["machine_id"] for r in records if r["kind"] == "fleet_hello"
+            }
+            if not roster:
+                raise FleetError(
+                    f"replay {args.replay} has no fleet_hello records; "
+                    "is it a wire recording?"
+                )
+            aggregator.expected_machines = len(roster)
+            for snap in aggregator.ingest_many(records):
+                if not live:
+                    print(render_epoch_line(snap))
+        else:
+            clf = _load_or_train(args.model, args.seed, Machine())
+            wire = (
+                stack.enter_context(
+                    WireLog(
+                        args.events,
+                        max_bytes=(
+                            args.events_max_kb * 1024
+                            if args.events_max_kb
+                            else None
+                        ),
+                    )
+                )
+                if args.events
+                else None
+            )
+            # Completed epochs surface from whichever worker ingested the
+            # closing record, so rendering needs its own serialisation.
+            paint = threading.Lock()
+
+            def on_snapshot(snap) -> None:
+                with paint:
+                    if live:
+                        sys.stdout.write(
+                            "\x1b[H\x1b[J" + render_fleet_frame(aggregator)
+                        )
+                    else:
+                        sys.stdout.write(render_epoch_line(snap) + "\n")
+                    sys.stdout.flush()
+
+            if live:
+                sys.stdout.write("\x1b[2J")
+            summaries = run_fleet(
+                spec,
+                clf,
+                aggregator,
+                wire_sink=wire.append if wire else None,
+                jobs=args.jobs,
+                on_snapshot=on_snapshot,
+            )
+
+        if live:
+            print()  # leave the last frame on screen
+        rollup = aggregator.rollup()
+        counts = rollup["counts"]
+        print(
+            f"fleet {aggregator.fleet}: {counts['machines']} machines, "
+            f"{aggregator.epochs} epochs, "
+            f"{counts['machine_windows']} machine-windows"
+        )
+        if summaries is not None:
+            contend = sum(1 for s in summaries if s.workload == "contend")
+            print(
+                f"workloads: {contend} contend, {len(summaries) - contend} "
+                f"quiet; machine-local rmc on "
+                f"{sum(1 for s in summaries if s.ever_rmc)}"
+            )
+        top = aggregator.top_channels()
+        if top:
+            print(
+                "top contended channels: "
+                + ", ".join(
+                    f"{e['channel']} ({e['rmc_machine_windows']} "
+                    "rmc machine-windows)"
+                    for e in top
+                )
+            )
+        fired = [e for e in aggregator.alert_events if e.kind == "firing"]
+        resolved = [e for e in aggregator.alert_events if e.kind == "resolved"]
+        print(
+            f"fleet alerts: {len(fired)} fired, {len(resolved)} resolved, "
+            f"{len(aggregator.firing())} still firing"
+        )
+        if aggregator.ever_fleet_rmc:
+            print("fleet-level bandwidth contention detected")
+        else:
+            print("no fleet-level contention detected")
+
+        if args.timeline:
+            events = aggregator.timeline_events()
+            with open(args.timeline, "w") as fh:
+                fh.write(canonical_json({"traceEvents": events}) + "\n")
+            print(
+                f"timeline ({len(events)} events) written to {args.timeline}",
+                file=sys.stderr,
+            )
+        if args.rollup:
+            with open(args.rollup, "w") as fh:
+                fh.write(canonical_json(rollup) + "\n")
+            print(f"rollup written to {args.rollup}", file=sys.stderr)
+
+        if args.serve is not None and args.serve_hold:
+            print(
+                "fleet endpoints held open; Ctrl-C to stop", file=sys.stderr
+            )
+            while True:  # KeyboardInterrupt lands in main() -> exit 130
+                time.sleep(3600)
+    return 2 if aggregator.ever_fleet_rmc else 0
+
+
 def cmd_campaign(args) -> int:
     from repro.eval.experiments import (
         TrainingSummary,
@@ -784,6 +1049,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_campaign(args)
         if args.command == "monitor":
             return cmd_monitor(args)
+        if args.command == "fleet":
+            return cmd_fleet(args)
         if args.command == "serve":
             return cmd_serve(args)
         if args.command == "report":

@@ -95,6 +95,10 @@ class ServiceSaturatedError(ServiceError):
         self.retry_after = retry_after
 
 
+class FleetError(ReproError):
+    """Invalid fleet wire record, aggregator misuse, or fleet rule."""
+
+
 class SchemaError(ReproError):
     """A JSON document does not match its declared schema (trajectory
     points, benchmark result envelopes, and other machine-readable files)."""

@@ -1,0 +1,92 @@
+"""Fleet observability: many simulated machines, one control plane.
+
+DR-BW's detector is meant to watch real fleets; this package scales the
+single-machine live monitor (:mod:`repro.monitor`) to tens-to-hundreds
+of concurrently simulated machines.  Each machine streams per-window
+Table-I features and verdicts as wire records (:mod:`~repro.fleet.wire`)
+— in-process, over HTTP push (:mod:`~repro.fleet.http`), or into a
+rotating JSONL file for offline replay — keyed by a stable identity
+(:mod:`~repro.fleet.identity`).  The central
+:class:`~repro.fleet.aggregator.FleetAggregator` turns the streams into
+per-epoch rollups, deterministic top-K contended channels, fleet-scoped
+alerts (:mod:`~repro.fleet.alerts`), NUMAscope-style multi-resolution
+retention (:mod:`~repro.fleet.retention`), a cross-machine Chrome-trace
+timeline, and a labelled Prometheus exposition.  ``drbw fleet`` wires it
+to the simulator-backed fleet runner (:mod:`~repro.fleet.sim`) and a
+terminal dashboard (:mod:`~repro.fleet.dashboard`).
+
+Everything derived is byte-deterministic for a given (seed, machine
+count, fault mix), regardless of ingest arrival order or worker
+concurrency — see the aggregator's module docstring for the epoch
+discipline that guarantees it.
+"""
+
+from repro.fleet.aggregator import (
+    FLEET_ROLLUP_SCHEMA,
+    FleetAggregator,
+    FleetChannelAgg,
+    FleetSnapshot,
+    parse_channel,
+)
+from repro.fleet.alerts import (
+    DEFAULT_FLEET_RULES,
+    FLEET_CHANNEL_SIGNALS,
+    FLEET_GLOBAL_SIGNALS,
+    FleetAlertEngine,
+    FleetAlertRule,
+    parse_fleet_rules,
+)
+from repro.fleet.dashboard import render_epoch_line, render_fleet_frame
+from repro.fleet.http import FleetClient, FleetServer
+from repro.fleet.identity import MachineIdentity
+from repro.fleet.retention import RetentionConfig, RetentionPoint, RetentionSeries
+from repro.fleet.sim import (
+    FleetSpec,
+    MachineSpec,
+    MachineSummary,
+    machine_specs,
+    make_quiet_workload,
+    run_fleet,
+    simulate_machine,
+)
+from repro.fleet.wire import (
+    WIRE_KINDS,
+    MachineFeed,
+    WireLog,
+    read_wire,
+    validate_wire_record,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_RULES",
+    "FLEET_CHANNEL_SIGNALS",
+    "FLEET_GLOBAL_SIGNALS",
+    "FLEET_ROLLUP_SCHEMA",
+    "FleetAggregator",
+    "FleetAlertEngine",
+    "FleetAlertRule",
+    "FleetChannelAgg",
+    "FleetClient",
+    "FleetServer",
+    "FleetSnapshot",
+    "FleetSpec",
+    "MachineFeed",
+    "MachineIdentity",
+    "MachineSpec",
+    "MachineSummary",
+    "RetentionConfig",
+    "RetentionPoint",
+    "RetentionSeries",
+    "WIRE_KINDS",
+    "WireLog",
+    "machine_specs",
+    "make_quiet_workload",
+    "parse_channel",
+    "parse_fleet_rules",
+    "read_wire",
+    "render_epoch_line",
+    "render_fleet_frame",
+    "run_fleet",
+    "simulate_machine",
+    "validate_wire_record",
+]

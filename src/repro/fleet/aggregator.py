@@ -1,0 +1,619 @@
+"""The fleet aggregator: many machine streams -> one control plane.
+
+:class:`FleetAggregator` ingests wire records (in-process calls, HTTP
+pushes, or an offline JSONL replay — all the same dicts) and maintains
+the fleet's derived state: per-epoch rollups, fleet-scoped alerts,
+multi-resolution retention series, the cross-machine timeline, and a
+Prometheus exposition page.
+
+Determinism is the design center.  Machines stream concurrently, so
+records from different machines interleave arbitrarily; the aggregator
+makes every derived byte independent of that interleaving by evaluating
+*epochs*, not arrivals.  Epoch ``e`` is machine-window index ``e``
+across the fleet; it is evaluated only once every known machine has
+either delivered window ``e`` or closed its stream (``fleet_bye`` /
+failure), and the evaluation itself iterates machines in sorted
+``machine_id`` order.  Per-machine record order is enforced (windows
+must arrive consecutively — they do, each machine's stream is
+sequential), so the full derived state is a pure function of the *set*
+of per-machine streams.  With ``expected_machines`` set (the fleet CLI
+always sets it), even a machine saying hello late cannot shift an
+already-evaluated epoch, because nothing is evaluated before the roster
+is complete.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import FleetError
+from repro.fleet.alerts import (
+    DEFAULT_FLEET_RULES,
+    FleetAlertEngine,
+    FleetAlertRule,
+)
+from repro.fleet.identity import MachineIdentity
+from repro.fleet.retention import RetentionConfig, RetentionSeries
+from repro.fleet.wire import validate_wire_record
+from repro.monitor.alerts import AlertEvent
+from repro.monitor.exposition import render_exposition
+from repro.types import Channel
+
+__all__ = [
+    "FLEET_ROLLUP_SCHEMA",
+    "FleetAggregator",
+    "FleetChannelAgg",
+    "FleetSnapshot",
+    "parse_channel",
+]
+
+FLEET_ROLLUP_SCHEMA = "drbw-fleet-rollup"
+FLEET_ROLLUP_VERSION = 1
+
+#: A machine whose windowed quarantine rate exceeds this is "degraded":
+#: its collection pipeline, not its memory system, is in trouble.  Same
+#: floor as the monitor's lossy-collection alert.
+DEGRADED_QUARANTINE_RATE = 0.05
+
+
+def parse_channel(tag: str) -> Channel:
+    """``"0->1"`` -> :class:`Channel`; raises :class:`FleetError`."""
+    try:
+        src, dst = tag.split("->")
+        return Channel(int(src), int(dst))
+    except (ValueError, TypeError) as exc:
+        raise FleetError(f"malformed channel tag {tag!r}") from exc
+
+
+@dataclass(frozen=True)
+class FleetChannelAgg:
+    """One socket-pair's aggregate over the machines reporting an epoch.
+
+    Means are taken over *all* reporting machines (a machine without the
+    channel contributes zero), so a channel quiet on most of the fleet
+    reads low even if one machine hammers it.
+    """
+
+    channel: Channel
+    reporting: int
+    rmc_machines: int
+    rmc_fraction: float
+    mean_share: float
+    peak_share: float
+    mean_latency: float
+    n_remote: int
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """The fleet's state at one epoch — what the alert engine sees."""
+
+    epoch: int
+    reporting: int
+    contended: int  # machines with any rmc channel this epoch
+    degraded: int  # machines above the quarantine-rate floor
+    quiet: int  # reporting - contended
+    n_samples: int
+    channels: dict[Channel, FleetChannelAgg]
+
+    @property
+    def index(self) -> int:
+        """Alert-engine alias: epochs are the fleet's window indexes."""
+        return self.epoch
+
+
+@dataclass
+class _MachineState:
+    """Everything the aggregator tracks per machine stream."""
+
+    identity: MachineIdentity
+    n_nodes: int
+    pending: dict[int, dict] = field(default_factory=dict)
+    next_window: int = 0
+    done: bool = False
+    failed: bool = False
+    error: str | None = None
+    windows: int = 0
+    last_samples: int = 0
+    last_cycle: float = 0.0
+    last_rmc: bool = False
+    ever_rmc: bool = False
+    rmc_windows: dict[str, int] = field(default_factory=dict)
+    bye: dict | None = None
+
+
+class FleetAggregator:
+    """Ingests fleet wire records; owns every fleet-derived view."""
+
+    def __init__(
+        self,
+        expected_machines: int | None = None,
+        rules: tuple[FleetAlertRule, ...] = DEFAULT_FLEET_RULES,
+        top_k: int = 5,
+        retention: RetentionConfig | None = None,
+        fleet: str = "fleet0",
+        degraded_quarantine_rate: float = DEGRADED_QUARANTINE_RATE,
+    ) -> None:
+        if expected_machines is not None and expected_machines < 1:
+            raise FleetError(
+                f"expected_machines must be >= 1, got {expected_machines}"
+            )
+        if top_k < 1:
+            raise FleetError(f"top_k must be >= 1, got {top_k}")
+        self.expected_machines = expected_machines
+        self.top_k = top_k
+        self.fleet = fleet
+        self.retention_config = retention or RetentionConfig()
+        self.degraded_quarantine_rate = degraded_quarantine_rate
+        self.engine = FleetAlertEngine(rules)
+        self._rules_by_name = {r.name: r for r in rules}
+        self._lock = threading.RLock()
+        self._machines: dict[str, _MachineState] = {}
+        self._epoch = 0  # next epoch to evaluate
+        self._series: dict[str, RetentionSeries] = {}
+        # (machine_id, epoch, track, start, dur, args) -> timeline events.
+        self._timeline: list[tuple] = []
+        self._channel_rmc_windows: dict[str, int] = {}
+        self._channel_peak_fraction: dict[str, float] = {}
+        self._channel_peak_share: dict[str, float] = {}
+        self.alert_events: list[AlertEvent] = []
+        self.last_snapshot: FleetSnapshot | None = None
+        self.records = 0
+        self.machine_windows = 0
+        self.contended_ever: set[str] = set()
+        self.degraded_ever: set[str] = set()
+
+    # -- ingest ----------------------------------------------------------
+
+    def ingest(self, record: dict) -> list[FleetSnapshot]:
+        """Consume one wire record; returns the epochs it completed."""
+        validate_wire_record(record)
+        with self._lock:
+            self.records += 1
+            kind = record["kind"]
+            mid = record["machine_id"]
+            if kind == "fleet_hello":
+                self._hello(mid, record)
+            elif kind == "fleet_window":
+                self._window(mid, record)
+            else:  # fleet_bye
+                self._bye(mid, record)
+            return self._drain()
+
+    def ingest_many(self, records) -> list[FleetSnapshot]:
+        """Ingest an iterable of records (a wire replay, an HTTP batch)."""
+        out: list[FleetSnapshot] = []
+        for record in records:
+            out.extend(self.ingest(record))
+        return out
+
+    def machine_failed(self, machine_id: str, error: str = "worker failed") -> None:
+        """Close a stream whose worker died without a ``fleet_bye``.
+
+        Without this, epochs the dead machine never reached would wait
+        forever; a failed machine is treated as done (and degraded) from
+        its last delivered window on.
+        """
+        with self._lock:
+            state = self._machines.get(machine_id)
+            if state is None:
+                # Died before hello: register a tombstone so an expected
+                # roster still completes.
+                state = _MachineState(
+                    identity=MachineIdentity(
+                        machine_id=machine_id,
+                        topology="unknown",
+                        workload="unknown",
+                        config="unknown",
+                        seed=0,
+                    ),
+                    n_nodes=0,
+                )
+                self._machines[machine_id] = state
+            state.done = True
+            state.failed = True
+            state.error = error
+            self.degraded_ever.add(machine_id)
+            self._drain()
+
+    def _hello(self, mid: str, record: dict) -> None:
+        if mid in self._machines:
+            raise FleetError(f"duplicate fleet_hello for machine {mid!r}")
+        identity = MachineIdentity.from_dict(record["identity"])
+        if identity.machine_id != mid:
+            raise FleetError(
+                f"hello identity {identity.machine_id!r} does not match "
+                f"record machine_id {mid!r}"
+            )
+        if (
+            self.expected_machines is not None
+            and len(self._machines) >= self.expected_machines
+        ):
+            raise FleetError(
+                f"machine {mid!r} exceeds the expected roster of "
+                f"{self.expected_machines}"
+            )
+        self._machines[mid] = _MachineState(
+            identity=identity, n_nodes=int(record["n_nodes"])
+        )
+
+    def _window(self, mid: str, record: dict) -> None:
+        state = self._machines.get(mid)
+        if state is None:
+            raise FleetError(f"fleet_window from unknown machine {mid!r}")
+        if state.done:
+            raise FleetError(f"fleet_window after bye from machine {mid!r}")
+        index = record["window"]
+        if index != state.next_window:
+            raise FleetError(
+                f"machine {mid!r} sent window {index}, expected "
+                f"{state.next_window} (streams must be in order)"
+            )
+        state.pending[index] = record
+        state.next_window += 1
+
+    def _bye(self, mid: str, record: dict) -> None:
+        state = self._machines.get(mid)
+        if state is None:
+            raise FleetError(f"fleet_bye from unknown machine {mid!r}")
+        if state.done:
+            raise FleetError(f"duplicate fleet_bye from machine {mid!r}")
+        state.done = True
+        state.bye = record
+
+    # -- epoch evaluation ------------------------------------------------
+
+    def _drain(self) -> list[FleetSnapshot]:
+        out: list[FleetSnapshot] = []
+        while True:
+            if (
+                self.expected_machines is not None
+                and len(self._machines) < self.expected_machines
+            ):
+                break
+            states = [self._machines[mid] for mid in sorted(self._machines)]
+            if not states:
+                break
+            if any(
+                not st.done and st.next_window <= self._epoch for st in states
+            ):
+                break  # someone is still working toward this epoch
+            participants = [st for st in states if self._epoch in st.pending]
+            if not participants:
+                break  # every remaining stream is exhausted
+            out.append(self._evaluate(self._epoch, participants))
+            self._epoch += 1
+        return out
+
+    def _evaluate(
+        self, epoch: int, participants: list[_MachineState]
+    ) -> FleetSnapshot:
+        reporting = len(participants)
+        contended = degraded = samples = 0
+        share_sum: dict[str, float] = {}
+        share_peak: dict[str, float] = {}
+        lat_sum: dict[str, float] = {}
+        rmc_machines: dict[str, int] = {}
+        remote: dict[str, int] = {}
+
+        for st in participants:
+            rec = st.pending.pop(epoch)
+            mid = st.identity.machine_id
+            chans = rec["channels"]
+            is_rmc = any(v["status"] == "rmc" for v in chans.values())
+            is_degraded = rec["quarantine_rate"] > self.degraded_quarantine_rate
+            contended += is_rmc
+            degraded += is_degraded
+            samples += int(rec["n_samples"])
+            st.windows += 1
+            st.last_samples = int(rec["n_samples"])
+            st.last_rmc = is_rmc
+            if is_rmc:
+                st.ever_rmc = True
+                self.contended_ever.add(mid)
+            if is_degraded:
+                self.degraded_ever.add(mid)
+            self.machine_windows += 1
+
+            start = st.last_cycle
+            end = float(rec["end_cycle"])
+            dur = max(end - start, 0.0)
+            st.last_cycle = end
+            self._timeline.append(
+                (
+                    mid, epoch, "windows", start, dur,
+                    {"samples": int(rec["n_samples"]),
+                     "quarantine_rate": rec["quarantine_rate"]},
+                )
+            )
+            for tag in sorted(chans):
+                view = chans[tag]
+                share_sum[tag] = share_sum.get(tag, 0.0) + float(view["share"])
+                share_peak[tag] = max(
+                    share_peak.get(tag, 0.0), float(view["share"])
+                )
+                lat_sum[tag] = lat_sum.get(tag, 0.0) + float(view["latency"])
+                remote[tag] = remote.get(tag, 0) + int(view["n_remote"])
+                if view["status"] == "rmc":
+                    rmc_machines[tag] = rmc_machines.get(tag, 0) + 1
+                    st.rmc_windows[tag] = st.rmc_windows.get(tag, 0) + 1
+                self._timeline.append(
+                    (
+                        mid, epoch, tag, start, dur,
+                        {"share": view["share"], "status": view["status"],
+                         "latency": view["latency"]},
+                    )
+                )
+
+        channels: dict[Channel, FleetChannelAgg] = {}
+        for tag in sorted(share_sum, key=lambda t: (parse_channel(t).src,
+                                                    parse_channel(t).dst)):
+            ch = parse_channel(tag)
+            n_rmc = rmc_machines.get(tag, 0)
+            fraction = n_rmc / reporting
+            channels[ch] = FleetChannelAgg(
+                channel=ch,
+                reporting=reporting,
+                rmc_machines=n_rmc,
+                rmc_fraction=fraction,
+                mean_share=share_sum[tag] / reporting,
+                peak_share=share_peak[tag],
+                mean_latency=lat_sum[tag] / reporting,
+                n_remote=remote[tag],
+            )
+            self._channel_rmc_windows[tag] = (
+                self._channel_rmc_windows.get(tag, 0) + n_rmc
+            )
+            self._channel_peak_fraction[tag] = max(
+                self._channel_peak_fraction.get(tag, 0.0), fraction
+            )
+            self._channel_peak_share[tag] = max(
+                self._channel_peak_share.get(tag, 0.0), share_peak[tag]
+            )
+            self._push_series(f"channel.rmc_fraction.{tag}", epoch, fraction)
+            self._push_series(
+                f"channel.mean_share.{tag}", epoch, share_sum[tag] / reporting
+            )
+
+        snapshot = FleetSnapshot(
+            epoch=epoch,
+            reporting=reporting,
+            contended=contended,
+            degraded=degraded,
+            quiet=reporting - contended,
+            n_samples=samples,
+            channels=channels,
+        )
+        self._push_series("fleet.contended_fraction", epoch,
+                          contended / reporting)
+        self._push_series("fleet.degraded_fraction", epoch,
+                          degraded / reporting)
+        self.alert_events.extend(self.engine.evaluate(snapshot))
+        self.last_snapshot = snapshot
+        return snapshot
+
+    def _push_series(self, key: str, epoch: int, value: float) -> None:
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = RetentionSeries(self.retention_config)
+        series.push(epoch, value)
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def epochs(self) -> int:
+        """Epochs fully evaluated so far."""
+        with self._lock:
+            return self._epoch
+
+    @property
+    def ever_fleet_rmc(self) -> bool:
+        """Whether any rmc-spread rule ever fired (the CLI's exit-2 bit)."""
+        with self._lock:
+            return any(
+                ev.kind == "firing"
+                and self._rules_by_name[ev.rule].signal == "rmc_machine_fraction"
+                for ev in self.alert_events
+            )
+
+    def firing(self) -> list[AlertEvent]:
+        with self._lock:
+            return self.engine.firing()
+
+    def series(self, key: str) -> RetentionSeries | None:
+        with self._lock:
+            return self._series.get(key)
+
+    def top_channels(self, k: int | None = None) -> list[dict]:
+        """Top-K contended socket-pairs across the fleet.
+
+        Ranked by total rmc machine-windows (an exact integer, so ranking
+        is immune to float noise); ties break on (src, dst) ascending —
+        fully deterministic for equal inputs.
+        """
+        with self._lock:
+            k = self.top_k if k is None else k
+            tags = sorted(
+                self._channel_rmc_windows,
+                key=lambda t: (
+                    -self._channel_rmc_windows[t],
+                    parse_channel(t).src,
+                    parse_channel(t).dst,
+                ),
+            )
+            return [
+                {
+                    "channel": tag,
+                    "rmc_machine_windows": self._channel_rmc_windows[tag],
+                    "peak_rmc_fraction": self._channel_peak_fraction[tag],
+                    "peak_share": self._channel_peak_share[tag],
+                }
+                for tag in tags[:k]
+            ]
+
+    def rollup(self) -> dict:
+        """The fleet's full derived state as a JSON-ready document.
+
+        Byte-deterministic under ``canonical_json`` for equal machine
+        streams, regardless of ingest interleaving — the determinism
+        tests compare these exact bytes.
+        """
+        with self._lock:
+            machines = {}
+            for mid in sorted(self._machines):
+                st = self._machines[mid]
+                machines[mid] = {
+                    "identity": st.identity.to_dict(),
+                    "n_nodes": st.n_nodes,
+                    "windows": st.windows,
+                    "last_samples": st.last_samples,
+                    "ever_rmc": st.ever_rmc,
+                    "rmc_windows": dict(sorted(st.rmc_windows.items())),
+                    "done": st.done,
+                    "failed": st.failed,
+                    "error": st.error,
+                }
+            alerts = [
+                {
+                    "rule": ev.rule,
+                    "severity": ev.severity,
+                    "kind": ev.kind,
+                    "channel": str(ev.channel) if ev.channel else None,
+                    "epoch": ev.window_index,
+                    "value": ev.value,
+                    "threshold": ev.threshold,
+                }
+                for ev in self.alert_events
+            ]
+            return {
+                "schema": FLEET_ROLLUP_SCHEMA,
+                "v": FLEET_ROLLUP_VERSION,
+                "fleet": self.fleet,
+                "epochs": self._epoch,
+                "counts": {
+                    "machines": len(self._machines),
+                    "records": self.records,
+                    "machine_windows": self.machine_windows,
+                    "contended_ever": len(self.contended_ever),
+                    "degraded_ever": len(self.degraded_ever),
+                    "failed": sum(st.failed for st in self._machines.values()),
+                },
+                "machines": machines,
+                "top_channels": self.top_channels(),
+                "alerts": alerts,
+                "retention": {
+                    key: self._series[key].to_dict()
+                    for key in sorted(self._series)
+                },
+            }
+
+    def timeline_events(self) -> list[dict]:
+        """NUMAscope-style cross-machine Chrome-trace events.
+
+        One *process* (pid) per machine in sorted ``machine_id`` order;
+        inside it, tid 0 is the window track and each socket-pair gets
+        its own thread track.  All events are complete (``ph == "X"``)
+        with ``ts``/``dur`` in simulated cycles, which is exactly what
+        :func:`repro.telemetry.artifact.validate_chrome_trace` checks and
+        what Perfetto loads.
+        """
+        with self._lock:
+            pids = {mid: i + 1 for i, mid in enumerate(sorted(self._machines))}
+            tags = sorted(
+                {t for (_, _, t, _, _, _) in self._timeline if t != "windows"},
+                key=lambda t: (parse_channel(t).src, parse_channel(t).dst),
+            )
+            tids = {"windows": 0, **{t: i + 1 for i, t in enumerate(tags)}}
+            events = []
+            for mid, epoch, track, start, dur, args in self._timeline:
+                if track == "windows":
+                    name = f"{mid} window {epoch}"
+                else:
+                    name = f"{mid} {track} {args['status']}"
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "X",
+                        "ts": float(start),
+                        "dur": float(dur),
+                        "pid": pids[mid],
+                        "tid": tids[track],
+                        "args": dict(args, machine_id=mid, epoch=epoch),
+                    }
+                )
+            events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], e["name"]))
+            return events
+
+    def render_metrics(self) -> str:
+        """The fleet's Prometheus exposition page (machine_id/fleet labels)."""
+        with self._lock:
+            base = {"fleet": self.fleet}
+            snap = self.last_snapshot
+            counts = [
+                (dict(base, state="contended"),
+                 float(snap.contended if snap else 0)),
+                (dict(base, state="degraded"),
+                 float(snap.degraded if snap else 0)),
+                (dict(base, state="quiet"), float(snap.quiet if snap else 0)),
+            ]
+            per_channel_rmc = []
+            per_channel_fraction = []
+            per_channel_share = []
+            if snap is not None:
+                for ch in sorted(snap.channels, key=lambda c: (c.src, c.dst)):
+                    agg = snap.channels[ch]
+                    labels = dict(base, channel=str(ch))
+                    per_channel_rmc.append((labels, float(agg.rmc_machines)))
+                    per_channel_fraction.append((labels, agg.rmc_fraction))
+                    per_channel_share.append((labels, agg.mean_share))
+            per_machine_rmc = []
+            per_machine_windows = []
+            for mid in sorted(self._machines):
+                st = self._machines[mid]
+                labels = dict(
+                    base, machine_id=mid, workload=st.identity.workload
+                )
+                per_machine_rmc.append((labels, 1.0 if st.last_rmc else 0.0))
+                per_machine_windows.append((labels, float(st.windows)))
+            firing = self.engine.firing()
+            families = [
+                ("drbw_fleet_machines", "gauge",
+                 "Machines known to the aggregator",
+                 [(dict(base), float(len(self._machines)))]),
+                ("drbw_fleet_reporting_machines", "gauge",
+                 "Machines that delivered the last evaluated epoch",
+                 [(dict(base), float(snap.reporting if snap else 0))]),
+                ("drbw_fleet_machine_states", "gauge",
+                 "Machines per state at the last evaluated epoch", counts),
+                ("drbw_fleet_epochs_total", "counter",
+                 "Fleet epochs fully evaluated",
+                 [(dict(base), float(self._epoch))]),
+                ("drbw_fleet_records_total", "counter",
+                 "Wire records ingested", [(dict(base), float(self.records))]),
+                ("drbw_fleet_machine_windows_total", "counter",
+                 "Machine windows aggregated into epochs",
+                 [(dict(base), float(self.machine_windows))]),
+                ("drbw_fleet_channel_rmc_machines", "gauge",
+                 "Machines rmc per socket-pair at the last epoch",
+                 per_channel_rmc),
+                ("drbw_fleet_channel_rmc_fraction", "gauge",
+                 "Fraction of reporting machines rmc per socket-pair",
+                 per_channel_fraction),
+                ("drbw_fleet_channel_mean_remote_share", "gauge",
+                 "Mean remote share per socket-pair over reporting machines",
+                 per_channel_share),
+                ("drbw_fleet_machine_rmc", "gauge",
+                 "Per machine: 1 while its last window had an rmc channel",
+                 per_machine_rmc),
+                ("drbw_fleet_machine_windows", "counter",
+                 "Per machine: windows aggregated so far",
+                 per_machine_windows),
+                ("drbw_fleet_alerts_firing", "gauge",
+                 "Fleet alert rules currently firing",
+                 [(dict(base), float(len(firing)))]),
+                ("drbw_fleet_alert_events_total", "counter",
+                 "Fleet alert transitions (firing + resolved)",
+                 [(dict(base), float(len(self.alert_events)))]),
+            ]
+            return render_exposition(families)

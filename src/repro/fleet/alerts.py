@@ -1,0 +1,190 @@
+"""Fleet-scoped alert rules over per-epoch fleet snapshots.
+
+Same declarative shape and for/clear-window semantics as the monitor's
+:mod:`~repro.monitor.alerts` — a rule names a signal, a comparison, and
+firing/clearing durations — but the signals quantify the *fleet*, not
+one machine: "what fraction of reporting machines is rmc on socket-pair
+X", "how many machines are contended at all".  The engine itself is the
+monitor's :class:`~repro.monitor.alerts.AlertEngine` (streak tracking,
+transition-only events, dropped-scope resolution), re-targeted at
+:class:`~repro.fleet.aggregator.FleetSnapshot` by overriding the signal
+lookup, so the two rule languages can never drift in their hysteresis
+behavior.
+
+Signals
+-------
+``rmc_machine_fraction``  (channel)  machines whose damped status on the
+                                     channel is rmc / machines reporting
+``mean_remote_share``     (channel)  mean remote share over reporting
+                                     machines (absent channel counts 0)
+``contended_fraction``    (global)   machines with any rmc channel /
+                                     machines reporting
+``contended_machines``    (global)   count of machines with any rmc
+                                     channel this epoch
+``degraded_fraction``     (global)   machines above the quarantine-rate
+                                     floor / machines reporting
+``reporting_machines``    (global)   machines that delivered this epoch
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import FleetError
+from repro.monitor.alerts import _OPS, SEVERITIES, AlertEngine, AlertEvent
+from repro.types import Channel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.fleet.aggregator import FleetSnapshot
+
+__all__ = [
+    "FLEET_CHANNEL_SIGNALS",
+    "FLEET_GLOBAL_SIGNALS",
+    "FleetAlertRule",
+    "FleetAlertEngine",
+    "DEFAULT_FLEET_RULES",
+    "parse_fleet_rules",
+]
+
+FLEET_CHANNEL_SIGNALS = frozenset({"rmc_machine_fraction", "mean_remote_share"})
+FLEET_GLOBAL_SIGNALS = frozenset(
+    {
+        "contended_fraction",
+        "contended_machines",
+        "degraded_fraction",
+        "reporting_machines",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FleetAlertRule:
+    """One fleet threshold rule: ``signal op threshold`` for ``for_windows``
+    consecutive epochs (epochs are the fleet's windows)."""
+
+    name: str
+    signal: str
+    threshold: float
+    op: str = ">"
+    for_windows: int = 1
+    clear_windows: int = 1
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FleetError("fleet alert rule needs a non-empty name")
+        if self.signal not in FLEET_CHANNEL_SIGNALS | FLEET_GLOBAL_SIGNALS:
+            raise FleetError(
+                f"rule {self.name!r}: unknown fleet signal {self.signal!r}; "
+                f"expected one of "
+                f"{sorted(FLEET_CHANNEL_SIGNALS | FLEET_GLOBAL_SIGNALS)}"
+            )
+        if self.op not in _OPS:
+            raise FleetError(
+                f"rule {self.name!r}: unknown operator {self.op!r}; "
+                f"expected one of {sorted(_OPS)}"
+            )
+        if self.for_windows < 1 or self.clear_windows < 1:
+            raise FleetError(
+                f"rule {self.name!r}: for_windows and clear_windows must be >= 1"
+            )
+        if self.severity not in SEVERITIES:
+            raise FleetError(
+                f"rule {self.name!r}: severity {self.severity!r} not in {SEVERITIES}"
+            )
+
+    @property
+    def is_channel_rule(self) -> bool:
+        return self.signal in FLEET_CHANNEL_SIGNALS
+
+
+#: Rules active when the user supplies none: the paper-motivated spread
+#: rule ("is contention a fleet problem, not one bad host"), a majority
+#: backstop, and fleet-wide collection health.
+DEFAULT_FLEET_RULES: tuple[FleetAlertRule, ...] = (
+    FleetAlertRule(
+        name="fleet-rmc-spread",
+        signal="rmc_machine_fraction",
+        threshold=0.2,
+        op=">=",
+        for_windows=2,
+        clear_windows=2,
+        severity="critical",
+    ),
+    FleetAlertRule(
+        name="fleet-majority-contended",
+        signal="contended_fraction",
+        threshold=0.5,
+        op=">",
+        for_windows=2,
+        clear_windows=2,
+        severity="warning",
+    ),
+    FleetAlertRule(
+        name="fleet-collection-degraded",
+        signal="degraded_fraction",
+        threshold=0.25,
+        op=">",
+        for_windows=1,
+        clear_windows=2,
+        severity="info",
+    ),
+)
+
+
+class FleetAlertEngine(AlertEngine):
+    """The monitor's streak engine, evaluated over fleet snapshots."""
+
+    def __init__(
+        self, rules: tuple[FleetAlertRule, ...] = DEFAULT_FLEET_RULES
+    ) -> None:
+        super().__init__(rules)
+
+    def _signal_value(
+        self,
+        rule: FleetAlertRule,
+        snapshot: FleetSnapshot,
+        channel: Channel | None,
+    ) -> float:
+        reporting = max(snapshot.reporting, 1)
+        if rule.signal == "contended_fraction":
+            return snapshot.contended / reporting
+        if rule.signal == "contended_machines":
+            return float(snapshot.contended)
+        if rule.signal == "degraded_fraction":
+            return snapshot.degraded / reporting
+        if rule.signal == "reporting_machines":
+            return float(snapshot.reporting)
+        agg = snapshot.channels[channel]
+        if rule.signal == "rmc_machine_fraction":
+            return agg.rmc_fraction
+        return agg.mean_share  # mean_remote_share
+
+
+def parse_fleet_rules(spec: object) -> tuple[FleetAlertRule, ...]:
+    """Build fleet rules from decoded JSON: a list of rule objects."""
+    if not isinstance(spec, list):
+        raise FleetError(
+            f"fleet rules file must hold a JSON list, got {type(spec).__name__}"
+        )
+    rules = []
+    allowed = {
+        "name", "signal", "threshold", "op", "for_windows", "clear_windows",
+        "severity",
+    }
+    for i, item in enumerate(spec):
+        if not isinstance(item, dict):
+            raise FleetError(f"fleet rule #{i} is not an object")
+        unknown = set(item) - allowed
+        if unknown:
+            raise FleetError(f"fleet rule #{i}: unknown keys {sorted(unknown)}")
+        try:
+            rules.append(FleetAlertRule(**item))
+        except TypeError as exc:
+            raise FleetError(f"fleet rule #{i}: {exc}") from exc
+    return tuple(rules)
+
+
+# Re-exported for callers that inspect fleet alert transitions.
+FleetAlertEvent = AlertEvent

@@ -1,0 +1,89 @@
+"""Terminal rendering for ``drbw fleet``.
+
+:func:`render_fleet_frame` is the live view: fleet-level counts, a
+sparkline of the contended fraction (fed from the raw retention tier),
+the top-K contended socket-pairs, and the firing fleet alerts.
+:func:`render_epoch_line` is the one-line-per-epoch plain mode for CI
+logs and pipes, mirroring the monitor dashboard's split.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.monitor.dashboard import value_sparkline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.aggregator import FleetAggregator, FleetSnapshot
+
+__all__ = ["render_epoch_line", "render_fleet_frame"]
+
+
+def render_epoch_line(snapshot: FleetSnapshot) -> str:
+    """One summary line per fleet epoch (plain / CI mode)."""
+    parts = [
+        f"epoch {snapshot.epoch:>4}",
+        f"reporting {snapshot.reporting:>3}",
+        f"contended {snapshot.contended:>3}",
+        f"degraded {snapshot.degraded:>3}",
+        f"samples {snapshot.n_samples:>7}",
+    ]
+    for ch in sorted(snapshot.channels, key=lambda c: (c.src, c.dst)):
+        agg = snapshot.channels[ch]
+        if agg.rmc_machines:
+            parts.append(
+                f"{ch.src}->{ch.dst} rmc {agg.rmc_machines}/{agg.reporting}"
+            )
+    return "  ".join(parts)
+
+
+def render_fleet_frame(aggregator: FleetAggregator, width: int = 24) -> str:
+    """Full fleet dashboard frame for the live terminal view."""
+    snap = aggregator.last_snapshot
+    lines = [f"DR-BW fleet control plane  [{aggregator.fleet}]"]
+    if snap is None:
+        lines.append("  waiting for the first complete epoch...")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        f"  epoch {snap.epoch}  reporting {snap.reporting}  "
+        f"contended {snap.contended}  degraded {snap.degraded}  "
+        f"quiet {snap.quiet}"
+    )
+    series = aggregator.series("fleet.contended_fraction")
+    spark = value_sparkline(series.values() if series else [], width)
+    peak = max(series.values(), default=0.0) if series else 0.0
+    lines.append(f"  contended fraction {spark} peak {peak:.0%}")
+    lines.append("")
+    lines.append(
+        f"  {'channel':<8} {'rmc machines':>12} {'fraction':>9} "
+        f"{'mean share':>11} {'mean lat':>9}"
+    )
+    for ch in sorted(snap.channels, key=lambda c: (c.src, c.dst)):
+        agg = snap.channels[ch]
+        lines.append(
+            f"  {ch.src}->{ch.dst:<5} {agg.rmc_machines:>12} "
+            f"{agg.rmc_fraction:>9.0%} {agg.mean_share:>11.1%} "
+            f"{agg.mean_latency:>9.1f}"
+        )
+    top = aggregator.top_channels()
+    if top:
+        lines.append("")
+        lines.append("  top contended channels (rmc machine-windows):")
+        for entry in top:
+            lines.append(
+                f"    {entry['channel']:<8} {entry['rmc_machine_windows']:>6}  "
+                f"peak fraction {entry['peak_rmc_fraction']:.0%}"
+            )
+    firing = aggregator.firing()
+    lines.append("")
+    if firing:
+        lines.append(f"  fleet alerts firing ({len(firing)}):")
+        for ev in firing:
+            scope = f" {ev.channel.src}->{ev.channel.dst}" if ev.channel else ""
+            lines.append(
+                f"    [{ev.severity}] {ev.rule}{scope}  "
+                f"value {ev.value:.3g} vs {ev.threshold:.3g}"
+            )
+    else:
+        lines.append("  fleet alerts: none firing")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,62 @@
+"""Stable machine identity for fleet ingest.
+
+Every stream the aggregator ingests is keyed by a
+:class:`MachineIdentity`: the operator-assigned ``machine_id``, the
+16-hex-char topology hash (:func:`repro.telemetry.artifact.topology_hash`
+— two machines with the same hash are byte-identical simulations), the
+workload tag the scheduler assigned, the ``Tt-Nn`` run configuration,
+and the machine's derived RNG seed.  The identity travels in the
+``fleet_hello`` wire record and labels the fleet's Prometheus
+exposition, so its string fields are validated here once rather than at
+every use site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import FleetError
+
+__all__ = ["MachineIdentity"]
+
+#: Hard cap on identity string fields — these become Prometheus label
+#: values and JSONL keys, and an unbounded id is an unbounded label.
+_MAX_FIELD = 128
+
+
+@dataclass(frozen=True)
+class MachineIdentity:
+    """The stable key of one simulated machine's stream."""
+
+    machine_id: str
+    topology: str  # topology_hash() of the simulated machine
+    workload: str  # scheduler tag, e.g. "contend" / "quiet"
+    config: str  # Tt-Nn run configuration name
+    seed: int
+
+    def __post_init__(self) -> None:
+        for name in ("machine_id", "topology", "workload", "config"):
+            value = getattr(self, name)
+            if not isinstance(value, str) or not value:
+                raise FleetError(f"identity {name} must be a non-empty string")
+            if len(value) > _MAX_FIELD:
+                raise FleetError(
+                    f"identity {name} is longer than {_MAX_FIELD} chars"
+                )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FleetError(f"identity seed must be an int, got {self.seed!r}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, obj: object) -> MachineIdentity:
+        if not isinstance(obj, dict):
+            raise FleetError(f"identity must be a JSON object, got {obj!r}")
+        unknown = set(obj) - {"machine_id", "topology", "workload", "config", "seed"}
+        if unknown:
+            raise FleetError(f"identity has unknown keys {sorted(unknown)}")
+        try:
+            return cls(**obj)
+        except TypeError as exc:
+            raise FleetError(f"malformed identity: {exc}") from exc

@@ -1,0 +1,133 @@
+"""Multi-resolution downsampled retention for fleet time series.
+
+NUMAscope keeps capture affordable at scale by retaining recent samples
+at full rate and older history at progressively coarser resolution; this
+module applies the same idea to the aggregator's per-epoch series.  A
+:class:`RetentionSeries` holds ``tiers`` ring buffers: tier 0 stores one
+point per epoch (the same bounded-deque discipline as the simulator's
+interconnect interval histories), tier 1 one point per ``factor``
+epochs, tier 2 one per ``factor**2``, and so on.  Every tier has the
+same point capacity, so each tier extends the retained horizon by
+another ``factor``x at constant memory.
+
+Downsampling is driven purely by arrival *count* (every ``factor``
+completed points of tier k merge into one point of tier k+1), never by
+wall clock, so a series' contents are a pure function of the pushed
+values — byte-deterministic across runs, replay, and concurrency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import FleetError
+
+__all__ = ["RetentionConfig", "RetentionPoint", "RetentionSeries"]
+
+
+@dataclass(frozen=True)
+class RetentionConfig:
+    """Shape of a retention pyramid: ``tiers`` rings of ``points`` points,
+    each tier ``factor``x coarser than the one below."""
+
+    points: int = 240
+    factor: int = 10
+    tiers: int = 3
+
+    def __post_init__(self) -> None:
+        if self.points < 1:
+            raise FleetError(f"retention points must be >= 1, got {self.points}")
+        if self.factor < 2:
+            raise FleetError(f"retention factor must be >= 2, got {self.factor}")
+        if self.tiers < 1:
+            raise FleetError(f"retention tiers must be >= 1, got {self.tiers}")
+
+
+@dataclass(frozen=True)
+class RetentionPoint:
+    """One retained bucket: ``count`` raw epochs starting at ``start``."""
+
+    start: int
+    count: int
+    mean: float
+    peak: float
+
+    def merge(self, other: RetentionPoint) -> RetentionPoint:
+        count = self.count + other.count
+        total = self.mean * self.count + other.mean * other.count
+        return RetentionPoint(
+            start=min(self.start, other.start),
+            count=count,
+            mean=total / count,
+            peak=max(self.peak, other.peak),
+        )
+
+
+class RetentionSeries:
+    """One value's raw -> ``factor``x -> ``factor**2``x retention rings."""
+
+    def __init__(self, config: RetentionConfig | None = None) -> None:
+        self.config = config or RetentionConfig()
+        self.tiers: list[deque[RetentionPoint]] = [
+            deque(maxlen=self.config.points) for _ in range(self.config.tiers)
+        ]
+        # Per coarse tier: the bucket currently being accumulated.
+        self._acc: list[RetentionPoint | None] = [None] * self.config.tiers
+        self._acc_points: list[int] = [0] * self.config.tiers
+        self.pushed = 0
+
+    def push(self, epoch: int, value: float) -> None:
+        """Record one epoch's value and cascade completed buckets up."""
+        self.pushed += 1
+        point = RetentionPoint(start=int(epoch), count=1, mean=float(value),
+                               peak=float(value))
+        self.tiers[0].append(point)
+        self._cascade(1, point)
+
+    def _cascade(self, tier: int, point: RetentionPoint) -> None:
+        if tier >= self.config.tiers:
+            return
+        acc = self._acc[tier]
+        self._acc[tier] = point if acc is None else acc.merge(point)
+        self._acc_points[tier] += 1
+        if self._acc_points[tier] >= self.config.factor:
+            completed = self._acc[tier]
+            assert completed is not None
+            self._acc[tier] = None
+            self._acc_points[tier] = 0
+            self.tiers[tier].append(completed)
+            self._cascade(tier + 1, completed)
+
+    def points(self, tier: int = 0) -> list[RetentionPoint]:
+        """The retained points of one tier, oldest first."""
+        if not 0 <= tier < self.config.tiers:
+            raise FleetError(
+                f"tier must be in [0, {self.config.tiers}), got {tier}"
+            )
+        return list(self.tiers[tier])
+
+    def values(self, tier: int = 0) -> list[float]:
+        """The retained means of one tier, oldest first (sparkline feed)."""
+        return [p.mean for p in self.points(tier)]
+
+    def resolution(self, tier: int) -> int:
+        """How many raw epochs one point of ``tier`` covers when full."""
+        return self.config.factor**tier
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: per tier, its resolution and retained points."""
+        return {
+            "points": self.config.points,
+            "factor": self.config.factor,
+            "pushed": self.pushed,
+            "tiers": [
+                {
+                    "resolution": self.resolution(i),
+                    "points": [
+                        [p.start, p.count, p.mean, p.peak] for p in ring
+                    ],
+                }
+                for i, ring in enumerate(self.tiers)
+            ],
+        }

@@ -1,0 +1,306 @@
+"""Simulate a fleet: N machines, each its own simulator, one aggregator.
+
+Each machine is an independent :class:`~repro.numasim.machine.Machine`
+running the monitor demo arc (contend -> calm) or a quiet colocated
+workload, profiled live with its own :class:`LiveMonitor` whose windows
+are bridged onto the fleet wire by a :class:`~repro.fleet.wire.MachineFeed`.
+Machine workloads, fault plans, and RNG seeds are all derived with
+:func:`repro.parallel.seeding.child_seed` from the fleet seed and the
+machine id — never from spawn order or worker identity — so the set of
+wire records a fleet produces is byte-identical at any concurrency.
+
+Machines run on a thread pool, each under its *own* telemetry session
+(:func:`repro.telemetry.session` is ContextVar-scoped): this is the
+designed stress test for the per-context telemetry isolation — fifty
+monitors incrementing "their" registries concurrently must never bleed
+into each other or into the caller's session.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import telemetry
+from repro.core.classifier import MIN_CHANNEL_SUPPORT, DrBwClassifier
+from repro.core.profiler import DrBwProfiler, ProfilerConfig
+from repro.errors import FleetError
+from repro.eval.configs import config_by_name
+from repro.faults import FaultPlan, parse_fault_plan
+from repro.fleet.aggregator import FleetAggregator, FleetSnapshot
+from repro.fleet.identity import MachineIdentity
+from repro.fleet.wire import MachineFeed
+from repro.monitor import LiveMonitor, MonitorConfig
+from repro.monitor.demo import make_monitor_demo_workload
+from repro.numasim.cachemodel import PatternKind
+from repro.numasim.machine import Machine
+from repro.parallel.seeding import child_seed
+from repro.telemetry.artifact import topology_hash
+from repro.workloads.base import ObjectSpec, PhaseSpec, Share, StreamSpec, Workload
+
+__all__ = [
+    "FleetSpec",
+    "MachineSpec",
+    "MachineSummary",
+    "machine_specs",
+    "make_quiet_workload",
+    "run_fleet",
+    "simulate_machine",
+]
+
+_SEED_SPACE = 2**31
+MB = 1024 * 1024
+
+
+def make_quiet_workload(
+    vector_bytes: int, accesses_per_thread: float
+) -> Workload:
+    """A single colocated phase: all traffic local, no contention."""
+    cold = ObjectSpec(
+        name="cold",
+        size_bytes=vector_bytes,
+        site="fleet_quiet.c:10",
+        colocate=True,
+    )
+    return Workload(
+        name="fleet-quiet",
+        objects=(cold,),
+        phases=(
+            PhaseSpec(
+                name="quiet",
+                accesses_per_thread=accesses_per_thread,
+                compute_cycles_per_access=0.5,
+                streams=(
+                    StreamSpec(
+                        object_name="cold",
+                        pattern=PatternKind.SEQUENTIAL,
+                        share=Share.CHUNK,
+                        element_bytes=8,
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet run: how many machines, and the per-machine mix."""
+
+    machines: int
+    seed: int = 0
+    config: str = "T16-N2"
+    contend_fraction: float = 0.5
+    faults: str | None = None
+    faulted_fraction: float = 0.25
+    window_intervals: int = 4
+    interval_cycles: float = 4e6
+    accesses_per_thread: float = 1_500_000.0
+    vector_bytes: int = 64 * MB
+    fleet: str = "fleet0"
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise FleetError(f"machines must be >= 1, got {self.machines}")
+        if not 0.0 <= self.contend_fraction <= 1.0:
+            raise FleetError(
+                f"contend_fraction must be in [0, 1], got {self.contend_fraction}"
+            )
+        if not 0.0 <= self.faulted_fraction <= 1.0:
+            raise FleetError(
+                f"faulted_fraction must be in [0, 1], got {self.faulted_fraction}"
+            )
+        config_by_name(self.config)  # raises ConfigError on a bad name
+        if self.faults is not None:
+            parse_fault_plan(self.faults)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine's derived slice of a :class:`FleetSpec`."""
+
+    machine_id: str
+    seed: int
+    workload: str  # "contend" | "quiet"
+    config: str
+    faults: str | None
+    fault_seed: int
+    window_intervals: int
+    interval_cycles: float
+    accesses_per_thread: float
+    vector_bytes: int
+
+
+def _fraction(seed: int, *parts: object) -> float:
+    """A deterministic uniform draw in [0, 1) for a named stream."""
+    return child_seed(seed, *parts) / _SEED_SPACE
+
+
+def machine_specs(spec: FleetSpec) -> list[MachineSpec]:
+    """Derive every machine's spec from the fleet spec.
+
+    Workload and fault assignment hash the machine id, not its index
+    rank, so machine ``m007`` keeps its role when the fleet grows.
+    """
+    out = []
+    for i in range(spec.machines):
+        mid = f"m{i:03d}"
+        contend = _fraction(spec.seed, "workload", mid) < spec.contend_fraction
+        faulted = (
+            spec.faults is not None
+            and _fraction(spec.seed, "faults", mid) < spec.faulted_fraction
+        )
+        out.append(
+            MachineSpec(
+                machine_id=mid,
+                seed=child_seed(spec.seed, "machine", mid),
+                workload="contend" if contend else "quiet",
+                config=spec.config,
+                faults=spec.faults if faulted else None,
+                fault_seed=child_seed(spec.seed, "fault-plan", mid),
+                window_intervals=spec.window_intervals,
+                interval_cycles=spec.interval_cycles,
+                accesses_per_thread=spec.accesses_per_thread,
+                vector_bytes=spec.vector_bytes,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class MachineSummary:
+    """What one simulated machine reports back to the runner."""
+
+    machine_id: str
+    workload: str
+    windows: int
+    ever_rmc: bool
+    records: int
+    telemetry_windows: float  # the machine's own session counter
+
+
+def simulate_machine(
+    mspec: MachineSpec,
+    classifier: DrBwClassifier,
+    sink: Callable[[dict], None],
+    telemetry_enabled: bool = False,
+) -> MachineSummary:
+    """Run one machine's live-monitored profile, streaming to ``sink``."""
+    machine = Machine()
+    cfg = config_by_name(mspec.config)
+    identity = MachineIdentity(
+        machine_id=mspec.machine_id,
+        topology=topology_hash(machine.topology),
+        workload=mspec.workload,
+        config=mspec.config,
+        seed=mspec.seed,
+    )
+    if mspec.workload == "contend":
+        workload = make_monitor_demo_workload(
+            vector_bytes=mspec.vector_bytes,
+            accesses_per_thread=mspec.accesses_per_thread,
+            calm_accesses_per_thread=2.0 * mspec.accesses_per_thread,
+        )
+    else:
+        workload = make_quiet_workload(
+            mspec.vector_bytes, 3.0 * mspec.accesses_per_thread
+        )
+    profiler_cfg = ProfilerConfig()
+    if mspec.faults is not None:
+        plan = parse_fault_plan(mspec.faults)
+        plan = dataclasses.replace(plan, seed=mspec.fault_seed)
+        profiler_cfg = ProfilerConfig(
+            faults=plan,
+            resample_floor=MIN_CHANNEL_SUPPORT,
+            resample_attempts=3,
+        )
+
+    feed = MachineFeed(identity, sink)
+    tel = telemetry.Telemetry(enabled=telemetry_enabled)
+    with telemetry.session(tel):
+        monitor = LiveMonitor(
+            classifier,
+            machine.topology,
+            config=MonitorConfig(
+                window_intervals=mspec.window_intervals,
+                interval_cycles=mspec.interval_cycles,
+                rules=(),  # machine-local alerting is the fleet's job here
+            ),
+            on_window=feed.window,
+        )
+        feed.hello(machine.topology.n_sockets)
+        DrBwProfiler(machine, profiler_cfg).profile_live(
+            workload, cfg.n_threads, cfg.n_nodes,
+            monitor=monitor, seed=mspec.seed,
+        )
+        feed.bye(monitor)
+        tel_windows = (
+            tel.metrics.counter("monitor.windows").value if tel.enabled else 0.0
+        )
+    return MachineSummary(
+        machine_id=mspec.machine_id,
+        workload=mspec.workload,
+        windows=monitor.window_index + 1,
+        ever_rmc=monitor.ever_rmc,
+        records=feed.records,
+        telemetry_windows=tel_windows,
+    )
+
+
+def run_fleet(
+    spec: FleetSpec,
+    classifier: DrBwClassifier,
+    aggregator: FleetAggregator,
+    wire_sink: Callable[[dict], None] | None = None,
+    jobs: int | None = None,
+    telemetry_enabled: bool = False,
+    on_snapshot: Callable[[FleetSnapshot], None] | None = None,
+) -> list[MachineSummary]:
+    """Simulate every machine concurrently into ``aggregator``.
+
+    ``wire_sink`` (typically ``WireLog.append``) additionally receives
+    every record.  ``on_snapshot`` fires for each completed fleet epoch,
+    from whichever worker thread completed it.  Machine summaries come
+    back in machine-id order; a machine whose simulation raises is
+    reported to the aggregator via :meth:`FleetAggregator.machine_failed`
+    and re-raised after the pool drains.
+    """
+    specs = machine_specs(spec)
+    if aggregator.expected_machines is None:
+        aggregator.expected_machines = len(specs)
+
+    def sink(record: dict) -> None:
+        if wire_sink is not None:
+            wire_sink(record)
+        snapshots = aggregator.ingest(record)
+        if on_snapshot is not None:
+            for snap in snapshots:
+                on_snapshot(snap)
+
+    workers = jobs if jobs is not None else min(8, len(specs))
+    if workers < 1:
+        raise FleetError(f"jobs must be >= 1, got {workers}")
+    summaries: list[MachineSummary] = []
+    first_error: BaseException | None = None
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="drbw-fleet"
+    ) as pool:
+        futures = {
+            pool.submit(
+                simulate_machine, ms, classifier, sink, telemetry_enabled
+            ): ms
+            for ms in specs
+        }
+        for future, ms in futures.items():
+            try:
+                summaries.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - report then re-raise
+                aggregator.machine_failed(ms.machine_id, error=str(exc))
+                if first_error is None:
+                    first_error = exc
+    if first_error is not None:
+        raise first_error
+    summaries.sort(key=lambda s: s.machine_id)
+    return summaries

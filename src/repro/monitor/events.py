@@ -6,17 +6,37 @@ monotonically increasing sequence number, and a ``kind``; the remaining
 keys are kind-specific.  :func:`validate_event` checks one decoded
 object and :func:`read_events` replays (and validates) a whole file, so
 CI can assert on a run's alert history without parsing logs.
+
+Long-lived streams (a fleet run is open-ended) can cap the file with
+size-based rotation: pass ``max_bytes`` and the log rolls the live file
+to ``<path>.1`` (shifting ``.1`` -> ``.2`` and so on, keeping the last
+``keep_segments`` rotated segments) whenever a write pushes it past the
+cap — the same bounded-retention discipline as the simulator's
+ring-buffer interval histories, applied to the on-disk stream.
+:func:`log_segments` lists the surviving files oldest-first and
+:func:`read_all_segments` replays them as one stream.
+
+The kind table is injectable (``kinds=``), so the fleet wire format
+reuses this writer/validator with its own vocabulary.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
-from typing import IO, Iterator
+from typing import IO, Iterator, Mapping
 
 from repro.errors import MonitorError
 
-__all__ = ["EVENT_KINDS", "EventLog", "read_events", "validate_event"]
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "log_segments",
+    "read_all_segments",
+    "read_events",
+    "validate_event",
+]
 
 EVENT_STREAM_VERSION = 1
 
@@ -30,7 +50,9 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
 }
 
 
-def validate_event(obj: object) -> dict:
+def validate_event(
+    obj: object, kinds: Mapping[str, tuple[str, ...]] = EVENT_KINDS
+) -> dict:
     """Check one decoded event object; returns it on success."""
     if not isinstance(obj, dict):
         raise MonitorError(f"event is not a JSON object: {obj!r}")
@@ -43,7 +65,7 @@ def validate_event(obj: object) -> dict:
             f"(expected {EVENT_STREAM_VERSION})"
         )
     kind = obj["kind"]
-    required = EVENT_KINDS.get(kind)
+    required = kinds.get(kind)
     if required is None:
         raise MonitorError(f"unknown event kind {kind!r}")
     missing = [k for k in required if k not in obj]
@@ -53,29 +75,83 @@ def validate_event(obj: object) -> dict:
 
 
 class EventLog:
-    """Writes validated events to a JSONL file, one per line, flushed."""
+    """Writes validated events to a JSONL file, one per line, flushed.
 
-    def __init__(self, path: str | Path) -> None:
+    With ``max_bytes`` set, the file rotates once a write pushes it past
+    the cap: the live file becomes ``<path>.1``, older segments shift up,
+    and anything beyond ``keep_segments`` rotated files is deleted, so
+    total disk use is bounded by roughly ``(keep_segments + 1) *
+    max_bytes`` no matter how long the stream runs.  Sequence numbers
+    keep counting across rotations.  Safe to share between threads.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        kinds: Mapping[str, tuple[str, ...]] = EVENT_KINDS,
+        max_bytes: int | None = None,
+        keep_segments: int = 3,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise MonitorError(f"max_bytes must be >= 1, got {max_bytes}")
+        if keep_segments < 1:
+            raise MonitorError(f"keep_segments must be >= 1, got {keep_segments}")
         self.path = Path(path)
+        self.kinds = dict(kinds)
+        self.max_bytes = max_bytes
+        self.keep_segments = keep_segments
         self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
         self._seq = 0
+        self._lock = threading.Lock()
 
     def emit(self, kind: str, **payload: object) -> dict:
-        """Append one event; returns the full object written."""
-        if self._fh is None:
-            raise MonitorError(f"event log {self.path} is closed")
-        event = {"v": EVENT_STREAM_VERSION, "seq": self._seq, "kind": kind}
-        event.update(payload)
-        validate_event(event)
-        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
-        self._fh.flush()
-        self._seq += 1
+        """Append one event under a fresh envelope; returns the object."""
+        with self._lock:
+            event = {"v": EVENT_STREAM_VERSION, "seq": self._seq, "kind": kind}
+            event.update(payload)
+            validate_event(event, self.kinds)
+            self._write(event)
+            self._seq += 1
         return event
 
+    def append(self, event: dict) -> dict:
+        """Append a pre-built event (envelope included) after validating.
+
+        The fleet wire uses this: records are constructed once at the
+        machine feed (with per-machine sequence numbers) and the same
+        object goes to the in-process aggregator and to the JSONL wire.
+        """
+        with self._lock:
+            validate_event(event, self.kinds)
+            self._write(event)
+        return event
+
+    def _write(self, event: dict) -> None:
+        if self._fh is None:
+            raise MonitorError(f"event log {self.path} is closed")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        if self.max_bytes is not None and self._fh.tell() >= self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        assert self._fh is not None
+        self._fh.close()
+        oldest = self.path.with_name(f"{self.path.name}.{self.keep_segments}")
+        oldest.unlink(missing_ok=True)
+        for i in range(self.keep_segments - 1, 0, -1):
+            seg = self.path.with_name(f"{self.path.name}.{i}")
+            if seg.exists():
+                seg.rename(self.path.with_name(f"{self.path.name}.{i + 1}"))
+        self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._fh = self.path.open("w", encoding="utf-8")
+
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> EventLog:
         return self
@@ -84,7 +160,29 @@ class EventLog:
         self.close()
 
 
-def read_events(path: str | Path) -> Iterator[dict]:
+def log_segments(path: str | Path) -> list[Path]:
+    """Surviving segments of a (possibly rotated) log, oldest first.
+
+    Returns ``[<path>.N, ..., <path>.1, <path>]`` for the segments that
+    exist; a never-rotated log yields just ``[<path>]``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise MonitorError(f"event stream not found: {path}")
+    rotated = []
+    i = 1
+    while True:
+        seg = path.with_name(f"{path.name}.{i}")
+        if not seg.exists():
+            break
+        rotated.append(seg)
+        i += 1
+    return list(reversed(rotated)) + [path]
+
+
+def read_events(
+    path: str | Path, kinds: Mapping[str, tuple[str, ...]] = EVENT_KINDS
+) -> Iterator[dict]:
     """Replay a JSONL event stream, validating every line."""
     path = Path(path)
     if not path.exists():
@@ -100,4 +198,12 @@ def read_events(path: str | Path) -> Iterator[dict]:
                 raise MonitorError(
                     f"{path}:{lineno}: malformed JSON: {exc}"
                 ) from exc
-            yield validate_event(obj)
+            yield validate_event(obj, kinds)
+
+
+def read_all_segments(
+    path: str | Path, kinds: Mapping[str, tuple[str, ...]] = EVENT_KINDS
+) -> Iterator[dict]:
+    """Replay every surviving segment of a rotated log, oldest first."""
+    for seg in log_segments(path):
+        yield from read_events(seg, kinds)

@@ -10,23 +10,47 @@ expanded to cumulative ``_bucket{le=...}`` series (closed with
 ``le="+Inf"``) plus ``_sum`` and ``_count``, matching what a real
 Prometheus client library would produce.  Output is sorted, so two
 renders of the same registry are byte-identical.
+
+Escaping follows the v0.0.4 spec exactly: label values escape backslash,
+double-quote, and line feed (``\\``, ``\"``, ``\n``); ``# HELP`` text
+escapes backslash and line feed; non-finite sample values render as the
+spec spellings ``+Inf`` / ``-Inf`` / ``NaN`` (Python's ``inf``/``nan``
+reprs are not part of the grammar).  The fleet exposition attaches
+*arbitrary* label values (machine ids, workload tags), so the escaping
+helpers are public and :func:`render_exposition` renders pre-labelled
+families through the same code path the registry renderer uses.
 """
 
 from __future__ import annotations
 
+import math
 import re
 from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import MonitorError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.metrics import Histogram, MetricsRegistry
 
-__all__ = ["render_prometheus", "render_prometheus_multi", "CONTENT_TYPE"]
+__all__ = [
+    "render_prometheus",
+    "render_prometheus_multi",
+    "render_exposition",
+    "escape_label_value",
+    "escape_help_text",
+    "CONTENT_TYPE",
+]
 
 #: Value for the HTTP Content-Type header when serving this format.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _CHANNEL_SEGMENT = re.compile(r"^(\d+)->(\d+)$")
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: The family types :func:`render_exposition` accepts (histograms go
+#: through the registry renderer, which owns the bucket expansion).
+_EXPOSITION_KINDS = frozenset({"counter", "gauge", "untyped"})
 
 
 def _split_name(dotted: str, namespace: str) -> tuple[str, dict[str, str]]:
@@ -47,21 +71,37 @@ def _split_name(dotted: str, namespace: str) -> tuple[str, dict[str, str]]:
     return name, labels
 
 
-def _escape_label(value: str) -> str:
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the v0.0.4 spec.
+
+    Backslash first (so the escapes we add are not re-escaped), then
+    double-quote and line feed: ``\\`` -> ``\\\\``, ``"`` -> ``\\"``,
+    newline -> ``\\n``.
+    """
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help_text(text: str) -> str:
+    """Escape ``# HELP`` text per the v0.0.4 spec (``\\`` and ``\\n`` only;
+    double quotes are legal in help text and must *not* be escaped)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _render_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+        f'{k}="{escape_label_value(str(v))}"' for k, v in sorted(labels.items())
     )
     return "{" + inner + "}"
 
 
 def _fmt(v: float) -> str:
     f = float(v)
+    if math.isnan(f):
+        return "NaN"
+    if math.isinf(f):
+        return "+Inf" if f > 0 else "-Inf"
     if f == int(f) and abs(f) < 1e15:
         return str(int(f))
     return repr(f)
@@ -107,7 +147,7 @@ def render_prometheus(registry: MetricsRegistry, namespace: str = "drbw") -> str
     out: list[str] = []
     for name in sorted(families):
         kind, help_text, series = families[name]
-        out.append(f"# HELP {name} {help_text}")
+        out.append(f"# HELP {name} {escape_help_text(help_text)}")
         out.append(f"# TYPE {name} {kind}")
         for labels, instrument in sorted(series, key=lambda s: sorted(s[0].items())):
             if kind == "histogram":
@@ -116,6 +156,52 @@ def render_prometheus(registry: MetricsRegistry, namespace: str = "drbw") -> str
                 out.append(
                     f"{name}{_render_labels(labels)} {_fmt(instrument.value)}"
                 )
+    return "\n".join(out) + "\n" if out else ""
+
+
+def render_exposition(
+    families: Iterable[tuple[str, str, str, Iterable[tuple[dict, float]]]],
+) -> str:
+    """Render pre-labelled metric families as exposition text.
+
+    ``families`` is an iterable of ``(name, kind, help, samples)`` where
+    ``samples`` is an iterable of ``(labels, value)`` pairs.  This is the
+    path for metrics whose labels are not derived from registry names —
+    the fleet exposition's ``machine_id``/``workload``/``fleet`` labels —
+    and it applies the same escaping rules as the registry renderer, so
+    hostile label values (quotes, newlines, backslashes) cannot corrupt
+    the page.  Output is sorted by family name, then by label set, and is
+    byte-deterministic for equal input.
+    """
+    rendered: dict[str, tuple[str, str, list[tuple[dict, float]]]] = {}
+    for name, kind, help_text, samples in families:
+        metric = _INVALID_CHARS.sub("_", str(name))
+        if not metric or metric[0].isdigit():
+            metric = f"_{metric}"
+        if kind not in _EXPOSITION_KINDS:
+            raise MonitorError(
+                f"family {metric!r}: kind must be one of "
+                f"{sorted(_EXPOSITION_KINDS)}, got {kind!r}"
+            )
+        if metric in rendered:
+            raise MonitorError(f"duplicate exposition family {metric!r}")
+        checked: list[tuple[dict, float]] = []
+        for labels, value in samples:
+            for key in labels:
+                if not _LABEL_NAME.match(str(key)):
+                    raise MonitorError(
+                        f"family {metric!r}: invalid label name {key!r}"
+                    )
+            checked.append((dict(labels), float(value)))
+        rendered[metric] = (kind, help_text, checked)
+
+    out: list[str] = []
+    for metric in sorted(rendered):
+        kind, help_text, checked = rendered[metric]
+        out.append(f"# HELP {metric} {escape_help_text(str(help_text))}")
+        out.append(f"# TYPE {metric} {kind}")
+        for labels, value in sorted(checked, key=lambda s: sorted(s[0].items())):
+            out.append(f"{metric}{_render_labels(labels)} {_fmt(value)}")
     return "\n".join(out) + "\n" if out else ""
 
 

@@ -22,6 +22,7 @@ from repro.errors import ParallelError
 
 __all__ = [
     "canonical_json",
+    "child_seed",
     "config_hash",
     "shard_seed",
     "stable_case_seed",
@@ -76,3 +77,15 @@ def stable_case_seed(campaign_seed: int, *parts: object) -> int:
     hash material, so anything with a stable ``str`` works.
     """
     return shard_seed(campaign_seed, config_hash([str(p) for p in parts]))
+
+
+def child_seed(parent_seed: int, *stream: object) -> int:
+    """A named child RNG stream derived from a parent seed.
+
+    The fleet runner seeds every simulated machine (and its fault plan)
+    from ``child_seed(fleet_seed, "machine", machine_id)``: the child
+    streams are decorrelated from each other and from the parent, and —
+    because the derivation never involves worker identity or spawn order
+    — a fleet is byte-deterministic at any machine count or concurrency.
+    """
+    return stable_case_seed(parent_seed, *stream)

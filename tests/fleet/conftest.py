@@ -1,0 +1,130 @@
+"""Shared helpers for the fleet tests: synthetic machine streams.
+
+A synthetic stream is the full hello/window/bye record list one machine
+would put on the wire, built as plain dicts so tests control every field
+exactly.  ``interleave`` merges streams into one arrival order while
+preserving each stream's internal order — the only ordering the
+aggregator requires — so determinism tests can ingest the same streams
+in many different interleavings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+CHANNEL = "1->0"
+
+
+def make_stream(
+    mid: str,
+    windows: int,
+    rmc: Iterable[int] = (),
+    share: float = 0.1,
+    rmc_share: float = 0.6,
+    quarantine: float = 0.0,
+    n_nodes: int = 2,
+    seed: int = 1,
+    channels: Sequence[str] = (CHANNEL,),
+    interval: float = 4e6,
+) -> list[dict]:
+    """One machine's full wire stream; ``rmc`` lists its rmc windows."""
+    rmc = set(rmc)
+    workload = "contend" if rmc else "quiet"
+    records = [
+        {
+            "v": 1,
+            "seq": 0,
+            "kind": "fleet_hello",
+            "machine_id": mid,
+            "identity": {
+                "machine_id": mid,
+                "topology": "topo-synthetic",
+                "workload": workload,
+                "config": "T8-N2",
+                "seed": seed,
+            },
+            "n_nodes": n_nodes,
+        }
+    ]
+    for w in range(windows):
+        hot = w in rmc
+        records.append(
+            {
+                "v": 1,
+                "seq": w + 1,
+                "kind": "fleet_window",
+                "machine_id": mid,
+                "window": w,
+                "end_cycle": interval * (w + 1),
+                "n_samples": 100 + w,
+                "quarantine_rate": quarantine,
+                "channels": {
+                    tag: {
+                        "share": rmc_share if hot else share,
+                        "latency": 300.0 if hot else 120.0,
+                        "status": "rmc" if hot else "good",
+                        "label": "rmc" if hot else "good",
+                        "confidence": 0.9,
+                        "n_remote": 50,
+                    }
+                    for tag in channels
+                },
+                "rmc": list(channels) if hot else [],
+            }
+        )
+    records.append(
+        {
+            "v": 1,
+            "seq": windows + 1,
+            "kind": "fleet_bye",
+            "machine_id": mid,
+            "windows": windows,
+            "samples": 100 + windows - 1,
+            "ever_rmc": bool(rmc),
+            "rmc_channels": sorted(channels) if rmc else [],
+        }
+    )
+    return records
+
+
+def make_fleet_streams(
+    n_machines: int = 5,
+    windows: int = 8,
+    rmc_machines: int = 2,
+    rmc_windows: Iterable[int] = (2, 3, 4, 5),
+) -> dict[str, list[dict]]:
+    """A small fleet: the first ``rmc_machines`` go rmc on ``rmc_windows``."""
+    return {
+        f"m{i:03d}": make_stream(
+            f"m{i:03d}",
+            windows,
+            rmc=rmc_windows if i < rmc_machines else (),
+            seed=100 + i,
+        )
+        for i in range(n_machines)
+    }
+
+
+def interleave(
+    streams: dict[str, list[dict]], rng: random.Random | None = None
+) -> list[dict]:
+    """Merge streams into one arrival order, preserving per-stream order.
+
+    With ``rng`` the merge points are random; without, streams are
+    drained round-robin.
+    """
+    queues = {mid: list(recs) for mid, recs in streams.items() if recs}
+    out: list[dict] = []
+    while queues:
+        if rng is None:
+            for mid in sorted(queues):
+                out.append(queues[mid].pop(0))
+                if not queues[mid]:
+                    del queues[mid]
+        else:
+            mid = rng.choice(sorted(queues))
+            out.append(queues[mid].pop(0))
+            if not queues[mid]:
+                del queues[mid]
+    return out

@@ -1,0 +1,241 @@
+"""The fleet aggregator: epoch gating, rollups, top-K, timeline, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.aggregator import FleetAggregator, parse_channel
+from repro.telemetry.artifact import validate_chrome_trace
+from repro.types import Channel
+
+from tests.fleet.conftest import interleave, make_fleet_streams, make_stream
+
+
+def test_parse_channel():
+    assert parse_channel("0->1") == Channel(0, 1)
+    for bad in ("x->1", "0-1", "0->1->2", ""):
+        with pytest.raises(FleetError, match="channel tag"):
+            parse_channel(bad)
+
+
+# -- epoch gating ------------------------------------------------------------
+
+
+def test_no_epoch_before_full_roster():
+    streams = make_fleet_streams(n_machines=3, windows=4)
+    agg = FleetAggregator(expected_machines=3)
+    # Two machines deliver everything: still no epoch (roster incomplete).
+    agg.ingest_many(streams["m000"])
+    agg.ingest_many(streams["m001"])
+    assert agg.epochs == 0
+    snaps = agg.ingest_many(streams["m002"])
+    assert agg.epochs == 4
+    assert [s.epoch for s in snaps] == [0, 1, 2, 3]
+
+
+def test_epoch_waits_for_slowest_machine():
+    streams = make_fleet_streams(n_machines=2, windows=3)
+    agg = FleetAggregator(expected_machines=2)
+    a, b = streams["m000"], streams["m001"]
+    agg.ingest(a[0])  # hello
+    agg.ingest(b[0])  # hello
+    assert agg.ingest(a[1]) == []  # m000 window 0; m001 still working
+    snaps = agg.ingest(b[1])  # m001 window 0 completes epoch 0
+    assert [s.epoch for s in snaps] == [0]
+    assert snaps[0].reporting == 2
+
+
+def test_bye_excludes_machine_from_later_epochs():
+    streams = {
+        "m000": make_stream("m000", 2),
+        "m001": make_stream("m001", 5),
+    }
+    agg = FleetAggregator(expected_machines=2)
+    snaps = agg.ingest_many(interleave(streams))
+    assert [s.reporting for s in snaps] == [2, 2, 1, 1, 1]
+    assert agg.epochs == 5
+
+
+def test_machine_failed_unblocks_the_fleet():
+    streams = make_fleet_streams(n_machines=2, windows=4)
+    agg = FleetAggregator(expected_machines=2)
+    agg.ingest_many(streams["m000"])  # full stream
+    agg.ingest(streams["m001"][0])  # hello
+    agg.ingest(streams["m001"][1])  # window 0
+    assert agg.epochs == 1  # epoch 0 evaluated with both
+    agg.machine_failed("m001", error="worker crashed")
+    assert agg.epochs == 4  # epochs 1-3 evaluated without it
+    roll = agg.rollup()
+    assert roll["counts"]["failed"] == 1
+    assert roll["machines"]["m001"]["error"] == "worker crashed"
+    assert "m001" in agg.degraded_ever
+
+
+def test_machine_failed_before_hello_completes_roster():
+    streams = make_fleet_streams(n_machines=2, windows=2)
+    agg = FleetAggregator(expected_machines=2)
+    agg.ingest_many(streams["m000"])
+    assert agg.epochs == 0
+    agg.machine_failed("m001")
+    assert agg.epochs == 2
+    assert agg.rollup()["machines"]["m001"]["identity"]["topology"] == "unknown"
+
+
+# -- stream discipline -------------------------------------------------------
+
+
+def test_rejects_window_before_hello():
+    agg = FleetAggregator()
+    with pytest.raises(FleetError, match="unknown machine"):
+        agg.ingest(make_stream("m000", 1)[1])
+
+
+def test_rejects_out_of_order_windows():
+    agg = FleetAggregator()
+    stream = make_stream("m000", 3)
+    agg.ingest(stream[0])
+    agg.ingest(stream[1])
+    with pytest.raises(FleetError, match="expected 1"):
+        agg.ingest(stream[3])  # window 2 skips window 1
+
+
+def test_rejects_duplicate_hello_and_late_records():
+    agg = FleetAggregator()
+    stream = make_stream("m000", 1)
+    agg.ingest_many(stream)
+    with pytest.raises(FleetError, match="duplicate fleet_hello"):
+        agg.ingest(stream[0])
+    with pytest.raises(FleetError, match="after bye"):
+        agg.ingest(stream[1])
+    with pytest.raises(FleetError, match="duplicate fleet_bye"):
+        agg.ingest(stream[-1])
+
+
+def test_rejects_roster_overflow():
+    agg = FleetAggregator(expected_machines=1)
+    agg.ingest(make_stream("m000", 1)[0])
+    with pytest.raises(FleetError, match="roster"):
+        agg.ingest(make_stream("m001", 1)[0])
+
+
+def test_rejects_mismatched_identity():
+    agg = FleetAggregator()
+    hello = dict(make_stream("m000", 1)[0], machine_id="m999")
+    with pytest.raises(FleetError, match="does not match"):
+        agg.ingest(hello)
+
+
+# -- derived views -----------------------------------------------------------
+
+
+def _contended_fleet() -> FleetAggregator:
+    streams = make_fleet_streams(n_machines=5, windows=8, rmc_machines=2,
+                                 rmc_windows=(2, 3, 4))
+    agg = FleetAggregator(expected_machines=5)
+    agg.ingest_many(interleave(streams))
+    return agg
+
+
+def test_snapshot_counts():
+    agg = _contended_fleet()
+    snap = agg.last_snapshot
+    assert snap is not None
+    assert snap.epoch == 7
+    assert snap.reporting == 5 and snap.contended == 0 and snap.quiet == 5
+    ch = Channel(1, 0)
+    assert snap.channels[ch].reporting == 5
+    assert snap.channels[ch].rmc_machines == 0
+    # Means are over all reporting machines.
+    assert snap.channels[ch].mean_share == pytest.approx(0.1)
+
+
+def test_top_channels_ranking_and_tiebreak():
+    streams = {
+        # 2->0 hottest (6 rmc machine-windows), then the 1->0 / 3->1 tie
+        # breaks on (src, dst).
+        "m000": make_stream("m000", 8, rmc=(1, 2, 3), channels=("2->0",)),
+        "m001": make_stream("m001", 8, rmc=(1, 2, 3), channels=("2->0",)),
+        "m002": make_stream("m002", 8, rmc=(4, 5), channels=("3->1",)),
+        "m003": make_stream("m003", 8, rmc=(4, 5), channels=("1->0",)),
+    }
+    agg = FleetAggregator(expected_machines=4)
+    agg.ingest_many(interleave(streams))
+    top = agg.top_channels()
+    assert [(t["channel"], t["rmc_machine_windows"]) for t in top] == [
+        ("2->0", 6), ("1->0", 2), ("3->1", 2)
+    ]
+    assert agg.top_channels(k=1) == top[:1]
+    assert top[0]["peak_rmc_fraction"] == pytest.approx(2 / 4)
+
+
+def test_rollup_document_shape():
+    agg = _contended_fleet()
+    roll = agg.rollup()
+    assert roll["schema"] == "drbw-fleet-rollup" and roll["v"] == 1
+    assert roll["epochs"] == 8
+    assert roll["counts"] == {
+        "machines": 5, "records": 5 * 10, "machine_windows": 40,
+        "contended_ever": 2, "degraded_ever": 0, "failed": 0,
+    }
+    assert sorted(roll["machines"]) == [f"m{i:03d}" for i in range(5)]
+    m0 = roll["machines"]["m000"]
+    assert m0["ever_rmc"] and m0["windows"] == 8 and m0["done"]
+    assert m0["rmc_windows"] == {"1->0": 3}
+    assert "fleet.contended_fraction" in roll["retention"]
+    assert "channel.rmc_fraction.1->0" in roll["retention"]
+    raw = roll["retention"]["fleet.contended_fraction"]["tiers"][0]["points"]
+    assert [p[2] for p in raw] == [0, 0, 0.4, 0.4, 0.4, 0, 0, 0]
+
+
+def test_retention_series_cascade_through_aggregator():
+    from repro.fleet.retention import RetentionConfig
+
+    streams = {"m000": make_stream("m000", 25)}
+    agg = FleetAggregator(expected_machines=1,
+                          retention=RetentionConfig(points=5, factor=5,
+                                                    tiers=2))
+    agg.ingest_many(streams["m000"])
+    series = agg.series("fleet.contended_fraction")
+    assert series is not None
+    assert len(series.values(0)) == 5  # ring capped
+    assert len(series.values(1)) == 5  # 25 epochs / factor 5
+    assert agg.series("no.such.series") is None
+
+
+def test_timeline_is_valid_chrome_trace():
+    agg = _contended_fleet()
+    events = validate_chrome_trace(agg.timeline_events())
+    assert len(events) == 40 * 2  # one window + one channel track per window
+    pids = {e["pid"] for e in events}
+    assert pids == {1, 2, 3, 4, 5}  # one process per machine
+    tids = {e["tid"] for e in events}
+    assert tids == {0, 1}  # windows track + the single channel track
+    m0 = [e for e in events if e["args"]["machine_id"] == "m000"]
+    assert all(e["pid"] == 1 for e in m0)
+    windows_track = sorted(
+        (e["ts"] for e in m0 if e["tid"] == 0)
+    )
+    assert windows_track == [4e6 * w for w in range(8)]
+    rmc_names = [e["name"] for e in m0 if "rmc" in e["name"]]
+    assert rmc_names == ["m000 1->0 rmc"] * 3
+
+
+def test_render_metrics_page():
+    agg = _contended_fleet()
+    text = agg.render_metrics()
+    assert 'drbw_fleet_machines{fleet="fleet0"} 5' in text
+    assert ('drbw_fleet_machine_windows_total{fleet="fleet0"} 40') in text
+    assert ('drbw_fleet_machine_rmc{fleet="fleet0",machine_id="m000",'
+            'workload="contend"} 0') in text
+    assert ('drbw_fleet_channel_rmc_fraction{channel="1->0",'
+            'fleet="fleet0"} 0') in text
+    # Two renders are byte-identical.
+    assert text == agg.render_metrics()
+
+
+def test_constructor_validation():
+    with pytest.raises(FleetError, match="expected_machines"):
+        FleetAggregator(expected_machines=0)
+    with pytest.raises(FleetError, match="top_k"):
+        FleetAggregator(top_k=0)

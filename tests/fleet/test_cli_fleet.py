@@ -1,0 +1,131 @@
+"""The ``drbw fleet`` subcommand end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.fleet.wire import read_wire
+
+
+@pytest.fixture()
+def model(tmp_path, trained):
+    clf, _ = trained
+    path = tmp_path / "model.json"
+    path.write_text(json.dumps(clf.to_dict()))
+    return str(path)
+
+
+#: Small-but-real fleet settings every CLI test shares: the default
+#: contend arc (fires and resolves the spread alert) on five machines.
+FLEET = ["fleet", "--machines", "5", "--plain", "--seed", "11",
+         "--jobs", "2"]
+
+
+class TestParser:
+    def test_fleet_parses(self):
+        args = build_parser().parse_args(
+            ["fleet", "--machines", "50", "--serve", "--jobs", "4",
+             "--faults", "standard", "--faulted-fraction", "0.3",
+             "--events", "w.jsonl", "--events-max-kb", "512"]
+        )
+        assert args.command == "fleet"
+        assert args.machines == 50
+        assert args.serve == 0  # bare --serve means OS-assigned port
+        assert args.events_max_kb == 512
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.machines == 12
+        assert args.config == "T16-N2"
+        assert args.window == 4
+
+
+class TestFleetRun:
+    def test_detects_fleet_contention_and_exits_2(self, model, capsys):
+        rc = main(FLEET + ["--model", model])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "fleet fleet0: 5 machines" in out
+        assert "fleet-level bandwidth contention detected" in out
+        assert "fired" in out and "resolved" in out
+        # Plain mode printed one line per epoch.
+        assert out.count("epoch ") >= 5
+
+    def test_artifacts_and_replay_byte_identity(self, model, tmp_path, capsys):
+        wire = tmp_path / "wire.jsonl"
+        timeline = tmp_path / "timeline.json"
+        rollup = tmp_path / "rollup.json"
+        rc = main(FLEET + ["--model", model, "--events", str(wire),
+                           "--timeline", str(timeline),
+                           "--rollup", str(rollup)])
+        assert rc == 2
+
+        records = list(read_wire(wire))
+        assert {r["machine_id"] for r in records} == {
+            f"m{i:03d}" for i in range(5)
+        }
+
+        from repro.telemetry.artifact import validate_chrome_trace
+
+        doc = json.loads(timeline.read_text())
+        events = validate_chrome_trace(doc["traceEvents"])
+        assert {e["pid"] for e in events} == {1, 2, 3, 4, 5}
+
+        replay_rollup = tmp_path / "rollup2.json"
+        rc = main(["fleet", "--replay", str(wire),
+                   "--rollup", str(replay_rollup)])
+        assert rc == 2
+        assert replay_rollup.read_bytes() == rollup.read_bytes()
+
+    def test_quiet_fleet_exits_0(self, model, capsys):
+        rc = main(["fleet", "--machines", "3", "--plain", "--seed", "11",
+                   "--accesses", "400000", "--contend-fraction", "0.0",
+                   "--model", model])
+        assert rc == 0
+        assert "no fleet-level contention" in capsys.readouterr().out
+
+    def test_custom_rules_file(self, model, tmp_path, capsys):
+        rules = [{"name": "never", "signal": "reporting_machines",
+                  "threshold": 1e9, "op": ">", "severity": "info"}]
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(rules))
+        rc = main(FLEET + ["--model", model, "--rules", str(path)])
+        # No rmc-spread rule in the set -> no fleet-level rmc bit.
+        assert rc == 0
+
+    def test_faulted_fleet_still_deterministic(self, model, tmp_path, capsys):
+        argv = FLEET + ["--model", model, "--faults", "standard",
+                        "--faulted-fraction", "1.0"]
+        r1 = tmp_path / "r1.json"
+        r2 = tmp_path / "r2.json"
+        assert main(argv + ["--rollup", str(r1)]) in (0, 2)
+        assert main(argv + ["--rollup", str(r2), "--jobs", "5"]) in (0, 2)
+        assert r1.read_bytes() == r2.read_bytes()
+
+
+class TestFleetErrors:
+    def test_bad_rules_file_exits_2(self, model, tmp_path, capsys):
+        bad = tmp_path / "rules.json"
+        bad.write_text('[{"name": "x", "signal": "bogus", "threshold": 1}]')
+        assert main(FLEET + ["--model", model, "--rules", str(bad)]) == 2
+        assert "drbw: error" in capsys.readouterr().err
+
+    def test_events_with_replay_exits_2(self, capsys):
+        assert main(["fleet", "--replay", "w.jsonl", "--events", "x.jsonl"]) == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_serve_hold_requires_serve(self, capsys):
+        assert main(["fleet", "--serve-hold"]) == 2
+        assert "--serve" in capsys.readouterr().err
+
+    def test_replay_without_hellos_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["fleet", "--replay", str(path)]) == 2
+
+    def test_bad_machine_count_exits_2(self, capsys):
+        assert main(["fleet", "--machines", "0"]) == 2
+        assert "machines" in capsys.readouterr().err

@@ -1,0 +1,135 @@
+"""Satellite: aggregator determinism and telemetry isolation.
+
+The contract under test: every fleet-derived byte — rollup, timeline,
+metrics page — is a pure function of the per-machine streams, never of
+their cross-machine arrival interleaving or of how many workers produced
+them.  The real-fleet cases also double as the designed stress test for
+ContextVar-scoped telemetry: dozens of monitors on a shared pool must
+never bleed counters into each other or into the caller's session.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.fleet.aggregator import FleetAggregator
+from repro.fleet.sim import FleetSpec, machine_specs, run_fleet
+from repro.parallel.seeding import canonical_json, child_seed
+
+from tests.fleet.conftest import interleave, make_fleet_streams
+
+
+def _derived_bytes(agg: FleetAggregator) -> tuple[str, str, str]:
+    return (
+        canonical_json(agg.rollup()),
+        canonical_json({"traceEvents": agg.timeline_events()}),
+        agg.render_metrics(),
+    )
+
+
+@pytest.mark.parametrize("order_seed", [0, 1, 2, 3])
+def test_synthetic_ingest_order_independence(order_seed):
+    streams = make_fleet_streams(n_machines=6, windows=9, rmc_machines=3)
+    ref = FleetAggregator(expected_machines=6)
+    ref.ingest_many(interleave(streams))  # round-robin reference order
+
+    shuffled = FleetAggregator(expected_machines=6)
+    snaps = shuffled.ingest_many(
+        interleave(streams, rng=random.Random(order_seed))
+    )
+    assert _derived_bytes(shuffled) == _derived_bytes(ref)
+    # The snapshots themselves also come out in epoch order.
+    assert [s.epoch for s in snaps] == list(range(9))
+
+
+def test_sequential_vs_interleaved_ingest():
+    """One machine at a time (maximal skew) equals round-robin."""
+    streams = make_fleet_streams(n_machines=4, windows=6, rmc_machines=2)
+    seq = FleetAggregator(expected_machines=4)
+    for mid in sorted(streams, reverse=True):  # worst case: reverse order
+        seq.ingest_many(streams[mid])
+    rr = FleetAggregator(expected_machines=4)
+    rr.ingest_many(interleave(streams))
+    assert _derived_bytes(seq) == _derived_bytes(rr)
+
+
+def test_child_seed_is_stable_and_stream_scoped():
+    assert child_seed(7, "machine", "m001") == child_seed(7, "machine", "m001")
+    assert child_seed(7, "machine", "m001") != child_seed(7, "machine", "m002")
+    assert child_seed(7, "machine", "m001") != child_seed(7, "faults", "m001")
+    assert child_seed(7, "machine", "m001") != child_seed(8, "machine", "m001")
+
+
+def test_machine_specs_are_identity_hashed_not_rank_hashed():
+    """m007's role must not change when the fleet grows."""
+    small = machine_specs(FleetSpec(machines=8, seed=3))
+    large = machine_specs(FleetSpec(machines=16, seed=3))
+    assert small == large[:8]
+
+
+# -- real simulated fleets ---------------------------------------------------
+
+
+def _small_spec(**kw) -> FleetSpec:
+    defaults = dict(machines=6, seed=11, accesses_per_thread=400_000.0,
+                    vector_bytes=32 * 1024 * 1024, contend_fraction=0.5)
+    defaults.update(kw)
+    return FleetSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def reference_run(trained):
+    clf, _ = trained
+    agg = FleetAggregator()
+    summaries = run_fleet(_small_spec(), clf, agg, jobs=1)
+    return _derived_bytes(agg), summaries
+
+
+def test_fleet_concurrency_does_not_change_bytes(trained, reference_run):
+    clf, _ = trained
+    ref_bytes, ref_summaries = reference_run
+    agg = FleetAggregator()
+    summaries = run_fleet(_small_spec(), clf, agg, jobs=4)
+    assert _derived_bytes(agg) == ref_bytes
+    assert summaries == ref_summaries
+
+
+def test_fleet_telemetry_sessions_are_isolated(trained):
+    clf, _ = trained
+    outer = telemetry.Telemetry(enabled=True)
+    with telemetry.session(outer):
+        agg = FleetAggregator()
+        summaries = run_fleet(_small_spec(), clf, agg, jobs=4,
+                              telemetry_enabled=True)
+        # Each machine counted exactly its own windows in its own session.
+        per_machine = {s.machine_id: s.telemetry_windows for s in summaries}
+        expected = {
+            mid: float(agg.rollup()["machines"][mid]["windows"])
+            for mid in per_machine
+        }
+        assert per_machine == expected
+        assert all(v > 0 for v in per_machine.values())
+        # Nothing bled into the caller's session.
+        assert outer.metrics.counter("monitor.windows").value == 0.0
+
+
+def test_fleet_wire_then_replay_is_byte_identical(trained, tmp_path):
+    from repro.fleet.wire import WireLog, read_wire
+
+    clf, _ = trained
+    live = FleetAggregator()
+    path = tmp_path / "wire.jsonl"
+    with WireLog(path) as log:
+        run_fleet(_small_spec(), clf, live, wire_sink=log.append, jobs=4)
+
+    records = list(read_wire(path))
+    replay = FleetAggregator(
+        expected_machines=len(
+            {r["machine_id"] for r in records if r["kind"] == "fleet_hello"}
+        )
+    )
+    replay.ingest_many(records)
+    assert _derived_bytes(replay) == _derived_bytes(live)

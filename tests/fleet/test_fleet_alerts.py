@@ -1,0 +1,131 @@
+"""Fleet alert rules: validation, parsing, and hysteresis semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.aggregator import FleetAggregator
+from repro.fleet.alerts import (
+    DEFAULT_FLEET_RULES,
+    FleetAlertEngine,
+    FleetAlertRule,
+    parse_fleet_rules,
+)
+
+from tests.fleet.conftest import make_fleet_streams, interleave
+
+
+def test_rule_validation():
+    with pytest.raises(FleetError, match="name"):
+        FleetAlertRule(name="", signal="contended_fraction", threshold=0.5)
+    with pytest.raises(FleetError, match="signal"):
+        FleetAlertRule(name="r", signal="bogus", threshold=0.5)
+    with pytest.raises(FleetError, match="operator"):
+        FleetAlertRule(name="r", signal="contended_fraction", threshold=0.5,
+                       op="!")
+    with pytest.raises(FleetError, match="for_windows"):
+        FleetAlertRule(name="r", signal="contended_fraction", threshold=0.5,
+                       for_windows=0)
+    with pytest.raises(FleetError, match="severity"):
+        FleetAlertRule(name="r", signal="contended_fraction", threshold=0.5,
+                       severity="mild")
+
+
+def test_parse_fleet_rules():
+    rules = parse_fleet_rules(
+        [{"name": "r1", "signal": "rmc_machine_fraction", "threshold": 0.3,
+          "op": ">=", "for_windows": 2, "clear_windows": 3,
+          "severity": "critical"}]
+    )
+    assert rules[0].is_channel_rule
+    assert rules[0].clear_windows == 3
+    with pytest.raises(FleetError, match="list"):
+        parse_fleet_rules({"name": "r"})
+    with pytest.raises(FleetError, match="unknown keys"):
+        parse_fleet_rules([{"name": "r", "signal": "contended_fraction",
+                            "threshold": 0.5, "nope": 1}])
+    with pytest.raises(FleetError, match="#0"):
+        parse_fleet_rules([{"signal": "contended_fraction"}])
+
+
+def _run(streams, rules):
+    agg = FleetAggregator(expected_machines=len(streams), rules=rules)
+    agg.ingest_many(interleave(streams))
+    return agg
+
+
+def test_spread_rule_fires_and_resolves_with_hysteresis():
+    # 2 of 5 machines (40%) rmc on windows 2-5 -> >= 0.2 on epochs 2-5.
+    streams = make_fleet_streams(n_machines=5, windows=10, rmc_machines=2,
+                                 rmc_windows=(2, 3, 4, 5))
+    agg = _run(streams, DEFAULT_FLEET_RULES)
+    spread = [e for e in agg.alert_events if e.rule == "fleet-rmc-spread"]
+    assert [(e.kind, e.window_index) for e in spread] == [
+        ("firing", 3),  # for_windows=2: epochs 2,3 above threshold
+        ("resolved", 7),  # clear_windows=2: epochs 6,7 below
+    ]
+    assert spread[0].channel is not None
+    assert str(spread[0].channel) == "1->0"
+    assert agg.ever_fleet_rmc
+    assert agg.firing() == []
+
+
+def test_below_for_windows_never_fires():
+    # One rmc window only: for_windows=2 keeps the rule silent.
+    streams = make_fleet_streams(n_machines=5, windows=8, rmc_machines=2,
+                                 rmc_windows=(3,))
+    agg = _run(streams, DEFAULT_FLEET_RULES)
+    assert [e for e in agg.alert_events if e.rule == "fleet-rmc-spread"] == []
+    assert not agg.ever_fleet_rmc
+
+
+def test_below_spread_threshold_never_fires():
+    # 1 of 8 machines rmc = 12.5% < 20% threshold.
+    streams = make_fleet_streams(n_machines=8, windows=8, rmc_machines=1)
+    agg = _run(streams, DEFAULT_FLEET_RULES)
+    assert [e for e in agg.alert_events if e.rule == "fleet-rmc-spread"] == []
+
+
+def test_global_rule_contended_fraction():
+    # 4 of 5 machines rmc -> contended_fraction 0.8 > 0.5 on epochs 2-5.
+    streams = make_fleet_streams(n_machines=5, windows=10, rmc_machines=4,
+                                 rmc_windows=(2, 3, 4, 5))
+    agg = _run(streams, DEFAULT_FLEET_RULES)
+    maj = [e for e in agg.alert_events if e.rule == "fleet-majority-contended"]
+    assert [(e.kind, e.window_index) for e in maj] == [
+        ("firing", 3), ("resolved", 7)
+    ]
+    assert maj[0].channel is None
+
+
+def test_degraded_rule_counts_quarantine():
+    from tests.fleet.conftest import make_stream
+
+    streams = {
+        "m000": make_stream("m000", 4, quarantine=0.2),
+        "m001": make_stream("m001", 4, quarantine=0.0),
+    }
+    agg = _run(streams, DEFAULT_FLEET_RULES)
+    deg = [e for e in agg.alert_events
+           if e.rule == "fleet-collection-degraded"]
+    # 50% degraded > 25%, for_windows=1 -> fires on epoch 0, never clears.
+    assert deg[0].kind == "firing" and deg[0].window_index == 0
+    assert len(agg.firing()) == 1
+
+
+def test_custom_engine_absent_channel_reads_zero():
+    """A channel rule's scope that drops out of the snapshot evaluates
+    as 0.0, so its alert resolves rather than wedging."""
+    from tests.fleet.conftest import make_stream
+
+    rules = (FleetAlertRule(name="share", signal="mean_remote_share",
+                            threshold=0.3, op=">", for_windows=1,
+                            clear_windows=1),)
+    streams = {
+        "m000": make_stream("m000", 6, rmc=(0, 1), rmc_share=0.9),
+    }
+    agg = _run(streams, rules)
+    share = [e for e in agg.alert_events if e.rule == "share"]
+    assert [e.kind for e in share] == ["firing", "resolved"]
+    assert isinstance(agg.engine, FleetAlertEngine)

@@ -1,0 +1,80 @@
+"""Multi-resolution retention: cascade math, caps, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.retention import RetentionConfig, RetentionPoint, RetentionSeries
+
+
+def test_config_validation():
+    with pytest.raises(FleetError, match="points"):
+        RetentionConfig(points=0)
+    with pytest.raises(FleetError, match="factor"):
+        RetentionConfig(factor=1)
+    with pytest.raises(FleetError, match="tiers"):
+        RetentionConfig(tiers=0)
+
+
+def test_tier0_is_raw():
+    s = RetentionSeries(RetentionConfig(points=10, factor=10, tiers=2))
+    for e in range(5):
+        s.push(e, float(e))
+    assert s.values(0) == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert s.values(1) == []
+    assert s.resolution(0) == 1
+    assert s.resolution(1) == 10
+
+
+def test_cascade_merges_count_weighted():
+    s = RetentionSeries(RetentionConfig(points=100, factor=4, tiers=3))
+    for e in range(16):
+        s.push(e, float(e))
+    # Tier 1: groups of 4 raw points -> mean of each group, peak = max.
+    tier1 = s.points(1)
+    assert [p.mean for p in tier1] == [1.5, 5.5, 9.5, 13.5]
+    assert [p.peak for p in tier1] == [3.0, 7.0, 11.0, 15.0]
+    assert [p.start for p in tier1] == [0, 4, 8, 12]
+    assert all(p.count == 4 for p in tier1)
+    # Tier 2: one point covering all 16.
+    (p2,) = s.points(2)
+    assert p2.count == 16
+    assert p2.mean == pytest.approx(sum(range(16)) / 16)
+    assert p2.peak == 15.0 and p2.start == 0
+
+
+def test_ring_capacity_drops_oldest():
+    s = RetentionSeries(RetentionConfig(points=4, factor=2, tiers=2))
+    for e in range(10):
+        s.push(e, float(e))
+    assert s.values(0) == [6.0, 7.0, 8.0, 9.0]
+    # Tier 1 got 5 merged points (pairs of 10), keeps the last 4.
+    assert [p.start for p in s.points(1)] == [2, 4, 6, 8]
+
+
+def test_merge_point_semantics():
+    a = RetentionPoint(start=0, count=2, mean=1.0, peak=2.0)
+    b = RetentionPoint(start=2, count=6, mean=3.0, peak=2.5)
+    m = a.merge(b)
+    assert m.start == 0 and m.count == 8 and m.peak == 2.5
+    assert m.mean == pytest.approx((2 * 1.0 + 6 * 3.0) / 8)
+
+
+def test_to_dict_shape_and_determinism():
+    def build() -> RetentionSeries:
+        s = RetentionSeries(RetentionConfig(points=8, factor=2, tiers=2))
+        for e in range(6):
+            s.push(e, e / 10)
+        return s
+
+    d = build().to_dict()
+    assert d == build().to_dict()
+    assert [t["resolution"] for t in d["tiers"]] == [1, 2]
+    assert d["tiers"][0]["points"][0] == [0, 1, 0.0, 0.0]
+
+
+def test_invalid_tier_access():
+    s = RetentionSeries(RetentionConfig(tiers=2))
+    with pytest.raises(FleetError, match="tier"):
+        s.values(2)

@@ -1,13 +1,20 @@
-"""JSONL event stream: write, replay, validate."""
+"""JSONL event stream: write, replay, validate, rotate."""
 
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
 from repro.errors import MonitorError
-from repro.monitor.events import EventLog, read_events, validate_event
+from repro.monitor.events import (
+    EventLog,
+    log_segments,
+    read_all_segments,
+    read_events,
+    validate_event,
+)
 
 
 def test_roundtrip(tmp_path):
@@ -79,3 +86,89 @@ def test_events_are_plain_json(tmp_path):
     raw = path.read_text().splitlines()
     assert len(raw) == 1
     assert json.loads(raw[0])["kind"] == "monitor_started"
+
+
+# -- size-based rotation -----------------------------------------------------
+
+
+def _emit_many(log: EventLog, n: int) -> None:
+    for i in range(n):
+        log.emit("channel_status", channel="0->1", status="rmc",
+                 previous="good", window=i, confidence=0.5)
+
+
+def test_rotation_caps_live_file_and_keeps_last_segments(tmp_path):
+    path = tmp_path / "e.jsonl"
+    with EventLog(path, max_bytes=512, keep_segments=2) as log:
+        _emit_many(log, 100)
+    segments = log_segments(path)
+    # keep_segments rotated files plus the live one, nothing more.
+    assert segments[-1] == path
+    assert len(segments) <= 3
+    assert len(segments) > 1, "100 events must have rotated a 512-byte log"
+    assert not (tmp_path / "e.jsonl.3").exists()
+    for seg in segments[:-1]:
+        # A rotated segment closed just after crossing the cap.
+        assert seg.stat().st_size >= 512
+        assert seg.stat().st_size < 1024
+
+
+def test_rotation_preserves_a_contiguous_tail(tmp_path):
+    """Old events fall off; what remains is a gapless, in-order suffix
+    ending at the last event written."""
+    path = tmp_path / "e.jsonl"
+    with EventLog(path, max_bytes=400, keep_segments=2) as log:
+        _emit_many(log, 200)
+    events = list(read_all_segments(path))
+    seqs = [e["seq"] for e in events]
+    assert seqs == list(range(seqs[0], 200))
+    assert seqs[0] > 0, "rotation must have dropped the oldest events"
+
+
+def test_no_rotation_without_cap(tmp_path):
+    path = tmp_path / "e.jsonl"
+    with EventLog(path) as log:
+        _emit_many(log, 200)
+    assert log_segments(path) == [path]
+    assert len(list(read_events(path))) == 200
+
+
+def test_rotation_validates_config(tmp_path):
+    with pytest.raises(MonitorError, match="max_bytes"):
+        EventLog(tmp_path / "e.jsonl", max_bytes=0)
+    with pytest.raises(MonitorError, match="keep_segments"):
+        EventLog(tmp_path / "e.jsonl", max_bytes=100, keep_segments=0)
+
+
+def test_append_prebuilt_records_and_rotation_thread_safety(tmp_path):
+    """Concurrent writers (the fleet wire case) never tear a line or
+    lose a record to a rotation race."""
+    path = tmp_path / "e.jsonl"
+    per_thread = 50
+    with EventLog(path, max_bytes=600, keep_segments=8) as log:
+        def writer(tid: int) -> None:
+            for i in range(per_thread):
+                log.append({
+                    "v": 1, "seq": i, "kind": "channel_status",
+                    "channel": f"{tid}->0", "status": "good",
+                    "previous": "good", "window": i, "confidence": 0.1,
+                })
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    events = list(read_all_segments(path))
+    assert len(events) <= 4 * per_thread
+    by_channel: dict[str, list[int]] = {}
+    for e in events:
+        by_channel.setdefault(e["channel"], []).append(e["seq"])
+    for seqs in by_channel.values():
+        # Each writer's surviving records are a contiguous ordered tail.
+        assert seqs == list(range(seqs[0], per_thread))
+
+
+def test_append_validates(tmp_path):
+    with EventLog(tmp_path / "e.jsonl") as log:
+        with pytest.raises(MonitorError):
+            log.append({"v": 1, "seq": 0, "kind": "bogus"})

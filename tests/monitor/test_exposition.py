@@ -8,14 +8,19 @@ histogram families must satisfy the cumulative-bucket invariants.
 
 from __future__ import annotations
 
+import math
 import re
 import urllib.error
 import urllib.request
 
 import pytest
 
+from repro.errors import MonitorError
 from repro.monitor.exposition import (
     CONTENT_TYPE,
+    escape_help_text,
+    escape_label_value,
+    render_exposition,
     render_prometheus,
     render_prometheus_multi,
 )
@@ -138,10 +143,119 @@ def test_label_escaping():
     text = render_prometheus(reg)
     # The channel label itself round-trips; now check escape machinery
     # directly on a crafted value.
-    from repro.monitor.exposition import _escape_label
-
-    assert _escape_label('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
     _parse_exposition(text)
+
+
+# -- v0.0.4 escaping edge cases ----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("raw", "escaped"),
+    [
+        ("plain", "plain"),
+        ('say "hi"', 'say \\"hi\\"'),
+        ("back\\slash", "back\\\\slash"),
+        ("two\nlines", "two\\nlines"),
+        # Backslash must be escaped first or the quote/newline escapes
+        # would be double-escaped.
+        ('\\"', '\\\\\\"'),
+        ("\\n", "\\\\n"),
+        ("", ""),
+        ("trailing\\", "trailing\\\\"),
+        ("\n", "\\n"),
+        ("unicode é中", "unicode é中"),
+    ],
+)
+def test_label_value_escape_table(raw, escaped):
+    assert escape_label_value(raw) == escaped
+
+
+def test_help_text_escapes_backslash_and_newline_only():
+    # Per the spec, HELP text escapes \\ and \n but NOT double quotes.
+    assert escape_help_text('a "quoted" word') == 'a "quoted" word'
+    assert escape_help_text("line\nbreak\\here") == "line\\nbreak\\\\here"
+
+
+def test_render_exposition_hostile_label_values_stay_parseable():
+    text = render_exposition(
+        [
+            (
+                "drbw_fleet_machine_rmc",
+                "gauge",
+                "Machine held rmc\nthis \\ \"window\"",
+                [
+                    ({"machine_id": 'm"0\\1', "workload": "a\nb"}, 1.0),
+                    ({"machine_id": "m001", "workload": "quiet"}, 0.0),
+                ],
+            )
+        ]
+    )
+    families = _parse_exposition(text)
+    samples = families["drbw_fleet_machine_rmc"][1]
+    values = {s[1]["machine_id"]: s[2] for s in samples}
+    # The validator keeps escapes intact; unescape to check round-trip.
+    raw = {
+        k.replace("\\\\", "\0").replace('\\"', '"').replace("\\n", "\n")
+        .replace("\0", "\\"): v
+        for k, v in values.items()
+    }
+    assert raw == {'m"0\\1': 1.0, "m001": 0.0}
+    help_line = next(l for l in text.splitlines() if l.startswith("# HELP"))
+    assert "\n" not in help_line and "\\n" in help_line
+
+
+def test_render_exposition_nonfinite_values():
+    text = render_exposition(
+        [
+            (
+                "drbw_edge",
+                "gauge",
+                "edge values",
+                [
+                    ({"k": "pinf"}, math.inf),
+                    ({"k": "ninf"}, -math.inf),
+                    ({"k": "nan"}, math.nan),
+                ],
+            )
+        ]
+    )
+    rendered = {
+        line.split("{")[1].split("}")[0]: line.rsplit(" ", 1)[1]
+        for line in text.splitlines()
+        if not line.startswith("#")
+    }
+    assert rendered == {
+        'k="pinf"': "+Inf",
+        'k="ninf"': "-Inf",
+        'k="nan"': "NaN",
+    }
+    _parse_exposition(text)  # float("+Inf")/float("NaN") must parse
+
+
+def test_render_exposition_sorts_and_validates():
+    families = [
+        ("drbw_b", "counter", "second", [({}, 1.0)]),
+        ("drbw_a", "gauge", "first", [({"z": "1"}, 2.0), ({"a": "1"}, 3.0)]),
+    ]
+    text = render_exposition(families)
+    order = [l.split(" ")[2] for l in text.splitlines() if l.startswith("# HELP")]
+    assert order == ["drbw_a", "drbw_b"]
+    assert render_exposition(families) == render_exposition(list(families))
+
+    with pytest.raises(MonitorError, match="kind"):
+        render_exposition([("drbw_x", "histogram", "h", [({}, 1.0)])])
+    with pytest.raises(MonitorError, match="label name"):
+        render_exposition([("drbw_x", "gauge", "h", [({"bad-name": "v"}, 1.0)])])
+    # Hostile family names are sanitised, not trusted.
+    sanitised = render_exposition([("0bad metric", "gauge", "h", [({}, 1.0)])])
+    assert "_0bad_metric 1" in sanitised
+    _parse_exposition(sanitised)
+    with pytest.raises(MonitorError, match="duplicate"):
+        render_exposition(
+            [("drbw_x", "gauge", "h", [({}, 1.0)]),
+             ("drbw_x", "gauge", "h", [({}, 2.0)])]
+        )
 
 
 def test_deterministic_output():

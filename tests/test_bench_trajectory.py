@@ -38,6 +38,13 @@ def results_dir(tmp_path):
         "overhead_fraction": 0.0003, "armed_cost_per_shard_seconds": 6.2e-6,
         "chaos_identical": True, "chaos_retries": 24,
     })
+    write_result(d, "fleet_ingest", {
+        "ingest_windows_per_sec": 60_000.0, "order_independent": True,
+        "machines": 40, "machine_windows": 1200,
+    })
+    write_result(d, "fleet_overhead", {
+        "per_machine_overhead_fraction": 0.013, "machines": 5,
+    })
     return d
 
 
@@ -94,6 +101,10 @@ def test_build_trajectory_and_validate(results_dir):
         "overhead_fraction": 0.0003, "armed_cost_per_shard_us": 6.2,
         "chaos_identical": True, "chaos_retries": 24,
     }
+    assert doc["fleet"] == {
+        "ingest_windows_per_sec": 60_000.0, "order_independent": True,
+        "per_machine_overhead_fraction": 0.013, "machines": 5,
+    }
     # With no explicit wall time the overhead pass's own measurement wins.
     assert bench_all.build_trajectory(results_dir)["wall_time_s"] == 12.5
 
@@ -132,6 +143,18 @@ def test_validate_rejects_broken_documents(results_dir):
     assert any("chaos_identical" in e for e in bench_all.validate_trajectory(bad))
     bad["resilience"] = []
     assert any("resilience" in e for e in bench_all.validate_trajectory(bad))
+    # And the fleet section (pre-PR7 points lack it).
+    old_point = {k: v for k, v in doc.items() if k != "fleet"}
+    assert bench_all.validate_trajectory(old_point) == []
+    bad = json.loads(json.dumps(doc))
+    bad["fleet"]["order_independent"] = "yes"
+    assert any("order_independent" in e
+               for e in bench_all.validate_trajectory(bad))
+    bad["fleet"]["ingest_windows_per_sec"] = None
+    assert any("ingest_windows_per_sec" in e
+               for e in bench_all.validate_trajectory(bad))
+    bad["fleet"] = "fast"
+    assert any("fleet" in e for e in bench_all.validate_trajectory(bad))
 
 
 def test_regression_gate(results_dir, tmp_path, capsys):
@@ -157,7 +180,7 @@ def test_regression_gate(results_dir, tmp_path, capsys):
     assert bench_all.check_regression(current, prev_path) == 1
 
 
-@pytest.mark.parametrize("pr", [3, 4, 6])
+@pytest.mark.parametrize("pr", [3, 4, 6, 7])
 def test_committed_trajectory_point_is_valid(pr):
     path = pathlib.Path(__file__).parent.parent / f"BENCH_PR{pr}.json"
     doc = json.loads(path.read_text())
@@ -169,3 +192,6 @@ def test_committed_trajectory_point_is_valid(pr):
     if pr >= 6:
         assert doc["resilience"]["chaos_identical"] is True
         assert doc["resilience"]["overhead_fraction"] < 0.02
+    if pr >= 7:
+        assert doc["fleet"]["order_independent"] is True
+        assert doc["fleet"]["per_machine_overhead_fraction"] < 0.05
