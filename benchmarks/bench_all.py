@@ -5,13 +5,14 @@ The repo tracks its own performance across PRs as a sequence of
 trajectory files in the repo root (``BENCH_PR3.json``, ``BENCH_PR4.json``,
 ...), each summarizing one PR's benchmark pass: wall time, profiler
 throughput, classifier accuracy, monitor overhead/agreement, parallel
-scaling, resilience overhead/chaos-identity, and fleet ingest/overhead.
+scaling, resilience overhead/chaos-identity, fleet ingest/overhead, and
+the service SLO verdict with its request-plane overhead.
 CI regenerates the current point and fails when throughput regresses
 more than 10% against the previous committed point.
 
 Usage::
 
-    python benchmarks/bench_all.py                  # run core benches, write BENCH_PR7.json
+    python benchmarks/bench_all.py                  # run core benches, write BENCH_PR8.json
     python benchmarks/bench_all.py --full           # run the entire bench suite first
     python benchmarks/bench_all.py --no-run         # aggregate existing results only
     python benchmarks/bench_all.py --check PREV     # gate against a previous point
@@ -37,7 +38,7 @@ RESULTS_DIR = BENCH_DIR / "results"
 
 TRAJECTORY_SCHEMA = "drbw-bench-trajectory"
 TRAJECTORY_SCHEMA_VERSION = 1
-PR_NUMBER = 7
+PR_NUMBER = 8
 
 #: The benches whose JSON results feed the trajectory point.
 CORE_BENCHES = (
@@ -46,6 +47,7 @@ CORE_BENCHES = (
     "bench_parallel.py",
     "bench_resilience.py",
     "bench_fleet.py",
+    "bench_slo.py",
 )
 
 #: Maximum tolerated samples/sec drop against the previous point.
@@ -79,6 +81,8 @@ def build_trajectory(
     resilience = load_result(results_dir, "resilience_overhead")
     fleet_ingest = load_result(results_dir, "fleet_ingest")
     fleet_overhead = load_result(results_dir, "fleet_overhead")
+    slo_loadgen = load_result(results_dir, "slo_loadgen")
+    slo_plane = load_result(results_dir, "slo_plane_overhead")
     missing = [
         name
         for name, payload in (
@@ -89,6 +93,8 @@ def build_trajectory(
             ("resilience_overhead", resilience),
             ("fleet_ingest", fleet_ingest),
             ("fleet_overhead", fleet_overhead),
+            ("slo_loadgen", slo_loadgen),
+            ("slo_plane_overhead", slo_plane),
         )
         if payload is None
     ]
@@ -141,6 +147,30 @@ def build_trajectory(
                 float(fleet_overhead["per_machine_overhead_fraction"]), 5
             ),
             "machines": int(fleet_overhead["machines"]),
+        },
+        "slo": {
+            "steady_availability": round(
+                float(slo_loadgen["steady"]["availability"]), 4
+            ),
+            "steady_p99_exact_ms": (
+                None
+                if slo_loadgen["steady"]["quantiles"]["p99"]["exact_ms"] is None
+                else round(
+                    float(slo_loadgen["steady"]["quantiles"]["p99"]["exact_ms"]),
+                    3,
+                )
+            ),
+            "quantiles_within_one_bucket": bool(
+                slo_loadgen["quantiles_within_one_bucket"]
+            ),
+            "knee_detected": bool(slo_loadgen["knee_detected"]),
+            "traces_joined": int(slo_loadgen["job_traces"])
+            - int(slo_loadgen["unjoined_traces"]),
+            "job_traces": int(slo_loadgen["job_traces"]),
+            "breached": bool(slo_loadgen["slo_breached"]),
+            "plane_overhead_fraction": round(
+                float(slo_plane["plane_overhead_fraction"]), 5
+            ),
         },
         "results": sorted(p.stem for p in results_dir.glob("*.json")),
     }
@@ -223,6 +253,25 @@ def validate_trajectory(doc: object) -> list[str]:
                     f"fleet.order_independent must be a boolean, "
                     f"got {fleet.get('order_independent')!r}"
                 )
+    # The slo section only exists from PR 8 on; when present it must
+    # carry the plane-overhead number, the quantile cross-check bit, and
+    # the published-SLO verdict.
+    slo = doc.get("slo")
+    if slo is not None:
+        if not isinstance(slo, dict):
+            errors.append(f"slo must be an object, got {slo!r}")
+        else:
+            val = slo.get("plane_overhead_fraction")
+            if not isinstance(val, (int, float)) or isinstance(val, bool):
+                errors.append(
+                    f"slo.plane_overhead_fraction must be a number, got {val!r}"
+                )
+            for key in ("quantiles_within_one_bucket", "knee_detected",
+                        "breached"):
+                if not isinstance(slo.get(key), bool):
+                    errors.append(
+                        f"slo.{key} must be a boolean, got {slo.get(key)!r}"
+                    )
     return errors
 
 

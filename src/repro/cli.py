@@ -28,10 +28,17 @@ The workflow a release user runs without writing Python:
 * ``serve``    — run the profiling service daemon: profile/detect/
   diagnose jobs over HTTP with request coalescing, a bounded queue
   (429 + ``Retry-After`` under saturation), per-client rate limits,
-  ``/healthz``/``/readyz``/``/metrics`` endpoints, and a graceful
-  SIGTERM drain (see ``docs/service.md``);
+  ``/healthz``/``/readyz``/``/metrics`` endpoints, a graceful
+  SIGTERM drain, and optional trace-carrying JSONL access/span logs
+  (``--access-log``/``--spans``, see ``docs/service.md``);
+* ``loadgen``  — drive a live service with open-loop (fixed arrival
+  rate), closed-loop (fixed concurrency), or sweep (saturation-knee)
+  load, then check the measured availability / latency quantiles /
+  throughput against a declarative SLO spec: exits 1 on breach and
+  writes the ``drbw-slo-report`` artifact (``--report``);
 * ``report``   — render the text dashboard for a telemetry artifact
-  exported by a previous run;
+  exported by a previous run (``--stages`` for the per-stage wall/CPU
+  aggregate only);
 * ``list``     — the available benchmarks and their inputs.
 
 ``detect`` and ``diagnose`` also take ``--json``: print the machine-
@@ -88,7 +95,7 @@ from repro.telemetry.artifact import (
     export_artifact,
     load_artifact,
 )
-from repro.telemetry.dashboard import render_dashboard
+from repro.telemetry.dashboard import render_dashboard, render_stage_table
 from repro.types import Mode
 from repro.workloads.suites.registry import BENCHMARKS
 
@@ -343,12 +350,73 @@ def build_parser() -> argparse.ArgumentParser:
                               "(chaos testing): same spec language as "
                               "`campaign --infra-faults`, e.g. "
                               "svc-hang=1.0,svc-hang-s=60,seed=1")
+    p_serve.add_argument("--access-log", default=None, metavar="FILE",
+                         help="append one JSONL record per HTTP request and "
+                              "per terminal job, each carrying its trace_id "
+                              "(see docs/service.md)")
+    p_serve.add_argument("--spans", default=None, metavar="FILE",
+                         help="append every executed job's telemetry spans "
+                              "as JSONL, tagged with trace_id and job_id "
+                              "(joinable against --access-log)")
     _add_common(p_serve, with_telemetry=False)
+
+    p_loadgen = sub.add_parser(
+        "loadgen", help="drive a live service and check it against an SLO"
+    )
+    p_loadgen.add_argument("--url", required=True,
+                           help="base URL of a running `drbw serve`")
+    p_loadgen.add_argument("--mode", choices=("closed", "open", "sweep"),
+                           default="closed",
+                           help="closed: fixed concurrency; open: fixed "
+                                "arrival rate (--rps); sweep: one closed run "
+                                "per --concurrency level with knee detection "
+                                "(default: closed)")
+    p_loadgen.add_argument("--concurrency", default="4", metavar="N[,N...]",
+                           help="worker count (closed), or comma-separated "
+                                "sweep levels (default: 4)")
+    p_loadgen.add_argument("--rps", type=float, default=10.0, metavar="R",
+                           help="open-loop target arrivals/second "
+                                "(default: 10)")
+    p_loadgen.add_argument("--duration", type=float, default=10.0, metavar="S",
+                           help="seconds per run (default: 10)")
+    p_loadgen.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                           help="per-request round-trip deadline (default: 30)")
+    p_loadgen.add_argument("--benchmark", default="NW",
+                           help="benchmark for the probe job spec "
+                                "(default: NW)")
+    p_loadgen.add_argument("--input", default=None,
+                           help="benchmark input (default: largest)")
+    p_loadgen.add_argument("--config", default="T4-N2", metavar="Tt-Nn",
+                           help="probe job configuration (default: T4-N2)")
+    p_loadgen.add_argument("--kind", choices=("profile", "detect", "diagnose"),
+                           default="profile",
+                           help="probe job kind (default: profile; detect/"
+                                "diagnose need --model readable by the "
+                                "server)")
+    p_loadgen.add_argument("--model", default=None, metavar="FILE",
+                           help="server-side model path for detect/diagnose "
+                                "probe jobs")
+    p_loadgen.add_argument("--seed", type=int, default=0,
+                           help="base probe job seed (default: 0)")
+    p_loadgen.add_argument("--same-job", action="store_true",
+                           help="submit the identical spec every time "
+                                "(exercises the coalescer and warm cache); "
+                                "default varies the seed per request so "
+                                "every request is real work")
+    p_loadgen.add_argument("--slo", default=None, metavar="SPEC.json",
+                           help="SLO spec file; the run exits 1 when any "
+                                "target is breached")
+    p_loadgen.add_argument("--report", default=None, metavar="OUT.json",
+                           help="write the drbw-slo-report artifact here")
+    _add_common(p_loadgen, with_telemetry=False)
 
     p_report = sub.add_parser(
         "report", help="render the dashboard for a telemetry artifact"
     )
     p_report.add_argument("artifact", help="artifact directory from --telemetry")
+    p_report.add_argument("--stages", action="store_true",
+                          help="print only the per-stage wall/CPU share "
+                               "table aggregated from the artifact's spans")
     _add_common(p_report, with_telemetry=False)
 
     sub.add_parser("list", help="list benchmarks and inputs")
@@ -520,7 +588,13 @@ def cmd_serve(args) -> int:
     import signal
 
     from repro.parallel.cache import ResultCache
-    from repro.service import SERVICE_CACHE_SCHEMA, ServiceQueue, ServiceServer
+    from repro.service import (
+        SERVICE_CACHE_SCHEMA,
+        AccessLog,
+        JsonlWriter,
+        ServiceQueue,
+        ServiceServer,
+    )
 
     executor = None
     infra = None
@@ -543,6 +617,8 @@ def cmd_serve(args) -> int:
     queue_opts: dict = {}
     if executor is not None:
         queue_opts["executor"] = executor
+    access_log = AccessLog(args.access_log) if args.access_log else None
+    span_log = JsonlWriter(args.spans) if args.spans else None
     jobq = ServiceQueue(
         workers=args.workers,
         capacity=args.queue_size,
@@ -551,10 +627,13 @@ def cmd_serve(args) -> int:
         job_timeout_s=args.job_timeout,
         job_max_attempts=args.job_attempts,
         degraded_window_s=args.degraded_window,
+        access_log=access_log,
+        span_log=span_log,
         **queue_opts,
     )
     server = ServiceServer(
-        jobq, host=args.host, port=args.port, rate=args.rate, burst=args.burst
+        jobq, host=args.host, port=args.port, rate=args.rate, burst=args.burst,
+        access_log=access_log,
     )
 
     def _graceful(signum, frame) -> None:
@@ -565,6 +644,10 @@ def cmd_serve(args) -> int:
     signal.signal(signal.SIGINT, _graceful)
     print(f"drbw service listening on {server.url}", file=sys.stderr)
     server.serve_forever()
+    if access_log is not None:
+        access_log.close()
+    if span_log is not None:
+        span_log.close()
     print("drbw serve: drained, exiting", file=sys.stderr)
     return 0
 
@@ -1022,8 +1105,123 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _loadgen_job_factory(args):
+    """The probe-job spec factory for ``drbw loadgen``.
+
+    Returns ``f(k) -> spec`` for request index ``k``.  Unless
+    ``--same-job`` is set, the seed varies per request so every request
+    is a distinct job (distinct ``job_key``), defeating the coalescer
+    and the warm cache — the load hits the real execution path.  The
+    seed counter is shared across the whole invocation, not per run:
+    sweep levels must not re-submit the previous level's specs, or a
+    caching server would answer them warm and the sweep would measure
+    the cache instead of execution.
+    """
+    import itertools
+
+    spec_bench, inp = _resolve_benchmark(args)
+    cfg = config_by_name(args.config)
+    if args.kind == "profile":
+        from repro.parallel.shards import benchmark_workload_spec, profile_shard
+
+        shard = profile_shard(
+            benchmark_workload_spec(spec_bench.name, inp),
+            cfg.n_threads, cfg.n_nodes,
+        )
+        base = {"kind": "profile", "spec": shard}
+    else:
+        if not args.model:
+            raise ConfigError(f"{args.kind} probe jobs need --model")
+        base = {
+            "kind": args.kind, "benchmark": spec_bench.name, "input": inp,
+            "config": cfg.name, "model": args.model,
+        }
+
+    counter = itertools.count()  # invocation-global, CPython-atomic
+
+    def spec_for(k: int) -> dict:
+        if args.same_job:
+            return dict(base, seed=args.seed)
+        return dict(base, seed=args.seed + next(counter))
+
+    return spec_for
+
+
+def cmd_loadgen(args) -> int:
+    from repro.slo import (
+        build_report,
+        concurrency_sweep,
+        load_slo_spec,
+        render_report,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    # Parse everything (including the SLO spec) before generating load.
+    slo_spec = load_slo_spec(args.slo) if args.slo else None
+    job_factory = _loadgen_job_factory(args)
+    try:
+        levels = [int(c) for c in args.concurrency.split(",") if c.strip()]
+    except ValueError:
+        raise ConfigError(
+            f"cannot parse --concurrency {args.concurrency!r}; "
+            "expected N or N,N,..."
+        ) from None
+    if not levels:
+        raise ConfigError("--concurrency needs at least one level")
+
+    if args.mode == "open":
+        print(
+            f"loadgen: open loop at {args.rps} rps for {args.duration}s "
+            f"against {args.url}", file=sys.stderr,
+        )
+        results = [run_open_loop(
+            args.url, job_factory,
+            target_rps=args.rps, duration_s=args.duration,
+            timeout=args.timeout,
+        )]
+    elif args.mode == "sweep":
+        print(
+            f"loadgen: closed-loop sweep over concurrency {levels} "
+            f"({args.duration}s each) against {args.url}", file=sys.stderr,
+        )
+        results = concurrency_sweep(
+            args.url, job_factory,
+            concurrencies=levels, duration_s=args.duration,
+            timeout=args.timeout,
+        )
+    else:
+        print(
+            f"loadgen: closed loop at concurrency {levels[0]} for "
+            f"{args.duration}s against {args.url}", file=sys.stderr,
+        )
+        results = [run_closed_loop(
+            args.url, job_factory,
+            concurrency=levels[0], duration_s=args.duration,
+            timeout=args.timeout,
+        )]
+
+    report = build_report(
+        results, slo_spec, url=args.url,
+        job={"kind": args.kind, "benchmark": args.benchmark,
+             "config": args.config, "same_job": bool(args.same_job)},
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"SLO report written to {args.report}", file=sys.stderr)
+    print(render_report(report))
+    slo = report.get("slo")
+    return 1 if slo and slo["breached"] else 0
+
+
 def cmd_report(args) -> int:
-    print(render_dashboard(load_artifact(args.artifact)))
+    artifact = load_artifact(args.artifact)
+    if args.stages:
+        print(render_stage_table(artifact.spans))
+        return 0
+    print(render_dashboard(artifact))
     return 0
 
 
@@ -1053,6 +1251,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_fleet(args)
         if args.command == "serve":
             return cmd_serve(args)
+        if args.command == "loadgen":
+            return cmd_loadgen(args)
         if args.command == "report":
             return cmd_report(args)
         if args.command == "list":

@@ -102,3 +102,7 @@ class FleetError(ReproError):
 class SchemaError(ReproError):
     """A JSON document does not match its declared schema (trajectory
     points, benchmark result envelopes, and other machine-readable files)."""
+
+
+class SloError(ReproError):
+    """Invalid SLO spec, loadgen configuration, or SLO report document."""

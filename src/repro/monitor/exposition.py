@@ -124,7 +124,17 @@ def _histogram_lines(
 
 
 def render_prometheus(registry: MetricsRegistry, namespace: str = "drbw") -> str:
-    """Render every instrument in ``registry`` as exposition text."""
+    """Render every instrument in ``registry`` as exposition text.
+
+    The registry is snapshotted under its creation lock before anything
+    is iterated: service workers keep minting instruments and bumping
+    histograms while a scrape is in flight, and rendering the live dicts
+    would risk ``dictionary changed size during iteration`` plus torn
+    histograms whose ``_bucket`` lines disagree with ``_count``.
+    """
+    snapshot = getattr(registry, "snapshot", None)
+    if callable(snapshot):
+        registry = snapshot()
     # family name -> (type, help, [(labels, instrument)])
     families: dict[str, tuple[str, str, list]] = {}
 

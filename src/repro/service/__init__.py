@@ -18,12 +18,24 @@ The moving parts, one module each:
 * :mod:`~repro.service.server`    — the HTTP endpoints, backpressure
   responses (429 + ``Retry-After``), and graceful SIGTERM drain;
 * :mod:`~repro.service.client`    — a urllib client for scripts and the
-  CI smoke test.
+  CI smoke test;
+* :mod:`~repro.service.trace`     — ``X-Drbw-Trace`` request-trace
+  propagation (client-minted or server-minted);
+* :mod:`~repro.service.accesslog` — the structured JSONL access log
+  (one record per HTTP request and per terminal job).
 
-See ``docs/service.md`` for the operator's view.
+See ``docs/service.md`` for the operator's view, including the
+"Request tracing & SLOs" section.
 """
 
-from repro.service.client import ServiceClient
+from repro.service.accesslog import (
+    ACCESS_LOG_VERSION,
+    AccessLog,
+    JsonlWriter,
+    read_access_log,
+    validate_access_record,
+)
+from repro.service.client import ServiceClient, parse_retry_after
 from repro.service.coalescer import Coalescer
 from repro.service.jobspec import (
     JOB_KINDS,
@@ -38,19 +50,35 @@ from repro.service.queue import (
     TokenBucket,
 )
 from repro.service.server import ServiceServer
+from repro.service.trace import (
+    TRACE_HEADER,
+    TraceContext,
+    mint_trace,
+    parse_trace_header,
+)
 
 __all__ = [
+    "ACCESS_LOG_VERSION",
+    "AccessLog",
     "Coalescer",
     "Job",
     "JobStore",
     "JOB_KINDS",
     "JOB_STATES",
+    "JsonlWriter",
     "SERVICE_CACHE_SCHEMA",
     "ServiceClient",
     "ServiceQueue",
     "ServiceServer",
     "TokenBucket",
+    "TRACE_HEADER",
+    "TraceContext",
     "execute_job",
     "job_key",
+    "mint_trace",
     "normalize_job",
+    "parse_retry_after",
+    "parse_trace_header",
+    "read_access_log",
+    "validate_access_record",
 ]

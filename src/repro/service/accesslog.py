@@ -1,0 +1,161 @@
+"""Structured JSONL access log for the profiling service.
+
+Two record kinds share one file (and one schema version):
+
+``http``
+    One record per HTTP request, written by the server after the
+    response is sent: method, path, resolved endpoint, status, wall
+    duration, and the request's trace/span ids (client-sent or
+    server-minted).  Submit records additionally carry the job id and
+    the ``coalesced``/``cache_hit`` flags the queue resolved.
+
+``job``
+    One record per job reaching a terminal state, written by the queue:
+    job id, job kind as the endpoint, final state, queue wait and
+    execution wall seconds, attempts, and the submitting request's
+    trace id (coalesced followers also carry ``primary_trace_id`` — the
+    trace whose execution produced their result, which is the trace the
+    merged worker spans are tagged with).
+
+Every record carries ``v`` (schema version), ``kind``, ``ts`` (unix
+seconds), and a non-empty ``trace_id``; :func:`read_access_log` enforces
+exactly that and raises a typed :class:`~repro.errors.ServiceError` on
+junk, so downstream joins (CI's trace ⇄ span check, the loadgen report)
+never crash on a torn or hand-edited line.
+
+Writers are thread-safe and flush per record: the log must survive a
+SIGTERM mid-request with at most the final line torn, mirroring the
+monitor's :class:`~repro.monitor.events.EventLog` discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from typing import Iterator
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "ACCESS_LOG_VERSION",
+    "AccessLog",
+    "JsonlWriter",
+    "read_access_log",
+    "validate_access_record",
+]
+
+#: Schema version stamped into every record as ``v``.
+ACCESS_LOG_VERSION = 1
+
+_RECORD_KINDS = frozenset({"http", "job"})
+
+
+class JsonlWriter:
+    """Thread-safe append-only JSONL sink (one flush per record)."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class AccessLog(JsonlWriter):
+    """JSONL access log; stamps schema version and timestamp per record."""
+
+    def record(self, kind: str, **fields: object) -> None:
+        if kind not in _RECORD_KINDS:
+            raise ServiceError(
+                f"unknown access-log record kind {kind!r}; "
+                f"expected one of {sorted(_RECORD_KINDS)}"
+            )
+        rec = {"v": ACCESS_LOG_VERSION, "kind": kind, "ts": round(time.time(), 6)}
+        rec.update({k: v for k, v in fields.items() if v is not None})
+        self.write(rec)
+
+
+def validate_access_record(record: object) -> list[str]:
+    """Schema problems for one parsed record (empty list = valid).
+
+    Total over arbitrary JSON values — a list, scalar, or null record
+    yields error strings, never an attribute crash.
+    """
+    if not isinstance(record, dict):
+        return [f"record must be a JSON object, got {type(record).__name__}"]
+    errors = []
+    if record.get("v") != ACCESS_LOG_VERSION:
+        errors.append(f"v must be {ACCESS_LOG_VERSION}, got {record.get('v')!r}")
+    if record.get("kind") not in _RECORD_KINDS:
+        errors.append(f"kind must be one of {sorted(_RECORD_KINDS)}, "
+                      f"got {record.get('kind')!r}")
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        errors.append(f"ts must be a number, got {ts!r}")
+    trace_id = record.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        errors.append(f"trace_id must be a non-empty string, got {trace_id!r}")
+    if record.get("kind") == "http":
+        status = record.get("status")
+        if not isinstance(status, int) or isinstance(status, bool):
+            errors.append(f"http record status must be an integer, got {status!r}")
+    if record.get("kind") == "job":
+        for key in ("job_id", "state"):
+            val = record.get(key)
+            if not isinstance(val, str) or not val:
+                errors.append(
+                    f"job record {key} must be a non-empty string, got {val!r}"
+                )
+    return errors
+
+
+def read_access_log(path: str | pathlib.Path) -> Iterator[dict]:
+    """Yield validated records; :class:`ServiceError` on malformed lines.
+
+    A trailing torn line (no newline, interrupted write) is tolerated and
+    skipped; corruption anywhere else is a hard error — same contract as
+    the campaign journal reader.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ServiceError(f"cannot read access log {path}: {exc}") from exc
+    lines = text.split("\n")
+    # The writer flushes whole ``line + "\n"`` units, so a final element
+    # without a trailing newline is a write the process died inside —
+    # drop the fragment; every newline-terminated line must be valid.
+    body = lines[:-1]
+    for lineno, line in enumerate(body, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"access log {path} line {lineno} is not valid JSON: {exc}"
+            ) from exc
+        errors = validate_access_record(record)
+        if errors:
+            raise ServiceError(
+                f"access log {path} line {lineno} is invalid: {'; '.join(errors)}"
+            )
+        yield record

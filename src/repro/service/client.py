@@ -7,6 +7,13 @@ back as :class:`~repro.errors.ServiceError` (or
 server's ``Retry-After``), so callers handle the service exactly like
 the rest of the library.
 
+Every request carries an ``X-Drbw-Trace`` header: :meth:`ServiceClient.submit`
+mints a fresh :class:`~repro.service.trace.TraceContext` per submission
+(the server adopts its trace_id as the job's trace identity), and later
+status/result polls for that job reuse the same trace with a fresh span
+id per request, so the server's access log shows the whole conversation
+under one trace.  See ``docs/service.md`` ("Request tracing & SLOs").
+
 Two client-side resilience behaviors (see ``docs/robustness.md``):
 
 * :meth:`ServiceClient.wait` polls with **capped exponential backoff**
@@ -29,17 +36,52 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import time
 import urllib.error
 import urllib.request
 from typing import Callable
 
 from repro.errors import ServiceError, ServiceSaturatedError
+from repro.service.trace import TRACE_HEADER, TraceContext, mint_trace
 
-__all__ = ["ServiceClient"]
+__all__ = [
+    "ServiceClient",
+    "parse_retry_after",
+    "RETRY_AFTER_FALLBACK_S",
+    "RETRY_AFTER_CAP_S",
+]
 
 #: Transport errors that justify one retry of an idempotent request.
 _TRANSIENT = (ConnectionResetError, http.client.RemoteDisconnected)
+
+#: ``Retry-After`` parsing: fallback when the header is absent, empty,
+#: non-numeric, or negative, and a hard cap so a misconfigured (or
+#: hostile) server cannot park a client for an hour with one header.
+RETRY_AFTER_FALLBACK_S = 1.0
+RETRY_AFTER_CAP_S = 60.0
+
+#: Traces remembered for status/result correlation per client instance.
+_MAX_REMEMBERED_TRACES = 4096
+
+
+def parse_retry_after(value: object) -> float:
+    """Seconds to wait from a ``Retry-After`` header value, defensively.
+
+    Servers (and the proxies between) emit all sorts here: the HTTP-date
+    form, empty strings, negatives, ``inf``.  Anything that is not a
+    finite non-negative number falls back to
+    :data:`RETRY_AFTER_FALLBACK_S`; everything is capped at
+    :data:`RETRY_AFTER_CAP_S` so the backoff a caller sleeps on is always
+    sane.
+    """
+    try:
+        seconds = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return RETRY_AFTER_FALLBACK_S
+    if not math.isfinite(seconds) or seconds < 0:
+        return RETRY_AFTER_FALLBACK_S
+    return min(seconds, RETRY_AFTER_CAP_S)
 
 
 class ServiceClient:
@@ -54,16 +96,43 @@ class ServiceClient:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self._sleep = sleep
+        #: job id -> trace id, so polls reuse the submission's trace.
+        self._traces: dict[str, str] = {}
+
+    # -- tracing ----------------------------------------------------------------
+
+    def _remember_trace(self, job_id: str, trace: TraceContext) -> None:
+        if len(self._traces) >= _MAX_REMEMBERED_TRACES:
+            # Clients are short-lived; a simple clear beats an LRU here —
+            # the only cost is a fresh trace on polls for very old jobs.
+            self._traces.clear()
+        self._traces[job_id] = trace.trace_id
+
+    def trace_for(self, job_id: str) -> TraceContext:
+        """The trace context polls for ``job_id`` should carry.
+
+        Reuses the submission's trace id with a fresh span id per
+        request; jobs this client never submitted get a fresh trace.
+        """
+        trace_id = self._traces.get(job_id)
+        if trace_id is None:
+            return mint_trace()
+        return TraceContext(trace_id, mint_trace().span_id)
 
     # -- raw HTTP ---------------------------------------------------------------
 
-    def _request(self, path: str, data: bytes | None = None) -> tuple[int, dict, bytes]:
+    def _request(
+        self,
+        path: str,
+        data: bytes | None = None,
+        trace: TraceContext | None = None,
+    ) -> tuple[int, dict, bytes]:
         # GETs (data is None) are idempotent and safe to retry once after
         # a transient transport failure; POSTs are not (double submit).
         attempts = 2 if data is None else 1
         for attempt in range(1, attempts + 1):
             try:
-                return self._request_once(path, data)
+                return self._request_once(path, data, trace)
             except _TRANSIENT:
                 if attempt >= attempts:
                     raise ServiceError(
@@ -71,11 +140,16 @@ class ServiceClient:
                     ) from None
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _request_once(self, path: str, data: bytes | None) -> tuple[int, dict, bytes]:
+    def _request_once(
+        self, path: str, data: bytes | None, trace: TraceContext | None
+    ) -> tuple[int, dict, bytes]:
+        headers = {TRACE_HEADER: (trace or mint_trace()).header_value()}
+        if data:
+            headers["Content-Type"] = "application/json"
         req = urllib.request.Request(
             self.base_url + path,
             data=data,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=headers,
             method="POST" if data is not None else "GET",
         )
         try:
@@ -85,7 +159,7 @@ class ServiceClient:
             body = exc.read()
             message = self._error_message(body, exc)
             if exc.code == 429:
-                retry = float(exc.headers.get("Retry-After", "1") or "1")
+                retry = parse_retry_after(exc.headers.get("Retry-After"))
                 raise ServiceSaturatedError(message, retry_after=retry) from None
             raise ServiceError(f"HTTP {exc.code}: {message}") from None
         except urllib.error.URLError as exc:
@@ -105,20 +179,34 @@ class ServiceClient:
 
     # -- API --------------------------------------------------------------------
 
-    def submit(self, spec: dict) -> dict:
-        """POST one job spec; returns its status payload."""
+    def submit(self, spec: dict, trace: TraceContext | None = None) -> dict:
+        """POST one job spec; returns its status payload.
+
+        Mints a fresh trace context unless the caller passes one; either
+        way the trace is remembered so :meth:`status`/:meth:`result`
+        polls for the returned job id ride the same trace.
+        """
+        trace = trace or mint_trace()
         _, _, body = self._request(
-            "/v1/jobs", json.dumps(spec).encode("utf-8")
+            "/v1/jobs", json.dumps(spec).encode("utf-8"), trace=trace
         )
-        return json.loads(body)
+        payload = json.loads(body)
+        job_id = payload.get("id")
+        if isinstance(job_id, str):
+            self._remember_trace(job_id, trace)
+        return payload
 
     def status(self, job_id: str) -> dict:
-        _, _, body = self._request(f"/v1/jobs/{job_id}")
+        _, _, body = self._request(
+            f"/v1/jobs/{job_id}", trace=self.trace_for(job_id)
+        )
         return json.loads(body)
 
     def result_text(self, job_id: str) -> str:
         """The finished job's result — the exact ``--json`` CLI bytes."""
-        _, _, body = self._request(f"/v1/jobs/{job_id}/result")
+        _, _, body = self._request(
+            f"/v1/jobs/{job_id}/result", trace=self.trace_for(job_id)
+        )
         return body.decode("utf-8")
 
     def result(self, job_id: str) -> dict:

@@ -39,9 +39,16 @@ class Coalescer:
         self._followers[key] = []
 
     def attach(self, key: str, follower: Job) -> Job:
-        """Attach ``follower`` to the in-flight primary; returns the primary."""
+        """Attach ``follower`` to the in-flight primary; returns the primary.
+
+        The follower keeps its own ``trace_id`` (each HTTP request is its
+        own trace) but inherits the primary's as ``primary_trace_id`` so
+        its access-log record resolves to the spans of the execution that
+        actually produced its result.
+        """
         primary = self._primary[key]
         follower.coalesced = True
+        follower.primary_trace_id = primary.trace_id
         self._followers[key].append(follower)
         return primary
 

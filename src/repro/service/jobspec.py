@@ -248,13 +248,25 @@ def execute_job(spec: Any) -> dict:
     ``canonical_json(result)`` verbatim as the job's result bytes.
     """
     spec = normalize_job(spec)
-    if spec["kind"] == "profile":
-        from repro.parallel.shards import run_profile_shard
+    from repro import telemetry
 
-        import json
+    # One root span per execution (zero-cost when telemetry is off): the
+    # service worker's session always has at least this span to merge, so
+    # every executed job's trace resolves to spans even if the pipeline
+    # stages underneath change shape.
+    attrs = (
+        {"benchmark": spec["benchmark"]} if spec.get("benchmark") else {}
+    )
+    with telemetry.get_telemetry().span(
+        f"service.execute.{spec['kind']}", **attrs
+    ):
+        if spec["kind"] == "profile":
+            from repro.parallel.shards import run_profile_shard
 
-        payload = run_profile_shard(spec["spec"], spec["seed"])
-        # Round-trip through canonical JSON like the campaign runner, so
-        # warm and fresh results are the same object shape.
-        return json.loads(canonical_json(payload))
-    return _execute_detect(spec)
+            import json
+
+            payload = run_profile_shard(spec["spec"], spec["seed"])
+            # Round-trip through canonical JSON like the campaign runner,
+            # so warm and fresh results are the same object shape.
+            return json.loads(canonical_json(payload))
+        return _execute_detect(spec)

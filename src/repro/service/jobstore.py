@@ -46,6 +46,12 @@ class Job:
     cache_hit: bool = False
     #: Execution attempts so far (> 1 only after a watchdog requeue).
     attempts: int = 0
+    #: Trace id of the submitting request (client-sent or server-minted);
+    #: merged worker spans for an executed job are tagged with it.
+    trace_id: str | None = None
+    #: For coalesced followers: the primary's trace id — the trace whose
+    #: execution actually produced this job's result.
+    primary_trace_id: str | None = None
     created_s: float = field(default_factory=time.monotonic)
     started_s: float | None = None
     finished_s: float | None = None
@@ -60,6 +66,10 @@ class Job:
             "coalesced": self.coalesced,
             "cache_hit": self.cache_hit,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.primary_trace_id is not None:
+            payload["primary_trace_id"] = self.primary_trace_id
         if self.attempts > 1:
             payload["attempts"] = self.attempts
         if self.error is not None:
@@ -68,6 +78,22 @@ class Job:
             base = self.started_s if self.started_s is not None else self.created_s
             payload["duration_s"] = round(self.finished_s - base, 6)
         return payload
+
+    def queue_wait_s(self) -> float | None:
+        """Seconds from submission to execution start (0 for instant paths)."""
+        if self.started_s is not None:
+            return max(0.0, self.started_s - self.created_s)
+        if self.finished_s is not None:
+            return max(0.0, self.finished_s - self.created_s)
+        return None
+
+    def exec_s(self) -> float | None:
+        """Execution wall seconds (0 for cache hits / followers)."""
+        if self.finished_s is None:
+            return None
+        if self.started_s is None:
+            return 0.0
+        return max(0.0, self.finished_s - self.started_s)
 
 
 class JobStore:

@@ -45,11 +45,19 @@ from repro import telemetry
 from repro.errors import ReproError, ServiceError, ServiceSaturatedError
 from repro.parallel.cache import ResultCache
 from repro.parallel.seeding import canonical_json
+from repro.service.accesslog import AccessLog, JsonlWriter
 from repro.service.coalescer import Coalescer
 from repro.service.jobspec import execute_job, job_key, normalize_job
 from repro.service.jobstore import Job, JobStore
+from repro.service.trace import TraceContext, mint_trace
 
-__all__ = ["ServiceQueue", "TokenBucket", "SERVICE_CACHE_SCHEMA", "JOB_SECONDS_BUCKETS"]
+__all__ = [
+    "ServiceQueue",
+    "TokenBucket",
+    "SERVICE_CACHE_SCHEMA",
+    "JOB_SECONDS_BUCKETS",
+    "WAIT_SECONDS_BUCKETS",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -59,6 +67,10 @@ SERVICE_CACHE_SCHEMA = "drbw-service-job"
 
 #: Job wall-time histogram buckets (seconds).
 JOB_SECONDS_BUCKETS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0)
+
+#: Queue-wait histogram buckets (seconds) — waits are usually far below
+#: execution times, so the buckets start in the millisecond range.
+WAIT_SECONDS_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
 
 #: Queue sentinel telling a worker thread to exit.
 _STOP = object()
@@ -124,6 +136,8 @@ class ServiceQueue:
         watchdog_interval_s: float = 0.25,
         degraded_window_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        access_log: AccessLog | None = None,
+        span_log: JsonlWriter | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -159,6 +173,13 @@ class ServiceQueue:
         #: Monotonic timestamps of recent watchdog incidents (degraded signal).
         self._incidents: list[float] = []
         self._worker_serial = 0
+        #: Workers currently executing a job (worker-utilization gauge).
+        self._busy = 0
+        #: Structured JSONL sinks for the request-path observability
+        #: plane: one ``job`` record per terminal job, one tagged span
+        #: dict per merged worker span.  Both optional and off by default.
+        self._access_log = access_log
+        self._span_log = span_log
         #: Service lifecycle counters — always live, whatever the
         #: telemetry setting, because ``/metrics`` and the CI smoke test
         #: scrape them unconditionally.
@@ -315,6 +336,7 @@ class ServiceQueue:
             j.finished_s = now
             j.state = "failed"
             j.error = error
+            self._log_job_locked(j)
         self.metrics.counter("service.jobs_failed").inc(1 + len(followers))
         logger.warning("job %s failed by watchdog: %s", job.id, error)
 
@@ -339,16 +361,53 @@ class ServiceQueue:
             )
         return {"state": "degraded" if reasons else "ready", "reasons": reasons}
 
+    # -- request-path observability ----------------------------------------------
+
+    def _log_job_locked(self, job: Job) -> None:
+        """One access-log ``job`` record for a job reaching a terminal state."""
+        if self._access_log is None:
+            return
+        wait = job.queue_wait_s()
+        exec_s = job.exec_s()
+        self._access_log.record(
+            "job",
+            job_id=job.id,
+            endpoint=job.spec.get("kind"),
+            state=job.state,
+            trace_id=job.trace_id,
+            primary_trace_id=job.primary_trace_id,
+            coalesced=job.coalesced,
+            cache_hit=job.cache_hit,
+            queue_wait_s=None if wait is None else round(wait, 6),
+            exec_s=None if exec_s is None else round(exec_s, 6),
+            attempts=job.attempts or None,
+            error=job.error,
+        )
+
+    def _adjust_busy_locked(self, delta: int) -> None:
+        """Track executing workers; exported as busy + utilization gauges."""
+        self._busy += delta
+        self.metrics.gauge("service.workers_busy").set(self._busy)
+        self.metrics.gauge("service.worker_utilization").set(
+            self._busy / self._n_workers
+        )
+
     # -- submission -------------------------------------------------------------
 
-    def submit(self, spec: dict) -> Job:
+    def submit(self, spec: dict, trace: TraceContext | None = None) -> Job:
         """Accept one job spec; returns its (possibly already done) job.
+
+        ``trace`` is the submitting request's trace context (from the
+        ``X-Drbw-Trace`` header, or minted by the server); library callers
+        that pass none get a fresh one, so every job has a trace identity.
 
         Raises :class:`ServiceError` for malformed specs and
         :class:`ServiceSaturatedError` when the queue is full.
         """
         normalized = normalize_job(spec)
         key = job_key(normalized)
+        if trace is None:
+            trace = mint_trace()
         with self._lock:
             if self._draining:
                 raise ServiceError("service is draining; not accepting jobs")
@@ -357,6 +416,7 @@ class ServiceQueue:
             primary = self._coalescer.primary_for(key)
             if primary is not None:
                 job = self.store.create(normalized, key)
+                job.trace_id = trace.trace_id
                 self._coalescer.attach(key, job)
                 self.metrics.counter("service.jobs_coalesced").inc()
                 return job
@@ -365,15 +425,18 @@ class ServiceQueue:
                 cached = self.cache.get(key)
                 if cached is not None:
                     job = self.store.create(normalized, key)
+                    job.trace_id = trace.trace_id
                     job.state = "done"
                     job.cache_hit = True
                     job.result_text = canonical_json(cached)
                     job.finished_s = time.monotonic()
                     self.metrics.counter("service.cache_hits").inc()
                     self.metrics.counter("service.jobs_done").inc()
+                    self._log_job_locked(job)
                     return job
 
             job = self.store.create(normalized, key)
+            job.trace_id = trace.trace_id
             try:
                 self._q.put_nowait(job)
             except _stdqueue.Full:
@@ -381,6 +444,7 @@ class ServiceQueue:
                 job.error = "rejected: queue full"
                 job.finished_s = time.monotonic()
                 self.metrics.counter("service.jobs_rejected").inc()
+                self._log_job_locked(job)
                 raise ServiceSaturatedError(
                     f"job queue full ({self.capacity} deep); retry later",
                     retry_after=self.retry_after_s,
@@ -428,6 +492,10 @@ class ServiceQueue:
             )
             self._inflight[job.id] = (job, me, gen, deadline)
             self.metrics.gauge("service.queue_depth").set(self._q.qsize())
+            self.metrics.histogram(
+                "service.queue_wait_seconds", WAIT_SECONDS_BUCKETS
+            ).observe(job.queue_wait_s() or 0.0)
+            self._adjust_busy_locked(+1)
 
         tel = telemetry.Telemetry(enabled=self.telemetry.enabled)
         result_text: str | None = None
@@ -445,6 +513,7 @@ class ServiceQueue:
         elapsed = time.monotonic() - t0
 
         with self._lock:
+            self._adjust_busy_locked(-1)
             entry = self._inflight.get(job.id)
             if entry is not None and entry[2] == gen:
                 del self._inflight[job.id]
@@ -474,10 +543,22 @@ class ServiceQueue:
             self.metrics.histogram(
                 "service.job_seconds", JOB_SECONDS_BUCKETS
             ).observe(elapsed)
+            for j in (job, *followers):
+                self._log_job_locked(j)
             if tel.enabled:
-                self.telemetry.tracer.merge_records(
-                    tel.tracer.to_dicts(), shard=job.id
-                )
+                # Tag every worker span with the submitting request's
+                # trace before merging, so an access-log trace_id resolves
+                # to the spans of the execution that served it.
+                tagged = []
+                for rec in tel.tracer.to_dicts():
+                    attrs = dict(rec.get("attrs") or {})
+                    attrs["trace_id"] = job.trace_id
+                    attrs["job_id"] = job.id
+                    tagged.append(dict(rec, attrs=attrs))
+                self.telemetry.tracer.merge_records(tagged, shard=job.id)
                 for name, c in sorted(tel.metrics.counters.items()):
                     self.telemetry.metrics.counter(name).inc(c.value)
+                if self._span_log is not None:
+                    for rec in tagged:
+                        self._span_log.write(rec)
         return False

@@ -28,18 +28,27 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ServiceError, ServiceSaturatedError
 from repro.monitor.exposition import CONTENT_TYPE, render_prometheus_multi
-from repro.service.queue import ServiceQueue, TokenBucket
+from repro.service.accesslog import AccessLog
+from repro.service.jobstore import Job
+from repro.service.queue import ServiceQueue, TokenBucket, WAIT_SECONDS_BUCKETS
+from repro.service.trace import TRACE_HEADER, TraceContext, mint_trace, parse_trace_header
 
-__all__ = ["ServiceServer", "MAX_BODY_BYTES"]
+__all__ = ["ServiceServer", "MAX_BODY_BYTES", "REQUEST_SECONDS_BUCKETS"]
 
 logger = logging.getLogger(__name__)
 
 #: Request bodies larger than this are rejected outright (413).
 MAX_BODY_BYTES = 1 << 20
+
+#: End-to-end HTTP request latency buckets (seconds).  Most requests are
+#: status polls and cache hits in the low milliseconds; the tail is a
+#: submit that waited on backpressure.
+REQUEST_SECONDS_BUCKETS = WAIT_SECONDS_BUCKETS
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -49,9 +58,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body: bytes, content_type: str,
               extra: dict[str, str] | None = None) -> None:
+        self._sent_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header(TRACE_HEADER, self._trace.header_value())
         for k, v in (extra or {}).items():
             self.send_header(k, v)
         self.end_headers()
@@ -69,10 +80,57 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:
         logger.debug("service http: " + format, *args)
 
+    # -- request-path observability ----------------------------------------------
+
+    @staticmethod
+    def _endpoint(path: str) -> str:
+        if path in ("/healthz", "/readyz", "/metrics"):
+            return path[1:]
+        if path == "/v1/jobs":
+            return "submit"
+        if path.startswith("/v1/jobs/"):
+            return "result" if path.endswith("/result") else "status"
+        return "other"
+
+    def _observe(self, route, method: str) -> None:
+        """Run one route with trace extraction, RED metrics, access log.
+
+        The trace context comes from the ``X-Drbw-Trace`` header when the
+        client sent a well-formed one, else it is minted here — every
+        request gets a trace identity, and the response echoes it back so
+        headerless clients can still correlate.
+        """
+        t0 = time.perf_counter()
+        self._sent_status: int | None = None
+        self._job: Job | None = None
+        self._trace: TraceContext = (
+            parse_trace_header(self.headers.get(TRACE_HEADER)) or mint_trace()
+        )
+        path = self.path.split("?", 1)[0]
+        try:
+            route(path)
+        finally:
+            self.service.observe_request(
+                method=method,
+                path=path,
+                endpoint=self._endpoint(path),
+                # A route that died before sending anything surfaces as a
+                # connection reset to the client; account it as a 500.
+                status=self._sent_status if self._sent_status is not None else 500,
+                duration_s=time.perf_counter() - t0,
+                trace=self._trace,
+                job=self._job,
+            )
+
     # -- routes -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
-        path = self.path.split("?", 1)[0]
+        self._observe(self._route_get, "GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        self._observe(self._route_post, "POST")
+
+    def _route_get(self, path: str) -> None:
         if path == "/healthz":
             self._send(200, b"ok\n", "text/plain; charset=utf-8")
             return
@@ -111,6 +169,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except ServiceError as exc:
             self._error(404, str(exc))
             return
+        self._job = job
         self._json(200, job.status_payload())
 
     def _get_result(self, job_id: str) -> None:
@@ -119,6 +178,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except ServiceError as exc:
             self._error(404, str(exc))
             return
+        self._job = job
         if job.state == "failed":
             self._error(500, job.error or "job failed")
             return
@@ -131,8 +191,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         body = (job.result_text or "").encode("utf-8") + b"\n"
         self._send(200, body, "application/json")
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
-        path = self.path.split("?", 1)[0]
+    def _route_post(self, path: str) -> None:
         if path != "/v1/jobs":
             self._error(404, f"no route for {path}")
             return
@@ -158,7 +217,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._error(400, f"body is not JSON: {exc}")
             return
         try:
-            job = self.service.queue.submit(spec)
+            job = self.service.queue.submit(spec, trace=self._trace)
         except ServiceSaturatedError as exc:
             self._error(429, str(exc),
                         extra={"Retry-After": f"{exc.retry_after:.3f}"})
@@ -167,6 +226,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             status = 503 if self.service.queue.draining else 400
             self._error(status, str(exc))
             return
+        self._job = job
         self._json(202, job.status_payload())
 
 
@@ -186,10 +246,12 @@ class ServiceServer:
         port: int = 0,
         rate: float | None = None,
         burst: float = 10.0,
+        access_log: AccessLog | None = None,
     ) -> None:
         self.queue = queue
         self._rate = rate
         self._burst = burst
+        self._access_log = access_log
         self._buckets: dict[str, TokenBucket] = {}
         self._buckets_lock = threading.Lock()
         handler = type("_BoundHandler", (_ServiceHandler,), {"service": self})
@@ -228,6 +290,46 @@ class ServiceServer:
             if bucket is None:
                 bucket = self._buckets[client] = TokenBucket(self._rate, self._burst)
             return bucket
+
+    def observe_request(
+        self,
+        *,
+        method: str,
+        path: str,
+        endpoint: str,
+        status: int,
+        duration_s: float,
+        trace: TraceContext,
+        job: Job | None,
+    ) -> None:
+        """RED accounting + one access-log record for a finished request.
+
+        Counters are per endpoint and status class
+        (``service.http.requests.<endpoint>.<class>``); latency lands in a
+        per-endpoint fixed-bucket histogram.  Both live on the queue's
+        always-on lifecycle registry, so ``/metrics`` exposes them whether
+        or not pipeline telemetry is enabled.
+        """
+        metrics = self.queue.metrics
+        status_class = f"{status // 100}xx"
+        metrics.counter(f"service.http.requests.{endpoint}.{status_class}").inc()
+        metrics.histogram(
+            f"service.http.request_seconds.{endpoint}", REQUEST_SECONDS_BUCKETS
+        ).observe(duration_s)
+        if self._access_log is not None:
+            self._access_log.record(
+                "http",
+                method=method,
+                path=path,
+                endpoint=endpoint,
+                status=status,
+                duration_s=round(duration_s, 6),
+                trace_id=trace.trace_id,
+                span_id=trace.span_id,
+                job_id=None if job is None else job.id,
+                coalesced=None if job is None else job.coalesced,
+                cache_hit=None if job is None else job.cache_hit,
+            )
 
     def render_metrics(self) -> str:
         """The ``/metrics`` page: service counters + pipeline aggregate."""

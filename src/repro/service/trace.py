@@ -1,0 +1,85 @@
+"""Request-trace propagation for the profiling service.
+
+Every request carries a :class:`TraceContext` — a 128-bit ``trace_id``
+naming the end-to-end request and a 64-bit ``span_id`` naming the hop
+that sent it — serialized into the ``X-Drbw-Trace`` header as
+``<32 hex>-<16 hex>`` (a deliberately minimal cousin of the W3C
+``traceparent`` format).  :class:`~repro.service.client.ServiceClient`
+mints a context per submission; the server mints one when the header is
+absent or malformed, so *every* access-log record and job has a trace
+identity regardless of what the client sent.
+
+Parsing is tolerant by design: a proxy that mangles the header must
+degrade to a fresh server-minted trace, never to a 4xx or a crash.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "mint_trace",
+    "parse_trace_header",
+]
+
+#: HTTP header carrying the serialized trace context.
+TRACE_HEADER = "X-Drbw-Trace"
+
+_TRACE_ID_HEX = 32
+_SPAN_ID_HEX = 16
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _rand_hex(n_hex: int) -> str:
+    return os.urandom(n_hex // 2).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: trace (end-to-end) + span (this hop)."""
+
+    trace_id: str
+    span_id: str
+
+    def header_value(self) -> str:
+        """Wire form for the ``X-Drbw-Trace`` header."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — one per hop/request."""
+        return TraceContext(self.trace_id, _rand_hex(_SPAN_ID_HEX))
+
+
+def mint_trace() -> TraceContext:
+    """A fresh trace with a fresh root span."""
+    return TraceContext(_rand_hex(_TRACE_ID_HEX), _rand_hex(_SPAN_ID_HEX))
+
+
+def _valid_id(value: str, length: int) -> bool:
+    return (
+        len(value) == length
+        and set(value) <= _HEX_DIGITS
+        and set(value) != {"0"}
+    )
+
+
+def parse_trace_header(value: object) -> TraceContext | None:
+    """Parse an ``X-Drbw-Trace`` header value; ``None`` on any malformation.
+
+    Accepts exactly ``<32 hex>-<16 hex>`` (case-insensitive, surrounding
+    whitespace tolerated); all-zero ids are rejected per the traceparent
+    convention.  Callers mint a fresh context on ``None`` — a mangled
+    header must never fail a request.
+    """
+    if not isinstance(value, str):
+        return None
+    parts = value.strip().lower().split("-")
+    if len(parts) != 2:
+        return None
+    trace_id, span_id = parts
+    if not _valid_id(trace_id, _TRACE_ID_HEX) or not _valid_id(span_id, _SPAN_ID_HEX):
+        return None
+    return TraceContext(trace_id, span_id)

@@ -1,0 +1,222 @@
+"""The ``drbw-slo-report`` artifact: measurements, cross-checks, verdicts.
+
+:func:`build_report` folds one or more loadgen runs into a single JSON
+document:
+
+* ``steady`` — the steady-state run's summary (the last run of a sweep,
+  or the only run): availability, error/429 rates, achieved RPS, and
+  p50/p95/p99 both exact (client-side order statistics) and
+  histogram-interpolated, with a ``within_one_bucket`` bit per quantile
+  (the acceptance cross-check: interpolation error is bounded by the
+  bucket the exact value falls in);
+* ``runs`` — every run's summary (the sweep curve);
+* ``knee`` — the saturation knee when a sweep found one;
+* ``slo`` — one check per spec target with its measured value and a
+  pass/fail bit, plus the overall ``breached`` flag ``drbw loadgen``
+  turns into a nonzero exit.
+
+:func:`validate_slo_report` is total over junk (CI validates the file
+the smoke job produced), and :func:`render_report` is the human view.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import SloError
+from repro.slo.loadgen import LoadgenResult, detect_knee
+from repro.slo.spec import SloSpec
+
+__all__ = [
+    "SLO_REPORT_SCHEMA",
+    "SLO_REPORT_SCHEMA_VERSION",
+    "build_report",
+    "validate_slo_report",
+    "render_report",
+]
+
+SLO_REPORT_SCHEMA = "drbw-slo-report"
+SLO_REPORT_SCHEMA_VERSION = 1
+
+
+def _latency_check(
+    target_ms: float, steady: LoadgenResult, q: float
+) -> tuple[float | None, bool]:
+    """(measured exact quantile in ms, ok) for one latency ceiling."""
+    exact = steady.exact_quantile(q)
+    if math.isnan(exact):
+        # No successful request produced a latency: a latency ceiling
+        # cannot be met by a service that answered nothing.
+        return None, False
+    measured_ms = exact * 1e3
+    return round(measured_ms, 3), measured_ms <= target_ms
+
+
+def _slo_section(spec: SloSpec, steady: LoadgenResult) -> dict:
+    checks: list[dict] = []
+
+    def add(target: str, limit: float, measured, ok: bool, kind: str) -> None:
+        checks.append({
+            "target": target,
+            "kind": kind,          # "min" or "max" against the limit
+            "limit": limit,
+            "measured": measured,
+            "ok": bool(ok),
+        })
+
+    if spec.availability is not None:
+        measured = round(steady.availability, 6)
+        add("availability", spec.availability, measured,
+            steady.availability >= spec.availability, "min")
+    for target, q in (("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99)):
+        limit = getattr(spec, target)
+        if limit is not None:
+            measured, ok = _latency_check(limit, steady, q)
+            add(target, limit, measured, ok, "max")
+    if spec.sustained_rps is not None:
+        measured = round(steady.achieved_rps, 3)
+        add("sustained_rps", spec.sustained_rps, measured,
+            steady.achieved_rps >= spec.sustained_rps, "min")
+    if spec.max_rate_limited is not None:
+        measured = round(steady.rate_limited_rate, 6)
+        add("max_rate_limited", spec.max_rate_limited, measured,
+            steady.rate_limited_rate <= spec.max_rate_limited, "max")
+    return {
+        "name": spec.name,
+        "targets": spec.targets(),
+        "checks": checks,
+        "breached": any(not c["ok"] for c in checks),
+    }
+
+
+def build_report(
+    results: Sequence[LoadgenResult],
+    spec: SloSpec | None = None,
+    *,
+    url: str | None = None,
+    job: dict | None = None,
+) -> dict:
+    """Assemble the report; the *last* run is the steady-state verdict run."""
+    if not results:
+        raise SloError("an SLO report needs at least one loadgen run")
+    steady = results[-1]
+    report: dict = {
+        "schema": SLO_REPORT_SCHEMA,
+        "schema_version": SLO_REPORT_SCHEMA_VERSION,
+        "url": url,
+        "job": job,
+        "runs": [r.to_dict() for r in results],
+        "steady": steady.to_dict(),
+        "knee": detect_knee(results) if len(results) > 1 else None,
+    }
+    report["slo"] = None if spec is None else _slo_section(spec, steady)
+    return report
+
+
+def validate_slo_report(doc: object) -> list[str]:
+    """Schema problems (empty = valid); total over arbitrary JSON."""
+    if not isinstance(doc, dict):
+        return [f"report must be a JSON object, got {type(doc).__name__}"]
+    errors = []
+    if doc.get("schema") != SLO_REPORT_SCHEMA:
+        errors.append(
+            f"schema must be {SLO_REPORT_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if doc.get("schema_version") != SLO_REPORT_SCHEMA_VERSION:
+        errors.append(
+            f"unsupported schema_version {doc.get('schema_version')!r}"
+        )
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append(f"runs must be a non-empty list, got {runs!r}")
+    steady = doc.get("steady")
+    if not isinstance(steady, dict):
+        errors.append(f"steady must be an object, got {steady!r}")
+    else:
+        for key in ("availability", "achieved_rps"):
+            val = steady.get(key)
+            if not isinstance(val, (int, float)) or isinstance(val, bool):
+                errors.append(f"steady.{key} must be a number, got {val!r}")
+        quantiles = steady.get("quantiles")
+        if not isinstance(quantiles, dict):
+            errors.append(f"steady.quantiles must be an object, got {quantiles!r}")
+        else:
+            for label in ("p50", "p95", "p99"):
+                if not isinstance(quantiles.get(label), dict):
+                    errors.append(f"steady.quantiles.{label} must be an object")
+    knee = doc.get("knee")
+    if knee is not None and not isinstance(knee, dict):
+        errors.append(f"knee must be an object or null, got {knee!r}")
+    slo = doc.get("slo")
+    if slo is not None:
+        if not isinstance(slo, dict):
+            errors.append(f"slo must be an object or null, got {slo!r}")
+        else:
+            if not isinstance(slo.get("breached"), bool):
+                errors.append(
+                    f"slo.breached must be a boolean, got {slo.get('breached')!r}"
+                )
+            checks = slo.get("checks")
+            if not isinstance(checks, list):
+                errors.append(f"slo.checks must be a list, got {checks!r}")
+            else:
+                for i, check in enumerate(checks):
+                    if not isinstance(check, dict) or not isinstance(
+                        check.get("ok"), bool
+                    ):
+                        errors.append(f"slo.checks[{i}] must carry a boolean ok")
+    return errors
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a (valid) report document."""
+    errors = validate_slo_report(report)
+    if errors:
+        raise SloError(f"cannot render invalid SLO report: {'; '.join(errors)}")
+    steady = report["steady"]
+    lines = [
+        "SLO report",
+        f"  url:            {report.get('url') or '-'}",
+        f"  mode:           {steady.get('mode')} "
+        f"(concurrency={steady.get('concurrency')}, "
+        f"target_rps={steady.get('target_rps')})",
+        f"  offered:        {steady.get('offered')} requests "
+        f"over {steady.get('duration_s')}s",
+        f"  availability:   {steady['availability']:.4f} "
+        f"(failed {steady.get('failed')}, 429s {steady.get('rate_limited')})",
+        f"  achieved_rps:   {steady['achieved_rps']:.1f}",
+    ]
+    for label in ("p50", "p95", "p99"):
+        q = steady["quantiles"].get(label, {})
+        exact = q.get("exact_ms")
+        interp = q.get("interpolated_ms")
+        mark = "" if q.get("within_one_bucket", True) else "  (DRIFTED)"
+        lines.append(
+            f"  {label}:            exact {exact} ms / "
+            f"histogram {interp} ms{mark}"
+        )
+    knee = report.get("knee")
+    if knee:
+        lines.append(
+            f"  knee:           concurrency {knee.get('concurrency')} "
+            f"at {knee.get('achieved_rps')} rps "
+            f"(marginal {knee.get('marginal_rps_per_worker')} rps/worker)"
+        )
+    elif len(report.get("runs", [])) > 1:
+        lines.append("  knee:           not reached in this sweep")
+    slo = report.get("slo")
+    if slo:
+        lines.append(f"  slo:            {slo.get('name')}")
+        for check in slo["checks"]:
+            verdict = "ok  " if check["ok"] else "FAIL"
+            op = ">=" if check.get("kind") == "min" else "<="
+            lines.append(
+                f"    [{verdict}] {check['target']}: measured "
+                f"{check['measured']} {op} {check['limit']}"
+            )
+        lines.append(
+            "  verdict:        "
+            + ("BREACHED" if slo["breached"] else "met")
+        )
+    return "\n".join(lines)

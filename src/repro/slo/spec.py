@@ -1,0 +1,167 @@
+"""Declarative SLO specs: what the service promises, as a JSON file.
+
+A spec names the objective and its targets::
+
+    {
+      "schema": "drbw-slo-spec",
+      "name": "service-default",
+      "targets": {
+        "availability": 0.99,
+        "p99_ms": 250,
+        "sustained_rps": 20
+      }
+    }
+
+Targets (all optional, at least one required):
+
+``availability``
+    Minimum fraction of attempted requests that must succeed, in
+    ``(0, 1]``.  Rate-limited (429) requests count against it — a user
+    the service turned away is a user the service failed.
+``p50_ms`` / ``p95_ms`` / ``p99_ms``
+    Latency ceilings in milliseconds on the end-to-end request round
+    trip (submit → result), checked against the *exact* client-side
+    quantiles (the histogram-interpolated values are cross-checks, not
+    the verdict).
+``sustained_rps``
+    Minimum achieved successful requests/second over the steady-state
+    run.
+``max_rate_limited``
+    Maximum fraction of requests answered 429, in ``[0, 1)``.
+
+Parsing is total over junk: any malformation raises a typed
+:class:`~repro.errors.SloError` naming the offending field, never an
+attribute crash (same discipline as every other JSON loader in the
+repo — see ``tests/test_fuzz_loaders.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, fields
+
+from repro.errors import SloError
+
+__all__ = ["SLO_SPEC_SCHEMA", "SloSpec", "parse_slo_spec", "load_slo_spec"]
+
+#: Declared schema of an SLO spec document.
+SLO_SPEC_SCHEMA = "drbw-slo-spec"
+
+#: Target keys expressed as latency ceilings in milliseconds.
+_LATENCY_TARGETS = ("p50_ms", "p95_ms", "p99_ms")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective: a name plus its targets."""
+
+    name: str = "default"
+    availability: float | None = None
+    p50_ms: float | None = None
+    p95_ms: float | None = None
+    p99_ms: float | None = None
+    sustained_rps: float | None = None
+    max_rate_limited: float | None = None
+
+    def targets(self) -> dict[str, float]:
+        """The set targets as a plain dict (for reports and rendering)."""
+        out = {}
+        for f in fields(self):
+            if f.name == "name":
+                continue
+            value = getattr(self, f.name)
+            if value is not None:
+                out[f.name] = value
+        return out
+
+
+_TARGET_KEYS = frozenset(
+    f.name for f in fields(SloSpec) if f.name != "name"
+)
+
+
+def _number(targets: dict, key: str) -> float | None:
+    value = targets.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SloError(f"SLO target {key} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise SloError(f"SLO target {key} must be finite, got {value!r}")
+    return value
+
+
+def parse_slo_spec(doc: object) -> SloSpec:
+    """Parse one SLO spec document; :class:`SloError` on any malformation."""
+    if not isinstance(doc, dict):
+        raise SloError(
+            f"SLO spec must be a JSON object, got {type(doc).__name__}"
+        )
+    schema = doc.get("schema")
+    if schema != SLO_SPEC_SCHEMA:
+        raise SloError(
+            f"SLO spec schema must be {SLO_SPEC_SCHEMA!r}, got {schema!r}"
+        )
+    unknown_top = set(doc) - {"schema", "name", "targets"}
+    if unknown_top:
+        raise SloError(f"unknown SLO spec fields {sorted(unknown_top)}")
+    name = doc.get("name", "default")
+    if not isinstance(name, str) or not name:
+        raise SloError(f"SLO spec name must be a non-empty string, got {name!r}")
+    targets = doc.get("targets")
+    if not isinstance(targets, dict):
+        raise SloError(
+            f"SLO spec needs a 'targets' object, got {type(targets).__name__}"
+        )
+    unknown = set(targets) - _TARGET_KEYS
+    if unknown:
+        raise SloError(
+            f"unknown SLO targets {sorted(unknown)}; "
+            f"known targets: {sorted(_TARGET_KEYS)}"
+        )
+
+    availability = _number(targets, "availability")
+    if availability is not None and not 0.0 < availability <= 1.0:
+        raise SloError(
+            f"availability must be in (0, 1], got {availability}"
+        )
+    max_rate_limited = _number(targets, "max_rate_limited")
+    if max_rate_limited is not None and not 0.0 <= max_rate_limited < 1.0:
+        raise SloError(
+            f"max_rate_limited must be in [0, 1), got {max_rate_limited}"
+        )
+    sustained_rps = _number(targets, "sustained_rps")
+    if sustained_rps is not None and sustained_rps <= 0:
+        raise SloError(f"sustained_rps must be > 0, got {sustained_rps}")
+    latencies = {}
+    for key in _LATENCY_TARGETS:
+        value = _number(targets, key)
+        if value is not None and value <= 0:
+            raise SloError(f"{key} must be > 0 milliseconds, got {value}")
+        latencies[key] = value
+
+    spec = SloSpec(
+        name=name,
+        availability=availability,
+        sustained_rps=sustained_rps,
+        max_rate_limited=max_rate_limited,
+        **latencies,
+    )
+    if not spec.targets():
+        raise SloError("SLO spec sets no targets; at least one is required")
+    return spec
+
+
+def load_slo_spec(path: str | pathlib.Path) -> SloSpec:
+    """Read and parse an SLO spec file; :class:`SloError` on any failure."""
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SloError(f"cannot read SLO spec {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SloError(f"SLO spec {path} is not valid JSON: {exc}") from exc
+    return parse_slo_spec(doc)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.telemetry.artifact import RunArtifact
 from repro.telemetry.timeline import ResourceTimeline, sparkline
 
-__all__ = ["render_dashboard"]
+__all__ = ["render_dashboard", "render_stage_table"]
 
 _RULE = "─" * 72
 
@@ -197,6 +197,45 @@ def _render_results(results: dict) -> list[str]:
         if cov is not None:
             lines.append(f"  attribution coverage: {cov:.1%}")
     return lines
+
+
+def render_stage_table(spans: list[dict]) -> str:
+    """Per-stage aggregate over an artifact's spans (``report --stages``).
+
+    One row per span *name*: how many times the stage ran, its total
+    wall and CPU time, wall share of the run, and CPU efficiency
+    (cpu/wall — above 1.0 means the stage ran parallel work).  Shares
+    are against the sum of root-span wall time; nested stages overlap
+    their parents, so the column does not sum to 100%.
+    """
+    if not spans:
+        return "stage breakdown\n" + _RULE + "\n  (no spans recorded)"
+    agg: dict[str, dict] = {}
+    for s in spans:
+        row = agg.setdefault(
+            s["name"], {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+        )
+        row["count"] += 1
+        row["wall_s"] += s.get("wall_s", 0.0)
+        row["cpu_s"] += s.get("cpu_s", 0.0)
+    total_wall = sum(
+        s.get("wall_s", 0.0) for s in spans if s.get("parent_id", -1) == -1
+    ) or 1.0
+    lines = [
+        "stage breakdown",
+        _RULE,
+        f"  {'stage':<38}{'count':>7}{'wall':>11}{'cpu':>11}"
+        f"{'wall%':>8}{'cpu/wall':>10}",
+    ]
+    for name in sorted(agg, key=lambda n: agg[n]["wall_s"], reverse=True):
+        row = agg[name]
+        ratio = row["cpu_s"] / row["wall_s"] if row["wall_s"] > 0 else 0.0
+        lines.append(
+            f"  {name:<38}{row['count']:>7,}"
+            f"{_fmt_seconds(row['wall_s']):>11}{_fmt_seconds(row['cpu_s']):>11}"
+            f"{row['wall_s'] / total_wall * 100.0:>7.1f}%{ratio:>10.2f}"
+        )
+    return "\n".join(lines)
 
 
 def render_dashboard(artifact: RunArtifact) -> str:

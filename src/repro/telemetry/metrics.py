@@ -16,6 +16,7 @@ branches on enablement for one-line counter bumps.
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
@@ -28,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "quantile_from_counts",
 ]
 
 #: Default buckets (cycles) for access-latency histograms — the Table I
@@ -36,6 +38,58 @@ LATENCY_BUCKETS: tuple[float, ...] = (50, 100, 200, 500, 1000, 2000, 5000)
 
 #: Buckets for distributions over [0, 1] (leaf margins, confidences).
 MARGIN_BUCKETS: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def quantile_from_counts(
+    boundaries: tuple[float, ...] | list[float],
+    counts: list[int],
+    q: float,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """Interpolated quantile from fixed-boundary bucket counts.
+
+    Works on exported histogram data (``Histogram.to_dict()``) as well as
+    live instruments.  The estimate is linearly interpolated inside the
+    bucket where the cumulative count first reaches ``q * total``, which
+    bounds its error by that bucket's width: bucket semantics are
+    Prometheus-style inclusive upper edges (a value equal to a boundary
+    counts toward that boundary's ``le`` bucket), so the exact order
+    statistic of rank ``ceil(q * total)`` lives in the same bucket the
+    interpolation runs over.
+
+    The first bucket's lower edge is ``minimum`` when known (else 0,
+    clamped to the first boundary); the overflow bucket's upper edge is
+    ``maximum`` when known (else the last finite boundary).  Returns NaN
+    for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return math.nan
+    boundaries = tuple(float(b) for b in boundaries)
+    lo_first = min(boundaries[0], 0.0 if minimum is None else float(minimum))
+    hi_last = boundaries[-1] if maximum is None else max(float(maximum), boundaries[-1])
+    target = q * total
+    cum = 0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cum + c >= target:
+            lo = lo_first if i == 0 else boundaries[i - 1]
+            hi = hi_last if i == len(boundaries) else boundaries[i]
+            value = lo + (hi - lo) * (target - cum) / c
+            break
+        cum += c
+    else:  # pragma: no cover - unreachable when total > 0
+        value = hi_last
+    if minimum is not None:
+        value = max(value, float(minimum))
+    if maximum is not None:
+        value = min(value, float(maximum))
+    return value
 
 
 class Counter:
@@ -118,6 +172,52 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile estimate; see :func:`quantile_from_counts`.
+
+        Clamped to the observed ``[min, max]``, so the error against the
+        exact order statistic is bounded by the width of the bucket the
+        exact value falls in.
+        """
+        return quantile_from_counts(
+            self.boundaries,
+            self.counts,
+            q,
+            minimum=self.min if self.count else None,
+            maximum=self.max if self.count else None,
+        )
+
+    def bucket_width(self, v: float) -> float:
+        """Width of the bucket ``v`` falls in (overflow uses observed max)."""
+        i = int(np.searchsorted(self.boundaries, float(v), side="left"))
+        lo = (
+            min(self.boundaries[0], self.min if self.count else 0.0)
+            if i == 0
+            else self.boundaries[i - 1]
+        )
+        hi = (
+            max(self.max, self.boundaries[-1])
+            if i == len(self.boundaries)
+            else self.boundaries[i]
+        )
+        return hi - lo
+
+    def snapshot(self) -> "Histogram":
+        """Consistent point-in-time copy safe to render while writers run.
+
+        ``count`` is re-derived from the copied bucket counts so the
+        cumulative ``_bucket`` lines and ``_count`` always agree inside
+        one snapshot even if an ``observe`` raced the copy.
+        """
+        snap = Histogram.__new__(Histogram)
+        snap.boundaries = self.boundaries
+        snap.counts = list(self.counts)
+        snap.count = sum(snap.counts)
+        snap.sum = self.sum
+        snap.min = self.min
+        snap.max = self.max
+        return snap
+
     def to_dict(self) -> dict:
         return {
             "boundaries": list(self.boundaries),
@@ -130,23 +230,35 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instruments, created on first touch."""
+    """Named instruments, created on first touch.
+
+    Instrument *creation* is serialized under a lock so a concurrent
+    scraper can take a :meth:`snapshot` without racing the dicts growing
+    (lookups of existing instruments stay lock-free on the hot path).
+    """
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
         if c is None:
-            c = self.counters[name] = Counter()
+            with self._lock:
+                c = self.counters.get(name)
+                if c is None:
+                    c = self.counters[name] = Counter()
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self.gauges.get(name)
         if g is None:
-            g = self.gauges[name] = Gauge()
+            with self._lock:
+                g = self.gauges.get(name)
+                if g is None:
+                    g = self.gauges[name] = Gauge()
         return g
 
     def histogram(
@@ -154,8 +266,33 @@ class MetricsRegistry:
     ) -> Histogram:
         h = self.histograms.get(name)
         if h is None:
-            h = self.histograms[name] = Histogram(boundaries)
+            with self._lock:
+                h = self.histograms.get(name)
+                if h is None:
+                    h = self.histograms[name] = Histogram(boundaries)
         return h
+
+    def snapshot(self) -> "MetricsRegistry":
+        """Point-in-time copy safe to iterate while workers keep writing.
+
+        Every insertion into the instrument dicts happens under the same
+        lock, so iterating the copies can never hit a
+        ``dictionary changed size during iteration`` mid-scrape, and each
+        histogram copy is internally consistent (buckets sum to count).
+        """
+        snap = MetricsRegistry()
+        with self._lock:
+            for name, c in self.counters.items():
+                sc = Counter()
+                sc.value = c.value
+                snap.counters[name] = sc
+            for name, g in self.gauges.items():
+                sg = Gauge()
+                sg.value = g.value
+                snap.gauges[name] = sg
+            for name, h in self.histograms.items():
+                snap.histograms[name] = h.snapshot()
+        return snap
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot, sorted for deterministic export."""
@@ -202,6 +339,9 @@ class NullMetrics:
 
     def histogram(self, name: str, boundaries: tuple[float, ...] = LATENCY_BUCKETS):
         return _NULL_INSTRUMENT
+
+    def snapshot(self) -> "NullMetrics":
+        return self
 
     def to_dict(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,104 @@
+"""Scrape-vs-mutation: rendering must never race the live registry.
+
+Before the snapshot fix, ``render_prometheus`` iterated the registry's
+instrument dicts directly; a worker thread minting a *new* instrument
+mid-scrape blew up the render with ``dictionary changed size during
+iteration``, and histogram ``_bucket`` lines could disagree with their
+``_count``.  These tests hammer exactly that interleaving.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+from repro.monitor.exposition import render_prometheus
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestConcurrentScrape:
+    def test_scrapes_survive_instrument_churn(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def mutate(worker: int) -> None:
+            i = 0
+            while not stop.is_set():
+                # New names keep arriving: dict *growth*, the racy part.
+                registry.counter(f"churn.w{worker}.c{i}").inc()
+                registry.gauge(f"churn.w{worker}.g{i}").set(i)
+                registry.histogram(f"churn.w{worker}.h{i}").observe(i % 7)
+                i += 1
+
+        def scrape() -> None:
+            try:
+                while not stop.is_set():
+                    text = render_prometheus(registry)
+                    assert "churn" in text or text == ""
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        mutators = [threading.Thread(target=mutate, args=(w,))
+                    for w in range(3)]
+        scrapers = [threading.Thread(target=scrape) for _ in range(2)]
+        for t in mutators + scrapers:
+            t.start()
+        stop_timer = threading.Timer(1.0, stop.set)
+        stop_timer.start()
+        for t in mutators + scrapers:
+            t.join(timeout=30)
+        stop_timer.cancel()
+        assert not errors, errors[0]
+
+    def test_rendered_histogram_internally_consistent(self):
+        # Under concurrent observes, each rendered histogram's +Inf
+        # cumulative bucket must equal its _count — a torn read of the
+        # live instrument would let them disagree.
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def observe() -> None:
+            i = 0
+            while not stop.is_set():
+                registry.histogram("stress.h").observe(i % 10)
+                i += 1
+
+        writer = threading.Thread(target=observe)
+        writer.start()
+        try:
+            for _ in range(200):
+                text = render_prometheus(registry)
+                if "stress_h_count" not in text:
+                    continue
+                inf_bucket = re.search(
+                    r'drbw_stress_h_bucket\{le="\+Inf"\} (\d+)', text
+                )
+                count = re.search(r"drbw_stress_h_count (\d+)", text)
+                assert inf_bucket and count
+                assert inf_bucket.group(1) == count.group(1)
+        finally:
+            stop.set()
+            writer.join(timeout=30)
+
+
+class TestSnapshot:
+    def test_snapshot_is_decoupled_from_live_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(5)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        registry.counter("a").inc(100)
+        registry.counter("new").inc()
+        registry.histogram("h").observe(2.0)
+        assert snap.counters["a"].value == 5
+        assert "new" not in snap.counters
+        assert snap.histograms["h"].count == 1
+
+    def test_snapshot_rederives_count_from_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        h.observe(1.0)
+        h.count = 999  # simulate a torn read: count ahead of buckets
+        snap = registry.snapshot()
+        assert snap.histograms["h"].count == 1

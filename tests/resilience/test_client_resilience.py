@@ -34,7 +34,7 @@ class FlakyTransport(ServiceClient):
         self.flaky = flaky
         self.requests = 0
 
-    def _request_once(self, path, data):
+    def _request_once(self, path, data, trace=None):
         self.requests += 1
         if self.requests <= self.flaky:
             raise ConnectionResetError("peer reset")

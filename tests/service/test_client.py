@@ -1,0 +1,80 @@
+"""Client-side hardening: Retry-After parsing and trace bookkeeping.
+
+The ``parse_retry_after`` cases are the regression suite for the 429
+path formerly doing a bare ``float(headers["Retry-After"])`` — an
+HTTP-date, an absent header, or a negative value crashed the client (or
+parked it on a nonsensical sleep) right when the server was asking it
+to back off politely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.service.client import (
+    _MAX_REMEMBERED_TRACES,
+    RETRY_AFTER_CAP_S,
+    RETRY_AFTER_FALLBACK_S,
+    parse_retry_after,
+)
+from repro.service.trace import mint_trace
+
+
+class TestParseRetryAfter:
+    @pytest.mark.parametrize("value,expected", [
+        ("1.5", 1.5),
+        ("0", 0.0),
+        (2, 2.0),
+        ("59.9", 59.9),
+    ])
+    def test_sane_values_pass_through(self, value, expected):
+        assert parse_retry_after(value) == expected
+
+    @pytest.mark.parametrize("malformed", [
+        None,                               # header absent
+        "",                                 # header present but empty
+        "soon",                             # prose
+        "Wed, 21 Oct 2026 07:28:00 GMT",    # the HTTP-date form
+        "1.5s",                             # units
+        "nan",
+        "inf",                              # not a real instruction to wait
+        [],
+        {},
+    ])
+    def test_malformed_falls_back(self, malformed):
+        assert parse_retry_after(malformed) == RETRY_AFTER_FALLBACK_S
+
+    @pytest.mark.parametrize("negative", ["-1", "-0.001", -5])
+    def test_negative_falls_back(self, negative):
+        assert parse_retry_after(negative) == RETRY_AFTER_FALLBACK_S
+
+    @pytest.mark.parametrize("huge", ["3600", "1e9", 86400])
+    def test_huge_values_capped(self, huge):
+        assert parse_retry_after(huge) == RETRY_AFTER_CAP_S
+
+    def test_cap_below_fallback_never_happens(self):
+        # The fallback must itself be a value the cap allows.
+        assert RETRY_AFTER_FALLBACK_S <= RETRY_AFTER_CAP_S
+
+
+class TestTraceMemory:
+    def test_polls_reuse_submission_trace(self):
+        client = ServiceClient("http://127.0.0.1:1")
+        trace = mint_trace()
+        client._remember_trace("job-1", trace)
+        t1 = client.trace_for("job-1")
+        t2 = client.trace_for("job-1")
+        assert t1.trace_id == t2.trace_id == trace.trace_id
+        assert t1.span_id != t2.span_id  # fresh span per request
+
+    def test_unknown_job_gets_fresh_trace(self):
+        client = ServiceClient("http://127.0.0.1:1")
+        assert client.trace_for("never-seen").trace_id != \
+            client.trace_for("never-seen").trace_id
+
+    def test_memory_is_bounded(self):
+        client = ServiceClient("http://127.0.0.1:1")
+        for i in range(_MAX_REMEMBERED_TRACES + 10):
+            client._remember_trace(f"job-{i}", mint_trace())
+        assert len(client._traces) <= _MAX_REMEMBERED_TRACES

@@ -1,0 +1,72 @@
+"""Trace-context minting, header round trips, and tolerant parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.trace import (
+    TRACE_HEADER,
+    TraceContext,
+    mint_trace,
+    parse_trace_header,
+)
+
+
+class TestMint:
+    def test_shape(self):
+        t = mint_trace()
+        assert len(t.trace_id) == 32 and len(t.span_id) == 16
+        int(t.trace_id, 16)  # valid hex
+        int(t.span_id, 16)
+
+    def test_unique(self):
+        traces = {mint_trace().trace_id for _ in range(100)}
+        assert len(traces) == 100
+
+    def test_child_keeps_trace_changes_span(self):
+        t = mint_trace()
+        c = t.child()
+        assert c.trace_id == t.trace_id
+        assert c.span_id != t.span_id
+
+    def test_frozen(self):
+        t = mint_trace()
+        with pytest.raises(AttributeError):
+            t.trace_id = "0" * 32
+
+
+class TestHeaderRoundTrip:
+    def test_parse_own_header(self):
+        t = mint_trace()
+        assert parse_trace_header(t.header_value()) == t
+
+    def test_header_name_is_stable(self):
+        # The wire contract; changing it breaks every deployed client.
+        assert TRACE_HEADER == "X-Drbw-Trace"
+
+    def test_uppercase_hex_normalized(self):
+        value = "AB" * 16 + "-" + "CD" * 8
+        parsed = parse_trace_header(value)
+        assert parsed == TraceContext("ab" * 16, "cd" * 8)
+
+
+class TestTolerantParsing:
+    @pytest.mark.parametrize("bad", [
+        None,
+        "",
+        "garbage",
+        "short-短",
+        "deadbeef-cafe",                      # right shape, wrong lengths
+        "g" * 32 + "-" + "a" * 16,            # non-hex trace id
+        "a" * 32 + "-" + "g" * 16,            # non-hex span id
+        "a" * 32 + "a" * 16,                  # missing separator
+        "a" * 32 + "-" + "a" * 16 + "-extra",
+        "0" * 32 + "-" + "0" * 16,            # all-zero is reserved/invalid
+        12345,
+    ])
+    def test_malformed_yields_none(self, bad):
+        assert parse_trace_header(bad) is None
+
+    def test_never_raises_on_junk_strings(self):
+        for junk in ("-", "--", "a-b", "\x00" * 49, " " * 49):
+            assert parse_trace_header(junk) is None

@@ -1,0 +1,114 @@
+"""``drbw loadgen`` against a live in-process server: exit codes, artifact."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.service import ServiceQueue, ServiceServer
+from repro.slo import validate_slo_report
+from repro.slo.spec import SLO_SPEC_SCHEMA
+
+
+def fast_executor(spec: dict) -> dict:
+    with telemetry.get_telemetry().span("service.execute.fake"):
+        return {"ok": True}
+
+
+@pytest.fixture
+def live_server():
+    queue = ServiceQueue(executor=fast_executor, workers=2, capacity=16,
+                         telemetry_enabled=False)
+    server = ServiceServer(queue, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.url
+    finally:
+        server.request_shutdown()
+        thread.join(timeout=30)
+
+
+def write_spec(tmp_path, **targets) -> str:
+    path = tmp_path / "slo.json"
+    path.write_text(json.dumps(
+        {"schema": SLO_SPEC_SCHEMA, "name": "test", "targets": targets}
+    ))
+    return str(path)
+
+
+class TestLoadgenCli:
+    def test_met_slo_exits_zero_and_writes_report(
+        self, live_server, tmp_path, capsys
+    ):
+        slo = write_spec(tmp_path, availability=0.5, p99_ms=30000,
+                         sustained_rps=0.1)
+        out = tmp_path / "report.json"
+        rc = main(["loadgen", "--url", live_server, "--mode", "closed",
+                   "--concurrency", "2", "--duration", "1",
+                   "--slo", slo, "--report", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert validate_slo_report(report) == []
+        assert report["slo"]["breached"] is False
+        text = capsys.readouterr().out
+        assert "verdict:        met" in text
+
+    def test_breached_slo_exits_one(self, live_server, tmp_path, capsys):
+        slo = write_spec(tmp_path, p99_ms=0.000001)  # unmeetable ceiling
+        rc = main(["loadgen", "--url", live_server, "--mode", "closed",
+                   "--concurrency", "1", "--duration", "0.5", "--slo", slo])
+        assert rc == 1
+        assert "BREACHED" in capsys.readouterr().out
+
+    def test_open_loop_mode(self, live_server, tmp_path):
+        out = tmp_path / "report.json"
+        rc = main(["loadgen", "--url", live_server, "--mode", "open",
+                   "--rps", "20", "--duration", "0.5",
+                   "--report", str(out)])
+        assert rc == 0  # no SLO spec: informational run never fails
+        report = json.loads(out.read_text())
+        assert report["steady"]["mode"] == "open"
+        assert report["steady"]["offered"] == 10
+
+    def test_sweep_mode_records_every_level(self, live_server, tmp_path):
+        out = tmp_path / "report.json"
+        rc = main(["loadgen", "--url", live_server, "--mode", "sweep",
+                   "--concurrency", "1,2", "--duration", "0.5",
+                   "--report", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert [r["concurrency"] for r in report["runs"]] == [1, 2]
+
+    def test_bad_slo_spec_exits_two(self, live_server, tmp_path, capsys):
+        path = tmp_path / "slo.json"
+        path.write_text('{"schema": "wrong"}')
+        rc = main(["loadgen", "--url", live_server, "--slo", str(path),
+                   "--duration", "0.2"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_concurrency_exits_two(self, live_server, capsys):
+        rc = main(["loadgen", "--url", live_server,
+                   "--concurrency", "two", "--duration", "0.2"])
+        assert rc == 2
+
+    def test_detect_probe_without_model_exits_two(self, live_server, capsys):
+        rc = main(["loadgen", "--url", live_server, "--kind", "detect",
+                   "--duration", "0.2"])
+        assert rc == 2
+        assert "--model" in capsys.readouterr().err
+
+    def test_unreachable_server_reports_failures_not_crash(self, tmp_path):
+        out = tmp_path / "report.json"
+        rc = main(["loadgen", "--url", "http://127.0.0.1:1",
+                   "--concurrency", "1", "--duration", "0.3",
+                   "--report", str(out)])
+        assert rc == 0  # informational: report written, nothing crashed
+        report = json.loads(out.read_text())
+        assert report["steady"]["failed"] == report["steady"]["offered"] > 0
+        assert report["steady"]["availability"] == 0.0

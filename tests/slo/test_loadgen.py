@@ -1,0 +1,216 @@
+"""Load generation over a fake client: accounting, quantiles, knee."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError, ServiceSaturatedError, SloError
+from repro.slo import (
+    LoadgenResult,
+    concurrency_sweep,
+    detect_knee,
+    run_closed_loop,
+    run_open_loop,
+)
+
+
+class FakeClient:
+    """Stands in for ServiceClient: fixed service time, optional capacity.
+
+    ``slots`` models a server worker pool: at most that many requests
+    progress concurrently, the rest queue — which is exactly what bends
+    a concurrency sweep into a knee.
+    """
+
+    slots: threading.Semaphore | None = None
+    service_s: float = 0.0
+    outcome: str = "ok"
+    seeds_seen: list = []
+
+    def __init__(self, url: str) -> None:
+        self.url = url
+
+    def run(self, spec: dict, timeout: float = 600.0, poll_s: float = 0.05):
+        type(self).seeds_seen.append(spec.get("seed"))
+        if self.outcome == "rate_limited":
+            raise ServiceSaturatedError("full", retry_after=1.0)
+        if self.outcome == "failed":
+            raise ServiceError("boom")
+        if self.slots is not None:
+            with self.slots:
+                time.sleep(self.service_s)
+        elif self.service_s:
+            time.sleep(self.service_s)
+        return {"ok": True}
+
+
+@pytest.fixture
+def fake_client():
+    class Client(FakeClient):
+        seeds_seen = []
+
+    return Client
+
+
+def make_result(concurrency: int, rps: float) -> LoadgenResult:
+    """A synthetic sweep point with an exact achieved_rps."""
+    r = LoadgenResult(mode="closed", duration_s=1.0, concurrency=concurrency)
+    for _ in range(int(rps)):
+        r.record("ok", 0.01)
+    return r
+
+
+class TestResultAccounting:
+    def test_rates(self):
+        r = LoadgenResult(mode="closed", duration_s=2.0)
+        for _ in range(8):
+            r.record("ok", 0.01)
+        r.record("failed")
+        r.record("rate_limited")
+        assert r.offered == 10
+        assert r.availability == 0.8  # 429s count against availability
+        assert r.error_rate == 0.1
+        assert r.rate_limited_rate == 0.1
+        assert r.achieved_rps == 4.0
+
+    def test_exact_quantile_order_statistic(self):
+        r = LoadgenResult(mode="closed", duration_s=1.0)
+        for v in (0.05, 0.01, 0.03, 0.02, 0.04):  # unsorted on purpose
+            r.record("ok", v)
+        assert r.exact_quantile(0.0) == 0.01
+        assert r.exact_quantile(0.5) == 0.03   # rank ceil(0.5*5)=3
+        assert r.exact_quantile(1.0) == 0.05
+
+    def test_exact_quantile_empty_and_bounds(self):
+        r = LoadgenResult(mode="closed", duration_s=1.0)
+        import math
+        assert math.isnan(r.exact_quantile(0.5))
+        with pytest.raises(SloError):
+            r.exact_quantile(1.5)
+
+    def test_to_dict_cross_checks_quantiles(self):
+        r = LoadgenResult(mode="closed", duration_s=1.0, concurrency=2)
+        for i in range(100):
+            r.record("ok", 0.001 + i * 0.0005)  # spread over several buckets
+        d = r.to_dict()
+        for label in ("p50", "p95", "p99"):
+            q = d["quantiles"][label]
+            assert q["within_one_bucket"] is True
+            assert abs(q["interpolated_ms"] - q["exact_ms"]) <= \
+                q["bucket_width_ms"] + 1e-9
+
+
+class TestClosedLoop:
+    def test_runs_and_counts(self, fake_client):
+        r = run_closed_loop("http://x", {"kind": "k"},
+                            concurrency=3, duration_s=0.2,
+                            client_factory=fake_client)
+        assert r.mode == "closed" and r.concurrency == 3
+        assert r.offered == r.ok > 0
+        assert len(r.latencies_s) == r.ok
+        assert r.histogram.count == r.ok
+
+    def test_spec_factory_sees_distinct_indices(self, fake_client):
+        run_closed_loop("http://x", lambda k: {"kind": "k", "seed": k},
+                        concurrency=2, duration_s=0.1,
+                        client_factory=fake_client)
+        seen = fake_client.seeds_seen
+        assert len(seen) == len(set(seen)) > 0  # every request a fresh seed
+
+    def test_saturated_classified_as_rate_limited(self, fake_client):
+        fake_client.outcome = "rate_limited"
+        r = run_closed_loop("http://x", {"kind": "k"},
+                            concurrency=1, duration_s=0.05,
+                            client_factory=fake_client)
+        assert r.rate_limited == r.offered > 0
+        assert r.availability == 0.0
+
+    def test_errors_classified_as_failed(self, fake_client):
+        fake_client.outcome = "failed"
+        r = run_closed_loop("http://x", {"kind": "k"},
+                            concurrency=1, duration_s=0.05,
+                            client_factory=fake_client)
+        assert r.failed == r.offered > 0
+
+    @pytest.mark.parametrize("kw", [
+        {"concurrency": 0, "duration_s": 1.0},
+        {"concurrency": 1, "duration_s": 0.0},
+        {"concurrency": 1, "duration_s": -1.0},
+    ])
+    def test_bad_parameters(self, fake_client, kw):
+        with pytest.raises(SloError):
+            run_closed_loop("http://x", {}, client_factory=fake_client, **kw)
+
+
+class TestOpenLoop:
+    def test_offers_the_schedule(self, fake_client):
+        r = run_open_loop("http://x", {"kind": "k"},
+                          target_rps=100, duration_s=0.3,
+                          client_factory=fake_client)
+        assert r.mode == "open" and r.target_rps == 100
+        assert r.offered == 30  # int(rps * duration): fixed arrival count
+        assert r.duration_s == 0.3  # achieved RPS over the arrival window
+
+    def test_latency_charged_from_scheduled_arrival(self, fake_client):
+        # One sender slot + 20 ms service time + arrivals every 10 ms:
+        # requests queue behind the busy sender, and that queueing must
+        # show up in the measured tail (no coordinated omission).
+        fake_client.service_s = 0.02
+        r = run_open_loop("http://x", {"kind": "k"},
+                          target_rps=100, duration_s=0.2, max_inflight=1,
+                          client_factory=fake_client)
+        assert r.ok == 20
+        assert r.exact_quantile(0.99) > 2 * fake_client.service_s
+
+    def test_bad_parameters(self, fake_client):
+        for kw in ({"target_rps": 0, "duration_s": 1},
+                   {"target_rps": 10, "duration_s": 0},
+                   {"target_rps": 10, "duration_s": 1, "max_inflight": 0}):
+            with pytest.raises(SloError):
+                run_open_loop("http://x", {}, client_factory=fake_client, **kw)
+
+
+class TestSweepAndKnee:
+    def test_sweep_runs_every_level(self, fake_client):
+        results = concurrency_sweep("http://x", {"kind": "k"},
+                                    concurrencies=[1, 2, 4], duration_s=0.05,
+                                    client_factory=fake_client)
+        assert [r.concurrency for r in results] == [1, 2, 4]
+
+    def test_empty_sweep_rejected(self, fake_client):
+        with pytest.raises(SloError):
+            concurrency_sweep("http://x", {}, concurrencies=[],
+                              duration_s=0.1, client_factory=fake_client)
+
+    def test_knee_on_synthetic_saturation(self):
+        # Linear to concurrency 4, flat after: the knee is at 4.
+        results = [make_result(c, rps) for c, rps in
+                   [(1, 100), (2, 200), (4, 400), (8, 410), (16, 415)]]
+        knee = detect_knee(results)
+        assert knee is not None
+        assert knee["concurrency"] == 4
+        assert knee["next_concurrency"] == 8
+        assert knee["base_rps_per_worker"] == 100.0
+
+    def test_no_knee_when_scaling_stays_linear(self):
+        results = [make_result(c, c * 100) for c in (1, 2, 4, 8)]
+        assert detect_knee(results) is None
+
+    def test_no_knee_with_fewer_than_two_points(self):
+        assert detect_knee([make_result(1, 100)]) is None
+        assert detect_knee([]) is None
+
+    def test_knee_emerges_from_real_capacity_limit(self, fake_client):
+        # 2 server slots x 10 ms service time => hard ceiling ~200 rps.
+        # Sweeping 1, 2, 8 workers must bend at 2.
+        fake_client.slots = threading.Semaphore(2)
+        fake_client.service_s = 0.01
+        results = concurrency_sweep("http://x", {"kind": "k"},
+                                    concurrencies=[1, 2, 8], duration_s=0.4,
+                                    client_factory=fake_client)
+        knee = detect_knee(results)
+        assert knee is not None
+        assert knee["concurrency"] == 2

@@ -1,0 +1,163 @@
+"""SLO report assembly, validation over junk, and verdict logic."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SloError
+from repro.slo import (
+    LoadgenResult,
+    SLO_REPORT_SCHEMA,
+    build_report,
+    parse_slo_spec,
+    render_report,
+    validate_slo_report,
+)
+from repro.slo.spec import SLO_SPEC_SCHEMA
+
+
+def result_with(latencies_ms, *, duration_s=1.0, failed=0, rate_limited=0,
+                concurrency=2) -> LoadgenResult:
+    r = LoadgenResult(mode="closed", duration_s=duration_s,
+                      concurrency=concurrency)
+    for ms in latencies_ms:
+        r.record("ok", ms / 1e3)
+    for _ in range(failed):
+        r.record("failed")
+    for _ in range(rate_limited):
+        r.record("rate_limited")
+    return r
+
+
+def spec_with(**targets):
+    return parse_slo_spec(
+        {"schema": SLO_SPEC_SCHEMA, "name": "t", "targets": targets}
+    )
+
+
+class TestBuild:
+    def test_shape_and_json_serializable(self):
+        report = build_report([result_with([5, 10, 20])],
+                              spec_with(p99_ms=100), url="http://x")
+        assert report["schema"] == SLO_REPORT_SCHEMA
+        assert validate_slo_report(report) == []
+        json.dumps(report)  # artifact must be a plain JSON document
+
+    def test_needs_at_least_one_run(self):
+        with pytest.raises(SloError):
+            build_report([], None)
+
+    def test_last_run_is_steady_state(self):
+        runs = [result_with([5] * 10), result_with([50] * 10)]
+        report = build_report(runs, None)
+        assert report["steady"]["quantiles"]["p50"]["exact_ms"] == 50.0
+        assert len(report["runs"]) == 2
+
+    def test_no_spec_means_no_verdict(self):
+        report = build_report([result_with([5])], None)
+        assert report["slo"] is None
+        assert validate_slo_report(report) == []
+
+    def test_single_run_has_no_knee(self):
+        report = build_report([result_with([5])], None)
+        assert report["knee"] is None
+
+
+class TestVerdicts:
+    def test_met(self):
+        report = build_report(
+            [result_with([5, 10, 20], duration_s=0.1)],
+            spec_with(availability=0.99, p99_ms=100, sustained_rps=10),
+        )
+        assert report["slo"]["breached"] is False
+        assert all(c["ok"] for c in report["slo"]["checks"])
+
+    def test_latency_breach_uses_exact_quantile(self):
+        report = build_report([result_with([5, 10, 200])],
+                              spec_with(p99_ms=100))
+        [check] = report["slo"]["checks"]
+        assert check["target"] == "p99_ms"
+        assert check["measured"] == 200.0
+        assert check["ok"] is False
+        assert report["slo"]["breached"] is True
+
+    def test_availability_counts_rate_limiting(self):
+        report = build_report(
+            [result_with([5] * 9, rate_limited=1)],
+            spec_with(availability=0.95),
+        )
+        assert report["slo"]["breached"] is True  # 9/10 < 0.95
+
+    def test_max_rate_limited(self):
+        report = build_report(
+            [result_with([5] * 9, rate_limited=1)],
+            spec_with(max_rate_limited=0.05),
+        )
+        assert report["slo"]["breached"] is True
+
+    def test_sustained_rps(self):
+        report = build_report(
+            [result_with([5] * 10, duration_s=2.0)],
+            spec_with(sustained_rps=6),
+        )
+        assert report["slo"]["breached"] is True  # 5 rps < 6
+
+    def test_all_failures_breach_latency_targets(self):
+        # A service that answered nothing cannot meet a latency ceiling.
+        report = build_report([result_with([], failed=5)],
+                              spec_with(p50_ms=1000))
+        [check] = report["slo"]["checks"]
+        assert check["measured"] is None
+        assert check["ok"] is False
+
+
+class TestValidate:
+    @pytest.mark.parametrize("junk", [
+        None, [], "doc", 42,
+        {},
+        {"schema": "wrong"},
+        {"schema": SLO_REPORT_SCHEMA, "schema_version": 99},
+    ])
+    def test_junk_yields_errors(self, junk):
+        assert validate_slo_report(junk)
+
+    def test_mutated_fields_detected(self):
+        report = build_report([result_with([5])], spec_with(p99_ms=10))
+        for mutate in (
+            lambda d: d.update(runs=[]),
+            lambda d: d.update(steady="gone"),
+            lambda d: d["steady"].update(availability="high"),
+            lambda d: d["steady"].update(quantiles=[]),
+            lambda d: d["slo"].update(breached="yes"),
+            lambda d: d["slo"].update(checks={}),
+        ):
+            broken = json.loads(json.dumps(report))
+            mutate(broken)
+            assert validate_slo_report(broken), mutate
+
+
+class TestRender:
+    def test_renders_verdict_lines(self):
+        report = build_report(
+            [result_with([5, 10, 200])],
+            spec_with(availability=0.5, p99_ms=100), url="http://x",
+        )
+        text = render_report(report)
+        assert "BREACHED" in text
+        assert "[FAIL] p99_ms" in text
+        assert "[ok  ] availability" in text
+        assert "http://x" in text
+
+    def test_refuses_invalid_document(self):
+        with pytest.raises(SloError, match="invalid"):
+            render_report({"schema": "nope"})
+
+    def test_sweep_without_knee_says_so(self):
+        report = build_report(
+            [result_with([5] * 100, concurrency=1),
+             result_with([5] * 200, concurrency=2)], None,
+        )
+        assert report["knee"] is None
+        assert "knee:           not reached" in render_report(report)

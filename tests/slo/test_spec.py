@@ -1,0 +1,97 @@
+"""SLO spec parsing: valid documents, typed rejection of every malformation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError, SloError
+from repro.slo import SLO_SPEC_SCHEMA, SloSpec, load_slo_spec, parse_slo_spec
+
+
+def doc(**targets) -> dict:
+    return {"schema": SLO_SPEC_SCHEMA, "name": "t", "targets": targets}
+
+
+class TestParse:
+    def test_full_spec(self):
+        spec = parse_slo_spec(doc(
+            availability=0.99, p50_ms=50, p95_ms=200, p99_ms=500,
+            sustained_rps=20, max_rate_limited=0.05,
+        ))
+        assert spec.name == "t"
+        assert spec.availability == 0.99
+        assert spec.p99_ms == 500
+        assert spec.targets() == {
+            "availability": 0.99, "p50_ms": 50.0, "p95_ms": 200.0,
+            "p99_ms": 500.0, "sustained_rps": 20.0, "max_rate_limited": 0.05,
+        }
+
+    def test_partial_spec(self):
+        spec = parse_slo_spec(doc(p99_ms=250))
+        assert spec.targets() == {"p99_ms": 250.0}
+        assert spec.availability is None
+
+    def test_name_defaults(self):
+        spec = parse_slo_spec(
+            {"schema": SLO_SPEC_SCHEMA, "targets": {"p99_ms": 1}}
+        )
+        assert spec.name == "default"
+
+    def test_slo_error_is_repro_error(self):
+        # The CLI maps ReproError to exit 2; SloError must ride that path.
+        assert issubclass(SloError, ReproError)
+
+    def test_spec_is_frozen(self):
+        spec = parse_slo_spec(doc(p99_ms=1))
+        with pytest.raises(AttributeError):
+            spec.p99_ms = 2
+
+
+class TestRejection:
+    @pytest.mark.parametrize("bad", [
+        None, [], "spec", 42,
+        {},                                              # no schema
+        {"schema": "wrong", "targets": {"p99_ms": 1}},
+        {"schema": SLO_SPEC_SCHEMA},                     # no targets
+        {"schema": SLO_SPEC_SCHEMA, "targets": []},
+        {"schema": SLO_SPEC_SCHEMA, "targets": {}},      # zero targets set
+        {"schema": SLO_SPEC_SCHEMA, "targets": {"p99_ms": 1}, "extra": 1},
+        {"schema": SLO_SPEC_SCHEMA, "name": "", "targets": {"p99_ms": 1}},
+        {"schema": SLO_SPEC_SCHEMA, "name": 7, "targets": {"p99_ms": 1}},
+        doc(p99ms=250),                                  # the typo case
+        doc(availability="high"),
+        doc(availability=True),
+        doc(availability=0.0),
+        doc(availability=1.5),
+        doc(max_rate_limited=1.0),
+        doc(max_rate_limited=-0.1),
+        doc(sustained_rps=0),
+        doc(sustained_rps=-1),
+        doc(p50_ms=0),
+        doc(p95_ms=-10),
+        doc(p99_ms=float("inf")),
+        doc(p99_ms=float("nan")),
+    ])
+    def test_malformed_raises_slo_error(self, bad):
+        with pytest.raises(SloError):
+            parse_slo_spec(bad)
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(doc(availability=0.999, p99_ms=100)))
+        spec = load_slo_spec(path)
+        assert spec == SloSpec(name="t", availability=0.999, p99_ms=100.0)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SloError, match="cannot read"):
+            load_slo_spec(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{not json")
+        with pytest.raises(SloError, match="not valid JSON"):
+            load_slo_spec(path)

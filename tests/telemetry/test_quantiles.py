@@ -1,0 +1,127 @@
+"""Histogram interpolated quantiles: the one-bucket-width error bound.
+
+The property the SLO report's cross-check leans on: for any data and any
+bucket layout, the interpolated quantile differs from the exact order
+statistic (rank ``ceil(q * n)``) by at most the width of the bucket the
+exact value falls in — because Prometheus-style inclusive ``le`` edges
+put both the interpolation target and the exact rank in the same bucket.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.metrics import Histogram, quantile_from_counts
+
+boundaries_strategy = st.lists(
+    st.floats(min_value=1e-3, max_value=1e3, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=12, unique=True,
+).map(lambda bs: tuple(sorted(bs)))
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=2e3, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=200,
+)
+
+quantile_strategy = st.floats(min_value=0.0, max_value=1.0)
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestErrorBound:
+    @settings(max_examples=300, deadline=None)
+    @given(boundaries=boundaries_strategy, values=values_strategy,
+           q=quantile_strategy)
+    def test_within_one_bucket_of_exact(self, boundaries, values, q):
+        h = Histogram(boundaries)
+        for v in values:
+            h.observe(v)
+        exact = exact_quantile(values, q)
+        interp = h.quantile(q)
+        width = h.bucket_width(exact)
+        assert abs(interp - exact) <= width + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(boundaries=boundaries_strategy, values=values_strategy,
+           q=quantile_strategy)
+    def test_clamped_to_observed_range(self, boundaries, values, q):
+        h = Histogram(boundaries)
+        for v in values:
+            h.observe(v)
+        assert min(values) - 1e-9 <= h.quantile(q) <= max(values) + 1e-9
+
+
+class TestLeBucketSemantics:
+    """Values equal to a boundary must count toward that ``le`` bucket."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(boundaries=boundaries_strategy)
+    def test_boundary_value_lands_in_its_le_bucket(self, boundaries):
+        for i, b in enumerate(boundaries):
+            h = Histogram(boundaries)
+            h.observe(b)
+            assert h.counts[i] == 1, (
+                f"observe({b}) must count in bucket le={b}, not overflow past"
+            )
+
+    def test_just_above_boundary_goes_to_next_bucket(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(1.0000001)
+        assert h.counts == [0, 1, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(99.0)
+        assert h.counts == [0, 0, 1]
+
+
+class TestEdgeCases:
+    def test_empty_is_nan(self):
+        assert math.isnan(Histogram((1.0,)).quantile(0.5))
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1, math.inf])
+    def test_out_of_range_q_raises(self, q):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(q)
+
+    def test_single_value(self):
+        h = Histogram((1.0, 10.0))
+        h.observe(3.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 3.0  # clamped to [min, max] = [3, 3]
+
+    def test_all_in_overflow_bucket(self):
+        h = Histogram((1.0,))
+        for v in (5.0, 7.0, 9.0):
+            h.observe(v)
+        assert 5.0 <= h.quantile(0.5) <= 9.0
+
+    def test_quantile_from_counts_on_exported_dict(self):
+        # The module-level function works on Histogram.to_dict() output,
+        # which is what a scraped/exported artifact gives you.
+        h = Histogram((0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 2.0):
+            h.observe(v)
+        d = h.to_dict()
+        live = h.quantile(0.5)
+        exported = quantile_from_counts(
+            d["boundaries"], d["counts"], 0.5,
+            minimum=d["min"], maximum=d["max"],
+        )
+        assert exported == live
+
+    def test_bucket_width_overflow_uses_observed_max(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(10.0)
+        assert h.bucket_width(5.0) == 10.0 - 2.0

@@ -45,6 +45,18 @@ def results_dir(tmp_path):
     write_result(d, "fleet_overhead", {
         "per_machine_overhead_fraction": 0.013, "machines": 5,
     })
+    write_result(d, "slo_loadgen", {
+        "steady": {
+            "availability": 1.0,
+            "quantiles": {"p99": {"exact_ms": 412.5, "interpolated_ms": 430.0}},
+        },
+        "quantiles_within_one_bucket": True, "knee_detected": True,
+        "job_traces": 140, "unjoined_traces": 0,
+        "slo_breached": False, "slo_checks": 5,
+    })
+    write_result(d, "slo_plane_overhead", {
+        "plane_overhead_fraction": 0.0022,
+    })
     return d
 
 
@@ -105,6 +117,12 @@ def test_build_trajectory_and_validate(results_dir):
         "ingest_windows_per_sec": 60_000.0, "order_independent": True,
         "per_machine_overhead_fraction": 0.013, "machines": 5,
     }
+    assert doc["slo"] == {
+        "steady_availability": 1.0, "steady_p99_exact_ms": 412.5,
+        "quantiles_within_one_bucket": True, "knee_detected": True,
+        "traces_joined": 140, "job_traces": 140, "breached": False,
+        "plane_overhead_fraction": 0.0022,
+    }
     # With no explicit wall time the overhead pass's own measurement wins.
     assert bench_all.build_trajectory(results_dir)["wall_time_s"] == 12.5
 
@@ -155,6 +173,17 @@ def test_validate_rejects_broken_documents(results_dir):
                for e in bench_all.validate_trajectory(bad))
     bad["fleet"] = "fast"
     assert any("fleet" in e for e in bench_all.validate_trajectory(bad))
+    # And the slo section (pre-PR8 points lack it).
+    old_point = {k: v for k, v in doc.items() if k != "slo"}
+    assert bench_all.validate_trajectory(old_point) == []
+    bad = json.loads(json.dumps(doc))
+    bad["slo"]["breached"] = "no"
+    assert any("breached" in e for e in bench_all.validate_trajectory(bad))
+    bad["slo"]["plane_overhead_fraction"] = True
+    assert any("plane_overhead_fraction" in e
+               for e in bench_all.validate_trajectory(bad))
+    bad["slo"] = 0.2
+    assert any("slo" in e for e in bench_all.validate_trajectory(bad))
 
 
 def test_regression_gate(results_dir, tmp_path, capsys):
@@ -180,7 +209,7 @@ def test_regression_gate(results_dir, tmp_path, capsys):
     assert bench_all.check_regression(current, prev_path) == 1
 
 
-@pytest.mark.parametrize("pr", [3, 4, 6, 7])
+@pytest.mark.parametrize("pr", [3, 4, 6, 7, 8])
 def test_committed_trajectory_point_is_valid(pr):
     path = pathlib.Path(__file__).parent.parent / f"BENCH_PR{pr}.json"
     doc = json.loads(path.read_text())
@@ -195,3 +224,9 @@ def test_committed_trajectory_point_is_valid(pr):
     if pr >= 7:
         assert doc["fleet"]["order_independent"] is True
         assert doc["fleet"]["per_machine_overhead_fraction"] < 0.05
+    if pr >= 8:
+        assert doc["slo"]["breached"] is False
+        assert doc["slo"]["quantiles_within_one_bucket"] is True
+        assert doc["slo"]["knee_detected"] is True
+        assert doc["slo"]["traces_joined"] == doc["slo"]["job_traces"]
+        assert doc["slo"]["plane_overhead_fraction"] < 0.05

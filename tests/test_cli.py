@@ -178,6 +178,22 @@ class TestTelemetryFlag:
             assert section in dash, section
         assert "profiler.profile" in dash
 
+    def test_report_stages_renders_aggregate_table(
+        self, tmp_path, trained, capsys
+    ):
+        model = self._model(tmp_path, trained)
+        out = tmp_path / "tel"
+        rc = main(["detect", "NW", "--input", "default", "--config", "T32-N4",
+                   "--model", model, f"--telemetry={out}"])
+        assert rc in (0, 2)
+        capsys.readouterr()
+        assert main(["report", str(out), "--stages"]) == 0
+        table = capsys.readouterr().out
+        assert "stage breakdown" in table
+        assert "cpu/wall" in table
+        assert "profiler.profile" in table
+        assert "stage timings" not in table  # full dashboard suppressed
+
     def test_faulted_detect_artifact_reports_degradation(
         self, tmp_path, trained, capsys
     ):
