@@ -5,10 +5,12 @@ The repo tracks its own performance across PRs as a sequence of
 trajectory files in the repo root (``BENCH_PR3.json``, ``BENCH_PR4.json``,
 ...), each summarizing one PR's benchmark pass: wall time, profiler
 throughput, classifier accuracy, monitor overhead/agreement, parallel
-scaling, resilience overhead/chaos-identity, fleet ingest/overhead, and
-the service SLO verdict with its request-plane overhead.
-CI regenerates the current point and fails when throughput regresses
-more than 10% against the previous committed point.
+scaling, resilience overhead/chaos-identity, fleet ingest/overhead, the
+service SLO verdict with its request-plane overhead, and (from PR 9) the
+columnar engine hot-path throughput against its scalar reference oracle.
+CI regenerates the current point and fails when profiler or engine
+hot-path throughput regresses more than 10% against the previous
+committed point.
 
 Usage::
 
@@ -38,11 +40,12 @@ RESULTS_DIR = BENCH_DIR / "results"
 
 TRAJECTORY_SCHEMA = "drbw-bench-trajectory"
 TRAJECTORY_SCHEMA_VERSION = 1
-PR_NUMBER = 8
+PR_NUMBER = 9
 
 #: The benches whose JSON results feed the trajectory point.
 CORE_BENCHES = (
     "bench_table3_confusion.py",
+    "bench_engine.py",
     "bench_monitor.py",
     "bench_parallel.py",
     "bench_resilience.py",
@@ -83,6 +86,7 @@ def build_trajectory(
     fleet_overhead = load_result(results_dir, "fleet_overhead")
     slo_loadgen = load_result(results_dir, "slo_loadgen")
     slo_plane = load_result(results_dir, "slo_plane_overhead")
+    engine = load_result(results_dir, "engine_hot_path")
     missing = [
         name
         for name, payload in (
@@ -95,6 +99,7 @@ def build_trajectory(
             ("fleet_overhead", fleet_overhead),
             ("slo_loadgen", slo_loadgen),
             ("slo_plane_overhead", slo_plane),
+            ("engine_hot_path", engine),
         )
         if payload is None
     ]
@@ -112,6 +117,21 @@ def build_trajectory(
         "wall_time_s": round(float(wall_time_s), 3),
         "throughput": {
             "samples_per_sec": round(float(overhead["samples_per_sec"]), 1),
+        },
+        "engine": {
+            "samples_per_sec": round(float(engine["samples_per_sec"]), 1),
+            "reference_samples_per_sec": round(
+                float(engine["reference_samples_per_sec"]), 1
+            ),
+            "speedup_vs_reference": round(
+                float(engine["speedup_vs_reference"]), 3
+            ),
+            "speedup_vs_pr8_baseline": (
+                None
+                if engine["speedup_vs_pr8_baseline"] is None
+                else round(float(engine["speedup_vs_pr8_baseline"]), 3)
+            ),
+            "byte_identical": bool(engine["byte_identical"]),
         },
         "classifier": {
             "cv_accuracy": round(float(confusion["cv_accuracy"]), 4),
@@ -253,6 +273,27 @@ def validate_trajectory(doc: object) -> list[str]:
                     f"fleet.order_independent must be a boolean, "
                     f"got {fleet.get('order_independent')!r}"
                 )
+    # The engine section only exists from PR 9 on (the columnar batch
+    # kernel); when present it must carry both kernels' throughput, the
+    # measured speedup, and the byte-identity bit the bench asserted.
+    engine = doc.get("engine")
+    if engine is not None:
+        if not isinstance(engine, dict):
+            errors.append(f"engine must be an object, got {engine!r}")
+        else:
+            for key in (
+                "samples_per_sec",
+                "reference_samples_per_sec",
+                "speedup_vs_reference",
+            ):
+                val = engine.get(key)
+                if not isinstance(val, (int, float)) or isinstance(val, bool):
+                    errors.append(f"engine.{key} must be a number, got {val!r}")
+            if not isinstance(engine.get("byte_identical"), bool):
+                errors.append(
+                    f"engine.byte_identical must be a boolean, "
+                    f"got {engine.get('byte_identical')!r}"
+                )
     # The slo section only exists from PR 8 on; when present it must
     # carry the plane-overhead number, the quantile cross-check bit, and
     # the published-SLO verdict.
@@ -299,13 +340,32 @@ def check_regression(current: dict, previous_path: pathlib.Path) -> int:
         f"throughput: {prev_tp:,.0f} -> {cur_tp:,.0f} samples/s "
         f"({change:+.1%}; PR {previous['pr']} -> PR {current['pr']})"
     )
+    status = 0
     if change < -REGRESSION_THRESHOLD:
         print(
             f"FAIL: throughput regressed {-change:.1%} "
             f"(> {REGRESSION_THRESHOLD:.0%} budget)"
         )
-        return 1
-    return 0
+        status = 1
+    # The columnar engine hot path gets the same >10% gate once both
+    # points carry the engine section (PR 9 onward).
+    prev_engine = previous.get("engine")
+    cur_engine = current.get("engine")
+    if prev_engine is not None and cur_engine is not None:
+        prev_eng = prev_engine["samples_per_sec"]
+        cur_eng = cur_engine["samples_per_sec"]
+        eng_change = cur_eng / prev_eng - 1.0
+        print(
+            f"engine hot path: {prev_eng:,.0f} -> {cur_eng:,.0f} samples/s "
+            f"({eng_change:+.1%})"
+        )
+        if eng_change < -REGRESSION_THRESHOLD:
+            print(
+                f"FAIL: engine hot path regressed {-eng_change:.1%} "
+                f"(> {REGRESSION_THRESHOLD:.0%} budget)"
+            )
+            status = 1
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,17 +1,23 @@
 #!/usr/bin/env python
 """Regenerate the golden regression fixtures under ``tests/golden/``.
 
-Two fixtures pin the numeric behaviour of the training pipeline at seed 0:
+Three fixtures pin the numeric behaviour of the pipeline at seed 0:
 
 * ``table1_features.json`` — the hottest-channel Table I feature vectors
   for a stride-sampled slice of the 192-config training grid;
 * ``classifier_tree.json`` — the serialized CART tree learned from the
-  full default training set.
+  full default training set;
+* ``engine_intervals.json`` — interval-level engine output (per-interval
+  bucket-rate digests, node/channel byte counts) plus the full
+  uncontended latency table for two pinned topologies.  This one is
+  byte-exact: the digests hash the raw float bytes, so it fails on a
+  single flipped mantissa bit anywhere in the engine.
 
-``tests/test_golden.py`` compares fresh runs against these files at 1e-9
-absolute tolerance.  Rerun this script (``PYTHONPATH=src python
-scripts/regen_goldens.py``) only when a deliberate modelling change moves
-the numbers, and call out the refreshed fixtures in the PR description.
+``tests/test_golden.py`` compares fresh runs against these files (the
+first two at 1e-9 absolute tolerance, the interval fixture exactly).
+Rerun this script (``PYTHONPATH=src python scripts/regen_goldens.py``)
+only when a deliberate modelling change moves the numbers, and call out
+the refreshed fixtures in the PR description.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))  # for tests.golden_intervals
 
 from repro.core.training import (  # noqa: E402
     all_training_configs,
@@ -68,11 +75,18 @@ def build_tree_golden() -> dict:
     return {"seed": SEED, "model": clf.to_dict()}
 
 
+def build_interval_golden() -> dict:
+    from tests.golden_intervals import build_interval_golden as _build
+
+    return _build()
+
+
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for name, payload in (
         ("table1_features.json", build_feature_golden()),
         ("classifier_tree.json", build_tree_golden()),
+        ("engine_intervals.json", build_interval_golden()),
     ):
         path = GOLDEN_DIR / name
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -21,6 +21,16 @@ phase) the system is stationary, so the engine:
 Contention is emergent: nothing in the engine knows about "good" or "rmc"
 labels — a saturated channel simply inflates remote latencies and throttles
 the threads crossing it, which is precisely what DR-BW's features observe.
+
+Two interchangeable solver/recorder implementations exist behind the
+``engine=`` switch (see :class:`ExecutionEngine`): the default
+``"columnar"`` kernel lays each stationary span out as parallel numpy
+columns (one row per (thread, stream, level, dst) combination) and
+evaluates the fixed point with vectorized latency math, while
+``"reference"`` is the original per-object scalar path, kept for this one
+release as the differential-test oracle.  The two are bit-identical —
+every float is produced by the same IEEE-754 operation sequence — which
+``tests/engine/test_columnar_equiv.py`` enforces.
 """
 
 from __future__ import annotations
@@ -38,9 +48,14 @@ from repro.numasim.cachemodel import (
     PatternKind,
     StreamProfile,
 )
-from repro.numasim.fairness import FairnessProblem, solve_max_min
+from repro.numasim.fairness import (
+    FairnessProblem,
+    build_membership,
+    solve_max_min,
+    water_fill,
+)
 from repro.numasim.interconnect import InterconnectFabric
-from repro.numasim.latency import LatencyModel
+from repro.numasim.latency import LatencyModel, LatencyTable, queueing_delay_factor
 from repro.numasim.memctrl import DEFAULT_HISTORY_LIMIT, MemoryControllerSet
 from repro.numasim.topology import NumaTopology
 from repro.telemetry import get_telemetry
@@ -53,16 +68,23 @@ __all__ = [
     "EnginePhase",
     "ThreadProgram",
     "SampleBucket",
+    "BucketColumns",
     "BucketRates",
     "IntervalRecord",
     "PhaseTiming",
     "RunResult",
     "ExecutionEngine",
+    "ENGINE_KINDS",
 ]
 
 _EPS = 1e-9
 _RATE_ITERATIONS = 8
 _RATE_DAMPING = 0.5
+
+#: The two solver/recorder implementations behind ``ExecutionEngine(engine=)``.
+#: ``"reference"`` (the original scalar path) exists only as the differential
+#: oracle for the columnar kernel and is scheduled for removal next release.
+ENGINE_KINDS = ("columnar", "reference")
 
 
 @dataclass(frozen=True)
@@ -90,14 +112,16 @@ class EngineStream:
     def __post_init__(self) -> None:
         if not 0.0 < self.weight <= 1.0:
             raise WorkloadError(f"stream weight must be in (0, 1]: {self.weight}")
-        nf = np.asarray(self.node_fractions, dtype=np.float64)
+        nf = self.node_fractions
+        if type(nf) is not np.ndarray or nf.dtype != np.float64:
+            nf = np.asarray(nf, dtype=np.float64)
         if nf.ndim != 1 or nf.size == 0:
             raise WorkloadError("node_fractions must be a non-empty 1-D array")
-        if np.any(nf < -1e-12) or abs(float(nf.sum()) - 1.0) > 1e-6:
+        if (nf < -1e-12).any() or abs(float(nf.sum()) - 1.0) > 1e-6:
             raise WorkloadError(f"node_fractions must be a distribution, got {nf}")
         if self.region_bytes <= 0:
             raise WorkloadError("region_bytes must be positive")
-        object.__setattr__(self, "node_fractions", np.clip(nf, 0.0, 1.0))
+        object.__setattr__(self, "node_fractions", nf.clip(0.0, 1.0))
 
 
 @dataclass(frozen=True)
@@ -133,12 +157,16 @@ class ThreadProgram:
     phases: tuple[EnginePhase, ...]
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class SampleBucket:
     """Aggregate of homogeneous accesses, ready for Poisson thinning.
 
     ``dst_node`` is meaningful for DRAM levels (the node whose controller
     served the access); for cache levels it equals the source node.
+
+    A thin per-record view: the engine stores buckets columnarly (see
+    :class:`BucketColumns`) and materializes these only for object-level
+    consumers.
     """
 
     thread_id: int
@@ -151,6 +179,74 @@ class SampleBucket:
     dst_node: int
     n_accesses: float
     mean_latency: float
+
+
+@dataclass(frozen=True, slots=True)
+class BucketColumns:
+    """Columnar store of a run's sample buckets, one numpy array per field.
+
+    Rows are emitted in canonical (sorted-key) order by the engine's
+    bucket finalization, so two runs that accumulated the same buckets
+    serialize identically regardless of accumulation insertion order.
+    The PMU sampler thins these columns directly without rehydrating
+    :class:`SampleBucket` objects.
+    """
+
+    thread_id: np.ndarray
+    cpu: np.ndarray
+    src_node: np.ndarray
+    object_id: np.ndarray
+    region_base: np.ndarray
+    region_bytes: np.ndarray
+    level: np.ndarray  # MemLevel integer codes
+    dst_node: np.ndarray
+    n_accesses: np.ndarray
+    mean_latency: np.ndarray
+
+    _INT_FIELDS = (
+        "thread_id", "cpu", "src_node", "object_id",
+        "region_base", "region_bytes", "level", "dst_node",
+    )
+
+    def __len__(self) -> int:
+        return int(self.thread_id.shape[0])
+
+    @classmethod
+    def from_buckets(cls, buckets: list[SampleBucket]) -> "BucketColumns":
+        """Columnarize a per-record bucket list (compat/oracle path)."""
+        n = len(buckets)
+        return cls(
+            **{
+                name: np.fromiter(
+                    (int(getattr(b, name)) for b in buckets), dtype=np.int64, count=n
+                )
+                for name in cls._INT_FIELDS
+            },
+            n_accesses=np.fromiter(
+                (b.n_accesses for b in buckets), dtype=np.float64, count=n
+            ),
+            mean_latency=np.fromiter(
+                (b.mean_latency for b in buckets), dtype=np.float64, count=n
+            ),
+        )
+
+    def to_buckets(self) -> list[SampleBucket]:
+        """Materialize per-record :class:`SampleBucket` views."""
+        return [
+            SampleBucket(
+                thread_id=int(self.thread_id[i]),
+                cpu=int(self.cpu[i]),
+                src_node=int(self.src_node[i]),
+                object_id=int(self.object_id[i]),
+                region_base=int(self.region_base[i]),
+                region_bytes=int(self.region_bytes[i]),
+                level=MemLevel(int(self.level[i])),
+                dst_node=int(self.dst_node[i]),
+                n_accesses=float(self.n_accesses[i]),
+                mean_latency=float(self.mean_latency[i]),
+            )
+            for i in range(len(self))
+        ]
 
 
 @dataclass(frozen=True)
@@ -244,11 +340,20 @@ class RunResult:
     total_cycles: float
     thread_finish_cycles: dict[int, float]
     phase_timings: list[PhaseTiming]
-    buckets: list[SampleBucket]
+    bucket_columns: BucketColumns
     memctrl: MemoryControllerSet
     interconnect: InterconnectFabric
     #: Extra stall injected per access (profiling overhead model), cycles.
     extra_stall_cycles: float = 0.0
+
+    @property
+    def buckets(self) -> list[SampleBucket]:
+        """Per-record view over :attr:`bucket_columns` (cached on first use)."""
+        cached = self.__dict__.get("_buckets")
+        if cached is None:
+            cached = self.bucket_columns.to_buckets()
+            self.__dict__["_buckets"] = cached
+        return cached
 
     @property
     def total_seconds(self) -> float:
@@ -290,6 +395,55 @@ class _StreamCtx:
     flow_ids: dict[int, int] = field(default_factory=dict)  # dst node -> flow idx
 
 
+class _SpanFlows:
+    """DRAM/link flow table of one stationary span (shared by both kernels)."""
+
+    __slots__ = (
+        "usage", "capacities", "ch_index", "n_links",
+        "flow_thread", "flow_coeff", "flow_dst", "flow_chan", "n_flows",
+        # fixed-point accelerators: prebuilt fairness membership matrix and
+        # the contiguous per-thread flow-group boundaries
+        "member", "flow_starts", "flow_first",
+    )
+
+
+class _SpanLayout:
+    """Columnar row layout of one stationary span.
+
+    One row per (thread, stream, level, dst) combination, in the exact
+    order the reference kernel visits them (threads, then streams, then
+    ``fractions`` insertion order, then ascending remote dst).  ``prog``
+    is the per-thread rate program evaluated by ``_rates_at``: a list of
+    ``(compute_cycles_per_access, streams)`` where each stream entry is
+    ``(weight, mlp, terms)`` and each term ``(frac, row_idx, sub)`` —
+    ``sub`` is ``None`` for a direct level or a list of
+    ``(nf_share, row_idx)`` pairs averaging remote targets.
+
+    Latency rows split into constant (cache) and DRAM groups; the DRAM
+    group carries the precomputed pipe/queue decomposition from
+    :class:`~repro.numasim.latency.LatencyTable` so one vectorized
+    expression prices every row per fixed-point iteration.
+    """
+
+    __slots__ = (
+        "prog",
+        # latency evaluation
+        "row_lat0", "dram_idx", "dram_pipe", "dram_mcpart", "dram_node",
+        "rem_pos", "rem_linkpart", "rem_link", "rand_pos",
+        # bucket/rate emission
+        "row_thread", "w", "f", "m1", "d1",
+        "key_prefix", "bucket_ok", "all_ok",
+        "tid", "cpu", "src", "obj", "rbase", "rbytes", "lvl", "dst",
+        "n_rows",
+    )
+
+
+class _SpanPlan:
+    """Solved state of one stationary span under the columnar kernel."""
+
+    __slots__ = ("rates", "layout", "flows", "final_latency")
+
+
 class ExecutionEngine:
     """Runs thread programs to completion on a simulated NUMA machine."""
 
@@ -301,12 +455,43 @@ class ExecutionEngine:
         barriers: bool = True,
         link_capacity_overrides: dict[Channel, float] | None = None,
         history_limit: int | None = None,
+        engine: str = "columnar",
     ) -> None:
+        if engine not in ENGINE_KINDS:
+            raise SimulationError(
+                f"unknown engine kind {engine!r}; expected one of {ENGINE_KINDS}"
+            )
         self.topology = topology
         self.latency_model = latency_model or LatencyModel()
         self.cache_model = cache_model or CacheModel()
         self.barriers = barriers
         self._link_overrides = link_capacity_overrides
+        #: Which solver/recorder kernel ``run`` dispatches to; see
+        #: :data:`ENGINE_KINDS`.  Both produce bit-identical results.
+        self.engine_kind = engine
+        #: Per-(src, dst, level) latency constants, folded once from the
+        #: model so the columnar kernel never re-derives them per span.
+        self.latency_table = LatencyTable(self.latency_model, topology)
+        #: Memo for ``cache_model.level_fractions`` keyed by
+        #: (profile, effective cache sizes) — the model is pure, and spans
+        #: of a steady workload re-resolve the same handful of splits.
+        self._lf_cache: dict[tuple, object] = {}
+        # Flow-table constants are topology-fixed: build the channel index
+        # and resource-capacity vector once instead of per span.
+        fabric_channels = topology.remote_channels()
+        self._fabric_ch_index = {c: i for i, c in enumerate(fabric_channels)}
+        self._fabric_n_links = len(fabric_channels)
+        n_nodes = topology.n_sockets
+        caps = np.concatenate(
+            [
+                np.full(n_nodes, topology.dram_bw_bytes_per_cycle),
+                np.full(self._fabric_n_links, topology.link_bw_bytes_per_cycle),
+            ]
+        )
+        if link_capacity_overrides:
+            for ch, cap in link_capacity_overrides.items():
+                caps[n_nodes + self._fabric_ch_index[ch]] = cap
+        self._fabric_capacities = caps
         #: Retention cap for raw per-interval utilization records on the
         #: run's memory controllers and interconnect fabric (``None`` uses
         #: their shared default) — running aggregates are never capped.
@@ -397,6 +582,7 @@ class ExecutionEngine:
         guard = 0
         max_events = sum(len(p.phases) for p in programs) * 4 + 64
         interval_index = 0
+        use_columnar = self.engine_kind == "columnar"
 
         while True:
             runnable = self._runnable(states)
@@ -405,7 +591,11 @@ class ExecutionEngine:
                     break
                 raise SimulationError("deadlock: unfinished threads but none runnable")
 
-            ctxs, rates = self._solve_interval(runnable, extra_stall_cycles_per_access)
+            if use_columnar:
+                plan = self._solve_span_columnar(runnable, extra_stall_cycles_per_access)
+                rates = plan.rates
+            else:
+                ctxs, rates = self._solve_interval(runnable, extra_stall_cycles_per_access)
 
             # Time to the next phase completion among runnable threads.
             dts = [
@@ -417,18 +607,25 @@ class ExecutionEngine:
                 raise SimulationError(f"bad interval length {dt}")
             dt = max(dt, _EPS)
 
-            self._record_interval(
-                now, dt, runnable, rates, ctxs, memctrl, fabric, bucket_acc, phase_spans
-            )
+            if use_columnar:
+                self._record_span_columnar(
+                    now, dt, runnable, plan, memctrl, fabric, bucket_acc, phase_spans
+                )
+            else:
+                self._record_interval(
+                    now, dt, runnable, rates, ctxs, memctrl, fabric, bucket_acc, phase_spans
+                )
             if interval_listener is not None:
-                interval_index = self._emit_intervals(
+                if use_columnar:
+                    span_tbl = self._span_rates_columnar(plan, fabric)
+                else:
+                    span_tbl = self._span_rates(runnable, rates, ctxs, fabric)
+                interval_index = self._emit_slices(
                     interval_listener,
                     interval_index,
                     now,
                     dt,
-                    runnable,
-                    rates,
-                    ctxs,
+                    span_tbl,
                     fabric,
                     interval_max_cycles,
                 )
@@ -451,7 +648,7 @@ class ExecutionEngine:
             total_cycles=now,
             thread_finish_cycles={st.program.thread_id: st.finish_cycle for st in states},
             phase_timings=self._phase_timings(phase_spans),
-            buckets=self._finalize_buckets(bucket_acc),
+            bucket_columns=self._finalize_bucket_columns(bucket_acc),
             memctrl=memctrl,
             interconnect=fabric,
             extra_stall_cycles=extra_stall_cycles_per_access,
@@ -479,15 +676,11 @@ class ExecutionEngine:
         group = min(st.phase_idx for st in alive)
         return [st for st in alive if st.phase_idx == group]
 
-    # -- the stationary-interval solver ---------------------------------------
+    # -- shared span setup (both kernels) --------------------------------------
 
-    def _solve_interval(
-        self,
-        runnable: list[_ThreadState],
-        extra_stall: float,
-    ) -> tuple[list[list[_StreamCtx]], list[float]]:
+    def _build_ctxs(self, runnable: list[_ThreadState]) -> list[list[_StreamCtx]]:
+        """Resolve per-(thread, stream) cache splits and DRAM fractions."""
         topo = self.topology
-        n_nodes = topo.n_sockets
 
         # Cache sharing: private L1/L2 split between active SMT siblings,
         # L3 split between active threads on the socket.
@@ -499,6 +692,7 @@ class ExecutionEngine:
             core_load[core] = core_load.get(core, 0) + 1
             socket_load[node] = socket_load.get(node, 0) + 1
 
+        lf_cache = self._lf_cache
         ctxs: list[list[_StreamCtx]] = []
         for st in runnable:
             phase = st.current_phase()
@@ -536,7 +730,18 @@ class ExecutionEngine:
                         l2_bytes=max(caches.l2_bytes * frac, 1.0),
                         l3_bytes=max(caches.l3_bytes * frac, 1.0),
                     )
-                lf = self.cache_model.level_fractions(stream.profile, stream_caches)
+                lf_key = (
+                    stream.profile,
+                    stream_caches.l1_bytes,
+                    stream_caches.l2_bytes,
+                    stream_caches.l3_bytes,
+                )
+                lf = lf_cache.get(lf_key)
+                if lf is None:
+                    if len(lf_cache) > 4096:
+                        lf_cache.clear()
+                    lf = self.cache_model.level_fractions(stream.profile, stream_caches)
+                    lf_cache[lf_key] = lf
                 fr = self._localize(lf.fractions, stream.node_fractions, node)
                 per_thread.append(
                     _StreamCtx(
@@ -549,23 +754,21 @@ class ExecutionEngine:
                     )
                 )
             ctxs.append(per_thread)
+        return ctxs
 
-        # Flow table: one flow per (thread, stream, dst node) with traffic.
-        fabric_channels = topo.remote_channels()
-        ch_index = {c: i for i, c in enumerate(fabric_channels)}
-        n_links = len(fabric_channels)
-        capacities = np.concatenate(
-            [
-                np.full(n_nodes, topo.dram_bw_bytes_per_cycle),
-                np.full(n_links, topo.link_bw_bytes_per_cycle),
-            ]
-        )
-        if self._link_overrides:
-            for ch, cap in self._link_overrides.items():
-                capacities[n_nodes + ch_index[ch]] = cap
+    def _build_flows(self, ctxs: list[list[_StreamCtx]]) -> "_SpanFlows":
+        """Flow table: one flow per (thread, stream, dst node) with traffic."""
+        topo = self.topology
+        n_nodes = topo.n_sockets
+        ch_index = self._fabric_ch_index
+        n_links = self._fabric_n_links
+        capacities = self._fabric_capacities
 
         usage: list[tuple[int, ...]] = []
-        coeff_rows: list[tuple[int, float]] = []  # (thread idx, bytes/access-of-thread)
+        threads: list[int] = []
+        coeffs_flat: list[float] = []
+        dsts: list[int] = []
+        chans: list[int] = []  # channel index, -1 for node-local flows
         for t_idx, per_thread in enumerate(ctxs):
             for ctx in per_thread:
                 nf = ctx.stream.node_fractions
@@ -575,17 +778,59 @@ class ExecutionEngine:
                     if traffic <= _EPS:
                         continue
                     res = [dst]
+                    chan = -1
                     if dst != ctx.src_node:
-                        res.append(n_nodes + ch_index[Channel(ctx.src_node, dst)])
+                        chan = ch_index[Channel(ctx.src_node, dst)]
+                        res.append(n_nodes + chan)
                     ctx.flow_ids[dst] = len(usage)
                     usage.append(tuple(res))
-                    coeff_rows.append((t_idx, traffic))
+                    threads.append(t_idx)
+                    coeffs_flat.append(traffic)
+                    dsts.append(dst)
+                    chans.append(chan)
                     coeffs[dst] = traffic
                 ctx.traffic_coeff = coeffs
 
-        n_flows = len(usage)
-        flow_thread = np.array([t for t, _ in coeff_rows], dtype=np.int64)
-        flow_coeff = np.array([c for _, c in coeff_rows], dtype=np.float64)
+        fl = _SpanFlows()
+        fl.usage = usage
+        fl.capacities = capacities
+        fl.ch_index = ch_index
+        fl.n_links = n_links
+        ft = np.array(threads, dtype=np.int64)
+        fl.flow_thread = ft
+        fl.flow_coeff = np.array(coeffs_flat, dtype=np.float64)
+        fl.flow_dst = np.array(dsts, dtype=np.int64)
+        fl.flow_chan = np.array(chans, dtype=np.int64)
+        fl.n_flows = len(usage)
+        if fl.n_flows:
+            fl.member = build_membership(usage, capacities.shape[0])
+            # Flows are emitted grouped by thread index, so per-thread
+            # reductions can use contiguous reduceat segments.
+            starts = np.flatnonzero(np.r_[True, ft[1:] != ft[:-1]])
+            fl.flow_starts = starts
+            fl.flow_first = ft[starts]
+        else:
+            fl.member = None
+            fl.flow_starts = fl.flow_first = None
+        return fl
+
+    # -- the stationary-interval solver (reference kernel) ---------------------
+
+    def _solve_interval(
+        self,
+        runnable: list[_ThreadState],
+        extra_stall: float,
+    ) -> tuple[list[list[_StreamCtx]], list[float]]:
+        n_nodes = self.topology.n_sockets
+        ctxs = self._build_ctxs(runnable)
+        fl = self._build_flows(ctxs)
+        ch_index = fl.ch_index
+        n_links = fl.n_links
+        usage = fl.usage
+        capacities = fl.capacities
+        n_flows = fl.n_flows
+        flow_thread = fl.flow_thread
+        flow_coeff = fl.flow_coeff
 
         # Uncontended starting point.
         rates = np.array(
@@ -716,6 +961,399 @@ class ExecutionEngine:
             raise SimulationError("thread with zero cost per access")
         return 1.0 / denom
 
+    # -- the columnar kernel ----------------------------------------------------
+
+    def _build_layout(
+        self,
+        runnable: list[_ThreadState],
+        ctxs: list[list[_StreamCtx]],
+    ) -> _SpanLayout:
+        """Lay the span out as parallel columns, one row per bucket source.
+
+        Row order replicates the reference kernel's visit order exactly, so
+        every downstream accumulation (``np.add.at``, bucket dict updates)
+        sees operands in the same sequence and produces the same bits.
+        """
+        tab = self.latency_table
+        n_nodes = self.topology.n_sockets
+        ch_index = tab.channel_index
+        local_dram = MemLevel.LOCAL_DRAM
+        remote_dram = MemLevel.REMOTE_DRAM
+        local_int = int(local_dram)
+        remote_int = int(remote_dram)
+        local_pipe = tab.pipe(local_dram)
+        local_mcpart = tab.mc_part(local_dram)
+        remote_pipe = tab.pipe(remote_dram)
+        remote_mcpart = tab.mc_part(remote_dram)
+        remote_linkpart = tab.link_part(remote_dram)
+        base_of = tab.base_of
+        random_kind = PatternKind.RANDOM
+
+        prog: list[tuple[float, list]] = []
+        f_col: list[float] = []
+        m1_col: list[float] = []
+        d1_col: list[float] = []
+        lat0: list[float] = []
+        dram_idx: list[int] = []
+        dram_pipe: list[float] = []
+        dram_mcpart: list[float] = []
+        dram_node: list[int] = []
+        rem_pos: list[int] = []
+        rem_linkpart: list[float] = []
+        rem_link: list[int] = []
+        rand_pos: list[int] = []
+        key_prefix: list[tuple] = []
+        bucket_ok: list[bool] = []
+        lvl_c: list[int] = []
+        dst_c: list[int] = []
+        # Columns constant within one (thread, stream) context are recorded
+        # once per context and expanded with np.repeat at the end — rows of
+        # a context are contiguous in the reference visit order.
+        nrow = 0
+        ctx_rows: list[int] = []
+        ctx_tidx: list[int] = []
+        ctx_w: list[float] = []
+        ctx_tid: list[int] = []
+        ctx_cpu: list[int] = []
+        ctx_src: list[int] = []
+        ctx_obj: list[int] = []
+        ctx_rbase: list[int] = []
+        ctx_rbytes: list[int] = []
+
+        for t_idx, (st, per_thread) in enumerate(zip(runnable, ctxs)):
+            phase = st.current_phase()
+            assert phase is not None
+            tid = st.program.thread_id
+            cpu = st.program.cpu
+            stream_entries: list[tuple[float, float, list]] = []
+            for ctx in per_thread:
+                stream = ctx.stream
+                src = ctx.src_node
+                nf = stream.node_fractions
+                is_random = stream.profile.kind is random_kind
+                obj = stream.object_id
+                rbase = stream.region_base
+                rbytes = stream.region_bytes
+                ctx_start = nrow
+                terms: list[tuple[float, int, list | None]] = []
+                for lvl, frac in ctx.fractions.items():
+                    if frac <= 0:
+                        continue
+                    if lvl is remote_dram:
+                        remote_total = 1.0 - float(nf[src])
+                        denom = max(remote_total, _EPS)
+                        sub: list[tuple[float, int]] = []
+                        for dst in range(nf.size):
+                            if dst == src or nf[dst] <= 0:
+                                continue
+                            ridx = nrow
+                            nrow += 1
+                            sub.append((float(nf[dst] / denom), ridx))
+                            f_col.append(frac)
+                            m1_col.append(float(nf[dst]))
+                            d1_col.append(denom)
+                            lat0.append(0.0)
+                            dram_pipe.append(remote_pipe)
+                            dram_mcpart.append(remote_mcpart)
+                            dram_node.append(dst)
+                            rem_pos.append(len(dram_idx))
+                            rem_linkpart.append(remote_linkpart)
+                            rem_link.append(ch_index[Channel(src, dst)])
+                            if is_random:
+                                rand_pos.append(len(dram_idx))
+                            dram_idx.append(ridx)
+                            bucket_ok.append(dst < n_nodes)
+                            key_prefix.append(
+                                (tid, cpu, src, obj, rbase, rbytes, remote_int, dst)
+                            )
+                            lvl_c.append(remote_int)
+                            dst_c.append(dst)
+                        terms.append((frac, -1, sub))
+                    else:
+                        ridx = nrow
+                        nrow += 1
+                        f_col.append(frac)
+                        m1_col.append(1.0)
+                        d1_col.append(1.0)
+                        if lvl is local_dram:
+                            lat0.append(0.0)
+                            dram_pipe.append(local_pipe)
+                            dram_mcpart.append(local_mcpart)
+                            dram_node.append(src)
+                            if is_random:
+                                rand_pos.append(len(dram_idx))
+                            dram_idx.append(ridx)
+                            lvl_int = local_int
+                        else:
+                            lat0.append(base_of(lvl))
+                            lvl_int = int(lvl)
+                        terms.append((frac, ridx, None))
+                        bucket_ok.append(True)
+                        key_prefix.append(
+                            (tid, cpu, src, obj, rbase, rbytes, lvl_int, src)
+                        )
+                        lvl_c.append(lvl_int)
+                        dst_c.append(src)
+                ctx_rows.append(nrow - ctx_start)
+                ctx_tidx.append(t_idx)
+                ctx_w.append(stream.weight)
+                ctx_tid.append(tid)
+                ctx_cpu.append(cpu)
+                ctx_src.append(src)
+                ctx_obj.append(obj)
+                ctx_rbase.append(rbase)
+                ctx_rbytes.append(rbytes)
+                stream_entries.append((stream.weight, ctx.mlp, terms))
+            prog.append((phase.compute_cycles_per_access, stream_entries))
+
+        lay = _SpanLayout()
+        lay.prog = prog
+        reps = np.array(ctx_rows, dtype=np.int64)
+        lay.row_thread = np.repeat(np.array(ctx_tidx, dtype=np.int64), reps)
+        lay.w = np.repeat(np.array(ctx_w, dtype=np.float64), reps)
+        lay.f = np.array(f_col, dtype=np.float64)
+        lay.m1 = np.array(m1_col, dtype=np.float64)
+        lay.d1 = np.array(d1_col, dtype=np.float64)
+        lay.row_lat0 = np.array(lat0, dtype=np.float64)
+        lay.dram_idx = np.array(dram_idx, dtype=np.int64)
+        lay.dram_pipe = np.array(dram_pipe, dtype=np.float64)
+        lay.dram_mcpart = np.array(dram_mcpart, dtype=np.float64)
+        lay.dram_node = np.array(dram_node, dtype=np.int64)
+        lay.rem_pos = np.array(rem_pos, dtype=np.int64)
+        lay.rem_linkpart = np.array(rem_linkpart, dtype=np.float64)
+        lay.rem_link = np.array(rem_link, dtype=np.int64)
+        lay.rand_pos = np.array(rand_pos, dtype=np.int64)
+        lay.key_prefix = key_prefix
+        lay.bucket_ok = bucket_ok
+        lay.all_ok = all(bucket_ok)
+        lay.tid = np.repeat(np.array(ctx_tid, dtype=np.int64), reps)
+        lay.cpu = np.repeat(np.array(ctx_cpu, dtype=np.int64), reps)
+        lay.src = np.repeat(np.array(ctx_src, dtype=np.int64), reps)
+        lay.obj = np.repeat(np.array(ctx_obj, dtype=np.int64), reps)
+        lay.rbase = np.repeat(np.array(ctx_rbase, dtype=np.int64), reps)
+        lay.rbytes = np.repeat(np.array(ctx_rbytes, dtype=np.int64), reps)
+        lay.lvl = np.array(lvl_c, dtype=np.int64)
+        lay.dst = np.array(dst_c, dtype=np.int64)
+        lay.n_rows = nrow
+        return lay
+
+    def _row_latencies(
+        self,
+        lay: _SpanLayout,
+        mc_rho: np.ndarray,
+        link_rho: np.ndarray,
+    ) -> np.ndarray:
+        """Median latency of every layout row under the given utilizations.
+
+        Bit-identical to the reference kernel's per-row
+        ``LatencyModel.effective_latency`` calls: clip/divide/add/multiply
+        are elementwise, so vectorizing them preserves every rounding.
+        """
+        lat = lay.row_lat0.copy()
+        if lay.dram_idx.size:
+            lm = self.latency_model
+            mcf = queueing_delay_factor(mc_rho, lm.max_inflation)
+            d = lay.dram_pipe + lay.dram_mcpart * np.asarray(mcf)[lay.dram_node]
+            if lay.rem_pos.size:
+                lkf = np.asarray(queueing_delay_factor(link_rho, lm.max_inflation))
+                dr = d[lay.rem_pos]
+                d[lay.rem_pos] = (dr - lay.rem_linkpart) + lay.rem_linkpart * lkf[lay.rem_link]
+            if lay.rand_pos.size:
+                d[lay.rand_pos] *= lm.random_access_penalty
+            lat[lay.dram_idx] = d
+        return lat
+
+    def _rates_at(
+        self,
+        lay: _SpanLayout,
+        mc_rho: np.ndarray,
+        link_rho: np.ndarray,
+        extra_stall: float,
+    ) -> list[float]:
+        """Per-thread issue rates at the given utilizations (columnar).
+
+        Evaluates the same arithmetic as ``_thread_rate``, reading row
+        latencies from one vectorized pricing pass; the reductions stay in
+        scalar Python because numpy's pairwise summation would change the
+        accumulation order (and therefore the bits).
+        """
+        latl = self._row_latencies(lay, mc_rho, link_rho).tolist()
+        rates: list[float] = []
+        for cpa, stream_entries in lay.prog:
+            stall = 0.0
+            for weight, mlp, terms in stream_entries:
+                s = 0.0
+                for frac, ridx, sub in terms:
+                    if sub is None:
+                        lat = latl[ridx]
+                    else:
+                        lat = 0.0
+                        for share, rj in sub:
+                            lat += share * latl[rj]
+                    s += frac * lat
+                stall += weight * s / mlp
+            denom = cpa + stall + extra_stall
+            if denom <= 0:
+                raise SimulationError("thread with zero cost per access")
+            rates.append(1.0 / denom)
+        return rates
+
+    def _solve_span_columnar(
+        self,
+        runnable: list[_ThreadState],
+        extra_stall: float,
+    ) -> _SpanPlan:
+        """Columnar twin of ``_solve_interval``: same fixed point, same bits."""
+        n_nodes = self.topology.n_sockets
+        ctxs = self._build_ctxs(runnable)
+        fl = self._build_flows(ctxs)
+        lay = self._build_layout(runnable, ctxs)
+        n_links = fl.n_links
+
+        rates = np.array(
+            self._rates_at(lay, np.zeros(n_nodes), np.zeros(n_links), extra_stall)
+        )
+        mc_rho = np.zeros(n_nodes)
+        link_rho = np.zeros(n_links)
+
+        for _ in range(_RATE_ITERATIONS):
+            if fl.n_flows:
+                demands = rates[fl.flow_thread] * fl.flow_coeff
+                sol = water_fill(demands, fl.member, fl.capacities)
+                mc_rho = sol.utilization[:n_nodes]
+                link_rho = sol.utilization[n_nodes:]
+                throttle = sol.throttle(demands)
+                # A thread advances no faster than its most-throttled flow.
+                # min is exact, so grouped reduceat over the contiguous
+                # per-thread flow segments matches np.minimum.at bitwise.
+                cap = np.full(len(ctxs), np.inf)
+                cap[fl.flow_first] = np.minimum.reduceat(
+                    np.where(throttle > 0, throttle, _EPS), fl.flow_starts
+                )
+                rate_cap = rates * np.where(np.isfinite(cap), cap, 1.0)
+            else:
+                rate_cap = rates.copy()
+
+            vals = self._rates_at(lay, mc_rho, link_rho, extra_stall)
+            new_rates = np.array(
+                [
+                    min(v, rate_cap[i] if rate_cap[i] > 0 else _EPS)
+                    for i, v in enumerate(vals)
+                ]
+            )
+            rates = _RATE_DAMPING * rates + (1.0 - _RATE_DAMPING) * new_rates
+
+        plan = _SpanPlan()
+        plan.rates = [float(r) for r in rates]
+        plan.layout = lay
+        plan.flows = fl
+        plan.final_latency = self._row_latencies(lay, mc_rho, link_rho)
+        return plan
+
+    def _record_span_columnar(
+        self,
+        now: float,
+        dt: float,
+        runnable: list[_ThreadState],
+        plan: _SpanPlan,
+        memctrl: MemoryControllerSet,
+        fabric: InterconnectFabric,
+        bucket_acc: dict[tuple, list[float]],
+        phase_spans: dict[tuple[int, str], list[float]],
+    ) -> None:
+        """Columnar twin of ``_record_interval``."""
+        for st in runnable:
+            phase = st.current_phase()
+            assert phase is not None
+            key = (st.phase_idx, phase.name)
+            span = phase_spans.setdefault(key, [now, now + dt])
+            span[0] = min(span[0], now)
+            span[1] = max(span[1], now + dt)
+
+        fl = plan.flows
+        lay = plan.layout
+        node_bytes = np.zeros(self.topology.n_sockets)
+        chan_bytes = np.zeros(len(fabric))
+        rates_arr = np.asarray(plan.rates, dtype=np.float64)
+        if fl.n_flows:
+            tr = fl.flow_coeff * rates_arr[fl.flow_thread]
+            tr = tr * dt
+            # np.add.at applies updates sequentially in element order, which
+            # is the reference kernel's accumulation order by construction.
+            np.add.at(node_bytes, fl.flow_dst, tr)
+            remote = fl.flow_chan >= 0
+            if remote.any():
+                np.add.at(chan_bytes, fl.flow_chan[remote], tr[remote])
+
+        if lay.n_rows:
+            a = rates_arr[lay.row_thread] * dt
+            a = a * lay.w
+            a = a * lay.f
+            a = a * lay.m1
+            counts = (a / lay.d1).tolist()
+            lats = plan.final_latency.tolist()
+            prefix = lay.key_prefix
+            ok = lay.bucket_ok
+            all_ok = lay.all_ok
+            log2 = math.log2
+            for i, c in enumerate(counts):
+                if c <= 0 or not (all_ok or ok[i]):
+                    continue
+                latv = lats[i]
+                lat_bin = int(round(4.0 * log2(latv if latv > 1.0 else 1.0)))
+                key = prefix[i] + (lat_bin,)
+                acc = bucket_acc.get(key)
+                if acc is None:
+                    bucket_acc[key] = [c, c * latv]
+                else:
+                    acc[0] += c
+                    acc[1] += c * latv
+
+        memctrl.record_interval(now, dt, node_bytes)
+        fabric.record_interval(now, dt, chan_bytes)
+
+    def _span_rates_columnar(
+        self,
+        plan: _SpanPlan,
+        fabric: InterconnectFabric,
+    ) -> tuple[BucketRates, np.ndarray, np.ndarray]:
+        """Columnar twin of ``_span_rates`` for the streaming hook."""
+        fl = plan.flows
+        lay = plan.layout
+        node_rate = np.zeros(self.topology.n_sockets)
+        chan_rate = np.zeros(len(fabric))
+        rates_arr = np.asarray(plan.rates, dtype=np.float64)
+        if fl.n_flows:
+            tr = fl.flow_coeff * rates_arr[fl.flow_thread]
+            np.add.at(node_rate, fl.flow_dst, tr)
+            remote = fl.flow_chan >= 0
+            if remote.any():
+                np.add.at(chan_rate, fl.flow_chan[remote], tr[remote])
+
+        r = rates_arr[lay.row_thread] * lay.w
+        r = r * lay.f
+        r = r * lay.m1
+        r = r / lay.d1
+        keep = r > 0
+        if not lay.all_ok:
+            keep &= np.asarray(lay.bucket_ok, dtype=bool)
+        return (
+            BucketRates(
+                thread_id=lay.tid[keep],
+                cpu=lay.cpu[keep],
+                src_node=lay.src[keep],
+                object_id=lay.obj[keep],
+                region_base=lay.rbase[keep],
+                region_bytes=lay.rbytes[keep],
+                level=lay.lvl[keep],
+                dst_node=lay.dst[keep],
+                rate=r[keep],
+                latency=plan.final_latency[keep],
+            ),
+            node_rate,
+            chan_rate,
+        )
+
     # -- recording ----------------------------------------------------------------
 
     def _record_interval(
@@ -781,26 +1419,25 @@ class ExecutionEngine:
 
     # -- the streaming hook -----------------------------------------------------
 
-    def _emit_intervals(
+    def _emit_slices(
         self,
         listener,
         index: int,
         start: float,
         span: float,
-        runnable: list[_ThreadState],
-        rates: list[float],
-        ctxs: list[list[_StreamCtx]],
+        span_tbl: tuple[BucketRates, np.ndarray, np.ndarray],
         fabric: InterconnectFabric,
         max_cycles: float | None,
     ) -> int:
         """Slice one stationary span into monitoring intervals.
 
         The solver ran once for the whole span; slices share one
-        :class:`BucketRates` table, so each emission is a handful of
-        vectorized scalings — cheap enough to leave the listener attached
-        on production-length runs.
+        :class:`BucketRates` table (``span_tbl``, built by ``_span_rates``
+        or its columnar twin), so each emission is a handful of vectorized
+        scalings — cheap enough to leave the listener attached on
+        production-length runs.
         """
-        bucket_rates, node_rate, chan_rate = self._span_rates(runnable, rates, ctxs, fabric)
+        bucket_rates, node_rate, chan_rate = span_tbl
         n_slices = 1
         if max_cycles is not None:
             n_slices = max(1, math.ceil(span / max_cycles))
@@ -934,7 +1571,40 @@ class ExecutionEngine:
         acc[1] += count * latency
 
     @staticmethod
+    def _finalize_bucket_columns(bucket_acc: dict[tuple, list[float]]) -> BucketColumns:
+        """Emit accumulated buckets as sorted columns.
+
+        Keys are sorted canonically so the serialized output is independent
+        of dict insertion order (regression-tested with shuffled insertion
+        in ``tests/engine/test_columnar_equiv.py``).
+        """
+        items = sorted(bucket_acc.items())
+        n = len(items)
+        ints = np.empty((n, 8), dtype=np.int64)
+        counts = np.empty(n, dtype=np.float64)
+        lat_sums = np.empty(n, dtype=np.float64)
+        for i, (key, acc) in enumerate(items):
+            ints[i] = key[:8]
+            counts[i] = acc[0]
+            lat_sums[i] = acc[1]
+        return BucketColumns(
+            thread_id=ints[:, 0].copy(),
+            cpu=ints[:, 1].copy(),
+            src_node=ints[:, 2].copy(),
+            object_id=ints[:, 3].copy(),
+            region_base=ints[:, 4].copy(),
+            region_bytes=ints[:, 5].copy(),
+            level=ints[:, 6].copy(),
+            dst_node=ints[:, 7].copy(),
+            n_accesses=counts,
+            mean_latency=lat_sums / counts,
+        )
+
+    @staticmethod
     def _finalize_buckets(bucket_acc: dict[tuple, list[float]]) -> list[SampleBucket]:
+        """Per-object twin of ``_finalize_bucket_columns`` (same sort, same
+        means); retained for the shuffled-insertion regression test and
+        scheduled for removal with the reference kernel."""
         buckets = []
         for key, (count, lat_sum) in sorted(bucket_acc.items()):
             tid, cpu, src, obj, base, size, lvl, dst, _ = key

@@ -24,7 +24,13 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["FairnessProblem", "FairnessSolution", "solve_max_min"]
+__all__ = [
+    "FairnessProblem",
+    "FairnessSolution",
+    "build_membership",
+    "solve_max_min",
+    "water_fill",
+]
 
 _EPS = 1e-12
 
@@ -71,6 +77,21 @@ class FairnessSolution:
         return out
 
 
+def build_membership(usage: list[tuple[int, ...]], n_res: int) -> np.ndarray:
+    """Membership matrix ``M[r, f] = 1`` when flow ``f`` crosses resource ``r``.
+
+    The engine's fixed-point solver re-arbitrates the same flow set many
+    times per stationary span with only the demands changing; building the
+    matrix once and passing it to :func:`water_fill` skips the per-call
+    reconstruction that :func:`solve_max_min` performs.
+    """
+    member = np.zeros((n_res, len(usage)), dtype=np.float64)
+    for f, res in enumerate(usage):
+        for r in res:
+            member[r, f] = 1.0
+    return member
+
+
 def solve_max_min(problem: FairnessProblem) -> FairnessSolution:
     """Compute the demand-bounded max-min fair allocation.
 
@@ -89,11 +110,30 @@ def solve_max_min(problem: FairnessProblem) -> FairnessSolution:
             utilization=np.zeros(n_res, dtype=np.float64),
         )
 
-    # Membership matrix M[r, f] = 1 when flow f crosses resource r.
-    member = np.zeros((n_res, n_flows), dtype=np.float64)
-    for f, res in enumerate(problem.usage):
-        for r in res:
-            member[r, f] = 1.0
+    member = build_membership(problem.usage, n_res)
+    return water_fill(demands, member, capacities)
+
+
+def water_fill(
+    demands: np.ndarray,
+    member: np.ndarray,
+    capacities: np.ndarray,
+) -> FairnessSolution:
+    """Water-filling core over a prebuilt membership matrix.
+
+    Bit-identical to :func:`solve_max_min` on the equivalent problem —
+    only the membership construction and validation are hoisted out, for
+    callers (the execution engine) that arbitrate a fixed flow set
+    repeatedly.
+    """
+    n_flows = demands.shape[0]
+    n_res = capacities.shape[0]
+
+    if n_res == 0 or n_flows == 0:
+        return FairnessSolution(
+            allocations=demands.copy(),
+            utilization=np.zeros(n_res, dtype=np.float64),
+        )
 
     alloc = np.zeros(n_flows, dtype=np.float64)
     active = demands > _EPS

@@ -20,9 +20,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.types import MemLevel
+from repro.types import Channel, MemLevel
 
-__all__ = ["LatencyModel", "queueing_delay_factor"]
+__all__ = ["LatencyModel", "LatencyTable", "queueing_delay_factor"]
 
 
 def queueing_delay_factor(rho: float | np.ndarray, max_inflation: float = 20.0) -> float | np.ndarray:
@@ -127,3 +127,119 @@ class LatencyModel:
         if n == 0:
             return np.empty(0, dtype=np.float64)
         return median_cycles * rng.lognormal(mean=0.0, sigma=self.noise_sigma, size=n)
+
+
+class LatencyTable:
+    """Precomputed per-(src_node, dst_node, mem_level) latency constants.
+
+    :meth:`LatencyModel.effective_latency` re-derives the pipeline/queue
+    decomposition of every DRAM access on each call; the execution
+    engine's columnar solver evaluates latencies for hundreds of rows per
+    fixed-point iteration, so this table folds the per-level constants —
+    ``pipe = base * (1 - mc_queue_fraction)``, ``mc_part = base *
+    mc_queue_fraction``, ``link_part = base * link_queue_fraction`` — once
+    at construction.  :meth:`lookup` recombines them with the *exact*
+    floating-point operation order of ``effective_latency`` so the two are
+    bit-identical for every valid (src, dst, level) triple and utilization
+    (property-tested in ``tests/numasim/test_latency_table.py``).
+
+    The table also carries the topology's directed-channel index so a
+    remote (src, dst) pair resolves to its interconnect channel without
+    rebuilding :class:`~repro.types.Channel` keys in hot loops.
+    """
+
+    def __init__(self, model: LatencyModel, topology) -> None:
+        self.model = model
+        self.n_nodes = int(topology.n_sockets)
+        self._base: dict[MemLevel, float] = {}
+        self._pipe: dict[MemLevel, float] = {}
+        self._mc_part: dict[MemLevel, float] = {}
+        self._link_part: dict[MemLevel, float] = {}
+        for level, base in model.base.items():
+            self._base[level] = base
+            if level.is_dram:
+                self._pipe[level] = base * (1.0 - model.mc_queue_fraction)
+                self._mc_part[level] = base * model.mc_queue_fraction
+                self._link_part[level] = base * model.link_queue_fraction
+        self.channel_index: dict[Channel, int] = {
+            c: i for i, c in enumerate(topology.remote_channels())
+        }
+
+    # -- constants for the engine's vectorized kernel ------------------------
+
+    def base_of(self, level: MemLevel) -> float:
+        """Uncontended base latency of ``level`` (== ``model.base_latency``)."""
+        return self._base[level]
+
+    def pipe(self, level: MemLevel) -> float:
+        """Fixed (non-queueable) portion of a DRAM access at ``level``."""
+        return self._pipe[level]
+
+    def mc_part(self, level: MemLevel) -> float:
+        """Portion of a DRAM access that queues at the memory controller."""
+        return self._mc_part[level]
+
+    def link_part(self, level: MemLevel) -> float:
+        """Portion of a remote access that queues at the interconnect link."""
+        return self._link_part[level]
+
+    # -- scalar parity API ---------------------------------------------------
+
+    def lookup(
+        self,
+        level: MemLevel,
+        src: int,
+        dst: int,
+        mc_rho: float = 0.0,
+        link_rho: float = 0.0,
+        random_access: bool = False,
+    ) -> float:
+        """Latency of a ``src -> dst`` access at ``level``; bit-identical to
+        :meth:`LatencyModel.effective_latency` under the same utilizations.
+
+        Cache levels and local DRAM require ``src == dst``; remote DRAM
+        requires ``src != dst`` (and a channel between the two nodes).
+        """
+        n = self.n_nodes
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(f"node pair ({src}, {dst}) outside [0, {n})")
+        if level is MemLevel.REMOTE_DRAM:
+            if src == dst:
+                raise ValueError("remote DRAM lookup needs src != dst")
+        elif src != dst:
+            raise ValueError(f"{level.name} lookup needs src == dst")
+        base = self._base[level]
+        if not level.is_dram:
+            return base
+        mc_factor = queueing_delay_factor(mc_rho, self.model.max_inflation)
+        lat = self._pipe[level] + self._mc_part[level] * mc_factor
+        if level is MemLevel.REMOTE_DRAM:
+            link_factor = queueing_delay_factor(link_rho, self.model.max_inflation)
+            link_part = self._link_part[level]
+            lat = (lat - link_part) + link_part * link_factor
+        if random_access:
+            lat *= self.model.random_access_penalty
+        return lat
+
+    def rows(self) -> list[dict]:
+        """Uncontended latencies for every valid (src, dst, level) triple.
+
+        Sorted, JSON-ready rows — the shape the interval-level golden
+        fixtures pin for two reference topologies.
+        """
+        out = []
+        for level in sorted(self._base, key=int):
+            for src in range(self.n_nodes):
+                for dst in range(self.n_nodes):
+                    remote = level is MemLevel.REMOTE_DRAM
+                    if (src == dst) == remote:
+                        continue
+                    out.append(
+                        {
+                            "level": level.name,
+                            "src": src,
+                            "dst": dst,
+                            "latency": float(self.lookup(level, src, dst)),
+                        }
+                    )
+        return out

@@ -331,13 +331,27 @@ class PageTable:
                     f"{int(addrs[bad][0]):#x})"
                 )
             out[bad] = -1
-        for r in np.unique(idx[~bad]):
-            mask = (idx == r) & ~bad
-            if self._replicated[r] and accessor_nodes is not None:
-                out[mask] = accessor_nodes[mask]
+            work_idx = np.where(bad, -1, idx)
+        else:
+            work_idx = idx
+        # Group addresses by owning range with one stable sort instead of a
+        # full-array mask per range: O(n log n) regardless of range count.
+        if work_idx.size == 0:
+            return out
+        order = np.argsort(work_idx, kind="stable")
+        sidx = work_idx[order]
+        starts = np.flatnonzero(np.r_[True, sidx[1:] != sidx[:-1]])
+        ends = np.r_[starts[1:], sidx.size]
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            r = int(sidx[s])
+            if r < 0:  # unmapped (already -1)
                 continue
-            pages = (addrs[mask] - bases[r]) // self.page_bytes
-            out[mask] = self._nodes[r][pages]
+            sel = order[s:e]
+            if self._replicated[r] and accessor_nodes is not None:
+                out[sel] = accessor_nodes[sel]
+                continue
+            pages = (addrs[sel] - bases[r]) // self.page_bytes
+            out[sel] = self._nodes[r][pages]
         return out
 
     def pages_on_node(self, base: int, size_bytes: int, node: int) -> np.ndarray:

@@ -147,18 +147,24 @@ def machine_spec(machine: Machine) -> dict | None:
         spec["topology"] = topo_delta
     if lat_delta:
         spec["latency_model"] = lat_delta
+    if machine.engine_kind != "columnar":
+        spec["engine"] = machine.engine_kind
     return spec
 
 
 def _build_machine(mspec: dict | None) -> Machine:
     if not mspec:
         return Machine()
-    unknown = set(mspec) - {"topology", "latency_model"}
+    unknown = set(mspec) - {"topology", "latency_model", "engine"}
     if unknown:
         raise ParallelError(f"unknown machine spec sections {sorted(unknown)}")
     topo = NumaTopology(**mspec.get("topology", {}))
     lat = LatencyModel(**mspec.get("latency_model", {}))
-    return Machine(topology=topo, latency_model=lat)
+    return Machine(
+        topology=topo,
+        latency_model=lat,
+        engine_kind=mspec.get("engine", "columnar"),
+    )
 
 
 def profiler_spec(config: ProfilerConfig) -> dict | None:

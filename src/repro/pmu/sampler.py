@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.numasim.engine import IntervalRecord, RunResult, SampleBucket
+from repro.numasim.engine import BucketColumns, IntervalRecord, RunResult, SampleBucket
 from repro.numasim.latency import LatencyModel
 from repro.osl.pages import PageTable
 from repro.pmu.events import (
@@ -100,7 +100,118 @@ class AddressSampler:
         self._page_cache: dict[tuple[int, int, int, int], np.ndarray | None | bool] = {}
 
     def sample_run_batch(self, run: RunResult) -> RawSampleBatch:
-        """Columnar samples for a whole run (the fast path)."""
+        """Columnar samples for a whole run (the fast path).
+
+        Consumes the engine's :class:`BucketColumns` directly — no
+        :class:`SampleBucket` objects, no per-bucket batch allocations.
+        The RNG draw order per bucket (Poisson, addresses, lognormal,
+        outliers) matches the historical per-bucket path exactly, so the
+        produced stream is bit-identical to it.
+        """
+        cols = getattr(run, "bucket_columns", None)
+        if cols is None:  # duck-typed runs (tests) carrying a .buckets list
+            cols = BucketColumns.from_buckets(run.buckets)
+        rng = self._rng
+        poisson = rng.poisson
+        integers = rng.integers
+        lognormal = rng.lognormal
+        random = rng.random
+        uniform = rng.uniform
+        count_nonzero = np.count_nonzero
+        period = self.config.period
+        page = self.page_table.page_bytes
+        cache = self._page_cache
+        sigma = self.latency_model.noise_sigma
+        out_frac = self.config.outlier_fraction
+        out_lo, out_hi = self.config.outlier_scale
+        tlb_frac = self.config.tlb_walk_fraction
+        tlb_lo, tlb_hi = self.config.tlb_walk_cycles
+        dram_lvls = {int(lvl) for lvl in MemLevel if lvl.is_dram}
+        n_acc = cols.n_accesses.tolist()
+        means = cols.mean_latency.tolist()
+        bases = cols.region_base.tolist()
+        sizes = cols.region_bytes.tolist()
+        lvls = cols.level.tolist()
+        dsts = cols.dst_node.tolist()
+        cpus = cols.cpu.tolist()
+        tids = cols.thread_id.tolist()
+
+        addr_parts: list[np.ndarray] = []
+        lat_parts: list[np.ndarray] = []
+        reps: list[int] = []
+        cpu_vals: list[int] = []
+        tid_vals: list[int] = []
+        lvl_vals: list[int] = []
+        for i in range(len(n_acc)):
+            n = int(poisson(n_acc[i] / period))
+            if n == 0:
+                continue
+            if lvls[i] in dram_lvls:
+                key = (bases[i], sizes[i], lvls[i], dsts[i])
+                try:
+                    cand = cache[key]
+                except KeyError:
+                    cand = self._candidate_pages_key(key)
+                if cand is False:
+                    continue
+            else:
+                cand = None  # cache-level rows are never page-constrained
+            base = bases[i]
+            if cand is None:
+                addrs = integers(0, sizes[i], size=n, dtype=np.int64)
+                addrs += base
+            else:
+                # Same bitstream as rng.choice(cand, size=n), minus its
+                # per-call validation overhead.
+                addrs = cand[integers(0, cand.size, size=n)]
+                addrs *= page
+                addrs += integers(0, page, size=n, dtype=np.int64)
+                addrs += base
+                np.minimum(addrs, base + sizes[i] - 1, out=addrs)
+            lats = lognormal(mean=0.0, sigma=sigma, size=n)
+            lats *= means[i]
+            # Outlier / TLB-walk injection, inlined from _inject_outliers
+            # (identical draws; ``lats`` is fresh so mutation is safe).
+            if out_frac > 0:
+                hit = random(n) < out_frac
+                n_hit = int(count_nonzero(hit))
+                if n_hit:
+                    lats[hit] *= uniform(out_lo, out_hi, size=n_hit)
+            if tlb_frac > 0:
+                walk = random(n) < tlb_frac
+                n_walk = int(count_nonzero(walk))
+                if n_walk:
+                    lats[walk] += uniform(tlb_lo, tlb_hi, size=n_walk)
+            addr_parts.append(addrs)
+            lat_parts.append(lats)
+            reps.append(n)
+            cpu_vals.append(cpus[i])
+            tid_vals.append(tids[i])
+            lvl_vals.append(lvls[i])
+
+        if not addr_parts:
+            return RawSampleBatch.empty().permuted(rng)
+        floor = max(self.config.event.min_latency_cycles, 1)
+        reps_arr = np.asarray(reps, dtype=np.int64)
+        batch = RawSampleBatch(
+            address=np.concatenate(addr_parts),
+            cpu=np.repeat(np.asarray(cpu_vals, dtype=np.int64), reps_arr),
+            thread_id=np.repeat(np.asarray(tid_vals, dtype=np.int64), reps_arr),
+            level=np.repeat(np.asarray(lvl_vals, dtype=np.int64), reps_arr),
+            latency=np.maximum(np.concatenate(lat_parts), floor),
+        )
+        return batch.permuted(rng)
+
+    def sample_run_reference(self, run: RunResult) -> RawSampleBatch:
+        """The per-bucket object path: rehydrate :class:`SampleBucket`\\ s and
+        thin them one at a time.
+
+        This is the pre-columnar sampler kept verbatim as the differential
+        oracle's sampling twin — it draws the identical RNG stream as
+        :meth:`sample_run_batch` and therefore returns a byte-identical
+        batch, just slower.  Scheduled for removal together with the
+        ``engine="reference"`` kernel.
+        """
         batches = []
         for bucket in run.buckets:
             b = self._sample_bucket(bucket)
@@ -171,14 +282,7 @@ class AddressSampler:
         try:
             return self._page_cache[key]
         except KeyError:
-            pass
-        bucket = SampleBucket(
-            thread_id=0, cpu=0, src_node=0, object_id=0,
-            region_base=key[0], region_bytes=key[1],
-            level=MemLevel(key[2]), dst_node=key[3],
-            n_accesses=0.0, mean_latency=1.0,
-        )
-        return self._candidate_pages(bucket)
+            return self._candidate_pages_key(key)
 
     def _grouped_addresses(
         self,
@@ -268,22 +372,25 @@ class AddressSampler:
     def _inject_outliers(self, latencies: np.ndarray) -> np.ndarray:
         if latencies.size == 0:
             return latencies
+        rng = self._rng
         out = latencies
         frac = self.config.outlier_fraction
         if frac > 0:
-            hit = self._rng.random(out.size) < frac
-            if np.any(hit):
+            hit = rng.random(out.size) < frac
+            n_hit = int(hit.sum())
+            if n_hit:
                 lo, hi = self.config.outlier_scale
                 out = out.copy()
-                out[hit] *= self._rng.uniform(lo, hi, size=int(hit.sum()))
+                out[hit] *= rng.uniform(lo, hi, size=n_hit)
         tfrac = self.config.tlb_walk_fraction
         if tfrac > 0:
-            walk = self._rng.random(out.size) < tfrac
-            if np.any(walk):
+            walk = rng.random(out.size) < tfrac
+            n_walk = int(walk.sum())
+            if n_walk:
                 tlo, thi = self.config.tlb_walk_cycles
                 if out is latencies:
                     out = out.copy()
-                out[walk] += self._rng.uniform(tlo, thi, size=int(walk.sum()))
+                out[walk] += rng.uniform(tlo, thi, size=n_walk)
         return out
 
     def _candidate_pages(self, bucket: SampleBucket) -> np.ndarray | None | bool:
@@ -296,15 +403,20 @@ class AddressSampler:
         try:
             return self._page_cache[key]
         except KeyError:
-            pass
-        base, size = bucket.region_base, bucket.region_bytes
+            return self._candidate_pages_key(key)
+
+    def _candidate_pages_key(
+        self, key: tuple[int, int, int, int]
+    ) -> np.ndarray | None | bool:
+        """Resolve (and memoize) candidate pages for a cache-miss ``key``."""
+        base, size, lvl, dst = key
         candidate_pages: np.ndarray | None | bool
-        if bucket.level.is_dram and self.page_table.is_mapped(base):
+        if MemLevel(lvl).is_dram and self.page_table.is_mapped(base):
             if self.page_table.is_replicated(base):
                 # Replicated object: any page is fine, locality is by accessor.
                 candidate_pages = None
             else:
-                pages = self.page_table.pages_on_node(base, size, bucket.dst_node)
+                pages = self.page_table.pages_on_node(base, size, dst)
                 # An empty set means placement changed between run and
                 # sampling; drop quietly (mirrors PEBS races where a page
                 # migrates mid-run).

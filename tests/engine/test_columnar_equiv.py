@@ -1,0 +1,302 @@
+"""Differential oracle: the columnar engine against its scalar reference.
+
+PR 9 rebuilt the sampling hot path as columnar batch kernels and kept the
+scalar path alive behind ``Machine(engine_kind="reference")`` for exactly
+one PR, as a differential oracle.  This suite is that oracle: a
+property-style sweep over randomized topologies, latency models, workload
+shapes, fault plans, and seeds, asserting the two kernels are
+**byte-identical** — not approximately equal — on every serialized
+artifact the pipeline produces:
+
+* streamed :class:`~repro.numasim.engine.IntervalRecord` sequences,
+* the run's finished bucket columns,
+* thinned :class:`~repro.pmu.sample.RawSampleBatch` columns,
+* per-channel Table I feature vectors (through the full profiler,
+  fault injection included).
+
+Identity is compared as a SHA-256 over canonical JSON whose float arrays
+are hex-encoded raw bytes, so a single flipped mantissa bit anywhere
+fails the case.  A second test drives the campaign runner at ``jobs=1``
+and ``jobs=2`` and checks columnar pool payloads against reference twins
+recomputed in-process at the same shard seed.
+
+The randomness is a *sweep*, not flakiness: every case derives from one
+module-level master seed, so the matrix is fixed across runs and
+machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import DrBwProfiler, ProfilerConfig
+from repro.faults import FaultPlan
+from repro.numasim.engine import ExecutionEngine
+from repro.numasim.latency import LatencyModel
+from repro.numasim.machine import Machine
+from repro.numasim.topology import NumaTopology
+from repro.parallel import (
+    CampaignRunner,
+    benchmark_workload_spec,
+    canonical_json,
+    profile_shard,
+    run_profile_shard,
+)
+from repro.parallel.shards import _build_machine, machine_spec
+from repro.pmu.sampler import AddressSampler, SamplerConfig
+from repro.workloads import run_workload
+from repro.workloads.micro import make_countv, make_dotv, make_sumv
+
+MB = 1 << 20
+
+#: Columns shared by bucket columns and interval rates (identity-ordered).
+_BUCKET_COLS = (
+    "thread_id", "cpu", "src_node", "object_id",
+    "region_base", "region_bytes", "level", "dst_node",
+)
+_BATCH_COLS = ("address", "cpu", "thread_id", "level", "latency")
+
+
+# ---------------------------------------------------------------------------
+# Byte-exact serialization
+# ---------------------------------------------------------------------------
+
+def _hex(arr: np.ndarray) -> str:
+    """Raw little-endian bytes of an array, hex-encoded: exact identity."""
+    return np.ascontiguousarray(arr).tobytes().hex()
+
+
+def _digest(obj) -> str:
+    return hashlib.sha256(canonical_json(obj).encode("ascii")).hexdigest()
+
+
+def _interval_json(rec) -> dict:
+    rates = {c: _hex(getattr(rec.rates, c)) for c in _BUCKET_COLS}
+    rates["rate"] = _hex(rec.rates.rate)
+    rates["latency"] = _hex(rec.rates.latency)
+    return {
+        "index": rec.index,
+        "start_cycle": rec.start_cycle,
+        "duration_cycles": rec.duration_cycles,
+        "node_bytes": _hex(rec.node_bytes),
+        "channel_bytes": [
+            [c.src, c.dst, v] for c, v in sorted(rec.channel_bytes.items())
+        ],
+        "rates": rates,
+    }
+
+
+def _run_json(result) -> dict:
+    cols = {c: _hex(getattr(result.bucket_columns, c)) for c in _BUCKET_COLS}
+    cols["n_accesses"] = _hex(result.bucket_columns.n_accesses)
+    cols["mean_latency"] = _hex(result.bucket_columns.mean_latency)
+    return {
+        "total_cycles": result.total_cycles,
+        "thread_finish_cycles": list(result.thread_finish_cycles),
+        "phases": [
+            [t.name, t.start_cycle, t.end_cycle] for t in result.phase_timings
+        ],
+        "buckets": cols,
+    }
+
+
+def _batch_json(batch) -> dict:
+    return {c: _hex(getattr(batch, c)) for c in _BATCH_COLS}
+
+
+def _features_json(profile) -> dict:
+    return {
+        "total_cycles": float(profile.total_cycles),
+        "channels": [
+            [ch.src, ch.dst, [float(v) for v in fv.values]]
+            for ch, fv in sorted(profile.features_per_channel().items())
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# The randomized case matrix (fixed by the master seed)
+# ---------------------------------------------------------------------------
+
+N_CASES = 6
+_BUILDERS = (make_sumv, make_dotv, make_countv)
+
+
+def _make_cases():
+    rng = np.random.default_rng(0x9DBB)
+    cases = []
+    for i in range(N_CASES):
+        n_sockets = int(rng.choice([2, 2, 4]))
+        cores = int(rng.choice([2, 4]))
+        smt = int(rng.choice([1, 2]))
+        topo = NumaTopology(
+            n_sockets=n_sockets,
+            cores_per_socket=cores,
+            smt=smt,
+            dram_bw_bytes_per_cycle=float(np.round(rng.uniform(8.0, 20.0), 2)),
+            link_bw_bytes_per_cycle=float(np.round(rng.uniform(3.0, 8.0), 2)),
+        )
+        lat = LatencyModel(
+            mc_queue_fraction=float(np.round(rng.uniform(0.3, 0.6), 3)),
+            link_queue_fraction=float(np.round(rng.uniform(0.15, 0.35), 3)),
+            max_inflation=float(np.round(rng.uniform(4.0, 10.0), 2)),
+        )
+        builder = _BUILDERS[int(rng.integers(len(_BUILDERS)))]
+        workload = builder(int(rng.choice([8, 16, 32])) * MB)
+        # The Tt-Nn binding needs threads to divide evenly among nodes and
+        # fit each node's logical CPUs.
+        n_nodes = int(rng.integers(1, n_sockets + 1))
+        per_node = int(rng.integers(1, cores * smt + 1))
+        if per_node * n_nodes < 2:
+            per_node = 2
+        n_threads = per_node * n_nodes
+        faults = None
+        if i % 2:
+            faults = FaultPlan(
+                drop_rate=float(np.round(rng.uniform(0.0, 0.05), 3)),
+                corrupt_address_rate=float(np.round(rng.uniform(0.0, 0.02), 3)),
+                cpu_migration_rate=float(np.round(rng.uniform(0.0, 0.02), 3)),
+                seed=int(rng.integers(0, 2**31)),
+            )
+        seed = int(rng.integers(0, 2**31))
+        ident = (
+            f"{workload.name}-s{n_sockets}c{cores}x{smt}"
+            f"-T{n_threads}N{n_nodes}{'-faulted' if faults else ''}"
+        )
+        cases.append(
+            pytest.param(topo, lat, workload, n_threads, n_nodes, faults, seed,
+                         id=ident)
+        )
+    return cases
+
+
+def _kernel_digests(kind, topo, lat, workload, n_threads, n_nodes, faults, seed):
+    """Every serialized artifact of one kernel, as stage → digest."""
+    machine = Machine(topology=topo, latency_model=lat, engine_kind=kind)
+    records = []
+    run = run_workload(
+        workload, machine, n_threads, n_nodes,
+        interval_listener=records.append,
+    )
+    sampler = AddressSampler(
+        SamplerConfig(seed=seed),
+        page_table=run.compiled.page_table,
+        latency_model=machine.latency_model,
+    )
+    if kind == "columnar":
+        batch = sampler.sample_run_batch(run.result)
+    else:
+        batch = sampler.sample_run_reference(run.result)
+    profiler = DrBwProfiler(
+        machine,
+        ProfilerConfig(sampler=SamplerConfig(seed=seed), faults=faults),
+    )
+    profile = profiler.profile(workload, n_threads, n_nodes, seed=seed)
+    return {
+        "intervals": _digest([_interval_json(r) for r in records]),
+        "run": _digest(_run_json(run.result)),
+        "batch": _digest(_batch_json(batch)),
+        "features": _digest(_features_json(profile)),
+    }
+
+
+@pytest.mark.parametrize(
+    "topo, lat, workload, n_threads, n_nodes, faults, seed", _make_cases()
+)
+def test_columnar_matches_reference(
+    topo, lat, workload, n_threads, n_nodes, faults, seed
+):
+    """Both kernels produce byte-identical artifacts at every stage."""
+    reference = _kernel_digests(
+        "reference", topo, lat, workload, n_threads, n_nodes, faults, seed
+    )
+    columnar = _kernel_digests(
+        "columnar", topo, lat, workload, n_threads, n_nodes, faults, seed
+    )
+    assert columnar == reference
+
+
+# ---------------------------------------------------------------------------
+# Campaign path: jobs=1 vs jobs=2 vs in-process reference twins
+# ---------------------------------------------------------------------------
+
+_CAMPAIGN_PAIRS = (("NW", "default"), ("SP", "C"))
+
+
+def test_campaign_columnar_equivalence_across_jobs():
+    """Pool workers (jobs=2), the serial path (jobs=1), and reference twins
+    recomputed in-process at the same shard seed all agree byte-for-byte."""
+    specs = [
+        profile_shard(benchmark_workload_spec(name, inp), 8, 2)
+        for name, inp in _CAMPAIGN_PAIRS
+    ]
+    serial = CampaignRunner(jobs=1, use_cache=False).run(specs)
+    pooled = CampaignRunner(jobs=2, use_cache=False).run(specs)
+    assert len(serial) == len(pooled) == len(specs)
+    for o1, o2 in zip(serial, pooled):
+        assert o1.seed == o2.seed
+        assert o1.canonical_payload == o2.canonical_payload
+        ref_spec = dict(o1.spec)
+        ref_spec["machine"] = {**o1.spec["machine"], "engine": "reference"}
+        ref_payload = run_profile_shard(ref_spec, o1.seed)
+        assert canonical_json(ref_payload) == o1.canonical_payload
+
+
+def test_machine_spec_round_trips_engine_kind():
+    """The shard encoding carries a non-default engine and rebuilds it."""
+    ref = Machine(engine_kind="reference")
+    spec = machine_spec(ref)
+    assert spec == {"engine": "reference"}
+    assert _build_machine(spec).engine_kind == "reference"
+    # The default kernel stays off the wire: old shard hashes are stable.
+    assert machine_spec(Machine()) == {}
+    assert _build_machine({}).engine_kind == "columnar"
+    assert _build_machine(None).engine_kind == "columnar"
+
+
+# ---------------------------------------------------------------------------
+# Bucket finalization is insertion-order independent
+# ---------------------------------------------------------------------------
+
+def _random_bucket_acc(rng: random.Random, n: int) -> dict[tuple, list[float]]:
+    acc = {}
+    while len(acc) < n:
+        key = (
+            rng.randrange(8),            # thread_id
+            rng.randrange(16),           # cpu
+            rng.randrange(4),            # src_node
+            rng.randrange(3),            # object_id
+            rng.randrange(4) * 4096,     # region_base
+            (1 + rng.randrange(4)) * MB,  # region_bytes
+            rng.choice([5, 6]),          # level (LOCAL_DRAM / REMOTE_DRAM)
+            rng.randrange(4),            # dst_node
+            rng.randrange(6),            # lat_bin
+        )
+        acc[key] = [float(1 + rng.randrange(1000)), rng.uniform(1e3, 1e7)]
+    return acc
+
+
+def test_finalize_is_insertion_order_independent():
+    """Regression for the latent nondeterminism fixed in PR 9: finalized
+    buckets must not depend on dict insertion order (which upstream used
+    to inherit from thread scheduling of the accumulation loop)."""
+    rng = random.Random(1729)
+    acc = _random_bucket_acc(rng, 64)
+    items = list(acc.items())
+    rng.shuffle(items)
+    shuffled = dict(items)
+    assert list(acc) != list(shuffled), "shuffle must change insertion order"
+
+    a = ExecutionEngine._finalize_bucket_columns(acc)
+    b = ExecutionEngine._finalize_bucket_columns(shuffled)
+    for col in (*_BUCKET_COLS, "n_accesses", "mean_latency"):
+        assert getattr(a, col).tobytes() == getattr(b, col).tobytes(), col
+
+    assert (
+        ExecutionEngine._finalize_buckets(acc)
+        == ExecutionEngine._finalize_buckets(shuffled)
+    )

@@ -1,0 +1,112 @@
+"""Shared builder for the interval-level engine golden fixture.
+
+Used by both ``scripts/regen_goldens.py`` (to write
+``tests/golden/engine_intervals.json``) and ``tests/test_golden.py`` (to
+assert a fresh in-process rebuild equals the checked-in file exactly —
+the regeneration-is-a-no-op property).  Keeping the builder in one place
+is what makes that test meaningful: the script cannot drift from the
+assertion.
+
+The fixture pins, for two reference topologies:
+
+* the full uncontended :meth:`~repro.numasim.latency.LatencyTable.rows`
+  table (every valid (src, dst, level) triple);
+* every streamed interval's timing, node/channel byte counts, and a
+  SHA-256 digest of the raw bytes of its bucket-rate columns.
+
+Digests hash ``float64``/``int64`` array bytes, so the comparison is
+byte-exact — one flipped mantissa bit anywhere in the engine's interval
+path fails the golden test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.numasim.latency import LatencyTable
+from repro.numasim.machine import Machine
+from repro.numasim.topology import NumaTopology
+from repro.parallel import canonical_json
+from repro.workloads import run_workload
+from repro.workloads.micro import make_dotv, make_sumv
+
+MB = 1 << 20
+
+#: Interval length (cycles) used for both pinned runs.
+INTERVAL_MAX_CYCLES = 1_000_000.0
+
+#: The two pinned configurations: the paper's default 4-socket machine
+#: and a smaller 2-socket SMT-off variant, on different micro workloads.
+PINNED = (
+    {
+        "label": "t4_default_sumv",
+        "topology": {},
+        "workload": "sumv",
+        "vector_bytes": 32 * MB,
+        "n_threads": 8,
+        "n_nodes": 2,
+    },
+    {
+        "label": "t2_smt1_dotv",
+        "topology": {"n_sockets": 2, "cores_per_socket": 4, "smt": 1},
+        "workload": "dotv",
+        "vector_bytes": 16 * MB,
+        "n_threads": 4,
+        "n_nodes": 2,
+    },
+)
+
+_RATE_COLS = (
+    "thread_id", "cpu", "src_node", "object_id", "region_base",
+    "region_bytes", "level", "dst_node", "rate", "latency",
+)
+_BUILDERS = {"sumv": make_sumv, "dotv": make_dotv}
+
+
+def _bucket_digest(rates) -> str:
+    payload = {
+        col: np.ascontiguousarray(getattr(rates, col)).tobytes().hex()
+        for col in _RATE_COLS
+    }
+    return hashlib.sha256(canonical_json(payload).encode("ascii")).hexdigest()
+
+
+def _interval_entry(rec) -> dict:
+    return {
+        "index": rec.index,
+        "start_cycle": float(rec.start_cycle),
+        "duration_cycles": float(rec.duration_cycles),
+        "node_bytes": [float(v) for v in rec.node_bytes],
+        "channel_bytes": [
+            [c.src, c.dst, float(v)]
+            for c, v in sorted(rec.channel_bytes.items())
+        ],
+        "bucket_digest": _bucket_digest(rec.rates),
+    }
+
+
+def build_interval_golden() -> dict:
+    runs = {}
+    for cfg in PINNED:
+        topo = NumaTopology(**cfg["topology"])
+        machine = Machine(topology=topo)
+        workload = _BUILDERS[cfg["workload"]](cfg["vector_bytes"])
+        records = []
+        run = run_workload(
+            workload, machine, cfg["n_threads"], cfg["n_nodes"],
+            interval_listener=records.append,
+            interval_max_cycles=INTERVAL_MAX_CYCLES,
+        )
+        runs[cfg["label"]] = {
+            "topology": cfg["topology"],
+            "workload": cfg["workload"],
+            "vector_bytes": cfg["vector_bytes"],
+            "n_threads": cfg["n_threads"],
+            "n_nodes": cfg["n_nodes"],
+            "total_cycles": float(run.total_cycles),
+            "latency_table": LatencyTable(machine.latency_model, topo).rows(),
+            "intervals": [_interval_entry(r) for r in records],
+        }
+    return {"interval_max_cycles": INTERVAL_MAX_CYCLES, "runs": runs}

@@ -1,0 +1,101 @@
+"""Property tests: the precomputed latency table is *bit-identical* to the
+scalar model.
+
+The columnar engine replaced per-access calls to
+:meth:`LatencyModel.effective_latency` with constants folded once into a
+:class:`LatencyTable`.  That substitution is only sound if the folded
+recombination reproduces the scalar float operations exactly — not to a
+tolerance — for every (src, dst, level) triple, utilization, and model
+parameterization.  Hypothesis sweeps that space; equality is ``==`` on
+floats throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.numasim.latency import LatencyModel, LatencyTable  # noqa: E402
+from repro.numasim.topology import NumaTopology  # noqa: E402
+from repro.types import MemLevel  # noqa: E402
+
+_MODEL_STRATEGY = dict(
+    n_sockets=st.sampled_from([1, 2, 4, 8]),
+    mc_queue_fraction=st.floats(0.05, 0.95),
+    link_queue_fraction=st.floats(0.05, 0.45),
+    max_inflation=st.floats(1.5, 25.0),
+)
+
+
+def _build(n_sockets, mc_queue_fraction, link_queue_fraction, max_inflation):
+    model = LatencyModel(
+        mc_queue_fraction=mc_queue_fraction,
+        link_queue_fraction=link_queue_fraction,
+        max_inflation=max_inflation,
+    )
+    table = LatencyTable(model, NumaTopology(n_sockets=n_sockets))
+    return model, table
+
+
+@given(
+    **_MODEL_STRATEGY,
+    mc_rho=st.floats(0.0, 1.5),
+    link_rho=st.floats(0.0, 1.5),
+    random_access=st.booleans(),
+)
+@settings(max_examples=150, deadline=None)
+def test_lookup_is_bit_identical_to_effective_latency(
+    n_sockets, mc_queue_fraction, link_queue_fraction, max_inflation,
+    mc_rho, link_rho, random_access,
+):
+    model, table = _build(
+        n_sockets, mc_queue_fraction, link_queue_fraction, max_inflation
+    )
+    for level in MemLevel:
+        expected = model.effective_latency(
+            level, mc_rho=mc_rho, link_rho=link_rho, random_access=random_access
+        )
+        for src in range(n_sockets):
+            for dst in range(n_sockets):
+                if (src == dst) == (level is MemLevel.REMOTE_DRAM):
+                    continue  # invalid triple, covered below
+                got = table.lookup(
+                    level, src, dst,
+                    mc_rho=mc_rho, link_rho=link_rho,
+                    random_access=random_access,
+                )
+                assert got == expected, (level, src, dst)
+
+
+@given(**_MODEL_STRATEGY)
+@settings(max_examples=50, deadline=None)
+def test_rows_pin_every_uncontended_triple(
+    n_sockets, mc_queue_fraction, link_queue_fraction, max_inflation
+):
+    model, table = _build(
+        n_sockets, mc_queue_fraction, link_queue_fraction, max_inflation
+    )
+    rows = table.rows()
+    # Exactly the valid triples: local levels on the diagonal, remote DRAM
+    # off it.
+    n_local_levels = len([lv for lv in model.base if lv is not MemLevel.REMOTE_DRAM])
+    expected_n = n_local_levels * n_sockets + n_sockets * (n_sockets - 1)
+    assert len(rows) == expected_n
+    assert rows == sorted(
+        rows, key=lambda r: (int(MemLevel[r["level"]]), r["src"], r["dst"])
+    )
+    for row in rows:
+        level = MemLevel[row["level"]]
+        assert row["latency"] == model.effective_latency(level)
+
+
+def test_lookup_rejects_invalid_triples():
+    model, table = _build(2, 0.55, 0.25, 8.0)
+    with pytest.raises(ValueError, match="src != dst"):
+        table.lookup(MemLevel.REMOTE_DRAM, 1, 1)
+    with pytest.raises(ValueError, match="src == dst"):
+        table.lookup(MemLevel.LOCAL_DRAM, 0, 1)
+    with pytest.raises(ValueError, match="outside"):
+        table.lookup(MemLevel.L1, 0, 5)

@@ -30,6 +30,13 @@ def results_dir(tmp_path):
         "agreement": 0.99, "channel_windows": 400,
     })
     write_result(d, "table3_confusion", {"cv_accuracy": 0.974})
+    write_result(d, "engine_hot_path", {
+        "samples_per_sec": 1_500_000.0,
+        "reference_samples_per_sec": 450_000.0,
+        "speedup_vs_reference": 3.333,
+        "speedup_vs_pr8_baseline": 3.482,
+        "byte_identical": True,
+    })
     write_result(d, "parallel_scaling", {
         "speedup_jobs2": 1.6, "speedup_jobs4": 2.4,
         "warm_cache_seconds": 0.01, "identical": True, "usable_cpus": 4,
@@ -123,6 +130,13 @@ def test_build_trajectory_and_validate(results_dir):
         "traces_joined": 140, "job_traces": 140, "breached": False,
         "plane_overhead_fraction": 0.0022,
     }
+    assert doc["engine"] == {
+        "samples_per_sec": 1_500_000.0,
+        "reference_samples_per_sec": 450_000.0,
+        "speedup_vs_reference": 3.333,
+        "speedup_vs_pr8_baseline": 3.482,
+        "byte_identical": True,
+    }
     # With no explicit wall time the overhead pass's own measurement wins.
     assert bench_all.build_trajectory(results_dir)["wall_time_s"] == 12.5
 
@@ -184,6 +198,17 @@ def test_validate_rejects_broken_documents(results_dir):
                for e in bench_all.validate_trajectory(bad))
     bad["slo"] = 0.2
     assert any("slo" in e for e in bench_all.validate_trajectory(bad))
+    # And the engine section (pre-PR9 points lack it).
+    old_point = {k: v for k, v in doc.items() if k != "engine"}
+    assert bench_all.validate_trajectory(old_point) == []
+    bad = json.loads(json.dumps(doc))
+    bad["engine"]["byte_identical"] = "yes"
+    assert any("byte_identical" in e for e in bench_all.validate_trajectory(bad))
+    bad["engine"]["samples_per_sec"] = True
+    assert any("engine.samples_per_sec" in e
+               for e in bench_all.validate_trajectory(bad))
+    bad["engine"] = [1]
+    assert any("engine" in e for e in bench_all.validate_trajectory(bad))
 
 
 def test_regression_gate(results_dir, tmp_path, capsys):
@@ -204,12 +229,26 @@ def test_regression_gate(results_dir, tmp_path, capsys):
     assert bench_all.check_regression(current, prev_path) == 1
     assert "regressed" in capsys.readouterr().out
 
+    # The engine hot path gets its own gate once both points carry it.
+    previous["throughput"]["samples_per_sec"] = 310_000.0
+    previous["engine"]["samples_per_sec"] = 1_400_000.0
+    prev_path.write_text(json.dumps(previous))
+    assert bench_all.check_regression(current, prev_path) == 0
+    previous["engine"]["samples_per_sec"] = 2_000_000.0
+    prev_path.write_text(json.dumps(previous))
+    assert bench_all.check_regression(current, prev_path) == 1
+    assert "engine hot path regressed" in capsys.readouterr().out
+    # A pre-PR9 previous point without the section is not a regression.
+    del previous["engine"]
+    prev_path.write_text(json.dumps(previous))
+    assert bench_all.check_regression(current, prev_path) == 0
+
     # A corrupt previous point fails loudly rather than silently passing.
     prev_path.write_text(json.dumps({"schema": "nope"}))
     assert bench_all.check_regression(current, prev_path) == 1
 
 
-@pytest.mark.parametrize("pr", [3, 4, 6, 7, 8])
+@pytest.mark.parametrize("pr", [3, 4, 6, 7, 8, 9])
 def test_committed_trajectory_point_is_valid(pr):
     path = pathlib.Path(__file__).parent.parent / f"BENCH_PR{pr}.json"
     doc = json.loads(path.read_text())
@@ -230,3 +269,7 @@ def test_committed_trajectory_point_is_valid(pr):
         assert doc["slo"]["knee_detected"] is True
         assert doc["slo"]["traces_joined"] == doc["slo"]["job_traces"]
         assert doc["slo"]["plane_overhead_fraction"] < 0.05
+    if pr >= 9:
+        assert doc["engine"]["byte_identical"] is True
+        assert doc["engine"]["speedup_vs_reference"] >= 3.0
+        assert doc["engine"]["speedup_vs_pr8_baseline"] >= 3.0

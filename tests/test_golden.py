@@ -93,6 +93,26 @@ def test_golden_fixtures_are_canonical():
     rewritten by regen_goldens.py (key order, indentation, trailing
     newline).
     """
-    for name in ("table1_features.json", "classifier_tree.json"):
+    for name in (
+        "table1_features.json",
+        "classifier_tree.json",
+        "engine_intervals.json",
+    ):
         raw = (GOLDEN_DIR / name).read_text()
         assert raw == json.dumps(json.loads(raw), indent=2, sort_keys=True) + "\n"
+
+
+def test_engine_interval_golden_regeneration_is_a_noop():
+    """A fresh in-process rebuild of the interval-level fixture equals the
+    checked-in file *exactly* — no tolerance.
+
+    The fixture's bucket digests hash raw float64 bytes, so this pins the
+    engine's streamed interval output (timings, node/channel byte counts,
+    bucket-rate columns) and the precomputed latency table bit-for-bit
+    for both reference topologies.  Running ``scripts/regen_goldens.py``
+    on an unchanged tree must be a no-op; this test is that property.
+    """
+    from tests.golden_intervals import build_interval_golden
+
+    expected = load_golden("engine_intervals.json")
+    assert build_interval_golden() == expected
