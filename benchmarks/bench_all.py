@@ -6,10 +6,11 @@ trajectory files in the repo root (``BENCH_PR3.json``, ``BENCH_PR4.json``,
 ...), each summarizing one PR's benchmark pass: wall time, profiler
 throughput, classifier accuracy, monitor overhead/agreement, parallel
 scaling, resilience overhead/chaos-identity, fleet ingest/overhead, the
-service SLO verdict with its request-plane overhead, and (from PR 9) the
-columnar engine hot-path throughput against its scalar reference oracle.
-CI regenerates the current point and fails when profiler or engine
-hot-path throughput regresses more than 10% against the previous
+service SLO verdict with its request-plane overhead, (from PR 9) the
+columnar engine hot-path throughput, and (from PR 10) the multi-process
+serving sweep (sustained RPS per worker count, scaling ratio, byte
+identity).  CI regenerates the current point and fails when profiler or
+engine hot-path throughput regresses more than 10% against the previous
 committed point.
 
 Usage::
@@ -40,7 +41,7 @@ RESULTS_DIR = BENCH_DIR / "results"
 
 TRAJECTORY_SCHEMA = "drbw-bench-trajectory"
 TRAJECTORY_SCHEMA_VERSION = 1
-PR_NUMBER = 9
+PR_NUMBER = 10
 
 #: The benches whose JSON results feed the trajectory point.
 CORE_BENCHES = (
@@ -51,6 +52,7 @@ CORE_BENCHES = (
     "bench_resilience.py",
     "bench_fleet.py",
     "bench_slo.py",
+    "bench_mpserve.py",
 )
 
 #: Maximum tolerated samples/sec drop against the previous point.
@@ -87,6 +89,7 @@ def build_trajectory(
     slo_loadgen = load_result(results_dir, "slo_loadgen")
     slo_plane = load_result(results_dir, "slo_plane_overhead")
     engine = load_result(results_dir, "engine_hot_path")
+    mpserve = load_result(results_dir, "mpserve")
     missing = [
         name
         for name, payload in (
@@ -100,6 +103,7 @@ def build_trajectory(
             ("slo_loadgen", slo_loadgen),
             ("slo_plane_overhead", slo_plane),
             ("engine_hot_path", engine),
+            ("mpserve", mpserve),
         )
         if payload is None
     ]
@@ -118,20 +122,30 @@ def build_trajectory(
         "throughput": {
             "samples_per_sec": round(float(overhead["samples_per_sec"]), 1),
         },
+        # The scalar reference kernel was retired in PR 10; from here on
+        # the engine point carries the columnar throughput against the
+        # PR8 trajectory baseline only (older points keep their
+        # reference_* keys — the validator accepts both shapes).
         "engine": {
             "samples_per_sec": round(float(engine["samples_per_sec"]), 1),
-            "reference_samples_per_sec": round(
-                float(engine["reference_samples_per_sec"]), 1
-            ),
-            "speedup_vs_reference": round(
-                float(engine["speedup_vs_reference"]), 3
-            ),
             "speedup_vs_pr8_baseline": (
                 None
                 if engine["speedup_vs_pr8_baseline"] is None
                 else round(float(engine["speedup_vs_pr8_baseline"]), 3)
             ),
             "byte_identical": bool(engine["byte_identical"]),
+        },
+        "mpserve": {
+            "sustained_rps": {
+                w: round(float(rps), 3)
+                for w, rps in mpserve["sustained_rps"].items()
+            },
+            "scaling_4w": round(float(mpserve["scaling_4w"]), 3),
+            "scaling_gate_enforced": bool(mpserve["scaling_gate_enforced"]),
+            "byte_identical": bool(mpserve["byte_identical"]),
+            "availability_pre_knee": bool(mpserve["availability_pre_knee"]),
+            "knee_detected": bool(mpserve["knee_detected"]),
+            "cpus": int(mpserve["cpus"]),
         },
         "classifier": {
             "cv_accuracy": round(float(confusion["cv_accuracy"]), 4),
@@ -274,18 +288,23 @@ def validate_trajectory(doc: object) -> list[str]:
                     f"got {fleet.get('order_independent')!r}"
                 )
     # The engine section only exists from PR 9 on (the columnar batch
-    # kernel); when present it must carry both kernels' throughput, the
-    # measured speedup, and the byte-identity bit the bench asserted.
+    # kernel); when present it must carry the columnar throughput and the
+    # byte-identity bit.  PR 9 points also carried the retired scalar
+    # reference kernel's numbers — optional now, but when present they
+    # must still be numbers (old committed points stay valid).
     engine = doc.get("engine")
     if engine is not None:
         if not isinstance(engine, dict):
             errors.append(f"engine must be an object, got {engine!r}")
         else:
-            for key in (
-                "samples_per_sec",
-                "reference_samples_per_sec",
-                "speedup_vs_reference",
-            ):
+            val = engine.get("samples_per_sec")
+            if not isinstance(val, (int, float)) or isinstance(val, bool):
+                errors.append(
+                    f"engine.samples_per_sec must be a number, got {val!r}"
+                )
+            for key in ("reference_samples_per_sec", "speedup_vs_reference"):
+                if key not in engine:
+                    continue
                 val = engine.get(key)
                 if not isinstance(val, (int, float)) or isinstance(val, bool):
                     errors.append(f"engine.{key} must be a number, got {val!r}")
@@ -294,6 +313,36 @@ def validate_trajectory(doc: object) -> list[str]:
                     f"engine.byte_identical must be a boolean, "
                     f"got {engine.get('byte_identical')!r}"
                 )
+    # The mpserve section only exists from PR 10 on (multi-process
+    # serving); when present it must carry the per-worker-count sustained
+    # RPS, the 4-worker scaling ratio, and the byte-identity bit.
+    mpserve = doc.get("mpserve")
+    if mpserve is not None:
+        if not isinstance(mpserve, dict):
+            errors.append(f"mpserve must be an object, got {mpserve!r}")
+        else:
+            rps = mpserve.get("sustained_rps")
+            if not isinstance(rps, dict) or not rps:
+                errors.append(
+                    f"mpserve.sustained_rps must be a non-empty object, "
+                    f"got {rps!r}"
+                )
+            else:
+                for w, val in rps.items():
+                    if not isinstance(val, (int, float)) or isinstance(val, bool):
+                        errors.append(
+                            f"mpserve.sustained_rps[{w!r}] must be a number, "
+                            f"got {val!r}"
+                        )
+            val = mpserve.get("scaling_4w")
+            if not isinstance(val, (int, float)) or isinstance(val, bool):
+                errors.append(f"mpserve.scaling_4w must be a number, got {val!r}")
+            for key in ("byte_identical", "availability_pre_knee"):
+                if not isinstance(mpserve.get(key), bool):
+                    errors.append(
+                        f"mpserve.{key} must be a boolean, "
+                        f"got {mpserve.get(key)!r}"
+                    )
     # The slo section only exists from PR 8 on; when present it must
     # carry the plane-overhead number, the quantile cross-check bit, and
     # the published-SLO verdict.

@@ -1,20 +1,17 @@
-"""Columnar vs reference engine: the sampling-hot-path benchmark (ISSUE 9).
+"""Columnar engine hot path: the sampling-throughput benchmark.
 
-The PR 9 tentpole rebuilt the engine/sampler hot path — stationary-span
-solving, bucket accumulation, and PEBS thinning — as columnar batch
-kernels, keeping the scalar path alive behind ``engine="reference"`` as a
-differential oracle.  This benchmark measures exactly that hot path on
-the Table VII workload set: ``machine.run`` through a finished
-:class:`~repro.pmu.sample.RawSampleBatch`, for both kernels, interleaved
-min-of-3.  The reference side runs the PR8-era code path (scalar solver,
-``SampleBucket`` rehydration, per-bucket thinning), so its samples/s
-reproduces the PR8 trajectory baseline on the same machine — making the
-columnar side's number directly comparable to that baseline.
+PR 9 rebuilt the engine/sampler hot path — stationary-span solving,
+bucket accumulation, and PEBS thinning — as columnar batch kernels and
+proved them against the scalar reference with a differential oracle.
+PR 10 retired that reference kernel, so this benchmark now measures the
+columnar path alone on the Table VII workload set: ``machine.run``
+through a finished :class:`~repro.pmu.sample.RawSampleBatch`, min-of-3.
 
 Two claims are checked, not hoped:
 
-* **byte identity** — each benchmark's columnar batch must equal the
-  reference batch field-for-field, byte-for-byte;
+* **byte determinism** — each benchmark's batch must be byte-identical
+  across repetitions (the oracle's surviving in-bench guard; cross-commit
+  stability is pinned by the interval goldens);
 * **>= 3x** — columnar hot-path samples/s must be at least three times
   the PR8 trajectory baseline (read from ``BENCH_PR8.json``).
 """
@@ -36,8 +33,8 @@ from repro.workloads.suites.registry import BENCHMARKS
 
 ENGINE_CONFIG = RunConfig(64, 4)
 REPETITIONS = 3
-#: Acceptance bar from ISSUE 9: columnar hot-path throughput must be at
-#: least this multiple of the PR8 trajectory baseline.
+#: Acceptance bar carried over from ISSUE 9: columnar hot-path throughput
+#: must be at least this multiple of the PR8 trajectory baseline.
 SPEEDUP_FLOOR = 3.0
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -63,78 +60,58 @@ def _batch_bytes(batch) -> tuple[bytes, ...]:
 
 
 def test_engine_hot_path(benchmark, results_dir):
-    columnar = Machine(engine_kind="columnar")
-    reference = Machine(engine_kind="reference")
+    machine = Machine()
     sampler_cfg = SamplerConfig(seed=0)
     compiled = []
     for name, inp in TABLE7_BENCHMARKS:
         workload = BENCHMARKS[name].build(inp)
         bindings = bind_threads_tt_nn(
-            columnar.topology, ENGINE_CONFIG.n_threads, ENGINE_CONFIG.n_nodes
+            machine.topology, ENGINE_CONFIG.n_threads, ENGINE_CONFIG.n_nodes
         )
-        compiled.append((name, compile_workload(workload, columnar.topology, bindings)))
+        compiled.append((name, compile_workload(workload, machine.topology, bindings)))
 
     def run():
-        col_best: dict[str, float] = {}
-        ref_best: dict[str, float] = {}
+        best: dict[str, float] = {}
         samples: dict[str, int] = {}
-        # Interleave the two kernels within each repetition so scheduler
-        # noise hits both sides alike; keep the per-benchmark minimum.
+        digests: dict[str, tuple[bytes, ...]] = {}
         for _ in range(REPETITIONS):
             for name, cw in compiled:
                 t0 = time.perf_counter()
-                col_run = columnar.run(cw.programs)
-                col_batch = AddressSampler(
+                result = machine.run(cw.programs)
+                batch = AddressSampler(
                     sampler_cfg,
                     page_table=cw.page_table,
-                    latency_model=columnar.latency_model,
-                ).sample_run_batch(col_run)
-                col_best[name] = min(
-                    col_best.get(name, float("inf")), time.perf_counter() - t0
+                    latency_model=machine.latency_model,
+                ).sample_run_batch(result)
+                best[name] = min(
+                    best.get(name, float("inf")), time.perf_counter() - t0
                 )
-                t0 = time.perf_counter()
-                ref_run = reference.run(cw.programs)
-                ref_batch = AddressSampler(
-                    sampler_cfg,
-                    page_table=cw.page_table,
-                    latency_model=reference.latency_model,
-                ).sample_run_reference(ref_run)
-                ref_best[name] = min(
-                    ref_best.get(name, float("inf")), time.perf_counter() - t0
+                raw = _batch_bytes(batch)
+                prev = digests.setdefault(name, raw)
+                assert raw == prev, (
+                    f"{name}: batch bytes differ between repetitions"
                 )
-                assert _batch_bytes(col_batch) == _batch_bytes(ref_batch), (
-                    f"{name}: columnar batch differs from the reference oracle"
-                )
-                samples[name] = len(col_batch)
-        return col_best, ref_best, samples
+                samples[name] = len(batch)
+        return best, samples
 
-    col_best, ref_best, samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    best, samples = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    total_col = sum(col_best.values())
-    total_ref = sum(ref_best.values())
+    total = sum(best.values())
     total_samples = sum(samples.values())
-    samples_per_sec = total_samples / total_col if total_col else 0.0
-    reference_samples_per_sec = total_samples / total_ref if total_ref else 0.0
-    speedup = samples_per_sec / reference_samples_per_sec if total_ref else 0.0
+    samples_per_sec = total_samples / total if total else 0.0
     baseline = _pr8_baseline()
     vs_baseline = samples_per_sec / baseline if baseline else None
 
     lines = [
-        "columnar vs reference engine hot path (run + sample), "
-        f"min of {REPETITIONS} interleaved runs ({ENGINE_CONFIG.name}):",
-        f"{'Code':<15}{'columnar (s)':>13}{'reference (s)':>14}{'speedup':>9}",
+        "columnar engine hot path (run + sample), "
+        f"min of {REPETITIONS} runs ({ENGINE_CONFIG.name}):",
+        f"{'Code':<15}{'seconds':>10}{'samples':>12}",
     ]
     for name, _ in TABLE7_BENCHMARKS:
-        lines.append(
-            f"{name:<15}{col_best[name]:>13.3f}{ref_best[name]:>14.3f}"
-            f"{ref_best[name] / col_best[name]:>8.2f}x"
-        )
+        lines.append(f"{name:<15}{best[name]:>10.3f}{samples[name]:>12,}")
+    lines.append(f"{'aggregate':<15}{total:>10.3f}{total_samples:>12,}")
     lines.append(
-        f"{'aggregate':<15}{total_col:>13.3f}{total_ref:>14.3f}{speedup:>8.2f}x"
-    )
-    lines.append(
-        f"(columnar {samples_per_sec:,.0f} samples/s, "
-        f"reference {reference_samples_per_sec:,.0f} samples/s"
+        f"({samples_per_sec:,.0f} samples/s"
         + (f", {vs_baseline:.2f}x the PR8 baseline {baseline:,.1f})" if baseline
            else ", no PR8 baseline found)")
     )
@@ -142,18 +119,15 @@ def test_engine_hot_path(benchmark, results_dir):
         results_dir, "engine_hot_path", "\n".join(lines),
         data={
             "samples_per_sec": samples_per_sec,
-            "reference_samples_per_sec": reference_samples_per_sec,
-            "speedup_vs_reference": speedup,
             "pr8_baseline_samples_per_sec": baseline,
             "speedup_vs_pr8_baseline": vs_baseline,
-            "byte_identical": True,  # asserted per benchmark above
-            "columnar_seconds": col_best,
-            "reference_seconds": ref_best,
+            "byte_identical": True,  # repetition determinism asserted above
+            "columnar_seconds": best,
             "samples": samples,
             "repetitions": REPETITIONS,
         },
     )
-    # The acceptance bar from ISSUE 9.
+    # The acceptance bar carried over from ISSUE 9.
     if baseline is not None:
         assert samples_per_sec >= SPEEDUP_FLOOR * baseline, (
             f"columnar hot path at {samples_per_sec:,.0f} samples/s is below "

@@ -318,8 +318,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bind address (default: 127.0.0.1)")
     p_serve.add_argument("--port", type=int, default=8787,
                          help="listen port, 0 for OS-assigned (default: 8787)")
-    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
-                         help="job worker threads (default: 2)")
+    p_serve.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="server worker processes (default: 1); N > 1 "
+                              "pre-forks N full service processes behind one "
+                              "shared listener with cross-process "
+                              "single-flight (see docs/service.md)")
+    p_serve.add_argument("--threads", type=int, default=2, metavar="M",
+                         help="job worker threads per process (default: 2)")
+    p_serve.add_argument("--listener", choices=("auto", "reuseport", "inherit"),
+                         default="auto",
+                         help="multi-process listener strategy: SO_REUSEPORT "
+                              "per-worker sockets, or one pre-fork inherited "
+                              "socket (default: auto — reuseport where the "
+                              "platform has it)")
+    p_serve.add_argument("--batch-fraction", type=float, default=0.5,
+                         metavar="F",
+                         help="admit X-Drbw-Priority: batch jobs only while "
+                              "queue depth < F * queue size (default: 0.5)")
     p_serve.add_argument("--queue-size", type=int, default=16, metavar="N",
                          help="bounded job queue depth; full queue answers "
                               "429 with Retry-After (default: 16)")
@@ -587,54 +602,48 @@ def _cmd_detect_json(args, want_diagnosis: bool) -> int:
 def cmd_serve(args) -> int:
     import signal
 
-    from repro.parallel.cache import ResultCache
-    from repro.service import (
-        SERVICE_CACHE_SCHEMA,
-        AccessLog,
-        JsonlWriter,
-        ServiceQueue,
-        ServiceServer,
+    from repro.service.mpserve import (
+        ServiceSupervisor,
+        WorkerConfig,
+        build_worker_server,
     )
 
-    executor = None
-    infra = None
-    if args.infra_faults:
-        from repro.faults import faulty_executor, parse_infra_plan
-
-        infra = parse_infra_plan(args.infra_faults)
-        executor = faulty_executor(infra)
-        print(f"infra faults: {infra.describe()}", file=sys.stderr)
-    cache = None
-    if not args.no_cache:
-        if infra is not None:
-            from repro.faults import FaultyResultCache
-
-            cache = FaultyResultCache(
-                args.cache_dir, schema=SERVICE_CACHE_SCHEMA, infra_plan=infra
-            )
-        else:
-            cache = ResultCache(args.cache_dir, schema=SERVICE_CACHE_SCHEMA)
-    queue_opts: dict = {}
-    if executor is not None:
-        queue_opts["executor"] = executor
-    access_log = AccessLog(args.access_log) if args.access_log else None
-    span_log = JsonlWriter(args.spans) if args.spans else None
-    jobq = ServiceQueue(
+    cfg = WorkerConfig(
+        host=args.host,
+        port=args.port,
         workers=args.workers,
+        threads=args.threads,
         capacity=args.queue_size,
-        cache=cache,
+        rate=args.rate,
+        burst=args.burst,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
         telemetry_enabled=not args.no_telemetry,
         job_timeout_s=args.job_timeout,
         job_max_attempts=args.job_attempts,
         degraded_window_s=args.degraded_window,
-        access_log=access_log,
-        span_log=span_log,
-        **queue_opts,
+        infra_faults=args.infra_faults,
+        access_log=args.access_log,
+        span_log=args.spans,
+        listener=args.listener,
+        batch_depth_fraction=args.batch_fraction,
     )
-    server = ServiceServer(
-        jobq, host=args.host, port=args.port, rate=args.rate, burst=args.burst,
-        access_log=access_log,
-    )
+    if args.infra_faults:
+        from repro.faults import parse_infra_plan
+
+        plan = parse_infra_plan(args.infra_faults)
+        print(f"infra faults: {plan.describe()}", file=sys.stderr)
+
+    if args.workers > 1:
+        # Multi-process mode: the supervisor pre-forks args.workers full
+        # service processes sharing one listener, one cache directory,
+        # and the single-flight claim protocol.
+        supervisor = ServiceSupervisor(cfg)
+        code = supervisor.serve_forever()
+        print("drbw serve: drained, exiting", file=sys.stderr)
+        return code
+
+    server, closers = build_worker_server(cfg)
 
     def _graceful(signum, frame) -> None:
         print("drbw serve: signal received, draining ...", file=sys.stderr)
@@ -644,10 +653,8 @@ def cmd_serve(args) -> int:
     signal.signal(signal.SIGINT, _graceful)
     print(f"drbw service listening on {server.url}", file=sys.stderr)
     server.serve_forever()
-    if access_log is not None:
-        access_log.close()
-    if span_log is not None:
-        span_log.close()
+    for log in closers:
+        log.close()
     print("drbw serve: drained, exiting", file=sys.stderr)
     return 0
 

@@ -22,15 +22,13 @@ Contention is emergent: nothing in the engine knows about "good" or "rmc"
 labels — a saturated channel simply inflates remote latencies and throttles
 the threads crossing it, which is precisely what DR-BW's features observe.
 
-Two interchangeable solver/recorder implementations exist behind the
-``engine=`` switch (see :class:`ExecutionEngine`): the default
-``"columnar"`` kernel lays each stationary span out as parallel numpy
-columns (one row per (thread, stream, level, dst) combination) and
-evaluates the fixed point with vectorized latency math, while
-``"reference"`` is the original per-object scalar path, kept for this one
-release as the differential-test oracle.  The two are bit-identical —
-every float is produced by the same IEEE-754 operation sequence — which
-``tests/engine/test_columnar_equiv.py`` enforces.
+The solver/recorder is the columnar kernel: each stationary span is laid
+out as parallel numpy columns (one row per (thread, stream, level, dst)
+combination) and the fixed point is evaluated with vectorized latency
+math.  Its bit-exact behaviour is pinned by the interval goldens and
+hypothesis property tests in ``tests/engine/`` — the scalar reference
+kernel that once served as the differential oracle was retired after the
+columnar path earned a trajectory point (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -48,12 +46,7 @@ from repro.numasim.cachemodel import (
     PatternKind,
     StreamProfile,
 )
-from repro.numasim.fairness import (
-    FairnessProblem,
-    build_membership,
-    solve_max_min,
-    water_fill,
-)
+from repro.numasim.fairness import build_membership, water_fill
 from repro.numasim.interconnect import InterconnectFabric
 from repro.numasim.latency import LatencyModel, LatencyTable, queueing_delay_factor
 from repro.numasim.memctrl import DEFAULT_HISTORY_LIMIT, MemoryControllerSet
@@ -74,17 +67,11 @@ __all__ = [
     "PhaseTiming",
     "RunResult",
     "ExecutionEngine",
-    "ENGINE_KINDS",
 ]
 
 _EPS = 1e-9
 _RATE_ITERATIONS = 8
 _RATE_DAMPING = 0.5
-
-#: The two solver/recorder implementations behind ``ExecutionEngine(engine=)``.
-#: ``"reference"`` (the original scalar path) exists only as the differential
-#: oracle for the columnar kernel and is scheduled for removal next release.
-ENGINE_KINDS = ("columnar", "reference")
 
 
 @dataclass(frozen=True)
@@ -410,9 +397,9 @@ class _SpanFlows:
 class _SpanLayout:
     """Columnar row layout of one stationary span.
 
-    One row per (thread, stream, level, dst) combination, in the exact
-    order the reference kernel visits them (threads, then streams, then
-    ``fractions`` insertion order, then ascending remote dst).  ``prog``
+    One row per (thread, stream, level, dst) combination, in the fixed
+    canonical visit order (threads, then streams, then ``fractions``
+    insertion order, then ascending remote dst) the goldens are pinned to.  ``prog``
     is the per-thread rate program evaluated by ``_rates_at``: a list of
     ``(compute_cycles_per_access, streams)`` where each stream entry is
     ``(weight, mlp, terms)`` and each term ``(frac, row_idx, sub)`` —
@@ -455,20 +442,12 @@ class ExecutionEngine:
         barriers: bool = True,
         link_capacity_overrides: dict[Channel, float] | None = None,
         history_limit: int | None = None,
-        engine: str = "columnar",
     ) -> None:
-        if engine not in ENGINE_KINDS:
-            raise SimulationError(
-                f"unknown engine kind {engine!r}; expected one of {ENGINE_KINDS}"
-            )
         self.topology = topology
         self.latency_model = latency_model or LatencyModel()
         self.cache_model = cache_model or CacheModel()
         self.barriers = barriers
         self._link_overrides = link_capacity_overrides
-        #: Which solver/recorder kernel ``run`` dispatches to; see
-        #: :data:`ENGINE_KINDS`.  Both produce bit-identical results.
-        self.engine_kind = engine
         #: Per-(src, dst, level) latency constants, folded once from the
         #: model so the columnar kernel never re-derives them per span.
         self.latency_table = LatencyTable(self.latency_model, topology)
@@ -582,7 +561,6 @@ class ExecutionEngine:
         guard = 0
         max_events = sum(len(p.phases) for p in programs) * 4 + 64
         interval_index = 0
-        use_columnar = self.engine_kind == "columnar"
 
         while True:
             runnable = self._runnable(states)
@@ -591,11 +569,8 @@ class ExecutionEngine:
                     break
                 raise SimulationError("deadlock: unfinished threads but none runnable")
 
-            if use_columnar:
-                plan = self._solve_span_columnar(runnable, extra_stall_cycles_per_access)
-                rates = plan.rates
-            else:
-                ctxs, rates = self._solve_interval(runnable, extra_stall_cycles_per_access)
+            plan = self._solve_span_columnar(runnable, extra_stall_cycles_per_access)
+            rates = plan.rates
 
             # Time to the next phase completion among runnable threads.
             dts = [
@@ -607,19 +582,11 @@ class ExecutionEngine:
                 raise SimulationError(f"bad interval length {dt}")
             dt = max(dt, _EPS)
 
-            if use_columnar:
-                self._record_span_columnar(
-                    now, dt, runnable, plan, memctrl, fabric, bucket_acc, phase_spans
-                )
-            else:
-                self._record_interval(
-                    now, dt, runnable, rates, ctxs, memctrl, fabric, bucket_acc, phase_spans
-                )
+            self._record_span_columnar(
+                now, dt, runnable, plan, memctrl, fabric, bucket_acc, phase_spans
+            )
             if interval_listener is not None:
-                if use_columnar:
-                    span_tbl = self._span_rates_columnar(plan, fabric)
-                else:
-                    span_tbl = self._span_rates(runnable, rates, ctxs, fabric)
+                span_tbl = self._span_rates_columnar(plan, fabric)
                 interval_index = self._emit_slices(
                     interval_listener,
                     interval_index,
@@ -814,67 +781,6 @@ class ExecutionEngine:
             fl.flow_starts = fl.flow_first = None
         return fl
 
-    # -- the stationary-interval solver (reference kernel) ---------------------
-
-    def _solve_interval(
-        self,
-        runnable: list[_ThreadState],
-        extra_stall: float,
-    ) -> tuple[list[list[_StreamCtx]], list[float]]:
-        n_nodes = self.topology.n_sockets
-        ctxs = self._build_ctxs(runnable)
-        fl = self._build_flows(ctxs)
-        ch_index = fl.ch_index
-        n_links = fl.n_links
-        usage = fl.usage
-        capacities = fl.capacities
-        n_flows = fl.n_flows
-        flow_thread = fl.flow_thread
-        flow_coeff = fl.flow_coeff
-
-        # Uncontended starting point.
-        rates = np.array(
-            [self._thread_rate(per, np.zeros(n_nodes), np.zeros(n_links), ch_index, extra_stall)
-             for per in ctxs]
-        )
-        mc_rho = np.zeros(n_nodes)
-        link_rho = np.zeros(n_links)
-
-        for _ in range(_RATE_ITERATIONS):
-            if n_flows:
-                demands = rates[flow_thread] * flow_coeff
-                sol = solve_max_min(
-                    FairnessProblem(demands=demands, usage=usage, capacities=capacities)
-                )
-                mc_rho = sol.utilization[:n_nodes]
-                link_rho = sol.utilization[n_nodes:]
-                throttle = sol.throttle(demands)
-                # A thread advances no faster than its most-throttled flow.
-                cap = np.full(len(ctxs), np.inf)
-                np.minimum.at(cap, flow_thread, np.where(throttle > 0, throttle, _EPS))
-                rate_cap = rates * np.where(np.isfinite(cap), cap, 1.0)
-            else:
-                rate_cap = rates.copy()
-
-            new_rates = np.array(
-                [
-                    min(
-                        self._thread_rate(per, mc_rho, link_rho, ch_index, extra_stall),
-                        rate_cap[i] if rate_cap[i] > 0 else _EPS,
-                    )
-                    for i, per in enumerate(ctxs)
-                ]
-            )
-            rates = _RATE_DAMPING * rates + (1.0 - _RATE_DAMPING) * new_rates
-
-        # Attach final latencies per (stream, level, dst) for bucket recording.
-        for per_thread in ctxs:
-            for ctx in per_thread:
-                ctx_lat = self._stream_latencies(ctx, mc_rho, link_rho, ch_index)
-                ctx.latencies = ctx_lat  # type: ignore[attr-defined]
-
-        return ctxs, [float(r) for r in rates]
-
     def _localize(
         self,
         fractions: dict[MemLevel, float],
@@ -889,78 +795,6 @@ class ExecutionEngine:
         out[MemLevel.REMOTE_DRAM] = dram * (1.0 - local)
         return out
 
-    def _stream_latencies(
-        self,
-        ctx: _StreamCtx,
-        mc_rho: np.ndarray,
-        link_rho: np.ndarray,
-        ch_index: dict[Channel, int],
-    ) -> dict[tuple[MemLevel, int], float]:
-        """Median latency per (level, dst node) under current utilizations."""
-        lm = self.latency_model
-        src = ctx.src_node
-        is_random = ctx.stream.profile.kind is PatternKind.RANDOM
-        out: dict[tuple[MemLevel, int], float] = {}
-        for lvl, frac in ctx.fractions.items():
-            if frac <= 0:
-                continue
-            if lvl is MemLevel.LOCAL_DRAM:
-                out[(lvl, src)] = lm.effective_latency(
-                    lvl, mc_rho=float(mc_rho[src]), random_access=is_random
-                )
-            elif lvl is MemLevel.REMOTE_DRAM:
-                nf = ctx.stream.node_fractions
-                for dst in range(nf.size):
-                    if dst == src or nf[dst] <= 0:
-                        continue
-                    li = ch_index[Channel(src, dst)]
-                    out[(lvl, dst)] = lm.effective_latency(
-                        lvl,
-                        mc_rho=float(mc_rho[dst]),
-                        link_rho=float(link_rho[li]),
-                        random_access=is_random,
-                    )
-            else:
-                out[(lvl, src)] = lm.base_latency(lvl)
-        return out
-
-    def _thread_rate(
-        self,
-        per_thread: list[_StreamCtx],
-        mc_rho: np.ndarray,
-        link_rho: np.ndarray,
-        ch_index: dict[Channel, int],
-        extra_stall: float,
-    ) -> float:
-        """Issue rate (accesses/cycle) of one thread at given utilizations."""
-        phase = per_thread[0].state.current_phase()
-        assert phase is not None
-        stall = 0.0
-        for ctx in per_thread:
-            lats = self._stream_latencies(ctx, mc_rho, link_rho, ch_index)
-            src = ctx.src_node
-            nf = ctx.stream.node_fractions
-            remote_total = 1.0 - float(nf[src])
-            s = 0.0
-            for lvl, frac in ctx.fractions.items():
-                if frac <= 0:
-                    continue
-                if lvl is MemLevel.REMOTE_DRAM:
-                    # Average remote latency over target nodes.
-                    lat = 0.0
-                    for dst in range(nf.size):
-                        if dst == src or nf[dst] <= 0:
-                            continue
-                        lat += (nf[dst] / max(remote_total, _EPS)) * lats[(lvl, dst)]
-                else:
-                    lat = lats[(lvl, src if lvl is not MemLevel.LOCAL_DRAM else src)]
-                s += frac * lat
-            stall += ctx.stream.weight * s / ctx.mlp
-        denom = phase.compute_cycles_per_access + stall + extra_stall
-        if denom <= 0:
-            raise SimulationError("thread with zero cost per access")
-        return 1.0 / denom
-
     # -- the columnar kernel ----------------------------------------------------
 
     def _build_layout(
@@ -970,9 +804,10 @@ class ExecutionEngine:
     ) -> _SpanLayout:
         """Lay the span out as parallel columns, one row per bucket source.
 
-        Row order replicates the reference kernel's visit order exactly, so
-        every downstream accumulation (``np.add.at``, bucket dict updates)
-        sees operands in the same sequence and produces the same bits.
+        Row order follows the canonical visit order the goldens are pinned
+        to, so every downstream accumulation (``np.add.at``, bucket dict
+        updates) sees operands in the same sequence and produces the same
+        bits run after run.
         """
         tab = self.latency_table
         n_nodes = self.topology.n_sockets
@@ -1008,7 +843,7 @@ class ExecutionEngine:
         dst_c: list[int] = []
         # Columns constant within one (thread, stream) context are recorded
         # once per context and expanded with np.repeat at the end — rows of
-        # a context are contiguous in the reference visit order.
+        # a context are contiguous in the canonical visit order.
         nrow = 0
         ctx_rows: list[int] = []
         ctx_tidx: list[int] = []
@@ -1145,9 +980,9 @@ class ExecutionEngine:
     ) -> np.ndarray:
         """Median latency of every layout row under the given utilizations.
 
-        Bit-identical to the reference kernel's per-row
-        ``LatencyModel.effective_latency`` calls: clip/divide/add/multiply
-        are elementwise, so vectorizing them preserves every rounding.
+        Bit-identical to per-row ``LatencyModel.effective_latency`` calls:
+        clip/divide/add/multiply are elementwise, so vectorizing them
+        preserves every rounding.
         """
         lat = lay.row_lat0.copy()
         if lay.dram_idx.size:
@@ -1261,7 +1096,7 @@ class ExecutionEngine:
         bucket_acc: dict[tuple, list[float]],
         phase_spans: dict[tuple[int, str], list[float]],
     ) -> None:
-        """Columnar twin of ``_record_interval``."""
+        """Record one stationary span into controllers, fabric and buckets."""
         for st in runnable:
             phase = st.current_phase()
             assert phase is not None
@@ -1278,8 +1113,8 @@ class ExecutionEngine:
         if fl.n_flows:
             tr = fl.flow_coeff * rates_arr[fl.flow_thread]
             tr = tr * dt
-            # np.add.at applies updates sequentially in element order, which
-            # is the reference kernel's accumulation order by construction.
+            # np.add.at applies updates sequentially in element order — the
+            # canonical accumulation order the goldens are pinned to.
             np.add.at(node_bytes, fl.flow_dst, tr)
             remote = fl.flow_chan >= 0
             if remote.any():
@@ -1317,7 +1152,7 @@ class ExecutionEngine:
         plan: _SpanPlan,
         fabric: InterconnectFabric,
     ) -> tuple[BucketRates, np.ndarray, np.ndarray]:
-        """Columnar twin of ``_span_rates`` for the streaming hook."""
+        """Per-cycle access/traffic rates of the span, for the streaming hook."""
         fl = plan.flows
         lay = plan.layout
         node_rate = np.zeros(self.topology.n_sockets)
@@ -1354,69 +1189,6 @@ class ExecutionEngine:
             chan_rate,
         )
 
-    # -- recording ----------------------------------------------------------------
-
-    def _record_interval(
-        self,
-        now: float,
-        dt: float,
-        runnable: list[_ThreadState],
-        rates: list[float],
-        ctxs: list[list[_StreamCtx]],
-        memctrl: MemoryControllerSet,
-        fabric: InterconnectFabric,
-        bucket_acc: dict[tuple, list[float]],
-        phase_spans: dict[tuple[int, str], list[float]],
-    ) -> None:
-        topo = self.topology
-        n_nodes = topo.n_sockets
-        node_bytes = np.zeros(n_nodes)
-        chan_bytes = np.zeros(len(fabric))
-
-        for st, rate, per_thread in zip(runnable, rates, ctxs):
-            phase = st.current_phase()
-            assert phase is not None
-            key = (st.phase_idx, phase.name)
-            span = phase_spans.setdefault(key, [now, now + dt])
-            span[0] = min(span[0], now)
-            span[1] = max(span[1], now + dt)
-
-            accesses = rate * dt
-            for ctx in per_thread:
-                lats = getattr(ctx, "latencies")
-                stream_accesses = accesses * ctx.stream.weight
-                nf = ctx.stream.node_fractions
-                src = ctx.src_node
-                remote_total = 1.0 - float(nf[src])
-                # Traffic accounting.
-                for dst in range(n_nodes):
-                    traffic = ctx.traffic_coeff[dst] * rate * dt
-                    if traffic <= 0:
-                        continue
-                    node_bytes[dst] += traffic
-                    if dst != src:
-                        chan_bytes[fabric.index_of(Channel(src, dst))] += traffic
-                # Sample buckets.
-                for lvl, frac in ctx.fractions.items():
-                    if frac <= 0:
-                        continue
-                    if lvl is MemLevel.REMOTE_DRAM:
-                        for dst in range(n_nodes):
-                            if dst == src or nf[dst] <= 0:
-                                continue
-                            cnt = stream_accesses * frac * nf[dst] / max(remote_total, _EPS)
-                            self._accumulate(
-                                bucket_acc, st, ctx, lvl, dst, cnt, lats[(lvl, dst)]
-                            )
-                    else:
-                        cnt = stream_accesses * frac
-                        self._accumulate(
-                            bucket_acc, st, ctx, lvl, src, cnt, lats[(lvl, src)]
-                        )
-
-        memctrl.record_interval(now, dt, node_bytes)
-        fabric.record_interval(now, dt, chan_bytes)
-
     # -- the streaming hook -----------------------------------------------------
 
     def _emit_slices(
@@ -1432,10 +1204,10 @@ class ExecutionEngine:
         """Slice one stationary span into monitoring intervals.
 
         The solver ran once for the whole span; slices share one
-        :class:`BucketRates` table (``span_tbl``, built by ``_span_rates``
-        or its columnar twin), so each emission is a handful of vectorized
-        scalings — cheap enough to leave the listener attached on
-        production-length runs.
+        :class:`BucketRates` table (``span_tbl``, built by
+        ``_span_rates_columnar``), so each emission is a handful of
+        vectorized scalings — cheap enough to leave the listener attached
+        on production-length runs.
         """
         bucket_rates, node_rate, chan_rate = span_tbl
         n_slices = 1
@@ -1464,111 +1236,6 @@ class ExecutionEngine:
             )
             index += 1
         return index
-
-    def _span_rates(
-        self,
-        runnable: list[_ThreadState],
-        rates: list[float],
-        ctxs: list[list[_StreamCtx]],
-        fabric: InterconnectFabric,
-    ) -> tuple[BucketRates, np.ndarray, np.ndarray]:
-        """Per-cycle access and traffic rates of the current stationary span."""
-        n_nodes = self.topology.n_sockets
-        node_rate = np.zeros(n_nodes)
-        chan_rate = np.zeros(len(fabric))
-        cols: dict[str, list] = {
-            name: []
-            for name in (
-                "thread_id", "cpu", "src_node", "object_id",
-                "region_base", "region_bytes", "level", "dst_node",
-                "rate", "latency",
-            )
-        }
-
-        def add_row(st: _ThreadState, ctx: _StreamCtx, level: MemLevel,
-                    dst: int, rate: float, latency: float) -> None:
-            if rate <= 0:
-                return
-            cols["thread_id"].append(st.program.thread_id)
-            cols["cpu"].append(st.program.cpu)
-            cols["src_node"].append(ctx.src_node)
-            cols["object_id"].append(ctx.stream.object_id)
-            cols["region_base"].append(ctx.stream.region_base)
-            cols["region_bytes"].append(ctx.stream.region_bytes)
-            cols["level"].append(int(level))
-            cols["dst_node"].append(dst)
-            cols["rate"].append(rate)
-            cols["latency"].append(latency)
-
-        for st, rate, per_thread in zip(runnable, rates, ctxs):
-            for ctx in per_thread:
-                lats = getattr(ctx, "latencies")
-                stream_rate = rate * ctx.stream.weight
-                nf = ctx.stream.node_fractions
-                src = ctx.src_node
-                remote_total = 1.0 - float(nf[src])
-                for dst in range(n_nodes):
-                    traffic = ctx.traffic_coeff[dst] * rate
-                    if traffic <= 0:
-                        continue
-                    node_rate[dst] += traffic
-                    if dst != src:
-                        chan_rate[fabric.index_of(Channel(src, dst))] += traffic
-                for lvl, frac in ctx.fractions.items():
-                    if frac <= 0:
-                        continue
-                    if lvl is MemLevel.REMOTE_DRAM:
-                        for dst in range(n_nodes):
-                            if dst == src or nf[dst] <= 0:
-                                continue
-                            r = stream_rate * frac * nf[dst] / max(remote_total, _EPS)
-                            add_row(st, ctx, lvl, dst, r, lats[(lvl, dst)])
-                    else:
-                        add_row(st, ctx, lvl, src, stream_rate * frac, lats[(lvl, src)])
-
-        int_cols = (
-            "thread_id", "cpu", "src_node", "object_id",
-            "region_base", "region_bytes", "level", "dst_node",
-        )
-        return (
-            BucketRates(
-                **{c: np.asarray(cols[c], dtype=np.int64) for c in int_cols},
-                rate=np.asarray(cols["rate"], dtype=np.float64),
-                latency=np.asarray(cols["latency"], dtype=np.float64),
-            ),
-            node_rate,
-            chan_rate,
-        )
-
-    @staticmethod
-    def _accumulate(
-        bucket_acc: dict[tuple, list[float]],
-        st: _ThreadState,
-        ctx: _StreamCtx,
-        level: MemLevel,
-        dst: int,
-        count: float,
-        latency: float,
-    ) -> None:
-        if count <= 0:
-            return
-        # Quarter-octave latency bins keep contended vs calm intervals
-        # distinguishable without unbounded bucket growth.
-        lat_bin = int(round(4.0 * math.log2(max(latency, 1.0))))
-        key = (
-            st.program.thread_id,
-            st.program.cpu,
-            ctx.src_node,
-            ctx.stream.object_id,
-            ctx.stream.region_base,
-            ctx.stream.region_bytes,
-            int(level),
-            dst,
-            lat_bin,
-        )
-        acc = bucket_acc.setdefault(key, [0.0, 0.0])
-        acc[0] += count
-        acc[1] += count * latency
 
     @staticmethod
     def _finalize_bucket_columns(bucket_acc: dict[tuple, list[float]]) -> BucketColumns:
@@ -1599,30 +1266,6 @@ class ExecutionEngine:
             n_accesses=counts,
             mean_latency=lat_sums / counts,
         )
-
-    @staticmethod
-    def _finalize_buckets(bucket_acc: dict[tuple, list[float]]) -> list[SampleBucket]:
-        """Per-object twin of ``_finalize_bucket_columns`` (same sort, same
-        means); retained for the shuffled-insertion regression test and
-        scheduled for removal with the reference kernel."""
-        buckets = []
-        for key, (count, lat_sum) in sorted(bucket_acc.items()):
-            tid, cpu, src, obj, base, size, lvl, dst, _ = key
-            buckets.append(
-                SampleBucket(
-                    thread_id=tid,
-                    cpu=cpu,
-                    src_node=src,
-                    object_id=obj,
-                    region_base=base,
-                    region_bytes=size,
-                    level=MemLevel(lvl),
-                    dst_node=dst,
-                    n_accesses=count,
-                    mean_latency=lat_sum / count,
-                )
-            )
-        return buckets
 
     @staticmethod
     def _phase_timings(phase_spans: dict[tuple[int, str], list[float]]) -> list[PhaseTiming]:

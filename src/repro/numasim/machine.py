@@ -30,10 +30,6 @@ class Machine:
     #: Retention cap for raw per-interval utilization records (``None``
     #: uses the engine default); running aggregates are never capped.
     history_limit: int | None = None
-    #: Which engine kernel to run (see
-    #: :data:`repro.numasim.engine.ENGINE_KINDS`): ``"columnar"`` (default)
-    #: or the bit-identical ``"reference"`` scalar oracle.
-    engine_kind: str = "columnar"
 
     def engine(self, barriers: bool = True) -> ExecutionEngine:
         """Build an execution engine for this machine."""
@@ -44,7 +40,6 @@ class Machine:
             barriers=barriers,
             link_capacity_overrides=self.link_capacity_overrides,
             history_limit=self.history_limit,
-            engine=self.engine_kind,
         )
 
     def run(

@@ -30,6 +30,19 @@ overlay instead of the filesystem.  Results stay correct and available
 for the life of the process; only cross-process sharing is lost while the
 circuit is open.  ``FileNotFoundError`` on read is a *healthy* miss and
 never feeds the breaker.  See ``docs/robustness.md``.
+
+**Cross-process single-flight** (PR 10): the multi-process service
+shares one cache directory between worker processes, so a storm of
+identical job specs should execute *once fleet-wide*, not once per
+process.  :meth:`ResultCache.single_flight` implements that with an
+advisory claim-file protocol per key: the first process to
+``O_CREAT|O_EXCL`` the claim file computes and publishes the entry;
+everyone else polls the cache until the entry lands.  Claims left by a
+worker that died mid-execution are detected (owner pid no longer alive,
+or claim older than ``stale_s``) and *stolen* — the stealer unlinks the
+claim and competes to re-claim — so a crash never wedges followers.
+Every failure mode fails *open* to local computation: dedup is an
+optimization, correctness never depends on the claim protocol working.
 """
 
 from __future__ import annotations
@@ -44,7 +57,7 @@ import time
 from repro.errors import CacheError
 from repro.resilience import CircuitBreaker
 
-__all__ = ["ResultCache", "default_cache_dir", "CACHE_SCHEMA"]
+__all__ = ["ResultCache", "default_cache_dir", "CACHE_SCHEMA", "CLAIM_STALE_S"]
 
 logger = logging.getLogger(__name__)
 
@@ -58,6 +71,11 @@ CACHE_DIR_ENV = "DRBW_CACHE_DIR"
 #: Orphaned ``.tmp-*`` files older than this are swept on cache open.
 #: Young ones may belong to a live writer mid-``os.replace`` and are kept.
 ORPHAN_MAX_AGE_S = 3600.0
+
+#: A single-flight claim whose owner cannot be proven dead is still
+#: presumed stale (and stolen) once it is this old — the backstop for
+#: owners on another host or behind pid reuse.
+CLAIM_STALE_S = 600.0
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -108,6 +126,10 @@ class ResultCache:
         self.fallback_puts = 0
         self.fallback_hits = 0
         self.orphans_swept = 0
+        self.claims_stolen = 0
+        self.single_flight_executions = 0
+        self.single_flight_follows = 0
+        self.single_flight_timeouts = 0
         self._memory: dict[str, dict] = {}
         if not enabled:
             return
@@ -236,6 +258,161 @@ class ResultCache:
             return
         self.breaker.record_success()
 
+    # -- cross-process single-flight --------------------------------------------
+
+    def claim_path_for(self, key: str) -> pathlib.Path:
+        """Location of one key's advisory claim file (next to its entry)."""
+        return self.root / key[:2] / f"{key}.claim"
+
+    def try_claim(self, key: str) -> bool:
+        """Atomically claim ``key`` for execution; True when we own it.
+
+        A disabled cache (or a disk too sick to create the claim file)
+        answers True: with no shared medium there is nobody to defer to,
+        and computing locally is always correct.
+        """
+        if not self.enabled:
+            return True
+        path = self.claim_path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            logger.warning("cannot create claim %s (%s); computing locally",
+                           path, exc)
+            return True
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps({"pid": os.getpid(), "host": os.uname().nodename}))
+        except OSError:
+            pass  # an empty claim still serializes; liveness falls back to age
+        return True
+
+    def release_claim(self, key: str) -> None:
+        """Remove our claim on ``key`` (idempotent, never raises)."""
+        if not self.enabled:
+            return
+        try:
+            self.claim_path_for(key).unlink()
+        except OSError:
+            pass
+
+    def _claim_is_stale(self, path: pathlib.Path, stale_s: float) -> bool:
+        """True when the claim's owner is provably dead or the claim too old.
+
+        Owner liveness is a same-host pid probe (``os.kill(pid, 0)``);
+        claims from another host, or unreadable ones, fall back to the
+        age test alone.  A *corrupt* claim body is stale outright.
+        """
+        try:
+            text = path.read_text()
+        except OSError:
+            return False  # vanished (owner finished) — not stale, just gone
+        owner_alive = None
+        try:
+            body = json.loads(text)
+            pid = int(body["pid"])
+            same_host = body.get("host") == os.uname().nodename
+        except (ValueError, KeyError, TypeError):
+            return True  # half-written or corrupt claim: nobody owns it
+        if same_host:
+            try:
+                os.kill(pid, 0)
+                owner_alive = True
+            except ProcessLookupError:
+                return True
+            except OSError:
+                owner_alive = True  # EPERM: alive under another uid
+        if owner_alive:
+            return False  # a live local owner is never stolen by age
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return False
+        return age >= stale_s
+
+    def _steal_claim(self, path: pathlib.Path, expected_mtime_ns: int) -> None:
+        """Unlink a stale claim, but only the exact file we judged stale.
+
+        The mtime guard narrows the window where a freshly re-created
+        claim (new owner) could be collateral damage; a misfire costs a
+        duplicate execution, never a wrong result.
+        """
+        try:
+            if path.stat().st_mtime_ns != expected_mtime_ns:
+                return
+            path.unlink()
+        except OSError:
+            return
+        self.claims_stolen += 1
+        logger.warning("stole stale single-flight claim %s", path)
+
+    def single_flight(
+        self,
+        key: str,
+        compute,
+        *,
+        stale_s: float = CLAIM_STALE_S,
+        poll_s: float = 0.05,
+        timeout_s: float = 120.0,
+        defer_s: float = 0.0,
+    ) -> tuple[dict, bool]:
+        """Execute ``compute()`` for ``key`` at most once across processes.
+
+        Returns ``(payload, executed_here)``.  The winner of the claim
+        race computes, publishes the entry with :meth:`put`, and releases
+        the claim; losers poll the cache until the entry appears (or the
+        claim is released/stolen, at which point they compete to claim).
+        ``defer_s`` delays this process's *first* claim attempt — the
+        consistent-hash router uses it so the key's owning worker usually
+        wins the race without any cross-process coordination.
+
+        Fail-open contract: a disabled cache computes immediately; a
+        follower that outwaits ``timeout_s`` (publisher wedged, or its
+        entry lost to a degraded disk) computes locally.  Duplicate work
+        is the worst case, never a missing or non-canonical result.
+        """
+        if not self.enabled:
+            return compute(), True
+        cached = self.get(key)
+        if cached is not None:
+            return cached, False
+        deadline = time.monotonic() + timeout_s
+        attempt_at = time.monotonic() + defer_s
+        while True:
+            cached = self.get(key)
+            if cached is not None:
+                self.single_flight_follows += 1
+                return cached, False
+            if time.monotonic() >= attempt_at and self.try_claim(key):
+                try:
+                    payload = compute()
+                    self.put(key, payload)
+                finally:
+                    self.release_claim(key)
+                self.single_flight_executions += 1
+                return payload, True
+            claim = self.claim_path_for(key)
+            try:
+                st = claim.stat()
+            except OSError:
+                continue  # claim released between our attempt and now: retry
+            if self._claim_is_stale(claim, stale_s):
+                self._steal_claim(claim, st.st_mtime_ns)
+                continue
+            if time.monotonic() >= deadline:
+                self.single_flight_timeouts += 1
+                logger.warning(
+                    "single-flight wait for %s exceeded %gs; computing locally",
+                    key, timeout_s,
+                )
+                payload = compute()
+                self.put(key, payload)
+                return payload, True
+            time.sleep(poll_s)
+
     def _evict(self, path: pathlib.Path) -> None:
         try:
             path.unlink()
@@ -256,6 +433,7 @@ class ResultCache:
             orphans = list(self.root.glob("*/.tmp-*.json"))
         except OSError:
             return
+        swept = 0
         for orphan in orphans:
             try:
                 if now - orphan.stat().st_mtime < max_age_s:
@@ -263,11 +441,12 @@ class ResultCache:
                 orphan.unlink()
             except OSError:
                 continue
-            self.orphans_swept += 1
-        if self.orphans_swept:
+            swept += 1
+        self.orphans_swept += swept
+        if swept:
             logger.info(
                 "swept %d orphaned cache temp file(s) under %s",
-                self.orphans_swept, self.root,
+                swept, self.root,
             )
 
     def clear(self) -> int:
@@ -306,6 +485,10 @@ class ResultCache:
             "fallback_puts": self.fallback_puts,
             "fallback_hits": self.fallback_hits,
             "orphans_swept": self.orphans_swept,
+            "claims_stolen": self.claims_stolen,
+            "single_flight_executions": self.single_flight_executions,
+            "single_flight_follows": self.single_flight_follows,
+            "single_flight_timeouts": self.single_flight_timeouts,
             "breaker_state": self.breaker.state,
             "breaker_trips": self.breaker.trips,
         }

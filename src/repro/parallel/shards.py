@@ -147,24 +147,25 @@ def machine_spec(machine: Machine) -> dict | None:
         spec["topology"] = topo_delta
     if lat_delta:
         spec["latency_model"] = lat_delta
-    if machine.engine_kind != "columnar":
-        spec["engine"] = machine.engine_kind
     return spec
 
 
 def _build_machine(mspec: dict | None) -> Machine:
     if not mspec:
         return Machine()
-    unknown = set(mspec) - {"topology", "latency_model", "engine"}
+    if "engine" in mspec:
+        # Pre-PR10 shard specs could pin the retired scalar reference
+        # kernel; refuse loudly rather than silently running columnar.
+        raise ParallelError(
+            "machine spec section 'engine' is no longer supported: the "
+            "scalar reference kernel was retired (see docs/performance.md)"
+        )
+    unknown = set(mspec) - {"topology", "latency_model"}
     if unknown:
         raise ParallelError(f"unknown machine spec sections {sorted(unknown)}")
     topo = NumaTopology(**mspec.get("topology", {}))
     lat = LatencyModel(**mspec.get("latency_model", {}))
-    return Machine(
-        topology=topo,
-        latency_model=lat,
-        engine_kind=mspec.get("engine", "columnar"),
-    )
+    return Machine(topology=topo, latency_model=lat)
 
 
 def profiler_spec(config: ProfilerConfig) -> dict | None:

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.numasim.engine import BucketColumns, IntervalRecord, RunResult, SampleBucket
+from repro.numasim.engine import BucketColumns, IntervalRecord, RunResult
 from repro.numasim.latency import LatencyModel
 from repro.osl.pages import PageTable
 from repro.pmu.events import (
@@ -98,6 +98,14 @@ class AddressSampler:
         # is pure; caching it keeps the streaming path (many small interval
         # batches over the same regions) as cheap as the batch path.
         self._page_cache: dict[tuple[int, int, int, int], np.ndarray | None | bool] = {}
+        # Single-slot cache of the per-row address-group structure for the
+        # last BucketRates table seen by sample_interval.  Every interval
+        # sliced from one stationary span shares the same table object, so
+        # resolving candidate pages and grouping rows once per span (not
+        # once per interval) turns the streaming path's per-interval setup
+        # into pure array indexing.  Keyed by identity; spans arrive
+        # sequentially so one slot always hits within a span.
+        self._span_groups: tuple[object, np.ndarray, list] | None = None
 
     def sample_run_batch(self, run: RunResult) -> RawSampleBatch:
         """Columnar samples for a whole run (the fast path).
@@ -202,23 +210,6 @@ class AddressSampler:
         )
         return batch.permuted(rng)
 
-    def sample_run_reference(self, run: RunResult) -> RawSampleBatch:
-        """The per-bucket object path: rehydrate :class:`SampleBucket`\\ s and
-        thin them one at a time.
-
-        This is the pre-columnar sampler kept verbatim as the differential
-        oracle's sampling twin — it draws the identical RNG stream as
-        :meth:`sample_run_batch` and therefore returns a byte-identical
-        batch, just slower.  Scheduled for removal together with the
-        ``engine="reference"`` kernel.
-        """
-        batches = []
-        for bucket in run.buckets:
-            b = self._sample_bucket(bucket)
-            if b is not None:
-                batches.append(b)
-        return RawSampleBatch.concatenate(batches).permuted(self._rng)
-
     def sample_run(self, run: RunResult) -> list[MemorySample]:
         """Per-record samples (convenience wrapper over the batch path)."""
         return self.sample_run_batch(run).to_samples()
@@ -242,18 +233,18 @@ class AddressSampler:
         if rows.size == 0:
             return RawSampleBatch.empty()
 
-        # Resolve candidate pages per drawn row (memoized); rows whose
-        # placement no longer matches are dropped like the batch path does.
-        candidates = [self._candidate_pages_row(r, int(i)) for i in rows]
-        ok = np.array([c is not False for c in candidates])
+        # Row → address-group id, resolved once per span's shared rates
+        # table; rows whose page placement no longer matches (gid -2) are
+        # dropped like the batch path does.
+        gid_table, groups = self._row_groups(r)
+        ok = gid_table[rows] != -2
         if not np.any(ok):
             return RawSampleBatch.empty()
         rows = rows[ok]
-        candidates = [c for c in candidates if c is not False]
         counts = draws[rows]
         total = int(counts.sum())
 
-        addresses = self._grouped_addresses(r, rows, counts, candidates, total)
+        addresses = self._grouped_addresses(r, rows, counts, gid_table, groups, total)
         medians = np.repeat(r.latency[rows], counts)
         latencies = medians * self._rng.lognormal(
             mean=0.0, sigma=self.latency_model.noise_sigma, size=total
@@ -272,7 +263,7 @@ class AddressSampler:
         return batch.permuted(self._rng)
 
     def _candidate_pages_row(self, rates, i: int) -> np.ndarray | None | bool:
-        """Columnar-row variant of :meth:`_candidate_pages`."""
+        """Columnar-row variant of the batch path's candidate lookup."""
         key = (
             int(rates.region_base[i]),
             int(rates.region_bytes[i]),
@@ -284,39 +275,64 @@ class AddressSampler:
         except KeyError:
             return self._candidate_pages_key(key)
 
+    def _row_groups(self, rates) -> tuple[np.ndarray, list[tuple[np.ndarray, int, int]]]:
+        """Per-row address-group structure for one shared rates table.
+
+        Returns ``(gid, groups)`` where ``gid[i]`` is ``-2`` for rows whose
+        page placement no longer matches (drop), ``-1`` for rows without
+        page constraints (uniform offsets), else an index into ``groups``
+        (``(candidate_pages, region_base, region_bytes)`` triples).  Rows
+        sharing a memoized candidate-page set share a group, so address
+        fabrication costs one vectorized draw per distinct placement.
+
+        Resolution involves no RNG, so caching it per table is invisible
+        to the sample stream.  Single-slot memo: intervals of one span all
+        carry the same table object (see ``BucketRates``).
+        """
+        cached = self._span_groups
+        if cached is not None and cached[0] is rates:
+            return cached[1], cached[2]
+        n = len(rates)
+        gid = np.empty(n, dtype=np.int64)
+        groups: list[tuple[np.ndarray, int, int]] = []
+        group_of: dict[int, int] = {}
+        for i in range(n):
+            cand = self._candidate_pages_row(rates, i)
+            if cand is False:
+                gid[i] = -2
+            elif cand is None:
+                gid[i] = -1
+            else:
+                gkey = id(cand)
+                g = group_of.get(gkey)
+                if g is None:
+                    g = len(groups)
+                    group_of[gkey] = g
+                    groups.append(
+                        (cand, int(rates.region_base[i]), int(rates.region_bytes[i]))
+                    )
+                gid[i] = g
+        self._span_groups = (rates, gid, groups)
+        return gid, groups
+
     def _grouped_addresses(
         self,
         rates,
         rows: np.ndarray,
         counts: np.ndarray,
-        candidates: list,
+        gid_table: np.ndarray,
+        groups: list,
         total: int,
     ) -> np.ndarray:
         """Fabricate addresses for all drawn rows with per-group vector draws.
 
-        Rows without page constraints draw uniform offsets in one shot;
-        DRAM rows are grouped by their (shared, memoized) candidate-page
-        set so each distinct placement costs one vectorized choice.
+        Rows without page constraints (gid -1) draw uniform offsets in one
+        shot; DRAM rows are grouped by their (shared, memoized)
+        candidate-page set — precomputed per span by :meth:`_row_groups` —
+        so each distinct placement costs one vectorized choice.
         """
         base_ps = np.repeat(rates.region_base[rows], counts)
-        # Group id per row: -1 = unconstrained, else index into `groups`.
-        groups: list[tuple[np.ndarray, int, int]] = []  # (pages, base, size)
-        group_of: dict[int, int] = {}
-        gid_rows = np.empty(rows.size, dtype=np.int64)
-        for j, cand in enumerate(candidates):
-            if cand is None:
-                gid_rows[j] = -1
-                continue
-            gkey = id(cand)
-            g = group_of.get(gkey)
-            if g is None:
-                g = len(groups)
-                group_of[gkey] = g
-                groups.append(
-                    (cand, int(rates.region_base[rows[j]]), int(rates.region_bytes[rows[j]]))
-                )
-            gid_rows[j] = g
-        gid_ps = np.repeat(gid_rows, counts)
+        gid_ps = np.repeat(gid_table[rows], counts)
 
         addresses = np.empty(total, dtype=np.int64)
         unconstrained = gid_ps < 0
@@ -333,41 +349,33 @@ class AddressSampler:
             pick = self._rng.random(n_paged)
             in_page = self._rng.integers(0, page, size=n_paged, dtype=np.int64)
             paged = ~unconstrained
+            # Sort samples by group once and process contiguous runs —
+            # O(n log n) instead of one full-array mask per group (spans
+            # routinely carry 100+ distinct placements).  Values are
+            # scattered back through the sort order, so each position gets
+            # the same address the per-group-mask formulation produced.
             gids = gid_ps[paged]
-            out = np.empty(n_paged, dtype=np.int64)
-            for g, (pages, base, size) in enumerate(groups):
-                mask = gids == g
-                idx = (pick[mask] * pages.size).astype(np.int64)
-                out[mask] = np.minimum(
-                    base + pages[idx] * page + in_page[mask], base + size - 1
+            order = np.argsort(gids, kind="stable")
+            gids_s = gids[order]
+            pick_s = pick[order]
+            in_page_s = in_page[order]
+            out_s = np.empty(n_paged, dtype=np.int64)
+            starts = np.flatnonzero(np.diff(gids_s)) + 1
+            bounds = np.concatenate(([0], starts, [n_paged]))
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                pages, base, size = groups[int(gids_s[a])]
+                idx = (pick_s[a:b] * pages.size).astype(np.int64)
+                np.minimum(
+                    base + pages[idx] * page + in_page_s[a:b],
+                    base + size - 1,
+                    out=out_s[a:b],
                 )
+            out = np.empty(n_paged, dtype=np.int64)
+            out[order] = out_s
             addresses[paged] = out
         return addresses
 
     # -- internals -------------------------------------------------------------
-
-    def _sample_bucket(self, bucket: SampleBucket) -> RawSampleBatch | None:
-        n = int(self._rng.poisson(bucket.n_accesses / self.config.period))
-        if n == 0:
-            return None
-        return self._sample_bucket_n(bucket, n)
-
-    def _sample_bucket_n(self, bucket: SampleBucket, n: int) -> RawSampleBatch | None:
-        addresses = self._addresses_for(bucket, n)
-        if addresses is None:
-            return None
-        latencies = self.latency_model.sample_latencies(bucket.mean_latency, n, self._rng)
-        latencies = self._inject_outliers(latencies)
-        floor = max(self.config.event.min_latency_cycles, 1)
-        latencies = np.maximum(latencies, floor)
-        fill = lambda v: np.full(n, v, dtype=np.int64)  # noqa: E731
-        return RawSampleBatch(
-            address=addresses.astype(np.int64),
-            cpu=fill(bucket.cpu),
-            thread_id=fill(bucket.thread_id),
-            level=fill(int(bucket.level)),
-            latency=latencies.astype(np.float64),
-        )
 
     def _inject_outliers(self, latencies: np.ndarray) -> np.ndarray:
         if latencies.size == 0:
@@ -393,22 +401,14 @@ class AddressSampler:
                 out[walk] += rng.uniform(tlo, thi, size=n_walk)
         return out
 
-    def _candidate_pages(self, bucket: SampleBucket) -> np.ndarray | None | bool:
-        """Pages consistent with the bucket's target node (memoized).
+    def _candidate_pages_key(
+        self, key: tuple[int, int, int, int]
+    ) -> np.ndarray | None | bool:
+        """Resolve (and memoize) candidate pages for a cache-miss ``key``.
 
         ``None`` means any offset in the region is fine; ``False`` means the
         placement no longer matches and the bucket must be dropped.
         """
-        key = (bucket.region_base, bucket.region_bytes, int(bucket.level), bucket.dst_node)
-        try:
-            return self._page_cache[key]
-        except KeyError:
-            return self._candidate_pages_key(key)
-
-    def _candidate_pages_key(
-        self, key: tuple[int, int, int, int]
-    ) -> np.ndarray | None | bool:
-        """Resolve (and memoize) candidate pages for a cache-miss ``key``."""
         base, size, lvl, dst = key
         candidate_pages: np.ndarray | None | bool
         if MemLevel(lvl).is_dram and self.page_table.is_mapped(base):
@@ -425,21 +425,3 @@ class AddressSampler:
             candidate_pages = None
         self._page_cache[key] = candidate_pages
         return candidate_pages
-
-    def _addresses_for(self, bucket: SampleBucket, n: int) -> np.ndarray | None:
-        """Addresses inside the bucket's region consistent with its target node."""
-        base, size = bucket.region_base, bucket.region_bytes
-        page = self.page_table.page_bytes
-        candidate_pages = self._candidate_pages(bucket)
-        if candidate_pages is False:
-            return None
-
-        if candidate_pages is None:
-            offsets = self._rng.integers(0, size, size=n, dtype=np.int64)
-            return base + offsets
-
-        chosen = self._rng.choice(candidate_pages, size=n)
-        in_page = self._rng.integers(0, page, size=n, dtype=np.int64)
-        addrs = base + chosen * page + in_page
-        # The final page may extend past the region; clamp inside.
-        return np.minimum(addrs, base + size - 1)

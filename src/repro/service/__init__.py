@@ -17,6 +17,15 @@ The moving parts, one module each:
   warm-result cache, and token-bucket rate limiter;
 * :mod:`~repro.service.server`    — the HTTP endpoints, backpressure
   responses (429 + ``Retry-After``), and graceful SIGTERM drain;
+* :mod:`~repro.service.mpserve`   — the ``--workers N`` pre-fork
+  supervisor: shared listener (SO_REUSEPORT or inherited socket),
+  cross-process single-flight, fleet drain;
+* :mod:`~repro.service.routing`   — consistent-hash ownership of job
+  keys across worker processes;
+* :mod:`~repro.service.admission` — priority classes
+  (``X-Drbw-Priority``) layered over the token buckets;
+* :mod:`~repro.service.metricsagg` — ``/metrics`` snapshot merge so any
+  worker's scrape covers the whole fleet;
 * :mod:`~repro.service.client`    — a urllib client for scripts and the
   CI smoke test;
 * :mod:`~repro.service.trace`     — ``X-Drbw-Trace`` request-trace
@@ -35,8 +44,16 @@ from repro.service.accesslog import (
     read_access_log,
     validate_access_record,
 )
+from repro.service.admission import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    PRIORITY_HEADER,
+    AdmissionController,
+)
 from repro.service.client import ServiceClient, parse_retry_after
 from repro.service.coalescer import Coalescer
+from repro.service.mpserve import ServiceSupervisor, WorkerConfig, build_worker_server
+from repro.service.routing import HashRing
 from repro.service.jobspec import (
     JOB_KINDS,
     execute_job,
@@ -60,7 +77,12 @@ from repro.service.trace import (
 __all__ = [
     "ACCESS_LOG_VERSION",
     "AccessLog",
+    "AdmissionController",
     "Coalescer",
+    "DEFAULT_PRIORITY",
+    "HashRing",
+    "PRIORITIES",
+    "PRIORITY_HEADER",
     "Job",
     "JobStore",
     "JOB_KINDS",
@@ -70,7 +92,10 @@ __all__ = [
     "ServiceClient",
     "ServiceQueue",
     "ServiceServer",
+    "ServiceSupervisor",
     "TokenBucket",
+    "WorkerConfig",
+    "build_worker_server",
     "TRACE_HEADER",
     "TraceContext",
     "execute_job",

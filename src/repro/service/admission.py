@@ -1,0 +1,91 @@
+"""Admission control: priority classes layered over the token buckets.
+
+The per-client token buckets answer "is this *client* sending too
+fast?"; admission control answers "should this *class* of work get in
+right now?".  Requests declare a priority via the ``X-Drbw-Priority``
+header:
+
+* ``interactive`` (the default, and what headerless clients get) — a
+  person or probe is waiting; admitted whenever the queue has room;
+* ``batch`` — backfill and bulk re-profiling; admitted only while the
+  queue is shallower than ``batch_depth_fraction`` of its capacity, so
+  batch traffic can never starve interactive traffic of queue slots.
+
+Rejections are the same backpressure shape the service already speaks:
+``429`` with ``Retry-After``, counted under
+``service.admission_rejected.<priority>``.  An unknown priority value is
+a client bug and maps to ``400``, not a silent default — a typo'd
+``bacth`` silently running at interactive priority would defeat the
+whole layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "PRIORITY_HEADER",
+    "PRIORITIES",
+    "DEFAULT_PRIORITY",
+]
+
+#: Request header carrying the priority class.
+PRIORITY_HEADER = "X-Drbw-Priority"
+
+#: Known priority classes, highest first.
+PRIORITIES = ("interactive", "batch")
+
+DEFAULT_PRIORITY = "interactive"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    admitted: bool
+    priority: str
+    reason: str | None = None
+
+
+class AdmissionController:
+    """Queue-depth-aware gate for priority classes.
+
+    Stateless between calls — the decision reads the live queue depth —
+    so one controller is safely shared by every HTTP handler thread.
+    """
+
+    def __init__(self, batch_depth_fraction: float = 0.5,
+                 retry_after_s: float = 1.0) -> None:
+        if not 0.0 < batch_depth_fraction <= 1.0:
+            raise ServiceError(
+                "batch_depth_fraction must be in (0, 1], got "
+                f"{batch_depth_fraction}"
+            )
+        self.batch_depth_fraction = batch_depth_fraction
+        self.retry_after_s = retry_after_s
+
+    def decide(self, priority: str | None, depth: int,
+               capacity: int) -> AdmissionDecision:
+        """Admit or reject one submission of class ``priority``.
+
+        Raises :class:`ServiceError` for an unknown priority (the server
+        maps that to 400 — see module docstring).
+        """
+        priority = priority or DEFAULT_PRIORITY
+        if priority not in PRIORITIES:
+            raise ServiceError(
+                f"unknown priority {priority!r}; expected one of "
+                f"{', '.join(PRIORITIES)}"
+            )
+        if priority == "batch":
+            threshold = self.batch_depth_fraction * capacity
+            if depth >= threshold:
+                return AdmissionDecision(
+                    False, priority,
+                    f"batch admission closed: queue depth {depth} >= "
+                    f"{threshold:g} ({self.batch_depth_fraction:.0%} of "
+                    f"{capacity})",
+                )
+        return AdmissionDecision(True, priority)

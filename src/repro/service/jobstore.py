@@ -11,18 +11,49 @@ is a front-end for *minutes*-scale profiling jobs, so job-table
 operations are never the bottleneck, and a single lock makes the
 coalescing invariants (exactly one primary per key, followers finish
 with the primary's exact result object) easy to prove.
+
+Multi-process serving (PR 10) adds two things:
+
+* an **id prefix** — pre-forked workers each run their own store, so ids
+  must be unique fleet-wide (``job-w0-000001`` vs ``job-w1-000001``), or
+  a status poll landing on the wrong worker could answer for the wrong
+  job;
+* a **shared record directory** — the kernel load-balances connections
+  across workers, so the worker answering ``GET /v1/jobs/<id>`` is often
+  not the one that accepted the job.  Every store publishes a small JSON
+  record per job (at submit and at each terminal state, atomically via
+  tmp + rename) that any sibling can serve status/result from.  Records
+  from siblings are a *fallback*: the accepting worker always answers
+  from memory, and a sibling's view may lag by one state transition
+  (``queued`` while actually running), which a polling client cannot
+  distinguish anyway.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import logging
+import os
+import pathlib
+import re
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.errors import ServiceError
 
-__all__ = ["Job", "JobStore", "JOB_STATES"]
+__all__ = ["Job", "JobStore", "JOB_STATES", "JOB_RECORD_SCHEMA"]
+
+logger = logging.getLogger(__name__)
+
+#: Envelope schema of the shared per-job record files.
+JOB_RECORD_SCHEMA = "drbw-job-record"
+
+#: Job ids are server-minted, but they arrive back via URLs — anything
+#: outside this shape is rejected before touching the filesystem.
+_SAFE_JOB_ID = re.compile(r"[A-Za-z0-9_-]+\Z")
 
 #: Legal job states.
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -97,18 +128,31 @@ class Job:
 
 
 class JobStore:
-    """Thread-safe id -> :class:`Job` table."""
+    """Thread-safe id -> :class:`Job` table.
 
-    def __init__(self) -> None:
+    ``prefix`` makes ids unique across pre-forked workers; ``shared_dir``
+    (multi-process mode only) is where this store publishes per-job
+    records and reads siblings' — see the module docstring.
+    """
+
+    def __init__(self, prefix: str = "job",
+                 shared_dir: str | os.PathLike | None = None) -> None:
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._ids = itertools.count(1)
+        self._prefix = prefix
+        self._shared_dir = (
+            pathlib.Path(shared_dir) if shared_dir is not None else None
+        )
 
     def create(self, spec: dict, key: str) -> Job:
         with self._lock:
-            job = Job(id=f"job-{next(self._ids):06d}", key=key, spec=spec)
+            job = Job(id=f"{self._prefix}-{next(self._ids):06d}", key=key, spec=spec)
             self._jobs[job.id] = job
-            return job
+        # Published outside the table lock: the record write is I/O, and
+        # the job is already reachable by id.
+        self.publish(job)
+        return job
 
     def get(self, job_id: str) -> Job:
         with self._lock:
@@ -116,6 +160,50 @@ class JobStore:
         if job is None:
             raise ServiceError(f"unknown job {job_id!r}")
         return job
+
+    # -- shared records (multi-process fallback) ---------------------------------
+
+    def publish(self, job: Job) -> None:
+        """Write ``job``'s shared record (atomic; no-op without a shared dir).
+
+        Never raises: a sick shared directory must not fail the job it
+        describes — siblings just see a stale (or missing) record.
+        """
+        if self._shared_dir is None:
+            return
+        doc = {
+            "schema": JOB_RECORD_SCHEMA,
+            "payload": job.status_payload(),
+            "result_text": job.result_text,
+        }
+        try:
+            self._shared_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self._shared_dir, prefix=".tmp-job-")
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, self._shared_dir / f"{job.id}.json")
+        except OSError as exc:
+            logger.warning("cannot publish job record for %s: %s", job.id, exc)
+
+    def lookup_record(self, job_id: str) -> dict | None:
+        """A sibling worker's record for ``job_id``, or None.
+
+        Only consulted after :meth:`get` misses; returns the raw record
+        dict (``payload`` + ``result_text``), never a live :class:`Job`.
+        """
+        if self._shared_dir is None or not _SAFE_JOB_ID.match(job_id):
+            return None
+        try:
+            doc = json.loads((self._shared_dir / f"{job_id}.json").read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            isinstance(doc, dict)
+            and doc.get("schema") == JOB_RECORD_SCHEMA
+            and isinstance(doc.get("payload"), dict)
+        ):
+            return doc
+        return None
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,121 @@
+"""Cross-process ``/metrics`` aggregation via shared-file snapshots.
+
+Each worker process owns a private :class:`~repro.telemetry.metrics.
+MetricsRegistry`; a scrape can land on any worker, so the page must
+cover the whole fleet.  The mechanism is the simplest thing that is
+correct with no IPC: every worker serializes its registries
+(``MetricsRegistry.to_dict()`` — plain JSON) to
+``<metrics_dir>/metrics-<worker>.json`` atomically (tmp + rename),
+refreshed on every scrape it serves; whichever worker answers
+``/metrics`` writes its own snapshot first, reads every sibling file,
+merges, and renders one exposition page through the standard
+byte-deterministic renderer.
+
+Merge semantics: counters and histograms sum (counts, sum; min-of-min /
+max-of-max); gauges sum as well, because every gauge this service
+exports is an additive occupancy count (queue depth, busy workers,
+jobs-in-state, limiter buckets) — a fleet-level "how many in total"
+is the operator-meaningful reading.  Snapshots from a worker that died
+mid-write, or that are not yet written, are simply skipped: the page
+degrades to covering the workers that have reported, never errors.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import tempfile
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "write_snapshot",
+    "read_snapshots",
+    "merge_registry_dicts",
+]
+
+logger = logging.getLogger(__name__)
+
+SNAPSHOT_SCHEMA = "drbw-metrics-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+def write_snapshot(
+    metrics_dir: str | os.PathLike,
+    worker: str,
+    registries: dict[str, MetricsRegistry],
+) -> None:
+    """Atomically publish one worker's registries (name → registry).
+
+    Never raises: metrics export must not take down a serving worker, so
+    a sick shared directory just logs and skips this refresh.
+    """
+    root = pathlib.Path(metrics_dir)
+    doc = {
+        "schema": SNAPSHOT_SCHEMA,
+        "schema_version": SNAPSHOT_VERSION,
+        "worker": worker,
+        "registries": {name: reg.to_dict() for name, reg in registries.items()},
+    }
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=root, prefix=".tmp-metrics-")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+        os.replace(tmp, root / f"metrics-{worker}.json")
+    except OSError as exc:
+        logger.warning("cannot publish metrics snapshot for %s: %s", worker, exc)
+
+
+def read_snapshots(metrics_dir: str | os.PathLike) -> list[dict]:
+    """Every readable, well-formed snapshot in ``metrics_dir``, sorted by
+    worker tag (deterministic merge order)."""
+    root = pathlib.Path(metrics_dir)
+    docs = []
+    try:
+        paths = sorted(root.glob("metrics-*.json"))
+    except OSError:
+        return []
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue  # mid-rename or corrupt: skip, never error the scrape
+        if (
+            isinstance(doc, dict)
+            and doc.get("schema") == SNAPSHOT_SCHEMA
+            and isinstance(doc.get("registries"), dict)
+        ):
+            docs.append(doc)
+    return docs
+
+
+def merge_registry_dicts(dicts: list[dict]) -> MetricsRegistry:
+    """Fold ``MetricsRegistry.to_dict()`` payloads into one live registry."""
+    merged = MetricsRegistry()
+    for doc in dicts:
+        for name, value in (doc.get("counters") or {}).items():
+            merged.counter(name).inc(float(value))
+        for name, value in (doc.get("gauges") or {}).items():
+            gauge = merged.gauge(name)
+            gauge.set(gauge.value + float(value))
+        for name, h in (doc.get("histograms") or {}).items():
+            boundaries = tuple(float(b) for b in h["boundaries"])
+            hist = merged.histogram(name, boundaries)
+            if hist.boundaries != boundaries:
+                # Same name, different buckets across workers: a config
+                # skew bug.  Keep the first shape rather than corrupting.
+                logger.warning("histogram %s has mismatched boundaries; "
+                               "skipping one worker's shard", name)
+                continue
+            hist.counts = [a + int(b) for a, b in zip(hist.counts, h["counts"])]
+            hist.count += int(h["count"])
+            hist.sum += float(h["sum"])
+            if h.get("min") is not None:
+                hist.min = min(hist.min, float(h["min"]))
+            if h.get("max") is not None:
+                hist.max = max(hist.max, float(h["max"]))
+    return merged

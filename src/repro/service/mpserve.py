@@ -1,0 +1,420 @@
+"""Multi-process sharded serving: the ``drbw serve --workers N`` supervisor.
+
+One supervisor process pre-forks ``N`` worker processes, each a complete
+single-process service (HTTP handler threads + job worker threads +
+warm-result cache), all answering on **one** host:port:
+
+* **SO_REUSEPORT** (Linux, macOS): every worker binds its own listening
+  socket to the shared port and the kernel load-balances accepted
+  connections across them.  The supervisor binds first only to reserve
+  the port (and resolve ``port=0``), then closes its socket once every
+  worker has reported ready — the supervisor never accepts.
+* **Inherited-socket pre-fork** (portable fallback): the supervisor
+  binds one listening socket and forks; every worker accepts from the
+  shared inherited socket.
+
+What makes N processes *one service*:
+
+* the shared :class:`~repro.parallel.cache.ResultCache` directory plus
+  its claim-file protocol gives **cross-process single-flight** — a
+  storm of identical specs executes once fleet-wide
+  (``ResultCache.single_flight``);
+* a :class:`~repro.service.routing.HashRing` names an owning worker per
+  job key, so the claim race is usually won without contention;
+* fleet-unique job ids (``job-w1-000003``) plus shared per-job records
+  (:class:`~repro.service.jobstore.JobStore`) mean a status or result
+  poll answered by *any* worker — the kernel picks one per connection —
+  reports the right job, byte-identically;
+* ``/metrics`` scraped from any worker merges every worker's snapshot
+  file into one fleet page (:mod:`~repro.service.metricsagg`);
+* SIGTERM to the supervisor forwards SIGTERM to every worker; each
+  drains its accepted jobs and exits 0, and the supervisor exits 0 once
+  all have.
+
+Workers are full processes, so results are byte-identical to the
+single-process path by construction: the same executor produces the
+same canonical JSON whichever process runs it, and the cache stores
+exactly those bytes (pinned by ``tests/service/test_mpserve.py`` and
+the ``bench_mpserve`` in-bench identity assertion).
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import shutil
+import signal
+import socket
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass, replace
+
+from repro.errors import ServiceError
+from repro.parallel.cache import ResultCache
+from repro.service.accesslog import AccessLog, JsonlWriter
+from repro.service.admission import AdmissionController
+from repro.service.jobstore import JobStore
+from repro.service.queue import SERVICE_CACHE_SCHEMA, ServiceQueue
+from repro.service.routing import HashRing
+from repro.service.server import ServiceServer
+
+__all__ = ["WorkerConfig", "ServiceSupervisor", "build_worker_server"]
+
+logger = logging.getLogger(__name__)
+
+#: How long the supervisor waits for every worker to report ready.
+READY_TIMEOUT_S = 30.0
+
+#: How long the supervisor waits for workers to drain after SIGTERM
+#: before escalating to SIGKILL (a drain should be bounded by job
+#: runtimes; this is the backstop against a wedged worker).
+DRAIN_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Plain-data serve configuration, shared by supervisor and workers.
+
+    Everything here is JSON-able on purpose: workers rebuild their whole
+    stack from this one value after the fork, so nothing live (sockets
+    aside) crosses the process boundary.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    #: Server *processes* (the supervisor path engages when > 1).
+    workers: int = 1
+    #: Job worker *threads* per process.
+    threads: int = 2
+    capacity: int = 16
+    rate: float | None = None
+    burst: float = 10.0
+    cache_dir: str | None = None
+    no_cache: bool = False
+    telemetry_enabled: bool = True
+    job_timeout_s: float | None = None
+    job_max_attempts: int = 1
+    degraded_window_s: float = 30.0
+    infra_faults: str | None = None
+    access_log: str | None = None
+    span_log: str | None = None
+    #: Shared metrics-snapshot directory (supervisor fills it in).
+    metrics_dir: str | None = None
+    #: Shared per-job record directory: any worker can answer status and
+    #: result polls for jobs accepted by a sibling (supervisor fills it in).
+    jobs_dir: str | None = None
+    #: Listener strategy: ``auto`` picks SO_REUSEPORT when the platform
+    #: has it, else the inherited-socket pre-fork; tests pin one.
+    listener: str = "auto"
+    batch_depth_fraction: float = 0.5
+    #: Non-owner claim deferral (seconds).  Off by default: the claim
+    #: file is atomic, so exactly-once holds without it, and against the
+    #: shared cache directory a deferral only adds latency.
+    single_flight_defer_s: float = 0.0
+    single_flight_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.listener not in ("auto", "reuseport", "inherit"):
+            raise ServiceError(
+                f"listener must be auto|reuseport|inherit, got {self.listener!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _reuseport_available() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _bind_listener(host: str, port: int, *, reuseport: bool) -> socket.socket:
+    """One bound+listening TCP socket, optionally SO_REUSEPORT-shared."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+    except OSError as exc:
+        sock.close()
+        raise ServiceError(f"cannot bind service on {host}:{port}: {exc}") from exc
+    return sock
+
+
+def build_worker_server(
+    cfg: WorkerConfig,
+    worker_index: int = 0,
+    listener: socket.socket | None = None,
+) -> tuple[ServiceServer, list]:
+    """One complete service stack from plain config.
+
+    Shared by the single-process CLI path (``worker_index=0``, no
+    listener, ``cfg.workers == 1``) and by every pre-forked worker, so
+    the two modes cannot drift apart.  Returns the server plus the
+    closeable log writers the caller must close after serving.
+    """
+    worker_tag = f"w{worker_index}"
+    multiproc = cfg.workers > 1
+
+    executor = None
+    infra = None
+    if cfg.infra_faults:
+        from repro.faults import faulty_executor, parse_infra_plan
+
+        infra = parse_infra_plan(cfg.infra_faults)
+        executor = faulty_executor(infra)
+    cache = None
+    if not cfg.no_cache:
+        if infra is not None:
+            from repro.faults import FaultyResultCache
+
+            cache = FaultyResultCache(
+                cfg.cache_dir, schema=SERVICE_CACHE_SCHEMA, infra_plan=infra
+            )
+        else:
+            cache = ResultCache(cfg.cache_dir, schema=SERVICE_CACHE_SCHEMA)
+
+    def _worker_path(path: str | None) -> str | None:
+        # Per-process log files: concurrent appenders to one JSONL file
+        # could tear records, so each worker gets a suffixed sibling.
+        if path is None or not multiproc:
+            return path
+        return f"{path}.{worker_tag}"
+
+    access_log_path = _worker_path(cfg.access_log)
+    span_log_path = _worker_path(cfg.span_log)
+    access_log = AccessLog(access_log_path) if access_log_path else None
+    span_log = JsonlWriter(span_log_path) if span_log_path else None
+
+    queue_opts: dict = {}
+    if executor is not None:
+        queue_opts["executor"] = executor
+    if multiproc:
+        # Fleet-unique job ids plus shared records: a poll for a job
+        # accepted by any worker can be answered by any other.
+        queue_opts["store"] = JobStore(
+            prefix=f"job-{worker_tag}", shared_dir=cfg.jobs_dir
+        )
+    queue = ServiceQueue(
+        workers=cfg.threads,
+        capacity=cfg.capacity,
+        cache=cache,
+        telemetry_enabled=cfg.telemetry_enabled,
+        job_timeout_s=cfg.job_timeout_s,
+        job_max_attempts=cfg.job_max_attempts,
+        degraded_window_s=cfg.degraded_window_s,
+        access_log=access_log,
+        span_log=span_log,
+        single_flight=multiproc,
+        ring=HashRing([f"w{i}" for i in range(cfg.workers)]) if multiproc else None,
+        worker_tag=worker_tag,
+        single_flight_defer_s=cfg.single_flight_defer_s,
+        single_flight_timeout_s=cfg.single_flight_timeout_s,
+        **queue_opts,
+    )
+    server = ServiceServer(
+        queue,
+        host=cfg.host,
+        port=cfg.port,
+        rate=cfg.rate,
+        burst=cfg.burst,
+        access_log=access_log,
+        admission=AdmissionController(cfg.batch_depth_fraction),
+        metrics_dir=cfg.metrics_dir if multiproc else None,
+        worker_id=worker_tag,
+        listen_socket=listener,
+    )
+    closers = [log for log in (access_log, span_log) if log is not None]
+    return server, closers
+
+
+def _worker_main(
+    cfg: WorkerConfig,
+    worker_index: int,
+    listener: socket.socket,
+    reuseport: bool,
+    ready,
+) -> None:
+    """A worker process: build the stack, signal ready, serve until SIGTERM."""
+    if reuseport:
+        # The fork handed us a copy of the supervisor's port-reservation
+        # socket.  Close it *before* binding our own: a forgotten copy
+        # would keep that socket alive as an N+1th listener receiving a
+        # share of connections nobody ever accepts.
+        listener.close()
+        listener = _bind_listener(cfg.host, cfg.port, reuseport=True)
+    server, closers = build_worker_server(cfg, worker_index, listener)
+
+    def _graceful(signum, frame) -> None:
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    ready.set()
+    try:
+        server.serve_forever()
+    finally:
+        for log in closers:
+            log.close()
+    # serve_forever returns only after a requested drain completed:
+    # exiting 0 is the worker's "no accepted job was lost" receipt.
+
+
+class ServiceSupervisor:
+    """Pre-fork, monitor, and drain ``cfg.workers`` service processes."""
+
+    def __init__(self, cfg: WorkerConfig) -> None:
+        if cfg.workers < 2:
+            raise ServiceError("ServiceSupervisor needs workers >= 2; "
+                               "run ServiceServer directly for one process")
+        strategy = cfg.listener
+        if strategy == "auto":
+            strategy = "reuseport" if _reuseport_available() else "inherit"
+        if strategy == "reuseport" and not _reuseport_available():
+            raise ServiceError("SO_REUSEPORT is not available on this platform")
+        self.strategy = strategy
+        self._owns_metrics_dir = cfg.metrics_dir is None
+        if cfg.metrics_dir is None:
+            cfg = replace(
+                cfg, metrics_dir=tempfile.mkdtemp(prefix="drbw-mpserve-metrics-")
+            )
+        self._owns_jobs_dir = cfg.jobs_dir is None
+        if cfg.jobs_dir is None:
+            cfg = replace(
+                cfg, jobs_dir=tempfile.mkdtemp(prefix="drbw-mpserve-jobs-")
+            )
+        self.cfg = cfg
+        # Worker processes are forked, not spawned: the inherited-socket
+        # strategy requires FD inheritance, and fork keeps both paths on
+        # one code shape.
+        self._ctx = multiprocessing.get_context("fork")
+        self._procs: list = []
+        self._listener: socket.socket | None = None
+        self._shutdown_requested = False
+        self.port = cfg.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.cfg.host}:{self.port}"
+
+    def start(self) -> ServiceSupervisor:
+        """Bind, fork every worker, and wait until all are accepting."""
+        if self._procs:
+            raise ServiceError("supervisor already started")
+        reuseport = self.strategy == "reuseport"
+        # Bound either way: under reuseport this only reserves the port
+        # (and resolves port=0); the workers bind their own sockets.
+        self._listener = _bind_listener(
+            self.cfg.host, self.cfg.port, reuseport=reuseport
+        )
+        self.port = self._listener.getsockname()[1]
+        cfg = replace(self.cfg, port=self.port)
+        events = []
+        for i in range(cfg.workers):
+            ready = self._ctx.Event()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(cfg, i, self._listener, reuseport, ready),
+                name=f"drbw-serve-{i}",
+            )
+            proc.start()
+            self._procs.append(proc)
+            events.append(ready)
+        deadline = time.monotonic() + READY_TIMEOUT_S
+        for i, ready in enumerate(events):
+            if not ready.wait(timeout=max(0.0, deadline - time.monotonic())):
+                self.terminate(sigkill=True)
+                raise ServiceError(f"worker {i} did not become ready within "
+                                   f"{READY_TIMEOUT_S:g}s")
+        # Every worker is accepting; the supervisor's socket has done its
+        # job (port reservation / fork inheritance) and closes so that,
+        # under reuseport, the kernel stops routing connections to it.
+        self._listener.close()
+        self._listener = None
+        return self
+
+    def request_shutdown(self) -> None:
+        """Forward a graceful drain to every worker (idempotent)."""
+        self._shutdown_requested = True
+        for proc in self._procs:
+            if proc.is_alive():
+                try:
+                    os.kill(proc.pid, signal.SIGTERM)
+                except OSError:
+                    pass
+
+    def terminate(self, *, sigkill: bool = False) -> None:
+        """Hard-stop every worker (failure paths and tests)."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.kill() if sigkill else proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+        self._cleanup()
+
+    def wait(self) -> int:
+        """Block until every worker exits; 0 only if all exited 0.
+
+        A worker dying *without* a requested shutdown is a fleet fault:
+        the rest are drained and the supervisor reports failure — a
+        silently shrunken fleet must not look healthy.
+        """
+        unexpected_death = False
+        drain_deadline: float | None = None
+        try:
+            while any(p.is_alive() for p in self._procs):
+                if self._shutdown_requested and drain_deadline is None:
+                    drain_deadline = time.monotonic() + DRAIN_TIMEOUT_S
+                if drain_deadline is not None and time.monotonic() >= drain_deadline:
+                    for proc in self._procs:
+                        if proc.is_alive():
+                            logger.error(
+                                "worker %s ignored the drain; killing", proc.name
+                            )
+                            proc.kill()
+                    drain_deadline = time.monotonic() + DRAIN_TIMEOUT_S
+                for proc in self._procs:
+                    proc.join(timeout=0.2)
+                    if proc.exitcode is not None and not self._shutdown_requested:
+                        unexpected_death = True
+                        logger.error(
+                            "worker %s exited unexpectedly with code %s; "
+                            "draining fleet", proc.name, proc.exitcode,
+                        )
+                        self.request_shutdown()
+        finally:
+            self._cleanup()
+        codes = [p.exitcode for p in self._procs]
+        return 0 if all(c == 0 for c in codes) and not unexpected_death else 1
+
+    def serve_forever(self) -> int:
+        """The CLI entry point: start, wire signals, wait; returns exit code."""
+        self.start()
+
+        def _graceful(signum, frame) -> None:
+            print("drbw serve: signal received, draining workers ...",
+                  file=sys.stderr)
+            self.request_shutdown()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+        print(
+            f"drbw service listening on {self.url} "
+            f"({self.cfg.workers} workers, {self.strategy} listener)",
+            file=sys.stderr,
+        )
+        return self.wait()
+
+    def _cleanup(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self._owns_metrics_dir and self.cfg.metrics_dir:
+            shutil.rmtree(self.cfg.metrics_dir, ignore_errors=True)
+        if self._owns_jobs_dir and self.cfg.jobs_dir:
+            shutil.rmtree(self.cfg.jobs_dir, ignore_errors=True)

@@ -119,6 +119,19 @@ class TokenBucket:
                 return 0.0
             return (1.0 - self._tokens) / self.rate
 
+    @property
+    def is_full(self) -> bool:
+        """True once the bucket has refilled to burst capacity.
+
+        A full bucket carries no refill debt, so forgetting it loses no
+        state — the eviction criterion for idle per-client buckets.
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            return self._tokens >= self.burst
+
 
 class ServiceQueue:
     """Bounded queue + worker pool executing job specs."""
@@ -138,6 +151,12 @@ class ServiceQueue:
         clock: Callable[[], float] = time.monotonic,
         access_log: AccessLog | None = None,
         span_log: JsonlWriter | None = None,
+        single_flight: bool = False,
+        ring=None,
+        worker_tag: str | None = None,
+        single_flight_defer_s: float = 0.0,
+        single_flight_timeout_s: float = 120.0,
+        store: JobStore | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -147,7 +166,9 @@ class ServiceQueue:
             raise ServiceError(f"job_timeout_s must be > 0, got {job_timeout_s}")
         if job_max_attempts < 1:
             raise ServiceError(f"job_max_attempts must be >= 1, got {job_max_attempts}")
-        self.store = JobStore()
+        # Injectable so multi-process workers can run a store with a
+        # fleet-unique id prefix and a shared record directory.
+        self.store = store if store is not None else JobStore()
         self.cache = cache
         self.capacity = capacity
         self.retry_after_s = retry_after_s
@@ -180,6 +201,20 @@ class ServiceQueue:
         #: dict per merged worker span.  Both optional and off by default.
         self._access_log = access_log
         self._span_log = span_log
+        #: Cross-process single-flight (PR 10): when several pre-forked
+        #: worker processes share one cache directory, identical job keys
+        #: execute once fleet-wide via the cache's claim-file protocol.
+        #: ``ring``/``worker_tag`` give each key an owning process that
+        #: classifies claims first.  Non-owners *may* defer their first
+        #: claim attempt by ``single_flight_defer_s``; exactly-once never
+        #: depends on it (the claim file is atomic), so it defaults to 0 —
+        #: with a shared cache directory there is no per-worker locality
+        #: for a deferral to buy, only added latency.
+        self._single_flight = single_flight and cache is not None
+        self._ring = ring
+        self._worker_tag = worker_tag
+        self._single_flight_defer_s = single_flight_defer_s
+        self._single_flight_timeout_s = single_flight_timeout_s
         #: Service lifecycle counters — always live, whatever the
         #: telemetry setting, because ``/metrics`` and the CI smoke test
         #: scrape them unconditionally.
@@ -364,7 +399,13 @@ class ServiceQueue:
     # -- request-path observability ----------------------------------------------
 
     def _log_job_locked(self, job: Job) -> None:
-        """One access-log ``job`` record for a job reaching a terminal state."""
+        """One access-log ``job`` record for a job reaching a terminal state.
+
+        Also republishes the job's shared record (multi-process mode), so
+        sibling workers serve the terminal state — this is the single
+        hook every terminal transition already goes through.
+        """
+        self.store.publish(job)
         if self._access_log is None:
             return
         wait = job.queue_wait_s()
@@ -478,6 +519,41 @@ class ServiceQueue:
                 # its successor owns the queue now.
                 return
 
+    def _run_single_flight(self, job: Job, tel) -> dict:
+        """Execute ``job`` through the cache's cross-process claim protocol.
+
+        At most one process in the fleet runs the executor for this key;
+        everyone else reads the published cache entry, whose canonical
+        bytes are exactly what a local execution would have produced (the
+        byte-identity contract the multi-process tests pin).  When the
+        ring names another worker as the key's owner, this process defers
+        its first claim attempt so the owner usually wins the race.
+        """
+        defer = 0.0
+        if self._ring is not None and self._worker_tag is not None:
+            owner = self._ring.node_for(job.key)
+            if owner == self._worker_tag:
+                self.metrics.counter("service.routing_owned").inc()
+            else:
+                self.metrics.counter("service.routing_deferred").inc()
+                defer = self._single_flight_defer_s
+
+        def _compute() -> dict:
+            with telemetry.session(tel):
+                return self._executor(job.spec)
+
+        result, executed_here = self.cache.single_flight(
+            job.key,
+            _compute,
+            defer_s=defer,
+            timeout_s=self._single_flight_timeout_s,
+        )
+        if executed_here:
+            self.metrics.counter("service.single_flight_executed").inc()
+        else:
+            self.metrics.counter("service.single_flight_followed").inc()
+        return result
+
     def _run_one(self, job: Job) -> bool:
         """Execute one job; returns True when the watchdog abandoned it."""
         me = threading.current_thread()
@@ -500,10 +576,15 @@ class ServiceQueue:
         tel = telemetry.Telemetry(enabled=self.telemetry.enabled)
         result_text: str | None = None
         error: str | None = None
+        stored_by_single_flight = False
         t0 = time.monotonic()
         try:
-            with telemetry.session(tel):
-                result = self._executor(job.spec)
+            if self._single_flight:
+                result = self._run_single_flight(job, tel)
+                stored_by_single_flight = True
+            else:
+                with telemetry.session(tel):
+                    result = self._executor(job.spec)
             result_text = canonical_json(result)
         except ReproError as exc:
             error = f"{type(exc).__name__}: {exc}"
@@ -536,7 +617,7 @@ class ServiceQueue:
             n = 1 + len(followers)
             if error is None:
                 self.metrics.counter("service.jobs_done").inc(n)
-                if self.cache is not None:
+                if self.cache is not None and not stored_by_single_flight:
                     self.cache.put(job.key, json.loads(result_text))
             else:
                 self.metrics.counter("service.jobs_failed").inc(n)

@@ -1,0 +1,82 @@
+"""Consistent-hash routing of job keys to worker processes.
+
+The multi-process service pre-forks N workers behind one listener, so
+any worker can receive any request.  Execution, though, wants an
+*owner*: when a storm of identical specs lands across workers, the
+cross-process single-flight protocol (claim files on the shared
+:class:`~repro.parallel.cache.ResultCache`) serializes them — and the
+race is cheapest when exactly one worker tries to claim first.  The
+ring gives every job key a deterministic owner; the queue counts
+owned vs non-owned executions, and non-owners *can* be configured to
+defer their first claim attempt (``single_flight_defer_s``) so the
+owner usually wins the race.  Deferral is off by default: the claim
+file is atomic, so exactly-once holds without it, and against a shared
+cache directory a deferral buys no locality — only latency.
+
+Consistent hashing (virtual nodes over SHA-256) rather than
+``hash(key) % N`` so ownership barely moves when the worker count
+changes — the same property that matters for cache affinity: a restart
+at a different ``--workers`` remaps only ``~1/N`` of the key space.
+
+Ownership is advisory.  A dead or slow owner never blocks anyone: the
+deferral is tens of milliseconds, after which any worker claims, and
+stale claims are stolen (see ``ResultCache.single_flight``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Sequence
+
+from repro.errors import ServiceError
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per worker.  64 keeps the ownership spread within a few
+#: percent of uniform for single-digit worker counts while the ring stays
+#: a few hundred entries.
+DEFAULT_REPLICAS = 64
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit ring position (first 8 bytes of SHA-256)."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Deterministic key → node mapping with virtual nodes.
+
+    ``nodes`` are opaque worker tags (``"w0"``, ``"w1"``, ...).  The ring
+    is immutable; the supervisor builds one per serve invocation and
+    every worker builds the identical ring from the same tag list, so no
+    coordination is needed for all processes to agree on ownership.
+    """
+
+    def __init__(self, nodes: Sequence[str], replicas: int = DEFAULT_REPLICAS) -> None:
+        if not nodes:
+            raise ServiceError("hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ServiceError(f"hash ring nodes must be unique: {list(nodes)}")
+        if replicas < 1:
+            raise ServiceError(f"replicas must be >= 1, got {replicas}")
+        self.nodes = tuple(nodes)
+        points = sorted(
+            (_hash64(f"{node}#{i}"), node)
+            for node in self.nodes
+            for i in range(replicas)
+        )
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def node_for(self, key: str) -> str:
+        """The owning node for ``key`` (first ring point at/after its hash)."""
+        i = bisect.bisect_right(self._hashes, _hash64(key)) % len(self._hashes)
+        return self._owners[i]
+
+    def spread(self, keys: Sequence[str]) -> dict[str, int]:
+        """Keys per owner (test/debug helper for balance assertions)."""
+        out = {node: 0 for node in self.nodes}
+        for key in keys:
+            out[self.node_for(key)] += 1
+        return out

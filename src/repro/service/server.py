@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import json
 import logging
+import os
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -34,7 +36,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.errors import ServiceError, ServiceSaturatedError
 from repro.monitor.exposition import CONTENT_TYPE, render_prometheus_multi
 from repro.service.accesslog import AccessLog
+from repro.service.admission import PRIORITY_HEADER, AdmissionController
 from repro.service.jobstore import Job
+from repro.service.metricsagg import (
+    merge_registry_dicts,
+    read_snapshots,
+    write_snapshot,
+)
 from repro.service.queue import ServiceQueue, TokenBucket, WAIT_SECONDS_BUCKETS
 from repro.service.trace import TRACE_HEADER, TraceContext, mint_trace, parse_trace_header
 
@@ -49,6 +57,16 @@ MAX_BODY_BYTES = 1 << 20
 #: status polls and cache hits in the low milliseconds; the tail is a
 #: submit that waited on backpressure.
 REQUEST_SECONDS_BUCKETS = WAIT_SECONDS_BUCKETS
+
+#: Idle per-client rate-limit buckets last seen longer ago than this are
+#: evicted (once fully refilled) so the map stays bounded at
+#: millions-of-distinct-clients scale.
+BUCKET_IDLE_TTL_S = 300.0
+
+#: Multi-process mode: how often each worker refreshes its shared-file
+#: metrics snapshot, so a scrape on any sibling covers this worker even
+#: if this worker never serves a scrape itself.
+METRICS_PUBLISH_INTERVAL_S = 1.0
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -167,7 +185,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             job = self.service.queue.store.get(job_id)
         except ServiceError as exc:
-            self._error(404, str(exc))
+            # Multi-process mode: the job may live in a sibling worker.
+            record = self.service.queue.store.lookup_record(job_id)
+            if record is None:
+                self._error(404, str(exc))
+                return
+            self._json(200, record["payload"])
             return
         self._job = job
         self._json(200, job.status_payload())
@@ -176,7 +199,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             job = self.service.queue.store.get(job_id)
         except ServiceError as exc:
-            self._error(404, str(exc))
+            record = self.service.queue.store.lookup_record(job_id)
+            if record is None:
+                self._error(404, str(exc))
+                return
+            self._result_from_record(record)
             return
         self._job = job
         if job.state == "failed":
@@ -191,6 +218,25 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         body = (job.result_text or "").encode("utf-8") + b"\n"
         self._send(200, body, "application/json")
 
+    def _result_from_record(self, record: dict) -> None:
+        """Serve a sibling worker's job result from its shared record.
+
+        Same contract as the in-memory path: the record's ``result_text``
+        is the canonical bytes the accepting worker stored, so the
+        response is byte-identical wherever the poll lands.
+        """
+        payload = record["payload"]
+        state = payload.get("state")
+        if state == "failed":
+            self._error(500, payload.get("error") or "job failed")
+            return
+        if state != "done":
+            self._json(409, {"error": "job not finished", "state": state},
+                       extra={"Retry-After": "1"})
+            return
+        body = (record.get("result_text") or "").encode("utf-8") + b"\n"
+        self._send(200, body, "application/json")
+
     def _route_post(self, path: str) -> None:
         if path != "/v1/jobs":
             self._error(404, f"no route for {path}")
@@ -203,6 +249,26 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._error(429, f"rate limit exceeded for {client}",
                         extra={"Retry-After": f"{retry:.3f}"})
             return
+        admission = self.service.admission
+        if admission is not None:
+            try:
+                decision = admission.decide(
+                    self.headers.get(PRIORITY_HEADER),
+                    self.service.queue.depth,
+                    self.service.queue.capacity,
+                )
+            except ServiceError as exc:
+                self._error(400, str(exc))
+                return
+            if not decision.admitted:
+                self.service.queue.metrics.counter(
+                    f"service.admission_rejected.{decision.priority}"
+                ).inc()
+                self._error(
+                    429, decision.reason or "admission rejected",
+                    extra={"Retry-After": f"{admission.retry_after_s:.3f}"},
+                )
+                return
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
@@ -247,22 +313,58 @@ class ServiceServer:
         rate: float | None = None,
         burst: float = 10.0,
         access_log: AccessLog | None = None,
+        bucket_ttl_s: float = BUCKET_IDLE_TTL_S,
+        clock=time.monotonic,
+        admission: AdmissionController | None = None,
+        metrics_dir: str | os.PathLike | None = None,
+        worker_id: str = "w0",
+        listen_socket: socket.socket | None = None,
     ) -> None:
         self.queue = queue
+        #: Optional priority-class gate, checked after the token buckets.
+        self.admission = admission
+        #: Multi-process mode: the shared directory where every worker
+        #: publishes its metrics snapshot, and this worker's tag in it.
+        #: ``None`` keeps the single-process render path byte-for-byte.
+        self._metrics_dir = metrics_dir
+        self.worker_id = worker_id
         self._rate = rate
         self._burst = burst
         self._access_log = access_log
+        self._clock = clock
+        self._bucket_ttl_s = bucket_ttl_s
         self._buckets: dict[str, TokenBucket] = {}
+        self._bucket_last_seen: dict[str, float] = {}
+        # Sweep no more than a few times per TTL: the sweep is O(clients)
+        # and must not run on every request.
+        self._bucket_sweep_interval = max(bucket_ttl_s / 4.0, 1e-9)
+        self._last_bucket_sweep = clock()
         self._buckets_lock = threading.Lock()
         handler = type("_BoundHandler", (_ServiceHandler,), {"service": self})
-        try:
-            self._server = ThreadingHTTPServer((host, port), handler)
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot bind service on {host}:{port}: {exc}"
-            ) from exc
+        if listen_socket is not None:
+            # A pre-bound listener from the multi-process supervisor:
+            # either the fork-inherited shared socket or this worker's
+            # own SO_REUSEPORT socket.  Adopt it instead of binding.
+            addr = listen_socket.getsockname()[:2]
+            self._server = ThreadingHTTPServer(
+                addr, handler, bind_and_activate=False
+            )
+            self._server.socket.close()
+            self._server.socket = listen_socket
+            self._server.server_address = addr
+            self._server.server_name = addr[0]
+            self._server.server_port = addr[1]
+        else:
+            try:
+                self._server = ThreadingHTTPServer((host, port), handler)
+            except OSError as exc:
+                raise ServiceError(
+                    f"cannot bind service on {host}:{port}: {exc}"
+                ) from exc
         self._server.daemon_threads = True
         self._thread: threading.Thread | None = None
+        self._metrics_pub_stop = threading.Event()
+        self._metrics_pub_thread: threading.Thread | None = None
         self._closed = False
         self._shutdown_started = False
         self._shutdown_lock = threading.Lock()
@@ -286,10 +388,40 @@ class ServiceServer:
         if self._rate is None:
             return None
         with self._buckets_lock:
+            now = self._clock()
             bucket = self._buckets.get(client)
             if bucket is None:
-                bucket = self._buckets[client] = TokenBucket(self._rate, self._burst)
+                bucket = self._buckets[client] = TokenBucket(
+                    self._rate, self._burst, clock=self._clock
+                )
+            self._bucket_last_seen[client] = now
+            if now - self._last_bucket_sweep >= self._bucket_sweep_interval:
+                self._evict_idle_buckets(now)
+            self.queue.metrics.gauge("service.rate_limiter_buckets").set(
+                len(self._buckets)
+            )
             return bucket
+
+    def _evict_idle_buckets(self, now: float) -> None:
+        """Drop buckets idle past the TTL *and* fully refilled.
+
+        Must run under ``_buckets_lock``.  The full-bucket condition means
+        eviction never forgets refill debt: a client evicted and re-seen
+        starts from exactly the state its bucket would have reached anyway.
+        """
+        self._last_bucket_sweep = now
+        idle = [
+            client
+            for client, seen in self._bucket_last_seen.items()
+            if now - seen >= self._bucket_ttl_s and self._buckets[client].is_full
+        ]
+        for client in idle:
+            del self._buckets[client]
+            del self._bucket_last_seen[client]
+        if idle:
+            self.queue.metrics.counter("service.rate_limiter_evictions").inc(
+                len(idle)
+            )
 
     def observe_request(
         self,
@@ -331,16 +463,81 @@ class ServiceServer:
                 cache_hit=None if job is None else job.cache_hit,
             )
 
-    def render_metrics(self) -> str:
-        """The ``/metrics`` page: service counters + pipeline aggregate."""
+    def _refresh_gauges(self) -> None:
+        """Point-in-time occupancy gauges, set just before any export."""
         counts = self.queue.store.counts()
         for state, n in counts.items():
             self.queue.metrics.gauge(f"service.jobs_{state}_now").set(n)
         self.queue.metrics.gauge("service.queue_depth").set(self.queue.depth)
-        registries = [("drbw", self.queue.metrics)]
+        with self._buckets_lock:
+            self.queue.metrics.gauge("service.rate_limiter_buckets").set(
+                len(self._buckets)
+            )
+
+    def _registries(self) -> list[tuple[str, object]]:
+        registries: list[tuple[str, object]] = [("drbw", self.queue.metrics)]
         if self.queue.telemetry.enabled:
             registries.append(("drbw_pipeline", self.queue.telemetry.metrics))
-        return render_prometheus_multi(registries)
+        return registries
+
+    def _publish_snapshot(self) -> None:
+        """Refresh this worker's shared-file snapshot (multi-process mode)."""
+        self._refresh_gauges()
+        write_snapshot(self._metrics_dir, self.worker_id, dict(self._registries()))
+
+    def _publish_metrics_loop(self) -> None:
+        while True:
+            try:
+                self._publish_snapshot()
+            except Exception:  # noqa: BLE001 - export must not kill the worker
+                logger.exception("metrics snapshot publish failed")
+            if self._metrics_pub_stop.wait(METRICS_PUBLISH_INTERVAL_S):
+                return
+
+    def _start_metrics_publisher(self) -> None:
+        if self._metrics_dir is None or self._metrics_pub_thread is not None:
+            return
+        self._metrics_pub_stop.clear()
+        self._metrics_pub_thread = threading.Thread(
+            target=self._publish_metrics_loop,
+            name="drbw-metrics-publisher",
+            daemon=True,
+        )
+        self._metrics_pub_thread.start()
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` page: service counters + pipeline aggregate.
+
+        Single-process mode renders this worker's registries directly.
+        In multi-process mode (``metrics_dir`` set) the scrape covers the
+        fleet: refresh our own snapshot file, merge every worker's
+        snapshot, and render the sums — so whichever worker the shared
+        listener hands the scrape to, the page is the whole service.
+        """
+        self._refresh_gauges()
+        registries = self._registries()
+        if self._metrics_dir is None:
+            return render_prometheus_multi(registries)
+        write_snapshot(self._metrics_dir, self.worker_id, dict(registries))
+        snapshots = read_snapshots(self._metrics_dir)
+        namespaces = sorted({
+            name for doc in snapshots for name in doc["registries"]
+        })
+        merged = [
+            (
+                ns,
+                merge_registry_dicts([
+                    doc["registries"][ns]
+                    for doc in snapshots
+                    if ns in doc["registries"]
+                ]),
+            )
+            for ns in namespaces
+        ]
+        for ns, registry in merged:
+            if ns == "drbw":
+                registry.gauge("service.metrics_workers").set(len(snapshots))
+        return render_prometheus_multi(merged)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -351,6 +548,7 @@ class ServiceServer:
         if self._thread is not None:
             raise ServiceError("service server already started")
         self.queue.start()
+        self._start_metrics_publisher()
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="drbw-service", daemon=True
         )
@@ -360,6 +558,7 @@ class ServiceServer:
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`request_shutdown`."""
         self.queue.start()
+        self._start_metrics_publisher()
         try:
             self._server.serve_forever()
         finally:
@@ -397,6 +596,13 @@ class ServiceServer:
 
     def _close(self) -> None:
         if not self._closed:
+            self._metrics_pub_stop.set()
+            if self._metrics_pub_thread is not None:
+                self._metrics_pub_thread.join(timeout=5.0)
+                self._metrics_pub_thread = None
+                # One last snapshot so the drained totals survive for
+                # scrapes served by siblings after this worker exits.
+                self._publish_snapshot()
             self._server.server_close()
             self._closed = True
 

@@ -1,12 +1,13 @@
-"""Differential oracle: the columnar engine against its scalar reference.
+"""Bit-exactness guard for the columnar engine.
 
-PR 9 rebuilt the sampling hot path as columnar batch kernels and kept the
-scalar path alive behind ``Machine(engine_kind="reference")`` for exactly
-one PR, as a differential oracle.  This suite is that oracle: a
-property-style sweep over randomized topologies, latency models, workload
-shapes, fault plans, and seeds, asserting the two kernels are
-**byte-identical** — not approximately equal — on every serialized
-artifact the pipeline produces:
+PR 9 rebuilt the sampling hot path as columnar batch kernels and proved
+them against the PR 8-era scalar path with a differential oracle; PR 10
+retired that scalar reference kernel (ROADMAP "PR 10, first thing").
+This suite is the surviving guard: a property-style sweep over randomized
+topologies, latency models, workload shapes, fault plans, and seeds,
+asserting the columnar kernel is **byte-deterministic** — not
+approximately stable — on every serialized artifact the pipeline
+produces:
 
 * streamed :class:`~repro.numasim.engine.IntervalRecord` sequences,
 * the run's finished bucket columns,
@@ -17,8 +18,10 @@ artifact the pipeline produces:
 Identity is compared as a SHA-256 over canonical JSON whose float arrays
 are hex-encoded raw bytes, so a single flipped mantissa bit anywhere
 fails the case.  A second test drives the campaign runner at ``jobs=1``
-and ``jobs=2`` and checks columnar pool payloads against reference twins
-recomputed in-process at the same shard seed.
+and ``jobs=2`` and checks pool payloads against twins recomputed
+in-process at the same shard seed.  Cross-*commit* bit-stability is
+pinned separately by the interval goldens (``tests/test_golden.py`` /
+``tests/golden_intervals.py``) and the hypothesis property tests.
 
 The randomness is a *sweep*, not flakiness: every case derives from one
 module-level master seed, so the matrix is fixed across runs and
@@ -34,6 +37,7 @@ import numpy as np
 import pytest
 
 from repro.core.profiler import DrBwProfiler, ProfilerConfig
+from repro.errors import ParallelError, ReproError
 from repro.faults import FaultPlan
 from repro.numasim.engine import ExecutionEngine
 from repro.numasim.latency import LatencyModel
@@ -174,9 +178,9 @@ def _make_cases():
     return cases
 
 
-def _kernel_digests(kind, topo, lat, workload, n_threads, n_nodes, faults, seed):
-    """Every serialized artifact of one kernel, as stage → digest."""
-    machine = Machine(topology=topo, latency_model=lat, engine_kind=kind)
+def _pipeline_digests(topo, lat, workload, n_threads, n_nodes, faults, seed):
+    """Every serialized artifact of one pipeline pass, as stage → digest."""
+    machine = Machine(topology=topo, latency_model=lat)
     records = []
     run = run_workload(
         workload, machine, n_threads, n_nodes,
@@ -187,10 +191,7 @@ def _kernel_digests(kind, topo, lat, workload, n_threads, n_nodes, faults, seed)
         page_table=run.compiled.page_table,
         latency_model=machine.latency_model,
     )
-    if kind == "columnar":
-        batch = sampler.sample_run_batch(run.result)
-    else:
-        batch = sampler.sample_run_reference(run.result)
+    batch = sampler.sample_run_batch(run.result)
     profiler = DrBwProfiler(
         machine,
         ProfilerConfig(sampler=SamplerConfig(seed=seed), faults=faults),
@@ -207,29 +208,26 @@ def _kernel_digests(kind, topo, lat, workload, n_threads, n_nodes, faults, seed)
 @pytest.mark.parametrize(
     "topo, lat, workload, n_threads, n_nodes, faults, seed", _make_cases()
 )
-def test_columnar_matches_reference(
+def test_columnar_pipeline_is_byte_deterministic(
     topo, lat, workload, n_threads, n_nodes, faults, seed
 ):
-    """Both kernels produce byte-identical artifacts at every stage."""
-    reference = _kernel_digests(
-        "reference", topo, lat, workload, n_threads, n_nodes, faults, seed
-    )
-    columnar = _kernel_digests(
-        "columnar", topo, lat, workload, n_threads, n_nodes, faults, seed
-    )
-    assert columnar == reference
+    """Two fresh pipeline passes produce byte-identical artifacts at every
+    stage — no hidden global state, dict-order, or RNG-reuse leakage."""
+    first = _pipeline_digests(topo, lat, workload, n_threads, n_nodes, faults, seed)
+    second = _pipeline_digests(topo, lat, workload, n_threads, n_nodes, faults, seed)
+    assert second == first
 
 
 # ---------------------------------------------------------------------------
-# Campaign path: jobs=1 vs jobs=2 vs in-process reference twins
+# Campaign path: jobs=1 vs jobs=2 vs in-process twins
 # ---------------------------------------------------------------------------
 
 _CAMPAIGN_PAIRS = (("NW", "default"), ("SP", "C"))
 
 
 def test_campaign_columnar_equivalence_across_jobs():
-    """Pool workers (jobs=2), the serial path (jobs=1), and reference twins
-    recomputed in-process at the same shard seed all agree byte-for-byte."""
+    """Pool workers (jobs=2), the serial path (jobs=1), and twins recomputed
+    in-process at the same shard seed all agree byte-for-byte."""
     specs = [
         profile_shard(benchmark_workload_spec(name, inp), 8, 2)
         for name, inp in _CAMPAIGN_PAIRS
@@ -240,22 +238,24 @@ def test_campaign_columnar_equivalence_across_jobs():
     for o1, o2 in zip(serial, pooled):
         assert o1.seed == o2.seed
         assert o1.canonical_payload == o2.canonical_payload
-        ref_spec = dict(o1.spec)
-        ref_spec["machine"] = {**o1.spec["machine"], "engine": "reference"}
-        ref_payload = run_profile_shard(ref_spec, o1.seed)
-        assert canonical_json(ref_payload) == o1.canonical_payload
+        twin = run_profile_shard(dict(o1.spec), o1.seed)
+        assert canonical_json(twin) == o1.canonical_payload
 
 
-def test_machine_spec_round_trips_engine_kind():
-    """The shard encoding carries a non-default engine and rebuilds it."""
-    ref = Machine(engine_kind="reference")
-    spec = machine_spec(ref)
-    assert spec == {"engine": "reference"}
-    assert _build_machine(spec).engine_kind == "reference"
-    # The default kernel stays off the wire: old shard hashes are stable.
+def test_machine_spec_rejects_retired_engine_key():
+    """The shard codec refuses pre-PR10 specs that pin the retired kernel."""
+    # The default machine stays off the wire: old shard hashes are stable.
     assert machine_spec(Machine()) == {}
-    assert _build_machine({}).engine_kind == "columnar"
-    assert _build_machine(None).engine_kind == "columnar"
+    assert _build_machine({}).topology == NumaTopology()
+    assert _build_machine(None).topology == NumaTopology()
+    with pytest.raises(ParallelError, match="retired"):
+        _build_machine({"engine": "reference"})
+    # Even the old default value is refused: the section itself is gone.
+    with pytest.raises(ReproError, match="engine"):
+        _build_machine({"engine": "columnar"})
+    # Unknown sections still fail with the generic message.
+    with pytest.raises(ParallelError, match="unknown machine spec"):
+        _build_machine({"turbo": {}})
 
 
 # ---------------------------------------------------------------------------
@@ -295,8 +295,3 @@ def test_finalize_is_insertion_order_independent():
     b = ExecutionEngine._finalize_bucket_columns(shuffled)
     for col in (*_BUCKET_COLS, "n_accesses", "mean_latency"):
         assert getattr(a, col).tobytes() == getattr(b, col).tobytes(), col
-
-    assert (
-        ExecutionEngine._finalize_buckets(acc)
-        == ExecutionEngine._finalize_buckets(shuffled)
-    )

@@ -182,3 +182,35 @@ def test_default_cache_dir_resolution(monkeypatch, tmp_path):
     assert default_cache_dir() == tmp_path / "xdg" / "drbw"
     monkeypatch.delenv("XDG_CACHE_HOME")
     assert default_cache_dir().name == "drbw"
+
+
+def _plant_orphans(root, names):
+    for sub, name in names:
+        d = root / sub
+        d.mkdir(parents=True, exist_ok=True)
+        (d / f".tmp-{name}.json").write_text("{}")
+
+
+def test_sweep_logs_per_sweep_delta_not_lifetime_total(tmp_path, caplog):
+    """Regression: each sweep must report how many orphans *it* removed,
+    not the cache's cumulative lifetime counter."""
+    root = tmp_path / "c"
+    _plant_orphans(root, [("ab", "one"), ("cd", "two")])
+    with caplog.at_level("INFO", logger="repro.parallel.cache"):
+        cache = ResultCache(root, orphan_max_age_s=0.0)
+    assert cache.orphans_swept == 2
+    assert "swept 2 orphaned" in caplog.text
+
+    caplog.clear()
+    _plant_orphans(root, [("ef", "three")])
+    with caplog.at_level("INFO", logger="repro.parallel.cache"):
+        cache._sweep_orphans(0.0)
+    assert cache.orphans_swept == 3  # lifetime total keeps accumulating
+    assert "swept 1 orphaned" in caplog.text
+    assert "swept 3" not in caplog.text
+
+    # A sweep that finds nothing stays silent.
+    caplog.clear()
+    with caplog.at_level("INFO", logger="repro.parallel.cache"):
+        cache._sweep_orphans(0.0)
+    assert "swept" not in caplog.text

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.request
 
 import pytest
@@ -154,6 +155,13 @@ class TestAccessLogRecords:
         assert started.acquire(timeout=30)
         follower = queue.submit(spec_for(9), trace=t2)
         release.set()
+        # The job records land when the worker reaches the terminal-state
+        # write, not when release fires — wait for it, or a loaded machine
+        # reads the log before the writer is scheduled.
+        deadline = time.monotonic() + 30
+        while follower.state != "done" and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert follower.state == "done"
         server.request_shutdown()
         recs = list(read_access_log(tmp_path / "access.jsonl"))
         by_id = {r["job_id"]: r for r in recs if r["kind"] == "job"}

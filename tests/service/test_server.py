@@ -150,6 +150,58 @@ class TestBackpressure:
                 client.submit(spec_for(2))
             assert exc_info.value.retry_after > 0
 
+    def test_rate_limiter_bucket_map_stays_bounded(self, gated):
+        """Regression: flooding distinct clients must not grow the
+        per-client bucket map forever, while active clients keep their
+        refill state across sweeps."""
+        clock_now = [0.0]
+        q = ServiceQueue(executor=gated, workers=1, telemetry_enabled=False)
+        server = ServiceServer(
+            q, port=0, rate=10.0, burst=2.0,
+            bucket_ttl_s=60.0, clock=lambda: clock_now[0],
+        )
+        try:
+            active = server.limiter_for("active-client")
+            assert active is not None and active.try_acquire()  # 1 token left
+
+            n_flood = 500
+            for i in range(n_flood):
+                server.limiter_for(f"drive-by-{i}")
+            assert len(server._buckets) == n_flood + 1
+
+            # Keep the active client warm past the idle TTL; drive-bys
+            # refill to full and age out at the next sweep.
+            clock_now[0] = 61.0
+            assert server.limiter_for("active-client") is active
+            server.limiter_for("trigger-sweep")
+            assert len(server._buckets) == 2  # active + trigger only
+            assert server._buckets["active-client"] is active
+            gauge = q.metrics.gauge("service.rate_limiter_buckets")
+            assert gauge.value == 2
+
+            # A second flood is swept just the same: the map is bounded by
+            # the active set, not by the total distinct clients ever seen.
+            for i in range(n_flood):
+                server.limiter_for(f"second-wave-{i}")
+            clock_now[0] = 130.0
+            server.limiter_for("active-client")
+            assert len(server._buckets) == 1  # only the active client left
+
+            # An idle bucket still owing refill debt survives the sweep.
+            debtor = server.limiter_for("debtor")
+            assert debtor.try_acquire() and debtor.try_acquire()
+            assert not debtor.try_acquire()  # empty: refill debt outstanding
+            clock_now[0] = 130.05  # idle "long enough" only by last_seen...
+            server._bucket_last_seen["debtor"] = clock_now[0] - 61.0
+            server._evict_idle_buckets(clock_now[0])
+            assert "debtor" in server._buckets  # ...but not yet refilled
+            clock_now[0] = 200.0  # fully refilled now
+            server._evict_idle_buckets(clock_now[0])
+            assert "debtor" not in server._buckets
+        finally:
+            gated.gate.set()
+            server._close()
+
     def test_coalesced_submissions_over_http(self, gated):
         with make_server(gated, workers=1) as server:
             client = ServiceClient(server.url)

@@ -32,10 +32,17 @@ def results_dir(tmp_path):
     write_result(d, "table3_confusion", {"cv_accuracy": 0.974})
     write_result(d, "engine_hot_path", {
         "samples_per_sec": 1_500_000.0,
-        "reference_samples_per_sec": 450_000.0,
-        "speedup_vs_reference": 3.333,
         "speedup_vs_pr8_baseline": 3.482,
         "byte_identical": True,
+    })
+    write_result(d, "mpserve", {
+        "sustained_rps": {"1": 34.2, "2": 35.1, "4": 36.0},
+        "scaling_4w": 1.053,
+        "scaling_gate_enforced": False,
+        "byte_identical": True,
+        "availability_pre_knee": True,
+        "knee_detected": True,
+        "cpus": 1,
     })
     write_result(d, "parallel_scaling", {
         "speedup_jobs2": 1.6, "speedup_jobs4": 2.4,
@@ -132,10 +139,17 @@ def test_build_trajectory_and_validate(results_dir):
     }
     assert doc["engine"] == {
         "samples_per_sec": 1_500_000.0,
-        "reference_samples_per_sec": 450_000.0,
-        "speedup_vs_reference": 3.333,
         "speedup_vs_pr8_baseline": 3.482,
         "byte_identical": True,
+    }
+    assert doc["mpserve"] == {
+        "sustained_rps": {"1": 34.2, "2": 35.1, "4": 36.0},
+        "scaling_4w": 1.053,
+        "scaling_gate_enforced": False,
+        "byte_identical": True,
+        "availability_pre_knee": True,
+        "knee_detected": True,
+        "cpus": 1,
     }
     # With no explicit wall time the overhead pass's own measurement wins.
     assert bench_all.build_trajectory(results_dir)["wall_time_s"] == 12.5
@@ -209,6 +223,30 @@ def test_validate_rejects_broken_documents(results_dir):
                for e in bench_all.validate_trajectory(bad))
     bad["engine"] = [1]
     assert any("engine" in e for e in bench_all.validate_trajectory(bad))
+    # PR 9 points carry the retired reference kernel's numbers — optional,
+    # but still typed when present.
+    old_point = json.loads(json.dumps(doc))
+    old_point["engine"]["reference_samples_per_sec"] = 450_000.0
+    old_point["engine"]["speedup_vs_reference"] = 3.333
+    assert bench_all.validate_trajectory(old_point) == []
+    old_point["engine"]["speedup_vs_reference"] = "3x"
+    assert any("speedup_vs_reference" in e
+               for e in bench_all.validate_trajectory(old_point))
+    # And the mpserve section (pre-PR10 points lack it).
+    old_point = {k: v for k, v in doc.items() if k != "mpserve"}
+    assert bench_all.validate_trajectory(old_point) == []
+    bad = json.loads(json.dumps(doc))
+    bad["mpserve"]["byte_identical"] = "yes"
+    assert any("mpserve.byte_identical" in e
+               for e in bench_all.validate_trajectory(bad))
+    bad["mpserve"]["sustained_rps"] = {"1": "fast"}
+    assert any("sustained_rps" in e for e in bench_all.validate_trajectory(bad))
+    bad["mpserve"]["sustained_rps"] = {}
+    assert any("sustained_rps" in e for e in bench_all.validate_trajectory(bad))
+    bad["mpserve"]["scaling_4w"] = None
+    assert any("scaling_4w" in e for e in bench_all.validate_trajectory(bad))
+    bad["mpserve"] = "fast"
+    assert any("mpserve" in e for e in bench_all.validate_trajectory(bad))
 
 
 def test_regression_gate(results_dir, tmp_path, capsys):
@@ -248,7 +286,7 @@ def test_regression_gate(results_dir, tmp_path, capsys):
     assert bench_all.check_regression(current, prev_path) == 1
 
 
-@pytest.mark.parametrize("pr", [3, 4, 6, 7, 8, 9])
+@pytest.mark.parametrize("pr", [3, 4, 6, 7, 8, 9, 10])
 def test_committed_trajectory_point_is_valid(pr):
     path = pathlib.Path(__file__).parent.parent / f"BENCH_PR{pr}.json"
     doc = json.loads(path.read_text())
@@ -271,5 +309,15 @@ def test_committed_trajectory_point_is_valid(pr):
         assert doc["slo"]["plane_overhead_fraction"] < 0.05
     if pr >= 9:
         assert doc["engine"]["byte_identical"] is True
-        assert doc["engine"]["speedup_vs_reference"] >= 3.0
         assert doc["engine"]["speedup_vs_pr8_baseline"] >= 3.0
+    if pr == 9:
+        # The last point measured against the scalar reference kernel,
+        # retired in PR 10.
+        assert doc["engine"]["speedup_vs_reference"] >= 3.0
+    if pr >= 10:
+        assert "reference_samples_per_sec" not in doc["engine"]
+        assert "speedup_vs_reference" not in doc["engine"]
+        assert doc["mpserve"]["byte_identical"] is True
+        assert doc["mpserve"]["availability_pre_knee"] is True
+        assert doc["mpserve"]["knee_detected"] is True
+        assert set(doc["mpserve"]["sustained_rps"]) == {"1", "2", "4"}
